@@ -1,0 +1,72 @@
+// Encoder ablation (DESIGN.md): how much of NECS's cold-start ranking
+// quality comes from the code CNN vs the scheduler GCN? Four variants are
+// trained identically and evaluated on held-out applications (where code
+// understanding must generalize, not memorize):
+//   full       CNN + GCN (the paper's NECS)
+//   code-only  CNN, zeroed DAG representation
+//   dag-only   GCN, zeroed code representation
+//   neither    both zeroed — knobs/data/env only (an MLP in disguise)
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace lite;
+using namespace lite::bench;
+
+int main() {
+  ScaleProfile profile = GetScaleProfile();
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterC();
+  std::cout << "Ablation — NECS encoder contributions under cold start "
+               "(scale=" << profile.name << ")\n";
+
+  struct Variant {
+    std::string name;
+    bool code, dag;
+  };
+  std::vector<Variant> variants{{"full (CNN+GCN)", true, true},
+                                {"code-only (CNN)", true, false},
+                                {"dag-only (GCN)", false, true},
+                                {"neither", false, false}};
+
+  std::vector<std::string> all = AllAppNames();
+  size_t holdouts = profile.name == "paper" ? 10 : profile.name == "quick" ? 5 : 2;
+
+  TablePrinter table({"Variant", "HR@5", "NDCG@5"});
+  for (const auto& v : variants) {
+    std::vector<double> hrs, ndcgs;
+    for (size_t h = 0; h < holdouts; ++h) {
+      const std::string& held = all[(h * 3 + 2) % all.size()];
+      std::vector<std::string> train_apps;
+      for (const auto& a : all) {
+        if (a != held) train_apps.push_back(a);
+      }
+      Corpus corpus = builder.Build(MakeCorpusOptions(profile, train_apps, {env}, 17));
+      std::vector<RankingCase> cases = builder.BuildRankingCases(
+          corpus, {held}, env, &ValidationSize, profile.ranking_candidates, 99);
+
+      NecsConfig cfg = profile.necs;
+      cfg.use_code_encoder = v.code;
+      cfg.use_dag_encoder = v.dag;
+      NecsModel model(corpus.vocab->size(), corpus.op_vocab->size(), cfg, 41);
+      NecsTrainer trainer;
+      TrainOptions topts;
+      topts.epochs = profile.train_epochs;
+      topts.lr = profile.train_lr;
+      trainer.Train(&model, corpus.instances, topts);
+
+      RankingScores sc = EvalRanking(
+          ScorerFor(static_cast<const StageEstimator*>(&model)), cases);
+      hrs.push_back(sc.hr_at_5);
+      ndcgs.push_back(sc.ndcg_at_5);
+    }
+    table.AddRow({v.name, TablePrinter::Fmt(Mean(hrs), 4),
+                  TablePrinter::Fmt(Mean(ndcgs), 4)});
+  }
+  table.Print(std::cout, "Cold-start ranking by encoder variant");
+  std::cout << "\nExpected shape: full >= code-only/dag-only > neither — both "
+               "encoders contribute, and dropping all program understanding "
+               "costs the most on never-seen applications.\n";
+  return 0;
+}

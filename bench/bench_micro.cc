@@ -1,0 +1,166 @@
+// Microbenchmarks (google-benchmark): the hot paths behind LITE's
+// "recommendation in under 2 seconds" claim — cost-model evaluation,
+// feature extraction, NECS inference (cached and uncached), plus the
+// tensor kernels they sit on.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "sparksim/eventlog.h"
+#include "sparksim/runner.h"
+#include "tensor/autodiff.h"
+
+namespace {
+
+using namespace lite;
+
+spark::SparkRunner& Runner() {
+  static spark::SparkRunner* runner = new spark::SparkRunner();
+  return *runner;
+}
+
+Corpus& SmallCorpus() {
+  static Corpus* corpus = [] {
+    CorpusBuilder builder(&Runner());
+    CorpusOptions opts;
+    opts.apps = {"TS", "PR", "KM"};
+    opts.clusters = {spark::ClusterEnv::ClusterA()};
+    opts.configs_per_setting = 2;
+    opts.max_stage_instances_per_run = 6;
+    opts.max_code_tokens = 128;
+    return new Corpus(builder.Build(opts));
+  }();
+  return *corpus;
+}
+
+NecsModel& Model() {
+  static NecsModel* model = [] {
+    NecsConfig cfg;
+    return new NecsModel(SmallCorpus().vocab->size(),
+                         SmallCorpus().op_vocab->size(), cfg, 1);
+  }();
+  return *model;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng, 1.0f);
+  Tensor b = Tensor::Randn({n, n}, &rng, 1.0f);
+  Tensor c(n, n);
+  for (auto _ : state) {
+    MatMul(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128);
+
+void BM_Conv1DForward(benchmark::State& state) {
+  Rng rng(2);
+  VarPtr x = Input(Tensor::Randn({16, static_cast<size_t>(state.range(0))}, &rng, 1.0f));
+  VarPtr w = Param(Tensor::Randn({16, 16 * 4}, &rng, 0.1f));
+  VarPtr b = Param(Tensor::Zeros({16}));
+  for (auto _ : state) {
+    VarPtr out = ops::Conv1D(x, w, b, 4);
+    benchmark::DoNotOptimize(out->value.data());
+  }
+}
+BENCHMARK(BM_Conv1DForward)->Arg(128)->Arg(400)->Arg(1000);
+
+void BM_CostModelRun(benchmark::State& state) {
+  const auto* app = spark::AppCatalog::Find("SCC");  // 91 stage executions.
+  spark::DataSpec data = app->MakeData(app->test_size_mb);
+  spark::Config config = spark::KnobSpace::Spark16().DefaultConfig();
+  for (auto _ : state) {
+    auto r = Runner().cost_model().Run(*app, data, spark::ClusterEnv::ClusterC(),
+                                       config);
+    benchmark::DoNotOptimize(r.total_seconds);
+  }
+}
+BENCHMARK(BM_CostModelRun);
+
+void BM_EventLogRoundtrip(benchmark::State& state) {
+  const auto* app = spark::AppCatalog::Find("PR");
+  spark::DataSpec data = app->MakeData(100);
+  auto sub = Runner().Submit(*app, data, spark::ClusterEnv::ClusterA(),
+                             spark::KnobSpace::Spark16().DefaultConfig());
+  for (auto _ : state) {
+    spark::ParsedEventLog parsed;
+    bool ok = spark::ParseEventLog(sub.event_log, &parsed);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_EventLogRoundtrip);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const Corpus& corpus = SmallCorpus();
+  CorpusBuilder builder(&Runner());
+  const auto* app = spark::AppCatalog::Find("PR");
+  spark::DataSpec data = app->MakeData(app->test_size_mb);
+  spark::Config config = spark::KnobSpace::Spark16().DefaultConfig();
+  for (auto _ : state) {
+    CandidateEval ce = builder.FeaturizeCandidate(
+        corpus, *app, data, spark::ClusterEnv::ClusterC(), config);
+    benchmark::DoNotOptimize(ce.stage_instances.size());
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_NecsForwardFull(benchmark::State& state) {
+  const StageInstance& inst = SmallCorpus().instances[0];
+  for (auto _ : state) {
+    auto fwd = Model().Forward(inst);
+    benchmark::DoNotOptimize(fwd.pred->value[0]);
+  }
+}
+BENCHMARK(BM_NecsForwardFull);
+
+void BM_NecsPredictCached(benchmark::State& state) {
+  const StageInstance& inst = SmallCorpus().instances[0];
+  Model().PredictTarget(inst);  // warm the cache.
+  for (auto _ : state) {
+    double p = Model().PredictTarget(inst);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_NecsPredictCached);
+
+void BM_TrainStep(benchmark::State& state) {
+  // One Adam minibatch step over 8 instances.
+  NecsTrainer trainer;
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 8;
+  std::vector<StageInstance> batch(SmallCorpus().instances.begin(),
+                                   SmallCorpus().instances.begin() + 8);
+  for (auto _ : state) {
+    trainer.Train(&Model(), batch, opts);
+  }
+}
+BENCHMARK(BM_TrainStep);
+
+void BM_EndToEndRecommend(benchmark::State& state) {
+  static LiteSystem* lite = [] {
+    LiteOptions opts;
+    opts.corpus.apps = {"TS", "PR", "KM"};
+    opts.corpus.clusters = {spark::ClusterEnv::ClusterA()};
+    opts.corpus.configs_per_setting = 2;
+    opts.corpus.max_stage_instances_per_run = 5;
+    opts.train.epochs = 3;
+    opts.num_candidates = 60;
+    auto* s = new LiteSystem(&Runner(), opts);
+    s->TrainOffline();
+    return s;
+  }();
+  const auto* app = spark::AppCatalog::Find("PR");
+  spark::DataSpec data = app->MakeData(app->test_size_mb);
+  for (auto _ : state) {
+    auto rec = lite->Recommend(*app, data, spark::ClusterEnv::ClusterC());
+    benchmark::DoNotOptimize(rec.predicted_seconds);
+  }
+}
+BENCHMARK(BM_EndToEndRecommend)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Table X reproduction — cold-start tuning. For each application, train
+// LITE with every instance of that application removed (leave-one-app-out,
+// which also removes its tokens/ops from the vocabularies), then recommend
+// a configuration for its large testing job on cluster C and report ETR.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "tuning/tuner.h"
+
+using namespace lite;
+using namespace lite::bench;
+
+int main() {
+  ScaleProfile profile = GetScaleProfile();
+  spark::SparkRunner runner;
+  std::cout << "Table X — never-seen applications, cold-start ETR (scale="
+            << profile.name << ")\n";
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterC();
+
+  TablePrinter table({"App", "t default (s)", "t LITE cold (s)", "ETR"});
+  double etr_sum = 0.0;
+  size_t above_95 = 0;
+  std::vector<std::string> all = AllAppNames();
+
+  for (const auto& held_out : all) {
+    std::vector<std::string> train_apps;
+    for (const auto& a : all) {
+      if (a != held_out) train_apps.push_back(a);
+    }
+    LiteOptions lopts;
+    lopts.corpus = MakeCorpusOptions(profile, train_apps,
+                                     spark::ClusterEnv::AllClusters());
+    lopts.necs = profile.necs;
+    lopts.train.epochs = profile.train_epochs;
+    lopts.train.lr = profile.train_lr;
+    lopts.num_candidates = profile.lite_candidates;
+    LiteSystem lite(&runner, lopts);
+    lite.TrainOffline();
+
+    const auto* app = spark::AppCatalog::Find(held_out);
+    spark::DataSpec data = app->MakeData(app->test_size_mb);
+    double t_default = runner.Measure(
+        *app, data, env, spark::KnobSpace::Spark16().DefaultConfig());
+    LiteSystem::Recommendation rec = lite.Recommend(*app, data, env);
+    double t_lite = runner.Measure(*app, data, env, rec.config);
+    // t_min proxy: the best of a broad random sweep (stable gold standard).
+    Rng rng(9);
+    double t_min = std::min(t_lite, t_default);
+    for (int i = 0; i < 200; ++i) {
+      t_min = std::min(t_min, runner.Measure(*app, data, env,
+                                             spark::KnobSpace::Spark16().RandomConfig(&rng)));
+    }
+    double etr = ExecutionTimeReduction(t_default, t_lite, t_min);
+    etr_sum += etr;
+    if (etr > 0.95) ++above_95;
+    table.AddRow({held_out, TablePrinter::Fmt(t_default, 1),
+                  TablePrinter::Fmt(t_lite, 1), TablePrinter::Fmt(etr, 2)});
+  }
+  table.AddRow({"MEAN", "", "", TablePrinter::Fmt(etr_sum / all.size(), 2)});
+  table.Print(std::cout, "Table X: cold-start ETR per never-seen application");
+  std::cout << "\nPaper-shape check: mean cold-start ETR "
+            << TablePrinter::Fmt(etr_sum / all.size(), 2)
+            << " (paper 0.95 with " << above_95
+            << "/15 apps above 0.95; paper 11/15) — near-optimal tuning for "
+               "never-seen applications.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Adaptive fleet tuning: LITE in production. A stream of large analytics
+// jobs arrives; LITE recommends, the job runs, the observed execution time
+// flows back as feedback, and every few jobs the model is fine-tuned with
+// the adversarial Adaptive Model Update (Section IV-B). The example prints
+// how target-domain prediction error falls as feedback accumulates.
+//
+//   $ ./build/examples/adaptive_fleet
+#include <cmath>
+#include <iostream>
+
+#include "lite/lite_system.h"
+
+using namespace lite;
+
+int main() {
+  spark::SparkRunner runner;
+  LiteOptions options;
+  options.corpus.clusters = {spark::ClusterEnv::ClusterA()};
+  options.corpus.configs_per_setting = 4;
+  options.train.epochs = 12;
+  options.update_batch = 6;     // fine-tune after every 6 feedback batches.
+  options.update.epochs = 3;
+  LiteSystem lite(&runner, options);
+  std::cout << "Offline training on small datasets (cluster A)...\n";
+  lite.TrainOffline();
+
+  spark::ClusterEnv prod = spark::ClusterEnv::ClusterC();
+  CorpusBuilder builder(&runner);
+
+  // A day's worth of production jobs: each app's large dataset, twice.
+  std::vector<std::string> jobs;
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& a : spark::AppCatalog::All()) jobs.push_back(a.abbrev);
+  }
+
+  double abs_err_sum = 0.0;
+  int window = 0;
+  int job_index = 0;
+  for (const auto& name : jobs) {
+    const auto* app = spark::AppCatalog::Find(name);
+    spark::DataSpec data = app->MakeData(app->test_size_mb);
+
+    LiteSystem::Recommendation rec = lite.Recommend(*app, data, prod);
+    double actual = runner.Measure(*app, data, prod, rec.config);
+
+    // Track |log-predicted - log-actual| to watch the domain gap shrink.
+    abs_err_sum += std::fabs(std::log1p(rec.predicted_seconds) -
+                             std::log1p(actual));
+    ++window;
+    ++job_index;
+
+    // Feedback: LITE re-executes bookkeeping and may trigger an update.
+    lite.CollectFeedback(*app, data, prod, rec.config);
+
+    if (window == 10) {
+      std::cout << "jobs " << (job_index - 9) << "-" << job_index
+                << ": mean |log pred - log actual| = "
+                << abs_err_sum / window
+                << "  (pending feedback: " << lite.pending_feedback() << ")\n";
+      abs_err_sum = 0.0;
+      window = 0;
+    }
+  }
+  if (window > 0) {
+    std::cout << "final " << window << " jobs: mean |log pred - log actual| = "
+              << abs_err_sum / window << "\n";
+  }
+  std::cout << "\nThe prediction gap on production-scale jobs narrows as the\n"
+               "adversarial updates align the large-job (target) and\n"
+               "small-job (source) representations.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: train LITE offline on small datasets, then get a knob
+// recommendation for a large PageRank job and compare it with the Spark
+// defaults.
+//
+//   $ ./build/examples/quickstart
+#include <iostream>
+
+#include "lite/lite_system.h"
+
+using namespace lite;
+
+int main() {
+  // The simulated Spark deployment (see src/sparksim — it stands in for a
+  // physical cluster; every Measure() call "runs" the job).
+  spark::SparkRunner runner;
+
+  // ---- Offline phase: collect stage-level instances on small datasets and
+  // train the NECS estimator + adaptive candidate generator.
+  LiteOptions options;
+  options.corpus.clusters = {spark::ClusterEnv::ClusterA()};
+  options.corpus.configs_per_setting = 4;  // sampled configs per (app, size).
+  options.train.epochs = 15;
+  options.num_candidates = 60;
+  LiteSystem lite(&runner, options);
+  std::cout << "Training LITE offline (small datasets, cluster A)...\n";
+  lite.TrainOffline();
+  std::cout << "  corpus: " << lite.corpus().instances.size()
+            << " stage-level instances, vocabulary "
+            << lite.corpus().vocab->vocabulary_words() << " tokens\n";
+
+  // ---- Online phase: recommend knobs for a large job on the big cluster.
+  const spark::ApplicationSpec* app = spark::AppCatalog::Find("PageRank");
+  spark::DataSpec data = app->MakeData(app->test_size_mb);
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterC();
+  LiteSystem::Recommendation rec = lite.Recommend(*app, data, env);
+
+  std::cout << "\nRecommended configuration for PageRank ("
+            << data.size_mb << "MB, cluster C), computed in "
+            << rec.recommend_wall_seconds << "s:\n";
+  const auto& space = spark::KnobSpace::Spark16();
+  for (size_t d = 0; d < space.size(); ++d) {
+    std::cout << "  " << space.spec(d).name << " = " << rec.config[d] << "\n";
+  }
+
+  double t_rec = runner.Measure(*app, data, env, rec.config);
+  double t_def = runner.Measure(*app, data, env, space.DefaultConfig());
+  std::cout << "\nExecution time with defaults:      " << t_def << "s\n"
+            << "Execution time with LITE's config: " << t_rec << "s\n"
+            << "Speedup: " << t_def / t_rec << "x\n";
+  return 0;
+}

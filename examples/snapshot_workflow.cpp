@@ -1,0 +1,64 @@
+// Production deployment workflow: train once, snapshot the system to disk,
+// then load it in a fresh "serving" process and recommend — no corpus
+// collection or retraining on the serving side.
+//
+//   $ ./build/examples/snapshot_workflow [snapshot-dir]
+#include <filesystem>
+#include <iostream>
+
+#include "lite/snapshot.h"
+
+using namespace lite;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/lite-snapshot-example";
+  std::filesystem::create_directories(dir);
+  spark::SparkRunner runner;
+
+  // ---- "Training side": offline phase + snapshot.
+  {
+    LiteOptions options;
+    options.corpus.clusters = {spark::ClusterEnv::ClusterA(),
+                               spark::ClusterEnv::ClusterC()};
+    options.corpus.configs_per_setting = 3;
+    options.train.epochs = 10;
+    options.ensemble_size = 2;
+    options.num_candidates = 60;
+    LiteSystem system(&runner, options);
+    std::cout << "[trainer] offline phase...\n";
+    system.TrainOffline();
+    if (!SaveSnapshot(system, dir)) {
+      std::cerr << "snapshot failed\n";
+      return 1;
+    }
+    std::cout << "[trainer] snapshot (" << system.ensemble_size()
+              << " models, vocab " << system.corpus().vocab->vocabulary_words()
+              << " tokens) written to " << dir << "\n";
+  }  // the training-side system is gone now.
+
+  // ---- "Serving side": load and recommend.
+  auto model = LoadedLiteModel::Load(dir, &runner);
+  if (model == nullptr) {
+    std::cerr << "load failed\n";
+    return 1;
+  }
+  std::cout << "[server] snapshot loaded; serving recommendations:\n";
+  spark::ClusterEnv prod = spark::ClusterEnv::ClusterC();
+  const auto& space = spark::KnobSpace::Spark16();
+  double total_default = 0, total_lite = 0;
+  for (const char* name : {"TeraSort", "KMeans", "PageRank", "SVM"}) {
+    const auto* app = spark::AppCatalog::Find(name);
+    spark::DataSpec data = app->MakeData(app->test_size_mb);
+    LiteSystem::Recommendation rec = model->Recommend(*app, data, prod);
+    double t_rec = runner.Measure(*app, data, prod, rec.config);
+    double t_def = runner.Measure(*app, data, prod, space.DefaultConfig());
+    total_default += t_def;
+    total_lite += t_rec;
+    std::cout << "  " << name << ": " << t_def << "s (default) -> " << t_rec
+              << "s (LITE, recommended in " << rec.recommend_wall_seconds
+              << "s)\n";
+  }
+  std::cout << "[server] fleet speedup: " << total_default / total_lite
+            << "x\n";
+  return 0;
+}

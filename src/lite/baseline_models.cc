@@ -1,0 +1,303 @@
+#include "lite/baseline_models.h"
+
+#include <cmath>
+#include <set>
+
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace lite {
+
+using namespace ops;
+
+std::string FeatureSetName(FeatureSet fs) {
+  switch (fs) {
+    case FeatureSet::kW: return "W";
+    case FeatureSet::kS: return "S";
+    case FeatureSet::kWC: return "WC";
+    case FeatureSet::kSC: return "SC";
+    case FeatureSet::kSCG: return "SCG";
+  }
+  return "?";
+}
+
+bool IsAppLevel(FeatureSet fs) {
+  return fs == FeatureSet::kW || fs == FeatureSet::kWC;
+}
+
+std::vector<double> AssembleFlatFeatures(const StageInstance& inst,
+                                         FeatureSet fs, size_t num_apps) {
+  std::vector<double> x;
+  // Common core: application one-hot + data + environment + knobs.
+  x.resize(num_apps, 0.0);
+  if (inst.app_id >= 0 && static_cast<size_t>(inst.app_id) < num_apps) {
+    x[static_cast<size_t>(inst.app_id)] = 1.0;
+  }
+  x.insert(x.end(), inst.data_feat.begin(), inst.data_feat.end());
+  x.insert(x.end(), inst.env_feat.begin(), inst.env_feat.end());
+  x.insert(x.end(), inst.knobs.begin(), inst.knobs.end());
+  switch (fs) {
+    case FeatureSet::kW:
+      break;
+    case FeatureSet::kWC:
+      x.insert(x.end(), inst.app_code_bow.begin(), inst.app_code_bow.end());
+      break;
+    case FeatureSet::kS:
+      x.insert(x.end(), inst.stage_stats.begin(), inst.stage_stats.end());
+      break;
+    case FeatureSet::kSC:
+      x.insert(x.end(), inst.stage_stats.begin(), inst.stage_stats.end());
+      x.insert(x.end(), inst.code_bow.begin(), inst.code_bow.end());
+      break;
+    case FeatureSet::kSCG:
+      x.insert(x.end(), inst.stage_stats.begin(), inst.stage_stats.end());
+      x.insert(x.end(), inst.code_bow.begin(), inst.code_bow.end());
+      x.insert(x.end(), inst.dag_histogram.begin(), inst.dag_histogram.end());
+      break;
+  }
+  return x;
+}
+
+namespace {
+
+/// App-level training data: one sample per application run (first stage
+/// instance carries the shared features), target = log1p(app seconds).
+void CollectFlatSamples(const std::vector<StageInstance>& instances,
+                        FeatureSet fs, size_t num_apps,
+                        std::vector<std::vector<double>>* xs,
+                        std::vector<double>* ys) {
+  if (IsAppLevel(fs)) {
+    std::set<int> seen;
+    for (const auto& inst : instances) {
+      if (!seen.insert(inst.app_instance_id).second) continue;
+      xs->push_back(AssembleFlatFeatures(inst, fs, num_apps));
+      ys->push_back(TargetFromSeconds(inst.app_total_seconds));
+    }
+  } else {
+    for (const auto& inst : instances) {
+      xs->push_back(AssembleFlatFeatures(inst, fs, num_apps));
+      ys->push_back(inst.y);
+    }
+  }
+}
+
+}  // namespace
+
+FlatGbdtEstimator::FlatGbdtEstimator(FeatureSet fs, size_t num_apps,
+                                     GbdtOptions options)
+    : fs_(fs), num_apps_(num_apps), gbdt_(options) {}
+
+void FlatGbdtEstimator::Fit(const std::vector<StageInstance>& instances,
+                            Rng* rng) {
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  CollectFlatSamples(instances, fs_, num_apps_, &xs, &ys);
+  LITE_CHECK(!xs.empty()) << "no samples for FlatGbdtEstimator";
+  gbdt_.Fit(xs, ys, rng);
+}
+
+double FlatGbdtEstimator::PredictTarget(const StageInstance& inst) const {
+  return gbdt_.Predict(AssembleFlatFeatures(inst, fs_, num_apps_));
+}
+
+double FlatGbdtEstimator::PredictAppTargetDirect(const StageInstance& inst) const {
+  return PredictTarget(inst);
+}
+
+double FlatGbdtEstimator::PredictAppSecondsOverride(
+    const CandidateEval& cand) const {
+  if (IsAppLevel(fs_)) {
+    if (cand.stage_instances.empty()) return 0.0;
+    return SecondsFromTarget(PredictAppTargetDirect(cand.stage_instances[0]));
+  }
+  return PredictAppSeconds(cand);
+}
+
+std::string FlatGbdtEstimator::name() const {
+  return "LightGBM+" + FeatureSetName(fs_);
+}
+
+FlatMlpEstimator::FlatMlpEstimator(FeatureSet fs, size_t num_apps,
+                                   uint64_t seed, size_t hidden_layers)
+    : fs_(fs), num_apps_(num_apps) {
+  StageInstance probe;
+  probe.data_feat.assign(4, 0.0);
+  probe.env_feat.assign(6, 0.0);
+  probe.knobs.assign(spark::kNumKnobs, 0.0);
+  probe.stage_stats.assign(4, 0.0);
+  probe.code_bow.assign(64, 0.0);
+  probe.app_code_bow.assign(64, 0.0);
+  probe.dag_histogram.assign(1, 0.0);
+  // The true input dim is determined at Fit time (bow/hist sizes vary);
+  // defer construction until then.
+  input_dim_ = AssembleFlatFeatures(probe, fs, num_apps).size();
+  Rng rng(seed);
+  mlp_ = std::make_unique<Mlp>(input_dim_, hidden_layers, 1, &rng);
+}
+
+void FlatMlpEstimator::Fit(const std::vector<StageInstance>& instances,
+                           const TrainOptions& options) {
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  CollectFlatSamples(instances, fs_, num_apps_, &xs, &ys);
+  LITE_CHECK(!xs.empty()) << "no samples for FlatMlpEstimator";
+  if (xs[0].size() != input_dim_) {
+    // Rebuild with the actual feature width observed in the data.
+    input_dim_ = xs[0].size();
+    Rng rng(options.seed);
+    mlp_ = std::make_unique<Mlp>(input_dim_, 3, 1, &rng);
+  }
+
+  Adam adam(mlp_->Params(), options.lr);
+  Rng rng(options.seed + 1);
+  std::vector<size_t> order(xs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    size_t pos = 0;
+    while (pos < order.size()) {
+      size_t end = std::min(pos + options.batch_size, order.size());
+      float inv = 1.0f / static_cast<float>(end - pos);
+      adam.ZeroGrad();
+      for (size_t b = pos; b < end; ++b) {
+        VarPtr x = Input(Tensor::FromVector(xs[order[b]]));
+        VarPtr pred = mlp_->Predict(x);
+        Tensor target(static_cast<size_t>(1));
+        target[0] = static_cast<float>(ys[order[b]]);
+        Backward(Scale(MseLoss(pred, target), inv));
+      }
+      adam.ClipGradNorm(options.grad_clip);
+      adam.Step();
+      pos = end;
+    }
+  }
+}
+
+double FlatMlpEstimator::PredictTarget(const StageInstance& inst) const {
+  std::vector<double> x = AssembleFlatFeatures(inst, fs_, num_apps_);
+  LITE_CHECK(x.size() == input_dim_) << "feature width mismatch in FlatMlp";
+  VarPtr pred = mlp_->Predict(Input(Tensor::FromVector(x)));
+  return pred->value[0];
+}
+
+double FlatMlpEstimator::PredictAppSecondsOverride(
+    const CandidateEval& cand) const {
+  if (IsAppLevel(fs_)) {
+    if (cand.stage_instances.empty()) return 0.0;
+    return SecondsFromTarget(PredictTarget(cand.stage_instances[0]));
+  }
+  return PredictAppSeconds(cand);
+}
+
+std::string FlatMlpEstimator::name() const {
+  return "MLP+" + FeatureSetName(fs_);
+}
+
+SeqEstimator::SeqEstimator(Kind kind, size_t token_vocab_size,
+                           size_t op_vocab_size, NecsConfig config,
+                           size_t max_seq_steps, uint64_t seed)
+    : kind_(kind), op_vocab_size_(op_vocab_size), max_seq_steps_(max_seq_steps) {
+  Rng rng(seed);
+  if (kind == Kind::kLstm) {
+    lstm_ = std::make_unique<LstmEncoder>(token_vocab_size, config.emb_dim,
+                                          config.code_dim, max_seq_steps, &rng);
+  } else {
+    transformer_ = std::make_unique<TransformerEncoder>(
+        token_vocab_size, config.emb_dim, config.code_dim, config.code_dim,
+        max_seq_steps, &rng);
+  }
+  gcn_ = std::make_unique<GcnEncoder>(op_vocab_size + 1, config.gcn_hidden,
+                                      config.gcn_layers, &rng);
+  size_t input_dim = 4 + 6 + spark::kNumKnobs + config.code_dim + config.gcn_hidden;
+  mlp_ = std::make_unique<Mlp>(input_dim, config.mlp_hidden, 1, &rng);
+}
+
+SeqEstimator::ForwardResult SeqEstimator::Forward(const StageInstance& inst) const {
+  VarPtr h_code = kind_ == Kind::kLstm ? lstm_->Forward(inst.code_token_ids)
+                                       : transformer_->Forward(inst.code_token_ids);
+  GcnGraph graph = BuildGcnGraph(inst, op_vocab_size_);
+  VarPtr h_dag = gcn_->Forward(graph);
+  VarPtr d = Input(Tensor::FromVector(inst.data_feat));
+  VarPtr e = Input(Tensor::FromVector(inst.env_feat));
+  VarPtr o = Input(Tensor::FromVector(inst.knobs));
+  MlpOutput out = mlp_->Forward(Concat({d, e, o, h_code, h_dag}));
+  return {out.output, out.hidden_concat};
+}
+
+double SeqEstimator::PredictTarget(const StageInstance& inst) const {
+  std::string key = inst.app_name + "#" + std::to_string(inst.stage_index);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    VarPtr h_code = kind_ == Kind::kLstm
+                        ? lstm_->Forward(inst.code_token_ids)
+                        : transformer_->Forward(inst.code_token_ids);
+    GcnGraph graph = BuildGcnGraph(inst, op_vocab_size_);
+    VarPtr h_dag = gcn_->Forward(graph);
+    it = cache_.emplace(key, std::make_pair(h_code->value, h_dag->value)).first;
+  }
+  VarPtr d = Input(Tensor::FromVector(inst.data_feat));
+  VarPtr e = Input(Tensor::FromVector(inst.env_feat));
+  VarPtr o = Input(Tensor::FromVector(inst.knobs));
+  MlpOutput out = mlp_->Forward(
+      Concat({d, e, o, Input(it->second.first), Input(it->second.second)}));
+  return out.output->value[0];
+}
+
+std::string SeqEstimator::name() const {
+  return kind_ == Kind::kLstm ? "LSTM+GCN" : "Transformer+GCN";
+}
+
+std::vector<VarPtr> SeqEstimator::Params() const {
+  std::vector<VarPtr> out;
+  if (lstm_) {
+    auto p = lstm_->Params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  if (transformer_) {
+    auto p = transformer_->Params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  for (const Module* m : {static_cast<const Module*>(gcn_.get()),
+                          static_cast<const Module*>(mlp_.get())}) {
+    auto p = m->Params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<double> SeqEstimator::Train(const std::vector<StageInstance>& instances,
+                                        const TrainOptions& options) {
+  LITE_CHECK(!instances.empty()) << "SeqEstimator train on empty corpus";
+  Adam adam(Params(), options.lr);
+  Rng rng(options.seed);
+  std::vector<size_t> order(instances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> losses;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double loss_sum = 0.0;
+    size_t pos = 0, batches = 0;
+    while (pos < order.size()) {
+      size_t end = std::min(pos + options.batch_size, order.size());
+      float inv = 1.0f / static_cast<float>(end - pos);
+      adam.ZeroGrad();
+      for (size_t b = pos; b < end; ++b) {
+        ForwardResult fwd = Forward(instances[order[b]]);
+        Tensor target(static_cast<size_t>(1));
+        target[0] = static_cast<float>(instances[order[b]].y);
+        VarPtr loss = Scale(MseLoss(fwd.pred, target), inv);
+        Backward(loss);
+        loss_sum += static_cast<double>(loss->value[0]);
+      }
+      adam.ClipGradNorm(options.grad_clip);
+      adam.Step();
+      pos = end;
+      ++batches;
+    }
+    losses.push_back(loss_sum / std::max<size_t>(batches, 1));
+  }
+  cache_.clear();
+  return losses;
+}
+
+}  // namespace lite

@@ -1,0 +1,125 @@
+// The Table VII competitor estimators:
+//
+//   feature sets  W  (application instance features, no code)
+//                 S  (stage-level features + monitor-UI statistics)
+//                 WC (W + bag-of-words of the application code)
+//                 SC (S + bag-of-words of the stage code)
+//                 SCG(SC + scheduler-DAG operator histogram)
+//   backends      LightGBM-style GBDT, MLP
+//   sequence      LSTM+GCN+MLP, Transformer+GCN+MLP (deep ablations)
+//
+// All implement StageEstimator so the ranking harness is model-agnostic.
+// Note on SCG: the paper pretrains an LSTM over DAG sequences; we use the
+// operator histogram of the DAG instead (documented in DESIGN.md) — both
+// summarize "which operations the scheduler runs" without graph convolution.
+#ifndef LITE_LITE_BASELINE_MODELS_H_
+#define LITE_LITE_BASELINE_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lite/necs.h"
+#include "ml/gbdt.h"
+
+namespace lite {
+
+enum class FeatureSet { kW, kS, kWC, kSC, kSCG };
+std::string FeatureSetName(FeatureSet fs);
+/// App-level feature sets predict whole-application time from one instance;
+/// stage-level sets predict per-stage time.
+bool IsAppLevel(FeatureSet fs);
+
+/// Assembles the flat feature vector for a stage instance under a feature
+/// set. `num_apps` sizes the application-name one-hot.
+std::vector<double> AssembleFlatFeatures(const StageInstance& inst,
+                                         FeatureSet fs, size_t num_apps);
+
+/// GBDT-backed flat estimator ("LightGBM" rows of Table VII).
+class FlatGbdtEstimator : public StageEstimator {
+ public:
+  FlatGbdtEstimator(FeatureSet fs, size_t num_apps, GbdtOptions options = {});
+
+  void Fit(const std::vector<StageInstance>& instances, Rng* rng);
+
+  double PredictTarget(const StageInstance& inst) const override;
+  double PredictAppTargetDirect(const StageInstance& inst) const;
+  std::string name() const override;
+
+  /// App-level sets override the aggregation: one prediction per app run.
+  double PredictAppSecondsOverride(const CandidateEval& cand) const;
+
+  FeatureSet feature_set() const { return fs_; }
+
+ private:
+  FeatureSet fs_;
+  size_t num_apps_;
+  GbdtRegressor gbdt_;
+};
+
+/// MLP-backed flat estimator ("MLP" rows of Table VII; with FeatureSet::kW
+/// plus stage statistics this is also the "MLP" tuning baseline of
+/// Section V-B, i.e. NECS's prediction module without code features).
+class FlatMlpEstimator : public StageEstimator {
+ public:
+  FlatMlpEstimator(FeatureSet fs, size_t num_apps, uint64_t seed,
+                   size_t hidden_layers = 3);
+
+  void Fit(const std::vector<StageInstance>& instances,
+           const TrainOptions& options);
+
+  double PredictTarget(const StageInstance& inst) const override;
+  std::string name() const override;
+  double PredictAppSecondsOverride(const CandidateEval& cand) const;
+
+ private:
+  FeatureSet fs_;
+  size_t num_apps_;
+  size_t input_dim_;
+  std::unique_ptr<Mlp> mlp_;
+};
+
+/// Aggregation helper dispatching between app-level and stage-level flat
+/// estimators (keeps the bench harness uniform).
+template <typename FlatT>
+double FlatPredictAppSeconds(const FlatT& model, const CandidateEval& cand) {
+  return model.PredictAppSecondsOverride(cand);
+}
+
+/// Deep sequence ablations: an LSTM or Transformer code encoder combined
+/// with the same GCN scheduler encoder and tower MLP as NECS.
+class SeqEstimator : public Module, public StageEstimator {
+ public:
+  enum class Kind { kLstm, kTransformer };
+
+  SeqEstimator(Kind kind, size_t token_vocab_size, size_t op_vocab_size,
+               NecsConfig config, size_t max_seq_steps, uint64_t seed);
+
+  struct ForwardResult {
+    VarPtr pred;
+    VarPtr hidden;
+  };
+  ForwardResult Forward(const StageInstance& inst) const;
+
+  double PredictTarget(const StageInstance& inst) const override;
+  std::string name() const override;
+  std::vector<VarPtr> Params() const override;
+
+  /// Same minibatch training loop as NECS.
+  std::vector<double> Train(const std::vector<StageInstance>& instances,
+                            const TrainOptions& options);
+
+ private:
+  Kind kind_;
+  size_t op_vocab_size_;
+  size_t max_seq_steps_;
+  std::unique_ptr<LstmEncoder> lstm_;
+  std::unique_ptr<TransformerEncoder> transformer_;
+  std::unique_ptr<GcnEncoder> gcn_;
+  std::unique_ptr<Mlp> mlp_;
+  mutable std::unordered_map<std::string, std::pair<Tensor, Tensor>> cache_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_LITE_BASELINE_MODELS_H_

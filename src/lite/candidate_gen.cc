@@ -1,0 +1,162 @@
+#include "lite/candidate_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sparksim/dag.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace lite {
+
+std::vector<double> CandidateGenerator::DescribeApp(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env) {
+  double shuffle_ops = 0.0, total_ops = 0.0, per_iter_stages = 0.0;
+  for (const auto& s : app.stages) {
+    for (const auto& op : s.ops) {
+      total_ops += 1.0;
+      if (spark::IsShuffleOp(op)) shuffle_ops += 1.0;
+    }
+    if (s.per_iteration) per_iter_stages += 1.0;
+  }
+  std::vector<double> x;
+  x.push_back(std::log1p(data.size_mb) / 10.0);
+  x.push_back(std::log1p(static_cast<double>(data.num_rows)) / 20.0);
+  x.push_back(app.app_class == spark::AppClass::kMapReduce ? 1.0 : 0.0);
+  x.push_back(app.app_class == spark::AppClass::kMachineLearning ? 1.0 : 0.0);
+  x.push_back(app.app_class == spark::AppClass::kGraph ? 1.0 : 0.0);
+  x.push_back(static_cast<double>(app.stages.size()) / 8.0);
+  x.push_back(per_iter_stages / std::max<double>(app.stages.size(), 1.0));
+  x.push_back(total_ops > 0 ? shuffle_ops / total_ops : 0.0);
+  x.push_back(static_cast<double>(data.iterations) / 30.0);
+  // Environment descriptor: good knob values track the cluster's capacity
+  // (the paper's RFR maps (datasize, application); we add the environment
+  // so one model serves heterogeneous clusters — see DESIGN.md).
+  x.push_back(static_cast<double>(env.num_nodes) / 8.0);
+  x.push_back(static_cast<double>(env.cores_per_node) / 16.0);
+  x.push_back(env.memory_gb_per_node / 64.0);
+  x.push_back(env.network_gbps / 10.0);
+  return x;
+}
+
+void CandidateGenerator::Fit(const Corpus& corpus) {
+  const auto& space = spark::KnobSpace::Spark16();
+
+  // Reconstruct application instances: (app, size, env, config, total time).
+  struct AppInstance {
+    const spark::ApplicationSpec* app;
+    double size_mb;
+    std::string group_key;
+    std::vector<double> knobs_norm;
+    double total_seconds;
+    spark::ClusterEnv env;
+  };
+  std::map<int, AppInstance> by_id;
+  for (const auto& inst : corpus.instances) {
+    auto it = by_id.find(inst.app_instance_id);
+    if (it != by_id.end()) continue;
+    AppInstance ai;
+    ai.app = spark::AppCatalog::Find(inst.app_name);
+    LITE_CHECK(ai.app != nullptr) << "unknown app in corpus";
+    ai.size_mb = inst.size_mb;
+    ai.group_key = inst.app_name + "|" + std::to_string(inst.size_mb) + "|" +
+                   inst.cluster_name;
+    ai.knobs_norm = inst.knobs;
+    ai.total_seconds = inst.app_total_seconds;
+    for (const auto& e : spark::ClusterEnv::AllClusters()) {
+      if (e.name == inst.cluster_name) ai.env = e;
+    }
+    by_id.emplace(inst.app_instance_id, std::move(ai));
+  }
+
+  // Group by (app, size, cluster); keep the fastest top_fraction per group.
+  std::map<std::string, std::vector<const AppInstance*>> groups;
+  for (const auto& [id, ai] : by_id) groups[ai.group_key].push_back(&ai);
+
+  std::vector<std::vector<double>> xs;
+  std::vector<std::vector<double>> knob_targets(space.size());
+  for (auto& [key, members] : groups) {
+    std::sort(members.begin(), members.end(),
+              [](const AppInstance* a, const AppInstance* b) {
+                return a->total_seconds < b->total_seconds;
+              });
+    size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(options_.top_fraction *
+                                         static_cast<double>(members.size()))));
+    for (size_t i = 0; i < keep; ++i) {
+      const AppInstance* ai = members[i];
+      spark::DataSpec data = ai->app->MakeData(ai->size_mb);
+      xs.push_back(DescribeApp(*ai->app, data, ai->env));
+      spark::Config cfg = space.Denormalize(ai->knobs_norm);
+      for (size_t d = 0; d < space.size(); ++d) knob_targets[d].push_back(cfg[d]);
+    }
+  }
+  LITE_CHECK(!xs.empty()) << "CandidateGenerator: no good instances";
+
+  Rng rng(options_.seed);
+  forests_.clear();
+  forests_.reserve(space.size());
+  sigmas_.assign(space.size(), 0.0);
+  for (size_t d = 0; d < space.size(); ++d) {
+    RandomForestRegressor forest(options_.forest);
+    forest.Fit(xs, knob_targets[d], &rng);
+    forests_.push_back(std::move(forest));
+    sigmas_[d] = StdDev(knob_targets[d]);
+    // Degenerate sigma (e.g. boolean knob always 1 among good configs)
+    // still needs a nonzero span to explore.
+    const auto& spec = space.spec(d);
+    double min_span = 0.05 * (spec.max_value - spec.min_value);
+    sigmas_[d] = std::max(sigmas_[d], min_span);
+  }
+  fitted_ = true;
+}
+
+spark::Config CandidateGenerator::PointPrediction(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env) const {
+  LITE_CHECK(fitted_) << "CandidateGenerator not fitted";
+  const auto& space = spark::KnobSpace::Spark16();
+  std::vector<double> x = DescribeApp(app, data, env);
+  spark::Config out(space.size());
+  for (size_t d = 0; d < space.size(); ++d) out[d] = forests_[d].Predict(x);
+  return space.Clamp(out);
+}
+
+CandidateGenerator::Region CandidateGenerator::RegionOf(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env) const {
+  LITE_CHECK(fitted_) << "CandidateGenerator not fitted";
+  const auto& space = spark::KnobSpace::Spark16();
+  spark::Config center = PointPrediction(app, data, env);
+  Region region;
+  region.lo.resize(space.size());
+  region.hi.resize(space.size());
+  for (size_t d = 0; d < space.size(); ++d) {
+    const auto& spec = space.spec(d);
+    double span = options_.sigma_scale * sigmas_[d];
+    region.lo[d] = std::max(spec.min_value, center[d] - span);
+    region.hi[d] = std::min(spec.max_value, center[d] + span);
+  }
+  return region;
+}
+
+std::vector<spark::Config> CandidateGenerator::SampleCandidates(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env, size_t count, Rng* rng) const {
+  Region region = RegionOf(app, data, env);
+  const auto& space = spark::KnobSpace::Spark16();
+  std::vector<spark::Config> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    spark::Config c(space.size());
+    for (size_t d = 0; d < space.size(); ++d) {
+      c[d] = rng->Uniform(region.lo[d], region.hi[d]);
+    }
+    out.push_back(space.Clamp(c));
+  }
+  return out;
+}
+
+}  // namespace lite

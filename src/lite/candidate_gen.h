@@ -1,0 +1,81 @@
+// Adaptive Candidate Generation (Section IV-A): per knob d, a random-forest
+// regressor maps (input datasize, application descriptor) to a promising
+// "mean value" RFR^d; the search region is [RFR^d - sigma^d, RFR^d + sigma^d]
+// where sigma^d is the standard deviation of that knob among the top-40%
+// fastest training instances (Eq. 6-7). Candidates are sampled uniformly
+// inside the region.
+#ifndef LITE_LITE_CANDIDATE_GEN_H_
+#define LITE_LITE_CANDIDATE_GEN_H_
+
+#include <vector>
+
+#include "lite/dataset.h"
+#include "ml/random_forest.h"
+
+namespace lite {
+
+struct CandidateGenOptions {
+  double top_fraction = 0.4;  ///< the paper's "top 40%" filter.
+  /// Multiplier on sigma^d when building the region (1.0 = the paper's
+  /// span; smaller values concentrate sampling around the RFR center).
+  double sigma_scale = 1.0;
+  ForestOptions forest;
+  uint64_t seed = 31;
+};
+
+class CandidateGenerator {
+ public:
+  explicit CandidateGenerator(CandidateGenOptions options = {})
+      : options_(options) {}
+
+  /// Fits the 16 per-knob forests on the corpus' application instances.
+  void Fit(const Corpus& corpus);
+
+  /// Search region for one application/datasize.
+  struct Region {
+    spark::Config lo;
+    spark::Config hi;
+  };
+  Region RegionOf(const spark::ApplicationSpec& app,
+                  const spark::DataSpec& data,
+                  const spark::ClusterEnv& env) const;
+
+  /// The raw RFR point prediction (the "RFR" baseline of Table VIII(a)).
+  spark::Config PointPrediction(const spark::ApplicationSpec& app,
+                                const spark::DataSpec& data,
+                                const spark::ClusterEnv& env) const;
+
+  /// Samples `count` candidate configurations uniformly inside the region.
+  std::vector<spark::Config> SampleCandidates(const spark::ApplicationSpec& app,
+                                              const spark::DataSpec& data,
+                                              const spark::ClusterEnv& env,
+                                              size_t count, Rng* rng) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& sigmas() const { return sigmas_; }
+  const std::vector<RandomForestRegressor>& forests() const { return forests_; }
+
+  /// Restores a fitted state from deserialized parts (snapshot loading).
+  void Restore(std::vector<RandomForestRegressor> forests,
+               std::vector<double> sigmas) {
+    forests_ = std::move(forests);
+    sigmas_ = std::move(sigmas);
+    fitted_ = !forests_.empty();
+  }
+
+  /// Application descriptor used as RFR input: observable without running
+  /// the application (datasize, class, stage structure, operator mix).
+  static std::vector<double> DescribeApp(const spark::ApplicationSpec& app,
+                                         const spark::DataSpec& data,
+                                         const spark::ClusterEnv& env);
+
+ private:
+  CandidateGenOptions options_;
+  bool fitted_ = false;
+  std::vector<RandomForestRegressor> forests_;  ///< one per knob.
+  std::vector<double> sigmas_;                  ///< sigma^d per knob.
+};
+
+}  // namespace lite
+
+#endif  // LITE_LITE_CANDIDATE_GEN_H_

@@ -1,0 +1,239 @@
+#include "lite/dataset.h"
+
+#include <algorithm>
+
+#include "ml/sampling.h"
+#include "util/logging.h"
+
+namespace lite {
+
+std::vector<const spark::ApplicationSpec*> ResolveApps(
+    const std::vector<std::string>& names) {
+  std::vector<const spark::ApplicationSpec*> out;
+  if (names.empty()) {
+    for (const auto& a : spark::AppCatalog::All()) out.push_back(&a);
+    return out;
+  }
+  for (const auto& n : names) {
+    const spark::ApplicationSpec* app = spark::AppCatalog::Find(n);
+    LITE_CHECK(app != nullptr) << "unknown application " << n;
+    out.push_back(app);
+  }
+  return out;
+}
+
+namespace {
+
+/// Evenly subsamples per-iteration stage executions so a run contributes at
+/// most `cap` instances while every stage spec stays represented.
+std::vector<spark::StageRunResult> SubsampleStageRuns(
+    const std::vector<spark::StageRunResult>& runs, size_t cap,
+    size_t num_specs) {
+  if (runs.size() <= cap) return runs;
+  // Always keep the first execution of every spec.
+  std::vector<spark::StageRunResult> kept;
+  std::vector<bool> spec_seen(num_specs, false);
+  std::vector<spark::StageRunResult> rest;
+  for (const auto& r : runs) {
+    if (!spec_seen[r.stage_index]) {
+      spec_seen[r.stage_index] = true;
+      kept.push_back(r);
+    } else {
+      rest.push_back(r);
+    }
+  }
+  if (kept.size() < cap && !rest.empty()) {
+    size_t budget = cap - kept.size();
+    double stride = static_cast<double>(rest.size()) / static_cast<double>(budget);
+    for (size_t i = 0; i < budget; ++i) {
+      kept.push_back(rest[static_cast<size_t>(i * stride)]);
+    }
+  }
+  return kept;
+}
+
+int AppCatalogIndex(const spark::ApplicationSpec* app) {
+  const auto& all = spark::AppCatalog::All();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (&all[i] == app) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<double> RankingCase::TrueTimes() const {
+  std::vector<double> out;
+  out.reserve(candidates.size());
+  for (const auto& c : candidates) out.push_back(c.true_seconds);
+  return out;
+}
+
+Corpus CorpusBuilder::Build(const CorpusOptions& options) const {
+  Corpus corpus;
+  corpus.apps = ResolveApps(options.apps);
+  corpus.max_code_tokens = options.max_code_tokens;
+  corpus.bow_dims = options.bow_dims;
+
+  // Vocabularies from the training applications only.
+  const spark::Instrumenter& instr = runner_->instrumenter();
+  std::vector<std::vector<std::string>> streams;
+  std::vector<spark::AppArtifacts> artifacts;
+  artifacts.reserve(corpus.apps.size());
+  for (const auto* app : corpus.apps) {
+    spark::AppArtifacts art = instr.Instrument(*app);
+    streams.push_back(art.app_code_tokens);
+    for (const auto& s : art.stages) streams.push_back(s.code_tokens);
+    artifacts.push_back(std::move(art));
+  }
+  corpus.vocab = std::make_shared<TokenVocab>(TokenVocab::Build(streams));
+  corpus.op_vocab = std::make_shared<spark::OpVocab>(
+      spark::OpVocab::FromApplications(corpus.apps));
+
+  FeatureExtractor extractor(corpus.vocab.get(), corpus.op_vocab.get(),
+                             options.max_code_tokens, options.bow_dims);
+
+  std::vector<spark::ClusterEnv> clusters = options.clusters;
+  if (clusters.empty()) clusters = spark::ClusterEnv::AllClusters();
+
+  Rng rng(options.seed);
+  const auto& space = spark::KnobSpace::Spark16();
+  int app_instance_id = 0;
+  for (size_t ai = 0; ai < corpus.apps.size(); ++ai) {
+    const spark::ApplicationSpec* app = corpus.apps[ai];
+    int app_id = AppCatalogIndex(app);
+    for (const auto& env : clusters) {
+      for (double size_mb : app->train_sizes_mb) {
+        spark::DataSpec data = app->MakeData(size_mb);
+        std::vector<spark::Config> configs;
+        configs.push_back(space.DefaultConfig());
+        for (size_t k = 0; k < options.configs_per_setting; ++k) {
+          configs.push_back(space.RandomConfig(&rng));
+        }
+        for (const auto& config : configs) {
+          spark::AppRunResult run =
+              runner_->cost_model().Run(*app, data, env, config);
+          if (run.failed) continue;  // failed trials yield no stage labels.
+          std::vector<spark::StageRunResult> kept = SubsampleStageRuns(
+              run.stage_runs, options.max_stage_instances_per_run,
+              app->stages.size());
+          std::vector<StageInstance> instances = extractor.ExtractRun(
+              *app, artifacts[ai], data, env, config, kept, run.total_seconds,
+              app_instance_id, app_id);
+          corpus.instances.insert(corpus.instances.end(), instances.begin(),
+                                  instances.end());
+          ++app_instance_id;
+        }
+      }
+    }
+  }
+  corpus.num_app_instances = static_cast<size_t>(app_instance_id);
+  return corpus;
+}
+
+CandidateEval CorpusBuilder::FeaturizeCandidate(
+    const Corpus& corpus, const spark::ApplicationSpec& app,
+    const spark::DataSpec& data, const spark::ClusterEnv& env,
+    const spark::Config& config) const {
+  FeatureExtractor extractor(corpus.vocab.get(), corpus.op_vocab.get(),
+                             corpus.max_code_tokens, corpus.bow_dims);
+  spark::AppArtifacts artifacts = runner_->instrumenter().Instrument(app);
+
+  CandidateEval ce;
+  ce.config = config;
+  // One synthetic "first execution" per stage spec; no ground-truth stats.
+  std::vector<spark::StageRunResult> pseudo;
+  int iterations = std::max(
+      1, data.iterations > 0 ? data.iterations : app.default_iterations);
+  for (size_t si = 0; si < app.stages.size(); ++si) {
+    spark::StageRunResult sr;
+    sr.stage_index = si;
+    sr.iteration = 0;
+    pseudo.push_back(sr);
+    ce.stage_reps.push_back(app.stages[si].per_iteration ? iterations : 1);
+  }
+  ce.stage_instances = extractor.ExtractRun(
+      app, artifacts, data, env, config, pseudo, /*app_total_seconds=*/0.0,
+      /*app_instance_id=*/-1, AppCatalogIndex(&app));
+  return ce;
+}
+
+std::vector<RankingCase> CorpusBuilder::BuildRankingCases(
+    const Corpus& corpus, const std::vector<std::string>& apps,
+    const spark::ClusterEnv& env, double (*size_of)(const spark::ApplicationSpec&),
+    size_t num_candidates, uint64_t seed) const {
+  FeatureExtractor extractor(corpus.vocab.get(), corpus.op_vocab.get(),
+                             corpus.max_code_tokens, corpus.bow_dims);
+  const auto& space = spark::KnobSpace::Spark16();
+  Rng rng(seed);
+  std::vector<RankingCase> cases;
+  for (const auto* app : ResolveApps(apps)) {
+    RankingCase rc;
+    rc.app = app;
+    rc.env = env;
+    rc.data = app->MakeData(size_of(*app));
+    spark::AppArtifacts artifacts = runner_->instrumenter().Instrument(*app);
+    int app_id = AppCatalogIndex(app);
+
+    size_t half = num_candidates / 2;
+    std::vector<std::vector<double>> unit =
+        RandomSample(num_candidates - half, space.size(), &rng);
+    std::vector<std::vector<double>> lhs =
+        LatinHypercubeSample(std::max<size_t>(half, 1), space.size(), &rng);
+    unit.insert(unit.end(), lhs.begin(), lhs.end());
+
+    for (const auto& u : unit) {
+      spark::Config config = space.Denormalize(u);
+      spark::AppRunResult run = runner_->cost_model().Run(*app, rc.data, env, config);
+      CandidateEval ce;
+      ce.config = config;
+      ce.failed = run.failed;
+      ce.true_seconds = run.failed
+                            ? runner_->cost_model().options().failure_cap_seconds
+                            : run.total_seconds;
+      // One query instance per stage spec (first execution), with reps.
+      // Failed runs stop early and would otherwise contribute fewer stage
+      // instances, biasing stage-level predicted totals low — exactly the
+      // wrong direction for a failure. Featurize every stage spec,
+      // synthesizing zero-stat entries for stages the run never reached.
+      std::vector<spark::StageRunResult> first_per_spec;
+      std::vector<int> reps(app->stages.size(), 0);
+      std::vector<bool> seen(app->stages.size(), false);
+      for (const auto& sr : run.stage_runs) {
+        ++reps[sr.stage_index];
+        if (!seen[sr.stage_index]) {
+          seen[sr.stage_index] = true;
+          first_per_spec.push_back(sr);
+        }
+      }
+      int iterations = std::max(
+          1, rc.data.iterations > 0 ? rc.data.iterations
+                                    : app->default_iterations);
+      for (size_t si = 0; si < app->stages.size(); ++si) {
+        if (!seen[si]) {
+          spark::StageRunResult pseudo;
+          pseudo.stage_index = si;
+          first_per_spec.push_back(pseudo);
+        }
+        if (reps[si] == 0) {
+          reps[si] = app->stages[si].per_iteration ? iterations : 1;
+        }
+      }
+      std::sort(first_per_spec.begin(), first_per_spec.end(),
+                [](const spark::StageRunResult& a, const spark::StageRunResult& b) {
+                  return a.stage_index < b.stage_index;
+                });
+      ce.stage_instances = extractor.ExtractRun(
+          *app, artifacts, rc.data, env, config, first_per_spec,
+          ce.true_seconds, /*app_instance_id=*/-1, app_id);
+      for (const auto& inst : ce.stage_instances) {
+        ce.stage_reps.push_back(std::max(reps[inst.stage_index], 1));
+      }
+      rc.candidates.push_back(std::move(ce));
+    }
+    cases.push_back(std::move(rc));
+  }
+  return cases;
+}
+
+}  // namespace lite

@@ -1,0 +1,106 @@
+// Corpus construction: the offline training-data collection loop of
+// Section II (sample knobs, run applications on *small* datasets, extract
+// stage-level instances) and the gold-standard ranking cases used by the
+// evaluation (Section V-C).
+#ifndef LITE_LITE_DATASET_H_
+#define LITE_LITE_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lite/features.h"
+#include "sparksim/runner.h"
+
+namespace lite {
+
+struct CorpusOptions {
+  /// Applications to include (names or abbrevs); empty = whole catalog.
+  /// Cold-start experiments exclude the held-out application here, which
+  /// also excludes it from the token/op vocabularies.
+  std::vector<std::string> apps;
+  /// Clusters whose training instances are collected.
+  std::vector<spark::ClusterEnv> clusters;
+  /// Sampled configurations per (application, datasize, cluster); the
+  /// default configuration is always added on top.
+  size_t configs_per_setting = 3;
+  /// Cap on stage instances kept per application run (per-iteration stages
+  /// are evenly subsampled; all distinct stage specs are always kept).
+  size_t max_stage_instances_per_run = 12;
+  size_t max_code_tokens = 200;
+  size_t bow_dims = 64;
+  uint64_t seed = 17;
+};
+
+/// The training corpus DS plus the vocabularies it induced.
+struct Corpus {
+  std::vector<StageInstance> instances;
+  std::shared_ptr<TokenVocab> vocab;
+  std::shared_ptr<spark::OpVocab> op_vocab;
+  std::vector<const spark::ApplicationSpec*> apps;
+  size_t max_code_tokens = 200;
+  size_t bow_dims = 64;
+  size_t num_app_instances = 0;  ///< distinct application runs.
+
+  std::unique_ptr<FeatureExtractor> MakeExtractor() const {
+    return std::make_unique<FeatureExtractor>(vocab.get(), op_vocab.get(),
+                                              max_code_tokens, bow_dims);
+  }
+};
+
+/// One candidate configuration evaluated against ground truth: its true
+/// (simulated) application time and one query instance per stage spec.
+struct CandidateEval {
+  spark::Config config;
+  double true_seconds = 0.0;
+  bool failed = false;
+  std::vector<StageInstance> stage_instances;  ///< one per stage spec.
+  std::vector<int> stage_reps;                 ///< executions per stage spec.
+};
+
+/// A gold-standard ranking case: candidates for one (app, data, env).
+struct RankingCase {
+  const spark::ApplicationSpec* app = nullptr;
+  spark::ClusterEnv env;
+  spark::DataSpec data;
+  std::vector<CandidateEval> candidates;
+
+  std::vector<double> TrueTimes() const;
+};
+
+class CorpusBuilder {
+ public:
+  explicit CorpusBuilder(const spark::SparkRunner* runner) : runner_(runner) {}
+
+  /// Runs the offline collection phase and assembles the corpus.
+  Corpus Build(const CorpusOptions& options) const;
+
+  /// Builds ranking cases for `apps` on `env` at datasize
+  /// `size_of(app)` with `num_candidates` sampled configurations (half
+  /// uniform, half Latin hypercube). The vocabularies of `corpus` are used
+  /// to featurize, so unseen apps exercise the oov path.
+  std::vector<RankingCase> BuildRankingCases(
+      const Corpus& corpus, const std::vector<std::string>& apps,
+      const spark::ClusterEnv& env, double (*size_of)(const spark::ApplicationSpec&),
+      size_t num_candidates, uint64_t seed) const;
+
+  /// Featurizes one candidate configuration for an application (used by the
+  /// online recommender, where no ground-truth run exists: stage statistics
+  /// are zeroed, matching NECS's "no monitor-UI features" design).
+  CandidateEval FeaturizeCandidate(const Corpus& corpus,
+                                   const spark::ApplicationSpec& app,
+                                   const spark::DataSpec& data,
+                                   const spark::ClusterEnv& env,
+                                   const spark::Config& config) const;
+
+ private:
+  const spark::SparkRunner* runner_;
+};
+
+/// Resolves names/abbrevs to catalog entries; empty input = whole catalog.
+std::vector<const spark::ApplicationSpec*> ResolveApps(
+    const std::vector<std::string>& names);
+
+}  // namespace lite
+
+#endif  // LITE_LITE_DATASET_H_

@@ -1,0 +1,149 @@
+#include "lite/embedding_pretrain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lite {
+
+namespace {
+
+/// Orthonormalizes the columns of q (modified Gram-Schmidt).
+void Orthonormalize(std::vector<std::vector<double>>* q) {
+  for (size_t j = 0; j < q->size(); ++j) {
+    auto& col = (*q)[j];
+    for (size_t k = 0; k < j; ++k) {
+      const auto& prev = (*q)[k];
+      double dot = 0.0;
+      for (size_t i = 0; i < col.size(); ++i) dot += col[i] * prev[i];
+      for (size_t i = 0; i < col.size(); ++i) col[i] -= dot * prev[i];
+    }
+    double norm = 0.0;
+    for (double v : col) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      // Degenerate direction; reset to a unit basis vector.
+      std::fill(col.begin(), col.end(), 0.0);
+      col[j % col.size()] = 1.0;
+    } else {
+      for (double& v : col) v /= norm;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor EmbeddingPretrainer::Fit(
+    const TokenVocab& vocab,
+    const std::vector<std::vector<std::string>>& streams) const {
+  size_t v = vocab.size();
+  size_t d = std::min(options_.dim, v);
+  LITE_CHECK(v >= 2) << "vocabulary too small to pretrain";
+
+  // ---- Co-occurrence counts over a symmetric window.
+  std::vector<std::vector<double>> cooc(v, std::vector<double>(v, 0.0));
+  std::vector<double> totals(v, 0.0);
+  double grand_total = 0.0;
+  for (const auto& stream : streams) {
+    std::vector<int> ids;
+    ids.reserve(stream.size());
+    for (const auto& tok : stream) ids.push_back(vocab.IdOf(tok));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      size_t lo = i > options_.window ? i - options_.window : 0;
+      size_t hi = std::min(ids.size(), i + options_.window + 1);
+      for (size_t j = lo; j < hi; ++j) {
+        if (j == i) continue;
+        size_t a = static_cast<size_t>(ids[i]);
+        size_t b = static_cast<size_t>(ids[j]);
+        cooc[a][b] += 1.0;
+        totals[a] += 1.0;
+        grand_total += 1.0;
+      }
+    }
+  }
+  if (grand_total <= 0.0) return Tensor(v, options_.dim);
+
+  // ---- Positive PMI: max(0, log(p(a,b) / (p(a) p(b)))).
+  std::vector<std::vector<double>> ppmi(v, std::vector<double>(v, 0.0));
+  for (size_t a = 0; a < v; ++a) {
+    if (totals[a] <= 0.0) continue;
+    for (size_t b = 0; b < v; ++b) {
+      if (cooc[a][b] <= 0.0 || totals[b] <= 0.0) continue;
+      double pmi = std::log((cooc[a][b] * grand_total) /
+                            (totals[a] * totals[b]));
+      if (pmi > 0.0) ppmi[a][b] = pmi;
+    }
+  }
+
+  // ---- Rank-d factorization by subspace (power) iteration on the
+  // symmetric matrix M = (PPMI + PPMI^T)/2: columns of Q converge to the
+  // top-d eigenvectors; embeddings = Q * sqrt(|Lambda|).
+  for (size_t a = 0; a < v; ++a) {
+    for (size_t b = a + 1; b < v; ++b) {
+      double m = 0.5 * (ppmi[a][b] + ppmi[b][a]);
+      ppmi[a][b] = m;
+      ppmi[b][a] = m;
+    }
+  }
+  Rng rng(options_.seed);
+  std::vector<std::vector<double>> q(d, std::vector<double>(v));
+  for (auto& col : q) {
+    for (double& x : col) x = rng.Gaussian();
+  }
+  Orthonormalize(&q);
+  std::vector<std::vector<double>> mq(d, std::vector<double>(v));
+  for (size_t iter = 0; iter < options_.power_iterations; ++iter) {
+    for (size_t j = 0; j < d; ++j) {
+      for (size_t a = 0; a < v; ++a) {
+        double s = 0.0;
+        const auto& row = ppmi[a];
+        const auto& col = q[j];
+        for (size_t b = 0; b < v; ++b) s += row[b] * col[b];
+        mq[j][a] = s;
+      }
+    }
+    std::swap(q, mq);
+    Orthonormalize(&q);
+  }
+  // Rayleigh quotients approximate the eigenvalues.
+  std::vector<double> eigen(d, 0.0);
+  for (size_t j = 0; j < d; ++j) {
+    double num = 0.0;
+    for (size_t a = 0; a < v; ++a) {
+      double s = 0.0;
+      for (size_t b = 0; b < v; ++b) s += ppmi[a][b] * q[j][b];
+      num += q[j][a] * s;
+    }
+    eigen[j] = num;
+  }
+
+  Tensor out(v, options_.dim);
+  for (size_t a = 0; a < v; ++a) {
+    for (size_t j = 0; j < d; ++j) {
+      double scale = std::sqrt(std::fabs(eigen[j]));
+      out.at(a, j) = static_cast<float>(q[j][a] * scale * 0.1);
+    }
+  }
+  // Padding embeds to zero.
+  for (size_t j = 0; j < options_.dim; ++j) out.at(TokenVocab::kPadId, j) = 0.0f;
+  return out;
+}
+
+double EmbeddingPretrainer::CosineSimilarity(const Tensor& embeddings, int id_a,
+                                             int id_b) {
+  size_t d = embeddings.shape()[1];
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    double a = embeddings.at(static_cast<size_t>(id_a), j);
+    double b = embeddings.at(static_cast<size_t>(id_b), j);
+    dot += a * b;
+    na += a * a;
+    nb += b * b;
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace lite

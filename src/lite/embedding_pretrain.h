@@ -1,0 +1,50 @@
+// Token-embedding pretraining (extension; the paper trains embeddings
+// end-to-end and mentions pretraining only for its "SCG" scheduler
+// baseline). Classic count-based pipeline:
+//
+//   co-occurrence counts (symmetric window) -> PPMI matrix ->
+//   rank-D factorization by orthogonal power iteration -> embeddings.
+//
+// The resulting vectors can initialize TextCnnEncoder's embedding table via
+// NecsModel parameters, which speeds up early training on small corpora
+// (see bench_ext_pretrain).
+#ifndef LITE_LITE_EMBEDDING_PRETRAIN_H_
+#define LITE_LITE_EMBEDDING_PRETRAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "lite/vocab.h"
+#include "tensor/tensor.h"
+
+namespace lite {
+
+struct PretrainOptions {
+  size_t window = 2;        ///< co-occurrence window (each side).
+  size_t dim = 16;          ///< embedding dimension.
+  size_t power_iterations = 30;
+  uint64_t seed = 71;
+};
+
+/// Dense PPMI-factorization pretrainer. Rows of the result align with
+/// TokenVocab ids (0 = pad and 1 = oov get zero/near-zero vectors).
+class EmbeddingPretrainer {
+ public:
+  explicit EmbeddingPretrainer(PretrainOptions options = {})
+      : options_(options) {}
+
+  /// Learns embeddings from token streams encoded against `vocab`.
+  /// Returns a (vocab.size() x dim) tensor.
+  Tensor Fit(const TokenVocab& vocab,
+             const std::vector<std::vector<std::string>>& streams) const;
+
+  /// Cosine similarity between two embedding rows (test/inspection helper).
+  static double CosineSimilarity(const Tensor& embeddings, int id_a, int id_b);
+
+ private:
+  PretrainOptions options_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_LITE_EMBEDDING_PRETRAIN_H_

@@ -1,0 +1,105 @@
+#include "lite/features.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lite {
+
+std::vector<double> NormalizeDataFeature(const spark::DataSpec& data) {
+  return {std::log1p(static_cast<double>(data.num_rows)) / 20.0,
+          static_cast<double>(data.num_cols) / 100.0,
+          static_cast<double>(data.iterations) / 30.0,
+          static_cast<double>(data.partitions) / 100.0};
+}
+
+std::vector<double> NormalizeEnvFeature(const spark::ClusterEnv& env) {
+  return {static_cast<double>(env.num_nodes) / 8.0,
+          static_cast<double>(env.cores_per_node) / 16.0,
+          env.cpu_ghz / 4.0,
+          env.memory_gb_per_node / 64.0,
+          env.memory_mts / 3000.0,
+          env.network_gbps / 10.0};
+}
+
+double TargetFromSeconds(double seconds) { return std::log1p(seconds); }
+double SecondsFromTarget(double target) { return std::expm1(target); }
+
+GcnGraph BuildGcnGraph(const StageInstance& inst, size_t op_vocab_size) {
+  GcnGraph g;
+  std::vector<int> labels = inst.dag_node_ids;
+  LITE_CHECK(!labels.empty()) << "instance with empty DAG";
+  g.node_features = OneHotNodeFeatures(labels, op_vocab_size);
+  std::vector<std::pair<int, int>> edges(inst.dag.edges.begin(),
+                                         inst.dag.edges.end());
+  g.norm_adjacency = NormalizedAdjacency(labels.size(), edges);
+  return g;
+}
+
+std::vector<StageInstance> FeatureExtractor::ExtractRun(
+    const spark::ApplicationSpec& app, const spark::AppArtifacts& artifacts,
+    const spark::DataSpec& data, const spark::ClusterEnv& env,
+    const spark::Config& config,
+    const std::vector<spark::StageRunResult>& stage_runs,
+    double app_total_seconds, int app_instance_id, int app_id) const {
+  const auto& space = spark::KnobSpace::Spark16();
+  std::vector<double> knobs_norm = space.Normalize(config);
+  std::vector<double> data_feat = NormalizeDataFeature(data);
+  std::vector<double> env_feat = NormalizeEnvFeature(env);
+
+  std::vector<StageInstance> out;
+  out.reserve(stage_runs.size());
+  for (const auto& sr : stage_runs) {
+    LITE_CHECK(sr.stage_index < artifacts.stages.size()) << "stage index OOB";
+    const spark::StageArtifacts& sa = artifacts.stages[sr.stage_index];
+
+    StageInstance inst;
+    inst.app_name = app.name;
+    inst.app_abbrev = app.abbrev;
+    inst.stage_index = sr.stage_index;
+    inst.iteration = sr.iteration;
+    inst.app_instance_id = app_instance_id;
+    inst.cluster_name = env.name;
+    inst.app_id = app_id;
+    inst.size_mb = data.size_mb;
+
+    inst.code_token_ids = vocab_->Encode(sa.code_tokens, max_code_tokens_);
+    inst.dag = sa.dag;
+    inst.dag_node_ids = op_vocab_->EncodeNodes(sa.dag);
+    inst.knobs = knobs_norm;
+    inst.data_feat = data_feat;
+    inst.env_feat = env_feat;
+
+    inst.stage_seconds = sr.seconds;
+    inst.y = TargetFromSeconds(sr.seconds);
+    inst.app_total_seconds = app_total_seconds;
+
+    // "S" baseline features: the stage-level statistics visible in the
+    // Spark monitor UI after a real execution — the paper names "stage
+    // input"-style quantities. Outcome-revealing internals (spill bytes,
+    // memory pressure) are intentionally excluded: a tuner consuming them
+    // would be reading the answer off the run it is trying to predict.
+    inst.stage_stats = {std::log1p(sr.input_mb) / 12.0,
+                        std::log1p(sr.shuffle_mb) / 12.0,
+                        std::log1p(static_cast<double>(sr.tasks)) / 8.0,
+                        std::log1p(static_cast<double>(sr.waves)) / 6.0};
+
+    inst.code_bow = vocab_->BagOfWords(sa.code_tokens, bow_dims_);
+    inst.app_code_bow = vocab_->BagOfWords(artifacts.app_code_tokens, bow_dims_);
+
+    // DAG operator histogram (stand-in for the paper's pretrained "SCG"
+    // scheduler embedding; see DESIGN.md).
+    inst.dag_histogram.assign(op_vocab_->size() + 1, 0.0);
+    for (int id : inst.dag_node_ids) {
+      size_t idx = std::min<size_t>(static_cast<size_t>(id), op_vocab_->size());
+      inst.dag_histogram[idx] += 1.0;
+    }
+    double nn = static_cast<double>(inst.dag_node_ids.size());
+    for (double& v : inst.dag_histogram) v /= nn;
+
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+}  // namespace lite

@@ -1,0 +1,100 @@
+// Training-instance construction (Section III-C): each stage-level instance
+// is the six-tuple x_i = <o_i, C_i, G_i, d_i, e_i, y_i> — knob values, code
+// features, scheduler features, data features, environment features, and the
+// stage-level execution time.
+#ifndef LITE_LITE_FEATURES_H_
+#define LITE_LITE_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "lite/vocab.h"
+#include "nn/encoders.h"
+#include "sparksim/application.h"
+#include "sparksim/cost_model.h"
+#include "sparksim/dag.h"
+#include "sparksim/environment.h"
+#include "sparksim/instrumentation.h"
+#include "sparksim/knob.h"
+
+namespace lite {
+
+/// One stage-level training/query instance.
+struct StageInstance {
+  // Identity / bookkeeping.
+  std::string app_name;
+  std::string app_abbrev;
+  size_t stage_index = 0;
+  int iteration = 0;
+  int app_instance_id = -1;  ///< the paper's w(x_i): which app run it came from.
+  std::string cluster_name;
+
+  // Model inputs.
+  std::vector<int> code_token_ids;  ///< C_i: stage code, fixed width.
+  std::vector<int> dag_node_ids;    ///< G_i node labels (op-vocab ids).
+  spark::StageDag dag;              ///< raw DAG (edges used to build A-hat).
+  std::vector<double> knobs;        ///< o_i normalized to [0,1]^16.
+  std::vector<double> data_feat;    ///< d_i, normalized (4 dims).
+  std::vector<double> env_feat;     ///< e_i, normalized (6 dims).
+
+  // Target: log1p(stage seconds) — log space stabilizes the MSE across the
+  // 3 orders of magnitude between training and testing jobs.
+  double y = 0.0;
+  double stage_seconds = 0.0;
+
+  // Extras for the non-code baselines of Table VII.
+  std::vector<double> stage_stats;  ///< "S" features (monitor-UI statistics).
+  std::vector<double> code_bow;     ///< "SC" stage-code bag-of-words.
+  std::vector<double> app_code_bow; ///< "WC" application-code bag-of-words.
+  std::vector<double> dag_histogram;///< op-count histogram ("SCG" stand-in).
+  int app_id = -1;                  ///< catalog index (one-hot for "W").
+
+  double app_total_seconds = 0.0;   ///< whole-run time (for top-40% filters).
+  double size_mb = 0.0;
+};
+
+/// Normalization constants shared by every model.
+std::vector<double> NormalizeDataFeature(const spark::DataSpec& data);
+std::vector<double> NormalizeEnvFeature(const spark::ClusterEnv& env);
+
+/// Target transform helpers.
+double TargetFromSeconds(double seconds);
+double SecondsFromTarget(double target);
+
+/// Converts a stage instance's DAG into GCN inputs given the op vocabulary
+/// size S (features have S+1 columns; unseen ops hit the oov column).
+GcnGraph BuildGcnGraph(const StageInstance& inst, size_t op_vocab_size);
+
+/// Extracts every feature view for the stages of one simulated application
+/// run. `artifacts` must come from Instrumenter::Instrument(app).
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const TokenVocab* vocab, const spark::OpVocab* op_vocab,
+                   size_t max_code_tokens, size_t bow_dims = 64)
+      : vocab_(vocab), op_vocab_(op_vocab), max_code_tokens_(max_code_tokens),
+        bow_dims_(bow_dims) {}
+
+  /// Builds instances for every stage execution of a run. `stage_runs` may
+  /// be subsampled by the caller.
+  std::vector<StageInstance> ExtractRun(
+      const spark::ApplicationSpec& app, const spark::AppArtifacts& artifacts,
+      const spark::DataSpec& data, const spark::ClusterEnv& env,
+      const spark::Config& config,
+      const std::vector<spark::StageRunResult>& stage_runs,
+      double app_total_seconds, int app_instance_id, int app_id) const;
+
+  size_t max_code_tokens() const { return max_code_tokens_; }
+  size_t bow_dims() const { return bow_dims_; }
+  const TokenVocab* vocab() const { return vocab_; }
+  const spark::OpVocab* op_vocab() const { return op_vocab_; }
+
+ private:
+  const TokenVocab* vocab_;
+  const spark::OpVocab* op_vocab_;
+  size_t max_code_tokens_;
+  size_t bow_dims_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_LITE_FEATURES_H_

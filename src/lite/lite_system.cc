@@ -1,0 +1,127 @@
+#include "lite/lite_system.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace lite {
+
+LiteSystem::LiteSystem(const spark::SparkRunner* runner, LiteOptions options)
+    : runner_(runner), options_(std::move(options)), acg_(options_.acg) {}
+
+void LiteSystem::TrainOffline() {
+  CorpusBuilder builder(runner_);
+  corpus_ = builder.Build(options_.corpus);
+  LITE_CHECK(!corpus_.instances.empty()) << "offline corpus is empty";
+  NecsTrainer trainer;
+  models_.clear();
+  size_t k = std::max<size_t>(options_.ensemble_size, 1);
+  for (size_t m = 0; m < k; ++m) {
+    auto model = std::make_unique<NecsModel>(corpus_.vocab->size(),
+                                             corpus_.op_vocab->size(),
+                                             options_.necs,
+                                             options_.seed + 1000 * m);
+    TrainOptions topts = options_.train;
+    topts.seed = options_.train.seed + 31 * m;
+    trainer.Train(model.get(), corpus_.instances, topts);
+    models_.push_back(std::move(model));
+  }
+  acg_.Fit(corpus_);
+  trained_ = true;
+}
+
+LiteSystem::Recommendation LiteSystem::Recommend(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env) const {
+  LITE_CHECK(trained_) << "Recommend before TrainOffline";
+  auto t0 = std::chrono::steady_clock::now();
+
+  Rng rng(options_.seed ^ std::hash<std::string>{}(app.name));
+  // Candidates come exclusively from the adaptive search region (Eq. 5
+  // samples from S_w). Deliberately NOT adding the default configuration:
+  // NECS is trained on small-data instances where frugal defaults are
+  // near-optimal, so at large scale it would misrank the default ahead of
+  // the region's configurations — the region is the scale-migration device.
+  std::vector<spark::Config> candidates =
+      acg_.SampleCandidates(app, data, env, options_.num_candidates, &rng);
+  // Resource-manager pre-check: drop configurations the cluster cannot even
+  // schedule (static, no execution involved). Keep the raw set if the
+  // filter would empty it.
+  {
+    std::vector<spark::Config> feasible;
+    for (const auto& c : candidates) {
+      if (spark::PlacementFeasible(env, c)) feasible.push_back(c);
+    }
+    if (!feasible.empty()) candidates = std::move(feasible);
+  }
+
+  CorpusBuilder builder(runner_);
+  Recommendation best;
+  best.predicted_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& config : candidates) {
+    CandidateEval ce = builder.FeaturizeCandidate(corpus_, app, data, env, config);
+    // Ensemble-mean in log space (geometric mean of predicted times).
+    double score = 0.0;
+    for (const auto& model : models_) {
+      score += std::log1p(std::max(model->PredictAppSeconds(ce), 0.0));
+    }
+    score /= static_cast<double>(models_.size());
+    double predicted = std::expm1(score);
+    if (predicted < best.predicted_seconds) {
+      best.predicted_seconds = predicted;
+      best.config = config;
+    }
+  }
+  best.candidates_evaluated = candidates.size();
+  auto t1 = std::chrono::steady_clock::now();
+  best.recommend_wall_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  return best;
+}
+
+void LiteSystem::CollectFeedback(const spark::ApplicationSpec& app,
+                                 const spark::DataSpec& data,
+                                 const spark::ClusterEnv& env,
+                                 const spark::Config& config) {
+  LITE_CHECK(trained_) << "CollectFeedback before TrainOffline";
+  // Execute the application with the recommended configuration and extract
+  // target-domain stage instances from the observed run.
+  spark::AppRunResult run = runner_->cost_model().Run(app, data, env, config);
+  if (run.failed) return;  // failed runs carry no stage-level labels.
+  spark::AppArtifacts artifacts = runner_->instrumenter().Instrument(app);
+  FeatureExtractor extractor(corpus_.vocab.get(), corpus_.op_vocab.get(),
+                             corpus_.max_code_tokens, corpus_.bow_dims);
+  // Subsample to the same per-run cap as offline training.
+  std::vector<spark::StageRunResult> kept;
+  size_t cap = options_.corpus.max_stage_instances_per_run;
+  std::vector<bool> seen(app.stages.size(), false);
+  for (const auto& sr : run.stage_runs) {
+    if (kept.size() >= cap) break;
+    if (!seen[sr.stage_index] || kept.size() < cap / 2) {
+      seen[sr.stage_index] = true;
+      kept.push_back(sr);
+    }
+  }
+  std::vector<StageInstance> instances = extractor.ExtractRun(
+      app, artifacts, data, env, config, kept, run.total_seconds,
+      /*app_instance_id=*/-2, /*app_id=*/-1);
+  feedback_.insert(feedback_.end(), instances.begin(), instances.end());
+
+  if (feedback_.size() >= options_.update_batch) ForceAdaptiveUpdate();
+}
+
+UpdateStats LiteSystem::ForceAdaptiveUpdate() {
+  LITE_CHECK(trained_) << "update before TrainOffline";
+  UpdateStats stats;
+  if (feedback_.empty()) return stats;
+  AdaptiveModelUpdater updater(options_.update);
+  for (auto& model : models_) {
+    stats = updater.Update(model.get(), corpus_.instances, feedback_);
+  }
+  feedback_.clear();
+  return stats;
+}
+
+}  // namespace lite

@@ -1,0 +1,100 @@
+// LITE: the end-to-end lightweight knob recommender (Fig. 2).
+//
+// Offline phase: collect training instances on small datasets, build
+// vocabularies, train NECS, fit Adaptive Candidate Generation.
+// Online phase: for a given (application, data, environment) —
+//   Step 1 collect application features (instrument if cold-start),
+//   Step 2 generate knob candidates in the adaptive search region,
+//   Step 3 rank candidates by aggregated predicted stage time (Eq. 5),
+//   Step 4 collect feedback and periodically fine-tune via the adversarial
+//          Adaptive Model Update.
+#ifndef LITE_LITE_LITE_SYSTEM_H_
+#define LITE_LITE_LITE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lite/candidate_gen.h"
+#include "lite/model_update.h"
+#include "lite/necs.h"
+
+namespace lite {
+
+struct LiteOptions {
+  CorpusOptions corpus;
+  NecsConfig necs;
+  TrainOptions train;
+  CandidateGenOptions acg;
+  UpdateOptions update;
+  /// Candidates sampled from the adaptive region per recommendation.
+  size_t num_candidates = 60;
+  /// Feedback batch size that triggers an adaptive update.
+  size_t update_batch = 10;
+  /// Number of independently seeded NECS models; candidate ranking uses the
+  /// ensemble-mean log prediction. 1 reproduces the paper's single model;
+  /// small ensembles damp the winner's curse of argmin over a noisy
+  /// estimator and noticeably improve recommendations (see DESIGN.md).
+  size_t ensemble_size = 1;
+  uint64_t seed = 41;
+};
+
+class LiteSystem {
+ public:
+  LiteSystem(const spark::SparkRunner* runner, LiteOptions options);
+
+  /// Runs the offline phase. Must be called before Recommend().
+  void TrainOffline();
+
+  struct Recommendation {
+    spark::Config config;
+    double predicted_seconds = 0.0;
+    double recommend_wall_seconds = 0.0;  ///< actual wall-clock of this call.
+    size_t candidates_evaluated = 0;
+  };
+
+  /// Online recommendation for an application (warm- or cold-start: the
+  /// featurization uses the trained vocabularies, mapping unseen tokens and
+  /// operations to oov).
+  Recommendation Recommend(const spark::ApplicationSpec& app,
+                           const spark::DataSpec& data,
+                           const spark::ClusterEnv& env) const;
+
+  /// Step 4: records feedback (observed run of the recommended config) as
+  /// target-domain instances; triggers an adversarial update every
+  /// `update_batch` feedbacks.
+  void CollectFeedback(const spark::ApplicationSpec& app,
+                       const spark::DataSpec& data, const spark::ClusterEnv& env,
+                       const spark::Config& config);
+
+  /// Forces an adaptive update with the currently collected feedback.
+  UpdateStats ForceAdaptiveUpdate();
+
+  const Corpus& corpus() const { return corpus_; }
+  NecsModel* model() { return models_.empty() ? nullptr : models_[0].get(); }
+  const NecsModel* model() const {
+    return models_.empty() ? nullptr : models_[0].get();
+  }
+  size_t ensemble_size() const { return models_.size(); }
+  /// Access to individual ensemble members (snapshot serialization).
+  const NecsModel* ensemble_member(size_t i) const {
+    return i < models_.size() ? models_[i].get() : nullptr;
+  }
+  const CandidateGenerator& candidate_generator() const { return acg_; }
+  bool trained() const { return trained_; }
+  size_t pending_feedback() const { return feedback_.size(); }
+  const LiteOptions& options() const { return options_; }
+
+ private:
+  const spark::SparkRunner* runner_;
+  LiteOptions options_;
+  Corpus corpus_;
+  std::vector<std::unique_ptr<NecsModel>> models_;
+  CandidateGenerator acg_;
+  std::vector<StageInstance> feedback_;  ///< target domain DT.
+  bool trained_ = false;
+};
+
+}  // namespace lite
+
+#endif  // LITE_LITE_LITE_SYSTEM_H_

@@ -1,0 +1,107 @@
+#include "lite/model_update.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace lite {
+
+using namespace ops;
+
+UpdateStats AdaptiveModelUpdater::Update(
+    NecsModel* model, const std::vector<StageInstance>& source,
+    const std::vector<StageInstance>& target) const {
+  LITE_CHECK(!target.empty()) << "AdaptiveModelUpdater: empty target domain";
+  LITE_CHECK(!source.empty()) << "AdaptiveModelUpdater: empty source domain";
+
+  Rng rng(options_.seed);
+  Mlp discriminator(model->hidden_dim(), 2, 1, &rng, /*sigmoid_output=*/false);
+
+  std::vector<VarPtr> all_params = model->Params();
+  {
+    auto dp = discriminator.Params();
+    all_params.insert(all_params.end(), dp.begin(), dp.end());
+  }
+  Adam adam(all_params, options_.lr);
+
+  UpdateStats stats;
+  size_t source_budget = std::min(
+      source.size(),
+      static_cast<size_t>(options_.source_per_target *
+                          static_cast<double>(target.size())) +
+          1);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Epoch sample: all target instances + a fresh random source subset.
+    struct Item {
+      const StageInstance* inst;
+      float domain;  // 1 = source, 0 = target.
+    };
+    std::vector<Item> items;
+    items.reserve(target.size() + source_budget);
+    for (const auto& t : target) items.push_back({&t, 0.0f});
+    for (size_t idx : rng.SampleWithoutReplacement(source.size(), source_budget)) {
+      items.push_back({&source[idx], 1.0f});
+    }
+    rng.Shuffle(&items);
+
+    double pred_loss_sum = 0.0, disc_loss_sum = 0.0;
+    size_t count = 0;
+    size_t pos = 0;
+    while (pos < items.size()) {
+      size_t end = std::min(pos + options_.batch_size, items.size());
+      float inv = 1.0f / static_cast<float>(end - pos);
+      adam.ZeroGrad();
+      for (size_t b = pos; b < end; ++b) {
+        const StageInstance& inst = *items[b].inst;
+        NecsModel::ForwardResult fwd = model->Forward(inst);
+
+        Tensor target_t(static_cast<size_t>(1));
+        target_t[0] = static_cast<float>(inst.y);
+        VarPtr l_p = MseLoss(fwd.pred, target_t);
+
+        VarPtr reversed = GradReverse(fwd.hidden, options_.lambda);
+        VarPtr logit = discriminator.Predict(reversed);
+        VarPtr l_d = BceWithLogitsLoss(logit, items[b].domain);
+
+        VarPtr loss =
+            Scale(Add(l_p, Scale(l_d, options_.disc_weight)), inv);
+        Backward(loss);
+        pred_loss_sum += l_p->value[0];
+        disc_loss_sum += l_d->value[0];
+        ++count;
+      }
+      adam.ClipGradNorm(options_.grad_clip);
+      adam.Step();
+      pos = end;
+    }
+    stats.prediction_loss.push_back(pred_loss_sum / std::max<size_t>(count, 1));
+    stats.discriminator_loss.push_back(disc_loss_sum / std::max<size_t>(count, 1));
+  }
+
+  // Final domain accuracy: how well the discriminator still separates
+  // domains (0.5 means the representations have become domain-invariant).
+  size_t correct = 0, total = 0;
+  for (const auto& t : target) {
+    NecsModel::ForwardResult fwd = model->Forward(t);
+    VarPtr logit = discriminator.Predict(fwd.hidden);
+    if (logit->value[0] < 0.0f) ++correct;
+    ++total;
+  }
+  for (size_t idx :
+       rng.SampleWithoutReplacement(source.size(), std::min(source.size(), target.size()))) {
+    NecsModel::ForwardResult fwd = model->Forward(source[idx]);
+    VarPtr logit = discriminator.Predict(fwd.hidden);
+    if (logit->value[0] >= 0.0f) ++correct;
+    ++total;
+  }
+  stats.final_domain_accuracy =
+      total > 0 ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+
+  model->InvalidateCache();
+  return stats;
+}
+
+}  // namespace lite

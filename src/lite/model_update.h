@@ -1,0 +1,60 @@
+// Adaptive Model Update (Section IV-B): domain-adversarial fine-tuning.
+// Source domain DS = offline training instances (small data); target domain
+// DT = online feedback (large data). Eq. 8's minimax
+//
+//   L = min_Theta max_Omega ( L_p + L_D )
+//
+// is optimized in a single backward pass per instance via a gradient-
+// reversal layer between NECS's hidden embedding h_i and the discriminator:
+// the discriminator minimizes its classification loss while NECS receives
+// the reversed gradient and learns domain-invariant representations,
+// alongside the prediction loss L_p on both domains.
+#ifndef LITE_LITE_MODEL_UPDATE_H_
+#define LITE_LITE_MODEL_UPDATE_H_
+
+#include <memory>
+#include <vector>
+
+#include "lite/necs.h"
+
+namespace lite {
+
+struct UpdateOptions {
+  size_t epochs = 5;
+  float lr = 5e-4f;
+  size_t batch_size = 16;
+  float grad_clip = 5.0f;
+  /// Gradient-reversal strength (the adversarial weight).
+  float lambda = 0.5f;
+  /// Weight of the discriminator loss in the total objective.
+  float disc_weight = 0.5f;
+  /// Source instances sampled per target instance (keeps epochs cheap when
+  /// DS is much larger than DT).
+  double source_per_target = 2.0;
+  uint64_t seed = 37;
+};
+
+struct UpdateStats {
+  std::vector<double> prediction_loss;      ///< per epoch, DS ∪ DT.
+  std::vector<double> discriminator_loss;   ///< per epoch.
+  double final_domain_accuracy = 0.0;       ///< ~0.5 = domains aligned.
+};
+
+class AdaptiveModelUpdater {
+ public:
+  explicit AdaptiveModelUpdater(UpdateOptions options = {})
+      : options_(options) {}
+
+  /// Fine-tunes `model` in place. Target instances carry observed execution
+  /// times (the collected tuning feedback), so L_p covers both domains.
+  UpdateStats Update(NecsModel* model,
+                     const std::vector<StageInstance>& source,
+                     const std::vector<StageInstance>& target) const;
+
+ private:
+  UpdateOptions options_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_LITE_MODEL_UPDATE_H_

@@ -1,0 +1,146 @@
+#include "lite/necs.h"
+
+#include <cmath>
+
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace lite {
+
+using namespace ops;
+
+double StageEstimator::PredictAppSeconds(const CandidateEval& candidate) const {
+  double total = 0.0;
+  for (size_t i = 0; i < candidate.stage_instances.size(); ++i) {
+    double target = PredictTarget(candidate.stage_instances[i]);
+    double reps = i < candidate.stage_reps.size()
+                      ? static_cast<double>(candidate.stage_reps[i])
+                      : 1.0;
+    total += SecondsFromTarget(target) * reps;
+  }
+  return total;
+}
+
+NecsModel::NecsModel(size_t token_vocab_size, size_t op_vocab_size,
+                     NecsConfig config, uint64_t seed)
+    : config_(config), op_vocab_size_(op_vocab_size) {
+  Rng rng(seed);
+  cnn_ = std::make_unique<TextCnnEncoder>(token_vocab_size, config.emb_dim,
+                                          config.cnn_widths, config.cnn_kernels,
+                                          config.code_dim, &rng);
+  gcn_ = std::make_unique<GcnEncoder>(op_vocab_size + 1, config.gcn_hidden,
+                                      config.gcn_layers, &rng);
+  size_t input_dim = 4 + 6 + spark::kNumKnobs + config.code_dim + config.gcn_hidden;
+  mlp_ = std::make_unique<Mlp>(input_dim, config.mlp_hidden, 1, &rng);
+}
+
+VarPtr NecsModel::AssembleInput(const StageInstance& inst, const VarPtr& h_code,
+                                const VarPtr& h_dag) const {
+  VarPtr d = Input(Tensor::FromVector(inst.data_feat));
+  VarPtr e = Input(Tensor::FromVector(inst.env_feat));
+  VarPtr o = Input(Tensor::FromVector(inst.knobs));
+  return Concat({d, e, o, h_code, h_dag});
+}
+
+NecsModel::ForwardResult NecsModel::Forward(const StageInstance& inst) const {
+  VarPtr h_code = config_.use_code_encoder
+                      ? cnn_->Forward(inst.code_token_ids)
+                      : Input(Tensor(config_.code_dim));
+  VarPtr h_dag;
+  if (config_.use_dag_encoder) {
+    GcnGraph graph = BuildGcnGraph(inst, op_vocab_size_);
+    h_dag = gcn_->Forward(graph);
+  } else {
+    h_dag = Input(Tensor(config_.gcn_hidden));
+  }
+  MlpOutput out = mlp_->Forward(AssembleInput(inst, h_code, h_dag));
+  return {out.output, out.hidden_concat};
+}
+
+double NecsModel::PredictTarget(const StageInstance& inst) const {
+  std::string key = inst.app_name + "#" + std::to_string(inst.stage_index);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    VarPtr h_code = config_.use_code_encoder
+                        ? cnn_->Forward(inst.code_token_ids)
+                        : Input(Tensor(config_.code_dim));
+    VarPtr h_dag;
+    if (config_.use_dag_encoder) {
+      GcnGraph graph = BuildGcnGraph(inst, op_vocab_size_);
+      h_dag = gcn_->Forward(graph);
+    } else {
+      h_dag = Input(Tensor(config_.gcn_hidden));
+    }
+    it = cache_.emplace(key, std::make_pair(h_code->value, h_dag->value)).first;
+  }
+  VarPtr h_code = Input(it->second.first);
+  VarPtr h_dag = Input(it->second.second);
+  MlpOutput out = mlp_->Forward(AssembleInput(inst, h_code, h_dag));
+  return out.output->value[0];
+}
+
+void NecsModel::SetTokenEmbeddings(const Tensor& embeddings) {
+  VarPtr table = cnn_->embedding();
+  LITE_CHECK(table->value.SameShape(embeddings))
+      << "pretrained embedding shape " << embeddings.ShapeString()
+      << " != " << table->value.ShapeString();
+  table->value = embeddings;
+  InvalidateCache();
+}
+
+std::vector<VarPtr> NecsModel::Params() const {
+  std::vector<VarPtr> out;
+  for (const Module* m :
+       {static_cast<const Module*>(cnn_.get()),
+        static_cast<const Module*>(gcn_.get()),
+        static_cast<const Module*>(mlp_.get())}) {
+    auto p = m->Params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<double> NecsTrainer::Train(NecsModel* model,
+                                       const std::vector<StageInstance>& instances,
+                                       const TrainOptions& options) const {
+  LITE_CHECK(!instances.empty()) << "training on empty corpus";
+  Adam adam(model->Params(), options.lr);
+  Rng rng(options.seed);
+  std::vector<size_t> order(instances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<double> epoch_losses;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double loss_sum = 0.0;
+    size_t pos = 0;
+    while (pos < order.size()) {
+      size_t batch_end = std::min(pos + options.batch_size, order.size());
+      float inv_batch = 1.0f / static_cast<float>(batch_end - pos);
+      adam.ZeroGrad();
+      for (size_t b = pos; b < batch_end; ++b) {
+        const StageInstance& inst = instances[order[b]];
+        NecsModel::ForwardResult fwd = model->Forward(inst);
+        Tensor target(static_cast<size_t>(1));
+        target[0] = static_cast<float>(inst.y);
+        VarPtr loss = Scale(MseLoss(fwd.pred, target), inv_batch);
+        Backward(loss);
+        loss_sum += static_cast<double>(loss->value[0]);
+      }
+      adam.ClipGradNorm(options.grad_clip);
+      adam.Step();
+      pos = batch_end;
+    }
+    double num_batches = std::ceil(static_cast<double>(order.size()) /
+                                   static_cast<double>(options.batch_size));
+    double mean_loss = loss_sum / num_batches;
+    epoch_losses.push_back(mean_loss);
+    if (options.verbose) {
+      LITE_INFO << "NECS epoch " << epoch << " loss " << mean_loss;
+    }
+  }
+  model->InvalidateCache();
+  return epoch_losses;
+}
+
+}  // namespace lite

@@ -1,0 +1,117 @@
+// NECS: Neural Estimator via Code and Scheduler representation
+// (Section III). The composite model:
+//
+//   h_code = ReLU(W^CNN · flat(maxpool(Conv1D(C_i))))        (Eq. 1)
+//   h_DAG  = maxpool(GCN(V_i, A_i))                          (Eq. 2)
+//   y_hat  = towerMLP(concat(d_i, e_i, o_i, h_code, h_DAG))  (Eq. 3)
+//
+// trained with squared loss (Eq. 4). Targets live in log1p(seconds) space.
+#ifndef LITE_LITE_NECS_H_
+#define LITE_LITE_NECS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lite/dataset.h"
+#include "lite/features.h"
+#include "nn/encoders.h"
+#include "nn/layers.h"
+
+namespace lite {
+
+struct NecsConfig {
+  size_t emb_dim = 16;                     ///< D: token embedding size.
+  std::vector<size_t> cnn_widths = {3, 4, 5};
+  size_t cnn_kernels = 16;                 ///< I per width.
+  size_t code_dim = 32;                    ///< h_code size.
+  size_t gcn_hidden = 24;                  ///< h_DAG size.
+  size_t gcn_layers = 2;
+  size_t mlp_hidden = 3;                   ///< tower depth L.
+  /// Ablation switches: disabling an encoder replaces its representation
+  /// with zeros (the MLP still sees the same input width).
+  bool use_code_encoder = true;
+  bool use_dag_encoder = true;
+};
+
+/// Abstract stage-level performance estimator: every Table VII competitor
+/// implements this, so the ranking harness treats them uniformly.
+class StageEstimator {
+ public:
+  virtual ~StageEstimator() = default;
+  /// Predicted target (log1p seconds) for one stage instance.
+  virtual double PredictTarget(const StageInstance& inst) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Predicted whole-application time: per-stage-spec predictions scaled by
+  /// execution counts and summed (Eq. 5's aggregation).
+  double PredictAppSeconds(const CandidateEval& candidate) const;
+};
+
+class NecsModel : public Module, public StageEstimator {
+ public:
+  /// `token_vocab_size` from the training TokenVocab (includes pad/oov);
+  /// `op_vocab_size` is S (one-hot width becomes S+1).
+  NecsModel(size_t token_vocab_size, size_t op_vocab_size, NecsConfig config,
+            uint64_t seed);
+
+  struct ForwardResult {
+    VarPtr pred;    ///< scalar, log1p-seconds space.
+    VarPtr hidden;  ///< concatenated MLP hidden activations (for Eq. 8).
+  };
+
+  /// Full autodiff forward pass (training / fine-tuning).
+  ForwardResult Forward(const StageInstance& inst) const;
+
+  /// Inference-only prediction with per-(app,stage) encoder caching — code
+  /// and DAG encodings do not depend on knobs, so candidate ranking reuses
+  /// them. Call InvalidateCache() after any parameter change.
+  double PredictTarget(const StageInstance& inst) const override;
+  std::string name() const override { return "NECS"; }
+
+  void InvalidateCache() const { cache_.clear(); }
+
+  /// Replaces the token-embedding table with pretrained vectors (rows must
+  /// match the token vocabulary, columns the configured emb_dim). Call
+  /// before training; see lite/embedding_pretrain.h.
+  void SetTokenEmbeddings(const Tensor& embeddings);
+
+  std::vector<VarPtr> Params() const override;
+  size_t hidden_dim() const { return mlp_->hidden_concat_dim(); }
+  size_t op_vocab_size() const { return op_vocab_size_; }
+  const NecsConfig& config() const { return config_; }
+
+ private:
+  VarPtr AssembleInput(const StageInstance& inst, const VarPtr& h_code,
+                       const VarPtr& h_dag) const;
+
+  NecsConfig config_;
+  size_t op_vocab_size_;
+  std::unique_ptr<TextCnnEncoder> cnn_;
+  std::unique_ptr<GcnEncoder> gcn_;
+  std::unique_ptr<Mlp> mlp_;
+  mutable std::unordered_map<std::string, std::pair<Tensor, Tensor>> cache_;
+};
+
+struct TrainOptions {
+  size_t epochs = 12;
+  float lr = 1e-3f;
+  size_t batch_size = 16;
+  float grad_clip = 5.0f;
+  uint64_t seed = 23;
+  bool verbose = false;
+};
+
+/// Minibatch Adam training on the squared loss (Eq. 4).
+class NecsTrainer {
+ public:
+  /// Returns mean training loss per epoch.
+  std::vector<double> Train(NecsModel* model,
+                            const std::vector<StageInstance>& instances,
+                            const TrainOptions& options) const;
+};
+
+}  // namespace lite
+
+#endif  // LITE_LITE_NECS_H_

@@ -1,0 +1,200 @@
+#include "lite/snapshot.h"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "ml/serialization.h"
+#include "nn/module.h"
+#include "util/logging.h"
+
+namespace lite {
+
+namespace {
+constexpr char kMetaMagic[] = "litesnapshot";
+constexpr char kMetaVersion[] = "v1";
+}  // namespace
+
+bool SaveSnapshot(const LiteSystem& system, const std::string& dir) {
+  if (!system.trained()) return false;
+  const Corpus& corpus = system.corpus();
+  const NecsConfig& necs = system.options().necs;
+
+  {
+    std::ofstream meta(dir + "/meta.txt");
+    if (!meta) return false;
+    meta << kMetaMagic << " " << kMetaVersion << "\n";
+    meta << "ensemble " << system.ensemble_size() << "\n";
+    meta << "max_code_tokens " << corpus.max_code_tokens << "\n";
+    meta << "bow_dims " << corpus.bow_dims << "\n";
+    meta << "num_candidates " << system.options().num_candidates << "\n";
+    meta << "seed " << system.options().seed << "\n";
+    meta << "necs " << necs.emb_dim << " " << necs.cnn_kernels << " "
+         << necs.code_dim << " " << necs.gcn_hidden << " " << necs.gcn_layers
+         << " " << necs.mlp_hidden << " " << necs.cnn_widths.size();
+    for (size_t w : necs.cnn_widths) meta << " " << w;
+    meta << "\n";
+    meta << "encoders " << (necs.use_code_encoder ? 1 : 0) << " "
+         << (necs.use_dag_encoder ? 1 : 0) << "\n";
+    if (!meta) return false;
+  }
+  {
+    std::ofstream out(dir + "/vocab.txt");
+    if (!out) return false;
+    corpus.vocab->Serialize(&out);
+    if (!out) return false;
+  }
+  {
+    std::ofstream out(dir + "/opvocab.txt");
+    if (!out) return false;
+    corpus.op_vocab->Serialize(&out);
+    if (!out) return false;
+  }
+  for (size_t i = 0; i < system.ensemble_size(); ++i) {
+    const NecsModel* m = system.ensemble_member(i);
+    if (m == nullptr) return false;
+    if (!SaveParams(m->Params(), dir + "/necs_" + std::to_string(i) + ".txt")) {
+      return false;
+    }
+  }
+  {
+    std::ofstream out(dir + "/acg.txt");
+    if (!out) return false;
+    const CandidateGenerator& acg = system.candidate_generator();
+    out << "acg v1 " << acg.forests().size() << "\n";
+    out.precision(17);
+    for (double s : acg.sigmas()) out << s << " ";
+    out << "\n";
+    for (const auto& f : acg.forests()) SerializeForest(f, &out);
+    if (!out) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<LoadedLiteModel> LoadedLiteModel::Load(
+    const std::string& dir, const spark::SparkRunner* runner) {
+  auto loaded = std::unique_ptr<LoadedLiteModel>(new LoadedLiteModel());
+  loaded->runner_ = runner;
+
+  size_t ensemble = 0;
+  NecsConfig necs;
+  {
+    std::ifstream meta(dir + "/meta.txt");
+    if (!meta) return nullptr;
+    std::string magic, version, key;
+    if (!(meta >> magic >> version) || magic != kMetaMagic ||
+        version != kMetaVersion) {
+      return nullptr;
+    }
+    size_t widths = 0;
+    while (meta >> key) {
+      if (key == "ensemble") {
+        meta >> ensemble;
+      } else if (key == "max_code_tokens") {
+        meta >> loaded->feature_space_.max_code_tokens;
+      } else if (key == "bow_dims") {
+        meta >> loaded->feature_space_.bow_dims;
+      } else if (key == "num_candidates") {
+        meta >> loaded->num_candidates_;
+      } else if (key == "seed") {
+        meta >> loaded->seed_;
+      } else if (key == "necs") {
+        meta >> necs.emb_dim >> necs.cnn_kernels >> necs.code_dim >>
+            necs.gcn_hidden >> necs.gcn_layers >> necs.mlp_hidden >> widths;
+        necs.cnn_widths.assign(widths, 0);
+        for (auto& w : necs.cnn_widths) meta >> w;
+      } else if (key == "encoders") {
+        int code = 1, dag = 1;
+        meta >> code >> dag;
+        necs.use_code_encoder = code != 0;
+        necs.use_dag_encoder = dag != 0;
+      } else {
+        return nullptr;
+      }
+      if (!meta) return nullptr;
+    }
+    if (ensemble == 0 || ensemble > 64) return nullptr;
+  }
+  {
+    std::ifstream in(dir + "/vocab.txt");
+    auto vocab = std::make_shared<TokenVocab>();
+    if (!in || !TokenVocab::Deserialize(&in, vocab.get())) return nullptr;
+    loaded->feature_space_.vocab = std::move(vocab);
+  }
+  {
+    std::ifstream in(dir + "/opvocab.txt");
+    auto opvocab = std::make_shared<spark::OpVocab>();
+    if (!in || !spark::OpVocab::Deserialize(&in, opvocab.get())) return nullptr;
+    loaded->feature_space_.op_vocab = std::move(opvocab);
+  }
+  for (size_t i = 0; i < ensemble; ++i) {
+    auto model = std::make_unique<NecsModel>(
+        loaded->feature_space_.vocab->size(),
+        loaded->feature_space_.op_vocab->size(), necs, /*seed=*/1);
+    if (!LoadParams(model->Params(), dir + "/necs_" + std::to_string(i) + ".txt")) {
+      return nullptr;
+    }
+    loaded->models_.push_back(std::move(model));
+  }
+  {
+    std::ifstream in(dir + "/acg.txt");
+    if (!in) return nullptr;
+    std::string magic, version;
+    size_t count = 0;
+    if (!(in >> magic >> version >> count) || magic != "acg" || version != "v1") {
+      return nullptr;
+    }
+    if (count != spark::KnobSpace::Spark16().size()) return nullptr;
+    std::vector<double> sigmas(count);
+    for (double& s : sigmas) {
+      if (!(in >> s)) return nullptr;
+    }
+    std::vector<RandomForestRegressor> forests(count);
+    for (auto& f : forests) {
+      if (!DeserializeForest(&in, &f)) return nullptr;
+    }
+    loaded->acg_.Restore(std::move(forests), std::move(sigmas));
+  }
+  return loaded;
+}
+
+LiteSystem::Recommendation LoadedLiteModel::Recommend(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env) const {
+  LITE_CHECK(!models_.empty()) << "LoadedLiteModel not initialized";
+  auto t0 = std::chrono::steady_clock::now();
+  Rng rng(seed_ ^ std::hash<std::string>{}(app.name));
+  std::vector<spark::Config> candidates =
+      acg_.SampleCandidates(app, data, env, num_candidates_, &rng);
+  {
+    std::vector<spark::Config> feasible;
+    for (const auto& c : candidates) {
+      if (spark::PlacementFeasible(env, c)) feasible.push_back(c);
+    }
+    if (!feasible.empty()) candidates = std::move(feasible);
+  }
+  CorpusBuilder builder(runner_);
+  LiteSystem::Recommendation best;
+  best.predicted_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& config : candidates) {
+    CandidateEval ce =
+        builder.FeaturizeCandidate(feature_space_, app, data, env, config);
+    double score = 0.0;
+    for (const auto& m : models_) {
+      score += std::log1p(std::max(m->PredictAppSeconds(ce), 0.0));
+    }
+    score /= static_cast<double>(models_.size());
+    double predicted = std::expm1(score);
+    if (predicted < best.predicted_seconds) {
+      best.predicted_seconds = predicted;
+      best.config = config;
+    }
+  }
+  best.candidates_evaluated = candidates.size();
+  auto t1 = std::chrono::steady_clock::now();
+  best.recommend_wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return best;
+}
+
+}  // namespace lite

@@ -1,0 +1,60 @@
+// LiteSystem snapshots: persist a trained system (vocabularies, NECS
+// ensemble weights, candidate-generator forests) to a directory and restore
+// it later without re-running the offline collection phase. This is how a
+// production deployment ships the tuner: train once where the small-data
+// cluster lives, load everywhere else.
+//
+// Layout under <dir>/:
+//   meta.txt        format version, NECS config, ensemble size, dims
+//   vocab.txt       token vocabulary
+//   opvocab.txt     DAG operation vocabulary
+//   necs_<i>.txt    parameter tensors of ensemble member i
+//   acg.txt         per-knob random forests + sigmas
+//
+// A snapshot restores everything Recommend() needs. The offline instance
+// corpus itself is not persisted, so adaptive updates after a restore use
+// only newly collected feedback as the source-domain sample (documented
+// limitation).
+#ifndef LITE_LITE_SNAPSHOT_H_
+#define LITE_LITE_SNAPSHOT_H_
+
+#include <string>
+
+#include "lite/lite_system.h"
+
+namespace lite {
+
+/// Saves a trained system. Returns false on I/O failure (partial files may
+/// remain). The directory must already exist.
+bool SaveSnapshot(const LiteSystem& system, const std::string& dir);
+
+/// A restored, recommend-ready subset of LiteSystem.
+class LoadedLiteModel {
+ public:
+  /// Loads from a snapshot directory; returns nullptr on failure.
+  static std::unique_ptr<LoadedLiteModel> Load(const std::string& dir,
+                                               const spark::SparkRunner* runner);
+
+  /// Same contract as LiteSystem::Recommend.
+  LiteSystem::Recommendation Recommend(const spark::ApplicationSpec& app,
+                                       const spark::DataSpec& data,
+                                       const spark::ClusterEnv& env) const;
+
+  size_t ensemble_size() const { return models_.size(); }
+  const NecsModel* model(size_t i = 0) const { return models_[i].get(); }
+  const Corpus& feature_space() const { return feature_space_; }
+
+ private:
+  LoadedLiteModel() = default;
+
+  const spark::SparkRunner* runner_ = nullptr;
+  Corpus feature_space_;  ///< vocabularies + dims only (no instances).
+  std::vector<std::unique_ptr<NecsModel>> models_;
+  CandidateGenerator acg_;
+  size_t num_candidates_ = 60;
+  uint64_t seed_ = 41;
+};
+
+}  // namespace lite
+
+#endif  // LITE_LITE_SNAPSHOT_H_

@@ -1,0 +1,81 @@
+#include "lite/vocab.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+namespace lite {
+
+TokenVocab TokenVocab::Build(
+    const std::vector<std::vector<std::string>>& streams, size_t min_count) {
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& s : streams) {
+    for (const auto& t : s) ++counts[t];
+  }
+  std::vector<std::pair<std::string, size_t>> sorted(counts.begin(), counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  TokenVocab v;
+  int next = 2;  // 0 pad, 1 oov.
+  for (const auto& [tok, cnt] : sorted) {
+    if (cnt < min_count) break;
+    v.ids_[tok] = next++;
+  }
+  return v;
+}
+
+int TokenVocab::IdOf(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kOovId : it->second;
+}
+
+std::vector<int> TokenVocab::Encode(const std::vector<std::string>& tokens,
+                                    size_t max_len) const {
+  std::vector<int> out(max_len, kPadId);
+  size_t n = std::min(tokens.size(), max_len);
+  for (size_t i = 0; i < n; ++i) out[i] = IdOf(tokens[i]);
+  return out;
+}
+
+std::vector<double> TokenVocab::BagOfWords(
+    const std::vector<std::string>& tokens, size_t dims) const {
+  std::vector<double> out(dims, 0.0);
+  if (tokens.empty() || dims == 0) return out;
+  for (const auto& t : tokens) {
+    size_t bucket = static_cast<size_t>(IdOf(t)) % dims;
+    out[bucket] += 1.0;
+  }
+  for (double& v : out) v /= static_cast<double>(tokens.size());
+  return out;
+}
+
+void TokenVocab::Serialize(std::ostream* os) const {
+  *os << "litevocab v1 " << ids_.size() << "\n";
+  // Stable order for reproducible files.
+  std::vector<std::pair<std::string, int>> sorted(ids_.begin(), ids_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (const auto& [tok, id] : sorted) *os << tok << " " << id << "\n";
+}
+
+bool TokenVocab::Deserialize(std::istream* is, TokenVocab* vocab) {
+  std::string magic, version;
+  size_t count = 0;
+  if (!(*is >> magic >> version >> count)) return false;
+  if (magic != "litevocab" || version != "v1" || count > 10'000'000) return false;
+  std::unordered_map<std::string, int> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string tok;
+    int id = 0;
+    if (!(*is >> tok >> id)) return false;
+    if (id < 2 || static_cast<size_t>(id) >= count + 2) return false;
+    if (!ids.emplace(tok, id).second) return false;
+  }
+  vocab->ids_ = std::move(ids);
+  return true;
+}
+
+}  // namespace lite

@@ -1,0 +1,54 @@
+// Token vocabulary for program code. Ids: 0 = padding, 1 = out-of-vocabulary
+// (the oov token of Section III-B that lets NECS handle unseen tokens in
+// cold-start applications), 2.. = corpus tokens by frequency.
+#ifndef LITE_LITE_VOCAB_H_
+#define LITE_LITE_VOCAB_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lite {
+
+class TokenVocab {
+ public:
+  static constexpr int kPadId = 0;
+  static constexpr int kOovId = 1;
+
+  TokenVocab() = default;
+
+  /// Builds from token streams, keeping tokens with frequency >= min_count,
+  /// most frequent first.
+  static TokenVocab Build(const std::vector<std::vector<std::string>>& streams,
+                          size_t min_count = 1);
+
+  /// Id of a token (kOovId when unknown).
+  int IdOf(const std::string& token) const;
+
+  /// Encodes a stream, truncating/padding to max_len (pad id 0), exactly the
+  /// paper's fixed-width token matrix convention (N tokens, zero padding).
+  std::vector<int> Encode(const std::vector<std::string>& tokens,
+                          size_t max_len) const;
+
+  /// Hashed bag-of-words histogram of dimension `dims` (the "WC"/"SC"
+  /// baseline features); counts are L1-normalized.
+  std::vector<double> BagOfWords(const std::vector<std::string>& tokens,
+                                 size_t dims) const;
+
+  /// Total ids including pad and oov.
+  size_t size() const { return ids_.size() + 2; }
+  size_t vocabulary_words() const { return ids_.size(); }
+
+  /// Line-oriented (de)serialization: "token id" pairs. Readers reject
+  /// duplicate tokens and ids outside [2, count+1].
+  void Serialize(std::ostream* os) const;
+  static bool Deserialize(std::istream* is, TokenVocab* vocab);
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_LITE_VOCAB_H_

@@ -1,0 +1,152 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace lite {
+
+namespace {
+double MeanOf(const std::vector<double>& y, const std::vector<size_t>& idx) {
+  double s = 0.0;
+  for (size_t i : idx) s += y[i];
+  return idx.empty() ? 0.0 : s / static_cast<double>(idx.size());
+}
+}  // namespace
+
+void DecisionTreeRegressor::Fit(const std::vector<std::vector<double>>& x,
+                                const std::vector<double>& y,
+                                const std::vector<size_t>& indices, Rng* rng) {
+  LITE_CHECK(x.size() == y.size()) << "tree x/y size mismatch";
+  LITE_CHECK(!indices.empty()) << "tree fit on empty index set";
+  nodes_.clear();
+  std::vector<size_t> idx = indices;
+  Build(x, y, idx, 0, rng);
+}
+
+void DecisionTreeRegressor::Fit(const std::vector<std::vector<double>>& x,
+                                const std::vector<double>& y, Rng* rng) {
+  std::vector<size_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  Fit(x, y, idx, rng);
+}
+
+int DecisionTreeRegressor::Build(const std::vector<std::vector<double>>& x,
+                                 const std::vector<double>& y,
+                                 std::vector<size_t>& indices, size_t depth,
+                                 Rng* rng) {
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = MeanOf(y, indices);
+
+  if (depth >= options_.max_depth || indices.size() < options_.min_samples_split) {
+    return node_id;
+  }
+
+  size_t num_features = x[0].size();
+  std::vector<size_t> features;
+  if (options_.max_features == 0 || options_.max_features >= num_features) {
+    features.resize(num_features);
+    std::iota(features.begin(), features.end(), 0);
+  } else {
+    features = rng->SampleWithoutReplacement(num_features, options_.max_features);
+  }
+
+  // Best split search: for each candidate feature, sort sample indices by the
+  // feature and scan with prefix sums; cost O(F * n log n).
+  double best_gain = 0.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  double total_sum = 0.0, total_sq = 0.0;
+  for (size_t i : indices) {
+    total_sum += y[i];
+    total_sq += y[i] * y[i];
+  }
+  double n_total = static_cast<double>(indices.size());
+  double parent_sse = total_sq - total_sum * total_sum / n_total;
+
+  std::vector<size_t> sorted = indices;
+  for (size_t f : features) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return x[a][f] < x[b][f];
+    });
+    double left_sum = 0.0, left_sq = 0.0;
+    for (size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+      size_t i = sorted[pos];
+      left_sum += y[i];
+      left_sq += y[i] * y[i];
+      // Can't split between equal feature values.
+      if (x[sorted[pos]][f] == x[sorted[pos + 1]][f]) continue;
+      size_t n_left = pos + 1;
+      size_t n_right = sorted.size() - n_left;
+      if (n_left < options_.min_samples_leaf || n_right < options_.min_samples_leaf) {
+        continue;
+      }
+      double right_sum = total_sum - left_sum;
+      double right_sq = total_sq - left_sq;
+      double sse_left = left_sq - left_sum * left_sum / static_cast<double>(n_left);
+      double sse_right = right_sq - right_sum * right_sum / static_cast<double>(n_right);
+      double gain = parent_sse - sse_left - sse_right;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (x[sorted[pos]][f] + x[sorted[pos + 1]][f]);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : indices) {
+    if (x[i][static_cast<size_t>(best_feature)] <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  int left = Build(x, y, left_idx, depth + 1, rng);
+  int right = Build(x, y, right_idx, depth + 1, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTreeRegressor::Predict(const std::vector<double>& features) const {
+  LITE_CHECK(!nodes_.empty()) << "predict before fit";
+  int cur = 0;
+  while (nodes_[static_cast<size_t>(cur)].feature >= 0) {
+    const Node& n = nodes_[static_cast<size_t>(cur)];
+    size_t f = static_cast<size_t>(n.feature);
+    cur = (features[f] <= n.threshold) ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(cur)].value;
+}
+
+size_t DecisionTreeRegressor::Depth() const {
+  // Iterative depth computation over the implicit tree.
+  if (nodes_.empty()) return 0;
+  size_t max_depth = 0;
+  std::vector<std::pair<int, size_t>> stack{{0, 1}};
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& n = nodes_[static_cast<size_t>(id)];
+    if (n.feature >= 0) {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace lite

@@ -1,0 +1,66 @@
+// CART regression trees: the base learner for both RandomForestRegressor
+// (Adaptive Candidate Generation, Section IV-A) and GbdtRegressor (the
+// LightGBM-style baseline of Table VII).
+#ifndef LITE_ML_DECISION_TREE_H_
+#define LITE_ML_DECISION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lite {
+
+/// Training options for a single regression tree.
+struct TreeOptions {
+  size_t max_depth = 8;
+  size_t min_samples_leaf = 2;
+  size_t min_samples_split = 4;
+  /// Number of features considered per split; 0 = all (GBDT), otherwise a
+  /// random subset (random forest style).
+  size_t max_features = 0;
+};
+
+/// Binary regression tree with axis-aligned threshold splits minimizing
+/// weighted child variance (equivalently maximizing variance reduction).
+class DecisionTreeRegressor {
+ public:
+  explicit DecisionTreeRegressor(TreeOptions options = {}) : options_(options) {}
+
+  /// Fits on rows `indices` of `x` (each row one sample) against `y`.
+  /// Pass all indices for a plain fit; bootstrap samples for forests.
+  void Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y, const std::vector<size_t>& indices,
+           Rng* rng);
+
+  /// Convenience overload fitting on all samples.
+  void Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y, Rng* rng);
+
+  double Predict(const std::vector<double>& features) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t Depth() const;
+
+  /// Flat node storage (exposed for serialization).
+  struct Node {
+    int feature = -1;       // -1 for leaves.
+    double threshold = 0.0;  // go left if x[feature] <= threshold.
+    double value = 0.0;      // leaf prediction.
+    int left = -1, right = -1;
+  };
+  const std::vector<Node>& nodes() const { return nodes_; }
+  void set_nodes(std::vector<Node> nodes) { nodes_ = std::move(nodes); }
+
+ private:
+  int Build(const std::vector<std::vector<double>>& x,
+            const std::vector<double>& y, std::vector<size_t>& indices,
+            size_t depth, Rng* rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_ML_DECISION_TREE_H_

@@ -1,0 +1,130 @@
+#include "ml/gaussian_process.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace lite {
+
+double GaussianProcess::Kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  double d2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  double ls2 = options_.length_scale * options_.length_scale;
+  return options_.signal_variance * std::exp(-0.5 * d2 / ls2);
+}
+
+double GaussianProcess::LogMarginalLikelihood(
+    const std::vector<std::vector<double>>& x,
+    const std::vector<double>& y_standardized, const GpOptions& options) {
+  size_t n = x.size();
+  GaussianProcess probe(options);
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double v = probe.Kernel(x[i], x[j]);
+      k.at(i, j) = v;
+      k.at(j, i) = v;
+    }
+    k.at(i, i) += options.noise_variance;
+  }
+  Matrix chol = k;
+  if (!CholeskyDecompose(&chol)) return -1e18;
+  std::vector<double> alpha =
+      BackSubstitute(chol, ForwardSubstitute(chol, y_standardized));
+  double fit_term = 0.0;
+  for (size_t i = 0; i < n; ++i) fit_term += y_standardized[i] * alpha[i];
+  double logdet = 0.0;
+  for (size_t i = 0; i < n; ++i) logdet += std::log(chol.at(i, i));
+  return -0.5 * fit_term - logdet -
+         0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+}
+
+bool GaussianProcess::Fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  LITE_CHECK(!x.empty() && x.size() == y.size()) << "gp fit input";
+  x_ = x;
+  y_mean_ = Mean(y);
+  y_std_ = StdDev(y);
+  if (y_std_ < 1e-12) y_std_ = 1.0;
+
+  if (options_.select_length_scale && !options_.length_scale_grid.empty()) {
+    std::vector<double> ys(x.size());
+    for (size_t i = 0; i < x.size(); ++i) ys[i] = (y[i] - y_mean_) / y_std_;
+    double best_lml = -1e18;
+    double best_ls = options_.length_scale;
+    for (double ls : options_.length_scale_grid) {
+      GpOptions probe = options_;
+      probe.length_scale = ls;
+      double lml = LogMarginalLikelihood(x, ys, probe);
+      if (lml > best_lml) {
+        best_lml = lml;
+        best_ls = ls;
+      }
+    }
+    options_.length_scale = best_ls;
+  }
+
+  size_t n = x.size();
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double v = Kernel(x[i], x[j]);
+      k.at(i, j) = v;
+      k.at(j, i) = v;
+    }
+    k.at(i, i) += options_.noise_variance;
+  }
+  chol_ = k;
+  double jitter = 1e-10;
+  while (!CholeskyDecompose(&chol_)) {
+    if (jitter > 1e-2) return false;
+    chol_ = k;
+    for (size_t i = 0; i < n; ++i) chol_.at(i, i) += jitter;
+    jitter *= 100.0;
+  }
+  std::vector<double> centered(n);
+  for (size_t i = 0; i < n; ++i) centered[i] = (y[i] - y_mean_) / y_std_;
+  alpha_ = BackSubstitute(chol_, ForwardSubstitute(chol_, centered));
+  return true;
+}
+
+GpPrediction GaussianProcess::Predict(const std::vector<double>& x_star) const {
+  LITE_CHECK(!x_.empty()) << "gp predict before fit";
+  size_t n = x_.size();
+  std::vector<double> k_star(n);
+  for (size_t i = 0; i < n; ++i) k_star[i] = Kernel(x_star, x_[i]);
+
+  double mean_std = 0.0;
+  for (size_t i = 0; i < n; ++i) mean_std += k_star[i] * alpha_[i];
+
+  // var = k(x*,x*) - v^T v with v = L^-1 k_star.
+  std::vector<double> v = ForwardSubstitute(chol_, k_star);
+  double vv = 0.0;
+  for (double vi : v) vv += vi * vi;
+  double var_std = Kernel(x_star, x_star) - vv;
+  if (var_std < 0.0) var_std = 0.0;
+
+  GpPrediction out;
+  out.mean = mean_std * y_std_ + y_mean_;
+  out.variance = var_std * y_std_ * y_std_;
+  return out;
+}
+
+double GaussianProcess::ExpectedImprovement(const std::vector<double>& x_star,
+                                            double best_y, double xi) const {
+  GpPrediction p = Predict(x_star);
+  double sigma = std::sqrt(p.variance);
+  if (sigma < 1e-12) return 0.0;
+  // Minimization: improvement = best_y - mean - xi.
+  double imp = best_y - p.mean - xi;
+  double z = imp / sigma;
+  double pdf = std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+  return imp * NormalCdf(z) + sigma * pdf;
+}
+
+}  // namespace lite

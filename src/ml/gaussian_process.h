@@ -1,0 +1,68 @@
+// Exact Gaussian-process regression with an ARD-free RBF kernel plus the
+// Expected Improvement acquisition — the surrogate of the BO(2h) baseline
+// (Section V-B), warm-started OtterTune-style from similar past instances.
+#ifndef LITE_ML_GAUSSIAN_PROCESS_H_
+#define LITE_ML_GAUSSIAN_PROCESS_H_
+
+#include <vector>
+
+#include "ml/linalg.h"
+
+namespace lite {
+
+struct GpOptions {
+  double length_scale = 0.25;   ///< RBF length scale in normalized [0,1]^D space.
+  double signal_variance = 1.0; ///< kernel amplitude.
+  double noise_variance = 1e-4; ///< observation noise added to the diagonal.
+  /// When set, Fit() picks the length scale from `length_scale_grid` by the
+  /// log marginal likelihood of the (standardized) data instead of using
+  /// `length_scale` directly.
+  bool select_length_scale = false;
+  std::vector<double> length_scale_grid = {0.1, 0.2, 0.35, 0.6, 1.0};
+};
+
+/// Prediction with uncertainty.
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpOptions options = {}) : options_(options) {}
+
+  /// Fits the exact GP on inputs in [0,1]^D (callers normalize knobs) and
+  /// standardized targets (Fit internally centers/scales y).
+  /// Returns false if the kernel matrix could not be factorized.
+  bool Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  GpPrediction Predict(const std::vector<double>& x_star) const;
+
+  /// Expected improvement over the incumbent best (minimization). `xi`
+  /// is the exploration margin.
+  double ExpectedImprovement(const std::vector<double>& x_star,
+                             double best_y, double xi = 0.01) const;
+
+  size_t NumPoints() const { return x_.size(); }
+  double length_scale() const { return options_.length_scale; }
+
+  /// Log marginal likelihood of standardized targets under the current
+  /// kernel (used by length-scale selection; exposed for tests).
+  static double LogMarginalLikelihood(const std::vector<std::vector<double>>& x,
+                                      const std::vector<double>& y_standardized,
+                                      const GpOptions& options);
+
+ private:
+  double Kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  GpOptions options_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> alpha_;   // K^-1 (y - mean) in standardized space.
+  Matrix chol_;                 // lower Cholesky of K + noise I.
+  double y_mean_ = 0.0, y_std_ = 1.0;
+};
+
+}  // namespace lite
+
+#endif  // LITE_ML_GAUSSIAN_PROCESS_H_

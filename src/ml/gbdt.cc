@@ -1,0 +1,47 @@
+#include "ml/gbdt.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace lite {
+
+void GbdtRegressor::Fit(const std::vector<std::vector<double>>& x,
+                        const std::vector<double>& y, Rng* rng) {
+  LITE_CHECK(!x.empty() && x.size() == y.size()) << "gbdt fit input";
+  trees_.clear();
+  base_prediction_ = Mean(y);
+  size_t n = x.size();
+  std::vector<double> pred(n, base_prediction_);
+  std::vector<double> residual(n, 0.0);
+
+  size_t sample_n = std::max<size_t>(
+      2, static_cast<size_t>(std::llround(options_.subsample * static_cast<double>(n))));
+
+  for (size_t round = 0; round < options_.num_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) residual[i] = y[i] - pred[i];
+    std::vector<size_t> rows = (sample_n >= n)
+        ? [&] { std::vector<size_t> all(n); std::iota(all.begin(), all.end(), 0); return all; }()
+        : rng->SampleWithoutReplacement(n, sample_n);
+    DecisionTreeRegressor tree(options_.tree);
+    tree.Fit(x, residual, rows, rng);
+    for (size_t i = 0; i < n; ++i) {
+      pred[i] += options_.learning_rate * tree.Predict(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  double sse = 0.0;
+  for (size_t i = 0; i < n; ++i) sse += (y[i] - pred[i]) * (y[i] - pred[i]);
+  train_rmse_ = std::sqrt(sse / static_cast<double>(n));
+}
+
+double GbdtRegressor::Predict(const std::vector<double>& features) const {
+  double s = base_prediction_;
+  for (const auto& t : trees_) s += options_.learning_rate * t.Predict(features);
+  return s;
+}
+
+}  // namespace lite

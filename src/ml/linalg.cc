@@ -1,0 +1,65 @@
+#include "ml/linalg.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lite {
+
+bool CholeskyDecompose(Matrix* a) {
+  LITE_CHECK(a->rows() == a->cols()) << "Cholesky needs square matrix";
+  size_t n = a->rows();
+  for (size_t j = 0; j < n; ++j) {
+    double d = a->at(j, j);
+    for (size_t k = 0; k < j; ++k) d -= a->at(j, k) * a->at(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    double ljj = std::sqrt(d);
+    a->at(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a->at(i, j);
+      for (size_t k = 0; k < j; ++k) s -= a->at(i, k) * a->at(j, k);
+      a->at(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+std::vector<double> ForwardSubstitute(const Matrix& l, const std::vector<double>& b) {
+  size_t n = l.rows();
+  LITE_CHECK(b.size() == n) << "ForwardSubstitute size";
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l.at(i, k) * y[k];
+    y[i] = s / l.at(i, i);
+  }
+  return y;
+}
+
+std::vector<double> BackSubstitute(const Matrix& l, const std::vector<double>& y) {
+  size_t n = l.rows();
+  LITE_CHECK(y.size() == n) << "BackSubstitute size";
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= l.at(k, ii) * x[k];
+    x[ii] = s / l.at(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> SolveSpd(Matrix a, std::vector<double> b) {
+  size_t n = a.rows();
+  double jitter = 1e-10;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    Matrix chol = a;
+    for (size_t i = 0; i < n; ++i) chol.at(i, i) += jitter;
+    if (CholeskyDecompose(&chol)) {
+      return BackSubstitute(chol, ForwardSubstitute(chol, b));
+    }
+    jitter *= 100.0;
+  }
+  return {};
+}
+
+}  // namespace lite

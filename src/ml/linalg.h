@@ -1,0 +1,47 @@
+// Small dense linear algebra for the Gaussian-process surrogate: Cholesky
+// factorization, triangular solves, and SPD system solving.
+#ifndef LITE_ML_LINALG_H_
+#define LITE_ML_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lite {
+
+/// Row-major square/rectangular matrix of doubles (GP math needs the extra
+/// precision that the float Tensor class does not provide).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  std::vector<double>& vec() { return data_; }
+  const std::vector<double>& vec() const { return data_; }
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// In-place Cholesky A = L L^T of a symmetric positive-definite matrix.
+/// Returns false if the matrix is not (numerically) SPD. On success `a`
+/// holds L in its lower triangle (upper untouched).
+bool CholeskyDecompose(Matrix* a);
+
+/// Solves L y = b (forward substitution) given lower-triangular L.
+std::vector<double> ForwardSubstitute(const Matrix& l, const std::vector<double>& b);
+
+/// Solves L^T x = y (back substitution) given lower-triangular L.
+std::vector<double> BackSubstitute(const Matrix& l, const std::vector<double>& y);
+
+/// Solves A x = b for SPD A via Cholesky; jitter is added to the diagonal
+/// on failure (up to a few retries). Returns empty vector if singular.
+std::vector<double> SolveSpd(Matrix a, std::vector<double> b);
+
+}  // namespace lite
+
+#endif  // LITE_ML_LINALG_H_

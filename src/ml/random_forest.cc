@@ -1,0 +1,50 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lite {
+
+void RandomForestRegressor::Fit(const std::vector<std::vector<double>>& x,
+                                const std::vector<double>& y, Rng* rng) {
+  LITE_CHECK(!x.empty() && x.size() == y.size()) << "forest fit input";
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  size_t n = x.size();
+  size_t sample_n = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(options_.subsample * static_cast<double>(n))));
+
+  TreeOptions topts = options_.tree;
+  if (topts.max_features == 0) {
+    // Random-forest default: sqrt(F) features per split (but at least 1).
+    topts.max_features = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(x[0].size()))));
+  }
+
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    std::vector<size_t> boot(sample_n);
+    for (size_t i = 0; i < sample_n; ++i) boot[i] = rng->Index(n);
+    DecisionTreeRegressor tree(topts);
+    tree.Fit(x, y, boot, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForestRegressor::Predict(const std::vector<double>& features) const {
+  LITE_CHECK(!trees_.empty()) << "forest predict before fit";
+  double s = 0.0;
+  for (const auto& t : trees_) s += t.Predict(features);
+  return s / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForestRegressor::PredictPerTree(
+    const std::vector<double>& features) const {
+  std::vector<double> out;
+  out.reserve(trees_.size());
+  for (const auto& t : trees_) out.push_back(t.Predict(features));
+  return out;
+}
+
+}  // namespace lite

@@ -1,0 +1,49 @@
+// Bagged random forest regression — the RFR model of Adaptive Candidate
+// Generation (Section IV-A) that maps (datasize, application) to a knob's
+// promising "mean value".
+#ifndef LITE_ML_RANDOM_FOREST_H_
+#define LITE_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "util/rng.h"
+
+namespace lite {
+
+struct ForestOptions {
+  size_t num_trees = 32;
+  TreeOptions tree;
+  /// Bootstrap-sample fraction per tree.
+  double subsample = 1.0;
+};
+
+class RandomForestRegressor {
+ public:
+  explicit RandomForestRegressor(ForestOptions options = {}) : options_(options) {}
+
+  void Fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y, Rng* rng);
+
+  /// Mean prediction over trees.
+  double Predict(const std::vector<double>& features) const;
+
+  /// Per-tree predictions (lets callers derive ensemble spread).
+  std::vector<double> PredictPerTree(const std::vector<double>& features) const;
+
+  size_t NumTrees() const { return trees_.size(); }
+
+  /// Tree access (exposed for serialization).
+  const std::vector<DecisionTreeRegressor>& trees() const { return trees_; }
+  void set_trees(std::vector<DecisionTreeRegressor> trees) {
+    trees_ = std::move(trees);
+  }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_ML_RANDOM_FOREST_H_

@@ -1,0 +1,51 @@
+#include "ml/sampling.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace lite {
+
+std::vector<std::vector<double>> RandomSample(size_t count, size_t dims, Rng* rng) {
+  std::vector<std::vector<double>> out(count, std::vector<double>(dims));
+  for (auto& row : out) {
+    for (double& v : row) v = rng->Uniform();
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> LatinHypercubeSample(size_t count, size_t dims,
+                                                      Rng* rng) {
+  LITE_CHECK(count > 0) << "LHS count";
+  std::vector<std::vector<double>> out(count, std::vector<double>(dims));
+  std::vector<size_t> perm(count);
+  for (size_t d = 0; d < dims; ++d) {
+    std::iota(perm.begin(), perm.end(), 0);
+    rng->Shuffle(&perm);
+    for (size_t i = 0; i < count; ++i) {
+      double lo = static_cast<double>(perm[i]) / static_cast<double>(count);
+      out[i][d] = lo + rng->Uniform() / static_cast<double>(count);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> GridSample(size_t points_per_dim, size_t dims) {
+  LITE_CHECK(points_per_dim >= 1) << "grid points";
+  size_t total = 1;
+  for (size_t d = 0; d < dims; ++d) total *= points_per_dim;
+  std::vector<std::vector<double>> out(total, std::vector<double>(dims));
+  for (size_t i = 0; i < total; ++i) {
+    size_t rem = i;
+    for (size_t d = 0; d < dims; ++d) {
+      size_t level = rem % points_per_dim;
+      rem /= points_per_dim;
+      out[i][d] = (points_per_dim == 1)
+                      ? 0.5
+                      : static_cast<double>(level) / static_cast<double>(points_per_dim - 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace lite

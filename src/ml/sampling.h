@@ -1,0 +1,28 @@
+// Configuration-space sampling strategies compared in Table VIII(b):
+// uniform random sampling, Latin hypercube sampling (the strategy of
+// AutoTune), and grid sampling. All operate in the unit cube; knob spaces
+// denormalize the results.
+#ifndef LITE_ML_SAMPLING_H_
+#define LITE_ML_SAMPLING_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lite {
+
+/// `count` uniform points in [0,1]^dims.
+std::vector<std::vector<double>> RandomSample(size_t count, size_t dims, Rng* rng);
+
+/// Latin hypercube: each dimension's [0,1] range is divided into `count`
+/// strata; every stratum is hit exactly once per dimension.
+std::vector<std::vector<double>> LatinHypercubeSample(size_t count, size_t dims,
+                                                      Rng* rng);
+
+/// Uniform grid with `points_per_dim` levels per dimension; total size is
+/// points_per_dim^dims (callers keep dims small).
+std::vector<std::vector<double>> GridSample(size_t points_per_dim, size_t dims);
+
+}  // namespace lite
+
+#endif  // LITE_ML_SAMPLING_H_

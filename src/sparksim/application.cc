@@ -1,0 +1,466 @@
+#include "sparksim/application.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lite::spark {
+
+std::string AppClassName(AppClass c) {
+  switch (c) {
+    case AppClass::kMapReduce: return "MapReduce";
+    case AppClass::kMachineLearning: return "ML";
+    case AppClass::kGraph: return "Graph";
+  }
+  return "?";
+}
+
+std::vector<double> DataSpec::FeatureVector() const {
+  return {static_cast<double>(num_rows), static_cast<double>(num_cols),
+          static_cast<double>(iterations), static_cast<double>(partitions)};
+}
+
+size_t ApplicationSpec::StageInstanceCount(int iterations) const {
+  size_t count = 0;
+  for (const auto& s : stages) {
+    count += s.per_iteration ? static_cast<size_t>(std::max(iterations, 1)) : 1;
+  }
+  return count;
+}
+
+DataSpec ApplicationSpec::MakeData(double size_mb) const {
+  DataSpec d;
+  d.size_mb = size_mb;
+  d.num_rows = static_cast<long>(size_mb * 1e6 / bytes_per_row);
+  switch (app_class) {
+    case AppClass::kMapReduce:
+      d.num_cols = 2;
+      d.iterations = 0;  // not applicable.
+      d.partitions = std::max(1, static_cast<int>(std::ceil(size_mb / 128.0)));
+      break;
+    case AppClass::kMachineLearning:
+      d.num_cols = static_cast<int>(bytes_per_row / 8.0);
+      d.iterations = default_iterations;  // set by the data-generation phase.
+      d.partitions = 0;
+      break;
+    case AppClass::kGraph:
+      d.num_cols = 2;  // edge lists.
+      d.iterations = default_iterations;
+      d.partitions = 0;
+      break;
+  }
+  return d;
+}
+
+namespace {
+
+StageSpec Stage(std::string name, std::vector<std::string> ops, double cpu,
+                double shuffle, double input_frac, double mem_per_row,
+                bool per_iter = false, bool caches = false) {
+  StageSpec s;
+  s.name = std::move(name);
+  s.ops = std::move(ops);
+  s.cpu_per_row = cpu;
+  s.shuffle_fraction = shuffle;
+  s.input_fraction = input_frac;
+  s.mem_bytes_per_row = mem_per_row;
+  s.per_iteration = per_iter;
+  s.caches_rdd = caches;
+  return s;
+}
+
+std::vector<ApplicationSpec> BuildCatalog() {
+  std::vector<ApplicationSpec> apps;
+  const std::vector<double> kTrainSizes = {50, 100, 150, 200};
+
+  // ---------------------------------------------------------------- TeraSort
+  {
+    ApplicationSpec a;
+    a.name = "TeraSort";
+    a.abbrev = "TS";
+    a.app_class = AppClass::kMapReduce;
+    a.bytes_per_row = 100.0;
+    a.cpu_intensity = 0.7;
+    a.shuffle_intensity = 1.9;
+    a.memory_intensity = 0.9;
+    a.stages = {
+        Stage("sample_partitioner", {"textFile", "sample", "sortByKey", "collect"},
+              0.2, 0.0, 0.05, 24),
+        Stage("map_partition", {"textFile", "map", "partitionBy"}, 0.5, 0.0, 1.0, 110),
+        Stage("sort_shuffle", {"repartitionAndSortWithinPartitions", "sortByKey",
+                               "mapPartitions"},
+              1.1, 0.95, 1.0, 140),
+        Stage("save_output", {"map", "saveAsTextFile"}, 0.3, 0.0, 1.0, 60),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // --------------------------------------------------------------- WordCount
+  {
+    ApplicationSpec a;
+    a.name = "WordCount";
+    a.abbrev = "WC";
+    a.app_class = AppClass::kMapReduce;
+    a.bytes_per_row = 80.0;
+    a.cpu_intensity = 0.9;
+    a.shuffle_intensity = 1.3;
+    a.memory_intensity = 0.7;
+    a.stages = {
+        Stage("tokenize", {"textFile", "flatMap", "map"}, 0.8, 0.0, 1.0, 48),
+        Stage("count_shuffle", {"reduceByKey", "mapPartitions"}, 0.5, 0.35, 1.0, 64),
+        Stage("save_output", {"coalesce", "saveAsTextFile"}, 0.2, 0.0, 0.3, 32),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // ---------------------------------------------------------------- PageRank
+  {
+    ApplicationSpec a;
+    a.name = "PageRank";
+    a.abbrev = "PR";
+    a.app_class = AppClass::kGraph;
+    a.default_iterations = 10;
+    a.bytes_per_row = 24.0;
+    a.cpu_intensity = 0.8;
+    a.shuffle_intensity = 1.6;
+    a.memory_intensity = 1.2;
+    a.stages = {
+        Stage("load_edges", {"textFile", "map", "distinct", "groupByKey", "cache"},
+              0.7, 0.4, 1.0, 56, false, true),
+        Stage("compute_contribs", {"join", "flatMap", "mapValues"}, 0.6, 0.55, 1.0,
+              72, true),
+        Stage("update_ranks", {"reduceByKey", "mapValues"}, 0.4, 0.45, 0.6, 48, true),
+        Stage("collect_ranks", {"map", "collect"}, 0.2, 0.0, 0.05, 24),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // ----------------------------------------------------------- TriangleCount
+  {
+    ApplicationSpec a;
+    a.name = "TriangleCount";
+    a.abbrev = "TC";
+    a.app_class = AppClass::kGraph;
+    a.bytes_per_row = 24.0;
+    a.cpu_intensity = 2.0;
+    a.shuffle_intensity = 1.4;
+    a.memory_intensity = 1.5;
+    a.stages = {
+        Stage("load_canonical", {"textFile", "map", "filter", "distinct"}, 0.6,
+              0.3, 1.0, 48),
+        Stage("build_adjacency", {"groupByKey", "mapValues", "cache"}, 0.9, 0.6,
+              1.0, 96, false, true),
+        Stage("intersect_neighbors", {"join", "mapPartitions", "flatMap", "filter"},
+              3.2, 0.7, 1.0, 128),
+        Stage("count_triangles", {"map", "reduce", "collect"}, 0.3, 0.05, 0.2, 24),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // ------------------------------------------------------ ConnectedComponent
+  {
+    ApplicationSpec a;
+    a.name = "ConnectedComponent";
+    a.abbrev = "CC";
+    a.app_class = AppClass::kGraph;
+    a.default_iterations = 8;
+    a.bytes_per_row = 24.0;
+    a.cpu_intensity = 0.7;
+    a.shuffle_intensity = 1.5;
+    a.memory_intensity = 1.1;
+    a.stages = {
+        Stage("build_graph", {"textFile", "map", "mapVertices", "cache"}, 0.5,
+              0.2, 1.0, 56, false, true),
+        Stage("propagate_min", {"aggregateMessages", "joinVertices"}, 0.5, 0.5,
+              0.8, 64, true),
+        Stage("apply_updates", {"innerJoin", "mapVertices"}, 0.3, 0.3, 0.5, 48, true),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // -------------------------------------------- StronglyConnectedComponent
+  {
+    ApplicationSpec a;
+    a.name = "StronglyConnectedComponent";
+    a.abbrev = "SCC";
+    a.app_class = AppClass::kGraph;
+    a.default_iterations = 60;
+    a.bytes_per_row = 24.0;
+    a.cpu_intensity = 0.9;
+    a.shuffle_intensity = 1.7;
+    a.memory_intensity = 1.2;
+    a.stages = {
+        Stage("build_graph", {"textFile", "map", "mapEdges", "cache"}, 0.5, 0.2,
+              1.0, 56, false, true),
+        Stage("forward_reach", {"pregel", "aggregateMessages", "mapVertices"},
+              0.35, 0.45, 0.45, 56, true),
+        Stage("backward_reach", {"pregel", "aggregateMessages", "mapVertices"},
+              0.35, 0.45, 0.45, 56, true),
+        Stage("trim_vertices", {"subgraph", "filter", "mapVertices"}, 0.2, 0.25,
+              0.3, 40, true),
+        Stage("update_colors", {"innerJoin", "mapVertices"}, 0.15, 0.2, 0.25,
+              36, true),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // ------------------------------------------------------------ ShortestPath
+  {
+    ApplicationSpec a;
+    a.name = "ShortestPath";
+    a.abbrev = "SP";
+    a.app_class = AppClass::kGraph;
+    a.default_iterations = 12;
+    a.bytes_per_row = 24.0;
+    a.cpu_intensity = 0.7;
+    a.shuffle_intensity = 1.4;
+    a.memory_intensity = 1.0;
+    a.stages = {
+        Stage("init_distances", {"textFile", "map", "mapVertices", "cache"}, 0.4,
+              0.15, 1.0, 48, false, true),
+        Stage("relax_edges", {"aggregateMessages", "mapVertices"}, 0.45, 0.5, 0.7,
+              56, true),
+        Stage("join_updates", {"joinVertices", "mapVertices"}, 0.25, 0.3, 0.4, 40,
+              true),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // -------------------------------------------------------- LabelPropagation
+  {
+    ApplicationSpec a;
+    a.name = "LabelPropagation";
+    a.abbrev = "LP";
+    a.app_class = AppClass::kGraph;
+    a.default_iterations = 10;
+    a.bytes_per_row = 24.0;
+    a.cpu_intensity = 0.8;
+    a.shuffle_intensity = 1.5;
+    a.memory_intensity = 1.0;
+    a.stages = {
+        Stage("init_labels", {"textFile", "map", "mapVertices", "cache"}, 0.4,
+              0.15, 1.0, 48, false, true),
+        Stage("send_labels", {"aggregateMessages", "flatMap"}, 0.5, 0.55, 0.8, 64,
+              true),
+        Stage("adopt_majority", {"reduceByKey", "joinVertices", "mapVertices"},
+              0.45, 0.4, 0.6, 56, true),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // --------------------------------------------------------- PregelOperation
+  {
+    ApplicationSpec a;
+    a.name = "PregelOperation";
+    a.abbrev = "PRE";
+    a.app_class = AppClass::kGraph;
+    a.default_iterations = 15;
+    a.bytes_per_row = 24.0;
+    a.cpu_intensity = 0.75;
+    a.shuffle_intensity = 1.5;
+    a.memory_intensity = 1.1;
+    a.stages = {
+        Stage("build_graph", {"textFile", "map", "mapVertices", "cache"}, 0.45,
+              0.2, 1.0, 48, false, true),
+        Stage("superstep_messages", {"pregel", "aggregateMessages"}, 0.4, 0.5,
+              0.7, 56, true),
+        Stage("superstep_apply", {"innerJoin", "mapVertices"}, 0.3, 0.3, 0.4, 48,
+              true),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // ------------------------------------------------------------- SVDPlusPlus
+  {
+    ApplicationSpec a;
+    a.name = "SVDPlusPlus";
+    a.abbrev = "SVD";
+    a.app_class = AppClass::kGraph;
+    a.default_iterations = 10;
+    a.bytes_per_row = 32.0;
+    a.cpu_intensity = 1.6;
+    a.shuffle_intensity = 1.3;
+    a.memory_intensity = 1.7;
+    a.stages = {
+        Stage("load_ratings", {"textFile", "map", "cache"}, 0.5, 0.15, 1.0, 80,
+              false, true),
+        Stage("gradient_messages", {"aggregateMessages", "mapValues"}, 1.4, 0.45,
+              0.9, 160, true),
+        Stage("update_factors", {"joinVertices", "mapVertices"}, 1.0, 0.3, 0.6,
+              144, true),
+        Stage("compute_error", {"innerJoin", "map", "reduce"}, 0.4, 0.2, 0.3, 64,
+              true),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // ------------------------------------------------------------------ KMeans
+  {
+    ApplicationSpec a;
+    a.name = "KMeans";
+    a.abbrev = "KM";
+    a.app_class = AppClass::kMachineLearning;
+    a.default_iterations = 12;
+    a.bytes_per_row = 160.0;  // 20 doubles per point.
+    a.cpu_intensity = 1.2;
+    a.shuffle_intensity = 0.7;
+    a.memory_intensity = 1.6;
+    a.stages = {
+        Stage("load_points", {"textFile", "map", "cache"}, 0.5, 0.0, 1.0, 176,
+              false, true),
+        Stage("assign_clusters", {"mapPartitions", "treeAggregate"}, 1.3, 0.08,
+              1.0, 192, true),
+        Stage("update_centers", {"reduceByKey", "mapValues", "collect"}, 0.15,
+              0.05, 0.02, 32, true),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // -------------------------------------------------------- LinearRegression
+  {
+    ApplicationSpec a;
+    a.name = "LinearRegression";
+    a.abbrev = "LiR";
+    a.app_class = AppClass::kMachineLearning;
+    a.default_iterations = 15;
+    a.bytes_per_row = 120.0;
+    a.cpu_intensity = 1.0;
+    a.shuffle_intensity = 0.6;
+    a.memory_intensity = 1.5;
+    a.stages = {
+        Stage("load_labeled_points", {"textFile", "map", "cache"}, 0.45, 0.0, 1.0,
+              132, false, true),
+        Stage("gradient_sum", {"mapPartitions", "treeAggregate"}, 0.9, 0.06, 1.0,
+              144, true),
+        Stage("weight_update", {"map", "collect"}, 0.1, 0.0, 0.01, 24, true),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // ------------------------------------------------------ LogisticRegression
+  {
+    ApplicationSpec a;
+    a.name = "LogisticRegression";
+    a.abbrev = "LoR";
+    a.app_class = AppClass::kMachineLearning;
+    a.default_iterations = 15;
+    a.bytes_per_row = 120.0;
+    a.cpu_intensity = 1.4;
+    a.shuffle_intensity = 0.6;
+    a.memory_intensity = 1.5;
+    a.stages = {
+        Stage("load_labeled_points", {"textFile", "map", "cache"}, 0.45, 0.0, 1.0,
+              132, false, true),
+        Stage("logistic_gradient", {"mapPartitions", "treeAggregate"}, 1.2, 0.06,
+              1.0, 144, true),
+        Stage("weight_update", {"map", "collect"}, 0.1, 0.0, 0.01, 24, true),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // ------------------------------------------------------------ DecisionTree
+  {
+    ApplicationSpec a;
+    a.name = "DecisionTree";
+    a.abbrev = "DT";
+    a.app_class = AppClass::kMachineLearning;
+    a.default_iterations = 8;  // tree levels.
+    a.bytes_per_row = 160.0;
+    a.cpu_intensity = 1.7;
+    a.shuffle_intensity = 0.9;
+    a.memory_intensity = 1.4;
+    a.stages = {
+        Stage("load_and_bin", {"textFile", "map", "mapPartitions", "cache"}, 0.8,
+              0.1, 1.0, 176, false, true),
+        Stage("find_splits", {"mapPartitions", "aggregate", "collect"}, 1.5, 0.12,
+              1.0, 168, true),
+        Stage("grow_level", {"mapPartitions", "reduceByKey"}, 0.7, 0.2, 0.7, 120,
+              true),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // --------------------------------------------------------------------- SVM
+  {
+    ApplicationSpec a;
+    a.name = "SVM";
+    a.abbrev = "SVM";
+    a.app_class = AppClass::kMachineLearning;
+    a.default_iterations = 20;
+    a.bytes_per_row = 120.0;
+    a.cpu_intensity = 1.1;
+    a.shuffle_intensity = 0.6;
+    a.memory_intensity = 1.5;
+    a.stages = {
+        Stage("load_labeled_points", {"textFile", "map", "cache"}, 0.45, 0.0, 1.0,
+              132, false, true),
+        Stage("hinge_gradient", {"sample", "mapPartitions", "treeAggregate"}, 1.0,
+              0.06, 0.8, 144, true),
+        Stage("weight_update", {"map", "collect"}, 0.1, 0.0, 0.01, 24, true),
+    };
+    a.train_sizes_mb = kTrainSizes;
+    apps.push_back(a);
+  }
+
+  // Per-application base datasizes, chosen (as in Table V) so that every
+  // application finishes in roughly one minute on cluster A with default
+  // knobs: training sizes are {1,2,3,4} x base, validation 10x base
+  // ("middle sizes"), testing 60x base ("large sizes" run on cluster C).
+  const std::map<std::string, double> kBaseSizeMb = {
+      {"TS", 50}, {"WC", 25}, {"PR", 4},   {"TC", 3},   {"CC", 12},
+      {"SCC", 4}, {"SP", 12}, {"LP", 8},   {"PRE", 10}, {"SVD", 1.5},
+      {"KM", 12}, {"LiR", 12}, {"LoR", 8}, {"DT", 8},   {"SVM", 10}};
+  for (auto& a : apps) {
+    double base = kBaseSizeMb.at(a.abbrev);
+    a.train_sizes_mb = {base, 2 * base, 3 * base, 4 * base};
+    a.validation_size_mb = 10 * base;
+    a.test_size_mb = 40 * base;
+  }
+  // Convergent traversal algorithms shrink their active frontier each
+  // iteration; constant-work algorithms (PageRank power iteration, ML
+  // gradient sweeps) keep decay 1.0.
+  auto set_decay = [&](const std::string& abbrev, double d) {
+    for (auto& a : apps) {
+      if (a.abbrev == abbrev) a.iteration_decay = d;
+    }
+  };
+  set_decay("CC", 0.80);
+  set_decay("SP", 0.82);
+  set_decay("LP", 0.85);
+  set_decay("SCC", 0.90);
+  set_decay("PRE", 0.85);
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<ApplicationSpec>& AppCatalog::All() {
+  static const std::vector<ApplicationSpec>* catalog =
+      new std::vector<ApplicationSpec>(BuildCatalog());
+  return *catalog;
+}
+
+const ApplicationSpec* AppCatalog::Find(const std::string& name_or_abbrev) {
+  for (const auto& a : All()) {
+    if (a.name == name_or_abbrev || a.abbrev == name_or_abbrev) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace lite::spark

@@ -1,0 +1,101 @@
+// The application model: 15 spark-bench workloads (Table V) spanning
+// MapReduce, machine-learning, and graph algorithms, each decomposed into
+// stages with an explicit operator mix. The operator mix simultaneously
+// drives (a) the analytic cost model, (b) the stage-level DAGs, and (c) the
+// synthetic stage-level code — which is exactly the coupling that makes code
+// features informative for performance prediction, the paper's premise (C1).
+#ifndef LITE_SPARKSIM_APPLICATION_H_
+#define LITE_SPARKSIM_APPLICATION_H_
+
+#include <string>
+#include <vector>
+
+namespace lite::spark {
+
+enum class AppClass { kMapReduce, kMachineLearning, kGraph };
+
+std::string AppClassName(AppClass c);
+
+/// One Spark stage: the unit of scheduling, instrumentation, and training
+/// instances (Section III-B).
+struct StageSpec {
+  std::string name;
+  /// RDD operator sequence executed by this stage ("map", "sortByKey", ...).
+  /// These become DAG node labels and stage-code tokens.
+  std::vector<std::string> ops;
+  /// Relative CPU work per input row (arbitrary units; calibrated so small
+  /// training datasets finish in ~1 simulated minute).
+  double cpu_per_row = 1.0;
+  /// Fraction of the stage's input bytes that crosses a shuffle boundary.
+  double shuffle_fraction = 0.0;
+  /// Fraction of the application input this stage reads.
+  double input_fraction = 1.0;
+  /// Working-set bytes per row held in execution memory.
+  double mem_bytes_per_row = 32.0;
+  /// True if the stage repeats once per iteration (ML/graph loops).
+  bool per_iteration = false;
+  /// True if this stage materializes an RDD that later iterations reuse;
+  /// such stages benefit from storage memory (caching).
+  bool caches_rdd = false;
+};
+
+/// Input datasize descriptor (Table I's data features).
+struct DataSpec {
+  double size_mb = 100.0;  ///< input size; graph apps measure nodes (scaled).
+  long num_rows = 0;       ///< derived from size when 0.
+  int num_cols = 10;
+  int iterations = 0;      ///< 0 when the application has no iterations.
+  int partitions = 0;      ///< 0 when unset by the generation phase.
+
+  /// Table I's 4-entry data feature d_i: (#rows, #columns, #iterations,
+  /// #partitions) with zeros for inapplicable entries.
+  std::vector<double> FeatureVector() const;
+};
+
+/// A complete application model.
+struct ApplicationSpec {
+  std::string name;    ///< "TeraSort"
+  std::string abbrev;  ///< "TS"
+  AppClass app_class = AppClass::kMapReduce;
+  int default_iterations = 0;  ///< 0 for non-iterative applications.
+  double bytes_per_row = 100.0;
+  std::vector<StageSpec> stages;
+
+  /// Knob-sensitivity fingerprint. These shape the per-application response
+  /// surface so that optimal configurations differ between applications
+  /// (Fig. 1). All in [0.5, 2].
+  double cpu_intensity = 1.0;
+  double shuffle_intensity = 1.0;
+  double memory_intensity = 1.0;
+
+  /// Per-iteration work multiplier for convergent algorithms (frontier
+  /// shrinkage): iteration t does decay^t of the first iteration's work,
+  /// floored at 15%. 1.0 = constant work per iteration.
+  double iteration_decay = 1.0;
+
+  /// Number of stage executions for a run with `iterations` iterations.
+  size_t StageInstanceCount(int iterations) const;
+
+  /// Datasizes used in the evaluation protocol (Table V): four small
+  /// training sizes, one mid validation size, one large testing size (MB).
+  std::vector<double> train_sizes_mb;
+  double validation_size_mb = 2048;
+  double test_size_mb = 20480;
+
+  /// Builds a DataSpec for this application at `size_mb`, deriving rows,
+  /// columns and iteration counts the way spark-bench's data generators do.
+  DataSpec MakeData(double size_mb) const;
+};
+
+/// The immutable catalog of the 15 evaluation applications.
+class AppCatalog {
+ public:
+  static const std::vector<ApplicationSpec>& All();
+  /// Lookup by name or abbreviation; nullptr when unknown.
+  static const ApplicationSpec* Find(const std::string& name_or_abbrev);
+  static size_t Count() { return All().size(); }
+};
+
+}  // namespace lite::spark
+
+#endif  // LITE_SPARKSIM_APPLICATION_H_

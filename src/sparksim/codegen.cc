@@ -1,0 +1,249 @@
+#include "sparksim/codegen.h"
+
+#include <map>
+
+#include "util/logging.h"
+
+namespace lite::spark {
+
+namespace {
+
+/// Rare identifiers per application — these almost never co-occur across
+/// applications, which is exactly the sparsity problem the paper observes.
+const std::map<std::string, std::vector<std::string>>& RareTokens() {
+  static const auto* m = new std::map<std::string, std::vector<std::string>>{
+      {"TS", {"TeraSortPartitioner", "TeraInputFormat", "TeraOutputFormat",
+              "genSortRecord", "tera"}},
+      {"WC", {"wordSplitRegex", "stopWordSet", "tokenCounter", "corpusPath"}},
+      {"PR", {"dampingFactor", "rankContribs", "teleportProb", "initialRank",
+              "outDegreeInv"}},
+      {"TC", {"canonicalEdge", "neighborIntersect", "triangleTriplet",
+              "adjacencySet"}},
+      {"CC", {"componentId", "minVertexLabel", "ccConverged"}},
+      {"SCC", {"sccColorMap", "forwardFrontier", "backwardFrontier",
+               "trimIsolated", "fwBwIntersect"}},
+      {"SP", {"sourceLandmark", "distanceMap", "relaxStep", "infDistance"}},
+      {"LP", {"labelHistogram", "majorityLabel", "propagationRound"}},
+      {"PRE", {"vertexProgram", "mergeMsg", "initialMsg", "maxSupersteps"}},
+      {"SVD", {"latentFactors", "biasTerms", "implicitFeedback", "gammaRate",
+               "factorRank"}},
+      {"KM", {"centroidArray", "closestCenter", "costAccumulator",
+              "kClusters"}},
+      {"LiR", {"leastSquaresGradient", "weightVector", "interceptTerm",
+               "stepSizeLR"}},
+      {"LoR", {"logisticGradient", "sigmoidMargin", "regParamL2",
+               "binaryLabel"}},
+      {"DT", {"giniImpurity", "splitCandidates", "featureBins", "nodeIdCache",
+              "maxTreeDepth"}},
+      {"SVM", {"hingeGradient", "svmMargin", "miniBatchFraction",
+               "supportVec"}},
+  };
+  return *m;
+}
+
+/// Instrumented expansion templates per RDD operation: the Spark-core token
+/// stream a Java agent would capture when the operation's classes load.
+const std::map<std::string, std::vector<std::string>>& OpTemplates() {
+  static const auto* m = new std::map<std::string, std::vector<std::string>>{
+      {"textFile",
+       {"sc", ".", "textFile", "(", "inputPath", ",", "minPartitions", ")",
+        "HadoopRDD", ".", "compute", "(", "split", ",", "context", ")",
+        "InputFormat", ".", "getSplits", "recordReader", ".", "next"}},
+      {"map",
+       {"rdd", ".", "map", "(", "record", "=>", "f", "(", "record", ")", ")",
+        "MapPartitionsRDD", ".", "compute", "iterator", ".", "map", "(",
+        "cleanF", ")"}},
+      {"flatMap",
+       {"rdd", ".", "flatMap", "(", "line", "=>", "line", ".", "split", "(",
+        "delimiter", ")", ")", "MapPartitionsRDD", "iterator", ".", "flatMap",
+        "(", "cleanF", ")"}},
+      {"filter",
+       {"rdd", ".", "filter", "(", "pred", ")", "MapPartitionsRDD", "iterator",
+        ".", "filter", "(", "cleanF", ")"}},
+      {"mapPartitions",
+       {"rdd", ".", "mapPartitions", "(", "iter", "=>", "process", "(", "iter",
+        ")", ",", "preservesPartitioning", ")", "MapPartitionsRDD", ".",
+        "compute", "(", "split", ")"}},
+      {"mapValues",
+       {"pairRdd", ".", "mapValues", "(", "v", "=>", "g", "(", "v", ")", ")",
+        "MappedValuesRDD", "iterator", ".", "map"}},
+      {"reduceByKey",
+       {"pairRdd", ".", "reduceByKey", "(", "func", ",", "numPartitions", ")",
+        "ShuffledRDD", "Aggregator", ".", "combineValuesByKey",
+        "ExternalAppendOnlyMap", ".", "insertAll", "ShuffleWriter", ".",
+        "write"}},
+      {"groupByKey",
+       {"pairRdd", ".", "groupByKey", "(", "partitioner", ")", "ShuffledRDD",
+        "Aggregator", ".", "combineCombinersByKey", "CompactBuffer", "+=",
+        "ShuffleReader", ".", "read"}},
+      {"sortByKey",
+       {"pairRdd", ".", "sortByKey", "(", "ascending", ",", "numPartitions",
+        ")", "RangePartitioner", ".", "sketch", "ShuffledRDD",
+        "ShuffleBlockFetcherIterator", "ExternalSorter", ".",
+        "insertAll", "TimSort", ".", "sort"}},
+      {"repartitionAndSortWithinPartitions",
+       {"pairRdd", ".", "repartitionAndSortWithinPartitions", "(",
+        "partitioner", ")", "ShuffledRDD", "setKeyOrdering", "ExternalSorter",
+        "spillMemoryIteratorToDisk", "mergeSort"}},
+      {"partitionBy",
+       {"pairRdd", ".", "partitionBy", "(", "partitioner", ")", "ShuffledRDD",
+        "HashPartitioner", ".", "getPartition", "ShuffleWriter", ".", "write"}},
+      {"distinct",
+       {"rdd", ".", "distinct", "(", "numPartitions", ")", "map", "x", "=>",
+        "(", "x", ",", "null", ")", "reduceByKey", "ShuffledRDD"}},
+      {"sample",
+       {"rdd", ".", "sample", "(", "withReplacement", ",", "fraction", ",",
+        "seed", ")", "PartitionwiseSampledRDD", "BernoulliSampler", ".",
+        "sample"}},
+      {"union",
+       {"rdd", ".", "union", "(", "other", ")", "UnionRDD", ".",
+        "getPartitions", "iterator", "++"}},
+      {"join",
+       {"pairRdd", ".", "join", "(", "other", ",", "partitioner", ")",
+        "CoGroupedRDD", ".", "compute", "flatMapValues", "pair", "for", "(",
+        "v", "<-", "vs", ";", "w", "<-", "ws", ")", "yield"}},
+      {"innerJoin",
+       {"vertexRdd", ".", "innerJoin", "(", "other", ")", "(", "f", ")",
+        "VertexRDDImpl", "ShippableVertexPartition", ".", "innerJoin",
+        "leftMask", "&", "rightMask"}},
+      {"leftOuterJoin",
+       {"pairRdd", ".", "leftOuterJoin", "(", "other", ")", "CoGroupedRDD",
+        "flatMapValues", "Option", "(", "w", ")"}},
+      {"cogroup",
+       {"pairRdd", ".", "cogroup", "(", "other", ")", "CoGroupedRDD", ".",
+        "compute", "CoGroupCombiner", "narrowDep", "shuffleDep"}},
+      {"zipPartitions",
+       {"rdd", ".", "zipPartitions", "(", "other", ")", "(", "f", ")",
+        "ZippedPartitionsRDD2", ".", "compute", "iterator", "zip"}},
+      {"coalesce",
+       {"rdd", ".", "coalesce", "(", "numPartitions", ",", "shuffle", ")",
+        "CoalescedRDD", "PartitionCoalescer", ".", "coalesce"}},
+      {"cache",
+       {"rdd", ".", "cache", "(", ")", "persist", "StorageLevel", ".",
+        "MEMORY_ONLY", "BlockManager", ".", "putIterator", "MemoryStore", ".",
+        "putIteratorAsValues"}},
+      {"collect",
+       {"rdd", ".", "collect", "(", ")", "sc", ".", "runJob", "DAGScheduler",
+        ".", "submitJob", "results", "toArray"}},
+      {"count",
+       {"rdd", ".", "count", "(", ")", "sc", ".", "runJob", "Utils", ".",
+        "getIteratorSize"}},
+      {"reduce",
+       {"rdd", ".", "reduce", "(", "op", ")", "sc", ".", "runJob",
+        "reducePartition", "mergeResult", "jobResult"}},
+      {"aggregate",
+       {"rdd", ".", "aggregate", "(", "zeroValue", ")", "(", "seqOp", ",",
+        "combOp", ")", "sc", ".", "runJob", "aggregatePartition"}},
+      {"treeAggregate",
+       {"rdd", ".", "treeAggregate", "(", "zeroValue", ")", "(", "seqOp", ",",
+        "combOp", ",", "depth", ")", "mapPartitionsWithIndex",
+        "foldByKey", "reduce", "scaleFactor"}},
+      {"saveAsTextFile",
+       {"rdd", ".", "saveAsTextFile", "(", "outputPath", ")",
+        "TextOutputFormat", "PairRDDFunctions", ".", "saveAsHadoopFile",
+        "SparkHadoopWriter", ".", "write", "committer", ".", "commitTask"}},
+      {"aggregateMessages",
+       {"graph", ".", "aggregateMessages", "(", "sendMsg", ",", "mergeMsg",
+        ",", "tripletFields", ")", "GraphImpl", "EdgePartition", ".",
+        "aggregateMessagesEdgeScan", "VertexRDD", "shipVertexAttributes"}},
+      {"joinVertices",
+       {"graph", ".", "joinVertices", "(", "table", ")", "(", "mapFunc", ")",
+        "GraphImpl", "outerJoinVertices", "ReplicatedVertexView", ".",
+        "upgrade"}},
+      {"mapVertices",
+       {"graph", ".", "mapVertices", "(", "(", "vid", ",", "attr", ")", "=>",
+        "f", ")", "GraphImpl", "vertices", ".", "mapVertexPartitions"}},
+      {"mapEdges",
+       {"graph", ".", "mapEdges", "(", "e", "=>", "f", "(", "e", ")", ")",
+        "GraphImpl", "replicatedVertexView", "edges", ".",
+        "mapEdgePartitions"}},
+      {"pregel",
+       {"Pregel", "(", "graph", ",", "initialMsg", ",", "maxIterations", ",",
+        "activeDirection", ")", "(", "vprog", ",", "sendMsg", ",", "mergeMsg",
+        ")", "mapReduceTriplets", "messages", ".", "count", "while",
+        "activeMessages", ">", "0"}},
+      {"subgraph",
+       {"graph", ".", "subgraph", "(", "epred", ",", "vpred", ")", "GraphImpl",
+        "vertices", ".", "filter", "edges", ".", "filter", "restrictGraph"}},
+  };
+  return *m;
+}
+
+/// Fallback expansion for unknown ops so new applications degrade
+/// gracefully: the op name embedded in generic RDD boilerplate.
+std::vector<std::string> GenericTemplate(const std::string& op) {
+  return {"rdd", ".", op, "(", "arg", ")", "RDD", ".", "compute",
+          "iterator", ".", "next"};
+}
+
+}  // namespace
+
+std::vector<std::string> AppSpecificTokens(const ApplicationSpec& app) {
+  auto it = RareTokens().find(app.abbrev);
+  if (it != RareTokens().end()) return it->second;
+  return {app.name + "Helper", app.name + "Config"};
+}
+
+std::vector<std::string> GenerateAppCode(const ApplicationSpec& app) {
+  // Brief main body: SparkContext boilerplate plus one line per stage's
+  // dominant operation mentioning the rare identifiers (Fig. 4's shape).
+  std::vector<std::string> code = {
+      "val", "conf", "=", "new", "SparkConf", "(", ")", ".", "setAppName",
+      "(", app.name, ")", "val", "sc", "=", "new", "SparkContext", "(",
+      "conf", ")"};
+  std::vector<std::string> rare = AppSpecificTokens(app);
+  size_t rare_idx = 0;
+  for (const auto& stage : app.stages) {
+    // Only the dominant op of each stage appears in the main body —
+    // application code is much coarser than stage code (Fig. 4).
+    const std::string& dominant =
+        stage.ops.empty() ? std::string("map") : stage.ops[stage.ops.size() / 2];
+    code.push_back(rare[rare_idx % rare.size()]);
+    ++rare_idx;
+    code.push_back(".");
+    code.push_back(dominant);
+  }
+  code.insert(code.end(), {"sc", ".", "stop", "(", ")"});
+  return code;
+}
+
+std::vector<std::string> GenerateStageCode(const ApplicationSpec& app,
+                                           size_t stage_index) {
+  LITE_CHECK(stage_index < app.stages.size()) << "stage index OOB";
+  const StageSpec& stage = app.stages[stage_index];
+  // Instrumentation prologue: the Spark core/executor classes loaded for
+  // every stage — common across all applications (dense tokens).
+  std::vector<std::string> code = {
+      "org", "apache", "spark", "scheduler", "Task", ".", "run",
+      "Executor", "TaskRunner", ".", "run", "BlockManager",
+      "TaskContext", ".", "get", "ShuffleManager", "getReader",
+      "TaskMetrics", "incRecordsRead", "SparkEnv", ".", "get",
+      "serializer", "newInstance", "closureSerializer", "deserialize",
+      "RDD", ".", "iterator", "(", "split", ",", "context", ")",
+      "getOrCompute", "computeOrReadCheckpoint", "MemoryManager",
+      "acquireExecutionMemory", "TaskMemoryManager", "allocatePage"};
+  // Per-op instrumented compute path shared by every operation.
+  static const std::vector<std::string> kComputeEpilogue = {
+      "iterator", ".", "hasNext", "iterator", ".", "next", "InterruptibleIterator",
+      "TaskMetrics", ".", "incRecordsRead", "(", "1", ")"};
+  const auto& templates = OpTemplates();
+  std::vector<std::string> rare = AppSpecificTokens(app);
+  size_t rare_idx = stage_index;  // stagger rare tokens across stages.
+  for (const auto& op : stage.ops) {
+    auto it = templates.find(op);
+    const std::vector<std::string>& body =
+        it != templates.end() ? it->second : GenericTemplate(op);
+    code.insert(code.end(), body.begin(), body.end());
+    code.insert(code.end(), kComputeEpilogue.begin(), kComputeEpilogue.end());
+    // Closures reference an application-specific identifier now and then.
+    code.push_back(rare[rare_idx % rare.size()]);
+    ++rare_idx;
+  }
+  // Epilogue: task completion path.
+  code.insert(code.end(),
+              {"TaskResult", "serializedResult", "statusUpdate",
+               "DAGScheduler", ".", "handleTaskCompletion", "markStageAsFinished"});
+  return code;
+}
+
+}  // namespace lite::spark

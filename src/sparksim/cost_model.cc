@@ -1,0 +1,325 @@
+#include "sparksim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace lite::spark {
+
+namespace {
+
+bool HasOp(const StageSpec& stage, const std::string& op) {
+  for (const auto& o : stage.ops) {
+    if (o == op) return true;
+  }
+  return false;
+}
+
+bool IsDriverActionStage(const StageSpec& stage) {
+  return HasOp(stage, "collect") || HasOp(stage, "reduce") ||
+         HasOp(stage, "aggregate") || HasOp(stage, "count");
+}
+
+bool IsInputStage(const StageSpec& stage) { return HasOp(stage, "textFile"); }
+
+/// Deterministic "measurement" noise: a lognormal factor seeded from the
+/// run identity so repeated simulations of the same point agree exactly.
+double NoiseFactor(const ApplicationSpec& app, size_t stage_index,
+                   int iteration, const DataSpec& data, const ClusterEnv& env,
+                   const Config& config, double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  size_t h = std::hash<std::string>{}(app.name);
+  auto mix = [&h](size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<size_t>{}(stage_index));
+  mix(std::hash<int>{}(iteration));
+  mix(std::hash<long long>{}(static_cast<long long>(data.size_mb * 16.0)));
+  mix(std::hash<std::string>{}(env.name));
+  for (double v : config) mix(std::hash<long long>{}(static_cast<long long>(v * 64.0)));
+  // Box-Muller from two derived uniforms.
+  double u1 = (static_cast<double>(h % 999983) + 1.0) / 999984.0;
+  double u2 = (static_cast<double>((h / 999983) % 999979) + 1.0) / 999980.0;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return std::exp(sigma * z);
+}
+
+/// Executor placement derived from knobs and node capacity.
+struct Placement {
+  bool feasible = false;
+  std::string reason;
+  int instances = 0;
+  int exec_cores = 0;
+  int slots = 0;
+  int nodes_used = 0;
+  int concurrent_per_node = 0;
+  double exec_heap_gb = 0.0;
+};
+
+Placement PlaceExecutors(const ClusterEnv& env, const Config& config) {
+  Placement p;
+  p.exec_cores = static_cast<int>(config[kExecutorCores]);
+  p.exec_heap_gb = config[kExecutorMemory];
+  double exec_total_gb = p.exec_heap_gb + config[kExecutorMemoryOverhead] / 1024.0;
+
+  if (p.exec_cores > env.cores_per_node) {
+    p.reason = "executor.cores exceeds node cores";
+    return p;
+  }
+  int per_node_by_cores = env.cores_per_node / p.exec_cores;
+  int per_node_by_mem =
+      static_cast<int>(std::floor(env.memory_gb_per_node / exec_total_gb));
+  int per_node = std::min(per_node_by_cores, per_node_by_mem);
+  if (per_node <= 0) {
+    p.reason = "executor memory exceeds node memory";
+    return p;
+  }
+  int max_instances = per_node * env.num_nodes;
+  p.instances = std::min(static_cast<int>(config[kExecutorInstances]), max_instances);
+  p.slots = p.instances * p.exec_cores;
+  p.nodes_used = std::min(env.num_nodes,
+                          (p.instances + per_node - 1) / per_node);
+  p.concurrent_per_node = std::min(p.slots / std::max(p.nodes_used, 1),
+                                   env.cores_per_node);
+  p.feasible = true;
+  return p;
+}
+
+}  // namespace
+
+bool PlacementFeasible(const ClusterEnv& env, const Config& config) {
+  if (!PlaceExecutors(env, config).feasible) return false;
+  double driver_gb =
+      config[kDriverMemory] + config[kDriverMemoryOverhead] / 1024.0;
+  return driver_gb <= env.memory_gb_per_node;
+}
+
+StageRunResult CostModel::RunStage(const ApplicationSpec& app,
+                                   size_t stage_index, int iteration,
+                                   const DataSpec& data, const ClusterEnv& env,
+                                   const Config& config) const {
+  LITE_CHECK(stage_index < app.stages.size()) << "RunStage index";
+  const StageSpec& stage = app.stages[stage_index];
+  StageRunResult r;
+  r.stage_index = stage_index;
+  r.iteration = iteration;
+
+  Placement place = PlaceExecutors(env, config);
+  if (!place.feasible) {
+    r.failed = true;
+    r.failure_reason = place.reason;
+    r.seconds = options_.failure_cap_seconds;
+    return r;
+  }
+
+  // ----- Work for this stage execution (frontier decay for iterative apps).
+  double iter_scale = stage.per_iteration
+                          ? std::max(0.15, std::pow(app.iteration_decay, iteration))
+                          : 1.0;
+  double stage_rows =
+      static_cast<double>(data.num_rows) * stage.input_fraction * iter_scale;
+  double input_mb = data.size_mb * stage.input_fraction * iter_scale;
+  r.input_mb = input_mb;
+
+  // ----- Task count: input stages read HDFS blocks sized by
+  // files.maxPartitionBytes; post-shuffle stages use default.parallelism.
+  int tasks;
+  if (IsInputStage(stage)) {
+    tasks = std::max(1, static_cast<int>(std::ceil(
+                            input_mb / config[kFilesMaxPartitionBytes])));
+  } else {
+    tasks = std::max(1, static_cast<int>(config[kDefaultParallelism]));
+  }
+  r.tasks = tasks;
+  int waves = (tasks + place.slots - 1) / place.slots;
+  r.waves = waves;
+  double rows_per_task = stage_rows / static_cast<double>(tasks);
+
+  // ----- CPU time per task. Memory-bandwidth contention grows with node
+  // occupancy and the application's memory intensity — the mechanism that
+  // gives each application its own optimal executor.cores (Fig. 1).
+  double occupancy = static_cast<double>(place.concurrent_per_node) /
+                     static_cast<double>(env.cores_per_node);
+  double contention =
+      1.0 + 0.45 * app.memory_intensity * occupancy * occupancy;
+  double mem_speed_factor = 0.85 + 0.15 * 2400.0 / env.memory_mts;
+  double task_cpu = rows_per_task * stage.cpu_per_row * app.cpu_intensity *
+                    options_.cpu_unit_seconds / env.cpu_ghz * contention *
+                    mem_speed_factor;
+  r.cpu_seconds = task_cpu * tasks;
+
+  // ----- Unified memory model. Execution memory per task shrinks with
+  // cores per executor and with the protected storage fraction.
+  double heap_mb = place.exec_heap_gb * 1024.0;
+  double exec_mem_per_task_mb = heap_mb * config[kMemoryFraction] *
+                                (1.0 - config[kMemoryStorageFraction]) /
+                                static_cast<double>(place.exec_cores);
+  double working_set_mb =
+      rows_per_task * stage.mem_bytes_per_row * app.memory_intensity / 1e6;
+  // Shuffle reads stage large in-flight buffers too.
+  if (stage.shuffle_fraction > 0.0) {
+    working_set_mb += 0.5 * config[kReducerMaxSizeInFlight];
+  }
+  double pressure = working_set_mb / std::max(exec_mem_per_task_mb, 1.0);
+  r.memory_pressure = pressure;
+  if (pressure > options_.oom_pressure_threshold) {
+    r.failed = true;
+    r.failure_reason = "executor OOM (working set far exceeds execution memory)";
+    r.seconds = options_.failure_cap_seconds;
+    return r;
+  }
+  double gc_factor = 1.0 + 0.12 * std::min(pressure, 3.0);
+
+  double spill_mb_per_task =
+      pressure > 1.0 ? working_set_mb * (1.0 - 1.0 / pressure) : 0.0;
+  r.spill_mb = spill_mb_per_task * tasks;
+  double disk_per_task =
+      env.disk_mbps / std::max(1, place.concurrent_per_node);
+  double spill_io_mb = 2.0 * spill_mb_per_task;  // write + re-read.
+  double spill_cpu = 0.0;
+  if (config[kShuffleSpillCompress] >= 0.5) {
+    spill_io_mb /= options_.compress_ratio;
+    spill_cpu = 2.0 * spill_mb_per_task * options_.compress_cpu_per_mb;
+  }
+  double spill_time_per_task = spill_io_mb / disk_per_task + spill_cpu;
+
+  // ----- Shuffle I/O.
+  double shuffle_mb = input_mb * stage.shuffle_fraction * app.shuffle_intensity;
+  r.shuffle_mb = shuffle_mb;
+  double shuffle_time = 0.0;
+  if (shuffle_mb > 0.0) {
+    double io_mb = shuffle_mb;
+    double comp_cpu = 0.0;
+    if (config[kShuffleCompress] >= 0.5) {
+      io_mb /= options_.compress_ratio;
+      comp_cpu = 2.0 * shuffle_mb * options_.compress_cpu_per_mb;  // comp+decomp.
+    }
+    // Small shuffle file buffers flush more often.
+    double buffer_factor =
+        1.0 + 0.25 * std::sqrt(32.0 / config[kShuffleFileBuffer]);
+    double write_time =
+        io_mb * buffer_factor / (env.disk_mbps * place.nodes_used);
+    double remote_frac =
+        place.nodes_used > 1
+            ? static_cast<double>(place.nodes_used - 1) / place.nodes_used
+            : 0.0;
+    double net_bw_mbps = env.network_gbps * 125.0;  // Gbps -> MB/s.
+    double net_time = io_mb * remote_frac / (net_bw_mbps * place.nodes_used);
+    // Fetch round trips per reduce task.
+    double per_reducer_mb = shuffle_mb / tasks;
+    double flights = std::ceil(per_reducer_mb / config[kReducerMaxSizeInFlight]);
+    double flight_time = flights * 0.01 * waves;
+    shuffle_time = write_time + net_time + flight_time +
+                   comp_cpu / std::max(1, place.slots);
+  }
+
+  // ----- Cache recomputation: iterative stages reading a cached RDD pay a
+  // re-read penalty when cluster storage memory cannot hold the cache.
+  double recompute_penalty = 0.0;
+  if (stage.per_iteration) {
+    double cached_mb = 0.0;
+    for (const auto& s : app.stages) {
+      if (s.caches_rdd) cached_mb += data.size_mb * s.input_fraction;
+    }
+    double storage_mb = heap_mb * config[kMemoryFraction] *
+                        config[kMemoryStorageFraction] * place.instances;
+    if (cached_mb > 0.0 && storage_mb < cached_mb) {
+      double deficit = 1.0 - storage_mb / cached_mb;
+      recompute_penalty =
+          deficit * (input_mb / (env.disk_mbps * place.nodes_used) +
+                     0.35 * task_cpu * waves);
+    }
+  }
+
+  // ----- Driver-side costs.
+  double driver_dispatch = static_cast<double>(tasks) *
+                           options_.driver_task_dispatch /
+                           std::max(1.0, config[kDriverCores]);
+  double driver_time = driver_dispatch;
+  if (IsDriverActionStage(stage)) {
+    double result_mb = std::min(input_mb * 0.3, 4096.0);
+    if (result_mb > config[kDriverMaxResultSize]) {
+      r.failed = true;
+      r.failure_reason = "serialized result exceeds spark.driver.maxResultSize";
+      r.seconds = options_.failure_cap_seconds;
+      return r;
+    }
+    double driver_heap_mb = config[kDriverMemory] * 1024.0;
+    if (result_mb > 0.6 * driver_heap_mb) {
+      r.failed = true;
+      r.failure_reason = "driver OOM while collecting results";
+      r.seconds = options_.failure_cap_seconds;
+      return r;
+    }
+    double net_bw_mbps = env.network_gbps * 125.0;
+    driver_time += result_mb / net_bw_mbps +
+                   0.3 * result_mb / driver_heap_mb;  // driver GC.
+  }
+
+  double per_task_time = task_cpu * gc_factor + options_.per_task_overhead +
+                         spill_time_per_task;
+  r.seconds = static_cast<double>(waves) * per_task_time + shuffle_time +
+              recompute_penalty + driver_time;
+  // Optional skew extension: the straggler partition of a shuffle stage
+  // stretches the final wave by its excess share of the stage's work.
+  if (options_.skew_alpha > 0.0 && stage.shuffle_fraction > 0.0) {
+    r.seconds += options_.skew_alpha * (task_cpu * gc_factor + spill_time_per_task);
+  }
+  r.seconds *= NoiseFactor(app, stage_index, iteration, data, env, config,
+                           options_.noise_sigma);
+  return r;
+}
+
+AppRunResult CostModel::Run(const ApplicationSpec& app, const DataSpec& data,
+                            const ClusterEnv& env, const Config& config) const {
+  AppRunResult out;
+  int iterations = std::max(
+      1, data.iterations > 0 ? data.iterations : app.default_iterations);
+  for (size_t si = 0; si < app.stages.size(); ++si) {
+    const StageSpec& stage = app.stages[si];
+    int reps = stage.per_iteration ? iterations : 1;
+    for (int it = 0; it < reps; ++it) {
+      StageRunResult sr = RunStage(app, si, it, data, env, config);
+      out.stage_runs.push_back(sr);
+      if (sr.failed) {
+        out.failed = true;
+        out.failure_reason = sr.failure_reason;
+        out.total_seconds = options_.failure_cap_seconds;
+        return out;
+      }
+      out.total_seconds += sr.seconds;
+    }
+  }
+  out.total_seconds = std::min(out.total_seconds, options_.failure_cap_seconds);
+  return out;
+}
+
+std::vector<double> AppRunResult::InnerMetrics() const {
+  std::vector<double> m(kInnerMetricsDim, 0.0);
+  if (stage_runs.empty()) return m;
+  double total_tasks = 0, total_waves = 0, shuffle = 0, spill = 0, cpu = 0,
+         pressure = 0;
+  for (const auto& s : stage_runs) {
+    total_tasks += s.tasks;
+    total_waves += s.waves;
+    shuffle += s.shuffle_mb;
+    spill += s.spill_mb;
+    cpu += s.cpu_seconds;
+    pressure += s.memory_pressure;
+  }
+  double n = static_cast<double>(stage_runs.size());
+  double t = std::max(total_seconds, 1e-6);
+  m[0] = cpu / t;                           // CPU utilization proxy.
+  m[1] = shuffle / std::max(shuffle + spill + 1.0, 1.0);  // shuffle ratio.
+  m[2] = spill / std::max(shuffle + 1.0, 1.0);            // spill ratio.
+  m[3] = pressure / n;                      // mean memory pressure.
+  m[4] = total_tasks / std::max(total_waves, 1.0);        // tasks per wave.
+  m[5] = std::log1p(total_tasks) / 10.0;    // task granularity.
+  m[6] = failed ? 1.0 : 0.0;
+  m[7] = std::log1p(total_seconds) / 10.0;  // normalized runtime.
+  return m;
+}
+
+}  // namespace lite::spark

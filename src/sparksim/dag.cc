@@ -1,0 +1,130 @@
+#include "sparksim/dag.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <set>
+
+#include "util/logging.h"
+
+namespace lite::spark {
+
+bool StageDag::IsAcyclic() const {
+  // Kahn's algorithm.
+  size_t n = node_ops.size();
+  std::vector<int> indeg(n, 0);
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& [u, v] : edges) {
+    adj[static_cast<size_t>(u)].push_back(v);
+    ++indeg[static_cast<size_t>(v)];
+  }
+  std::vector<int> queue;
+  for (size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) queue.push_back(static_cast<int>(i));
+  }
+  size_t seen = 0;
+  while (!queue.empty()) {
+    int u = queue.back();
+    queue.pop_back();
+    ++seen;
+    for (int v : adj[static_cast<size_t>(u)]) {
+      if (--indeg[static_cast<size_t>(v)] == 0) queue.push_back(v);
+    }
+  }
+  return seen == n;
+}
+
+bool IsBinaryOp(const std::string& op) {
+  static const std::set<std::string>* binary = new std::set<std::string>{
+      "join", "innerJoin", "leftOuterJoin", "cogroup", "zipPartitions",
+      "joinVertices", "union"};
+  return binary->count(op) > 0;
+}
+
+bool IsShuffleOp(const std::string& op) {
+  static const std::set<std::string>* shuffle = new std::set<std::string>{
+      "reduceByKey", "sortByKey", "groupByKey", "repartitionAndSortWithinPartitions",
+      "distinct", "partitionBy", "aggregateMessages", "treeAggregate",
+      "aggregate", "join", "innerJoin", "leftOuterJoin", "cogroup", "coalesce"};
+  return shuffle->count(op) > 0;
+}
+
+StageDag BuildStageDag(const StageSpec& stage) {
+  StageDag dag;
+  // Lineage chain: every op produces an RDD node fed by the previous one.
+  // Binary ops additionally receive a side input (a cached/shuffled RDD
+  // from an earlier stage); shuffle ops receive a ShuffledRDD source node.
+  int prev = -1;
+  for (const auto& op : stage.ops) {
+    if (IsShuffleOp(op) && prev < 0) {
+      // First op of a post-shuffle stage reads shuffled partitions.
+      dag.node_ops.push_back("ShuffledRDD");
+      prev = static_cast<int>(dag.node_ops.size()) - 1;
+    }
+    int cur = static_cast<int>(dag.node_ops.size());
+    dag.node_ops.push_back(op);
+    if (prev >= 0) dag.edges.emplace_back(prev, cur);
+    if (IsBinaryOp(op)) {
+      int side = static_cast<int>(dag.node_ops.size());
+      dag.node_ops.push_back(stage.caches_rdd ? "CachedPartition" : "ShuffledRDD");
+      dag.edges.emplace_back(side, cur);
+    }
+    prev = cur;
+  }
+  if (dag.node_ops.empty()) {
+    dag.node_ops.push_back("EmptyRDD");
+  }
+  return dag;
+}
+
+OpVocab OpVocab::FromApplications(
+    const std::vector<const ApplicationSpec*>& apps) {
+  OpVocab vocab;
+  std::set<std::string> labels;
+  for (const ApplicationSpec* app : apps) {
+    LITE_CHECK(app != nullptr) << "null app in OpVocab";
+    for (const auto& stage : app->stages) {
+      StageDag dag = BuildStageDag(stage);
+      for (const auto& op : dag.node_ops) labels.insert(op);
+    }
+  }
+  int next = 0;
+  for (const auto& l : labels) vocab.ids_[l] = next++;
+  return vocab;
+}
+
+int OpVocab::IdOf(const std::string& op) const {
+  auto it = ids_.find(op);
+  return it == ids_.end() ? static_cast<int>(ids_.size()) : it->second;
+}
+
+std::vector<int> OpVocab::EncodeNodes(const StageDag& dag) const {
+  std::vector<int> out;
+  out.reserve(dag.node_ops.size());
+  for (const auto& op : dag.node_ops) out.push_back(IdOf(op));
+  return out;
+}
+
+void OpVocab::Serialize(std::ostream* os) const {
+  *os << "liteopvocab v1 " << ids_.size() << "\n";
+  for (const auto& [op, id] : ids_) *os << op << " " << id << "\n";
+}
+
+bool OpVocab::Deserialize(std::istream* is, OpVocab* vocab) {
+  std::string magic, version;
+  size_t count = 0;
+  if (!(*is >> magic >> version >> count)) return false;
+  if (magic != "liteopvocab" || version != "v1" || count > 1'000'000) return false;
+  std::map<std::string, int> ids;
+  for (size_t i = 0; i < count; ++i) {
+    std::string op;
+    int id = 0;
+    if (!(*is >> op >> id)) return false;
+    if (id < 0 || static_cast<size_t>(id) >= count) return false;
+    if (!ids.emplace(op, id).second) return false;
+  }
+  vocab->ids_ = std::move(ids);
+  return true;
+}
+
+}  // namespace lite::spark

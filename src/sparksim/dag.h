@@ -1,0 +1,63 @@
+// Stage-level DAG scheduler graphs (Section III-B Step 3): labeled RDD
+// nodes connected by operation edges, extracted per stage. The node labels
+// are atomic RDD operations; the feature pipeline one-hot encodes them with
+// an out-of-vocabulary column for operations unseen during training.
+#ifndef LITE_SPARKSIM_DAG_H_
+#define LITE_SPARKSIM_DAG_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sparksim/application.h"
+
+namespace lite::spark {
+
+/// A stage's RDD lineage DAG.
+struct StageDag {
+  std::vector<std::string> node_ops;          ///< label per node.
+  std::vector<std::pair<int, int>> edges;     ///< directed u -> v.
+
+  size_t NumNodes() const { return node_ops.size(); }
+  bool IsAcyclic() const;
+};
+
+/// Deterministically builds the DAG for one stage from its operator
+/// sequence: a lineage chain with extra parent branches for binary
+/// operators (join/cogroup/zip) and shuffle-read source nodes for
+/// wide dependencies.
+StageDag BuildStageDag(const StageSpec& stage);
+
+/// True for operators with two RDD inputs.
+bool IsBinaryOp(const std::string& op);
+/// True for operators that force a shuffle (wide dependency).
+bool IsShuffleOp(const std::string& op);
+
+/// Maps operation labels to dense ids. Built over the training corpus; at
+/// test time unknown labels map to the oov id (== size()).
+class OpVocab {
+ public:
+  /// Builds from every op occurring in the given applications' stages.
+  static OpVocab FromApplications(const std::vector<const ApplicationSpec*>& apps);
+
+  /// Id in [0, size) for known ops; size() (the oov id) otherwise.
+  int IdOf(const std::string& op) const;
+  /// Number of distinct known operations (the paper's S).
+  size_t size() const { return ids_.size(); }
+
+  /// Node-label ids for a DAG (with oov mapping).
+  std::vector<int> EncodeNodes(const StageDag& dag) const;
+
+  /// Line-oriented (de)serialization.
+  void Serialize(std::ostream* os) const;
+  static bool Deserialize(std::istream* is, OpVocab* vocab);
+
+ private:
+  std::map<std::string, int> ids_;
+};
+
+}  // namespace lite::spark
+
+#endif  // LITE_SPARKSIM_DAG_H_

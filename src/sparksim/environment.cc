@@ -1,0 +1,34 @@
+#include "sparksim/environment.h"
+
+namespace lite::spark {
+
+std::vector<double> ClusterEnv::FeatureVector() const {
+  return {static_cast<double>(num_nodes), static_cast<double>(cores_per_node),
+          cpu_ghz, memory_gb_per_node, memory_mts, network_gbps};
+}
+
+ClusterEnv ClusterEnv::ClusterA() {
+  return {.name = "A", .num_nodes = 1, .cores_per_node = 16, .cpu_ghz = 3.2,
+          .memory_gb_per_node = 64.0, .memory_mts = 2400.0, .network_gbps = 1.0,
+          .disk_mbps = 250.0};
+}
+
+ClusterEnv ClusterEnv::ClusterB() {
+  return {.name = "B", .num_nodes = 3, .cores_per_node = 16, .cpu_ghz = 3.2,
+          .memory_gb_per_node = 64.0, .memory_mts = 2400.0, .network_gbps = 1.0,
+          .disk_mbps = 250.0};
+}
+
+ClusterEnv ClusterEnv::ClusterC() {
+  return {.name = "C", .num_nodes = 8, .cores_per_node = 16, .cpu_ghz = 2.9,
+          .memory_gb_per_node = 16.0, .memory_mts = 2666.0, .network_gbps = 10.0,
+          .disk_mbps = 250.0};
+}
+
+const std::vector<ClusterEnv>& ClusterEnv::AllClusters() {
+  static const std::vector<ClusterEnv>* all = new std::vector<ClusterEnv>{
+      ClusterA(), ClusterB(), ClusterC()};
+  return *all;
+}
+
+}  // namespace lite::spark

@@ -1,0 +1,37 @@
+// Cluster environment model: the three evaluation clusters of Table III and
+// the six-dimensional environment feature vector of Table II.
+#ifndef LITE_SPARKSIM_ENVIRONMENT_H_
+#define LITE_SPARKSIM_ENVIRONMENT_H_
+
+#include <string>
+#include <vector>
+
+namespace lite::spark {
+
+struct ClusterEnv {
+  std::string name;
+  int num_nodes = 1;
+  int cores_per_node = 16;
+  double cpu_ghz = 3.2;
+  double memory_gb_per_node = 64.0;
+  double memory_mts = 2400.0;   ///< memory speed in MT/s.
+  double network_gbps = 1.0;    ///< inter-node bandwidth.
+  double disk_mbps = 250.0;     ///< local disk bandwidth per node.
+
+  /// Table II's six-entry environment feature e_i:
+  /// (#nodes, #cores, frequency, memory size, memory speed, bandwidth).
+  std::vector<double> FeatureVector() const;
+
+  int total_cores() const { return num_nodes * cores_per_node; }
+  double total_memory_gb() const { return num_nodes * memory_gb_per_node; }
+
+  /// The paper's evaluation clusters (Table III).
+  static ClusterEnv ClusterA();  ///< 1 node, 16 cores, 3.2GHz, 64GB, 2400MT/s, 1Gbps.
+  static ClusterEnv ClusterB();  ///< 3 nodes, 16 cores, 3.2GHz, 64GB, 2400MT/s, 1Gbps.
+  static ClusterEnv ClusterC();  ///< 8 nodes, 16 cores, 2.9GHz, 16GB, 2666MT/s, 10Gbps.
+  static const std::vector<ClusterEnv>& AllClusters();
+};
+
+}  // namespace lite::spark
+
+#endif  // LITE_SPARKSIM_ENVIRONMENT_H_

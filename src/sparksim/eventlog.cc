@@ -1,0 +1,234 @@
+#include "sparksim/eventlog.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace lite::spark {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Extracts the raw value text following `"key":` in a single-line JSON
+/// object. Good enough for logs we produce ourselves.
+bool ExtractRaw(const std::string& line, const std::string& key,
+                std::string* out) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  // Value ends at the matching top-level comma or closing brace.
+  int depth = 0;
+  bool in_string = false;
+  size_t end = pos;
+  for (; end < line.size(); ++end) {
+    char c = line[end];
+    if (in_string) {
+      if (c == '\\') {
+        ++end;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '[' || c == '{') ++depth;
+    if (c == ']' || c == '}') {
+      if (depth == 0) break;
+      --depth;
+    }
+    if (c == ',' && depth == 0) break;
+  }
+  *out = Trim(line.substr(pos, end - pos));
+  return true;
+}
+
+bool ExtractString(const std::string& line, const std::string& key,
+                   std::string* out) {
+  std::string raw;
+  if (!ExtractRaw(line, key, &raw)) return false;
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') return false;
+  std::string inner = raw.substr(1, raw.size() - 2);
+  std::string unescaped;
+  for (size_t i = 0; i < inner.size(); ++i) {
+    if (inner[i] == '\\' && i + 1 < inner.size()) ++i;
+    unescaped.push_back(inner[i]);
+  }
+  *out = unescaped;
+  return true;
+}
+
+bool ExtractDouble(const std::string& line, const std::string& key, double* out) {
+  std::string raw;
+  if (!ExtractRaw(line, key, &raw)) return false;
+  try {
+    *out = std::stod(raw);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+/// Parses ["a","b","c"].
+bool ExtractStringArray(const std::string& line, const std::string& key,
+                        std::vector<std::string>* out) {
+  std::string raw;
+  if (!ExtractRaw(line, key, &raw)) return false;
+  if (raw.size() < 2 || raw.front() != '[' || raw.back() != ']') return false;
+  out->clear();
+  std::string inner = raw.substr(1, raw.size() - 2);
+  size_t i = 0;
+  while (i < inner.size()) {
+    while (i < inner.size() && inner[i] != '"') ++i;
+    if (i >= inner.size()) break;
+    size_t j = ++i;
+    while (j < inner.size() && inner[j] != '"') ++j;
+    out->push_back(inner.substr(i, j - i));
+    i = j + 1;
+  }
+  return true;
+}
+
+/// Strict small-integer parse (rejects empty/garbage/overflow).
+bool ParseSmallInt(const std::string& s, int* out) {
+  if (s.empty() || s.size() > 9) return false;
+  size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) return false;
+  long v = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  *out = static_cast<int>(s[0] == '-' ? -v : v);
+  return true;
+}
+
+/// Parses [[0,1],[1,2]].
+bool ExtractEdgeArray(const std::string& line, const std::string& key,
+                      std::vector<std::pair<int, int>>* out) {
+  std::string raw;
+  if (!ExtractRaw(line, key, &raw)) return false;
+  out->clear();
+  int a = 0, b = 0;
+  int state = 0;  // 0: seeking '[', 1: reading first, 2: reading second.
+  std::string num;
+  // Skip the outermost brackets by tracking depth.
+  int depth = 0;
+  for (char c : raw) {
+    if (c == '[') {
+      ++depth;
+      if (depth == 2) {
+        state = 1;
+        num.clear();
+      }
+      continue;
+    }
+    if (c == ',' && depth == 2 && state == 1) {
+      if (!ParseSmallInt(num, &a)) return false;
+      num.clear();
+      state = 2;
+      continue;
+    }
+    if (c == ']') {
+      if (depth == 2 && state == 2) {
+        if (!ParseSmallInt(num, &b)) return false;
+        out->emplace_back(a, b);
+        state = 0;
+        num.clear();
+      }
+      --depth;
+      continue;
+    }
+    if ((c >= '0' && c <= '9') || c == '-') num.push_back(c);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string WriteEventLog(const ApplicationSpec& app, const AppRunResult& run) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\"Event\":\"SparkListenerApplicationStart\",\"App Name\":\""
+     << JsonEscape(app.name) << "\"}\n";
+  for (const auto& sr : run.stage_runs) {
+    const StageSpec& stage = app.stages[sr.stage_index];
+    StageDag dag = BuildStageDag(stage);
+    os << "{\"Event\":\"SparkListenerStageCompleted\",\"Stage Index\":"
+       << sr.stage_index << ",\"Iteration\":" << sr.iteration
+       << ",\"Stage Name\":\"" << JsonEscape(stage.name) << "\""
+       << ",\"Duration\":" << sr.seconds << ",\"Failed\":"
+       << (sr.failed ? "true" : "false") << ",\"RDD Nodes\":[";
+    for (size_t i = 0; i < dag.node_ops.size(); ++i) {
+      if (i) os << ",";
+      os << "\"" << JsonEscape(dag.node_ops[i]) << "\"";
+    }
+    os << "],\"Edges\":[";
+    for (size_t i = 0; i < dag.edges.size(); ++i) {
+      if (i) os << ",";
+      os << "[" << dag.edges[i].first << "," << dag.edges[i].second << "]";
+    }
+    os << "]}\n";
+  }
+  os << "{\"Event\":\"SparkListenerApplicationEnd\",\"Duration\":"
+     << run.total_seconds << ",\"Failed\":" << (run.failed ? "true" : "false")
+     << "}\n";
+  return os.str();
+}
+
+bool ParseEventLog(const std::string& log, ParsedEventLog* out) {
+  *out = ParsedEventLog();
+  bool saw_start = false, saw_end = false;
+  for (const auto& line : Split(log, '\n')) {
+    if (Trim(line).empty()) continue;
+    std::string event;
+    if (!ExtractString(line, "Event", &event)) return false;
+    if (event == "SparkListenerApplicationStart") {
+      if (!ExtractString(line, "App Name", &out->app_name)) return false;
+      saw_start = true;
+    } else if (event == "SparkListenerStageCompleted") {
+      StageEvent se;
+      double idx = 0, iter = 0;
+      if (!ExtractDouble(line, "Stage Index", &idx)) return false;
+      if (!ExtractDouble(line, "Iteration", &iter)) return false;
+      if (!ExtractString(line, "Stage Name", &se.stage_name)) return false;
+      if (!ExtractDouble(line, "Duration", &se.seconds)) return false;
+      if (idx < 0 || iter < 0 || !std::isfinite(se.seconds)) return false;
+      se.stage_index = static_cast<size_t>(idx);
+      se.iteration = static_cast<int>(iter);
+      if (!ExtractStringArray(line, "RDD Nodes", &se.dag.node_ops)) return false;
+      if (!ExtractEdgeArray(line, "Edges", &se.dag.edges)) return false;
+      // Edges must reference declared nodes (corrupt logs are rejected,
+      // never allowed to index out of bounds downstream).
+      for (const auto& [u, v] : se.dag.edges) {
+        if (u < 0 || v < 0 ||
+            static_cast<size_t>(u) >= se.dag.node_ops.size() ||
+            static_cast<size_t>(v) >= se.dag.node_ops.size()) {
+          return false;
+        }
+      }
+      if (se.dag.node_ops.empty()) return false;
+      out->stages.push_back(std::move(se));
+    } else if (event == "SparkListenerApplicationEnd") {
+      if (!ExtractDouble(line, "Duration", &out->total_seconds)) return false;
+      std::string failed_raw;
+      if (ExtractRaw(line, "Failed", &failed_raw)) {
+        out->failed = (failed_raw == "true");
+      }
+      saw_end = true;
+    }
+  }
+  return saw_start && saw_end;
+}
+
+}  // namespace lite::spark

@@ -1,0 +1,41 @@
+// Spark event-log emulation: the simulator serializes each run as a
+// JSON-lines event log (SparkListener-style), and the feature pipeline
+// parses stage-level DAGs and durations back out of it — mirroring how the
+// paper extracts scheduler features "by parsing the event log files"
+// (Section III-B Step 3).
+#ifndef LITE_SPARKSIM_EVENTLOG_H_
+#define LITE_SPARKSIM_EVENTLOG_H_
+
+#include <string>
+#include <vector>
+
+#include "sparksim/cost_model.h"
+#include "sparksim/dag.h"
+
+namespace lite::spark {
+
+/// A parsed stage-completion event.
+struct StageEvent {
+  size_t stage_index = 0;
+  int iteration = 0;
+  std::string stage_name;
+  double seconds = 0.0;
+  StageDag dag;
+};
+
+struct ParsedEventLog {
+  std::string app_name;
+  double total_seconds = 0.0;
+  bool failed = false;
+  std::vector<StageEvent> stages;
+};
+
+/// Serializes a run to the JSON-lines event-log format.
+std::string WriteEventLog(const ApplicationSpec& app, const AppRunResult& run);
+
+/// Parses a log produced by WriteEventLog. Returns false on malformed input.
+bool ParseEventLog(const std::string& log, ParsedEventLog* out);
+
+}  // namespace lite::spark
+
+#endif  // LITE_SPARKSIM_EVENTLOG_H_

@@ -1,0 +1,45 @@
+#include "sparksim/instrumentation.h"
+
+#include "sparksim/codegen.h"
+
+namespace lite::spark {
+
+AppArtifacts Instrumenter::Instrument(const ApplicationSpec& app) const {
+  AppArtifacts out;
+  out.app_name = app.name;
+  out.app_code_tokens = GenerateAppCode(app);
+  out.stages.reserve(app.stages.size());
+  for (size_t si = 0; si < app.stages.size(); ++si) {
+    StageArtifacts sa;
+    sa.stage_index = si;
+    sa.stage_name = app.stages[si].name;
+    sa.code_tokens = GenerateStageCode(app, si);
+    sa.dag = BuildStageDag(app.stages[si]);
+    out.stages.push_back(std::move(sa));
+  }
+  return out;
+}
+
+AugmentationStats Instrumenter::ComputeAugmentation(const ApplicationSpec& app,
+                                                    int iterations) const {
+  AugmentationStats stats;
+  stats.app_abbrev = app.abbrev;
+  stats.app_instances = 1;
+  stats.stage_instances = app.StageInstanceCount(
+      iterations > 0 ? iterations : app.default_iterations);
+  stats.app_tokens = static_cast<double>(GenerateAppCode(app).size());
+  double total = 0.0;
+  size_t per_run = 0;
+  for (size_t si = 0; si < app.stages.size(); ++si) {
+    size_t reps = app.stages[si].per_iteration
+                      ? static_cast<size_t>(std::max(
+                            iterations > 0 ? iterations : app.default_iterations, 1))
+                      : 1;
+    total += static_cast<double>(GenerateStageCode(app, si).size() * reps);
+    per_run += reps;
+  }
+  stats.mean_stage_tokens = per_run > 0 ? total / static_cast<double>(per_run) : 0;
+  return stats;
+}
+
+}  // namespace lite::spark

@@ -1,0 +1,57 @@
+// Instrumentation emulation (Section III-B Step 1): where the paper attaches
+// a Java agent that rewrites Spark-core bytecode and dumps the classes each
+// stage loads, this module expands an application into per-stage code token
+// streams and scheduler DAGs — the exact artifacts the downstream feature
+// extraction consumes.
+#ifndef LITE_SPARKSIM_INSTRUMENTATION_H_
+#define LITE_SPARKSIM_INSTRUMENTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "sparksim/application.h"
+#include "sparksim/dag.h"
+
+namespace lite::spark {
+
+/// Instrumented view of one stage.
+struct StageArtifacts {
+  size_t stage_index = 0;
+  std::string stage_name;
+  std::vector<std::string> code_tokens;  ///< stage-level code (Fig. 5).
+  StageDag dag;                          ///< scheduler DAG for the stage.
+};
+
+/// Instrumented view of one application.
+struct AppArtifacts {
+  std::string app_name;
+  std::vector<std::string> app_code_tokens;  ///< main-body code (Fig. 4).
+  std::vector<StageArtifacts> stages;
+};
+
+/// Statistics for the Fig. 9 augmentation analysis.
+struct AugmentationStats {
+  std::string app_abbrev;
+  size_t app_instances = 1;           ///< instances from one run, app level.
+  size_t stage_instances = 0;         ///< instances from one run after SCO.
+  double app_tokens = 0;              ///< tokens in the application code.
+  double mean_stage_tokens = 0;       ///< mean tokens per stage instance.
+};
+
+class Instrumenter {
+ public:
+  /// Runs "instrumentation" on an application: produces app-level code and
+  /// per-stage code + DAGs. Deterministic; the simulated cost of this step
+  /// (running the app once on the smallest dataset) is reported separately
+  /// by the cold-start overhead bench.
+  AppArtifacts Instrument(const ApplicationSpec& app) const;
+
+  /// Computes the data-augmentation statistics of Stage-based Code
+  /// Organization for a run with `iterations` iterations.
+  AugmentationStats ComputeAugmentation(const ApplicationSpec& app,
+                                        int iterations) const;
+};
+
+}  // namespace lite::spark
+
+#endif  // LITE_SPARKSIM_INSTRUMENTATION_H_

@@ -1,0 +1,123 @@
+#include "sparksim/knob.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lite::spark {
+
+const KnobSpace& KnobSpace::Spark16() {
+  static const KnobSpace* space = new KnobSpace({
+      {"spark.default.parallelism", KnobType::kInt, 8, 512, 16, "",
+       "Number of RDD partitions"},
+      {"spark.driver.cores", KnobType::kInt, 1, 8, 1, "cores",
+       "Number of cores used by the driver process"},
+      {"spark.driver.maxResultSize", KnobType::kInt, 64, 4096, 1024, "MB",
+       "Size limit of serialized results per Spark action"},
+      {"spark.driver.memory", KnobType::kInt, 1, 16, 2, "GB",
+       "Heap memory size for the driver process"},
+      {"spark.driver.memoryOverhead", KnobType::kInt, 128, 2048, 384, "MB",
+       "Off-heap memory size per driver"},
+      {"spark.executor.cores", KnobType::kInt, 1, 16, 2, "cores",
+       "Number of cores per executor"},
+      {"spark.executor.memory", KnobType::kInt, 1, 32, 2, "GB",
+       "Heap memory size per executor process"},
+      {"spark.executor.memoryOverhead", KnobType::kInt, 128, 4096, 384, "MB",
+       "Off-heap memory size per executor"},
+      {"spark.executor.instances", KnobType::kInt, 1, 32, 2, "",
+       "Initial number of executors"},
+      {"spark.files.maxPartitionBytes", KnobType::kInt, 16, 512, 128, "MB",
+       "Max size per partition during file reading"},
+      {"spark.memory.fraction", KnobType::kFloat, 0.3, 0.9, 0.6, "",
+       "Fraction of heap for execution and storage memory"},
+      {"spark.memory.storageFraction", KnobType::kFloat, 0.1, 0.9, 0.5, "",
+       "Storage memory fraction exempt from eviction"},
+      {"spark.reducer.maxSizeInFlight", KnobType::kInt, 8, 128, 48, "MB",
+       "Max map outputs collected concurrently per reduce task"},
+      {"spark.shuffle.file.buffer", KnobType::kInt, 8, 256, 32, "KB",
+       "In-memory buffer size per shuffle output stream"},
+      {"spark.shuffle.compress", KnobType::kBool, 0, 1, 1, "",
+       "Compress map output files (Boolean)"},
+      {"spark.shuffle.spill.compress", KnobType::kBool, 0, 1, 1, "",
+       "Compress data spilled during shuffles (Boolean)"},
+  });
+  return *space;
+}
+
+int KnobSpace::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Config KnobSpace::DefaultConfig() const {
+  Config c(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) c[i] = specs_[i].default_value;
+  return c;
+}
+
+Config KnobSpace::RandomConfig(Rng* rng) const {
+  Config c(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    c[i] = Snap(i, rng->Uniform(specs_[i].min_value, specs_[i].max_value));
+  }
+  return c;
+}
+
+double KnobSpace::Snap(size_t i, double v) const {
+  const KnobSpec& s = specs_[i];
+  v = std::clamp(v, s.min_value, s.max_value);
+  switch (s.type) {
+    case KnobType::kInt:
+      return std::round(v);
+    case KnobType::kBool:
+      return v >= 0.5 ? 1.0 : 0.0;
+    case KnobType::kFloat:
+      return v;
+  }
+  return v;
+}
+
+std::vector<double> KnobSpace::Normalize(const Config& config) const {
+  LITE_CHECK(config.size() == specs_.size()) << "Normalize arity";
+  std::vector<double> out(config.size());
+  for (size_t i = 0; i < config.size(); ++i) {
+    const KnobSpec& s = specs_[i];
+    double span = s.max_value - s.min_value;
+    out[i] = span > 0 ? (config[i] - s.min_value) / span : 0.0;
+    out[i] = std::clamp(out[i], 0.0, 1.0);
+  }
+  return out;
+}
+
+Config KnobSpace::Denormalize(const std::vector<double>& unit) const {
+  LITE_CHECK(unit.size() == specs_.size()) << "Denormalize arity";
+  Config out(unit.size());
+  for (size_t i = 0; i < unit.size(); ++i) {
+    const KnobSpec& s = specs_[i];
+    double v = s.min_value + std::clamp(unit[i], 0.0, 1.0) * (s.max_value - s.min_value);
+    out[i] = Snap(i, v);
+  }
+  return out;
+}
+
+Config KnobSpace::Clamp(const Config& config) const {
+  LITE_CHECK(config.size() == specs_.size()) << "Clamp arity";
+  Config out(config.size());
+  for (size_t i = 0; i < config.size(); ++i) out[i] = Snap(i, config[i]);
+  return out;
+}
+
+bool KnobSpace::IsValid(const Config& config) const {
+  if (config.size() != specs_.size()) return false;
+  for (size_t i = 0; i < config.size(); ++i) {
+    const KnobSpec& s = specs_[i];
+    if (config[i] < s.min_value || config[i] > s.max_value) return false;
+    if (s.type != KnobType::kFloat && config[i] != std::round(config[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace lite::spark

@@ -1,0 +1,88 @@
+// The 16 performance-aware Spark configuration knobs of Table IV, with
+// typed value ranges, defaults, and [0,1]^D normalization used by every
+// tuner in this repository.
+#ifndef LITE_SPARKSIM_KNOB_H_
+#define LITE_SPARKSIM_KNOB_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lite::spark {
+
+/// A configuration is the vector of the 16 knob values in natural units,
+/// ordered as in KnobSpace::Spark16().
+using Config = std::vector<double>;
+
+enum class KnobType { kInt, kFloat, kBool };
+
+struct KnobSpec {
+  std::string name;
+  KnobType type;
+  double min_value;
+  double max_value;
+  double default_value;
+  std::string unit;         ///< "", "MB", "GB", "KB", "cores", ...
+  std::string description;  ///< Table IV's brief description.
+};
+
+/// Well-known knob indices (order of KnobSpace::Spark16()).
+enum KnobIndex : size_t {
+  kDefaultParallelism = 0,
+  kDriverCores = 1,
+  kDriverMaxResultSize = 2,  // MB
+  kDriverMemory = 3,         // GB
+  kDriverMemoryOverhead = 4, // MB
+  kExecutorCores = 5,
+  kExecutorMemory = 6,       // GB
+  kExecutorMemoryOverhead = 7,  // MB
+  kExecutorInstances = 8,
+  kFilesMaxPartitionBytes = 9,  // MB
+  kMemoryFraction = 10,
+  kMemoryStorageFraction = 11,
+  kReducerMaxSizeInFlight = 12,  // MB
+  kShuffleFileBuffer = 13,       // KB
+  kShuffleCompress = 14,         // bool
+  kShuffleSpillCompress = 15,    // bool
+  kNumKnobs = 16,
+};
+
+/// The tuning search space: knob metadata plus conversions between natural
+/// units and the normalized unit cube.
+class KnobSpace {
+ public:
+  /// The canonical 16-knob Spark space (Table IV).
+  static const KnobSpace& Spark16();
+
+  size_t size() const { return specs_.size(); }
+  const KnobSpec& spec(size_t i) const { return specs_[i]; }
+  const std::vector<KnobSpec>& specs() const { return specs_; }
+
+  /// Index of a knob by full name ("spark.executor.cores"); -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  Config DefaultConfig() const;
+  Config RandomConfig(Rng* rng) const;
+
+  /// Natural units -> [0,1]^D.
+  std::vector<double> Normalize(const Config& config) const;
+  /// [0,1]^D -> natural units, snapping ints/bools to legal values.
+  Config Denormalize(const std::vector<double>& unit) const;
+  /// Clamps (and snaps) a configuration into its legal ranges.
+  Config Clamp(const Config& config) const;
+
+  /// True if every knob is within range and correctly typed.
+  bool IsValid(const Config& config) const;
+
+  explicit KnobSpace(std::vector<KnobSpec> specs) : specs_(std::move(specs)) {}
+
+ private:
+  double Snap(size_t i, double v) const;
+
+  std::vector<KnobSpec> specs_;
+};
+
+}  // namespace lite::spark
+
+#endif  // LITE_SPARKSIM_KNOB_H_

@@ -1,0 +1,19 @@
+#include "sparksim/runner.h"
+
+namespace lite::spark {
+
+Submission SparkRunner::Submit(const ApplicationSpec& app, const DataSpec& data,
+                               const ClusterEnv& env, const Config& config) const {
+  Submission s;
+  s.result = cost_model_.Run(app, data, env, config);
+  s.event_log = WriteEventLog(app, s.result);
+  return s;
+}
+
+double SparkRunner::Measure(const ApplicationSpec& app, const DataSpec& data,
+                            const ClusterEnv& env, const Config& config) const {
+  AppRunResult r = cost_model_.Run(app, data, env, config);
+  return r.failed ? cost_model_.options().failure_cap_seconds : r.total_seconds;
+}
+
+}  // namespace lite::spark

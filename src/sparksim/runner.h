@@ -1,0 +1,44 @@
+// SparkRunner: the facade tying the simulator together. Tuners and the
+// LITE training pipeline talk to this class only — it plays the role of
+// "submit the application to the cluster and wait".
+#ifndef LITE_SPARKSIM_RUNNER_H_
+#define LITE_SPARKSIM_RUNNER_H_
+
+#include <string>
+
+#include "sparksim/cost_model.h"
+#include "sparksim/eventlog.h"
+#include "sparksim/instrumentation.h"
+
+namespace lite::spark {
+
+/// A completed (simulated) application submission.
+struct Submission {
+  AppRunResult result;
+  std::string event_log;  ///< JSON-lines event log of the run.
+};
+
+class SparkRunner {
+ public:
+  explicit SparkRunner(CostModelOptions options = {}) : cost_model_(options) {}
+
+  /// Runs the application and returns the result plus its event log.
+  Submission Submit(const ApplicationSpec& app, const DataSpec& data,
+                    const ClusterEnv& env, const Config& config) const;
+
+  /// Execution time only — the common case for tuners. Failed runs report
+  /// the 2-hour cap (the paper's protocol for failures/timeouts).
+  double Measure(const ApplicationSpec& app, const DataSpec& data,
+                 const ClusterEnv& env, const Config& config) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const Instrumenter& instrumenter() const { return instrumenter_; }
+
+ private:
+  CostModel cost_model_;
+  Instrumenter instrumenter_;
+};
+
+}  // namespace lite::spark
+
+#endif  // LITE_SPARKSIM_RUNNER_H_

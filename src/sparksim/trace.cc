@@ -1,0 +1,56 @@
+#include "sparksim/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace lite::spark {
+
+namespace {
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string WriteChromeTrace(const ApplicationSpec& app, const AppRunResult& run) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "[\n";
+  // Thread-name metadata: one "thread" per stage spec.
+  for (size_t si = 0; si < app.stages.size(); ++si) {
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << si
+       << ",\"args\":{\"name\":\"" << Escape(app.stages[si].name) << "\"}},\n";
+  }
+  double cursor_us = 0.0;
+  bool first = true;
+  for (const auto& sr : run.stage_runs) {
+    double dur_us = sr.seconds * 1e6;
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << Escape(app.stages[sr.stage_index].name) << " it"
+       << sr.iteration << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << sr.stage_index
+       << ",\"ts\":" << cursor_us << ",\"dur\":" << dur_us << ",\"args\":{"
+       << "\"tasks\":" << sr.tasks << ",\"waves\":" << sr.waves
+       << ",\"shuffle_mb\":" << sr.shuffle_mb << ",\"spill_mb\":" << sr.spill_mb
+       << ",\"memory_pressure\":" << sr.memory_pressure
+       << (sr.failed ? ",\"failed\":true" : "") << "}}";
+    cursor_us += dur_us;
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+bool WriteChromeTraceFile(const ApplicationSpec& app, const AppRunResult& run,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << WriteChromeTrace(app, run);
+  return static_cast<bool>(out);
+}
+
+}  // namespace lite::spark

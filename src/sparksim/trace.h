@@ -1,0 +1,26 @@
+// Chrome-trace export of simulated runs: produces a chrome://tracing /
+// Perfetto-compatible JSON timeline with one row per stage spec and one
+// complete-event span per stage execution, so the shape of a run (iteration
+// trains, shuffle-heavy stages, stragglers) can be inspected visually.
+#ifndef LITE_SPARKSIM_TRACE_H_
+#define LITE_SPARKSIM_TRACE_H_
+
+#include <string>
+
+#include "sparksim/cost_model.h"
+
+namespace lite::spark {
+
+/// Serializes a run as a Chrome trace (JSON array of complete events).
+/// Spans are laid out sequentially in simulated time, matching how the cost
+/// model accumulates stage times; each event carries the stage's
+/// diagnostics (tasks, waves, shuffle/spill MB) as args.
+std::string WriteChromeTrace(const ApplicationSpec& app, const AppRunResult& run);
+
+/// Convenience: writes the trace to a file; returns false on I/O error.
+bool WriteChromeTraceFile(const ApplicationSpec& app, const AppRunResult& run,
+                          const std::string& path);
+
+}  // namespace lite::spark
+
+#endif  // LITE_SPARKSIM_TRACE_H_

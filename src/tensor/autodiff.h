@@ -1,0 +1,124 @@
+// Reverse-mode automatic differentiation over Tensor values.
+//
+// The graph is dynamic: each op allocates a Var node holding its output value,
+// its gradient buffer, its parents, and a closure that propagates the output
+// gradient to the parents. Backward() topologically sorts the graph reachable
+// from a scalar loss and runs the closures in reverse order.
+//
+// The op vocabulary is exactly what the models in this repository need:
+// dense layers (MatMul/AddBias), activations, TextCNN (Conv1D + max pooling),
+// GCN (constant-matrix products + column max), LSTM gates (row slicing,
+// elementwise arithmetic), single-head attention (scaled dot product +
+// row softmax), embedding lookup, losses (MSE, BCE-with-logits), and the
+// gradient-reversal operator used by the adversarial Adaptive Model Update.
+#ifndef LITE_TENSOR_AUTODIFF_H_
+#define LITE_TENSOR_AUTODIFF_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lite {
+
+class Var;
+using VarPtr = std::shared_ptr<Var>;
+
+/// A node in the autodiff graph.
+class Var {
+ public:
+  Tensor value;
+  Tensor grad;  ///< same shape as value; lazily zeroed before backward.
+  bool requires_grad = false;
+  std::vector<VarPtr> parents;
+  /// Propagates this->grad into parents' grads. Null for leaves.
+  std::function<void()> backward_fn;
+
+  explicit Var(Tensor v, bool req = false)
+      : value(std::move(v)), requires_grad(req) {
+    grad = Tensor::Zeros(value.shape());
+  }
+
+  size_t numel() const { return value.numel(); }
+  /// Scalar accessor; asserts numel()==1 in debug builds.
+  float scalar() const { return value[0]; }
+};
+
+/// Leaf holding trainable parameters.
+VarPtr Param(Tensor t);
+/// Leaf holding non-trainable input data.
+VarPtr Input(Tensor t);
+
+/// Runs reverse-mode accumulation from scalar `root` (numel must be 1).
+/// Gradients of all reachable nodes are zeroed first, then root's grad is
+/// seeded with 1.
+void Backward(const VarPtr& root);
+
+namespace ops {
+
+/// C = A * B (2D).
+VarPtr MatMul(const VarPtr& a, const VarPtr& b);
+/// C = A * B^T (2D); used by attention score computation.
+VarPtr MatMulTransB(const VarPtr& a, const VarPtr& b);
+/// Same-shape elementwise sum.
+VarPtr Add(const VarPtr& a, const VarPtr& b);
+/// Same-shape elementwise difference a - b.
+VarPtr Sub(const VarPtr& a, const VarPtr& b);
+/// Same-shape elementwise product (Hadamard).
+VarPtr Mul(const VarPtr& a, const VarPtr& b);
+/// Adds a rank-1 bias to every row of a 2D tensor (broadcast), or
+/// elementwise when `a` is rank-1.
+VarPtr AddBias(const VarPtr& a, const VarPtr& bias);
+/// Multiplies by a compile-time constant.
+VarPtr Scale(const VarPtr& a, float alpha);
+
+VarPtr Relu(const VarPtr& a);
+VarPtr Sigmoid(const VarPtr& a);
+VarPtr Tanh(const VarPtr& a);
+
+/// Concatenates rank-1 tensors into one rank-1 tensor.
+VarPtr Concat(const std::vector<VarPtr>& parts);
+/// Extracts row r of a 2D tensor as a 1 x C matrix.
+VarPtr Row(const VarPtr& a, size_t r);
+/// Extracts columns [start, start+len) of a 2D tensor (LSTM gate slicing).
+VarPtr SliceCols(const VarPtr& a, size_t start, size_t len);
+/// Reshapes without copying semantics (value copied; gradient routed back).
+VarPtr Reshape(const VarPtr& a, std::vector<size_t> shape);
+
+/// 1-D convolution over the token axis. `input` is D x N (embedding dim x
+/// positions), `weight` is I x (D*w) (I kernels of width w), `bias` is
+/// rank-1 length I. Output is I x (N - w + 1). N must be >= w.
+VarPtr Conv1D(const VarPtr& input, const VarPtr& weight, const VarPtr& bias,
+              size_t width);
+/// Max over each row of a 2D tensor -> rank-1 length R (per-kernel pooling).
+VarPtr MaxOverCols(const VarPtr& a);
+/// Max over each column of a 2D tensor -> rank-1 length C (GCN readout).
+VarPtr MaxOverRows(const VarPtr& a);
+/// Mean over rows -> rank-1 length C (transformer pooling).
+VarPtr MeanOverRows(const VarPtr& a);
+
+/// Row-wise softmax of a 2D tensor.
+VarPtr SoftmaxRows(const VarPtr& a);
+
+/// Gathers embedding rows: `table` is V x D, ids are token indices; output is
+/// D x N when `columns_are_tokens`, else N x D. Out-of-range ids are clamped.
+VarPtr EmbeddingLookup(const VarPtr& table, const std::vector<int>& ids,
+                       bool columns_are_tokens);
+
+/// Scalar MSE: mean_i (a_i - target_i)^2. `target` is constant data.
+VarPtr MseLoss(const VarPtr& pred, const Tensor& target);
+/// Scalar binary cross-entropy with logits: target label in {0,1}.
+VarPtr BceWithLogitsLoss(const VarPtr& logit, float label);
+/// Sum of squares of a (L2 regularizer building block).
+VarPtr SquareSum(const VarPtr& a);
+
+/// Identity forward; multiplies gradient by -lambda on the way back
+/// (Ganin & Lempitsky's gradient-reversal layer, used to implement the
+/// minimax objective of Eq. 8 in a single backward pass).
+VarPtr GradReverse(const VarPtr& a, float lambda);
+
+}  // namespace ops
+}  // namespace lite
+
+#endif  // LITE_TENSOR_AUTODIFF_H_

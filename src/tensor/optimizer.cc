@@ -1,0 +1,74 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace lite {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p->grad.Zero();
+}
+
+void Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (auto& p : params_) {
+    float n = p->grad.Norm();
+    total += static_cast<double>(n) * n;
+  }
+  float norm = static_cast<float>(std::sqrt(total));
+  if (norm <= max_norm || norm == 0.0f) return;
+  float scale = max_norm / norm;
+  for (auto& p : params_) p->grad.Scale(scale);
+}
+
+Sgd::Sgd(std::vector<VarPtr> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_) velocity_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = *params_[i];
+    if (momentum_ > 0.0f) {
+      velocity_[i].Scale(momentum_);
+      velocity_[i].Axpy(1.0f, p.grad);
+      p.value.Axpy(-lr_, velocity_[i]);
+    } else {
+      p.value.Axpy(-lr_, p.grad);
+    }
+  }
+}
+
+Adam::Adam(std::vector<VarPtr> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.push_back(Tensor::Zeros(p->value.shape()));
+    v_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (size_t j = 0; j < p.value.numel(); ++j) {
+      float g = p.grad[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      float mhat = m[j] / bc1;
+      float vhat = v[j] / bc2;
+      p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace lite

@@ -1,0 +1,67 @@
+// First-order optimizers over lists of parameter Vars.
+#ifndef LITE_TENSOR_OPTIMIZER_H_
+#define LITE_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/autodiff.h"
+
+namespace lite {
+
+/// Common interface: after Backward() has filled parameter gradients, Step()
+/// applies an update and the caller zeroes or rebuilds the graph.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<VarPtr> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients (gradients of op nodes are re-zeroed by
+  /// Backward itself; parameters persist across graphs so need explicit
+  /// clearing when accumulating over minibatches).
+  void ZeroGrad();
+
+  /// Clips the global gradient norm to `max_norm` (no-op if under).
+  void ClipGradNorm(float max_norm);
+
+  const std::vector<VarPtr>& params() const { return params_; }
+
+ protected:
+  std::vector<VarPtr> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<VarPtr> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<VarPtr> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_TENSOR_OPTIMIZER_H_

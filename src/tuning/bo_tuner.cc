@@ -1,0 +1,125 @@
+#include "tuning/bo_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/logging.h"
+
+namespace lite {
+
+using spark::Config;
+using spark::KnobSpace;
+
+BoTuner::BoTuner(const spark::SparkRunner* runner, const Corpus* corpus,
+                 BoOptions options)
+    : runner_(runner), corpus_(corpus), options_(options) {}
+
+std::vector<Config> BoTuner::WarmStartConfigs(const TuningTask& task,
+                                              Rng* rng) const {
+  const auto& space = KnobSpace::Spark16();
+  std::vector<Config> out;
+  if (corpus_ != nullptr) {
+    // Rank corpus app-instances by similarity: same app > same class, then
+    // fastest first (OtterTune seeds from the best matched observations).
+    struct Cand {
+      double score;
+      double seconds;
+      const StageInstance* inst;
+    };
+    std::map<int, Cand> per_instance;
+    for (const auto& inst : corpus_->instances) {
+      const spark::ApplicationSpec* app = spark::AppCatalog::Find(inst.app_name);
+      double score = 0.0;
+      if (app == task.app) score += 2.0;
+      if (app != nullptr && app->app_class == task.app->app_class) score += 1.0;
+      auto it = per_instance.find(inst.app_instance_id);
+      if (it == per_instance.end()) {
+        per_instance.emplace(inst.app_instance_id,
+                             Cand{score, inst.app_total_seconds, &inst});
+      }
+    }
+    std::vector<Cand> cands;
+    for (auto& [id, c] : per_instance) cands.push_back(c);
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.seconds < b.seconds;
+    });
+    for (size_t i = 0; i < cands.size() && out.size() < options_.warm_start_points;
+         ++i) {
+      out.push_back(space.Denormalize(cands[i].inst->knobs));
+    }
+  }
+  while (out.size() < options_.warm_start_points) {
+    out.push_back(space.RandomConfig(rng));
+  }
+  return out;
+}
+
+TuningResult BoTuner::Tune(const TuningTask& task, double budget_seconds) {
+  const auto& space = KnobSpace::Spark16();
+  Rng rng(options_.seed ^ std::hash<std::string>{}(task.app->name));
+  TrialClock clock(budget_seconds);
+  TuningResult res;
+  res.best_seconds = std::numeric_limits<double>::infinity();
+
+  std::vector<std::vector<double>> xs;  // normalized configs.
+  std::vector<double> ys;               // log execution times.
+
+  auto run_trial = [&](const Config& config) -> bool {
+    double t = runner_->Measure(*task.app, task.data, task.env, config);
+    // Statically unschedulable submissions are rejected by the resource
+    // manager in seconds; they still count as failed observations (t = cap)
+    // but do not burn hours of budget.
+    double cost = spark::PlacementFeasible(task.env, config) ? t : 60.0;
+    if (!clock.Charge(cost)) return false;
+    ++res.trials;
+    res.trace.Record(clock.elapsed(), t);
+    xs.push_back(space.Normalize(config));
+    ys.push_back(std::log1p(t));
+    if (t < res.best_seconds) {
+      res.best_seconds = t;
+      res.best_config = config;
+    }
+    return true;
+  };
+
+  for (const auto& config : WarmStartConfigs(task, &rng)) {
+    if (!run_trial(config)) break;
+  }
+
+  while (!clock.exhausted() && res.trials < options_.max_trials) {
+    GpOptions gp_opts = options_.gp;
+    gp_opts.select_length_scale = true;  // marginal-likelihood model selection.
+    GaussianProcess gp(gp_opts);
+    if (xs.empty() || !gp.Fit(xs, ys)) {
+      if (!run_trial(space.RandomConfig(&rng))) break;
+      continue;
+    }
+    double best_y = *std::min_element(ys.begin(), ys.end());
+    double best_ei = -1.0;
+    std::vector<double> best_point;
+    for (size_t s = 0; s < options_.acquisition_samples; ++s) {
+      std::vector<double> u(space.size());
+      for (double& v : u) v = rng.Uniform();
+      double ei = gp.ExpectedImprovement(u, best_y);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_point = u;
+      }
+    }
+    if (best_point.empty()) best_point = std::vector<double>(space.size(), 0.5);
+    if (!run_trial(space.Denormalize(best_point))) break;
+  }
+
+  if (res.best_config.empty()) {
+    res.best_config = space.DefaultConfig();
+    res.best_seconds =
+        runner_->Measure(*task.app, task.data, task.env, res.best_config);
+  }
+  res.overhead_seconds = clock.elapsed();
+  return res;
+}
+
+}  // namespace lite

@@ -1,0 +1,43 @@
+// BO(2h): Bayesian optimization with a Gaussian-process surrogate and the
+// Expected Improvement acquisition, warm-started OtterTune-style from the
+// most similar instances in the offline training corpus (Section V-B).
+#ifndef LITE_TUNING_BO_TUNER_H_
+#define LITE_TUNING_BO_TUNER_H_
+
+#include "lite/dataset.h"
+#include "ml/gaussian_process.h"
+#include "tuning/tuner.h"
+
+namespace lite {
+
+struct BoOptions {
+  size_t warm_start_points = 5;     ///< similar instances seeding the GP.
+  size_t acquisition_samples = 512; ///< random points scored by EI per step.
+  size_t max_trials = 64;           ///< safety cap (budget is the real limit).
+  GpOptions gp;
+  uint64_t seed = 47;
+};
+
+class BoTuner : public Tuner {
+ public:
+  /// `corpus` may be null: then warm start uses random configurations.
+  BoTuner(const spark::SparkRunner* runner, const Corpus* corpus,
+          BoOptions options = {});
+
+  TuningResult Tune(const TuningTask& task, double budget_seconds) override;
+  std::string name() const override { return "BO"; }
+
+ private:
+  /// Picks warm-start configurations from corpus app-instances most similar
+  /// to the task (same application first, then same class).
+  std::vector<spark::Config> WarmStartConfigs(const TuningTask& task,
+                                              Rng* rng) const;
+
+  const spark::SparkRunner* runner_;
+  const Corpus* corpus_;
+  BoOptions options_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_TUNING_BO_TUNER_H_

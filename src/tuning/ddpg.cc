@@ -1,0 +1,209 @@
+#include "tuning/ddpg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sparksim/codegen.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+
+namespace lite {
+
+using namespace ops;
+using spark::Config;
+using spark::KnobSpace;
+
+OuNoise::OuNoise(size_t dims, double theta, double sigma, Rng* rng)
+    : dims_(dims), theta_(theta), sigma_(sigma), rng_(rng), state_(dims, 0.0) {}
+
+const std::vector<double>& OuNoise::Sample() {
+  for (double& x : state_) {
+    x += theta_ * (0.0 - x) + sigma_ * rng_->Gaussian();
+  }
+  return state_;
+}
+
+void OuNoise::Reset() { std::fill(state_.begin(), state_.end(), 0.0); }
+
+DdpgAgent::DdpgAgent(size_t state_dim, size_t action_dim, DdpgOptions options)
+    : state_dim_(state_dim), action_dim_(action_dim), options_(options),
+      rng_(options.seed) {
+  actor_ = std::make_unique<Mlp>(state_dim, 2, action_dim, &rng_,
+                                 /*sigmoid_output=*/true);
+  critic_ = std::make_unique<Mlp>(state_dim + action_dim, 2, 1, &rng_);
+  Rng rng2 = rng_.Fork();
+  actor_target_ = std::make_unique<Mlp>(state_dim, 2, action_dim, &rng2,
+                                        /*sigmoid_output=*/true);
+  critic_target_ = std::make_unique<Mlp>(state_dim + action_dim, 2, 1, &rng2);
+  CopyParams(actor_->Params(), actor_target_->Params());
+  CopyParams(critic_->Params(), critic_target_->Params());
+  actor_opt_ = std::make_unique<Adam>(actor_->Params(), options.actor_lr);
+  critic_opt_ = std::make_unique<Adam>(critic_->Params(), options.critic_lr);
+}
+
+std::vector<double> DdpgAgent::Act(const std::vector<double>& state) const {
+  LITE_CHECK(state.size() == state_dim_) << "DDPG state dim";
+  VarPtr out = actor_->Predict(Input(Tensor::FromVector(state)));
+  std::vector<double> action(action_dim_);
+  for (size_t i = 0; i < action_dim_; ++i) action[i] = out->value[i];
+  return action;
+}
+
+void DdpgAgent::AddTransition(Transition t) {
+  replay_.push_back(std::move(t));
+  while (replay_.size() > options_.replay_capacity) replay_.pop_front();
+}
+
+VarPtr DdpgAgent::CriticForward(const Mlp& critic,
+                                const std::vector<double>& state,
+                                const std::vector<double>& action) const {
+  std::vector<double> sa = state;
+  sa.insert(sa.end(), action.begin(), action.end());
+  return critic.Predict(Input(Tensor::FromVector(sa)));
+}
+
+VarPtr DdpgAgent::CriticForwardVar(const Mlp& critic,
+                                   const std::vector<double>& state,
+                                   const VarPtr& action) const {
+  VarPtr s = Input(Tensor::FromVector(state));
+  return critic.Predict(Concat({s, action}));
+}
+
+void DdpgAgent::TrainStep() {
+  if (replay_.size() < options_.batch_size) return;
+  for (size_t round = 0; round < options_.updates_per_step; ++round) {
+    // ----- Critic update: minimize (Q(s,a) - (r + gamma Q'(s', mu'(s'))))^2.
+    critic_opt_->ZeroGrad();
+    double loss_sum = 0.0;
+    float inv = 1.0f / static_cast<float>(options_.batch_size);
+    for (size_t b = 0; b < options_.batch_size; ++b) {
+      const Transition& tr = replay_[rng_.Index(replay_.size())];
+      // Target value (no gradients through target nets).
+      VarPtr next_a = actor_target_->Predict(
+          Input(Tensor::FromVector(tr.next_state)));
+      std::vector<double> next_action(action_dim_);
+      for (size_t i = 0; i < action_dim_; ++i) next_action[i] = next_a->value[i];
+      VarPtr next_q =
+          CriticForward(*critic_target_, tr.next_state, next_action);
+      double target = tr.reward + options_.gamma * next_q->value[0];
+
+      VarPtr q = CriticForward(*critic_, tr.state, tr.action);
+      Tensor tgt(static_cast<size_t>(1));
+      tgt[0] = static_cast<float>(target);
+      VarPtr loss = Scale(MseLoss(q, tgt), inv);
+      Backward(loss);
+      loss_sum += loss->value[0];
+    }
+    critic_opt_->ClipGradNorm(5.0f);
+    critic_opt_->Step();
+    last_critic_loss_ = loss_sum;
+
+    // ----- Actor update: maximize Q(s, mu(s)).
+    actor_opt_->ZeroGrad();
+    critic_opt_->ZeroGrad();  // critic grads polluted below; cleared after.
+    for (size_t b = 0; b < options_.batch_size; ++b) {
+      const Transition& tr = replay_[rng_.Index(replay_.size())];
+      VarPtr a = actor_->Predict(Input(Tensor::FromVector(tr.state)));
+      VarPtr q = CriticForwardVar(*critic_, tr.state, a);
+      Backward(Scale(q, -inv));
+    }
+    actor_opt_->ClipGradNorm(5.0f);
+    actor_opt_->Step();
+    critic_opt_->ZeroGrad();
+
+    SoftUpdateParams(actor_->Params(), actor_target_->Params(), options_.tau);
+    SoftUpdateParams(critic_->Params(), critic_target_->Params(), options_.tau);
+  }
+}
+
+DdpgTuner::DdpgTuner(const spark::SparkRunner* runner, bool use_code_features,
+                     DdpgOptions options)
+    : runner_(runner), use_code_features_(use_code_features), options_(options) {}
+
+std::vector<double> DdpgTuner::BuildState(const spark::AppRunResult& run,
+                                          const TuningTask& task) const {
+  std::vector<double> state = run.InnerMetrics();
+  if (use_code_features_) {
+    // DDPG-C: hashed bag-of-words of the application code (QTune encodes
+    // the query; here the Spark program plays that role).
+    std::vector<std::string> tokens = spark::GenerateAppCode(*task.app);
+    std::vector<double> bow(kCodeDims, 0.0);
+    for (const auto& t : tokens) {
+      bow[std::hash<std::string>{}(t) % kCodeDims] += 1.0;
+    }
+    for (double& v : bow) v /= static_cast<double>(tokens.size());
+    state.insert(state.end(), bow.begin(), bow.end());
+  }
+  return state;
+}
+
+TuningResult DdpgTuner::Tune(const TuningTask& task, double budget_seconds) {
+  const auto& space = KnobSpace::Spark16();
+  TrialClock clock(budget_seconds);
+  TuningResult res;
+  res.best_seconds = std::numeric_limits<double>::infinity();
+
+  size_t state_dim =
+      spark::AppRunResult::kInnerMetricsDim + (use_code_features_ ? kCodeDims : 0);
+  DdpgOptions opts = options_;
+  opts.seed ^= std::hash<std::string>{}(task.app->name);
+  DdpgAgent agent(state_dim, space.size(), opts);
+  Rng rng(opts.seed + 1);
+  OuNoise noise(space.size(), opts.noise_theta, opts.noise_sigma, &rng);
+
+  // Initial observation: the default configuration.
+  Config config = space.DefaultConfig();
+  spark::AppRunResult run =
+      runner_->cost_model().Run(*task.app, task.data, task.env, config);
+  double t_default = run.failed
+                         ? runner_->cost_model().options().failure_cap_seconds
+                         : run.total_seconds;
+  if (!clock.Charge(t_default)) {
+    res.best_config = config;
+    res.best_seconds = t_default;
+    res.overhead_seconds = clock.elapsed();
+    return res;
+  }
+  ++res.trials;
+  res.trace.Record(clock.elapsed(), t_default);
+  res.best_seconds = t_default;
+  res.best_config = config;
+  std::vector<double> state = BuildState(run, task);
+  double prev_t = t_default;
+
+  while (!clock.exhausted() && res.trials < opts.max_trials) {
+    std::vector<double> action = agent.Act(state);
+    const std::vector<double>& n = noise.Sample();
+    for (size_t i = 0; i < action.size(); ++i) {
+      action[i] = std::clamp(action[i] + n[i], 0.0, 1.0);
+    }
+    Config cand = space.Denormalize(action);
+    spark::AppRunResult r =
+        runner_->cost_model().Run(*task.app, task.data, task.env, cand);
+    double t = r.failed ? runner_->cost_model().options().failure_cap_seconds
+                        : r.total_seconds;
+    // Unschedulable submissions are rejected in seconds (see BoTuner).
+    double cost = spark::PlacementFeasible(task.env, cand) ? t : 60.0;
+    if (!clock.Charge(cost)) break;
+    ++res.trials;
+    res.trace.Record(clock.elapsed(), t);
+    if (t < res.best_seconds) {
+      res.best_seconds = t;
+      res.best_config = cand;
+    }
+    // Reward: relative improvement over the previous trial, scaled; failures
+    // are strongly penalized (CDBTune-style delta reward).
+    double reward = (prev_t - t) / std::max(t_default, 1.0);
+    if (r.failed) reward -= 1.0;
+    std::vector<double> next_state = BuildState(r, task);
+    agent.AddTransition({state, action, reward, next_state});
+    agent.TrainStep();
+    state = std::move(next_state);
+    prev_t = t;
+  }
+  res.overhead_seconds = clock.elapsed();
+  return res;
+}
+
+}  // namespace lite

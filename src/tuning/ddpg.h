@@ -1,0 +1,109 @@
+// Deep Deterministic Policy Gradient: the DDPG(2h) baseline (following
+// CDBTune) and DDPG-C (QTune-style, with code features concatenated to the
+// state). Actor maps the Spark inner-status state to a configuration in
+// [0,1]^16; critic scores (state, action); both have target networks with
+// Polyak updates and learn from a replay buffer.
+#ifndef LITE_TUNING_DDPG_H_
+#define LITE_TUNING_DDPG_H_
+
+#include <deque>
+#include <memory>
+
+#include "nn/layers.h"
+#include "tensor/optimizer.h"
+#include "tuning/tuner.h"
+
+namespace lite {
+
+struct DdpgOptions {
+  float actor_lr = 1e-3f;
+  float critic_lr = 2e-3f;
+  float gamma = 0.9f;
+  float tau = 0.05f;          ///< Polyak factor.
+  size_t batch_size = 16;
+  size_t replay_capacity = 512;
+  size_t updates_per_step = 8;
+  double noise_sigma = 0.15;  ///< OU noise scale.
+  double noise_theta = 0.2;
+  size_t max_trials = 64;
+  uint64_t seed = 53;
+};
+
+/// Ornstein-Uhlenbeck exploration noise.
+class OuNoise {
+ public:
+  OuNoise(size_t dims, double theta, double sigma, Rng* rng);
+  const std::vector<double>& Sample();
+  void Reset();
+
+ private:
+  size_t dims_;
+  double theta_, sigma_;
+  Rng* rng_;
+  std::vector<double> state_;
+};
+
+struct Transition {
+  std::vector<double> state;
+  std::vector<double> action;  // normalized config.
+  double reward;
+  std::vector<double> next_state;
+};
+
+/// The learning core, independent of the tuning loop (unit-testable).
+class DdpgAgent {
+ public:
+  DdpgAgent(size_t state_dim, size_t action_dim, DdpgOptions options);
+
+  /// Deterministic policy output in [0,1]^action_dim.
+  std::vector<double> Act(const std::vector<double>& state) const;
+
+  void AddTransition(Transition t);
+  /// One round of critic + actor updates from replay (no-op when the buffer
+  /// is smaller than a batch).
+  void TrainStep();
+
+  size_t replay_size() const { return replay_.size(); }
+  double last_critic_loss() const { return last_critic_loss_; }
+
+ private:
+  VarPtr CriticForward(const Mlp& critic, const std::vector<double>& state,
+                       const std::vector<double>& action) const;
+  VarPtr CriticForwardVar(const Mlp& critic, const std::vector<double>& state,
+                          const VarPtr& action) const;
+
+  size_t state_dim_, action_dim_;
+  DdpgOptions options_;
+  Rng rng_;
+  std::unique_ptr<Mlp> actor_, critic_, actor_target_, critic_target_;
+  std::unique_ptr<Adam> actor_opt_, critic_opt_;
+  std::deque<Transition> replay_;
+  double last_critic_loss_ = 0.0;
+};
+
+/// The DDPG tuning loop: each trial executes the action's configuration,
+/// observes the Spark inner metrics as the next state, and rewards
+/// execution-time improvement over the default.
+class DdpgTuner : public Tuner {
+ public:
+  /// `use_code_features` turns this into DDPG-C: the application's code
+  /// bag-of-words is appended to the state (QTune's query-aware variant).
+  DdpgTuner(const spark::SparkRunner* runner, bool use_code_features,
+            DdpgOptions options = {});
+
+  TuningResult Tune(const TuningTask& task, double budget_seconds) override;
+  std::string name() const override { return use_code_features_ ? "DDPG-C" : "DDPG"; }
+
+ private:
+  std::vector<double> BuildState(const spark::AppRunResult& run,
+                                 const TuningTask& task) const;
+
+  const spark::SparkRunner* runner_;
+  bool use_code_features_;
+  DdpgOptions options_;
+  static constexpr size_t kCodeDims = 16;
+};
+
+}  // namespace lite
+
+#endif  // LITE_TUNING_DDPG_H_

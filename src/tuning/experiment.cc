@@ -1,0 +1,69 @@
+#include "tuning/experiment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace lite {
+
+TaskComparison CompareTuners(const std::vector<Tuner*>& tuners,
+                             const TuningTask& task, double budget_seconds) {
+  LITE_CHECK(task.app != nullptr) << "CompareTuners: null app";
+  TaskComparison cmp;
+  cmp.app_abbrev = task.app->abbrev;
+  cmp.app_name = task.app->name;
+
+  double t_min = std::numeric_limits<double>::infinity();
+  for (Tuner* tuner : tuners) {
+    TuningResult r = tuner->Tune(task, budget_seconds);
+    MethodOutcome out;
+    out.method = tuner->name();
+    out.seconds = r.best_seconds;
+    out.overhead = r.overhead_seconds;
+    out.trials = r.trials;
+    out.trace = r.trace;
+    if (out.method == "Default") cmp.t_default = out.seconds;
+    t_min = std::min(t_min, out.seconds);
+    cmp.outcomes.push_back(std::move(out));
+  }
+  cmp.t_min = t_min;
+  if (cmp.t_default <= 0.0 && !cmp.outcomes.empty()) {
+    // No Default tuner in the list: treat the worst method as the baseline.
+    for (const auto& o : cmp.outcomes) cmp.t_default = std::max(cmp.t_default, o.seconds);
+  }
+  for (auto& o : cmp.outcomes) {
+    o.etr = ExecutionTimeReduction(cmp.t_default, o.seconds, cmp.t_min);
+  }
+  return cmp;
+}
+
+std::map<std::string, double> MeanSecondsByMethod(
+    const std::vector<TaskComparison>& rows) {
+  std::map<std::string, double> sums;
+  std::map<std::string, size_t> counts;
+  for (const auto& row : rows) {
+    for (const auto& o : row.outcomes) {
+      sums[o.method] += o.seconds;
+      ++counts[o.method];
+    }
+  }
+  for (auto& [k, v] : sums) v /= static_cast<double>(counts[k]);
+  return sums;
+}
+
+std::map<std::string, double> MeanEtrByMethod(
+    const std::vector<TaskComparison>& rows) {
+  std::map<std::string, double> sums;
+  std::map<std::string, size_t> counts;
+  for (const auto& row : rows) {
+    for (const auto& o : row.outcomes) {
+      sums[o.method] += o.etr;
+      ++counts[o.method];
+    }
+  }
+  for (auto& [k, v] : sums) v /= static_cast<double>(counts[k]);
+  return sums;
+}
+
+}  // namespace lite

@@ -1,0 +1,44 @@
+// The Section V-B comparison harness: runs every tuner on every testing
+// task, computes the paper's t and ETR columns, and captures Fig. 8-style
+// best-so-far traces.
+#ifndef LITE_TUNING_EXPERIMENT_H_
+#define LITE_TUNING_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tuning/tuner.h"
+
+namespace lite {
+
+struct MethodOutcome {
+  std::string method;
+  double seconds = 0.0;   ///< the paper's t (capped at 7200 on failure).
+  double etr = 0.0;       ///< computed after all methods ran (needs t_min).
+  double overhead = 0.0;  ///< tuning overhead (simulated seconds).
+  size_t trials = 0;
+  TuningTrace trace;
+};
+
+struct TaskComparison {
+  std::string app_abbrev;
+  std::string app_name;
+  double t_default = 0.0;
+  double t_min = 0.0;
+  std::vector<MethodOutcome> outcomes;  ///< one per tuner, tuner order.
+};
+
+/// Runs all tuners on a task with the given budget and fills in ETR values.
+TaskComparison CompareTuners(const std::vector<Tuner*>& tuners,
+                             const TuningTask& task, double budget_seconds);
+
+/// Column-wise means across tasks (the Table VI summary row).
+std::map<std::string, double> MeanSecondsByMethod(
+    const std::vector<TaskComparison>& rows);
+std::map<std::string, double> MeanEtrByMethod(
+    const std::vector<TaskComparison>& rows);
+
+}  // namespace lite
+
+#endif  // LITE_TUNING_EXPERIMENT_H_

@@ -1,0 +1,70 @@
+#include "tuning/model_tuners.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace lite {
+
+using spark::Config;
+using spark::KnobSpace;
+
+MlpTuner::MlpTuner(const spark::SparkRunner* runner, const Corpus* corpus,
+                   size_t num_candidates, TrainOptions train, uint64_t seed)
+    : runner_(runner), corpus_(corpus), num_candidates_(num_candidates),
+      train_(train), seed_(seed) {}
+
+void MlpTuner::Fit() {
+  LITE_CHECK(corpus_ != nullptr && !corpus_->instances.empty())
+      << "MlpTuner needs a training corpus";
+  estimator_ = std::make_unique<FlatMlpEstimator>(
+      FeatureSet::kS, spark::AppCatalog::Count(), seed_);
+  estimator_->Fit(corpus_->instances, train_);
+}
+
+TuningResult MlpTuner::Tune(const TuningTask& task, double budget_seconds) {
+  LITE_CHECK(estimator_ != nullptr) << "MlpTuner::Fit not called";
+  const auto& space = KnobSpace::Spark16();
+  Rng rng(seed_ ^ std::hash<std::string>{}(task.app->name));
+  CorpusBuilder builder(runner_);
+
+  TuningResult res;
+  double best_pred = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < num_candidates_; ++i) {
+    Config config = space.RandomConfig(&rng);
+    if (!spark::PlacementFeasible(task.env, config)) continue;
+    CandidateEval ce = builder.FeaturizeCandidate(*corpus_, *task.app,
+                                                  task.data, task.env, config);
+    double pred = estimator_->PredictAppSecondsOverride(ce);
+    if (pred < best_pred) {
+      best_pred = pred;
+      res.best_config = config;
+    }
+  }
+  if (res.best_config.empty()) res.best_config = space.DefaultConfig();
+  res.trials = 1;
+  res.best_seconds =
+      runner_->Measure(*task.app, task.data, task.env, res.best_config);
+  res.overhead_seconds = 2.0;  // model inference, order of seconds.
+  res.trace.Record(res.overhead_seconds, res.best_seconds);
+  return res;
+}
+
+TuningResult LiteTuner::Tune(const TuningTask& task, double budget_seconds) {
+  LITE_CHECK(system_ != nullptr && system_->trained()) << "LITE not trained";
+  LiteSystem::Recommendation rec =
+      system_->Recommend(*task.app, task.data, task.env);
+  TuningResult res;
+  res.best_config = rec.config;
+  res.best_seconds =
+      runner_->Measure(*task.app, task.data, task.env, rec.config);
+  res.overhead_seconds = rec.recommend_wall_seconds;
+  res.trials = 1;
+  res.trace.Record(res.overhead_seconds, res.best_seconds);
+  if (collect_feedback_) {
+    system_->CollectFeedback(*task.app, task.data, task.env, rec.config);
+  }
+  return res;
+}
+
+}  // namespace lite

@@ -1,0 +1,64 @@
+// One-shot model-based recommenders: the MLP baseline (LITE's prediction
+// module without code features) and the LiteTuner adapter that exposes
+// LiteSystem through the common Tuner interface.
+#ifndef LITE_TUNING_MODEL_TUNERS_H_
+#define LITE_TUNING_MODEL_TUNERS_H_
+
+#include <memory>
+
+#include "lite/baseline_models.h"
+#include "lite/lite_system.h"
+#include "tuning/tuner.h"
+
+namespace lite {
+
+/// "MLP" competitor of Section V-B: a tower MLP over application name,
+/// data, environment and stage-level statistics — no code features. It
+/// ranks uniformly sampled candidates with its predictions and recommends
+/// the top one. (At recommendation time the monitor-UI statistics of unseen
+/// configurations are unavailable and zeroed — the weakness the paper
+/// points out for this class of baseline.)
+class MlpTuner : public Tuner {
+ public:
+  MlpTuner(const spark::SparkRunner* runner, const Corpus* corpus,
+           size_t num_candidates, TrainOptions train, uint64_t seed);
+
+  /// Trains the underlying estimator once (reused across tasks).
+  void Fit();
+
+  TuningResult Tune(const TuningTask& task, double budget_seconds) override;
+  std::string name() const override { return "MLP"; }
+
+ private:
+  const spark::SparkRunner* runner_;
+  const Corpus* corpus_;
+  size_t num_candidates_;
+  TrainOptions train_;
+  uint64_t seed_;
+  std::unique_ptr<FlatMlpEstimator> estimator_;
+};
+
+/// LITE exposed as a Tuner: recommendation is a single model-ranked pick
+/// from the adaptive candidate region, so tuning overhead is the model
+/// inference time (sub-second), not execution trials.
+class LiteTuner : public Tuner {
+ public:
+  /// When `collect_feedback` is set, every tuned job's observed run is fed
+  /// back to the system (Fig. 2's online loop), periodically triggering the
+  /// adversarial Adaptive Model Update.
+  explicit LiteTuner(const spark::SparkRunner* runner, LiteSystem* system,
+                     bool collect_feedback = false)
+      : runner_(runner), system_(system), collect_feedback_(collect_feedback) {}
+
+  TuningResult Tune(const TuningTask& task, double budget_seconds) override;
+  std::string name() const override { return "LITE"; }
+
+ private:
+  const spark::SparkRunner* runner_;
+  LiteSystem* system_;
+  bool collect_feedback_ = false;
+};
+
+}  // namespace lite
+
+#endif  // LITE_TUNING_MODEL_TUNERS_H_

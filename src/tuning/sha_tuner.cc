@@ -1,0 +1,97 @@
+#include "tuning/sha_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "sparksim/cost_model.h"
+
+namespace lite {
+
+using spark::Config;
+using spark::KnobSpace;
+
+TuningResult ShaTuner::Tune(const TuningTask& task, double budget_seconds) {
+  const auto& space = KnobSpace::Spark16();
+  Rng rng(options_.seed ^ std::hash<std::string>{}(task.app->name));
+  TrialClock clock(budget_seconds);
+  TuningResult res;
+  res.best_seconds = std::numeric_limits<double>::infinity();
+
+  // Candidate pool (statically schedulable only — rejected submissions
+  // teach nothing at any rung).
+  std::vector<Config> pool;
+  while (pool.size() < options_.initial_configs) {
+    Config c = space.RandomConfig(&rng);
+    if (spark::PlacementFeasible(task.env, c)) pool.push_back(c);
+  }
+
+  double target_mb = task.data.size_mb;
+  for (size_t rung = 0; rung < options_.rungs && !pool.empty(); ++rung) {
+    bool final_rung = rung + 1 == options_.rungs;
+    double frac = final_rung
+                      ? 1.0
+                      : std::min(1.0, options_.min_size_fraction *
+                                          std::pow(options_.eta,
+                                                   static_cast<double>(rung)));
+    spark::DataSpec rung_data = task.app->MakeData(target_mb * frac);
+
+    std::vector<double> scores(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+      double t = runner_->Measure(*task.app, rung_data, task.env, pool[i]);
+      scores[i] = t;
+      if (!clock.Charge(t)) {
+        // Budget gone mid-rung: fall back to the best fully-measured config.
+        pool.resize(i + 1);
+        scores.resize(i + 1);
+        break;
+      }
+      if (final_rung || frac >= 1.0) {
+        ++res.trials;
+        res.trace.Record(clock.elapsed(), t);
+        if (t < res.best_seconds) {
+          res.best_seconds = t;
+          res.best_config = pool[i];
+        }
+      } else {
+        ++res.trials;
+      }
+    }
+    if (clock.exhausted() || final_rung) {
+      // If we never reached the final rung, promote the subsample winner.
+      if (res.best_config.empty() && !pool.empty()) {
+        size_t best = static_cast<size_t>(
+            std::min_element(scores.begin(), scores.end()) - scores.begin());
+        res.best_config = pool[best];
+        res.best_seconds =
+            runner_->Measure(*task.app, task.data, task.env, pool[best]);
+        res.trace.Record(clock.elapsed(), res.best_seconds);
+      }
+      break;
+    }
+
+    // Promote the top 1/eta.
+    size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(std::floor(static_cast<double>(pool.size()) /
+                                          options_.eta)));
+    std::vector<size_t> order(pool.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+    std::vector<Config> next;
+    next.reserve(keep);
+    for (size_t i = 0; i < keep; ++i) next.push_back(pool[order[i]]);
+    pool = std::move(next);
+  }
+
+  if (res.best_config.empty()) {
+    res.best_config = space.DefaultConfig();
+    res.best_seconds =
+        runner_->Measure(*task.app, task.data, task.env, res.best_config);
+  }
+  res.overhead_seconds = clock.elapsed();
+  return res;
+}
+
+}  // namespace lite

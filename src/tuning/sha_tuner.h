@@ -1,0 +1,43 @@
+// Successive-halving tuner (extension; not one of the paper's competitors).
+//
+// A budget-aware experimental baseline in the spirit of Hyperband: evaluate
+// many configurations on a small *subsample of the input data*, promote the
+// best fraction to a larger subsample, and only run the survivors on the
+// full dataset. This exploits the same small-to-large transfer idea as LITE
+// but through measurement instead of learning — a natural "what if we just
+// probed cheaply?" ablation of the paper's premise (C2: large jobs are too
+// expensive to probe repeatedly).
+#ifndef LITE_TUNING_SHA_TUNER_H_
+#define LITE_TUNING_SHA_TUNER_H_
+
+#include "tuning/tuner.h"
+
+namespace lite {
+
+struct ShaOptions {
+  size_t initial_configs = 27;  ///< configurations at the smallest rung.
+  double eta = 3.0;             ///< keep top 1/eta per rung.
+  size_t rungs = 3;             ///< subsample ladder length.
+  /// Datasize of the smallest rung as a fraction of the target size; each
+  /// subsequent rung multiplies by eta (last rung = full size when the
+  /// ladder reaches it).
+  double min_size_fraction = 1.0 / 16.0;
+  uint64_t seed = 61;
+};
+
+class ShaTuner : public Tuner {
+ public:
+  explicit ShaTuner(const spark::SparkRunner* runner, ShaOptions options = {})
+      : runner_(runner), options_(options) {}
+
+  TuningResult Tune(const TuningTask& task, double budget_seconds) override;
+  std::string name() const override { return "SHA"; }
+
+ private:
+  const spark::SparkRunner* runner_;
+  ShaOptions options_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_TUNING_SHA_TUNER_H_

@@ -1,0 +1,83 @@
+#include "tuning/simple_tuners.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lite {
+
+using spark::Config;
+using spark::KnobSpace;
+
+TuningResult DefaultTuner::Tune(const TuningTask& task, double budget_seconds) {
+  TuningResult res;
+  res.best_config = KnobSpace::Spark16().DefaultConfig();
+  res.best_seconds =
+      runner_->Measure(*task.app, task.data, task.env, res.best_config);
+  res.overhead_seconds = 0.0;
+  res.trials = 1;
+  res.trace.Record(res.best_seconds, res.best_seconds);
+  return res;
+}
+
+std::vector<Config> ManualTuner::ExpertRecipes(const spark::ClusterEnv& env) {
+  // The published tuning guides quote concrete numbers for the hardware
+  // their authors had; an expert following them ports those numbers, tries
+  // each recipe on the real job, and keeps the best. The guides barely
+  // discuss memory fractions, shuffle buffers, or in-flight limits, so
+  // those stay near defaults — which is what makes manual tuning
+  // incomplete ("empirically testing a small percentage of knobs",
+  // Section I).
+  const auto& space = KnobSpace::Spark16();
+  std::vector<Config> recipes;
+  auto blog_recipe = [&](double cores, double mem_gb, double instances,
+                         double parallelism) {
+    Config c = space.DefaultConfig();
+    c[spark::kExecutorCores] = cores;
+    c[spark::kExecutorMemory] = mem_gb;
+    c[spark::kExecutorInstances] = instances;
+    c[spark::kDefaultParallelism] = parallelism;
+    c[spark::kDriverCores] = 2;
+    c[spark::kDriverMemory] = 4;
+    c[spark::kDriverMaxResultSize] = 2048;
+    c[spark::kShuffleCompress] = 1;
+    c[spark::kShuffleSpillCompress] = 1;
+    c[spark::kShuffleFileBuffer] = 64;
+    return space.Clamp(c);
+  };
+  // "5 cores per executor for HDFS throughput" (Cloudera-style guide).
+  recipes.push_back(blog_recipe(5, 6, 10, 200));
+  // "Fat executors" variant.
+  recipes.push_back(blog_recipe(4, 8, 16, 128));
+  // "Thin executors" variant.
+  recipes.push_back(blog_recipe(2, 2, 32, 100));
+  // Small-cluster tips assume the whole machine is Spark's.
+  if (env.num_nodes == 1) {
+    recipes.push_back(blog_recipe(4, 12, 3, 64));
+  }
+  return recipes;
+}
+
+TuningResult ManualTuner::Tune(const TuningTask& task, double budget_seconds) {
+  TrialClock clock(budget_seconds);
+  TuningResult res;
+  res.best_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& recipe : ExpertRecipes(task.env)) {
+    double t = runner_->Measure(*task.app, task.data, task.env, recipe);
+    if (!clock.Charge(t)) break;
+    ++res.trials;
+    res.trace.Record(clock.elapsed(), t);
+    if (t < res.best_seconds) {
+      res.best_seconds = t;
+      res.best_config = recipe;
+    }
+  }
+  if (res.best_config.empty()) {
+    res.best_config = KnobSpace::Spark16().DefaultConfig();
+    res.best_seconds =
+        runner_->Measure(*task.app, task.data, task.env, res.best_config);
+  }
+  res.overhead_seconds = clock.elapsed();
+  return res;
+}
+
+}  // namespace lite

@@ -1,0 +1,41 @@
+// Non-learned baselines: Default (factory settings) and Manual (an expert
+// following the public Spark tuning guides for up to 12 simulated hours,
+// Section V-B's "Manual" competitor).
+#ifndef LITE_TUNING_SIMPLE_TUNERS_H_
+#define LITE_TUNING_SIMPLE_TUNERS_H_
+
+#include "tuning/tuner.h"
+
+namespace lite {
+
+class DefaultTuner : public Tuner {
+ public:
+  explicit DefaultTuner(const spark::SparkRunner* runner) : runner_(runner) {}
+  TuningResult Tune(const TuningTask& task, double budget_seconds) override;
+  std::string name() const override { return "Default"; }
+
+ private:
+  const spark::SparkRunner* runner_;
+};
+
+/// Encodes the published rule-of-thumb recipes (Cloudera/Databricks tuning
+/// guides): executor.cores ~ 4-5, executors sized to fill each node minus
+/// OS overhead, parallelism = 2-3x total cores, compression on, and a few
+/// memory-fraction variants. The expert tries each recipe (charging its
+/// execution time) and keeps the best within the budget.
+class ManualTuner : public Tuner {
+ public:
+  explicit ManualTuner(const spark::SparkRunner* runner) : runner_(runner) {}
+  TuningResult Tune(const TuningTask& task, double budget_seconds) override;
+  std::string name() const override { return "Manual"; }
+
+  /// The recipe list for an environment (exposed for tests).
+  static std::vector<spark::Config> ExpertRecipes(const spark::ClusterEnv& env);
+
+ private:
+  const spark::SparkRunner* runner_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_TUNING_SIMPLE_TUNERS_H_

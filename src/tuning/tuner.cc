@@ -1,0 +1,20 @@
+#include "tuning/tuner.h"
+
+#include <algorithm>
+
+namespace lite {
+
+void TuningTrace::Record(double now, double seconds) {
+  double best = best_so_far.empty() ? seconds : std::min(best_so_far.back(), seconds);
+  timestamps.push_back(now);
+  best_so_far.push_back(best);
+}
+
+double ExecutionTimeReduction(double t_default, double t_method, double t_min) {
+  double denom = t_default - t_min;
+  if (denom <= 1e-9) return t_method <= t_default ? 1.0 : 0.0;
+  double etr = (t_default - t_method) / denom;
+  return std::clamp(etr, 0.0, 1.0);
+}
+
+}  // namespace lite

@@ -1,0 +1,78 @@
+// Common tuner abstraction for the Section V-B comparison. A tuner receives
+// a task (application, data, environment) and a *simulated* wall-clock
+// budget: every real execution it performs consumes its measured duration
+// from the budget, reproducing the paper's "BO/DDPG tuned each application
+// for at least 2 hours" protocol without waiting 2 hours.
+#ifndef LITE_TUNING_TUNER_H_
+#define LITE_TUNING_TUNER_H_
+
+#include <string>
+#include <vector>
+
+#include "sparksim/runner.h"
+
+namespace lite {
+
+struct TuningTask {
+  const spark::ApplicationSpec* app = nullptr;
+  spark::DataSpec data;
+  spark::ClusterEnv env;
+};
+
+/// Best-so-far trajectory over simulated tuning time (Fig. 8's curves).
+struct TuningTrace {
+  std::vector<double> timestamps;   ///< simulated seconds at trial completion.
+  std::vector<double> best_so_far;  ///< least observed execution time so far.
+
+  void Record(double now, double seconds);
+};
+
+struct TuningResult {
+  spark::Config best_config;
+  /// The paper's t: least actual execution time reached during tuning (for
+  /// trial-based tuners), or the actual time of the single recommended
+  /// configuration (for LITE/MLP-style one-shot recommenders).
+  double best_seconds = 0.0;
+  /// Simulated tuning overhead: time to produce the recommendation.
+  double overhead_seconds = 0.0;
+  size_t trials = 0;
+  TuningTrace trace;
+};
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+  virtual TuningResult Tune(const TuningTask& task, double budget_seconds) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Shared bookkeeping for tuners that execute trials.
+class TrialClock {
+ public:
+  explicit TrialClock(double budget) : budget_(budget) {}
+
+  /// Charges a trial of `seconds`; returns false when the budget is
+  /// exhausted *before* the trial could start.
+  bool Charge(double seconds) {
+    if (elapsed_ >= budget_) return false;
+    elapsed_ += seconds;
+    return true;
+  }
+  double elapsed() const { return elapsed_; }
+  double budget() const { return budget_; }
+  bool exhausted() const { return elapsed_ >= budget_; }
+
+ private:
+  double budget_;
+  double elapsed_ = 0.0;
+};
+
+/// Execution Time Reduction as used in Figures 7/Table X:
+/// ETR = (t_default - t) / (t_default - t_min), clamped to [0,1], where
+/// t_min is the least execution time achieved by any method. ETR = 1 means
+/// the method matched the best-known configuration.
+double ExecutionTimeReduction(double t_default, double t_method, double t_min);
+
+}  // namespace lite
+
+#endif  // LITE_TUNING_TUNER_H_

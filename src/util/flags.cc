@@ -1,0 +1,121 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace lite {
+
+void FlagParser::AddString(const std::string& name, const std::string& def,
+                           const std::string& help) {
+  flags_[name] = {Type::kString, def, def, help};
+}
+void FlagParser::AddInt(const std::string& name, long def, const std::string& help) {
+  flags_[name] = {Type::kInt, std::to_string(def), std::to_string(def), help};
+}
+void FlagParser::AddDouble(const std::string& name, double def,
+                           const std::string& help) {
+  std::ostringstream os;
+  os << def;
+  flags_[name] = {Type::kDouble, os.str(), os.str(), help};
+}
+void FlagParser::AddBool(const std::string& name, bool def, const std::string& help) {
+  flags_[name] = {Type::kBool, def ? "true" : "false", def ? "true" : "false", help};
+}
+
+bool FlagParser::SetValue(const std::string& name, const std::string& value,
+                          std::string* error) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    *error = "unknown flag --" + name;
+    return false;
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt: {
+      char* end = nullptr;
+      std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        *error = "flag --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        *error = "flag --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Type::kBool:
+      if (value != "true" && value != "false") {
+        *error = "flag --" + name + " expects true/false, got '" + value + "'";
+        return false;
+      }
+      break;
+    case Type::kString:
+      break;
+  }
+  flag.value = value;
+  return true;
+}
+
+bool FlagParser::Parse(int argc, const char* const* argv, std::string* error) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      if (!SetValue(body.substr(0, eq), body.substr(eq + 1), error)) return false;
+      continue;
+    }
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      *error = "unknown flag --" + body;
+      return false;
+    }
+    if (it->second.type == Type::kBool) {
+      it->second.value = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      *error = "flag --" + body + " needs a value";
+      return false;
+    }
+    if (!SetValue(body, argv[++i], error)) return false;
+  }
+  return true;
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? "" : it->second.value;
+}
+long FlagParser::GetInt(const std::string& name) const {
+  return std::strtol(GetString(name).c_str(), nullptr, 10);
+}
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetString(name) == "true";
+}
+
+std::string FlagParser::HelpText() const {
+  std::ostringstream os;
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n      "
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lite

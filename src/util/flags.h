@@ -1,0 +1,54 @@
+// Minimal command-line flag parsing for the CLI tools: supports
+// --name=value, --name value, and bare --bool switches, plus positional
+// arguments. No global state; each tool builds its own parser.
+#ifndef LITE_UTIL_FLAGS_H_
+#define LITE_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lite {
+
+class FlagParser {
+ public:
+  /// Registers a flag with a default value and help text.
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddInt(const std::string& name, long default_value, const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value, const std::string& help);
+
+  /// Parses argv (excluding argv[0]); returns false and fills `error` on
+  /// unknown flags or malformed values.
+  bool Parse(int argc, const char* const* argv, std::string* error);
+
+  std::string GetString(const std::string& name) const;
+  long GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing all registered flags.
+  std::string HelpText() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  bool SetValue(const std::string& name, const std::string& value,
+                std::string* error);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_UTIL_FLAGS_H_

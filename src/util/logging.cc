@@ -1,0 +1,65 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace lite {
+
+namespace {
+LogLevel g_level = [] {
+  const char* env = std::getenv("LITE_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  std::string s(env);
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}();
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::cerr << stream_.str() << "\n";
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* cond) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << cond << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lite

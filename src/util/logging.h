@@ -1,0 +1,60 @@
+// Minimal leveled logging. Benchmarks keep the default (WARN) quiet so their
+// stdout is exactly the reproduced table; set LITE_LOG=info|debug to trace.
+#ifndef LITE_UTIL_LOGGING_H_
+#define LITE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lite {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; initialized from the LITE_LOG environment variable.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define LITE_LOG(level)                                               \
+  if (::lite::LogLevel::level >= ::lite::GetLogLevel())               \
+  ::lite::internal::LogMessage(::lite::LogLevel::level, __FILE__, __LINE__) \
+      .stream()
+
+#define LITE_DEBUG LITE_LOG(kDebug)
+#define LITE_INFO LITE_LOG(kInfo)
+#define LITE_WARN LITE_LOG(kWarn)
+#define LITE_ERROR LITE_LOG(kError)
+
+/// CHECK-style assertion that is active in release builds; aborts with a
+/// message on failure. Use for invariants that must hold in production.
+#define LITE_CHECK(cond)                                                     \
+  if (!(cond))                                                               \
+  ::lite::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+namespace internal {
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* cond);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace lite
+
+#endif  // LITE_UTIL_LOGGING_H_

@@ -1,0 +1,67 @@
+#include "util/ranking_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace lite {
+
+std::vector<size_t> TopKIndices(const std::vector<double>& values, size_t k) {
+  k = std::min(k, values.size());
+  std::vector<size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    if (values[a] != values[b]) return values[a] < values[b];
+    return a < b;
+  });
+  idx.resize(k);
+  return idx;
+}
+
+double HitRatioAtK(const std::vector<double>& predicted_scores,
+                   const std::vector<double>& true_times, size_t k) {
+  assert(predicted_scores.size() == true_times.size());
+  if (predicted_scores.empty() || k == 0) return 0.0;
+  k = std::min(k, predicted_scores.size());
+  std::vector<size_t> pred_top = TopKIndices(predicted_scores, k);
+  std::vector<size_t> true_top = TopKIndices(true_times, k);
+  std::unordered_set<size_t> truth(true_top.begin(), true_top.end());
+  size_t hits = 0;
+  for (size_t i : pred_top) hits += truth.count(i);
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double NdcgAtK(const std::vector<double>& predicted_scores,
+               const std::vector<double>& true_times, size_t k) {
+  assert(predicted_scores.size() == true_times.size());
+  size_t n = predicted_scores.size();
+  if (n == 0 || k == 0) return 0.0;
+  k = std::min(k, n);
+
+  // Graded relevance: rank candidates by true time; best gets relevance n,
+  // decreasing by 1. Gains use a linear (rel) form — with n up to a few
+  // hundred candidates an exponential gain overflows double and collapses the
+  // metric to "did we find the single best", which is not what the paper
+  // measures.
+  std::vector<size_t> true_order = TopKIndices(true_times, n);
+  std::vector<double> relevance(n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    relevance[true_order[r]] = static_cast<double>(n - r);
+  }
+
+  std::vector<size_t> pred_top = TopKIndices(predicted_scores, k);
+  double dcg = 0.0;
+  for (size_t i = 0; i < pred_top.size(); ++i) {
+    dcg += relevance[pred_top[i]] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  double idcg = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    idcg += relevance[true_order[i]] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  if (idcg <= 0.0) return 0.0;
+  return dcg / idcg;
+}
+
+}  // namespace lite

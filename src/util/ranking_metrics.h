@@ -1,0 +1,32 @@
+// HR@K and NDCG@K, the ranking metrics of Section V-C.
+//
+// A tuner produces a ranked list of candidate configurations; the gold
+// standard is the list ordered by true (simulated) execution time. HR@K
+// measures the overlap between the predicted top-K and the true top-K;
+// NDCG@K additionally rewards placing truly-better configurations higher.
+#ifndef LITE_UTIL_RANKING_METRICS_H_
+#define LITE_UTIL_RANKING_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lite {
+
+/// HR@K: |predicted top-K ∩ true top-K| / K.
+/// `predicted_scores` and `true_times` are parallel arrays over the same
+/// candidate set; lower is better for both (scores are predicted times).
+double HitRatioAtK(const std::vector<double>& predicted_scores,
+                   const std::vector<double>& true_times, size_t k);
+
+/// NDCG@K with graded relevance derived from the true ranking: the truly
+/// best candidate gets relevance |C|, the next |C|-1, etc., then gains are
+/// 2^rel scaled to avoid overflow. Returns a value in [0, 1].
+double NdcgAtK(const std::vector<double>& predicted_scores,
+               const std::vector<double>& true_times, size_t k);
+
+/// Indices of the k smallest values (stable ordering by value then index).
+std::vector<size_t> TopKIndices(const std::vector<double>& values, size_t k);
+
+}  // namespace lite
+
+#endif  // LITE_UTIL_RANKING_METRICS_H_

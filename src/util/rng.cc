@@ -1,0 +1,50 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace lite {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(gen_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> d(lo, hi);
+  return d(gen_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(gen_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution d(std::clamp(p, 0.0, 1.0));
+  return d(gen_);
+}
+
+size_t Rng::Index(size_t n) {
+  assert(n > 0);
+  std::uniform_int_distribution<size_t> d(0, n - 1);
+  return d(gen_);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  // Partial Fisher-Yates: only the first k positions need to be randomized.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Fork() { return Rng(gen_()); }
+
+}  // namespace lite

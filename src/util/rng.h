@@ -1,0 +1,61 @@
+// Deterministic random number utilities shared by every module.
+//
+// All stochastic components in this repository (workload synthesis, knob
+// sampling, neural-network initialization, tuner exploration) draw from an
+// explicitly seeded Rng so that every experiment harness is reproducible.
+#ifndef LITE_UTIL_RNG_H_
+#define LITE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lite {
+
+/// A seeded pseudo-random generator wrapping std::mt19937_64 with the
+/// convenience draws used throughout the codebase.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) : gen_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal scaled by stddev around mean.
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Returns a uniformly random index in [0, n). n must be > 0.
+  size_t Index(size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Index(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Splits off an independent child generator (useful for parallel or
+  /// per-component determinism).
+  Rng Fork();
+
+  std::mt19937_64& gen() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_UTIL_RNG_H_

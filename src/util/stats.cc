@@ -1,0 +1,166 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lite {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double m = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(v.size());
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  if (n % 2 == 1) return v[n / 2];
+  return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  double ma = Mean(a), mb = Mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& v) {
+  size_t n = v.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return v[i] < v[j]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    // Positions i..j (0-based) share the average 1-based rank.
+    double avg = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  return PearsonCorrelation(AverageRanks(a), AverageRanks(b));
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double NormalQuantile(double p) {
+  // Acklam's rational approximation, |relative error| < 1.15e-9.
+  assert(p > 0.0 && p < 1.0);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425, phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& before,
+                                  const std::vector<double>& after) {
+  assert(before.size() == after.size());
+  WilcoxonResult res;
+  std::vector<double> diffs;
+  for (size_t i = 0; i < before.size(); ++i) {
+    double d = after[i] - before[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  size_t n = diffs.size();
+  res.n_effective = n;
+  if (n == 0) return res;
+
+  std::vector<double> abs_diffs(n);
+  for (size_t i = 0; i < n; ++i) abs_diffs[i] = std::fabs(diffs[i]);
+  std::vector<double> ranks = AverageRanks(abs_diffs);
+
+  double w_plus = 0.0, w_minus = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (diffs[i] > 0) {
+      w_plus += ranks[i];
+    } else {
+      w_minus += ranks[i];
+    }
+  }
+  res.w_statistic = std::min(w_plus, w_minus);
+
+  double nn = static_cast<double>(n);
+  double mean_w = nn * (nn + 1.0) / 4.0;
+  double var_w = nn * (nn + 1.0) * (2.0 * nn + 1.0) / 24.0;
+  // Tie correction: subtract sum(t^3 - t)/48 over tie groups of |diffs|.
+  {
+    std::vector<double> sorted = abs_diffs;
+    std::sort(sorted.begin(), sorted.end());
+    size_t i = 0;
+    while (i < sorted.size()) {
+      size_t j = i;
+      while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+      double t = static_cast<double>(j - i + 1);
+      if (t > 1) var_w -= (t * t * t - t) / 48.0;
+      i = j + 1;
+    }
+  }
+  if (var_w <= 0.0) {
+    res.p_value = (w_plus > w_minus) ? 0.0 : 1.0;
+    return res;
+  }
+  // One-sided alternative "after > before": large W+ is evidence. Apply a
+  // continuity correction of 0.5.
+  res.z_score = (w_plus - mean_w - 0.5) / std::sqrt(var_w);
+  res.p_value = 1.0 - NormalCdf(res.z_score);
+  return res;
+}
+
+}  // namespace lite

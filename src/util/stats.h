@@ -1,0 +1,58 @@
+// Descriptive statistics and the Wilcoxon signed-rank test used by the
+// Table IX harness (significance of Adaptive Model Update improvements).
+#ifndef LITE_UTIL_STATS_H_
+#define LITE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lite {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator); returns 0 for n < 2.
+double StdDev(const std::vector<double>& v);
+
+/// Population variance helper used by tree splitters.
+double Variance(const std::vector<double>& v);
+
+/// Median (averages the two central elements for even n); 0 for empty input.
+double Median(std::vector<double> v);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Average ranks (1-based) with ties sharing the mean rank.
+std::vector<double> AverageRanks(const std::vector<double>& v);
+
+/// Result of a Wilcoxon signed-rank test.
+struct WilcoxonResult {
+  double w_statistic = 0.0;  ///< min(W+, W-) over non-zero differences.
+  double z_score = 0.0;      ///< normal approximation (tie-corrected).
+  double p_value = 1.0;      ///< one-sided p-value (alternative: b > a).
+  size_t n_effective = 0;    ///< pairs with non-zero difference.
+};
+
+/// One-sided Wilcoxon signed-rank test for paired samples, testing whether
+/// `after` is stochastically greater than `before` (the paper reports the
+/// p-value of the *increase* from NECS to NECS_u). Zero differences are
+/// dropped; ties share average ranks; the tie-corrected normal approximation
+/// is used (adequate for n >= 5, which all harnesses satisfy).
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& before,
+                                  const std::vector<double>& after);
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+
+/// Quantile of the standard normal distribution (Acklam's approximation).
+double NormalQuantile(double p);
+
+}  // namespace lite
+
+#endif  // LITE_UTIL_STATS_H_

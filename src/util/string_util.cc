@@ -1,0 +1,88 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace lite {
+
+std::vector<std::string> Split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string HumanBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  if (bytes == std::floor(bytes)) {
+    os << static_cast<long long>(bytes) << units[u];
+  } else {
+    os.precision(1);
+    os << std::fixed << bytes << units[u];
+  }
+  return os.str();
+}
+
+std::string HumanSeconds(double seconds) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed;
+  if (seconds < 120.0) {
+    os << seconds << "s";
+  } else if (seconds < 7200.0) {
+    os << seconds / 60.0 << "m";
+  } else {
+    os << seconds / 3600.0 << "h";
+  }
+  return os.str();
+}
+
+}  // namespace lite

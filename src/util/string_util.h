@@ -1,0 +1,37 @@
+// Small string helpers used by the code generator, event-log parser, and
+// benchmark harnesses.
+#ifndef LITE_UTIL_STRING_UTIL_H_
+#define LITE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace lite {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Splits on any whitespace run; drops empty fields.
+std::vector<std::string> SplitWhitespace(const std::string& s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Lower-cases ASCII.
+std::string ToLower(std::string s);
+
+/// Formats bytes as a human-readable size ("160MB", "1.2GB").
+std::string HumanBytes(double bytes);
+
+/// Formats seconds compactly ("96.1s", "1.4h").
+std::string HumanSeconds(double seconds);
+
+}  // namespace lite
+
+#endif  // LITE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,89 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace lite {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::Fmt(int64_t v) { return std::to_string(v); }
+
+void TablePrinter::Print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << "\n== " << title << " ==\n";
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  std::vector<std::string> rule(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) rule[c] = std::string(widths[c], '-');
+  print_row(rule);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += "\"\"";
+      else out.push_back(c);
+    }
+    out += "\"";
+    return out;
+  };
+  std::ostringstream os;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << ",";
+    os << quote(header_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << quote(row[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool TablePrinter::WriteCsv(const std::string& dir, const std::string& name) const {
+  if (dir.empty()) return true;
+  std::ofstream out(dir + "/" + name + ".csv");
+  if (!out) return false;
+  out << ToCsv();
+  return static_cast<bool>(out);
+}
+
+std::string TablePrinter::ToString(const std::string& title) const {
+  std::ostringstream os;
+  Print(os, title);
+  return os.str();
+}
+
+}  // namespace lite

@@ -1,0 +1,50 @@
+// Fixed-width ASCII table rendering for the benchmark harnesses, which print
+// the same rows/columns the paper's tables report.
+#ifndef LITE_UTIL_TABLE_PRINTER_H_
+#define LITE_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lite {
+
+/// Collects rows of string cells and renders them as an aligned table with a
+/// header rule, e.g.
+///
+///   Application  Default  LITE   ETR
+///   -----------  -------  ----   ----
+///   TeraSort     812.4    96.1   0.88
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; it may have fewer cells than the header (padded).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 4);
+  static std::string Fmt(int64_t v);
+
+  /// Renders the table to `os`. `title` is printed above when non-empty.
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString(const std::string& title = "") const;
+
+  /// RFC-4180-style CSV rendering (quotes cells containing commas/quotes).
+  std::string ToCsv() const;
+
+  /// Writes CSV to `dir`/`name`.csv when dir is non-empty (no-op returning
+  /// true when it is). Harnesses pass the LITE_BENCH_CSV_DIR environment
+  /// variable so plotted artifacts can be produced without scraping stdout.
+  bool WriteCsv(const std::string& dir, const std::string& name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lite
+
+#endif  // LITE_UTIL_TABLE_PRINTER_H_

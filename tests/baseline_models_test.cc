@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "lite/baseline_models.h"
+#include "util/stats.h"
+
+namespace lite {
+namespace {
+
+class BaselineModelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CorpusOptions opts;
+    opts.apps = {"TS", "WC", "KM"};
+    opts.clusters = {spark::ClusterEnv::ClusterA()};
+    opts.configs_per_setting = 3;
+    opts.max_stage_instances_per_run = 6;
+    opts.max_code_tokens = 48;
+    opts.bow_dims = 32;
+    CorpusBuilder builder(&runner_);
+    corpus_ = builder.Build(opts);
+  }
+
+  spark::SparkRunner runner_;
+  Corpus corpus_;
+  size_t num_apps_ = spark::AppCatalog::Count();
+};
+
+TEST_F(BaselineModelsTest, FeatureSetNamesAndLevels) {
+  EXPECT_EQ(FeatureSetName(FeatureSet::kW), "W");
+  EXPECT_EQ(FeatureSetName(FeatureSet::kSCG), "SCG");
+  EXPECT_TRUE(IsAppLevel(FeatureSet::kW));
+  EXPECT_TRUE(IsAppLevel(FeatureSet::kWC));
+  EXPECT_FALSE(IsAppLevel(FeatureSet::kS));
+  EXPECT_FALSE(IsAppLevel(FeatureSet::kSC));
+  EXPECT_FALSE(IsAppLevel(FeatureSet::kSCG));
+}
+
+TEST_F(BaselineModelsTest, FlatFeatureWidthsNested) {
+  const StageInstance& inst = corpus_.instances[0];
+  size_t w = AssembleFlatFeatures(inst, FeatureSet::kW, num_apps_).size();
+  size_t wc = AssembleFlatFeatures(inst, FeatureSet::kWC, num_apps_).size();
+  size_t s = AssembleFlatFeatures(inst, FeatureSet::kS, num_apps_).size();
+  size_t sc = AssembleFlatFeatures(inst, FeatureSet::kSC, num_apps_).size();
+  size_t scg = AssembleFlatFeatures(inst, FeatureSet::kSCG, num_apps_).size();
+  EXPECT_EQ(w, num_apps_ + 4 + 6 + 16);
+  EXPECT_EQ(wc, w + 32);          // + app code BOW.
+  EXPECT_EQ(s, w + 4);            // + stage statistics.
+  EXPECT_EQ(sc, s + 32);          // + stage code BOW.
+  EXPECT_EQ(scg, sc + corpus_.op_vocab->size() + 1);  // + DAG histogram.
+}
+
+TEST_F(BaselineModelsTest, GbdtFitsAndPredicts) {
+  Rng rng(1);
+  FlatGbdtEstimator model(FeatureSet::kSC, num_apps_);
+  model.Fit(corpus_.instances, &rng);
+  // In-sample rank correlation must be strongly positive.
+  std::vector<double> pred, truth;
+  for (const auto& inst : corpus_.instances) {
+    pred.push_back(model.PredictTarget(inst));
+    truth.push_back(inst.y);
+  }
+  EXPECT_GT(SpearmanCorrelation(pred, truth), 0.8);
+  EXPECT_EQ(model.name(), "LightGBM+SC");
+}
+
+TEST_F(BaselineModelsTest, AppLevelGbdtUsesOnePredictionPerRun) {
+  Rng rng(2);
+  FlatGbdtEstimator model(FeatureSet::kW, num_apps_);
+  model.Fit(corpus_.instances, &rng);
+  CandidateEval cand;
+  cand.stage_instances = {corpus_.instances[0], corpus_.instances[1]};
+  cand.stage_reps = {5, 5};
+  double app_pred = model.PredictAppSecondsOverride(cand);
+  // App-level: equals the direct prediction on the first instance — reps
+  // must not multiply it.
+  double direct = SecondsFromTarget(model.PredictTarget(cand.stage_instances[0]));
+  EXPECT_NEAR(app_pred, direct, 1e-9);
+}
+
+TEST_F(BaselineModelsTest, MlpFitsRegression) {
+  FlatMlpEstimator model(FeatureSet::kS, num_apps_, 11);
+  TrainOptions opts;
+  opts.epochs = 30;
+  opts.lr = 3e-3f;
+  model.Fit(corpus_.instances, opts);
+  std::vector<double> pred, truth;
+  for (const auto& inst : corpus_.instances) {
+    pred.push_back(model.PredictTarget(inst));
+    truth.push_back(inst.y);
+  }
+  EXPECT_GT(SpearmanCorrelation(pred, truth), 0.5);
+  EXPECT_EQ(model.name(), "MLP+S");
+}
+
+TEST_F(BaselineModelsTest, SeqEstimatorsTrainAndPredict) {
+  for (auto kind : {SeqEstimator::Kind::kLstm, SeqEstimator::Kind::kTransformer}) {
+    NecsConfig cfg;
+    cfg.emb_dim = 6;
+    cfg.code_dim = 8;
+    cfg.gcn_hidden = 6;
+    SeqEstimator model(kind, corpus_.vocab->size(), corpus_.op_vocab->size(),
+                       cfg, /*max_seq_steps=*/24, 13);
+    TrainOptions opts;
+    opts.epochs = 2;
+    opts.batch_size = 16;
+    // Subset for speed.
+    std::vector<StageInstance> subset(corpus_.instances.begin(),
+                                      corpus_.instances.begin() +
+                                          std::min<size_t>(60, corpus_.instances.size()));
+    std::vector<double> losses = model.Train(subset, opts);
+    EXPECT_EQ(losses.size(), 2u);
+    EXPECT_LE(losses.back(), losses.front() * 1.5);
+    double p = model.PredictTarget(subset[0]);
+    EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+TEST_F(BaselineModelsTest, CachedSeqPredictionStable) {
+  NecsConfig cfg;
+  cfg.emb_dim = 6;
+  cfg.code_dim = 8;
+  cfg.gcn_hidden = 6;
+  SeqEstimator model(SeqEstimator::Kind::kLstm, corpus_.vocab->size(),
+                     corpus_.op_vocab->size(), cfg, 24, 17);
+  double a = model.PredictTarget(corpus_.instances[0]);
+  double b = model.PredictTarget(corpus_.instances[0]);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace lite

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "lite/candidate_gen.h"
+
+namespace lite {
+namespace {
+
+class CandidateGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CorpusOptions opts;
+    opts.apps = {"TS", "KM", "PR"};
+    opts.clusters = {spark::ClusterEnv::ClusterA(), spark::ClusterEnv::ClusterC()};
+    opts.configs_per_setting = 4;
+    opts.max_stage_instances_per_run = 4;
+    opts.max_code_tokens = 48;
+    CorpusBuilder builder(&runner_);
+    corpus_ = builder.Build(opts);
+    gen_.Fit(corpus_);
+  }
+
+  spark::SparkRunner runner_;
+  Corpus corpus_;
+  CandidateGenerator gen_;
+};
+
+TEST_F(CandidateGenTest, FitProducesSigmas) {
+  ASSERT_TRUE(gen_.fitted());
+  const auto& space = spark::KnobSpace::Spark16();
+  ASSERT_EQ(gen_.sigmas().size(), space.size());
+  for (size_t d = 0; d < space.size(); ++d) {
+    EXPECT_GT(gen_.sigmas()[d], 0.0) << space.spec(d).name;
+    // Sigma cannot exceed the knob's full span.
+    EXPECT_LE(gen_.sigmas()[d],
+              space.spec(d).max_value - space.spec(d).min_value);
+  }
+}
+
+TEST_F(CandidateGenTest, PointPredictionValid) {
+  const auto* km = spark::AppCatalog::Find("KM");
+  spark::Config p = gen_.PointPrediction(*km, km->MakeData(km->test_size_mb),
+                                         spark::ClusterEnv::ClusterC());
+  EXPECT_TRUE(spark::KnobSpace::Spark16().IsValid(p));
+}
+
+TEST_F(CandidateGenTest, RegionWithinKnobBounds) {
+  const auto* ts = spark::AppCatalog::Find("TS");
+  auto region = gen_.RegionOf(*ts, ts->MakeData(500), spark::ClusterEnv::ClusterA());
+  const auto& space = spark::KnobSpace::Spark16();
+  for (size_t d = 0; d < space.size(); ++d) {
+    EXPECT_GE(region.lo[d], space.spec(d).min_value);
+    EXPECT_LE(region.hi[d], space.spec(d).max_value);
+    EXPECT_LE(region.lo[d], region.hi[d]);
+  }
+}
+
+TEST_F(CandidateGenTest, SampledCandidatesInsideRegion) {
+  const auto* pr = spark::AppCatalog::Find("PR");
+  spark::DataSpec data = pr->MakeData(pr->validation_size_mb);
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+  auto region = gen_.RegionOf(*pr, data, env);
+  Rng rng(5);
+  auto candidates = gen_.SampleCandidates(*pr, data, env, 40, &rng);
+  ASSERT_EQ(candidates.size(), 40u);
+  const auto& space = spark::KnobSpace::Spark16();
+  for (const auto& c : candidates) {
+    EXPECT_TRUE(space.IsValid(c));
+    for (size_t d = 0; d < space.size(); ++d) {
+      // Snapping may push ints half a step outside the continuous region.
+      EXPECT_GE(c[d], region.lo[d] - 0.51);
+      EXPECT_LE(c[d], region.hi[d] + 0.51);
+    }
+  }
+}
+
+TEST_F(CandidateGenTest, RegionShrinksSearchSpace) {
+  // The adaptive region must be materially smaller than the full space
+  // (the mechanism that reduces tuning overhead, Section IV-A).
+  const auto* km = spark::AppCatalog::Find("KM");
+  auto region = gen_.RegionOf(*km, km->MakeData(km->test_size_mb),
+                              spark::ClusterEnv::ClusterC());
+  const auto& space = spark::KnobSpace::Spark16();
+  double volume_ratio = 1.0;
+  for (size_t d = 0; d < space.size(); ++d) {
+    double full = space.spec(d).max_value - space.spec(d).min_value;
+    double part = region.hi[d] - region.lo[d];
+    volume_ratio *= (part + 1e-9) / full;
+  }
+  EXPECT_LT(volume_ratio, 0.5);
+}
+
+TEST_F(CandidateGenTest, RegionContainsGoodConfigsMoreOftenThanRandom) {
+  // Sampling from the region should produce better mean execution time than
+  // uniform sampling — Table VIII(b)'s shape.
+  const auto* km = spark::AppCatalog::Find("KM");
+  spark::DataSpec data = km->MakeData(km->validation_size_mb);
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+  Rng rng(6);
+  auto acg = gen_.SampleCandidates(*km, data, env, 30, &rng);
+  const auto& space = spark::KnobSpace::Spark16();
+  double acg_mean = 0, rnd_mean = 0;
+  for (int i = 0; i < 30; ++i) {
+    acg_mean += runner_.Measure(*km, data, env, acg[static_cast<size_t>(i)]);
+    rnd_mean += runner_.Measure(*km, data, env, space.RandomConfig(&rng));
+  }
+  EXPECT_LT(acg_mean, rnd_mean);
+}
+
+TEST_F(CandidateGenTest, DescribeAppStableDims) {
+  const auto* app = spark::AppCatalog::Find("SVM");
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterB();
+  auto d1 = CandidateGenerator::DescribeApp(*app, app->MakeData(10), env);
+  auto d2 = CandidateGenerator::DescribeApp(*app, app->MakeData(1000), env);
+  EXPECT_EQ(d1.size(), d2.size());
+  EXPECT_NE(d1[0], d2[0]);  // datasize entry differs.
+}
+
+}  // namespace
+}  // namespace lite

@@ -1,0 +1,141 @@
+// Focused coverage for paths the main suites exercise only indirectly:
+// the experiment aggregation helpers, BO warm starting, placement
+// feasibility, event-log edge cases, and table rendering.
+#include <gtest/gtest.h>
+
+#include "sparksim/eventlog.h"
+#include "tuning/bo_tuner.h"
+#include "tuning/experiment.h"
+#include "tuning/model_tuners.h"
+#include "tuning/simple_tuners.h"
+#include "util/table_printer.h"
+
+namespace lite {
+namespace {
+
+TEST(ExperimentTest, MeanHelpersAcrossTasks) {
+  TaskComparison a, b;
+  a.outcomes = {{"X", 100.0, 0.5, 10.0, 1, {}}, {"Y", 200.0, 1.0, 20.0, 2, {}}};
+  b.outcomes = {{"X", 300.0, 1.0, 30.0, 3, {}}, {"Y", 400.0, 0.0, 40.0, 4, {}}};
+  auto secs = MeanSecondsByMethod({a, b});
+  EXPECT_DOUBLE_EQ(secs.at("X"), 200.0);
+  EXPECT_DOUBLE_EQ(secs.at("Y"), 300.0);
+  auto etrs = MeanEtrByMethod({a, b});
+  EXPECT_DOUBLE_EQ(etrs.at("X"), 0.75);
+  EXPECT_DOUBLE_EQ(etrs.at("Y"), 0.5);
+}
+
+TEST(ExperimentTest, CompareWithoutDefaultUsesWorstAsBaseline) {
+  spark::SparkRunner runner;
+  ManualTuner manual(&runner);
+  TuningTask task;
+  task.app = spark::AppCatalog::Find("WC");
+  task.data = task.app->MakeData(task.app->validation_size_mb);
+  task.env = spark::ClusterEnv::ClusterA();
+  TaskComparison cmp = CompareTuners({&manual}, task, 12 * 3600);
+  // No "Default" tuner in the list: baseline falls back to the worst
+  // observed method, so t_default > 0 still holds.
+  EXPECT_GT(cmp.t_default, 0.0);
+  EXPECT_LE(cmp.t_min, cmp.t_default);
+}
+
+TEST(BoWarmStartTest, PrefersSameApplicationConfigs) {
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  CorpusOptions opts;
+  opts.apps = {"TS", "KM"};
+  opts.clusters = {spark::ClusterEnv::ClusterA()};
+  opts.configs_per_setting = 2;
+  opts.max_stage_instances_per_run = 4;
+  opts.max_code_tokens = 48;
+  Corpus corpus = builder.Build(opts);
+
+  BoOptions bopts;
+  bopts.warm_start_points = 4;
+  bopts.acquisition_samples = 32;
+  bopts.max_trials = 6;
+  BoTuner bo(&runner, &corpus, bopts);
+  TuningTask task;
+  task.app = spark::AppCatalog::Find("TS");
+  task.data = task.app->MakeData(task.app->validation_size_mb);
+  task.env = spark::ClusterEnv::ClusterA();
+  TuningResult r = bo.Tune(task, 3000.0);
+  EXPECT_GE(r.trials, 4u);  // warm start ran.
+  EXPECT_TRUE(spark::KnobSpace::Spark16().IsValid(r.best_config));
+}
+
+TEST(PlacementFeasibleTest, MatchesCostModelFailures) {
+  const auto& space = spark::KnobSpace::Spark16();
+  spark::ClusterEnv c = spark::ClusterEnv::ClusterC();  // 16GB nodes.
+  spark::Config ok = space.DefaultConfig();
+  EXPECT_TRUE(spark::PlacementFeasible(c, ok));
+  spark::Config too_big = ok;
+  too_big[spark::kExecutorMemory] = 32;
+  EXPECT_FALSE(spark::PlacementFeasible(c, too_big));
+  spark::Config fat_driver = ok;
+  fat_driver[spark::kDriverMemory] = 16;
+  fat_driver[spark::kDriverMemoryOverhead] = 2048;
+  EXPECT_FALSE(spark::PlacementFeasible(c, fat_driver));
+  // Cluster A (64GB) schedules the same executor fine.
+  EXPECT_TRUE(spark::PlacementFeasible(spark::ClusterEnv::ClusterA(), too_big));
+}
+
+TEST(EventLogEdgeTest, TruncatedLogRejected) {
+  spark::SparkRunner runner;
+  const auto* app = spark::AppCatalog::Find("WC");
+  spark::Submission sub =
+      runner.Submit(*app, app->MakeData(25), spark::ClusterEnv::ClusterA(),
+                    spark::KnobSpace::Spark16().DefaultConfig());
+  // Cut the log in half: the application-end event disappears.
+  std::string half = sub.event_log.substr(0, sub.event_log.size() / 2);
+  spark::ParsedEventLog parsed;
+  EXPECT_FALSE(spark::ParseEventLog(half, &parsed));
+}
+
+TEST(EventLogEdgeTest, BlankLinesTolerated) {
+  spark::SparkRunner runner;
+  const auto* app = spark::AppCatalog::Find("WC");
+  spark::Submission sub =
+      runner.Submit(*app, app->MakeData(25), spark::ClusterEnv::ClusterA(),
+                    spark::KnobSpace::Spark16().DefaultConfig());
+  std::string padded = "\n\n" + sub.event_log + "\n\n";
+  spark::ParsedEventLog parsed;
+  EXPECT_TRUE(spark::ParseEventLog(padded, &parsed));
+  EXPECT_EQ(parsed.app_name, app->name);
+}
+
+TEST(TablePrinterEdgeTest, ShortRowsPadded) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"only-one"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+  // Renders without crashing and keeps three columns in the header.
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("C"), std::string::npos);
+}
+
+TEST(MlpTunerEdgeTest, AllCandidatesInfeasibleFallsBackToDefault) {
+  // A corpus-trained MLP tuner whose random candidates happen to be
+  // schedulable is the normal path; force the degenerate path by using a
+  // candidate count of zero.
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  CorpusOptions opts;
+  opts.apps = {"TS"};
+  opts.clusters = {spark::ClusterEnv::ClusterA()};
+  opts.configs_per_setting = 1;
+  opts.max_code_tokens = 32;
+  Corpus corpus = builder.Build(opts);
+  MlpTuner tuner(&runner, &corpus, /*num_candidates=*/0,
+                 TrainOptions{.epochs = 1}, 5);
+  tuner.Fit();
+  TuningTask task;
+  task.app = spark::AppCatalog::Find("TS");
+  task.data = task.app->MakeData(100);
+  task.env = spark::ClusterEnv::ClusterA();
+  TuningResult r = tuner.Tune(task, 7200);
+  EXPECT_EQ(r.best_config, spark::KnobSpace::Spark16().DefaultConfig());
+}
+
+}  // namespace
+}  // namespace lite

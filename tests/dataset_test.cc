@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lite/dataset.h"
+
+namespace lite {
+namespace {
+
+CorpusOptions SmallOptions() {
+  CorpusOptions opts;
+  opts.apps = {"TS", "PR"};
+  opts.clusters = {spark::ClusterEnv::ClusterA()};
+  opts.configs_per_setting = 2;
+  opts.max_stage_instances_per_run = 6;
+  opts.max_code_tokens = 64;
+  opts.bow_dims = 32;
+  return opts;
+}
+
+TEST(CorpusTest, BuildsInstancesForRequestedApps) {
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  Corpus corpus = builder.Build(SmallOptions());
+  ASSERT_FALSE(corpus.instances.empty());
+  std::set<std::string> apps;
+  for (const auto& inst : corpus.instances) apps.insert(inst.app_abbrev);
+  EXPECT_EQ(apps, (std::set<std::string>{"TS", "PR"}));
+  EXPECT_GT(corpus.num_app_instances, 8u);  // 2 apps x 4 sizes x >=1 config.
+  // Per-run cap respected.
+  std::map<int, int> per_run;
+  for (const auto& inst : corpus.instances) ++per_run[inst.app_instance_id];
+  for (const auto& [id, n] : per_run) EXPECT_LE(n, 6);
+}
+
+TEST(CorpusTest, VocabExcludesHeldOutApps) {
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  CorpusOptions opts = SmallOptions();
+  opts.apps = {"TS"};  // PageRank held out.
+  Corpus corpus = builder.Build(opts);
+  // PageRank-only tokens unknown -> oov.
+  EXPECT_EQ(corpus.vocab->IdOf("dampingFactor"), TokenVocab::kOovId);
+  EXPECT_NE(corpus.vocab->IdOf("sortByKey"), TokenVocab::kOovId);
+  // PageRank-only op (aggregateMessages is graph-only; TS lacks it).
+  EXPECT_EQ(corpus.op_vocab->IdOf("groupByKey") >= 0, true);
+}
+
+TEST(CorpusTest, DeterministicGivenSeed) {
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  Corpus a = builder.Build(SmallOptions());
+  Corpus b = builder.Build(SmallOptions());
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (size_t i = 0; i < a.instances.size(); ++i) {
+    EXPECT_EQ(a.instances[i].knobs, b.instances[i].knobs);
+    EXPECT_DOUBLE_EQ(a.instances[i].y, b.instances[i].y);
+  }
+}
+
+TEST(CorpusTest, StageSubsamplingKeepsAllSpecs) {
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  CorpusOptions opts = SmallOptions();
+  opts.apps = {"SCC"};  // ~91 stage executions per run.
+  opts.max_stage_instances_per_run = 8;
+  Corpus corpus = builder.Build(opts);
+  std::map<int, std::set<size_t>> specs_per_run;
+  for (const auto& inst : corpus.instances) {
+    specs_per_run[inst.app_instance_id].insert(inst.stage_index);
+  }
+  const auto* scc = spark::AppCatalog::Find("SCC");
+  for (const auto& [run, specs] : specs_per_run) {
+    EXPECT_EQ(specs.size(), scc->stages.size());
+  }
+}
+
+TEST(RankingCaseTest, CandidatesEvaluatedAgainstTruth) {
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  Corpus corpus = builder.Build(SmallOptions());
+  auto cases = builder.BuildRankingCases(
+      corpus, {"PR"}, spark::ClusterEnv::ClusterA(),
+      [](const spark::ApplicationSpec& a) { return a.validation_size_mb; }, 12,
+      99);
+  ASSERT_EQ(cases.size(), 1u);
+  const RankingCase& rc = cases[0];
+  EXPECT_EQ(rc.candidates.size(), 12u);
+  for (const auto& cand : rc.candidates) {
+    EXPECT_TRUE(spark::KnobSpace::Spark16().IsValid(cand.config));
+    EXPECT_GT(cand.true_seconds, 0.0);
+    EXPECT_EQ(cand.stage_instances.size(), cand.stage_reps.size());
+    // Every stage spec is featurized, even for failed candidates.
+    EXPECT_EQ(cand.stage_instances.size(), rc.app->stages.size());
+    for (int reps : cand.stage_reps) EXPECT_GE(reps, 1);
+  }
+  EXPECT_EQ(rc.TrueTimes().size(), 12u);
+}
+
+TEST(RankingCaseTest, ColdStartFeaturizationUsesOov) {
+  // Corpus without PR still featurizes PR candidates (cold start).
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  CorpusOptions opts = SmallOptions();
+  opts.apps = {"TS"};
+  Corpus corpus = builder.Build(opts);
+  auto cases = builder.BuildRankingCases(
+      corpus, {"PR"}, spark::ClusterEnv::ClusterA(),
+      [](const spark::ApplicationSpec& a) { return a.validation_size_mb; }, 4,
+      99);
+  ASSERT_EQ(cases.size(), 1u);
+  // PageRank's aggregate ops are unknown to a TS-only op vocab -> oov id.
+  bool any_oov = false;
+  for (const auto& cand : cases[0].candidates) {
+    for (const auto& inst : cand.stage_instances) {
+      for (int id : inst.dag_node_ids) {
+        if (id == static_cast<int>(corpus.op_vocab->size())) any_oov = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_oov);
+}
+
+TEST(FeaturizeCandidateTest, NoGroundTruthStats) {
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  Corpus corpus = builder.Build(SmallOptions());
+  const auto* pr = spark::AppCatalog::Find("PR");
+  CandidateEval ce = builder.FeaturizeCandidate(
+      corpus, *pr, pr->MakeData(100), spark::ClusterEnv::ClusterC(),
+      spark::KnobSpace::Spark16().DefaultConfig());
+  EXPECT_EQ(ce.stage_instances.size(), pr->stages.size());
+  // Online featurization has no executed run: stats are all zero.
+  for (const auto& inst : ce.stage_instances) {
+    for (double s : inst.stage_stats) EXPECT_EQ(s, 0.0);
+  }
+  // Per-iteration stages get the iteration count as reps.
+  bool has_multi_rep = false;
+  for (int r : ce.stage_reps) has_multi_rep |= (r > 1);
+  EXPECT_TRUE(has_multi_rep);
+}
+
+TEST(ResolveAppsTest, EmptyMeansAll) {
+  EXPECT_EQ(ResolveApps({}).size(), spark::AppCatalog::Count());
+  EXPECT_EQ(ResolveApps({"TS", "KMeans"}).size(), 2u);
+}
+
+}  // namespace
+}  // namespace lite

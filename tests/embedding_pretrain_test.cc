@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "lite/embedding_pretrain.h"
+#include "lite/necs.h"
+
+namespace lite {
+namespace {
+
+TEST(EmbeddingPretrainTest, CooccurringTokensEndUpCloser) {
+  // "map"/"iterator" always co-occur; "zebra" only ever appears alone with
+  // "yak". After pretraining, cos(map, iterator) > cos(map, zebra).
+  std::vector<std::vector<std::string>> streams;
+  for (int i = 0; i < 40; ++i) {
+    streams.push_back({"rdd", "map", "iterator", "next", "map", "iterator"});
+    streams.push_back({"zebra", "yak"});
+  }
+  TokenVocab vocab = TokenVocab::Build(streams);
+  EmbeddingPretrainer pre(PretrainOptions{.window = 2, .dim = 8});
+  Tensor emb = pre.Fit(vocab, streams);
+  ASSERT_EQ(emb.shape()[0], vocab.size());
+  ASSERT_EQ(emb.shape()[1], 8u);
+
+  double close = EmbeddingPretrainer::CosineSimilarity(
+      emb, vocab.IdOf("map"), vocab.IdOf("iterator"));
+  double far = EmbeddingPretrainer::CosineSimilarity(
+      emb, vocab.IdOf("map"), vocab.IdOf("zebra"));
+  EXPECT_GT(close, far);
+}
+
+TEST(EmbeddingPretrainTest, PadRowIsZero) {
+  std::vector<std::vector<std::string>> streams{{"a", "b", "a", "b"}};
+  TokenVocab vocab = TokenVocab::Build(streams);
+  Tensor emb = EmbeddingPretrainer(PretrainOptions{.dim = 4}).Fit(vocab, streams);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(emb.at(TokenVocab::kPadId, j), 0.0f);
+  }
+}
+
+TEST(EmbeddingPretrainTest, DeterministicGivenSeed) {
+  std::vector<std::vector<std::string>> streams{
+      {"x", "y", "z", "x", "y"}, {"z", "x", "y"}};
+  TokenVocab vocab = TokenVocab::Build(streams);
+  EmbeddingPretrainer pre;
+  Tensor a = pre.Fit(vocab, streams);
+  Tensor b = pre.Fit(vocab, streams);
+  ASSERT_TRUE(a.SameShape(b));
+  for (size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(EmbeddingPretrainTest, InitializesNecsAndTrains) {
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  CorpusOptions copts;
+  copts.apps = {"TS", "PR"};
+  copts.clusters = {spark::ClusterEnv::ClusterA()};
+  copts.configs_per_setting = 2;
+  copts.max_stage_instances_per_run = 5;
+  copts.max_code_tokens = 64;
+  Corpus corpus = builder.Build(copts);
+
+  // Streams for pretraining: the corpus applications' stage code.
+  std::vector<std::vector<std::string>> streams;
+  for (const auto* app : corpus.apps) {
+    spark::AppArtifacts art = runner.instrumenter().Instrument(*app);
+    for (const auto& s : art.stages) streams.push_back(s.code_tokens);
+  }
+  NecsConfig cfg;
+  cfg.emb_dim = 8;
+  cfg.cnn_widths = {3, 4};
+  cfg.cnn_kernels = 6;
+  cfg.code_dim = 12;
+  cfg.gcn_hidden = 8;
+  EmbeddingPretrainer pre(PretrainOptions{.dim = 8});
+  Tensor emb = pre.Fit(*corpus.vocab, streams);
+
+  NecsModel model(corpus.vocab->size(), corpus.op_vocab->size(), cfg, 3);
+  model.SetTokenEmbeddings(emb);
+  NecsTrainer trainer;
+  TrainOptions topts;
+  topts.epochs = 3;
+  std::vector<double> losses = trainer.Train(&model, corpus.instances, topts);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(EmbeddingPretrainTest, RejectsWrongShape) {
+  spark::SparkRunner runner;
+  CorpusBuilder builder(&runner);
+  CorpusOptions copts;
+  copts.apps = {"TS"};
+  copts.clusters = {spark::ClusterEnv::ClusterA()};
+  copts.configs_per_setting = 1;
+  copts.max_code_tokens = 32;
+  Corpus corpus = builder.Build(copts);
+  NecsConfig cfg;
+  cfg.emb_dim = 8;
+  cfg.cnn_widths = {3};
+  cfg.cnn_kernels = 4;
+  cfg.code_dim = 8;
+  cfg.gcn_hidden = 8;
+  NecsModel model(corpus.vocab->size(), corpus.op_vocab->size(), cfg, 3);
+  Tensor wrong(corpus.vocab->size(), 16);  // wrong emb dim.
+  EXPECT_DEATH(model.SetTokenEmbeddings(wrong), "pretrained embedding shape");
+}
+
+}  // namespace
+}  // namespace lite

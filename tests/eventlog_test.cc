@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "sparksim/eventlog.h"
+#include "sparksim/runner.h"
+
+namespace lite::spark {
+namespace {
+
+TEST(EventLogTest, WriteParseRoundtrip) {
+  SparkRunner runner;
+  const ApplicationSpec* app = AppCatalog::Find("PR");
+  DataSpec data = app->MakeData(50);
+  Submission sub = runner.Submit(*app, data, ClusterEnv::ClusterA(),
+                                 KnobSpace::Spark16().DefaultConfig());
+  ASSERT_FALSE(sub.event_log.empty());
+
+  ParsedEventLog parsed;
+  ASSERT_TRUE(ParseEventLog(sub.event_log, &parsed));
+  EXPECT_EQ(parsed.app_name, "PageRank");
+  EXPECT_EQ(parsed.failed, sub.result.failed);
+  EXPECT_NEAR(parsed.total_seconds, sub.result.total_seconds, 1e-6);
+  ASSERT_EQ(parsed.stages.size(), sub.result.stage_runs.size());
+  for (size_t i = 0; i < parsed.stages.size(); ++i) {
+    const StageEvent& ev = parsed.stages[i];
+    const StageRunResult& sr = sub.result.stage_runs[i];
+    EXPECT_EQ(ev.stage_index, sr.stage_index);
+    EXPECT_EQ(ev.iteration, sr.iteration);
+    EXPECT_NEAR(ev.seconds, sr.seconds, 1e-6);
+    // The DAG in the log round-trips exactly.
+    StageDag expected = BuildStageDag(app->stages[sr.stage_index]);
+    EXPECT_EQ(ev.dag.node_ops, expected.node_ops);
+    EXPECT_EQ(ev.dag.edges, expected.edges);
+  }
+}
+
+TEST(EventLogTest, FailedRunMarked) {
+  SparkRunner runner;
+  const ApplicationSpec* app = AppCatalog::Find("TS");
+  DataSpec data = app->MakeData(100);
+  Config bad = KnobSpace::Spark16().DefaultConfig();
+  bad[kExecutorMemory] = 32;  // infeasible on cluster C.
+  Submission sub = runner.Submit(*app, data, ClusterEnv::ClusterC(), bad);
+  ParsedEventLog parsed;
+  ASSERT_TRUE(ParseEventLog(sub.event_log, &parsed));
+  EXPECT_TRUE(parsed.failed);
+}
+
+TEST(EventLogTest, RejectsGarbage) {
+  ParsedEventLog parsed;
+  EXPECT_FALSE(ParseEventLog("not json at all", &parsed));
+  EXPECT_FALSE(ParseEventLog("{\"Event\":\"SparkListenerApplicationStart\"}",
+                             &parsed));  // missing App Name.
+  // Missing end event.
+  EXPECT_FALSE(ParseEventLog(
+      "{\"Event\":\"SparkListenerApplicationStart\",\"App Name\":\"X\"}\n",
+      &parsed));
+}
+
+TEST(EventLogTest, EscapedStringsSurvive) {
+  // Stage names with quotes/backslashes must round-trip through the writer's
+  // escaping. Build a run manually.
+  const ApplicationSpec* app = AppCatalog::Find("WC");
+  AppRunResult run;
+  StageRunResult sr;
+  sr.stage_index = 0;
+  sr.seconds = 1.5;
+  run.stage_runs.push_back(sr);
+  run.total_seconds = 1.5;
+  std::string log = WriteEventLog(*app, run);
+  ParsedEventLog parsed;
+  ASSERT_TRUE(ParseEventLog(log, &parsed));
+  EXPECT_EQ(parsed.stages[0].stage_name, app->stages[0].name);
+}
+
+TEST(EventLogTest, EventsPerStageRun) {
+  SparkRunner runner;
+  const ApplicationSpec* scc = AppCatalog::Find("SCC");
+  DataSpec data = scc->MakeData(scc->train_sizes_mb[0]);
+  Submission sub = runner.Submit(*scc, data, ClusterEnv::ClusterB(),
+                                 KnobSpace::Spark16().DefaultConfig());
+  ParsedEventLog parsed;
+  ASSERT_TRUE(ParseEventLog(sub.event_log, &parsed));
+  // One completion event per stage execution, including per-iteration reps.
+  EXPECT_EQ(parsed.stages.size(), scc->StageInstanceCount(data.iterations));
+}
+
+}  // namespace
+}  // namespace lite::spark

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lite/features.h"
+#include "lite/vocab.h"
+#include "sparksim/runner.h"
+
+namespace lite {
+namespace {
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = spark::AppCatalog::Find("PR");
+    artifacts_ = instrumenter_.Instrument(*app_);
+    std::vector<std::vector<std::string>> streams{artifacts_.app_code_tokens};
+    for (const auto& s : artifacts_.stages) streams.push_back(s.code_tokens);
+    vocab_ = TokenVocab::Build(streams);
+    op_vocab_ = spark::OpVocab::FromApplications({app_});
+  }
+
+  const spark::ApplicationSpec* app_;
+  spark::Instrumenter instrumenter_;
+  spark::AppArtifacts artifacts_;
+  TokenVocab vocab_;
+  spark::OpVocab op_vocab_;
+};
+
+TEST_F(FeaturesTest, VocabEncodesPadsAndTruncates) {
+  std::vector<std::string> toks{"map", "(", ")"};
+  auto enc = vocab_.Encode(toks, 6);
+  ASSERT_EQ(enc.size(), 6u);
+  EXPECT_NE(enc[0], TokenVocab::kPadId);
+  EXPECT_EQ(enc[3], TokenVocab::kPadId);
+  auto enc2 = vocab_.Encode(artifacts_.stages[0].code_tokens, 5);
+  EXPECT_EQ(enc2.size(), 5u);
+}
+
+TEST_F(FeaturesTest, UnknownTokensAreOov) {
+  EXPECT_EQ(vocab_.IdOf("zzz-never-seen"), TokenVocab::kOovId);
+  EXPECT_NE(vocab_.IdOf("map"), TokenVocab::kOovId);
+}
+
+TEST_F(FeaturesTest, BagOfWordsNormalized) {
+  auto bow = vocab_.BagOfWords(artifacts_.stages[0].code_tokens, 32);
+  ASSERT_EQ(bow.size(), 32u);
+  double sum = 0.0;
+  for (double v : bow) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(FeaturesTest, TargetTransformRoundtrip) {
+  for (double s : {0.0, 1.0, 60.0, 7200.0}) {
+    EXPECT_NEAR(SecondsFromTarget(TargetFromSeconds(s)), s, 1e-6 * (s + 1));
+  }
+}
+
+TEST_F(FeaturesTest, NormalizedFeatureDims) {
+  spark::DataSpec data = app_->MakeData(100);
+  EXPECT_EQ(NormalizeDataFeature(data).size(), 4u);   // Table I.
+  EXPECT_EQ(NormalizeEnvFeature(spark::ClusterEnv::ClusterA()).size(), 6u);  // Table II.
+}
+
+TEST_F(FeaturesTest, ExtractRunBuildsSixTupleInstances) {
+  spark::SparkRunner runner;
+  spark::DataSpec data = app_->MakeData(50);
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+  spark::Config config = spark::KnobSpace::Spark16().DefaultConfig();
+  spark::AppRunResult run = runner.cost_model().Run(*app_, data, env, config);
+  ASSERT_FALSE(run.failed);
+
+  FeatureExtractor extractor(&vocab_, &op_vocab_, 64, 32);
+  auto instances = extractor.ExtractRun(*app_, artifacts_, data, env, config,
+                                        run.stage_runs, run.total_seconds, 7, 2);
+  ASSERT_EQ(instances.size(), run.stage_runs.size());
+  for (const auto& inst : instances) {
+    EXPECT_EQ(inst.app_name, "PageRank");
+    EXPECT_EQ(inst.app_instance_id, 7);
+    EXPECT_EQ(inst.app_id, 2);
+    EXPECT_EQ(inst.code_token_ids.size(), 64u);
+    EXPECT_EQ(inst.knobs.size(), 16u);
+    EXPECT_EQ(inst.data_feat.size(), 4u);
+    EXPECT_EQ(inst.env_feat.size(), 6u);
+    EXPECT_EQ(inst.stage_stats.size(), 4u);
+    EXPECT_EQ(inst.code_bow.size(), 32u);
+    EXPECT_EQ(inst.app_code_bow.size(), 32u);
+    EXPECT_EQ(inst.dag_histogram.size(), op_vocab_.size() + 1);
+    EXPECT_GT(inst.stage_seconds, 0.0);
+    EXPECT_NEAR(inst.y, std::log1p(inst.stage_seconds), 1e-9);
+    // Knobs normalized.
+    for (double k : inst.knobs) {
+      EXPECT_GE(k, 0.0);
+      EXPECT_LE(k, 1.0);
+    }
+    EXPECT_FALSE(inst.dag_node_ids.empty());
+  }
+  // Instances from the same run share w(x_i)-level features (Section III-C).
+  EXPECT_EQ(instances[0].knobs, instances[1].knobs);
+  EXPECT_EQ(instances[0].data_feat, instances[1].data_feat);
+  EXPECT_EQ(instances[0].env_feat, instances[1].env_feat);
+}
+
+TEST_F(FeaturesTest, GcnGraphMatchesOpVocab) {
+  spark::SparkRunner runner;
+  spark::DataSpec data = app_->MakeData(50);
+  spark::Config config = spark::KnobSpace::Spark16().DefaultConfig();
+  spark::AppRunResult run =
+      runner.cost_model().Run(*app_, data, spark::ClusterEnv::ClusterA(), config);
+  FeatureExtractor extractor(&vocab_, &op_vocab_, 64, 32);
+  auto instances = extractor.ExtractRun(*app_, artifacts_, data,
+                                        spark::ClusterEnv::ClusterA(), config,
+                                        run.stage_runs, run.total_seconds, 0, 0);
+  GcnGraph g = BuildGcnGraph(instances[0], op_vocab_.size());
+  EXPECT_EQ(g.node_features.shape()[0], instances[0].dag_node_ids.size());
+  EXPECT_EQ(g.node_features.shape()[1], op_vocab_.size() + 1);
+  EXPECT_EQ(g.norm_adjacency.shape()[0], g.norm_adjacency.shape()[1]);
+}
+
+TEST(VocabTest, BuildOrdersByFrequency) {
+  TokenVocab v = TokenVocab::Build({{"a", "a", "a", "b", "b", "c"}});
+  EXPECT_LT(v.IdOf("a"), v.IdOf("b"));
+  EXPECT_LT(v.IdOf("b"), v.IdOf("c"));
+  EXPECT_EQ(v.vocabulary_words(), 3u);
+  EXPECT_EQ(v.size(), 5u);  // + pad + oov.
+}
+
+TEST(VocabTest, MinCountFilters) {
+  TokenVocab v = TokenVocab::Build({{"a", "a", "b"}}, 2);
+  EXPECT_NE(v.IdOf("a"), TokenVocab::kOovId);
+  EXPECT_EQ(v.IdOf("b"), TokenVocab::kOovId);
+}
+
+}  // namespace
+}  // namespace lite

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace lite {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser p;
+  p.AddString("name", "default", "a string");
+  p.AddInt("count", 7, "an int");
+  p.AddDouble("ratio", 0.5, "a double");
+  p.AddBool("verbose", false, "a bool");
+  return p;
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  FlagParser p = MakeParser();
+  std::string err;
+  ASSERT_TRUE(p.Parse(0, nullptr, &err));
+  EXPECT_EQ(p.GetString("name"), "default");
+  EXPECT_EQ(p.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(p.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsAndSpaceSyntax) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"--name=abc", "--count", "42", "--ratio=1.25",
+                        "--verbose"};
+  std::string err;
+  ASSERT_TRUE(p.Parse(5, argv, &err)) << err;
+  EXPECT_EQ(p.GetString("name"), "abc");
+  EXPECT_EQ(p.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble("ratio"), 1.25);
+  EXPECT_TRUE(p.GetBool("verbose"));
+}
+
+TEST(FlagsTest, PositionalCollected) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"simulate", "PageRank", "--count=1", "extra"};
+  std::string err;
+  ASSERT_TRUE(p.Parse(4, argv, &err));
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"simulate", "PageRank", "extra"}));
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"--nope=1"};
+  std::string err;
+  EXPECT_FALSE(p.Parse(1, argv, &err));
+  EXPECT_NE(err.find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagsTest, RejectsBadValues) {
+  FlagParser p = MakeParser();
+  std::string err;
+  const char* bad_int[] = {"--count=xyz"};
+  EXPECT_FALSE(p.Parse(1, bad_int, &err));
+  FlagParser p2 = MakeParser();
+  const char* bad_bool[] = {"--verbose=maybe"};
+  EXPECT_FALSE(p2.Parse(1, bad_bool, &err));
+  FlagParser p3 = MakeParser();
+  const char* missing[] = {"--count"};
+  EXPECT_FALSE(p3.Parse(1, missing, &err));
+}
+
+TEST(FlagsTest, HelpListsFlags) {
+  FlagParser p = MakeParser();
+  std::string help = p.HelpText();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("an int"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lite

@@ -1,0 +1,131 @@
+// End-to-end LITE: offline training, online recommendation (warm and cold
+// start), feedback collection and the adaptive update trigger.
+#include <gtest/gtest.h>
+
+#include "lite/lite_system.h"
+#include "tuning/model_tuners.h"
+
+namespace lite {
+namespace {
+
+LiteOptions SmallLiteOptions() {
+  LiteOptions opts;
+  opts.corpus.apps = {"TS", "WC", "KM", "PR"};
+  opts.corpus.clusters = {spark::ClusterEnv::ClusterA()};
+  opts.corpus.configs_per_setting = 3;
+  opts.corpus.max_stage_instances_per_run = 5;
+  opts.corpus.max_code_tokens = 64;
+  opts.necs.emb_dim = 8;
+  opts.necs.cnn_widths = {3, 4};
+  opts.necs.cnn_kernels = 6;
+  opts.necs.code_dim = 12;
+  opts.necs.gcn_hidden = 8;
+  opts.train.epochs = 8;
+  opts.train.lr = 2e-3f;
+  opts.num_candidates = 30;
+  opts.update.epochs = 2;
+  opts.update_batch = 8;
+  return opts;
+}
+
+class LiteSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    system_ = std::make_unique<LiteSystem>(&runner_, SmallLiteOptions());
+    system_->TrainOffline();
+  }
+  spark::SparkRunner runner_;
+  std::unique_ptr<LiteSystem> system_;
+};
+
+TEST_F(LiteSystemTest, TrainOfflineBuildsEverything) {
+  EXPECT_TRUE(system_->trained());
+  EXPECT_FALSE(system_->corpus().instances.empty());
+  EXPECT_NE(system_->model(), nullptr);
+  EXPECT_TRUE(system_->candidate_generator().fitted());
+}
+
+TEST_F(LiteSystemTest, RecommendationBeatsDefaultOnLargeJob) {
+  const auto* app = spark::AppCatalog::Find("KM");
+  spark::DataSpec data = app->MakeData(app->test_size_mb);
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+  LiteSystem::Recommendation rec = system_->Recommend(*app, data, env);
+  EXPECT_TRUE(spark::KnobSpace::Spark16().IsValid(rec.config));
+  EXPECT_EQ(rec.candidates_evaluated, 30u);  // sampled from the ACG region.
+  double t_rec = runner_.Measure(*app, data, env, rec.config);
+  double t_def =
+      runner_.Measure(*app, data, env, spark::KnobSpace::Spark16().DefaultConfig());
+  EXPECT_LT(t_rec, t_def);
+  // The "<2 seconds to recommend" claim (quick-mode model, small candidates).
+  EXPECT_LT(rec.recommend_wall_seconds, 10.0);
+}
+
+TEST_F(LiteSystemTest, ColdStartRecommendationWorks) {
+  // SVM was never in the corpus: cold start via oov featurization.
+  const auto* app = spark::AppCatalog::Find("SVM");
+  spark::DataSpec data = app->MakeData(app->test_size_mb);
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+  LiteSystem::Recommendation rec = system_->Recommend(*app, data, env);
+  EXPECT_TRUE(spark::KnobSpace::Spark16().IsValid(rec.config));
+  double t_rec = runner_.Measure(*app, data, env, rec.config);
+  double t_def =
+      runner_.Measure(*app, data, env, spark::KnobSpace::Spark16().DefaultConfig());
+  EXPECT_LT(t_rec, t_def);
+}
+
+TEST_F(LiteSystemTest, FeedbackTriggersUpdateAtBatchSize) {
+  const auto* app = spark::AppCatalog::Find("TS");
+  spark::DataSpec data = app->MakeData(app->validation_size_mb);
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+  spark::Config config = spark::KnobSpace::Spark16().DefaultConfig();
+  EXPECT_EQ(system_->pending_feedback(), 0u);
+  system_->CollectFeedback(*app, data, env, config);
+  size_t after_one = system_->pending_feedback();
+  EXPECT_GT(after_one, 0u);
+  // Keep feeding until the batch triggers (update clears the buffer).
+  for (int i = 0; i < 5; ++i) {
+    system_->CollectFeedback(*app, data, env, config);
+  }
+  EXPECT_LT(system_->pending_feedback(), 8u);  // drained at least once.
+}
+
+TEST_F(LiteSystemTest, ForceUpdateClearsFeedback) {
+  const auto* app = spark::AppCatalog::Find("WC");
+  system_->CollectFeedback(*app, app->MakeData(app->validation_size_mb),
+                           spark::ClusterEnv::ClusterA(),
+                           spark::KnobSpace::Spark16().DefaultConfig());
+  if (system_->pending_feedback() > 0) {
+    UpdateStats stats = system_->ForceAdaptiveUpdate();
+    EXPECT_FALSE(stats.prediction_loss.empty());
+  }
+  EXPECT_EQ(system_->pending_feedback(), 0u);
+}
+
+TEST_F(LiteSystemTest, LiteTunerAdapterWorks) {
+  LiteTuner tuner(&runner_, system_.get());
+  TuningTask task;
+  task.app = spark::AppCatalog::Find("PR");
+  task.data = task.app->MakeData(task.app->validation_size_mb);
+  task.env = spark::ClusterEnv::ClusterA();
+  TuningResult r = tuner.Tune(task, 7200);
+  EXPECT_EQ(r.trials, 1u);
+  EXPECT_GT(r.best_seconds, 0.0);
+  EXPECT_LT(r.overhead_seconds, 30.0);
+  EXPECT_EQ(tuner.name(), "LITE");
+}
+
+TEST_F(LiteSystemTest, MlpTunerAdapterWorks) {
+  MlpTuner tuner(&runner_, &system_->corpus(), 20,
+                 TrainOptions{.epochs = 4, .lr = 2e-3f}, 77);
+  tuner.Fit();
+  TuningTask task;
+  task.app = spark::AppCatalog::Find("TS");
+  task.data = task.app->MakeData(task.app->validation_size_mb);
+  task.env = spark::ClusterEnv::ClusterA();
+  TuningResult r = tuner.Tune(task, 7200);
+  EXPECT_TRUE(spark::KnobSpace::Spark16().IsValid(r.best_config));
+  EXPECT_EQ(tuner.name(), "MLP");
+}
+
+}  // namespace
+}  // namespace lite

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/decision_tree.h"
+#include "ml/gaussian_process.h"
+#include "ml/gbdt.h"
+#include "ml/linalg.h"
+#include "ml/random_forest.h"
+#include "ml/sampling.h"
+#include "util/stats.h"
+
+namespace lite {
+namespace {
+
+TEST(LinalgTest, CholeskyKnownMatrix) {
+  // A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]].
+  Matrix a(2, 2);
+  a.at(0, 0) = 4; a.at(0, 1) = 2; a.at(1, 0) = 2; a.at(1, 1) = 3;
+  ASSERT_TRUE(CholeskyDecompose(&a));
+  EXPECT_NEAR(a.at(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(a.at(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(a.at(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(LinalgTest, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 2; a.at(1, 1) = 1;
+  EXPECT_FALSE(CholeskyDecompose(&a));
+}
+
+TEST(LinalgTest, SolveSpdRoundtrip) {
+  // Random SPD system: A = B B^T + I.
+  Rng rng(1);
+  size_t n = 6;
+  Matrix b(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) b.at(i, j) = rng.Gaussian();
+  }
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double s = (i == j) ? 1.0 : 0.0;
+      for (size_t k = 0; k < n; ++k) s += b.at(i, k) * b.at(j, k);
+      a.at(i, j) = s;
+    }
+  }
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = rng.Gaussian();
+  std::vector<double> rhs(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) rhs[i] += a.at(i, j) * x_true[j];
+  }
+  std::vector<double> x = SolveSpd(a, rhs);
+  ASSERT_EQ(x.size(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(DecisionTreeTest, FitsStepFunction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    double v = i / 100.0;
+    x.push_back({v});
+    y.push_back(v < 0.5 ? 1.0 : 5.0);
+  }
+  Rng rng(2);
+  DecisionTreeRegressor tree;
+  tree.Fit(x, y, &rng);
+  EXPECT_NEAR(tree.Predict({0.2}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({0.9}), 5.0, 1e-9);
+  EXPECT_GT(tree.NumNodes(), 1u);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.Uniform();
+    x.push_back({v});
+    y.push_back(std::sin(12 * v));
+  }
+  DecisionTreeRegressor tree(TreeOptions{.max_depth = 2});
+  tree.Fit(x, y, &rng);
+  EXPECT_LE(tree.Depth(), 3u);  // root + 2 levels.
+}
+
+TEST(DecisionTreeTest, ConstantTargetSingleLeaf) {
+  std::vector<std::vector<double>> x{{1}, {2}, {3}, {4}, {5}, {6}};
+  std::vector<double> y(6, 7.0);
+  Rng rng(4);
+  DecisionTreeRegressor tree;
+  tree.Fit(x, y, &rng);
+  EXPECT_EQ(tree.NumNodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.Predict({3.5}), 7.0);
+}
+
+TEST(RandomForestTest, PredictsSmoothFunction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    double a = rng.Uniform(), b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(3 * a + b * b);
+  }
+  RandomForestRegressor forest(ForestOptions{.num_trees = 24});
+  forest.Fit(x, y, &rng);
+  double err = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    double a = rng.Uniform(), b = rng.Uniform();
+    err += std::fabs(forest.Predict({a, b}) - (3 * a + b * b));
+  }
+  EXPECT_LT(err / 50.0, 0.35);
+  EXPECT_EQ(forest.NumTrees(), 24u);
+}
+
+TEST(RandomForestTest, PerTreeSpreadAvailable) {
+  std::vector<std::vector<double>> x{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}};
+  std::vector<double> y{0, 1, 2, 3, 4, 5, 6, 7};
+  Rng rng(6);
+  RandomForestRegressor forest(ForestOptions{.num_trees = 8});
+  forest.Fit(x, y, &rng);
+  EXPECT_EQ(forest.PredictPerTree({3.0}).size(), 8u);
+}
+
+TEST(GbdtTest, FitsNonlinearBetterThanMean) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    x.push_back({a, b});
+    y.push_back(std::sin(3 * a) + 0.5 * b);
+  }
+  GbdtRegressor gbdt;
+  gbdt.Fit(x, y, &rng);
+  double baseline_rmse = StdDev(y);
+  EXPECT_LT(gbdt.train_rmse(), 0.3 * baseline_rmse);
+  // Generalizes to held-out points.
+  double err = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    double a = rng.Uniform(-1, 1), b = rng.Uniform(-1, 1);
+    err += std::fabs(gbdt.Predict({a, b}) - (std::sin(3 * a) + 0.5 * b));
+  }
+  EXPECT_LT(err / 50.0, 0.25);
+}
+
+TEST(GpTest, InterpolatesTrainingPoints) {
+  std::vector<std::vector<double>> x{{0.1}, {0.4}, {0.7}};
+  std::vector<double> y{1.0, 3.0, 2.0};
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y));
+  for (size_t i = 0; i < x.size(); ++i) {
+    GpPrediction p = gp.Predict(x[i]);
+    EXPECT_NEAR(p.mean, y[i], 0.05);
+    EXPECT_LT(p.variance, 0.05);
+  }
+}
+
+TEST(GpTest, UncertaintyGrowsAwayFromData) {
+  std::vector<std::vector<double>> x{{0.5}};
+  std::vector<double> y{1.0};
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y));
+  EXPECT_GT(gp.Predict({0.95}).variance, gp.Predict({0.55}).variance);
+}
+
+TEST(GpTest, ExpectedImprovementPositiveInUnexplored) {
+  std::vector<std::vector<double>> x{{0.2}, {0.8}};
+  std::vector<double> y{5.0, 4.0};
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y));
+  double ei_far = gp.ExpectedImprovement({0.5}, 4.0);
+  EXPECT_GT(ei_far, 0.0);
+  // At a known bad point EI should be smaller.
+  double ei_known = gp.ExpectedImprovement({0.2}, 4.0);
+  EXPECT_GT(ei_far, ei_known);
+}
+
+TEST(GpTest, LengthScaleSelectionPrefersSmootherFitForSmoothData) {
+  // Smooth linear data: a larger length scale should win the marginal
+  // likelihood against a tiny one.
+  std::vector<std::vector<double>> x;
+  std::vector<double> ys;
+  for (int i = 0; i <= 10; ++i) {
+    double v = i / 10.0;
+    x.push_back({v});
+    ys.push_back(2.0 * v - 1.0);  // standardized-ish linear target.
+  }
+  GpOptions small;
+  small.length_scale = 0.02;
+  GpOptions large;
+  large.length_scale = 0.5;
+  double lml_small = GaussianProcess::LogMarginalLikelihood(x, ys, small);
+  double lml_large = GaussianProcess::LogMarginalLikelihood(x, ys, large);
+  EXPECT_GT(lml_large, lml_small);
+
+  GpOptions sel;
+  sel.select_length_scale = true;
+  sel.length_scale_grid = {0.02, 0.5};
+  GaussianProcess gp(sel);
+  ASSERT_TRUE(gp.Fit(x, ys));
+  EXPECT_DOUBLE_EQ(gp.length_scale(), 0.5);
+}
+
+TEST(SamplingTest, RandomInUnitCube) {
+  Rng rng(8);
+  auto s = RandomSample(100, 4, &rng);
+  ASSERT_EQ(s.size(), 100u);
+  for (const auto& row : s) {
+    ASSERT_EQ(row.size(), 4u);
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(SamplingTest, LatinHypercubeStratification) {
+  Rng rng(9);
+  size_t n = 20;
+  auto s = LatinHypercubeSample(n, 3, &rng);
+  // Per dimension: exactly one sample per stratum [i/n, (i+1)/n).
+  for (size_t d = 0; d < 3; ++d) {
+    std::vector<int> strata(n, 0);
+    for (const auto& row : s) {
+      size_t stratum = std::min(n - 1, static_cast<size_t>(row[d] * n));
+      ++strata[stratum];
+    }
+    for (int count : strata) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(SamplingTest, GridSampleCoversCorners) {
+  auto g = GridSample(3, 2);
+  EXPECT_EQ(g.size(), 9u);
+  // Contains (0,0) and (1,1).
+  bool has00 = false, has11 = false;
+  for (const auto& p : g) {
+    if (p[0] == 0.0 && p[1] == 0.0) has00 = true;
+    if (p[0] == 1.0 && p[1] == 1.0) has11 = true;
+  }
+  EXPECT_TRUE(has00);
+  EXPECT_TRUE(has11);
+}
+
+TEST(SamplingTest, GridSingleLevelCentered) {
+  auto g = GridSample(1, 3);
+  ASSERT_EQ(g.size(), 1u);
+  for (double v : g[0]) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+}  // namespace
+}  // namespace lite

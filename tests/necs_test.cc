@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lite/necs.h"
+#include "util/stats.h"
+
+namespace lite {
+namespace {
+
+class NecsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CorpusOptions opts;
+    opts.apps = {"TS", "WC", "PR"};
+    opts.clusters = {spark::ClusterEnv::ClusterA()};
+    opts.configs_per_setting = 4;
+    opts.max_stage_instances_per_run = 6;
+    opts.max_code_tokens = 64;
+    CorpusBuilder builder(&runner_);
+    corpus_ = builder.Build(opts);
+    config_.emb_dim = 8;
+    config_.cnn_kernels = 6;
+    config_.code_dim = 12;
+    config_.gcn_hidden = 8;
+    config_.cnn_widths = {3, 4};
+  }
+
+  spark::SparkRunner runner_;
+  Corpus corpus_;
+  NecsConfig config_;
+};
+
+TEST_F(NecsTest, ForwardShapes) {
+  NecsModel model(corpus_.vocab->size(), corpus_.op_vocab->size(), config_, 1);
+  NecsModel::ForwardResult fwd = model.Forward(corpus_.instances[0]);
+  EXPECT_EQ(fwd.pred->numel(), 1u);
+  EXPECT_EQ(fwd.hidden->numel(), model.hidden_dim());
+  EXPECT_TRUE(std::isfinite(fwd.pred->value[0]));
+}
+
+TEST_F(NecsTest, ParamsNonEmptyAndTrainable) {
+  NecsModel model(corpus_.vocab->size(), corpus_.op_vocab->size(), config_, 1);
+  auto params = model.Params();
+  EXPECT_GT(params.size(), 5u);
+  for (const auto& p : params) EXPECT_TRUE(p->requires_grad);
+  EXPECT_GT(model.NumParams(), 1000u);
+}
+
+TEST_F(NecsTest, TrainingReducesLoss) {
+  NecsModel model(corpus_.vocab->size(), corpus_.op_vocab->size(), config_, 2);
+  NecsTrainer trainer;
+  TrainOptions opts;
+  opts.epochs = 8;
+  opts.lr = 2e-3f;
+  opts.seed = 3;
+  std::vector<double> losses = trainer.Train(&model, corpus_.instances, opts);
+  ASSERT_EQ(losses.size(), 8u);
+  EXPECT_LT(losses.back(), losses.front() * 0.7);
+}
+
+TEST_F(NecsTest, CachedPredictMatchesForward) {
+  NecsModel model(corpus_.vocab->size(), corpus_.op_vocab->size(), config_, 4);
+  for (size_t i = 0; i < 3; ++i) {
+    const StageInstance& inst = corpus_.instances[i];
+    double full = model.Forward(inst).pred->value[0];
+    double cached1 = model.PredictTarget(inst);  // populates cache.
+    double cached2 = model.PredictTarget(inst);  // uses cache.
+    EXPECT_NEAR(full, cached1, 1e-5);
+    EXPECT_NEAR(cached1, cached2, 1e-7);
+  }
+}
+
+TEST_F(NecsTest, CacheInvalidationAfterTraining) {
+  NecsModel model(corpus_.vocab->size(), corpus_.op_vocab->size(), config_, 5);
+  const StageInstance& inst = corpus_.instances[0];
+  double before = model.PredictTarget(inst);
+  NecsTrainer trainer;
+  TrainOptions opts;
+  opts.epochs = 2;
+  trainer.Train(&model, corpus_.instances, opts);
+  double after = model.PredictTarget(inst);
+  EXPECT_NE(before, after);  // training changed the (uncached) prediction.
+  EXPECT_NEAR(after, model.Forward(inst).pred->value[0], 1e-5);
+}
+
+TEST_F(NecsTest, PredictAppSecondsAggregatesReps) {
+  NecsModel model(corpus_.vocab->size(), corpus_.op_vocab->size(), config_, 6);
+  CandidateEval cand;
+  cand.stage_instances = {corpus_.instances[0]};
+  cand.stage_reps = {1};
+  double t1 = model.PredictAppSeconds(cand);
+  cand.stage_reps = {10};
+  double t10 = model.PredictAppSeconds(cand);
+  EXPECT_NEAR(t10, 10.0 * t1, 1e-3 * std::fabs(t10) + 1e-9);
+}
+
+TEST_F(NecsTest, LearnedModelRanksBetterThanUntrained) {
+  // Ranking quality on held-out validation candidates should improve with
+  // training — the core claim behind Table VII.
+  CorpusBuilder builder(&runner_);
+  auto cases = builder.BuildRankingCases(
+      corpus_, {"PR"}, spark::ClusterEnv::ClusterA(),
+      [](const spark::ApplicationSpec& a) { return a.validation_size_mb; }, 20,
+      7);
+  ASSERT_EQ(cases.size(), 1u);
+  const RankingCase& rc = cases[0];
+
+  auto spearman_of = [&](const NecsModel& model) {
+    std::vector<double> pred, truth;
+    for (const auto& cand : rc.candidates) {
+      pred.push_back(model.PredictAppSeconds(cand));
+      truth.push_back(cand.true_seconds);
+    }
+    return SpearmanCorrelation(pred, truth);
+  };
+
+  NecsModel model(corpus_.vocab->size(), corpus_.op_vocab->size(), config_, 8);
+  NecsTrainer trainer;
+  TrainOptions opts;
+  opts.epochs = 20;
+  opts.lr = 2e-3f;
+  trainer.Train(&model, corpus_.instances, opts);
+  double trained = spearman_of(model);
+  EXPECT_GT(trained, 0.15);  // meaningful positive rank correlation.
+}
+
+TEST_F(NecsTest, EncoderAblationSwitches) {
+  NecsConfig no_code = config_;
+  no_code.use_code_encoder = false;
+  NecsModel m1(corpus_.vocab->size(), corpus_.op_vocab->size(), no_code, 9);
+  NecsConfig no_dag = config_;
+  no_dag.use_dag_encoder = false;
+  NecsModel m2(corpus_.vocab->size(), corpus_.op_vocab->size(), no_dag, 9);
+
+  const StageInstance& a = corpus_.instances[0];
+  // Find an instance from a different stage (different code/DAG).
+  const StageInstance* b = nullptr;
+  for (const auto& inst : corpus_.instances) {
+    if (inst.app_name == a.app_name && inst.stage_index != a.stage_index &&
+        inst.app_instance_id == a.app_instance_id) {
+      b = &inst;
+      break;
+    }
+  }
+  ASSERT_NE(b, nullptr);
+  // With BOTH encoders disabled, two stages of the same run (identical
+  // knobs/data/env) are indistinguishable.
+  NecsConfig neither = config_;
+  neither.use_code_encoder = false;
+  neither.use_dag_encoder = false;
+  NecsModel m3(corpus_.vocab->size(), corpus_.op_vocab->size(), neither, 9);
+  EXPECT_FLOAT_EQ(
+      static_cast<float>(m3.Forward(a).pred->value[0]),
+      static_cast<float>(m3.Forward(*b).pred->value[0]));
+  // With the code encoder enabled they differ.
+  NecsModel m4(corpus_.vocab->size(), corpus_.op_vocab->size(), config_, 9);
+  EXPECT_NE(m4.Forward(a).pred->value[0], m4.Forward(*b).pred->value[0]);
+  // Ablated models still train.
+  NecsTrainer trainer;
+  TrainOptions opts;
+  opts.epochs = 2;
+  auto losses = trainer.Train(&m1, corpus_.instances, opts);
+  EXPECT_LT(losses.back(), losses.front() * 1.2);
+}
+
+}  // namespace
+}  // namespace lite

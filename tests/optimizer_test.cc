@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/autodiff.h"
+#include "tensor/optimizer.h"
+
+namespace lite {
+namespace {
+
+using namespace ops;
+
+/// Minimizes f(x) = sum((x - c)^2) and checks convergence to c.
+template <typename Opt>
+void MinimizeQuadratic(Opt* opt, const VarPtr& x, const Tensor& c, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    Backward(MseLoss(x, c));
+    opt->Step();
+  }
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  VarPtr x = Param(Tensor::FromVector({5.0, -3.0}));
+  Tensor c = Tensor::FromVector({1.0, 2.0});
+  Sgd sgd({x}, 0.1f);
+  MinimizeQuadratic(&sgd, x, c, 200);
+  EXPECT_NEAR(x->value[0], 1.0f, 1e-3);
+  EXPECT_NEAR(x->value[1], 2.0f, 1e-3);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  VarPtr x = Param(Tensor::FromVector({5.0}));
+  Tensor c = Tensor::FromVector({-1.0});
+  Sgd sgd({x}, 0.05f, 0.9f);
+  MinimizeQuadratic(&sgd, x, c, 300);
+  EXPECT_NEAR(x->value[0], -1.0f, 1e-2);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  VarPtr x = Param(Tensor::FromVector({4.0, 4.0, 4.0}));
+  Tensor c = Tensor::FromVector({0.5, -0.5, 3.0});
+  Adam adam({x}, 0.05f);
+  MinimizeQuadratic(&adam, x, c, 500);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x->value[i], c[i], 1e-2);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  VarPtr x = Param(Tensor::FromVector({1.0}));
+  Backward(SquareSum(x));
+  EXPECT_NE(x->grad[0], 0.0f);
+  Adam adam({x});
+  adam.ZeroGrad();
+  EXPECT_EQ(x->grad[0], 0.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormScales) {
+  VarPtr x = Param(Tensor::FromVector({3.0, 4.0}));
+  x->grad = Tensor::FromVector({3.0, 4.0});  // norm 5.
+  Sgd sgd({x}, 0.1f);
+  sgd.ClipGradNorm(1.0f);
+  EXPECT_NEAR(x->grad[0], 0.6f, 1e-5);
+  EXPECT_NEAR(x->grad[1], 0.8f, 1e-5);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpWhenSmall) {
+  VarPtr x = Param(Tensor::FromVector({0.1}));
+  x->grad = Tensor::FromVector({0.1});
+  Sgd sgd({x}, 0.1f);
+  sgd.ClipGradNorm(10.0f);
+  EXPECT_FLOAT_EQ(x->grad[0], 0.1f);
+}
+
+TEST(AdamTest, StepSizeBoundedByLr) {
+  // Adam's first step is ~lr regardless of gradient scale.
+  VarPtr x = Param(Tensor::FromVector({100.0}));
+  Adam adam({x}, 0.1f);
+  adam.ZeroGrad();
+  Backward(SquareSum(x));
+  adam.Step();
+  EXPECT_NEAR(x->value[0], 100.0f - 0.1f, 1e-3);
+}
+
+}  // namespace
+}  // namespace lite

@@ -1,0 +1,277 @@
+// Property-based sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P): invariants that
+// must hold across the whole application catalog, every cluster, many seeds
+// and all autodiff activation ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lite/candidate_gen.h"
+#include "lite/features.h"
+#include "sparksim/eventlog.h"
+#include "sparksim/runner.h"
+#include "tuning/bo_tuner.h"
+#include "tuning/ddpg.h"
+#include "tuning/sha_tuner.h"
+#include "tensor/autodiff.h"
+#include "util/ranking_metrics.h"
+
+namespace lite {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-application invariants across the full catalog.
+class PerAppProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  const spark::ApplicationSpec* app_ = spark::AppCatalog::Find(GetParam());
+  spark::SparkRunner runner_;
+  const spark::KnobSpace& space_ = spark::KnobSpace::Spark16();
+};
+
+TEST_P(PerAppProperty, RuntimeScalesWithDataSize) {
+  ASSERT_NE(app_, nullptr);
+  spark::Config c = space_.DefaultConfig();
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+  double t_small = runner_.Measure(*app_, app_->MakeData(app_->train_sizes_mb[0]), env, c);
+  double t_large = runner_.Measure(*app_, app_->MakeData(app_->train_sizes_mb[3]), env, c);
+  EXPECT_GT(t_large, t_small);
+}
+
+TEST_P(PerAppProperty, BiggerClusterNeverMuchSlowerWithTunedConfig) {
+  ASSERT_NE(app_, nullptr);
+  // With a resource-hungry config, cluster C (128 cores) beats cluster A
+  // (16 cores) on the large job.
+  spark::Config c = space_.DefaultConfig();
+  c[spark::kExecutorCores] = 4;
+  c[spark::kExecutorMemory] = 3;
+  c[spark::kExecutorInstances] = 32;
+  c[spark::kDefaultParallelism] = 256;
+  spark::DataSpec data = app_->MakeData(app_->test_size_mb);
+  double t_a = runner_.Measure(*app_, data, spark::ClusterEnv::ClusterA(), c);
+  double t_c = runner_.Measure(*app_, data, spark::ClusterEnv::ClusterC(), c);
+  EXPECT_LT(t_c, t_a * 1.1);
+}
+
+TEST_P(PerAppProperty, EventLogRoundtripsForEveryApp) {
+  ASSERT_NE(app_, nullptr);
+  spark::DataSpec data = app_->MakeData(app_->train_sizes_mb[0]);
+  spark::Submission sub = runner_.Submit(*app_, data, spark::ClusterEnv::ClusterB(),
+                                         space_.DefaultConfig());
+  spark::ParsedEventLog parsed;
+  ASSERT_TRUE(spark::ParseEventLog(sub.event_log, &parsed));
+  EXPECT_EQ(parsed.app_name, app_->name);
+  EXPECT_EQ(parsed.stages.size(), sub.result.stage_runs.size());
+}
+
+TEST_P(PerAppProperty, StageDagsValidForEveryApp) {
+  ASSERT_NE(app_, nullptr);
+  for (const auto& stage : app_->stages) {
+    spark::StageDag dag = spark::BuildStageDag(stage);
+    EXPECT_TRUE(dag.IsAcyclic());
+    EXPECT_GE(dag.NumNodes(), 1u);
+  }
+}
+
+TEST_P(PerAppProperty, AppDescriptorFinite) {
+  ASSERT_NE(app_, nullptr);
+  auto d = CandidateGenerator::DescribeApp(*app_, app_->MakeData(app_->test_size_mb),
+                                           spark::ClusterEnv::ClusterC());
+  for (double v : d) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, PerAppProperty,
+    ::testing::Values("TS", "WC", "PR", "TC", "CC", "SCC", "SP", "LP", "PRE",
+                      "SVD", "KM", "LiR", "LoR", "DT", "SVM"),
+    [](const ::testing::TestParamInfo<std::string>& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Knob-space roundtrips across many seeds.
+class KnobRoundtripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnobRoundtripProperty, NormalizeDenormalizeIsIdentityOnValidConfigs) {
+  const auto& space = spark::KnobSpace::Spark16();
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    spark::Config c = space.RandomConfig(&rng);
+    spark::Config round = space.Denormalize(space.Normalize(c));
+    for (size_t d = 0; d < space.size(); ++d) {
+      EXPECT_NEAR(round[d], c[d], 1e-9) << space.spec(d).name;
+    }
+  }
+}
+
+TEST_P(KnobRoundtripProperty, ClampIsIdempotent) {
+  const auto& space = spark::KnobSpace::Spark16();
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  for (int i = 0; i < 50; ++i) {
+    spark::Config wild(space.size());
+    for (double& v : wild) v = rng.Uniform(-1000.0, 1000.0);
+    spark::Config once = space.Clamp(wild);
+    spark::Config twice = space.Clamp(once);
+    EXPECT_EQ(once, twice);
+    EXPECT_TRUE(space.IsValid(once));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnobRoundtripProperty, ::testing::Range(1, 6));
+
+// ---------------------------------------------------------------------------
+// Ranking-metric invariants across random instances.
+class RankingMetricProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankingMetricProperty, MetricsBoundedAndPerfectOnSelf) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 77);
+  size_t n = 10 + rng.Index(40);
+  std::vector<double> truth(n);
+  for (double& v : truth) v = rng.Uniform(1.0, 1000.0);
+  EXPECT_NEAR(HitRatioAtK(truth, truth, 5), 1.0, 1e-12);
+  EXPECT_NEAR(NdcgAtK(truth, truth, 5), 1.0, 1e-9);
+  std::vector<double> pred(n);
+  for (double& v : pred) v = rng.Uniform(1.0, 1000.0);
+  double hr = HitRatioAtK(pred, truth, 5);
+  double ndcg = NdcgAtK(pred, truth, 5);
+  EXPECT_GE(hr, 0.0);
+  EXPECT_LE(hr, 1.0);
+  EXPECT_GE(ndcg, 0.0);
+  EXPECT_LE(ndcg, 1.0 + 1e-9);
+}
+
+TEST_P(RankingMetricProperty, MonotoneTransformInvariance) {
+  // HR/NDCG depend only on the orderings: applying exp() to scores must not
+  // change them.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 5);
+  std::vector<double> pred(25), truth(25);
+  for (size_t i = 0; i < 25; ++i) {
+    pred[i] = rng.Uniform(0.0, 5.0);
+    truth[i] = rng.Uniform(0.0, 5.0);
+  }
+  std::vector<double> pred_exp(25);
+  for (size_t i = 0; i < 25; ++i) pred_exp[i] = std::exp(pred[i]);
+  EXPECT_DOUBLE_EQ(HitRatioAtK(pred, truth, 5), HitRatioAtK(pred_exp, truth, 5));
+  EXPECT_DOUBLE_EQ(NdcgAtK(pred, truth, 5), NdcgAtK(pred_exp, truth, 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankingMetricProperty, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Autodiff activation gradient checks, parameterized over op and seed.
+using ActivationCase = std::tuple<std::string, int>;
+class ActivationGradProperty : public ::testing::TestWithParam<ActivationCase> {};
+
+TEST_P(ActivationGradProperty, FiniteDifferenceAgrees) {
+  auto [op, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  VarPtr a = Param(Tensor::Randn({8}, &rng, 1.0f));
+  for (size_t i = 0; i < a->numel(); ++i) {
+    if (std::fabs(a->value[i]) < 0.05f) a->value[i] = 0.3f;  // avoid kinks.
+  }
+  auto apply = [&](const VarPtr& x) {
+    if (op == "relu") return ops::Relu(x);
+    if (op == "sigmoid") return ops::Sigmoid(x);
+    return ops::Tanh(x);
+  };
+  VarPtr loss = ops::SquareSum(apply(a));
+  a->grad.Zero();
+  Backward(loss);
+  Tensor analytic = a->grad;
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < a->numel(); ++i) {
+    float orig = a->value[i];
+    a->value[i] = orig + eps;
+    float up = ops::SquareSum(apply(a))->value[0];
+    a->value[i] = orig - eps;
+    float down = ops::SquareSum(apply(a))->value[0];
+    a->value[i] = orig;
+    float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                2e-2f * std::max(1.0f, std::fabs(numeric)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, ActivationGradProperty,
+    ::testing::Combine(::testing::Values("relu", "sigmoid", "tanh"),
+                       ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<ActivationCase>& info) {
+      return std::get<0>(info.param) + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Cost model: failure handling is total (never throws, always capped) across
+// adversarial configurations.
+class AdversarialConfigProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdversarialConfigProperty, CostModelTotalOnExtremeConfigs) {
+  spark::SparkRunner runner;
+  const auto& space = spark::KnobSpace::Spark16();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 997);
+  const auto& apps = spark::AppCatalog::All();
+  for (int i = 0; i < 20; ++i) {
+    const auto& app = apps[rng.Index(apps.size())];
+    // Corner-heavy sampling: each knob at min, max, or random.
+    spark::Config c(space.size());
+    for (size_t d = 0; d < space.size(); ++d) {
+      double u = rng.Uniform();
+      c[d] = u < 0.3 ? space.spec(d).min_value
+             : u < 0.6 ? space.spec(d).max_value
+                       : rng.Uniform(space.spec(d).min_value, space.spec(d).max_value);
+    }
+    c = space.Clamp(c);
+    spark::DataSpec data = app.MakeData(app.test_size_mb);
+    double t = runner.Measure(app, data, spark::ClusterEnv::ClusterC(), c);
+    EXPECT_TRUE(std::isfinite(t));
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, 7200.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialConfigProperty, ::testing::Range(1, 6));
+
+// ---------------------------------------------------------------------------
+// Tuner determinism: the same task and budget must reproduce the same
+// recommendation bit-for-bit (the simulator's noise is hash-seeded and every
+// tuner derives its RNG from fixed seeds).
+class TunerDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TunerDeterminism, SameSeedSameResult) {
+  spark::SparkRunner runner;
+  TuningTask task;
+  task.app = spark::AppCatalog::Find("KM");
+  task.data = task.app->MakeData(task.app->validation_size_mb);
+  task.env = spark::ClusterEnv::ClusterA();
+
+  auto run = [&]() -> spark::Config {
+    const std::string& kind = GetParam();
+    if (kind == "bo") {
+      BoOptions o;
+      o.warm_start_points = 3;
+      o.acquisition_samples = 64;
+      o.max_trials = 8;
+      BoTuner t(&runner, nullptr, o);
+      return t.Tune(task, 2500.0).best_config;
+    }
+    if (kind == "ddpg") {
+      DdpgOptions o;
+      o.max_trials = 5;
+      DdpgTuner t(&runner, false, o);
+      return t.Tune(task, 1500.0).best_config;
+    }
+    ShaTuner t(&runner);
+    return t.Tune(task, 5000.0).best_config;
+  };
+  spark::Config a = run();
+  spark::Config b = run();
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, TunerDeterminism,
+                         ::testing::Values("bo", "ddpg", "sha"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace lite

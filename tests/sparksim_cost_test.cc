@@ -1,0 +1,291 @@
+// Behavioural properties of the analytic cost model — the invariants that
+// make it a credible stand-in for a real cluster.
+#include <gtest/gtest.h>
+
+#include "sparksim/cost_model.h"
+#include "sparksim/runner.h"
+#include "sparksim/trace.h"
+
+namespace lite::spark {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModel model_;
+  const KnobSpace& space_ = KnobSpace::Spark16();
+  const ApplicationSpec* terasort_ = AppCatalog::Find("TS");
+  const ApplicationSpec* kmeans_ = AppCatalog::Find("KM");
+  const ApplicationSpec* pagerank_ = AppCatalog::Find("PR");
+  ClusterEnv env_a_ = ClusterEnv::ClusterA();
+  ClusterEnv env_c_ = ClusterEnv::ClusterC();
+};
+
+TEST_F(CostModelTest, CatalogComplete) {
+  EXPECT_EQ(AppCatalog::Count(), 15u);
+  ASSERT_NE(terasort_, nullptr);
+  ASSERT_NE(kmeans_, nullptr);
+  ASSERT_NE(pagerank_, nullptr);
+  // All three application classes are represented.
+  bool mr = false, ml = false, graph = false;
+  for (const auto& app : AppCatalog::All()) {
+    mr |= app.app_class == AppClass::kMapReduce;
+    ml |= app.app_class == AppClass::kMachineLearning;
+    graph |= app.app_class == AppClass::kGraph;
+    EXPECT_FALSE(app.stages.empty());
+    EXPECT_EQ(app.train_sizes_mb.size(), 4u);  // Table V: four train sizes.
+    EXPECT_GT(app.test_size_mb, app.validation_size_mb);
+    EXPECT_GT(app.validation_size_mb, app.train_sizes_mb.back());
+  }
+  EXPECT_TRUE(mr && ml && graph);
+}
+
+TEST_F(CostModelTest, Deterministic) {
+  DataSpec d = terasort_->MakeData(100);
+  Config c = space_.DefaultConfig();
+  AppRunResult r1 = model_.Run(*terasort_, d, env_a_, c);
+  AppRunResult r2 = model_.Run(*terasort_, d, env_a_, c);
+  EXPECT_DOUBLE_EQ(r1.total_seconds, r2.total_seconds);
+  EXPECT_EQ(r1.stage_runs.size(), r2.stage_runs.size());
+}
+
+TEST_F(CostModelTest, MonotonicInDataSize) {
+  Config c = space_.DefaultConfig();
+  double prev = 0.0;
+  for (double size : {50.0, 100.0, 200.0, 400.0}) {
+    DataSpec d = terasort_->MakeData(size);
+    double t = model_.Run(*terasort_, d, env_a_, c).total_seconds;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_F(CostModelTest, SmallTrainingJobsAboutAMinute) {
+  // The Table V protocol: training sizes finish in roughly a minute with
+  // defaults on cluster A. Allow a generous band (30s - 4min).
+  Config c = space_.DefaultConfig();
+  for (const auto& app : AppCatalog::All()) {
+    DataSpec d = app.MakeData(app.train_sizes_mb[1]);
+    AppRunResult r = model_.Run(app, d, env_a_, c);
+    ASSERT_FALSE(r.failed) << app.name;
+    EXPECT_GT(r.total_seconds, 20.0) << app.name;
+    EXPECT_LT(r.total_seconds, 240.0) << app.name;
+  }
+}
+
+TEST_F(CostModelTest, MoreExecutorsFaster) {
+  DataSpec d = terasort_->MakeData(terasort_->test_size_mb);
+  Config small = space_.DefaultConfig();
+  small[kExecutorInstances] = 2;
+  Config big = small;
+  big[kExecutorInstances] = 16;
+  double t_small = model_.Run(*terasort_, d, env_c_, small).total_seconds;
+  double t_big = model_.Run(*terasort_, d, env_c_, big).total_seconds;
+  EXPECT_LT(t_big, t_small * 0.6);
+}
+
+TEST_F(CostModelTest, ExecutorMemoryAboveNodeFails) {
+  DataSpec d = terasort_->MakeData(100);
+  Config c = space_.DefaultConfig();
+  c[kExecutorMemory] = 32;  // cluster C nodes have 16GB.
+  AppRunResult r = model_.Run(*terasort_, d, env_c_, c);
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.total_seconds, model_.options().failure_cap_seconds);
+  EXPECT_FALSE(r.failure_reason.empty());
+}
+
+TEST_F(CostModelTest, TinyExecutorMemoryOomsOnBigData) {
+  DataSpec d = kmeans_->MakeData(kmeans_->test_size_mb);
+  Config c = space_.DefaultConfig();
+  c[kExecutorMemory] = 1;
+  c[kExecutorCores] = 16;           // 16 tasks share 1GB.
+  c[kDefaultParallelism] = 8;       // huge partitions.
+  c[kMemoryFraction] = 0.3;
+  c[kMemoryStorageFraction] = 0.9;  // almost no execution memory.
+  AppRunResult r = model_.Run(*kmeans_, d, env_c_, c);
+  EXPECT_TRUE(r.failed);
+}
+
+TEST_F(CostModelTest, DriverResultSizeFailure) {
+  // collect_ranks reads 5% of the input and returns 30% of that as the
+  // driver result: at 40x the test size the result far exceeds 64MB. Run
+  // the collect stage directly so no earlier failure mode shadows it.
+  DataSpec d = pagerank_->MakeData(pagerank_->test_size_mb * 40);
+  Config c = space_.DefaultConfig();
+  c[kDriverMaxResultSize] = 64;  // collect_ranks result exceeds this.
+  StageRunResult r = model_.RunStage(*pagerank_, 3, 0, d, env_c_, c);
+  EXPECT_TRUE(r.failed);
+  EXPECT_NE(r.failure_reason.find("maxResultSize"), std::string::npos);
+}
+
+TEST_F(CostModelTest, SpillPenaltyWhenMemoryTight) {
+  // Coarse partitions (parallelism 8) and 4 cores sharing one small heap
+  // push the per-task working set past its execution memory.
+  DataSpec d = kmeans_->MakeData(kmeans_->test_size_mb);
+  Config plenty = space_.DefaultConfig();
+  plenty[kExecutorMemory] = 16;
+  plenty[kExecutorInstances] = 4;
+  plenty[kExecutorCores] = 4;
+  plenty[kDefaultParallelism] = 8;
+  Config tight = plenty;
+  tight[kExecutorMemory] = 1;
+  double t_plenty = model_.Run(*kmeans_, d, env_a_, plenty).total_seconds;
+  double t_tight = model_.Run(*kmeans_, d, env_a_, tight).total_seconds;
+  EXPECT_GT(t_tight, t_plenty * 1.1);
+}
+
+TEST_F(CostModelTest, ShuffleCompressionHelpsShuffleHeavyApps) {
+  DataSpec d = terasort_->MakeData(terasort_->test_size_mb);
+  Config on = space_.DefaultConfig();
+  on[kShuffleCompress] = 1;
+  Config off = on;
+  off[kShuffleCompress] = 0;
+  double t_on = model_.Run(*terasort_, d, env_a_, on).total_seconds;
+  double t_off = model_.Run(*terasort_, d, env_a_, off).total_seconds;
+  EXPECT_LT(t_on, t_off);
+}
+
+TEST_F(CostModelTest, ParallelismUShape) {
+  // Too few partitions (coarse waves / memory pressure) and far too many
+  // (per-task overhead + fetch round trips) are both worse than a moderate
+  // setting. The U is most visible on the small cluster, matching Spark
+  // practice where over-partitioning hurts when slots are scarce.
+  DataSpec d = pagerank_->MakeData(pagerank_->validation_size_mb);
+  Config c = space_.DefaultConfig();
+  c[kExecutorInstances] = 16;
+  c[kExecutorCores] = 4;
+  c[kExecutorMemory] = 3;
+  auto time_at = [&](double par) {
+    Config cc = c;
+    cc[kDefaultParallelism] = par;
+    return model_.Run(*pagerank_, d, env_a_, cc).total_seconds;
+  };
+  double t_low = time_at(8);
+  double t_mid = time_at(32);
+  double t_high = time_at(512);
+  EXPECT_LT(t_mid, t_low);
+  EXPECT_LT(t_mid, t_high);
+}
+
+TEST_F(CostModelTest, PerAppOptimaDiffer) {
+  // Fig. 1's premise: the best executor.cores differs across applications.
+  auto best_cores = [&](const ApplicationSpec* app) {
+    DataSpec d = app->MakeData(160);
+    int best = 0;
+    double best_t = 1e18;
+    for (int cores = 1; cores <= 8; ++cores) {
+      Config c = space_.DefaultConfig();
+      c[kExecutorCores] = cores;
+      c[kExecutorMemory] = 4;
+      c[kExecutorInstances] = 2;
+      double t = model_.Run(*app, d, env_a_, c).total_seconds;
+      if (t < best_t) {
+        best_t = t;
+        best = cores;
+      }
+    }
+    return best;
+  };
+  EXPECT_NE(best_cores(pagerank_), best_cores(AppCatalog::Find("TC")));
+}
+
+TEST_F(CostModelTest, IterationDecayReducesLaterStageWork) {
+  const ApplicationSpec* cc_app = AppCatalog::Find("CC");
+  ASSERT_NE(cc_app, nullptr);
+  DataSpec d = cc_app->MakeData(100);
+  Config c = space_.DefaultConfig();
+  CostModelOptions opts;
+  opts.noise_sigma = 0.0;
+  CostModel quiet(opts);
+  StageRunResult first = quiet.RunStage(*cc_app, 1, 0, d, env_a_, c);
+  StageRunResult later = quiet.RunStage(*cc_app, 1, 6, d, env_a_, c);
+  EXPECT_LT(later.seconds, first.seconds);
+}
+
+TEST_F(CostModelTest, NoiseIsBoundedAndSeeded) {
+  DataSpec d = terasort_->MakeData(100);
+  Config c = space_.DefaultConfig();
+  CostModelOptions noisy;
+  noisy.noise_sigma = 0.03;
+  CostModelOptions quiet;
+  quiet.noise_sigma = 0.0;
+  double t_noisy = CostModel(noisy).Run(*terasort_, d, env_a_, c).total_seconds;
+  double t_quiet = CostModel(quiet).Run(*terasort_, d, env_a_, c).total_seconds;
+  EXPECT_NEAR(t_noisy / t_quiet, 1.0, 0.25);
+  EXPECT_NE(t_noisy, t_quiet);
+}
+
+TEST_F(CostModelTest, InnerMetricsShape) {
+  DataSpec d = terasort_->MakeData(100);
+  AppRunResult r = model_.Run(*terasort_, d, env_a_, space_.DefaultConfig());
+  std::vector<double> m = r.InnerMetrics();
+  EXPECT_EQ(m.size(), AppRunResult::kInnerMetricsDim);
+  for (double v : m) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_EQ(m[6], 0.0);  // not failed.
+}
+
+TEST_F(CostModelTest, StageInstanceCountMatchesIterations) {
+  const ApplicationSpec* scc = AppCatalog::Find("SCC");
+  ASSERT_NE(scc, nullptr);
+  // 1 setup stage + 4 per-iteration stages x 60 iterations.
+  EXPECT_EQ(scc->StageInstanceCount(60), 1u + 4u * 60u);
+  DataSpec d = scc->MakeData(100);
+  AppRunResult r = model_.Run(*scc, d, env_a_, space_.DefaultConfig());
+  EXPECT_EQ(r.stage_runs.size(), scc->StageInstanceCount(d.iterations));
+}
+
+TEST_F(CostModelTest, SkewExtensionOffByDefault) {
+  CostModelOptions defaults;
+  EXPECT_EQ(defaults.skew_alpha, 0.0);
+}
+
+TEST_F(CostModelTest, SkewSlowsShuffleStagesOnly) {
+  CostModelOptions quiet;
+  quiet.noise_sigma = 0.0;
+  CostModelOptions skewed = quiet;
+  skewed.skew_alpha = 0.5;
+  CostModel base(quiet), skew(skewed);
+  DataSpec d = terasort_->MakeData(200);
+  Config c = space_.DefaultConfig();
+  // sort_shuffle (index 2) is a shuffle stage: skew stretches it.
+  double t_base = base.RunStage(*terasort_, 2, 0, d, env_a_, c).seconds;
+  double t_skew = skew.RunStage(*terasort_, 2, 0, d, env_a_, c).seconds;
+  EXPECT_GT(t_skew, t_base);
+  // map_partition (index 1) has no shuffle: unaffected.
+  double m_base = base.RunStage(*terasort_, 1, 0, d, env_a_, c).seconds;
+  double m_skew = skew.RunStage(*terasort_, 1, 0, d, env_a_, c).seconds;
+  EXPECT_DOUBLE_EQ(m_skew, m_base);
+}
+
+TEST_F(CostModelTest, ChromeTraceWellFormed) {
+  DataSpec d = pagerank_->MakeData(8);
+  AppRunResult r = model_.Run(*pagerank_, d, env_a_, space_.DefaultConfig());
+  std::string trace = WriteChromeTrace(*pagerank_, r);
+  // Crude JSON sanity: array brackets, one X event per stage run, metadata
+  // rows per stage spec, balanced braces.
+  EXPECT_EQ(trace.front(), '[');
+  size_t events = 0, pos = 0;
+  while ((pos = trace.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    ++events;
+    pos += 5;
+  }
+  EXPECT_EQ(events, r.stage_runs.size());
+  long depth = 0;
+  for (char c : trace) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(CostModelTest, RunnerMeasureCapsFailures) {
+  SparkRunner runner;
+  DataSpec d = terasort_->MakeData(100);
+  Config c = space_.DefaultConfig();
+  c[kExecutorMemory] = 32;
+  EXPECT_DOUBLE_EQ(runner.Measure(*terasort_, d, ClusterEnv::ClusterC(), c),
+                   7200.0);
+}
+
+}  // namespace
+}  // namespace lite::spark

@@ -1,0 +1,174 @@
+// Stage DAG construction, operation vocabulary (incl. oov), code generation
+// and the instrumentation augmentation statistics behind Fig. 9.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sparksim/codegen.h"
+#include "sparksim/dag.h"
+#include "sparksim/instrumentation.h"
+
+namespace lite::spark {
+namespace {
+
+TEST(StageDagTest, AllCatalogDagsAcyclicAndConnectedEnough) {
+  for (const auto& app : AppCatalog::All()) {
+    for (const auto& stage : app.stages) {
+      StageDag dag = BuildStageDag(stage);
+      EXPECT_FALSE(dag.node_ops.empty()) << app.name << "/" << stage.name;
+      EXPECT_TRUE(dag.IsAcyclic()) << app.name << "/" << stage.name;
+      EXPECT_GE(dag.NumNodes(), stage.ops.size());
+      for (const auto& [u, v] : dag.edges) {
+        EXPECT_GE(u, 0);
+        EXPECT_LT(static_cast<size_t>(u), dag.NumNodes());
+        EXPECT_LT(static_cast<size_t>(v), dag.NumNodes());
+      }
+    }
+  }
+}
+
+TEST(StageDagTest, BinaryOpsGetSideInput) {
+  StageSpec stage;
+  stage.ops = {"map", "join"};
+  StageDag dag = BuildStageDag(stage);
+  // map, join, plus a side-input node for join and a ShuffledRDD source for
+  // the wide dependency handling of join itself.
+  int join_in_degree = 0;
+  int join_idx = -1;
+  for (size_t i = 0; i < dag.node_ops.size(); ++i) {
+    if (dag.node_ops[i] == "join") join_idx = static_cast<int>(i);
+  }
+  ASSERT_GE(join_idx, 0);
+  for (const auto& [u, v] : dag.edges) {
+    if (v == join_idx) ++join_in_degree;
+  }
+  EXPECT_EQ(join_in_degree, 2);
+}
+
+TEST(StageDagTest, ShuffleStageStartsWithShuffledRdd) {
+  StageSpec stage;
+  stage.ops = {"reduceByKey", "mapValues"};
+  StageDag dag = BuildStageDag(stage);
+  EXPECT_EQ(dag.node_ops[0], "ShuffledRDD");
+}
+
+TEST(StageDagTest, DeterministicConstruction) {
+  const ApplicationSpec* app = AppCatalog::Find("PR");
+  StageDag a = BuildStageDag(app->stages[1]);
+  StageDag b = BuildStageDag(app->stages[1]);
+  EXPECT_EQ(a.node_ops, b.node_ops);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(OpVocabTest, CoversTrainingOpsAndMapsUnknownToOov) {
+  std::vector<const ApplicationSpec*> apps;
+  for (const auto& a : AppCatalog::All()) apps.push_back(&a);
+  OpVocab vocab = OpVocab::FromApplications(apps);
+  EXPECT_GT(vocab.size(), 10u);
+  EXPECT_GE(vocab.IdOf("map"), 0);
+  EXPECT_LT(static_cast<size_t>(vocab.IdOf("map")), vocab.size());
+  EXPECT_EQ(vocab.IdOf("definitely-not-an-op"), static_cast<int>(vocab.size()));
+}
+
+TEST(OpVocabTest, HeldOutAppOpsBecomeOov) {
+  // Vocabulary without SCC must map SCC-only ops (subgraph) to oov.
+  std::vector<const ApplicationSpec*> apps;
+  for (const auto& a : AppCatalog::All()) {
+    if (a.abbrev != "SCC") apps.push_back(&a);
+  }
+  OpVocab vocab = OpVocab::FromApplications(apps);
+  EXPECT_EQ(vocab.IdOf("subgraph"), static_cast<int>(vocab.size()));
+  // Common op still known.
+  EXPECT_LT(static_cast<size_t>(vocab.IdOf("map")), vocab.size());
+}
+
+TEST(CodegenTest, AppCodeBriefAndDeterministic) {
+  const ApplicationSpec* ts = AppCatalog::Find("TS");
+  auto code1 = GenerateAppCode(*ts);
+  auto code2 = GenerateAppCode(*ts);
+  EXPECT_EQ(code1, code2);
+  EXPECT_GT(code1.size(), 20u);
+  EXPECT_LT(code1.size(), 120u);  // "extremely brief" main bodies.
+}
+
+TEST(CodegenTest, StageCodeMuchLongerThanAppShare) {
+  // Fig. 5's observation: instrumentation greatly expands stage code.
+  for (const auto& app : AppCatalog::All()) {
+    double app_tokens = static_cast<double>(GenerateAppCode(app).size());
+    double total_stage_tokens = 0;
+    for (size_t si = 0; si < app.stages.size(); ++si) {
+      total_stage_tokens += static_cast<double>(GenerateStageCode(app, si).size());
+    }
+    double mean_stage =
+        total_stage_tokens / static_cast<double>(app.stages.size());
+    EXPECT_GT(mean_stage, app_tokens * 0.8) << app.name;
+  }
+}
+
+TEST(CodegenTest, RareTokensAreAppSpecific) {
+  // "TeraSortPartitioner" must appear in TS code and in no other app's code.
+  const ApplicationSpec* ts = AppCatalog::Find("TS");
+  auto ts_code = GenerateAppCode(*ts);
+  bool found = false;
+  for (const auto& t : ts_code) {
+    if (t == "TeraSortPartitioner") found = true;
+  }
+  EXPECT_TRUE(found);
+  for (const auto& app : AppCatalog::All()) {
+    if (app.abbrev == "TS") continue;
+    for (size_t si = 0; si < app.stages.size(); ++si) {
+      for (const auto& t : GenerateStageCode(app, si)) {
+        EXPECT_NE(t, "TeraSortPartitioner") << app.name;
+      }
+    }
+  }
+}
+
+TEST(CodegenTest, StageCodeSharesCommonSparkTokens) {
+  // Dense tokens like "map"/"iterator" appear across different applications'
+  // stage code — the property that lets models generalize.
+  std::set<std::string> apps_with_iterator;
+  for (const auto& app : AppCatalog::All()) {
+    for (size_t si = 0; si < app.stages.size(); ++si) {
+      for (const auto& t : GenerateStageCode(app, si)) {
+        if (t == "iterator") apps_with_iterator.insert(app.abbrev);
+      }
+    }
+  }
+  EXPECT_GT(apps_with_iterator.size(), 10u);
+}
+
+TEST(InstrumenterTest, ArtifactsComplete) {
+  Instrumenter instr;
+  const ApplicationSpec* pr = AppCatalog::Find("PR");
+  AppArtifacts art = instr.Instrument(*pr);
+  EXPECT_EQ(art.app_name, "PageRank");
+  EXPECT_EQ(art.stages.size(), pr->stages.size());
+  for (size_t si = 0; si < art.stages.size(); ++si) {
+    EXPECT_EQ(art.stages[si].stage_index, si);
+    EXPECT_FALSE(art.stages[si].code_tokens.empty());
+    EXPECT_FALSE(art.stages[si].dag.node_ops.empty());
+  }
+}
+
+TEST(InstrumenterTest, AugmentationGrowsInstances) {
+  // Fig. 9: stage organization multiplies instances (4x for TS up to two
+  // orders of magnitude for iterative graph apps) and lengthens code.
+  Instrumenter instr;
+  const ApplicationSpec* ts = AppCatalog::Find("TS");
+  AugmentationStats s_ts = instr.ComputeAugmentation(*ts, 0);
+  EXPECT_EQ(s_ts.stage_instances, 4u);  // TeraSort: 4 stages, 4x instances.
+
+  const ApplicationSpec* scc = AppCatalog::Find("SCC");
+  AugmentationStats s_scc = instr.ComputeAugmentation(*scc, 0);
+  EXPECT_GT(s_scc.stage_instances, 80u);  // iterative blow-up.
+
+  for (const auto& app : AppCatalog::All()) {
+    AugmentationStats s = instr.ComputeAugmentation(app, 0);
+    EXPECT_GE(s.stage_instances, 3u) << app.name;
+    EXPECT_GT(s.mean_stage_tokens, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace lite::spark

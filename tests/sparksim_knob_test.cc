@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "sparksim/environment.h"
+#include "sparksim/knob.h"
+
+namespace lite::spark {
+namespace {
+
+TEST(KnobSpaceTest, SixteenKnobs) {
+  const KnobSpace& space = KnobSpace::Spark16();
+  EXPECT_EQ(space.size(), 16u);
+  EXPECT_EQ(space.size(), static_cast<size_t>(kNumKnobs));
+}
+
+TEST(KnobSpaceTest, WellKnownIndices) {
+  const KnobSpace& space = KnobSpace::Spark16();
+  EXPECT_EQ(space.spec(kExecutorCores).name, "spark.executor.cores");
+  EXPECT_EQ(space.spec(kExecutorMemory).name, "spark.executor.memory");
+  EXPECT_EQ(space.spec(kShuffleCompress).name, "spark.shuffle.compress");
+  EXPECT_EQ(space.IndexOf("spark.default.parallelism"), 0);
+  EXPECT_EQ(space.IndexOf("not.a.knob"), -1);
+}
+
+TEST(KnobSpaceTest, DefaultConfigValid) {
+  const KnobSpace& space = KnobSpace::Spark16();
+  Config def = space.DefaultConfig();
+  EXPECT_TRUE(space.IsValid(def));
+  EXPECT_EQ(def[kExecutorCores], 2.0);
+  EXPECT_EQ(def[kShuffleCompress], 1.0);
+}
+
+TEST(KnobSpaceTest, RandomConfigsValid) {
+  const KnobSpace& space = KnobSpace::Spark16();
+  lite::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(space.IsValid(space.RandomConfig(&rng)));
+  }
+}
+
+TEST(KnobSpaceTest, NormalizeDenormalizeRoundtrip) {
+  const KnobSpace& space = KnobSpace::Spark16();
+  lite::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    Config c = space.RandomConfig(&rng);
+    Config round = space.Denormalize(space.Normalize(c));
+    for (size_t d = 0; d < space.size(); ++d) {
+      // Ints/bools snap exactly; floats within rounding tolerance.
+      if (space.spec(d).type == KnobType::kFloat) {
+        EXPECT_NEAR(round[d], c[d], 1e-9);
+      } else {
+        EXPECT_DOUBLE_EQ(round[d], c[d]);
+      }
+    }
+  }
+}
+
+TEST(KnobSpaceTest, DenormalizeClampsAndSnaps) {
+  const KnobSpace& space = KnobSpace::Spark16();
+  std::vector<double> unit(space.size(), 2.0);  // out of range.
+  Config c = space.Denormalize(unit);
+  EXPECT_TRUE(space.IsValid(c));
+  for (size_t d = 0; d < space.size(); ++d) {
+    EXPECT_DOUBLE_EQ(c[d], space.spec(d).max_value);
+  }
+}
+
+TEST(KnobSpaceTest, ClampSnapsIntsAndBools) {
+  const KnobSpace& space = KnobSpace::Spark16();
+  Config c = space.DefaultConfig();
+  c[kExecutorCores] = 3.7;
+  c[kShuffleCompress] = 0.3;
+  c[kMemoryFraction] = 5.0;
+  Config snapped = space.Clamp(c);
+  EXPECT_DOUBLE_EQ(snapped[kExecutorCores], 4.0);
+  EXPECT_DOUBLE_EQ(snapped[kShuffleCompress], 0.0);
+  EXPECT_DOUBLE_EQ(snapped[kMemoryFraction], 0.9);
+}
+
+TEST(KnobSpaceTest, IsValidRejectsBadConfigs) {
+  const KnobSpace& space = KnobSpace::Spark16();
+  Config c = space.DefaultConfig();
+  c[kExecutorCores] = 2.5;  // non-integer.
+  EXPECT_FALSE(space.IsValid(c));
+  Config d = space.DefaultConfig();
+  d[kDriverMemory] = 1000.0;  // out of range.
+  EXPECT_FALSE(space.IsValid(d));
+  EXPECT_FALSE(space.IsValid(Config{1.0}));  // wrong arity.
+}
+
+TEST(ClusterEnvTest, PaperClusters) {
+  ClusterEnv a = ClusterEnv::ClusterA();
+  ClusterEnv b = ClusterEnv::ClusterB();
+  ClusterEnv c = ClusterEnv::ClusterC();
+  EXPECT_EQ(a.num_nodes, 1);
+  EXPECT_EQ(b.num_nodes, 3);
+  EXPECT_EQ(c.num_nodes, 8);
+  EXPECT_EQ(a.total_cores(), 16);
+  EXPECT_EQ(c.total_cores(), 128);
+  EXPECT_DOUBLE_EQ(c.cpu_ghz, 2.9);
+  EXPECT_DOUBLE_EQ(c.memory_gb_per_node, 16.0);
+  EXPECT_EQ(ClusterEnv::AllClusters().size(), 3u);
+}
+
+TEST(ClusterEnvTest, FeatureVectorSixDims) {
+  // Table II: six entries.
+  EXPECT_EQ(ClusterEnv::ClusterA().FeatureVector().size(), 6u);
+}
+
+}  // namespace
+}  // namespace lite::spark

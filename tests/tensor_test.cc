@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace lite {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor v(5);
+  EXPECT_EQ(v.rank(), 1u);
+  EXPECT_EQ(v.numel(), 5u);
+  Tensor m(3, 4);
+  EXPECT_EQ(m.rank(), 2u);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.numel(), 12u);
+  EXPECT_EQ(m.ShapeString(), "Tensor[3x4]");
+}
+
+TEST(TensorTest, FactoryFunctions) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.Sum(), 0.0f);
+  Tensor o = Tensor::Ones({4});
+  EXPECT_EQ(o.Sum(), 4.0f);
+  Tensor f = Tensor::Full({2, 2}, 2.5f);
+  EXPECT_EQ(f.Sum(), 10.0f);
+  Tensor fv = Tensor::FromVector({1.0, 2.0, 3.0});
+  EXPECT_EQ(fv.numel(), 3u);
+  EXPECT_FLOAT_EQ(fv[2], 3.0f);
+}
+
+TEST(TensorTest, RandnStddev) {
+  Rng rng(11);
+  Tensor t = Tensor::Randn({100, 100}, &rng, 0.5f);
+  double mean = 0.0, sq = 0.0;
+  for (size_t i = 0; i < t.numel(); ++i) {
+    mean += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  mean /= t.numel();
+  double stddev = std::sqrt(sq / t.numel() - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(stddev, 0.5, 0.02);
+}
+
+TEST(TensorTest, ElementAccess2D) {
+  Tensor m(2, 3);
+  m.at(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(m[5], 7.0f);  // row-major layout.
+}
+
+TEST(TensorTest, AddAxpyScale) {
+  Tensor a = Tensor::Full({3}, 1.0f);
+  Tensor b = Tensor::Full({3}, 2.0f);
+  a.Add(b);
+  EXPECT_FLOAT_EQ(a[0], 3.0f);
+  a.Axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a[1], 4.0f);
+  a.Scale(0.25f);
+  EXPECT_FLOAT_EQ(a[2], 1.0f);
+}
+
+TEST(TensorTest, MaxAndNorm) {
+  Tensor t = Tensor::FromVector({3.0, -4.0});
+  EXPECT_FLOAT_EQ(t.Max(), 3.0f);
+  EXPECT_FLOAT_EQ(t.Norm(), 5.0f);
+}
+
+TEST(MatMulTest, HandComputed) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50].
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c(2, 2);
+  MatMul(a, b, &c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(MatMulTest, RectangularShapes) {
+  Tensor a({2, 3}, {1, 0, 2, 0, 1, 1});
+  Tensor b({3, 1}, {1, 2, 3});
+  Tensor c(2, 1);
+  MatMul(a, b, &c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 5.0f);
+}
+
+TEST(MatMulTest, TransposeVariantsAgree) {
+  Rng rng(12);
+  Tensor a = Tensor::Randn({4, 3}, &rng, 1.0f);
+  Tensor b = Tensor::Randn({4, 5}, &rng, 1.0f);
+  // c = a^T b via the accumulating helper.
+  Tensor c = Tensor::Zeros({3, 5});
+  MatMulTransposeAAccum(a, b, &c);
+  // Reference: explicit transpose then MatMul.
+  Tensor at(3, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Tensor ref(3, 5);
+  MatMul(at, b, &ref);
+  for (size_t i = 0; i < c.numel(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-5);
+
+  // d = a b2^T.
+  Tensor b2 = Tensor::Randn({5, 3}, &rng, 1.0f);
+  Tensor d = Tensor::Zeros({4, 5});
+  MatMulTransposeBAccum(a, b2, &d);
+  Tensor b2t(3, 5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 3; ++j) b2t.at(j, i) = b2.at(i, j);
+  }
+  Tensor ref2(4, 5);
+  MatMul(a, b2t, &ref2);
+  for (size_t i = 0; i < d.numel(); ++i) EXPECT_NEAR(d[i], ref2[i], 1e-5);
+}
+
+TEST(MatMulTest, AccumVariantsAccumulate) {
+  Tensor a({1, 1}, {2});
+  Tensor b({1, 1}, {3});
+  Tensor c = Tensor::Full({1, 1}, 10.0f);
+  MatMulTransposeAAccum(a, b, &c);
+  EXPECT_FLOAT_EQ(c[0], 16.0f);  // 10 + 2*3.
+}
+
+}  // namespace
+}  // namespace lite

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/ranking_metrics.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace lite {
+namespace {
+
+TEST(RngTest, DeterministicWithSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(1, 3));
+  EXPECT_EQ(seen, (std::set<int64_t>{1, 2, 3}));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(3);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(Mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(StdDev(xs), 2.0, 0.1);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(4);
+  auto s = rng.SampleWithoutReplacement(10, 7);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 7u);
+  for (size_t v : s) EXPECT_LT(v, 10u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng a(6);
+  Rng child = a.Fork();
+  // Forked stream differs from parent continuation.
+  EXPECT_NE(child.Uniform(), a.Uniform());
+}
+
+TEST(StatsTest, MeanStdDev) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(StdDev(v), 2.138, 1e-3);
+  EXPECT_NEAR(Variance(v), 4.0, 1e-12);
+}
+
+TEST(StatsTest, EmptyInputsSafe) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, Median) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(StatsTest, PearsonPerfect) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, AverageRanksWithTies) {
+  std::vector<double> v{10, 20, 20, 30};
+  auto r = AverageRanks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(StatsTest, SpearmanMonotone) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{1, 4, 9, 16, 25};  // monotone nonlinear.
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(StatsTest, NormalCdfQuantileInverse) {
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-6);
+  }
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+}
+
+TEST(WilcoxonTest, ClearImprovementIsSignificant) {
+  // after = before + consistent positive shift.
+  std::vector<double> before, after;
+  for (int i = 0; i < 20; ++i) {
+    before.push_back(static_cast<double>(i));
+    after.push_back(static_cast<double>(i) + 1.0 + 0.01 * i);
+  }
+  WilcoxonResult r = WilcoxonSignedRank(before, after);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_EQ(r.n_effective, 20u);
+}
+
+TEST(WilcoxonTest, NoEffectIsInsignificant) {
+  std::vector<double> before, after;
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    double b = rng.Uniform();
+    before.push_back(b);
+    after.push_back(b + rng.Gaussian(0.0, 0.1));
+  }
+  WilcoxonResult r = WilcoxonSignedRank(before, after);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(WilcoxonTest, ZeroDifferencesDropped) {
+  WilcoxonResult r = WilcoxonSignedRank({1, 2, 3}, {1, 2, 3});
+  EXPECT_EQ(r.n_effective, 0u);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(RankingMetricsTest, TopKIndices) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  auto top = TopKIndices(v, 3);
+  EXPECT_EQ(top, (std::vector<size_t>{1, 3, 2}));
+}
+
+TEST(RankingMetricsTest, PerfectRankingHrOne) {
+  std::vector<double> truth{1, 2, 3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(HitRatioAtK(truth, truth, 3), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(truth, truth, 3), 1.0);
+}
+
+TEST(RankingMetricsTest, DisjointTopKHrZero) {
+  std::vector<double> pred{1, 2, 3, 10, 11, 12};
+  std::vector<double> truth{10, 11, 12, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(HitRatioAtK(pred, truth, 3), 0.0);
+}
+
+TEST(RankingMetricsTest, PartialOverlap) {
+  // pred top-2 = {0,1}; true top-2 = {0,2} -> HR@2 = 0.5.
+  std::vector<double> pred{1, 2, 3, 4};
+  std::vector<double> truth{1, 4, 2, 5};
+  EXPECT_DOUBLE_EQ(HitRatioAtK(pred, truth, 2), 0.5);
+}
+
+TEST(RankingMetricsTest, NdcgRewardsOrder) {
+  std::vector<double> truth{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> good = truth;                      // perfect.
+  std::vector<double> mediocre{3, 2, 1, 4, 5, 6, 7, 8};  // top-3 reversed.
+  double g = NdcgAtK(good, truth, 3);
+  double m = NdcgAtK(mediocre, truth, 3);
+  EXPECT_GT(g, m);
+  EXPECT_GT(m, 0.0);
+  EXPECT_LE(g, 1.0);
+}
+
+TEST(RankingMetricsTest, BoundsHold) {
+  Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> pred(20), truth(20);
+    for (int i = 0; i < 20; ++i) {
+      pred[static_cast<size_t>(i)] = rng.Uniform();
+      truth[static_cast<size_t>(i)] = rng.Uniform();
+    }
+    double hr = HitRatioAtK(pred, truth, 5);
+    double ndcg = NdcgAtK(pred, truth, 5);
+    EXPECT_GE(hr, 0.0);
+    EXPECT_LE(hr, 1.0);
+    EXPECT_GE(ndcg, 0.0);
+    EXPECT_LE(ndcg, 1.0 + 1e-9);
+  }
+}
+
+TEST(StringUtilTest, SplitJoinTrim) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitWhitespace("  a  b\tc "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Join({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_TRUE(StartsWith("spark.executor", "spark."));
+  EXPECT_FALSE(StartsWith("a", "ab"));
+  EXPECT_EQ(ToLower("AbC"), "abc");
+}
+
+TEST(StringUtilTest, HumanFormats) {
+  EXPECT_EQ(HumanBytes(160 * 1024.0 * 1024.0), "160MB");
+  EXPECT_EQ(HumanSeconds(96.13), "96.1s");
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecials) {
+  TablePrinter t({"name", "note"});
+  t.AddRow({"a,b", "say \"hi\""});
+  std::string csv = t.ToCsv();
+  EXPECT_EQ(csv, "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinterTest, WriteCsvEmptyDirIsNoop) {
+  TablePrinter t({"x"});
+  EXPECT_TRUE(t.WriteCsv("", "unused"));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"App", "Time"});
+  t.AddRow({"TeraSort", "12.5"});
+  t.AddRow({"PR", "900.0"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("TeraSort"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Header columns aligned: "Time" appears after padding.
+  EXPECT_NE(s.find("App       Time"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lite

@@ -1,0 +1,452 @@
+// lite_cli — command-line front end for the LITE reproduction.
+//
+// Subcommands:
+//   catalog                      list applications, knobs, and clusters
+//   simulate  <App>              run one application in the simulator
+//   train     --out <dir>        offline-train a LiteSystem and snapshot it
+//   recommend <App> --model <dir> recommend knobs from a snapshot
+//   evaluate  --model <dir>      HR@5/NDCG@5 of a snapshot on validation data
+//   sweep     <App> <knob>       print a knob response curve
+//   dag       <App>              Graphviz dot of every stage's scheduler DAG
+//   explain   <App> --model <dir> per-stage predicted vs simulated breakdown
+//
+// Examples:
+//   lite_cli catalog
+//   lite_cli simulate PageRank --size-mb 160 --cluster A --event-log
+//   lite_cli train --out /tmp/lite-model --epochs 20
+//   lite_cli recommend KMeans --model /tmp/lite-model --cluster C
+//   lite_cli sweep TeraSort spark.executor.cores --cluster A
+#include <filesystem>
+#include <iostream>
+
+#include "lite/snapshot.h"
+#include "sparksim/trace.h"
+#include "util/ranking_metrics.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace lite {
+namespace {
+
+int CmdCatalog() {
+  TablePrinter apps({"Abbrev", "Application", "Class", "Stages", "Iterations",
+                     "Train sizes (MB)", "Test size (MB)"});
+  for (const auto& a : spark::AppCatalog::All()) {
+    std::string sizes;
+    for (double s : a.train_sizes_mb) sizes += TablePrinter::Fmt(s, 0) + " ";
+    apps.AddRow({a.abbrev, a.name, spark::AppClassName(a.app_class),
+                 std::to_string(a.stages.size()),
+                 std::to_string(a.default_iterations), sizes,
+                 TablePrinter::Fmt(a.test_size_mb, 0)});
+  }
+  apps.Print(std::cout, "Applications (spark-bench, Table V)");
+
+  TablePrinter knobs({"Knob", "Type", "Range", "Default", "Description"});
+  for (const auto& k : spark::KnobSpace::Spark16().specs()) {
+    std::string type = k.type == spark::KnobType::kInt    ? "int"
+                       : k.type == spark::KnobType::kBool ? "bool"
+                                                          : "float";
+    knobs.AddRow({k.name, type,
+                  TablePrinter::Fmt(k.min_value, 1) + ".." +
+                      TablePrinter::Fmt(k.max_value, 1),
+                  TablePrinter::Fmt(k.default_value, 1), k.description});
+  }
+  knobs.Print(std::cout, "Configuration knobs (Table IV)");
+
+  TablePrinter clusters({"Cluster", "Nodes", "Cores/node", "CPU GHz",
+                         "Mem GB/node", "Mem MT/s", "Net Gbps"});
+  for (const auto& c : spark::ClusterEnv::AllClusters()) {
+    clusters.AddRow({c.name, std::to_string(c.num_nodes),
+                     std::to_string(c.cores_per_node),
+                     TablePrinter::Fmt(c.cpu_ghz, 1),
+                     TablePrinter::Fmt(c.memory_gb_per_node, 0),
+                     TablePrinter::Fmt(c.memory_mts, 0),
+                     TablePrinter::Fmt(c.network_gbps, 0)});
+  }
+  clusters.Print(std::cout, "Clusters (Table III)");
+  return 0;
+}
+
+spark::ClusterEnv ClusterByName(const std::string& name) {
+  for (const auto& c : spark::ClusterEnv::AllClusters()) {
+    if (c.name == name) return c;
+  }
+  std::cerr << "unknown cluster '" << name << "', using A\n";
+  return spark::ClusterEnv::ClusterA();
+}
+
+int CmdSimulate(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    std::cerr << "usage: lite_cli simulate <App> [--size-mb N] [--cluster A|B|C]"
+                 " [--event-log] [--set knob=value,...]\n";
+    return 1;
+  }
+  const auto* app = spark::AppCatalog::Find(flags.positional()[1]);
+  if (app == nullptr) {
+    std::cerr << "unknown application " << flags.positional()[1] << "\n";
+    return 1;
+  }
+  spark::ClusterEnv env = ClusterByName(flags.GetString("cluster"));
+  double size = flags.GetDouble("size-mb");
+  if (size <= 0) size = app->train_sizes_mb.back();
+  spark::DataSpec data = app->MakeData(size);
+
+  const auto& space = spark::KnobSpace::Spark16();
+  spark::Config config = space.DefaultConfig();
+  std::string overrides = flags.GetString("set");
+  if (!overrides.empty()) {
+    for (const auto& kv : Split(overrides, ',')) {
+      auto parts = Split(kv, '=');
+      if (parts.size() != 2) {
+        std::cerr << "bad --set entry '" << kv << "'\n";
+        return 1;
+      }
+      int idx = space.IndexOf(Trim(parts[0]));
+      if (idx < 0) {
+        std::cerr << "unknown knob '" << parts[0] << "'\n";
+        return 1;
+      }
+      config[static_cast<size_t>(idx)] = std::stod(parts[1]);
+    }
+    config = space.Clamp(config);
+  }
+
+  spark::SparkRunner runner;
+  spark::Submission sub = runner.Submit(*app, data, env, config);
+  std::cout << app->name << " on " << size << "MB, cluster " << env.name
+            << ": " << (sub.result.failed
+                            ? "FAILED (" + sub.result.failure_reason + ")"
+                            : TablePrinter::Fmt(sub.result.total_seconds, 1) + "s")
+            << " across " << sub.result.stage_runs.size() << " stage executions\n";
+  std::string trace_path = flags.GetString("trace");
+  if (!trace_path.empty()) {
+    if (spark::WriteChromeTraceFile(*app, sub.result, trace_path)) {
+      std::cout << "chrome trace written to " << trace_path
+                << " (open in chrome://tracing)\n";
+    } else {
+      std::cerr << "could not write trace to " << trace_path << "\n";
+    }
+  }
+  if (flags.GetBool("event-log")) {
+    std::cout << sub.event_log;
+  } else {
+    TablePrinter stages({"Stage", "Iter", "Seconds", "Tasks", "Waves",
+                         "Shuffle MB", "Spill MB"});
+    size_t shown = 0;
+    for (const auto& sr : sub.result.stage_runs) {
+      if (++shown > 12) {
+        stages.AddRow({"...", "", "", "", "", "", ""});
+        break;
+      }
+      stages.AddRow({app->stages[sr.stage_index].name,
+                     std::to_string(sr.iteration), TablePrinter::Fmt(sr.seconds, 2),
+                     std::to_string(sr.tasks), std::to_string(sr.waves),
+                     TablePrinter::Fmt(sr.shuffle_mb, 1),
+                     TablePrinter::Fmt(sr.spill_mb, 1)});
+    }
+    stages.Print(std::cout);
+  }
+  return 0;
+}
+
+int CmdTrain(const FlagParser& flags) {
+  std::string out = flags.GetString("out");
+  if (out.empty()) {
+    std::cerr << "usage: lite_cli train --out <dir> [--epochs N] "
+                 "[--configs-per-setting N] [--ensemble N]\n";
+    return 1;
+  }
+  std::filesystem::create_directories(out);
+  spark::SparkRunner runner;
+  LiteOptions opts;
+  opts.corpus.clusters = spark::ClusterEnv::AllClusters();
+  opts.corpus.configs_per_setting =
+      static_cast<size_t>(flags.GetInt("configs-per-setting"));
+  opts.train.epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  opts.ensemble_size = static_cast<size_t>(flags.GetInt("ensemble"));
+  opts.acg.top_fraction = flags.GetDouble("top-fraction");
+  opts.num_candidates = static_cast<size_t>(flags.GetInt("candidates"));
+  LiteSystem system(&runner, opts);
+  std::cout << "Collecting corpus and training (this runs the offline phase)...\n";
+  system.TrainOffline();
+  std::cout << "  " << system.corpus().instances.size() << " stage instances, "
+            << system.ensemble_size() << " model(s)\n";
+  if (!SaveSnapshot(system, out)) {
+    std::cerr << "failed to write snapshot to " << out << "\n";
+    return 1;
+  }
+  std::cout << "Snapshot written to " << out << "\n";
+  return 0;
+}
+
+int CmdRecommend(const FlagParser& flags) {
+  if (flags.positional().size() < 2 || flags.GetString("model").empty()) {
+    std::cerr << "usage: lite_cli recommend <App> --model <dir> "
+                 "[--size-mb N] [--cluster A|B|C]\n";
+    return 1;
+  }
+  const auto* app = spark::AppCatalog::Find(flags.positional()[1]);
+  if (app == nullptr) {
+    std::cerr << "unknown application " << flags.positional()[1] << "\n";
+    return 1;
+  }
+  spark::SparkRunner runner;
+  auto model = LoadedLiteModel::Load(flags.GetString("model"), &runner);
+  if (model == nullptr) {
+    std::cerr << "could not load snapshot from " << flags.GetString("model") << "\n";
+    return 1;
+  }
+  spark::ClusterEnv env = ClusterByName(flags.GetString("cluster"));
+  double size = flags.GetDouble("size-mb");
+  if (size <= 0) size = app->test_size_mb;
+  spark::DataSpec data = app->MakeData(size);
+
+  LiteSystem::Recommendation rec = model->Recommend(*app, data, env);
+  std::cout << "Recommendation for " << app->name << " (" << size
+            << "MB, cluster " << env.name << "), computed in "
+            << TablePrinter::Fmt(rec.recommend_wall_seconds, 3) << "s:\n";
+  const auto& space = spark::KnobSpace::Spark16();
+  for (size_t d = 0; d < space.size(); ++d) {
+    std::cout << "  " << space.spec(d).name << " = " << rec.config[d] << "\n";
+  }
+  double t_rec = runner.Measure(*app, data, env, rec.config);
+  double t_def = runner.Measure(*app, data, env, space.DefaultConfig());
+  std::cout << "simulated execution: " << TablePrinter::Fmt(t_rec, 1)
+            << "s (defaults: " << TablePrinter::Fmt(t_def, 1) << "s, speedup "
+            << TablePrinter::Fmt(t_def / t_rec, 2) << "x)\n";
+  return 0;
+}
+
+int CmdExplain(const FlagParser& flags) {
+  if (flags.positional().size() < 2 || flags.GetString("model").empty()) {
+    std::cerr << "usage: lite_cli explain <App> --model <dir> [--size-mb N] "
+                 "[--cluster A|B|C] [--set knob=value,...]\n";
+    return 1;
+  }
+  const auto* app = spark::AppCatalog::Find(flags.positional()[1]);
+  if (app == nullptr) {
+    std::cerr << "unknown application\n";
+    return 1;
+  }
+  spark::SparkRunner runner;
+  auto model = LoadedLiteModel::Load(flags.GetString("model"), &runner);
+  if (model == nullptr) {
+    std::cerr << "could not load snapshot\n";
+    return 1;
+  }
+  spark::ClusterEnv env = ClusterByName(flags.GetString("cluster"));
+  double size = flags.GetDouble("size-mb");
+  if (size <= 0) size = app->test_size_mb;
+  spark::DataSpec data = app->MakeData(size);
+  const auto& space = spark::KnobSpace::Spark16();
+  spark::Config config = space.DefaultConfig();
+  std::string overrides = flags.GetString("set");
+  if (!overrides.empty()) {
+    for (const auto& kv : Split(overrides, ',')) {
+      auto parts = Split(kv, '=');
+      int idx = parts.size() == 2 ? space.IndexOf(Trim(parts[0])) : -1;
+      if (idx < 0) {
+        std::cerr << "bad --set entry '" << kv << "'\n";
+        return 1;
+      }
+      config[static_cast<size_t>(idx)] = std::stod(parts[1]);
+    }
+    config = space.Clamp(config);
+  }
+
+  // Ground truth from the simulator vs the model's per-stage view.
+  spark::AppRunResult run = runner.cost_model().Run(*app, data, env, config);
+  CorpusBuilder builder(&runner);
+  CandidateEval ce = builder.FeaturizeCandidate(model->feature_space(), *app,
+                                                data, env, config);
+  TablePrinter table({"Stage", "reps", "predicted total (s)", "simulated total (s)"});
+  std::vector<double> sim_per_spec(app->stages.size(), 0.0);
+  for (const auto& sr : run.stage_runs) sim_per_spec[sr.stage_index] += sr.seconds;
+  double pred_total = 0.0;
+  for (size_t i = 0; i < ce.stage_instances.size(); ++i) {
+    double score = 0.0;
+    for (size_t m = 0; m < model->ensemble_size(); ++m) {
+      score += model->model(m)->PredictTarget(ce.stage_instances[i]);
+    }
+    score /= static_cast<double>(model->ensemble_size());
+    double pred = SecondsFromTarget(score) * ce.stage_reps[i];
+    pred_total += pred;
+    size_t spec = ce.stage_instances[i].stage_index;
+    table.AddRow({app->stages[spec].name, std::to_string(ce.stage_reps[i]),
+                  TablePrinter::Fmt(pred, 1),
+                  TablePrinter::Fmt(sim_per_spec[spec], 1)});
+  }
+  table.AddRow({"TOTAL", "", TablePrinter::Fmt(pred_total, 1),
+                TablePrinter::Fmt(run.failed ? 7200.0 : run.total_seconds, 1)});
+  table.Print(std::cout, app->name + " (" + std::to_string(size) + "MB, cluster " +
+                             env.name + ")" + (run.failed ? " [RUN FAILED: " +
+                             run.failure_reason + "]" : ""));
+  std::cout << "\n(Predictions extrapolate from small-data training; expect the\n"
+               "ranking to be far better than the absolute scale — Section V-C.)\n";
+  return 0;
+}
+
+int CmdDag(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    std::cerr << "usage: lite_cli dag <App>\n";
+    return 1;
+  }
+  const auto* app = spark::AppCatalog::Find(flags.positional()[1]);
+  if (app == nullptr) {
+    std::cerr << "unknown application " << flags.positional()[1] << "\n";
+    return 1;
+  }
+  // One digraph per stage; pipe through `dot -Tsvg` to render.
+  std::cout << "// " << app->name << " stage-level scheduler DAGs\n";
+  for (size_t si = 0; si < app->stages.size(); ++si) {
+    spark::StageDag dag = spark::BuildStageDag(app->stages[si]);
+    std::cout << "digraph stage_" << si << " {\n"
+              << "  label=\"" << app->abbrev << " stage " << si << ": "
+              << app->stages[si].name << "\";\n"
+              << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+    for (size_t n = 0; n < dag.node_ops.size(); ++n) {
+      std::cout << "  n" << n << " [label=\"" << dag.node_ops[n] << "\"";
+      if (spark::IsShuffleOp(dag.node_ops[n])) std::cout << ", style=filled";
+      std::cout << "];\n";
+    }
+    for (const auto& [u, v] : dag.edges) {
+      std::cout << "  n" << u << " -> n" << v << ";\n";
+    }
+    std::cout << "}\n";
+  }
+  return 0;
+}
+
+int CmdEvaluate(const FlagParser& flags) {
+  if (flags.GetString("model").empty()) {
+    std::cerr << "usage: lite_cli evaluate --model <dir> [--cluster A|B|C] "
+                 "[--candidates N]\n";
+    return 1;
+  }
+  spark::SparkRunner runner;
+  auto model = LoadedLiteModel::Load(flags.GetString("model"), &runner);
+  if (model == nullptr) {
+    std::cerr << "could not load snapshot\n";
+    return 1;
+  }
+  spark::ClusterEnv env = ClusterByName(flags.GetString("cluster"));
+  size_t n = static_cast<size_t>(flags.GetInt("candidates"));
+  CorpusBuilder builder(&runner);
+  std::vector<RankingCase> cases = builder.BuildRankingCases(
+      model->feature_space(), {}, env,
+      [](const spark::ApplicationSpec& a) { return a.validation_size_mb; },
+      n, 777);
+
+  TablePrinter table({"App", "HR@5", "NDCG@5", "best pred t (s)", "true best (s)"});
+  double hr_sum = 0, ndcg_sum = 0;
+  for (const auto& rc : cases) {
+    std::vector<double> pred, truth;
+    for (const auto& cand : rc.candidates) {
+      double score = 0.0;
+      for (size_t m = 0; m < model->ensemble_size(); ++m) {
+        score += std::log1p(std::max(model->model(m)->PredictAppSeconds(cand), 0.0));
+      }
+      pred.push_back(score);
+      truth.push_back(cand.true_seconds);
+    }
+    double hr = HitRatioAtK(pred, truth, 5);
+    double ndcg = NdcgAtK(pred, truth, 5);
+    hr_sum += hr;
+    ndcg_sum += ndcg;
+    size_t best_pred = TopKIndices(pred, 1)[0];
+    table.AddRow({rc.app->abbrev, TablePrinter::Fmt(hr, 3),
+                  TablePrinter::Fmt(ndcg, 3),
+                  TablePrinter::Fmt(truth[best_pred], 1),
+                  TablePrinter::Fmt(*std::min_element(truth.begin(), truth.end()), 1)});
+  }
+  double count = static_cast<double>(cases.size());
+  table.AddRow({"MEAN", TablePrinter::Fmt(hr_sum / count, 3),
+                TablePrinter::Fmt(ndcg_sum / count, 3), "", ""});
+  table.Print(std::cout, "Snapshot ranking quality (validation data, cluster " +
+                             env.name + ")");
+  return 0;
+}
+
+int CmdSweep(const FlagParser& flags) {
+  if (flags.positional().size() < 3) {
+    std::cerr << "usage: lite_cli sweep <App> <knob> [--size-mb N] "
+                 "[--cluster A|B|C] [--steps N]\n";
+    return 1;
+  }
+  const auto* app = spark::AppCatalog::Find(flags.positional()[1]);
+  const auto& space = spark::KnobSpace::Spark16();
+  int knob = space.IndexOf(flags.positional()[2]);
+  if (app == nullptr || knob < 0) {
+    std::cerr << "unknown application or knob\n";
+    return 1;
+  }
+  spark::ClusterEnv env = ClusterByName(flags.GetString("cluster"));
+  double size = flags.GetDouble("size-mb");
+  if (size <= 0) size = app->validation_size_mb;
+  spark::DataSpec data = app->MakeData(size);
+  spark::SparkRunner runner;
+
+  const auto& spec = space.spec(static_cast<size_t>(knob));
+  long steps = std::max(flags.GetInt("steps"), 2L);
+  TablePrinter table({spec.name, "exec time (s)"});
+  for (long i = 0; i < steps; ++i) {
+    double v = spec.min_value +
+               (spec.max_value - spec.min_value) * static_cast<double>(i) /
+                   static_cast<double>(steps - 1);
+    spark::Config c = space.DefaultConfig();
+    c[static_cast<size_t>(knob)] = v;
+    c = space.Clamp(c);
+    table.AddRow({TablePrinter::Fmt(c[static_cast<size_t>(knob)], 2),
+                  TablePrinter::Fmt(runner.Measure(*app, data, env, c), 1)});
+  }
+  table.Print(std::cout, app->name + " response to " + spec.name);
+  return 0;
+}
+
+int Usage() {
+  std::cerr << "lite_cli — LITE Spark-tuning reproduction CLI\n"
+               "subcommands: catalog | simulate | train | recommend | evaluate |\n"
+               "             explain | sweep | dag\n"
+               "run 'lite_cli <subcommand>' with no args for usage.\n";
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  FlagParser flags;
+  flags.AddString("cluster", "A", "evaluation cluster (A, B, or C)");
+  flags.AddDouble("size-mb", 0, "input datasize in MB (0 = app default)");
+  flags.AddBool("event-log", false, "print the JSON event log");
+  flags.AddString("set", "", "knob overrides: name=value,name=value");
+  flags.AddString("trace", "", "write a chrome://tracing JSON of the run");
+  flags.AddString("out", "", "snapshot output directory (train)");
+  flags.AddString("model", "", "snapshot directory (recommend)");
+  flags.AddInt("epochs", 20, "NECS training epochs");
+  flags.AddInt("configs-per-setting", 5, "sampled configs per (app,size,cluster)");
+  flags.AddInt("ensemble", 2, "NECS ensemble size");
+  flags.AddDouble("top-fraction", 0.25, "ACG top-instance fraction");
+  flags.AddInt("candidates", 160, "candidates sampled per recommendation");
+  flags.AddInt("steps", 8, "sweep steps");
+  std::string error;
+  if (!flags.Parse(argc - 1, argv + 1, &error)) {
+    std::cerr << error << "\n" << flags.HelpText();
+    return 1;
+  }
+  if (flags.positional().empty()) return Usage();
+  const std::string& cmd = flags.positional()[0];
+  if (cmd == "catalog") return CmdCatalog();
+  if (cmd == "simulate") return CmdSimulate(flags);
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "recommend") return CmdRecommend(flags);
+  if (cmd == "evaluate") return CmdEvaluate(flags);
+  if (cmd == "sweep") return CmdSweep(flags);
+  if (cmd == "dag") return CmdDag(flags);
+  if (cmd == "explain") return CmdExplain(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace lite
+
+int main(int argc, char** argv) { return lite::Main(argc, argv); }
