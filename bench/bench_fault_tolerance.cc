@@ -1,0 +1,226 @@
+// Fault-tolerance extension — tuning under an unreliable cluster. A seeded
+// FaultPlan injects transient submission errors, fetch failures, stragglers
+// and executor loss into the simulated cluster; every condition replays the
+// exact same fault sequence. Conditions:
+//
+//   Default / LITE, faults off   — the clean protocol (reference);
+//   LITE, faults + resilient     — submissions retried with capped backoff,
+//                                  capped runs fed back as right-censored;
+//   LITE, faults + naive         — no retries, failed runs fed back with
+//                                  the failure-cap sentinel as real labels.
+//
+// Reported regret is the experienced time of the recommended configuration
+// (including retry waste; the cap when the submission ultimately failed)
+// normalized by the clean default-config time. The naive protocol both
+// loses measurements to transient faults and poisons the Adaptive Model
+// Update with sentinel labels, so its regret must be strictly worse than
+// the censoring-aware harness — the acceptance check printed at the end,
+// together with the harness recovery rate (>= 90% of transient-failure
+// submissions) and the never-retry-deterministic-failures invariant.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sparksim/resilient_runner.h"
+
+using namespace lite;
+using namespace lite::bench;
+
+namespace {
+
+struct Task {
+  const spark::ApplicationSpec* app;
+  spark::DataSpec data;
+};
+
+struct ConditionResult {
+  std::string label;
+  double mean_experienced_ratio = 0.0;  ///< experienced / clean default.
+  double mean_clean_rec_ratio = 0.0;    ///< clean(recommended) / clean default.
+  size_t failed_submissions = 0;
+  spark::FaultStats stats;
+};
+
+std::vector<Task> MakeTasks(const ScaleProfile& profile) {
+  std::vector<Task> tasks;
+  for (const auto& app : spark::AppCatalog::All()) {
+    tasks.push_back({&app, app.MakeData(app.validation_size_mb)});
+    if (profile.name != "smoke") {
+      tasks.push_back({&app, app.MakeData(app.test_size_mb)});
+    }
+  }
+  return tasks;
+}
+
+/// One full online sequence of LITE under the given fault condition. The
+/// model is trained from scratch with identical seeds, so every condition
+/// starts from bit-identical weights; only the execution environment and
+/// the feedback protocol differ.
+ConditionResult RunLiteCondition(const std::string& label,
+                                 const ScaleProfile& profile,
+                                 const spark::SparkRunner& runner,
+                                 const std::vector<Task>& tasks,
+                                 bool faults_on, bool censored_feedback,
+                                 int max_attempts, uint64_t fault_seed) {
+  LiteOptions opts;
+  opts.corpus = MakeCorpusOptions(profile, {}, {spark::ClusterEnv::ClusterA()});
+  ApplyLiteProfile(profile, &opts);
+  opts.censored_feedback = censored_feedback;
+  opts.update.epochs = 3;
+  opts.update_batch = 40;
+  LiteSystem system(&runner, opts);
+  system.TrainOffline();
+
+  spark::FaultPlan plan =
+      faults_on ? spark::FaultPlan(spark::FaultOptions::Moderate(fault_seed))
+                : spark::FaultPlan{};
+  spark::RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  spark::ResilientRunner harness(&runner, plan, policy);
+
+  const spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+  const auto& space = spark::KnobSpace::Spark16();
+  spark::Config def = space.DefaultConfig();
+  Rng explore_rng(909);  // identical exploration stream in every condition.
+
+  ConditionResult res;
+  res.label = label;
+  for (const auto& task : tasks) {
+    double t_default = runner.Measure(*task.app, task.data, env, def);
+    LiteSystem::Recommendation rec =
+        system.Recommend(*task.app, task.data, env);
+    spark::MeasureOutcome m =
+        harness.MeasureDetailed(*task.app, task.data, env, rec.config);
+    if (m.failed) ++res.failed_submissions;
+    res.mean_experienced_ratio += m.charge_seconds() / t_default;
+    res.mean_clean_rec_ratio +=
+        runner.Measure(*task.app, task.data, env, rec.config) / t_default;
+
+    // Online feedback: the recommended run plus two exploration probes per
+    // task (Fig. 2's loop). Under faults it flows through the harness so
+    // retries and censoring shape what the model update sees.
+    if (faults_on) {
+      system.CollectFeedback(*task.app, task.data, env, rec.config, &harness);
+      for (int k = 0; k < 2; ++k) {
+        system.CollectFeedback(*task.app, task.data, env,
+                               space.RandomConfig(&explore_rng), &harness);
+      }
+    } else {
+      system.CollectFeedback(*task.app, task.data, env, rec.config);
+      for (int k = 0; k < 2; ++k) {
+        system.CollectFeedback(*task.app, task.data, env,
+                               space.RandomConfig(&explore_rng));
+      }
+    }
+  }
+  res.mean_experienced_ratio /= static_cast<double>(tasks.size());
+  res.mean_clean_rec_ratio /= static_cast<double>(tasks.size());
+  res.stats = harness.stats();
+  return res;
+}
+
+/// The Default baseline just submits the factory configuration.
+ConditionResult RunDefaultCondition(const std::string& label,
+                                    const spark::SparkRunner& runner,
+                                    const std::vector<Task>& tasks,
+                                    bool faults_on, uint64_t fault_seed) {
+  spark::FaultPlan plan =
+      faults_on ? spark::FaultPlan(spark::FaultOptions::Moderate(fault_seed))
+                : spark::FaultPlan{};
+  spark::ResilientRunner harness(&runner, plan);
+  const spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+  spark::Config def = spark::KnobSpace::Spark16().DefaultConfig();
+
+  ConditionResult res;
+  res.label = label;
+  for (const auto& task : tasks) {
+    double t_default = runner.Measure(*task.app, task.data, env, def);
+    spark::MeasureOutcome m =
+        harness.MeasureDetailed(*task.app, task.data, env, def);
+    if (m.failed) ++res.failed_submissions;
+    res.mean_experienced_ratio += m.charge_seconds() / t_default;
+    res.mean_clean_rec_ratio += 1.0;
+  }
+  res.mean_experienced_ratio /= static_cast<double>(tasks.size());
+  res.mean_clean_rec_ratio /= static_cast<double>(tasks.size());
+  res.stats = harness.stats();
+  return res;
+}
+
+bool AttemptAccountingHolds(const spark::FaultStats& s) {
+  // Every retried transient failure adds one attempt; deterministic
+  // failures and exhausted submissions never do — so this identity holds
+  // exactly iff no deterministic failure was ever retried.
+  return s.attempts == s.submissions + s.transient_failures - s.retries_exhausted;
+}
+
+}  // namespace
+
+int main() {
+  ScaleProfile profile = GetScaleProfile();
+  spark::SparkRunner runner;
+  const uint64_t kFaultSeed = 2024;
+  std::cout << "Fault tolerance — tuning on an unreliable cluster (scale="
+            << profile.name << ", fault seed " << kFaultSeed << ")\n\n";
+
+  std::vector<Task> tasks = MakeTasks(profile);
+
+  std::vector<ConditionResult> rows;
+  rows.push_back(RunDefaultCondition("Default, faults off", runner, tasks,
+                                     /*faults_on=*/false, kFaultSeed));
+  rows.push_back(RunDefaultCondition("Default, faults on (resilient)", runner,
+                                     tasks, /*faults_on=*/true, kFaultSeed));
+  rows.push_back(RunLiteCondition("LITE, faults off", profile, runner, tasks,
+                                  /*faults_on=*/false, /*censored=*/true,
+                                  /*max_attempts=*/4, kFaultSeed));
+  ConditionResult resilient = RunLiteCondition(
+      "LITE, faults on, resilient+censored", profile, runner, tasks,
+      /*faults_on=*/true, /*censored=*/true, /*max_attempts=*/4, kFaultSeed);
+  rows.push_back(resilient);
+  ConditionResult naive = RunLiteCondition(
+      "LITE, faults on, naive (no retry, sentinel labels)", profile, runner,
+      tasks, /*faults_on=*/true, /*censored=*/false, /*max_attempts=*/1,
+      kFaultSeed);
+  rows.push_back(naive);
+
+  TablePrinter table({"Condition", "t/t_def (experienced)", "t/t_def (clean rec)",
+                      "failed", "recovery", "wasted (s)"});
+  for (const auto& r : rows) {
+    table.AddRow({r.label, TablePrinter::Fmt(r.mean_experienced_ratio, 3),
+                  TablePrinter::Fmt(r.mean_clean_rec_ratio, 3),
+                  std::to_string(r.failed_submissions),
+                  TablePrinter::Fmt(r.stats.RecoveryRate(), 3),
+                  TablePrinter::Fmt(r.stats.wasted_seconds, 0)});
+  }
+  table.Print(std::cout, "Mean regret vs clean default over " +
+                             std::to_string(tasks.size()) + " tasks");
+
+  const spark::FaultStats& s = resilient.stats;
+  std::cout << "\nResilient harness counters: " << s.submissions
+            << " submissions, " << s.attempts << " attempts, "
+            << s.transient_failures << " transient failures, " << s.recovered
+            << " recovered, " << s.retries_exhausted << " exhausted, "
+            << s.deterministic_failures << " deterministic (OOM-class), "
+            << TablePrinter::Fmt(s.wasted_seconds, 0) << " s wasted\n\n";
+
+  bool recovery_ok = s.RecoveryRate() >= 0.9 && s.transient_failures > 0;
+  std::cout << "CHECK recovery >= 90% of transient-failure submissions: "
+            << TablePrinter::Fmt(s.RecoveryRate() * 100.0, 1) << "% — "
+            << (recovery_ok ? "PASS" : "FAIL") << "\n";
+
+  bool no_det_retry =
+      AttemptAccountingHolds(s) && AttemptAccountingHolds(naive.stats);
+  std::cout << "CHECK deterministic failures never retried (attempt "
+               "accounting): "
+            << (no_det_retry ? "PASS" : "FAIL") << " ("
+            << s.deterministic_failures << " observed)\n";
+
+  bool censoring_better =
+      resilient.mean_experienced_ratio < naive.mean_experienced_ratio;
+  std::cout << "CHECK censored handling strictly better than naive under "
+               "faults: "
+            << TablePrinter::Fmt(resilient.mean_experienced_ratio, 3) << " vs "
+            << TablePrinter::Fmt(naive.mean_experienced_ratio, 3) << " — "
+            << (censoring_better ? "PASS" : "FAIL") << "\n";
+
+  return (recovery_ok && no_det_retry && censoring_better) ? 0 : 1;
+}

@@ -188,9 +188,8 @@ std::vector<RankingCase> CorpusBuilder::BuildRankingCases(
       CandidateEval ce;
       ce.config = config;
       ce.failed = run.failed;
-      ce.true_seconds = run.failed
-                            ? runner_->cost_model().options().failure_cap_seconds
-                            : run.total_seconds;
+      ce.true_seconds =
+          run.failed ? runner_->failure_cap_seconds() : run.total_seconds;
       // One query instance per stage spec (first execution), with reps.
       // Failed runs stop early and would otherwise contribute fewer stage
       // instances, biasing stage-level predicted totals low — exactly the

@@ -72,6 +72,7 @@ std::vector<StageInstance> FeatureExtractor::ExtractRun(
 
     inst.stage_seconds = sr.seconds;
     inst.y = TargetFromSeconds(sr.seconds);
+    inst.censored = sr.failed;  // failed stages report the cap, not a label.
     inst.app_total_seconds = app_total_seconds;
 
     // "S" baseline features: the stage-level statistics visible in the

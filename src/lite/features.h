@@ -41,6 +41,10 @@ struct StageInstance {
   // 3 orders of magnitude between training and testing jobs.
   double y = 0.0;
   double stage_seconds = 0.0;
+  // Right-censored observation: the stage hit the failure/timeout cap, so
+  // `y` is a lower bound on the true time rather than a real label.
+  // Censoring-aware training (AdaptiveModelUpdater) one-sides the loss.
+  bool censored = false;
 
   // Extras for the non-code baselines of Table VII.
   std::vector<double> stage_stats;  ///< "S" features (monitor-UI statistics).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sparksim/resilient_runner.h"
 #include "util/logging.h"
 
 namespace lite {
@@ -90,6 +91,44 @@ void LiteSystem::CollectFeedback(const spark::ApplicationSpec& app,
   // target-domain stage instances from the observed run.
   spark::AppRunResult run = runner_->cost_model().Run(app, data, env, config);
   if (run.failed) return;  // failed runs carry no stage-level labels.
+  IngestFeedbackRun(app, data, env, config, run, /*sentinel_labels=*/false);
+}
+
+void LiteSystem::CollectFeedback(const spark::ApplicationSpec& app,
+                                 const spark::DataSpec& data,
+                                 const spark::ClusterEnv& env,
+                                 const spark::Config& config,
+                                 spark::ResilientRunner* harness) {
+  LITE_CHECK(trained_) << "CollectFeedback before TrainOffline";
+  LITE_CHECK(harness != nullptr) << "CollectFeedback: null harness";
+  spark::MeasureOutcome m = harness->MeasureDetailed(app, data, env, config);
+  if (!m.result.failed) {
+    IngestFeedbackRun(app, data, env, config, m.result,
+                      /*sentinel_labels=*/false);
+    return;
+  }
+  if (options_.censored_feedback) {
+    // Transient exhaustion carries no information about the configuration —
+    // drop it. Deterministic failures keep their successful stage prefix as
+    // real labels plus the capped failing stage, which the extractor marks
+    // censored so the updater one-sides its loss.
+    if (m.transient) return;
+    IngestFeedbackRun(app, data, env, config, m.result,
+                      /*sentinel_labels=*/false);
+    return;
+  }
+  // Naive protocol: pretend the cap is a real observation for every kept
+  // stage. This is what fitting the 7200 s sentinel looks like.
+  IngestFeedbackRun(app, data, env, config, m.result,
+                    /*sentinel_labels=*/true);
+}
+
+void LiteSystem::IngestFeedbackRun(const spark::ApplicationSpec& app,
+                                   const spark::DataSpec& data,
+                                   const spark::ClusterEnv& env,
+                                   const spark::Config& config,
+                                   const spark::AppRunResult& run,
+                                   bool sentinel_labels) {
   spark::AppArtifacts artifacts = runner_->instrumenter().Instrument(app);
   FeatureExtractor extractor(corpus_.vocab.get(), corpus_.op_vocab.get(),
                              corpus_.max_code_tokens, corpus_.bow_dims);
@@ -104,8 +143,17 @@ void LiteSystem::CollectFeedback(const spark::ApplicationSpec& app,
       kept.push_back(sr);
     }
   }
+  double total = run.total_seconds;
+  if (sentinel_labels) {
+    double sentinel = runner_->failure_cap_seconds();
+    for (auto& sr : kept) {
+      sr.seconds = sentinel;
+      sr.failed = false;  // naive: the cap masquerades as a real label.
+    }
+    total = sentinel;
+  }
   std::vector<StageInstance> instances = extractor.ExtractRun(
-      app, artifacts, data, env, config, kept, run.total_seconds,
+      app, artifacts, data, env, config, kept, total,
       /*app_instance_id=*/-2, /*app_id=*/-1);
   feedback_.insert(feedback_.end(), instances.begin(), instances.end());
 

@@ -21,6 +21,10 @@
 
 namespace lite {
 
+namespace spark {
+class ResilientRunner;  // sparksim/resilient_runner.h
+}
+
 struct LiteOptions {
   CorpusOptions corpus;
   NecsConfig necs;
@@ -31,6 +35,13 @@ struct LiteOptions {
   size_t num_candidates = 60;
   /// Feedback batch size that triggers an adaptive update.
   size_t update_batch = 10;
+  /// Treat capped/failed feedback runs as right-censored observations
+  /// (harness-aware CollectFeedback overload): transiently failed
+  /// submissions are dropped and deterministic failures keep only their cap
+  /// value as a lower bound. When false, failed runs are ingested the naive
+  /// way — every kept stage labeled with the failure-cap sentinel as if it
+  /// were a real measurement (for ablation; this poisons the update).
+  bool censored_feedback = true;
   /// Number of independently seeded NECS models; candidate ranking uses the
   /// ensemble-mean log prediction. 1 reproduces the paper's single model;
   /// small ensembles damp the winner's curse of argmin over a noisy
@@ -67,6 +78,14 @@ class LiteSystem {
                        const spark::DataSpec& data, const spark::ClusterEnv& env,
                        const spark::Config& config);
 
+  /// Step 4 through the resilient harness: the run is submitted via
+  /// `harness` (retries, fault injection), and failed/capped outcomes are
+  /// ingested according to `LiteOptions::censored_feedback`.
+  void CollectFeedback(const spark::ApplicationSpec& app,
+                       const spark::DataSpec& data, const spark::ClusterEnv& env,
+                       const spark::Config& config,
+                       spark::ResilientRunner* harness);
+
   /// Forces an adaptive update with the currently collected feedback.
   UpdateStats ForceAdaptiveUpdate();
 
@@ -86,6 +105,15 @@ class LiteSystem {
   const LiteOptions& options() const { return options_; }
 
  private:
+  /// Extracts target-domain instances from one observed run and queues them
+  /// as feedback. `sentinel_labels` relabels every kept stage with the
+  /// failure cap (the naive protocol for failed runs).
+  void IngestFeedbackRun(const spark::ApplicationSpec& app,
+                         const spark::DataSpec& data,
+                         const spark::ClusterEnv& env,
+                         const spark::Config& config,
+                         const spark::AppRunResult& run, bool sentinel_labels);
+
   const spark::SparkRunner* runner_;
   LiteOptions options_;
   Corpus corpus_;

@@ -10,6 +10,43 @@ namespace lite {
 
 using namespace ops;
 
+namespace {
+
+// Prediction loss for one instance, or nullptr when the instance carries no
+// usable gradient (a censored target already predicted at/above the cap).
+//
+// Censored targets (capped runs) give a lower bound, not a label: the loss is
+// one-sided — quadratic while pred < y, zero once the prediction clears the
+// bound — so the model is never pulled down toward the cap value.
+//
+// huber_delta > 0 replaces the quadratic tail on real targets with a linear
+// one. The linear branch is built from existing ops: for residual r with
+// |r| > delta, pick slope g = delta*sign(r) and anchor c so that
+// g*(pred - c) equals the Huber value delta*(|r| - delta/2); the graph node
+// Scale(Sub(pred, Input(c)), g) then has both the right value and the right
+// d/dpred = g.
+VarPtr PredictionLoss(const NecsModel::ForwardResult& fwd,
+                      const StageInstance& inst, const UpdateOptions& opt) {
+  float y = static_cast<float>(inst.y);
+  float pred_val = fwd.pred->value[0];
+  if (inst.censored && opt.respect_censoring && pred_val >= y) return nullptr;
+
+  float r = pred_val - y;
+  if (opt.huber_delta > 0.0f && std::fabs(r) > opt.huber_delta &&
+      !(inst.censored && opt.respect_censoring)) {
+    float sign = r > 0.0f ? 1.0f : -1.0f;
+    float g = opt.huber_delta * sign;
+    Tensor anchor(static_cast<size_t>(1));
+    anchor[0] = pred_val - sign * (std::fabs(r) - opt.huber_delta / 2.0f);
+    return Scale(Sub(fwd.pred, Input(anchor)), g);
+  }
+  Tensor target_t(static_cast<size_t>(1));
+  target_t[0] = y;
+  return MseLoss(fwd.pred, target_t);
+}
+
+}  // namespace
+
 UpdateStats AdaptiveModelUpdater::Update(
     NecsModel* model, const std::vector<StageInstance>& source,
     const std::vector<StageInstance>& target) const {
@@ -27,6 +64,9 @@ UpdateStats AdaptiveModelUpdater::Update(
   Adam adam(all_params, options_.lr);
 
   UpdateStats stats;
+  for (const auto& t : target) {
+    if (t.censored) ++stats.censored_targets;
+  }
   size_t source_budget = std::min(
       source.size(),
       static_cast<size_t>(options_.source_per_target *
@@ -58,18 +98,16 @@ UpdateStats AdaptiveModelUpdater::Update(
         const StageInstance& inst = *items[b].inst;
         NecsModel::ForwardResult fwd = model->Forward(inst);
 
-        Tensor target_t(static_cast<size_t>(1));
-        target_t[0] = static_cast<float>(inst.y);
-        VarPtr l_p = MseLoss(fwd.pred, target_t);
+        VarPtr l_p = PredictionLoss(fwd, inst, options_);
 
         VarPtr reversed = GradReverse(fwd.hidden, options_.lambda);
         VarPtr logit = discriminator.Predict(reversed);
         VarPtr l_d = BceWithLogitsLoss(logit, items[b].domain);
 
-        VarPtr loss =
-            Scale(Add(l_p, Scale(l_d, options_.disc_weight)), inv);
+        VarPtr weighted_d = Scale(l_d, options_.disc_weight);
+        VarPtr loss = Scale(l_p ? Add(l_p, weighted_d) : weighted_d, inv);
         Backward(loss);
-        pred_loss_sum += l_p->value[0];
+        if (l_p) pred_loss_sum += l_p->value[0];
         disc_loss_sum += l_d->value[0];
         ++count;
       }

@@ -31,6 +31,17 @@ struct UpdateOptions {
   /// Source instances sampled per target instance (keeps epochs cheap when
   /// DS is much larger than DT).
   double source_per_target = 2.0;
+  /// Right-censored targets (StageInstance::censored, i.e. capped runs)
+  /// contribute a one-sided loss: the prediction is pushed up toward the
+  /// cap but never fitted to it — once pred >= y the term vanishes. When
+  /// false, censored labels are fitted like real observations (the naive
+  /// sentinel-fitting protocol; kept for ablation).
+  bool respect_censoring = true;
+  /// > 0 switches the prediction loss on *uncensored* targets from MSE to
+  /// the Huber loss with this delta (in log-target units), so a handful of
+  /// noisy/outlier measurements cannot dominate an adaptive update. 0 keeps
+  /// plain MSE (the paper's objective).
+  float huber_delta = 0.0f;
   uint64_t seed = 37;
 };
 
@@ -38,6 +49,7 @@ struct UpdateStats {
   std::vector<double> prediction_loss;      ///< per epoch, DS ∪ DT.
   std::vector<double> discriminator_loss;   ///< per epoch.
   double final_domain_accuracy = 0.0;       ///< ~0.5 = domains aligned.
+  size_t censored_targets = 0;              ///< censored instances in DT.
 };
 
 class AdaptiveModelUpdater {

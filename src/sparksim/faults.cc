@@ -1,0 +1,127 @@
+#include "sparksim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace lite::spark {
+
+namespace {
+
+// splitmix64: each call advances the stream; used to derive independent
+// uniforms from one submission-identity hash.
+uint64_t NextU64(uint64_t* s) {
+  *s += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = *s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double NextUniform(uint64_t* s) {
+  return static_cast<double>(NextU64(s) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double NextGaussian(uint64_t* s) {
+  double u1 = std::max(NextUniform(s), 1e-12);
+  double u2 = NextUniform(s);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+/// Submission-identity hash, mirroring the cost model's NoiseFactor mixing
+/// so that distinct (app, data, env, config, attempt) tuples draw
+/// independent fault streams.
+uint64_t SubmissionHash(uint64_t seed, const ApplicationSpec& app,
+                        const DataSpec& data, const ClusterEnv& env,
+                        const Config& config, int attempt) {
+  uint64_t h = seed ^ 0x8f1bbcdc2f693054ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<std::string>{}(app.name));
+  mix(std::hash<long long>{}(static_cast<long long>(data.size_mb * 16.0)));
+  mix(std::hash<std::string>{}(env.name));
+  for (double v : config) {
+    mix(std::hash<long long>{}(static_cast<long long>(v * 64.0)));
+  }
+  mix(std::hash<int>{}(attempt));
+  return h;
+}
+
+}  // namespace
+
+FaultOptions FaultOptions::Moderate(uint64_t seed) {
+  FaultOptions o;
+  o.submit_error_prob = 0.08;
+  o.fetch_failure_prob = 0.12;
+  o.executor_loss_prob = 0.10;
+  o.straggler_prob = 0.15;
+  o.noise_sigma = 0.05;
+  o.seed = seed;
+  return o;
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kSubmitError: return "submit-error";
+    case FaultKind::kFetchFailure: return "fetch-failure";
+    case FaultKind::kExecutorLoss: return "executor-loss";
+    case FaultKind::kStraggler: return "straggler";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(FaultOptions options) : options_(options) {
+  active_ = options_.submit_error_prob > 0.0 ||
+            options_.fetch_failure_prob > 0.0 ||
+            options_.executor_loss_prob > 0.0 ||
+            options_.straggler_prob > 0.0 || options_.noise_sigma > 0.0;
+}
+
+FaultDecision FaultPlan::Decide(const ApplicationSpec& app,
+                                const DataSpec& data, const ClusterEnv& env,
+                                const Config& config, int attempt,
+                                double clean_seconds) const {
+  FaultDecision d;
+  if (!active_) return d;
+  uint64_t stream =
+      SubmissionHash(options_.seed, app, data, env, config, attempt);
+
+  // Transient failures abort the attempt: submission errors fire before any
+  // execution, fetch failures after partial progress.
+  if (NextUniform(&stream) < options_.submit_error_prob) {
+    d.kind = FaultKind::kSubmitError;
+    d.transient_failure = true;
+    d.wasted_seconds = 5.0 + 25.0 * NextUniform(&stream);
+    d.failure_reason = "transient submission error (resource manager busy)";
+    return d;
+  }
+  if (NextUniform(&stream) < options_.fetch_failure_prob) {
+    d.kind = FaultKind::kFetchFailure;
+    d.transient_failure = true;
+    d.wasted_seconds = clean_seconds * (0.2 + 0.6 * NextUniform(&stream));
+    d.failure_reason = "shuffle fetch failure (executor output lost)";
+    return d;
+  }
+
+  // Survivable faults stretch the successful run.
+  if (NextUniform(&stream) < options_.executor_loss_prob) {
+    d.kind = FaultKind::kExecutorLoss;
+    d.time_multiplier *=
+        1.0 + options_.restage_fraction * (0.5 + NextUniform(&stream));
+  }
+  if (NextUniform(&stream) < options_.straggler_prob) {
+    if (d.kind == FaultKind::kNone) d.kind = FaultKind::kStraggler;
+    d.time_multiplier *= std::max(1.0, options_.straggler_slowdown);
+  }
+  if (options_.noise_sigma > 0.0) {
+    // Heteroscedastic: longer runs accumulate more interference.
+    double sigma = options_.noise_sigma *
+                   (0.5 + std::min(1.5, clean_seconds / 1800.0));
+    d.time_multiplier *= std::exp(sigma * NextGaussian(&stream));
+  }
+  return d;
+}
+
+}  // namespace lite::spark

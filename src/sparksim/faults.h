@@ -1,0 +1,106 @@
+// Deterministic fault injection for the simulated cluster. A FaultPlan
+// turns the clean analytic cost model into the messy reality the paper's
+// online phase has to survive: transient submission errors, shuffle fetch
+// failures that abort a run partway, executor loss paid as re-stage cost,
+// straggler slowdowns, and heteroscedastic measurement noise on top of the
+// cost model's own lognormal factor.
+//
+// Every decision is a pure function of (seed, submission identity, attempt
+// number), so a fixed seed reproduces the exact same fault sequence — and
+// the exact same retry sequence in ResilientRunner — regardless of call
+// order. A default-constructed FaultPlan is inert: it injects nothing and
+// every consumer behaves bit-identically to the fault-free simulator.
+#ifndef LITE_SPARKSIM_FAULTS_H_
+#define LITE_SPARKSIM_FAULTS_H_
+
+#include <string>
+
+#include "sparksim/application.h"
+#include "sparksim/environment.h"
+#include "sparksim/knob.h"
+
+namespace lite::spark {
+
+/// Per-submission fault probabilities and magnitudes. All probabilities are
+/// evaluated independently per attempt; 0 everywhere (the default) disables
+/// injection entirely.
+struct FaultOptions {
+  /// Transient submission rejection (resource manager busy, AM startup
+  /// failure). Detected within seconds; always worth retrying.
+  double submit_error_prob = 0.0;
+  /// Shuffle fetch failure after stage retries are exhausted: the run
+  /// aborts partway through, wasting a fraction of its clean runtime.
+  double fetch_failure_prob = 0.0;
+  /// Transient executor loss survived by Spark's own task re-execution:
+  /// the run succeeds but pays a re-stage cost.
+  double executor_loss_prob = 0.0;
+  /// Extra runtime fraction charged when an executor is lost (scaled by a
+  /// per-event draw in [0.5, 1.5]).
+  double restage_fraction = 0.3;
+  /// A straggler node stretches the run by `straggler_slowdown`.
+  double straggler_prob = 0.0;
+  double straggler_slowdown = 1.8;
+  /// Heteroscedastic measurement noise: lognormal with sigma growing with
+  /// the clean runtime (long runs see more interference), multiplied on top
+  /// of the cost model's stationary noise.
+  double noise_sigma = 0.0;
+  uint64_t seed = 0;
+
+  /// A moderately hostile cluster: ~8% submit errors, ~12% fetch failures,
+  /// 10% executor loss, 15% stragglers, 5% extra noise.
+  static FaultOptions Moderate(uint64_t seed);
+};
+
+enum class FaultKind {
+  kNone,
+  kSubmitError,
+  kFetchFailure,
+  kExecutorLoss,
+  kStraggler,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// What the plan decided for one submission attempt.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  /// True when the attempt fails transiently (submission must be retried to
+  /// obtain a measurement). Deterministic failures never come from here —
+  /// the cost model produces those.
+  bool transient_failure = false;
+  /// Simulated seconds burnt by a failed attempt before the failure is
+  /// detected (queue time for submit errors, partial execution for fetch
+  /// failures).
+  double wasted_seconds = 0.0;
+  /// Runtime multiplier applied to a *successful* attempt (re-stage cost,
+  /// straggler stretch, measurement noise; 1.0 when nothing fired).
+  double time_multiplier = 1.0;
+  std::string failure_reason;
+};
+
+class FaultPlan {
+ public:
+  /// Inert plan: Decide() always returns a clean no-fault decision.
+  FaultPlan() = default;
+  explicit FaultPlan(FaultOptions options);
+
+  /// True when any fault channel can fire.
+  bool active() const { return active_; }
+  const FaultOptions& options() const { return options_; }
+
+  /// Decides the fate of attempt `attempt` (1-based) of submitting
+  /// (app, data, env, config). `clean_seconds` is the fault-free runtime of
+  /// the run, used to size partial-progress waste and noise. Pure function:
+  /// identical arguments always produce the identical decision.
+  FaultDecision Decide(const ApplicationSpec& app, const DataSpec& data,
+                       const ClusterEnv& env, const Config& config,
+                       int attempt, double clean_seconds) const;
+
+ private:
+  FaultOptions options_;
+  bool active_ = false;
+};
+
+}  // namespace lite::spark
+
+#endif  // LITE_SPARKSIM_FAULTS_H_

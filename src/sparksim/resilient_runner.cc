@@ -1,0 +1,95 @@
+#include "sparksim/resilient_runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lite::spark {
+
+double BackoffSeconds(const RetryPolicy& policy, int retry_index) {
+  double wait = policy.backoff_base_seconds *
+                std::pow(policy.backoff_multiplier,
+                         static_cast<double>(std::max(retry_index, 0)));
+  return std::min(wait, policy.backoff_cap_seconds);
+}
+
+MeasureOutcome ResilientRunner::MeasureDetailed(const ApplicationSpec& app,
+                                                const DataSpec& data,
+                                                const ClusterEnv& env,
+                                                const Config& config) {
+  const double cap = failure_cap_seconds();
+  MeasureOutcome out;
+  ++stats_.submissions;
+
+  int max_attempts = std::max(policy_.max_attempts, 1);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++stats_.attempts;
+    out.attempts = attempt;
+    AppRunResult run = runner_->cost_model().Run(app, data, env, config);
+
+    if (run.failed) {
+      // Deterministic failure: the same configuration fails the same way on
+      // every cluster — retrying only burns budget. Fail fast, censor.
+      out.failed = true;
+      out.censored = true;
+      out.transient = false;
+      out.seconds = cap;
+      out.failure_reason = run.failure_reason;
+      out.result = std::move(run);
+      ++stats_.deterministic_failures;
+      break;
+    }
+
+    FaultDecision d = plan_.active()
+                          ? plan_.Decide(app, data, env, config, attempt,
+                                         run.total_seconds)
+                          : FaultDecision{};
+    if (d.transient_failure) {
+      ++stats_.transient_failures;
+      out.wasted_seconds += d.wasted_seconds;
+      bool budget_left =
+          out.wasted_seconds + BackoffSeconds(policy_, attempt - 1) <=
+          policy_.retry_budget_seconds;
+      if (attempt < max_attempts && budget_left) {
+        out.wasted_seconds += BackoffSeconds(policy_, attempt - 1);
+        continue;
+      }
+      // Retries exhausted: report the censored cap. The run object reflects
+      // what the cluster observed — a failed submission.
+      out.failed = true;
+      out.censored = true;
+      out.transient = true;
+      out.seconds = cap;
+      out.failure_reason = d.failure_reason;
+      run.failed = true;
+      run.failure_reason = d.failure_reason;
+      run.total_seconds = cap;
+      out.result = std::move(run);
+      ++stats_.retries_exhausted;
+      break;
+    }
+
+    // Success (possibly stretched by survivable faults / noise).
+    if (d.time_multiplier != 1.0) {
+      for (auto& sr : run.stage_runs) sr.seconds *= d.time_multiplier;
+      run.total_seconds *= d.time_multiplier;
+    }
+    run.total_seconds = std::min(run.total_seconds, cap);
+    out.seconds = run.total_seconds;
+    out.censored = out.seconds >= cap;
+    out.failed = false;
+    out.result = std::move(run);
+    if (attempt > 1) ++stats_.recovered;
+    break;
+  }
+
+  stats_.wasted_seconds += out.wasted_seconds;
+  return out;
+}
+
+double ResilientRunner::Measure(const ApplicationSpec& app,
+                                const DataSpec& data, const ClusterEnv& env,
+                                const Config& config) {
+  return MeasureDetailed(app, data, env, config).seconds;
+}
+
+}  // namespace lite::spark

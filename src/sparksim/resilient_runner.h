@@ -1,0 +1,118 @@
+// Resilient execution harness: wraps SparkRunner with failure
+// classification and a capped-exponential-backoff retry loop so tuners and
+// the LITE online phase observe honest measurements instead of silently
+// swallowing the 2-hour failure cap.
+//
+//   * transient failures (injected by a FaultPlan: submission errors, fetch
+//     failures) are retried with capped exponential backoff under a
+//     per-submission wasted-time budget;
+//   * deterministic failures (OOM, maxResultSize, infeasible placement —
+//     anything the cost model itself reports) fail fast and are NEVER
+//     retried: the same configuration fails the same way every time;
+//   * the result carries censoring information so the learning stack can
+//     treat capped runs as right-censored observations rather than fitting
+//     the 7200 s sentinel.
+//
+// With an inert FaultPlan (the default) the harness is transparent:
+// Measure() is bit-identical to SparkRunner::Measure().
+#ifndef LITE_SPARKSIM_RESILIENT_RUNNER_H_
+#define LITE_SPARKSIM_RESILIENT_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sparksim/faults.h"
+#include "sparksim/runner.h"
+
+namespace lite::spark {
+
+/// Retry schedule for transient failures. Backoff for the k-th retry
+/// (k = 0, 1, ...) is base * multiplier^k, capped at backoff_cap_seconds.
+struct RetryPolicy {
+  int max_attempts = 4;                  ///< total attempts per submission.
+  double backoff_base_seconds = 15.0;
+  double backoff_multiplier = 2.0;
+  double backoff_cap_seconds = 120.0;
+  /// Wasted-time budget per submission (failed attempts + backoff). Once
+  /// exceeded, the harness gives up even if attempts remain.
+  double retry_budget_seconds = 1800.0;
+};
+
+/// Backoff before the k-th retry (0-based), per the capped schedule above.
+double BackoffSeconds(const RetryPolicy& policy, int retry_index);
+
+/// One submission's fate after classification and retries.
+struct MeasureOutcome {
+  /// Reported measurement: the (possibly fault-stretched) runtime on
+  /// success, or the failure cap when the submission ultimately failed.
+  double seconds = 0.0;
+  bool failed = false;
+  /// True when `seconds` is the failure cap (or clamped at it) rather than
+  /// an actual observation — a right-censored measurement.
+  bool censored = false;
+  /// True when the final failure was transient (retries exhausted), false
+  /// for deterministic fail-fast failures.
+  bool transient = false;
+  int attempts = 0;
+  std::string failure_reason;
+  /// Simulated seconds burnt on failed attempts and backoff waits.
+  double wasted_seconds = 0.0;
+  /// The final attempt's run (stage times scaled by any survivable-fault
+  /// multiplier; `failed` forced true when retries were exhausted).
+  AppRunResult result;
+
+  /// What a budgeted tuner should charge for this submission.
+  double charge_seconds() const { return seconds + wasted_seconds; }
+};
+
+/// Lifetime counters across all submissions through one harness.
+struct FaultStats {
+  uint64_t submissions = 0;
+  uint64_t attempts = 0;
+  uint64_t transient_failures = 0;      ///< failed attempts (pre-retry).
+  uint64_t deterministic_failures = 0;  ///< fail-fast submissions.
+  uint64_t recovered = 0;               ///< succeeded after >= 1 retry.
+  uint64_t retries_exhausted = 0;       ///< gave up on a transient failure.
+  double wasted_seconds = 0.0;
+
+  /// Fraction of transient-failure submissions eventually recovered.
+  double RecoveryRate() const {
+    uint64_t hit = recovered + retries_exhausted;
+    return hit == 0 ? 1.0
+                    : static_cast<double>(recovered) / static_cast<double>(hit);
+  }
+};
+
+class ResilientRunner {
+ public:
+  explicit ResilientRunner(const SparkRunner* runner, FaultPlan plan = {},
+                           RetryPolicy policy = {})
+      : runner_(runner), plan_(std::move(plan)), policy_(policy) {}
+
+  /// Full-fidelity submission: classify, retry, report censoring.
+  MeasureOutcome MeasureDetailed(const ApplicationSpec& app,
+                                 const DataSpec& data, const ClusterEnv& env,
+                                 const Config& config);
+
+  /// Drop-in replacement for SparkRunner::Measure (outcome.seconds).
+  double Measure(const ApplicationSpec& app, const DataSpec& data,
+                 const ClusterEnv& env, const Config& config);
+
+  const SparkRunner* runner() const { return runner_; }
+  double failure_cap_seconds() const { return runner_->failure_cap_seconds(); }
+  bool fault_injection_active() const { return plan_.active(); }
+  const FaultPlan& plan() const { return plan_; }
+  const RetryPolicy& policy() const { return policy_; }
+  const FaultStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FaultStats{}; }
+
+ private:
+  const SparkRunner* runner_;
+  FaultPlan plan_;
+  RetryPolicy policy_;
+  FaultStats stats_;
+};
+
+}  // namespace lite::spark
+
+#endif  // LITE_SPARKSIM_RESILIENT_RUNNER_H_

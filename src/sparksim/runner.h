@@ -34,6 +34,13 @@ class SparkRunner {
   const CostModel& cost_model() const { return cost_model_; }
   const Instrumenter& instrumenter() const { return instrumenter_; }
 
+  /// The paper's 2-hour failure/timeout cap. Every consumer that needs to
+  /// compare a measurement against the cap must use this accessor — the cap
+  /// is a protocol constant of the deployment, not a per-call magic number.
+  double failure_cap_seconds() const {
+    return cost_model_.options().failure_cap_seconds;
+  }
+
  private:
   CostModel cost_model_;
   Instrumenter instrumenter_;

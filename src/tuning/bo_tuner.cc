@@ -14,7 +14,7 @@ using spark::KnobSpace;
 
 BoTuner::BoTuner(const spark::SparkRunner* runner, const Corpus* corpus,
                  BoOptions options)
-    : runner_(runner), corpus_(corpus), options_(options) {}
+    : ExecutingTuner(runner), corpus_(corpus), options_(options) {}
 
 std::vector<Config> BoTuner::WarmStartConfigs(const TuningTask& task,
                                               Rng* rng) const {
@@ -68,11 +68,14 @@ TuningResult BoTuner::Tune(const TuningTask& task, double budget_seconds) {
   std::vector<double> ys;               // log execution times.
 
   auto run_trial = [&](const Config& config) -> bool {
-    double t = runner_->Measure(*task.app, task.data, task.env, config);
+    spark::MeasureOutcome m =
+        exec_.MeasureDetailed(*task.app, task.data, task.env, config);
+    double t = m.seconds;
     // Statically unschedulable submissions are rejected by the resource
     // manager in seconds; they still count as failed observations (t = cap)
     // but do not burn hours of budget.
-    double cost = spark::PlacementFeasible(task.env, config) ? t : 60.0;
+    double cost =
+        spark::PlacementFeasible(task.env, config) ? m.charge_seconds() : 60.0;
     if (!clock.Charge(cost)) return false;
     ++res.trials;
     res.trace.Record(clock.elapsed(), t);
@@ -116,7 +119,7 @@ TuningResult BoTuner::Tune(const TuningTask& task, double budget_seconds) {
   if (res.best_config.empty()) {
     res.best_config = space.DefaultConfig();
     res.best_seconds =
-        runner_->Measure(*task.app, task.data, task.env, res.best_config);
+        exec_.Measure(*task.app, task.data, task.env, res.best_config);
   }
   res.overhead_seconds = clock.elapsed();
   return res;

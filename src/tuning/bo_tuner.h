@@ -18,7 +18,7 @@ struct BoOptions {
   uint64_t seed = 47;
 };
 
-class BoTuner : public Tuner {
+class BoTuner : public ExecutingTuner {
  public:
   /// `corpus` may be null: then warm start uses random configurations.
   BoTuner(const spark::SparkRunner* runner, const Corpus* corpus,
@@ -33,7 +33,6 @@ class BoTuner : public Tuner {
   std::vector<spark::Config> WarmStartConfigs(const TuningTask& task,
                                               Rng* rng) const;
 
-  const spark::SparkRunner* runner_;
   const Corpus* corpus_;
   BoOptions options_;
 };

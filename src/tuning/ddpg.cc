@@ -119,7 +119,8 @@ void DdpgAgent::TrainStep() {
 
 DdpgTuner::DdpgTuner(const spark::SparkRunner* runner, bool use_code_features,
                      DdpgOptions options)
-    : runner_(runner), use_code_features_(use_code_features), options_(options) {}
+    : ExecutingTuner(runner), use_code_features_(use_code_features),
+      options_(options) {}
 
 std::vector<double> DdpgTuner::BuildState(const spark::AppRunResult& run,
                                           const TuningTask& task) const {
@@ -154,12 +155,11 @@ TuningResult DdpgTuner::Tune(const TuningTask& task, double budget_seconds) {
 
   // Initial observation: the default configuration.
   Config config = space.DefaultConfig();
-  spark::AppRunResult run =
-      runner_->cost_model().Run(*task.app, task.data, task.env, config);
-  double t_default = run.failed
-                         ? runner_->cost_model().options().failure_cap_seconds
-                         : run.total_seconds;
-  if (!clock.Charge(t_default)) {
+  spark::MeasureOutcome m0 =
+      exec_.MeasureDetailed(*task.app, task.data, task.env, config);
+  spark::AppRunResult run = std::move(m0.result);
+  double t_default = m0.seconds;
+  if (!clock.Charge(m0.charge_seconds())) {
     res.best_config = config;
     res.best_seconds = t_default;
     res.overhead_seconds = clock.elapsed();
@@ -179,12 +179,13 @@ TuningResult DdpgTuner::Tune(const TuningTask& task, double budget_seconds) {
       action[i] = std::clamp(action[i] + n[i], 0.0, 1.0);
     }
     Config cand = space.Denormalize(action);
-    spark::AppRunResult r =
-        runner_->cost_model().Run(*task.app, task.data, task.env, cand);
-    double t = r.failed ? runner_->cost_model().options().failure_cap_seconds
-                        : r.total_seconds;
+    spark::MeasureOutcome m =
+        exec_.MeasureDetailed(*task.app, task.data, task.env, cand);
+    spark::AppRunResult r = std::move(m.result);
+    double t = m.seconds;
     // Unschedulable submissions are rejected in seconds (see BoTuner).
-    double cost = spark::PlacementFeasible(task.env, cand) ? t : 60.0;
+    double cost =
+        spark::PlacementFeasible(task.env, cand) ? m.charge_seconds() : 60.0;
     if (!clock.Charge(cost)) break;
     ++res.trials;
     res.trace.Record(clock.elapsed(), t);

@@ -84,7 +84,7 @@ class DdpgAgent {
 /// The DDPG tuning loop: each trial executes the action's configuration,
 /// observes the Spark inner metrics as the next state, and rewards
 /// execution-time improvement over the default.
-class DdpgTuner : public Tuner {
+class DdpgTuner : public ExecutingTuner {
  public:
   /// `use_code_features` turns this into DDPG-C: the application's code
   /// bag-of-words is appended to the state (QTune's query-aware variant).
@@ -98,7 +98,6 @@ class DdpgTuner : public Tuner {
   std::vector<double> BuildState(const spark::AppRunResult& run,
                                  const TuningTask& task) const;
 
-  const spark::SparkRunner* runner_;
   bool use_code_features_;
   DdpgOptions options_;
   static constexpr size_t kCodeDims = 16;

@@ -11,7 +11,7 @@ using spark::KnobSpace;
 
 MlpTuner::MlpTuner(const spark::SparkRunner* runner, const Corpus* corpus,
                    size_t num_candidates, TrainOptions train, uint64_t seed)
-    : runner_(runner), corpus_(corpus), num_candidates_(num_candidates),
+    : ExecutingTuner(runner), corpus_(corpus), num_candidates_(num_candidates),
       train_(train), seed_(seed) {}
 
 void MlpTuner::Fit() {
@@ -26,7 +26,7 @@ TuningResult MlpTuner::Tune(const TuningTask& task, double budget_seconds) {
   LITE_CHECK(estimator_ != nullptr) << "MlpTuner::Fit not called";
   const auto& space = KnobSpace::Spark16();
   Rng rng(seed_ ^ std::hash<std::string>{}(task.app->name));
-  CorpusBuilder builder(runner_);
+  CorpusBuilder builder(exec_.runner());
 
   TuningResult res;
   double best_pred = std::numeric_limits<double>::infinity();
@@ -44,7 +44,7 @@ TuningResult MlpTuner::Tune(const TuningTask& task, double budget_seconds) {
   if (res.best_config.empty()) res.best_config = space.DefaultConfig();
   res.trials = 1;
   res.best_seconds =
-      runner_->Measure(*task.app, task.data, task.env, res.best_config);
+      exec_.Measure(*task.app, task.data, task.env, res.best_config);
   res.overhead_seconds = 2.0;  // model inference, order of seconds.
   res.trace.Record(res.overhead_seconds, res.best_seconds);
   return res;
@@ -57,12 +57,19 @@ TuningResult LiteTuner::Tune(const TuningTask& task, double budget_seconds) {
   TuningResult res;
   res.best_config = rec.config;
   res.best_seconds =
-      runner_->Measure(*task.app, task.data, task.env, rec.config);
+      exec_.Measure(*task.app, task.data, task.env, rec.config);
   res.overhead_seconds = rec.recommend_wall_seconds;
   res.trials = 1;
   res.trace.Record(res.overhead_seconds, res.best_seconds);
   if (collect_feedback_) {
-    system_->CollectFeedback(*task.app, task.data, task.env, rec.config);
+    if (exec_.fault_injection_active()) {
+      // Under faults, feedback flows through the resilient harness so the
+      // learning stack sees retried measurements and censoring flags.
+      system_->CollectFeedback(*task.app, task.data, task.env, rec.config,
+                               &exec_);
+    } else {
+      system_->CollectFeedback(*task.app, task.data, task.env, rec.config);
+    }
   }
   return res;
 }

@@ -18,7 +18,7 @@ namespace lite {
 /// the top one. (At recommendation time the monitor-UI statistics of unseen
 /// configurations are unavailable and zeroed — the weakness the paper
 /// points out for this class of baseline.)
-class MlpTuner : public Tuner {
+class MlpTuner : public ExecutingTuner {
  public:
   MlpTuner(const spark::SparkRunner* runner, const Corpus* corpus,
            size_t num_candidates, TrainOptions train, uint64_t seed);
@@ -30,7 +30,6 @@ class MlpTuner : public Tuner {
   std::string name() const override { return "MLP"; }
 
  private:
-  const spark::SparkRunner* runner_;
   const Corpus* corpus_;
   size_t num_candidates_;
   TrainOptions train_;
@@ -41,20 +40,21 @@ class MlpTuner : public Tuner {
 /// LITE exposed as a Tuner: recommendation is a single model-ranked pick
 /// from the adaptive candidate region, so tuning overhead is the model
 /// inference time (sub-second), not execution trials.
-class LiteTuner : public Tuner {
+class LiteTuner : public ExecutingTuner {
  public:
   /// When `collect_feedback` is set, every tuned job's observed run is fed
   /// back to the system (Fig. 2's online loop), periodically triggering the
-  /// adversarial Adaptive Model Update.
+  /// adversarial Adaptive Model Update. With faults installed, feedback is
+  /// collected through the resilient harness (censoring-aware).
   explicit LiteTuner(const spark::SparkRunner* runner, LiteSystem* system,
                      bool collect_feedback = false)
-      : runner_(runner), system_(system), collect_feedback_(collect_feedback) {}
+      : ExecutingTuner(runner), system_(system),
+        collect_feedback_(collect_feedback) {}
 
   TuningResult Tune(const TuningTask& task, double budget_seconds) override;
   std::string name() const override { return "LITE"; }
 
  private:
-  const spark::SparkRunner* runner_;
   LiteSystem* system_;
   bool collect_feedback_ = false;
 };

@@ -39,9 +39,11 @@ TuningResult ShaTuner::Tune(const TuningTask& task, double budget_seconds) {
 
     std::vector<double> scores(pool.size());
     for (size_t i = 0; i < pool.size(); ++i) {
-      double t = runner_->Measure(*task.app, rung_data, task.env, pool[i]);
+      spark::MeasureOutcome m =
+          exec_.MeasureDetailed(*task.app, rung_data, task.env, pool[i]);
+      double t = m.seconds;
       scores[i] = t;
-      if (!clock.Charge(t)) {
+      if (!clock.Charge(m.charge_seconds())) {
         // Budget gone mid-rung: fall back to the best fully-measured config.
         pool.resize(i + 1);
         scores.resize(i + 1);
@@ -65,7 +67,7 @@ TuningResult ShaTuner::Tune(const TuningTask& task, double budget_seconds) {
             std::min_element(scores.begin(), scores.end()) - scores.begin());
         res.best_config = pool[best];
         res.best_seconds =
-            runner_->Measure(*task.app, task.data, task.env, pool[best]);
+            exec_.Measure(*task.app, task.data, task.env, pool[best]);
         res.trace.Record(clock.elapsed(), res.best_seconds);
       }
       break;
@@ -88,7 +90,7 @@ TuningResult ShaTuner::Tune(const TuningTask& task, double budget_seconds) {
   if (res.best_config.empty()) {
     res.best_config = space.DefaultConfig();
     res.best_seconds =
-        runner_->Measure(*task.app, task.data, task.env, res.best_config);
+        exec_.Measure(*task.app, task.data, task.env, res.best_config);
   }
   res.overhead_seconds = clock.elapsed();
   return res;

@@ -25,16 +25,15 @@ struct ShaOptions {
   uint64_t seed = 61;
 };
 
-class ShaTuner : public Tuner {
+class ShaTuner : public ExecutingTuner {
  public:
   explicit ShaTuner(const spark::SparkRunner* runner, ShaOptions options = {})
-      : runner_(runner), options_(options) {}
+      : ExecutingTuner(runner), options_(options) {}
 
   TuningResult Tune(const TuningTask& task, double budget_seconds) override;
   std::string name() const override { return "SHA"; }
 
  private:
-  const spark::SparkRunner* runner_;
   ShaOptions options_;
 };
 

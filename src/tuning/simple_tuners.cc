@@ -12,7 +12,7 @@ TuningResult DefaultTuner::Tune(const TuningTask& task, double budget_seconds) {
   TuningResult res;
   res.best_config = KnobSpace::Spark16().DefaultConfig();
   res.best_seconds =
-      runner_->Measure(*task.app, task.data, task.env, res.best_config);
+      exec_.Measure(*task.app, task.data, task.env, res.best_config);
   res.overhead_seconds = 0.0;
   res.trials = 1;
   res.trace.Record(res.best_seconds, res.best_seconds);
@@ -62,8 +62,10 @@ TuningResult ManualTuner::Tune(const TuningTask& task, double budget_seconds) {
   TuningResult res;
   res.best_seconds = std::numeric_limits<double>::infinity();
   for (const auto& recipe : ExpertRecipes(task.env)) {
-    double t = runner_->Measure(*task.app, task.data, task.env, recipe);
-    if (!clock.Charge(t)) break;
+    spark::MeasureOutcome m =
+        exec_.MeasureDetailed(*task.app, task.data, task.env, recipe);
+    double t = m.seconds;
+    if (!clock.Charge(m.charge_seconds())) break;
     ++res.trials;
     res.trace.Record(clock.elapsed(), t);
     if (t < res.best_seconds) {
@@ -74,7 +76,7 @@ TuningResult ManualTuner::Tune(const TuningTask& task, double budget_seconds) {
   if (res.best_config.empty()) {
     res.best_config = KnobSpace::Spark16().DefaultConfig();
     res.best_seconds =
-        runner_->Measure(*task.app, task.data, task.env, res.best_config);
+        exec_.Measure(*task.app, task.data, task.env, res.best_config);
   }
   res.overhead_seconds = clock.elapsed();
   return res;

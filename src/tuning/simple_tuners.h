@@ -8,14 +8,12 @@
 
 namespace lite {
 
-class DefaultTuner : public Tuner {
+class DefaultTuner : public ExecutingTuner {
  public:
-  explicit DefaultTuner(const spark::SparkRunner* runner) : runner_(runner) {}
+  explicit DefaultTuner(const spark::SparkRunner* runner)
+      : ExecutingTuner(runner) {}
   TuningResult Tune(const TuningTask& task, double budget_seconds) override;
   std::string name() const override { return "Default"; }
-
- private:
-  const spark::SparkRunner* runner_;
 };
 
 /// Encodes the published rule-of-thumb recipes (Cloudera/Databricks tuning
@@ -23,17 +21,15 @@ class DefaultTuner : public Tuner {
 /// OS overhead, parallelism = 2-3x total cores, compression on, and a few
 /// memory-fraction variants. The expert tries each recipe (charging its
 /// execution time) and keeps the best within the budget.
-class ManualTuner : public Tuner {
+class ManualTuner : public ExecutingTuner {
  public:
-  explicit ManualTuner(const spark::SparkRunner* runner) : runner_(runner) {}
+  explicit ManualTuner(const spark::SparkRunner* runner)
+      : ExecutingTuner(runner) {}
   TuningResult Tune(const TuningTask& task, double budget_seconds) override;
   std::string name() const override { return "Manual"; }
 
   /// The recipe list for an environment (exposed for tests).
   static std::vector<spark::Config> ExpertRecipes(const spark::ClusterEnv& env);
-
- private:
-  const spark::SparkRunner* runner_;
 };
 
 }  // namespace lite

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "sparksim/resilient_runner.h"
 #include "sparksim/runner.h"
 
 namespace lite {
@@ -44,6 +45,26 @@ class Tuner {
   virtual ~Tuner() = default;
   virtual TuningResult Tune(const TuningTask& task, double budget_seconds) = 0;
   virtual std::string name() const = 0;
+};
+
+/// Base for tuners that execute real submissions. Every submission goes
+/// through the resilient harness; without an installed FaultPlan the
+/// harness is transparent (bit-identical to calling SparkRunner directly),
+/// with one, transient cluster failures are retried and deterministic
+/// failures fail fast.
+class ExecutingTuner : public Tuner {
+ public:
+  explicit ExecutingTuner(const spark::SparkRunner* runner) : exec_(runner) {}
+
+  /// Installs fault injection + retry policy (resets harness stats).
+  void InstallFaults(spark::FaultPlan plan,
+                     spark::RetryPolicy policy = spark::RetryPolicy{}) {
+    exec_ = spark::ResilientRunner(exec_.runner(), std::move(plan), policy);
+  }
+  const spark::ResilientRunner& harness() const { return exec_; }
+
+ protected:
+  spark::ResilientRunner exec_;
 };
 
 /// Shared bookkeeping for tuners that execute trials.

@@ -93,6 +93,165 @@ TEST_F(ModelUpdateTest, DomainAccuracyReported) {
   EXPECT_LE(stats.final_domain_accuracy, 1.0);
 }
 
+TEST_F(ModelUpdateTest, SatisfiedCensoredBoundsAreNearlyInert) {
+  // A right-censored observation whose bound the model already clears must
+  // contribute no prediction gradient. The adversarial path is disabled
+  // (lambda = 0 kills the reversed gradient, disc_weight = 0 its loss
+  // share) and the source subsample shrunk to its 1-instance minimum, so
+  // the censored targets are the only meaningful force: with censoring
+  // respected predictions barely move, while the naive protocol drags them
+  // toward the (wrong) bound.
+  auto fresh_model = [&]() {
+    auto m = std::make_unique<NecsModel>(corpus_.vocab->size(),
+                                         corpus_.op_vocab->size(), config_, 7);
+    NecsTrainer trainer;
+    TrainOptions topts;
+    topts.epochs = 6;
+    topts.lr = 2e-3f;
+    trainer.Train(m.get(), corpus_.instances, topts);
+    return m;
+  };
+
+  auto base = fresh_model();
+  std::vector<StageInstance> censored;
+  std::vector<double> before;
+  for (size_t i = 0; i < 8 && i < target_.size(); ++i) {
+    StageInstance c = target_[i];
+    double pred = base->Forward(c).pred->value[0];
+    c.censored = true;
+    c.y = pred - 1.0;  // bound already satisfied.
+    censored.push_back(c);
+    before.push_back(pred);
+  }
+
+  UpdateOptions opts{.epochs = 3, .lr = 1e-3f};
+  opts.lambda = 0.0f;
+  opts.disc_weight = 0.0f;
+  opts.source_per_target = 0.0;  // single source instance: l_p floor ~0.
+
+  auto aware_model = fresh_model();
+  UpdateStats aware_stats = AdaptiveModelUpdater(opts).Update(
+      aware_model.get(), corpus_.instances, censored);
+  EXPECT_EQ(aware_stats.censored_targets, censored.size());
+
+  UpdateOptions naive = opts;
+  naive.respect_censoring = false;
+  auto naive_model = fresh_model();
+  UpdateStats naive_stats = AdaptiveModelUpdater(naive).Update(
+      naive_model.get(), corpus_.instances, censored);
+
+  // Aware: every censored bound is satisfied, so only the lone source
+  // instance contributes prediction loss. Naive: each censored item is
+  // fitted as a real label one unit off the prediction, ~1.0 of loss apiece.
+  EXPECT_LT(aware_stats.prediction_loss.front(), 0.2);
+  EXPECT_GT(naive_stats.prediction_loss.front(), 0.5);
+
+  // And fitting the bounds drags predictions toward them (downward), while
+  // the aware update has no such systematic pull.
+  double naive_signed = 0.0;
+  for (size_t i = 0; i < censored.size(); ++i) {
+    naive_signed +=
+        naive_model->Forward(censored[i]).pred->value[0] - before[i];
+  }
+  EXPECT_LT(naive_signed / static_cast<double>(censored.size()), -0.05);
+}
+
+TEST_F(ModelUpdateTest, CensoredInstancesMustNotDominateUpdate) {
+  // Poison the feedback batch with twice as many censored duplicates whose
+  // recorded time is only a lower bound well below the truth (the capped-run
+  // pathology, feature-aliased with real instances). Censoring-aware
+  // updating must end with a strictly better clean-target fit than naively
+  // fitting the bounds as labels.
+  std::vector<StageInstance> poisoned = target_;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const auto& t : target_) {
+      StageInstance c = t;
+      c.censored = true;
+      c.y = 0.5 * t.y;  // "ran at least this long" — not the true label.
+      poisoned.push_back(c);
+    }
+  }
+
+  auto fresh_model = [&]() {
+    auto m = std::make_unique<NecsModel>(corpus_.vocab->size(),
+                                         corpus_.op_vocab->size(), config_, 7);
+    NecsTrainer trainer;
+    TrainOptions topts;
+    topts.epochs = 6;
+    topts.lr = 2e-3f;
+    trainer.Train(m.get(), corpus_.instances, topts);
+    return m;
+  };
+  auto clean_mse = [&](NecsModel* m) {
+    double mse = 0.0;
+    for (const auto& t : target_) {
+      double p = m->Forward(t).pred->value[0];
+      mse += (p - t.y) * (p - t.y);
+    }
+    return mse / static_cast<double>(target_.size());
+  };
+
+  UpdateOptions aware{.epochs = 5, .lr = 1e-3f};
+  aware.respect_censoring = true;
+  auto aware_model = fresh_model();
+  UpdateStats stats = AdaptiveModelUpdater(aware).Update(
+      aware_model.get(), corpus_.instances, poisoned);
+  EXPECT_EQ(stats.censored_targets, 2 * target_.size());
+
+  UpdateOptions naive = aware;
+  naive.respect_censoring = false;
+  auto naive_model = fresh_model();
+  AdaptiveModelUpdater(naive).Update(naive_model.get(), corpus_.instances,
+                                     poisoned);
+
+  EXPECT_LT(clean_mse(aware_model.get()), clean_mse(naive_model.get()));
+}
+
+TEST_F(ModelUpdateTest, HuberLossResistsOutlierTargets) {
+  // A handful of wildly mislabeled observations (interference spikes) must
+  // not wreck the update when the Huber loss is on: its gradient is capped
+  // at delta, while plain MSE lets the outliers dominate every batch.
+  std::vector<StageInstance> noisy = target_;
+  for (const auto& t : target_) {
+    StageInstance c = t;
+    c.y = c.y + 40.0;  // absurd in log space.
+    noisy.push_back(c);
+  }
+
+  auto fresh_model = [&]() {
+    auto m = std::make_unique<NecsModel>(corpus_.vocab->size(),
+                                         corpus_.op_vocab->size(), config_, 7);
+    NecsTrainer trainer;
+    TrainOptions topts;
+    topts.epochs = 6;
+    topts.lr = 2e-3f;
+    trainer.Train(m.get(), corpus_.instances, topts);
+    return m;
+  };
+  auto clean_mse = [&](NecsModel* m) {
+    double mse = 0.0;
+    for (const auto& t : target_) {
+      double p = m->Forward(t).pred->value[0];
+      mse += (p - t.y) * (p - t.y);
+    }
+    return mse / static_cast<double>(target_.size());
+  };
+
+  UpdateOptions robust{.epochs = 5, .lr = 1e-3f};
+  robust.huber_delta = 0.5f;
+  auto robust_model = fresh_model();
+  AdaptiveModelUpdater(robust).Update(robust_model.get(), corpus_.instances,
+                                      noisy);
+
+  UpdateOptions plain = robust;
+  plain.huber_delta = 0.0f;
+  auto plain_model = fresh_model();
+  AdaptiveModelUpdater(plain).Update(plain_model.get(), corpus_.instances,
+                                     noisy);
+
+  EXPECT_LT(clean_mse(robust_model.get()), clean_mse(plain_model.get()));
+}
+
 TEST_F(ModelUpdateTest, KeepsSourcePerformanceReasonable) {
   // Fine-tuning must not catastrophically forget the source domain.
   double src_before = 0.0;

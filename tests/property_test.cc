@@ -224,7 +224,7 @@ TEST_P(AdversarialConfigProperty, CostModelTotalOnExtremeConfigs) {
     double t = runner.Measure(app, data, spark::ClusterEnv::ClusterC(), c);
     EXPECT_TRUE(std::isfinite(t));
     EXPECT_GT(t, 0.0);
-    EXPECT_LE(t, 7200.0);
+    EXPECT_LE(t, runner.failure_cap_seconds());
   }
 }
 

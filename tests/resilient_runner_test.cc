@@ -1,0 +1,174 @@
+// ResilientRunner contract tests: capped-exponential backoff schedule,
+// fail-fast on deterministic failures, retry-budget exhaustion, recovery
+// under a moderately hostile FaultPlan, and bit-identical transparency when
+// no faults are installed.
+#include <gtest/gtest.h>
+
+#include "sparksim/resilient_runner.h"
+#include "sparksim/runner.h"
+
+namespace lite::spark {
+namespace {
+
+TEST(BackoffTest, CappedExponentialSchedule) {
+  RetryPolicy p;  // base 15, multiplier 2, cap 120.
+  EXPECT_DOUBLE_EQ(BackoffSeconds(p, 0), 15.0);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(p, 1), 30.0);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(p, 2), 60.0);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(p, 3), 120.0);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(p, 4), 120.0);  // capped.
+  EXPECT_DOUBLE_EQ(BackoffSeconds(p, 10), 120.0);
+  // Negative indices clamp to the first step instead of shrinking the wait.
+  EXPECT_DOUBLE_EQ(BackoffSeconds(p, -3), 15.0);
+}
+
+TEST(ResilientRunnerTest, InertPlanIsTransparent) {
+  SparkRunner runner;
+  ResilientRunner harness(&runner);  // default FaultPlan: inert.
+  EXPECT_FALSE(harness.fault_injection_active());
+
+  const auto& space = KnobSpace::Spark16();
+  Rng rng(17);
+  for (const char* abbrev : {"TS", "PR", "KM"}) {
+    const auto* app = AppCatalog::Find(abbrev);
+    ASSERT_NE(app, nullptr);
+    DataSpec data = app->MakeData(app->test_size_mb);
+    for (int i = 0; i < 5; ++i) {
+      Config c = i == 0 ? space.DefaultConfig() : space.RandomConfig(&rng);
+      double direct = runner.Measure(*app, data, ClusterEnv::ClusterA(), c);
+      MeasureOutcome m =
+          harness.MeasureDetailed(*app, data, ClusterEnv::ClusterA(), c);
+      EXPECT_DOUBLE_EQ(m.seconds, direct);  // bit-identical, not just close.
+      EXPECT_DOUBLE_EQ(m.charge_seconds(), direct);
+      EXPECT_EQ(m.attempts, 1);
+      EXPECT_DOUBLE_EQ(m.wasted_seconds, 0.0);
+      EXPECT_FALSE(m.transient);
+    }
+  }
+  EXPECT_EQ(harness.stats().transient_failures, 0u);
+  EXPECT_EQ(harness.stats().recovered, 0u);
+  EXPECT_DOUBLE_EQ(harness.stats().wasted_seconds, 0.0);
+}
+
+TEST(ResilientRunnerTest, DeterministicFailureFailsFastAndIsNeverRetried) {
+  SparkRunner runner;
+  FaultPlan plan(FaultOptions::Moderate(7));  // faults on: still no retry.
+  ResilientRunner harness(&runner, plan);
+
+  const auto* app = AppCatalog::Find("TS");
+  ASSERT_NE(app, nullptr);
+  DataSpec data = app->MakeData(100);
+  Config c = KnobSpace::Spark16().DefaultConfig();
+  c[kExecutorMemory] = 32;  // OOMs on ClusterC (see sparksim_cost_test).
+
+  MeasureOutcome m = harness.MeasureDetailed(*app, data, ClusterEnv::ClusterC(), c);
+  EXPECT_TRUE(m.failed);
+  EXPECT_TRUE(m.censored);
+  EXPECT_FALSE(m.transient);
+  EXPECT_EQ(m.attempts, 1);  // fail fast: a single attempt, no backoff.
+  EXPECT_DOUBLE_EQ(m.seconds, harness.failure_cap_seconds());
+  EXPECT_FALSE(m.failure_reason.empty());
+  EXPECT_EQ(harness.stats().deterministic_failures, 1u);
+  EXPECT_EQ(harness.stats().attempts, 1u);
+  EXPECT_EQ(harness.stats().recovered, 0u);
+  EXPECT_EQ(harness.stats().retries_exhausted, 0u);
+}
+
+TEST(ResilientRunnerTest, AlwaysFailingPlanExhaustsRetries) {
+  SparkRunner runner;
+  FaultOptions fo;
+  fo.submit_error_prob = 1.0;  // every attempt is rejected.
+  fo.seed = 3;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  ResilientRunner harness(&runner, FaultPlan(fo), policy);
+
+  const auto* app = AppCatalog::Find("PR");
+  DataSpec data = app->MakeData(8);
+  MeasureOutcome m = harness.MeasureDetailed(
+      *app, data, ClusterEnv::ClusterA(), KnobSpace::Spark16().DefaultConfig());
+  EXPECT_TRUE(m.failed);
+  EXPECT_TRUE(m.transient);
+  EXPECT_TRUE(m.censored);
+  EXPECT_EQ(m.attempts, 4);
+  // Wasted time covers 4 failed submissions plus 3 backoff waits
+  // (15 + 30 + 60 s of the capped schedule).
+  EXPECT_GE(m.wasted_seconds, 15.0 + 30.0 + 60.0);
+  EXPECT_EQ(harness.stats().retries_exhausted, 1u);
+  EXPECT_EQ(harness.stats().transient_failures, 4u);
+  EXPECT_GT(m.charge_seconds(), m.seconds);
+}
+
+TEST(ResilientRunnerTest, RetryBudgetStopsBeforeMaxAttempts) {
+  SparkRunner runner;
+  FaultOptions fo;
+  fo.submit_error_prob = 1.0;
+  fo.seed = 3;
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.retry_budget_seconds = 1.0;  // tighter than a single failed attempt.
+  ResilientRunner harness(&runner, FaultPlan(fo), policy);
+
+  const auto* app = AppCatalog::Find("PR");
+  DataSpec data = app->MakeData(8);
+  MeasureOutcome m = harness.MeasureDetailed(
+      *app, data, ClusterEnv::ClusterA(), KnobSpace::Spark16().DefaultConfig());
+  EXPECT_TRUE(m.failed);
+  EXPECT_TRUE(m.transient);
+  EXPECT_LT(m.attempts, policy.max_attempts);  // budget, not attempts, ended it.
+  EXPECT_EQ(m.attempts, 1);
+  EXPECT_EQ(harness.stats().retries_exhausted, 1u);
+}
+
+TEST(ResilientRunnerTest, RecoversMostTransientFailuresAtModerateFaults) {
+  SparkRunner runner;
+  ResilientRunner harness(&runner, FaultPlan(FaultOptions::Moderate(11)));
+  const auto& space = KnobSpace::Spark16();
+  Rng rng(5);
+
+  for (const auto& app : AppCatalog::All()) {
+    DataSpec data = app.MakeData(app.train_sizes_mb[0]);
+    for (int i = 0; i < 12; ++i) {
+      Config c = space.RandomConfig(&rng);
+      harness.MeasureDetailed(app, data, ClusterEnv::ClusterA(), c);
+    }
+  }
+  const FaultStats& s = harness.stats();
+  // The moderate plan must actually exercise the retry path...
+  EXPECT_GT(s.transient_failures, 0u);
+  EXPECT_GT(s.recovered, 0u);
+  // ...and the harness must recover at least 90% of transiently failed
+  // submissions (acceptance criterion; analytically ~1 - 0.2^3).
+  EXPECT_GE(s.RecoveryRate(), 0.9);
+  EXPECT_GT(s.wasted_seconds, 0.0);
+  // Bookkeeping identity: every retried transient failure adds one attempt;
+  // the final failed attempt of an exhausted submission does not.
+  EXPECT_EQ(s.attempts,
+            s.submissions + s.transient_failures - s.retries_exhausted);
+}
+
+TEST(ResilientRunnerTest, SurvivableFaultsStretchButDoNotFail) {
+  SparkRunner runner;
+  FaultOptions fo;
+  fo.straggler_prob = 1.0;  // every run hits a straggler node.
+  fo.straggler_slowdown = 2.0;
+  fo.seed = 9;
+  ResilientRunner harness(&runner, FaultPlan(fo));
+
+  const auto* app = AppCatalog::Find("KM");
+  DataSpec data = app->MakeData(app->test_size_mb);
+  Config c = KnobSpace::Spark16().DefaultConfig();
+  double clean = runner.Measure(*app, data, ClusterEnv::ClusterA(), c);
+  MeasureOutcome m =
+      harness.MeasureDetailed(*app, data, ClusterEnv::ClusterA(), c);
+  EXPECT_FALSE(m.failed);
+  EXPECT_EQ(m.attempts, 1);
+  EXPECT_NEAR(m.seconds, 2.0 * clean, 1e-9 * clean);
+  // Stage-level times are stretched consistently with the total.
+  double stage_sum = 0.0;
+  for (const auto& sr : m.result.stage_runs) stage_sum += sr.seconds;
+  EXPECT_GT(stage_sum, 0.0);
+}
+
+}  // namespace
+}  // namespace lite::spark

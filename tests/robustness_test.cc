@@ -1,12 +1,19 @@
-// Deterministic robustness sweeps: mutated event logs must never crash the
-// parser (reject or parse, both fine), and exploration-noise/agent pieces
-// keep their contracts under stress.
+// Deterministic robustness sweeps: mutated event logs and corrupted
+// snapshot directories must never crash (reject or load, both fine),
+// fault-injection replay is bitwise reproducible from its seed, and
+// exploration-noise/agent pieces keep their contracts under stress.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
+#include "lite/snapshot.h"
 #include "sparksim/eventlog.h"
-#include "util/string_util.h"
+#include "sparksim/faults.h"
+#include "sparksim/resilient_runner.h"
 #include "sparksim/runner.h"
 #include "tuning/ddpg.h"
+#include "util/string_util.h"
 
 namespace lite {
 namespace {
@@ -106,6 +113,179 @@ TEST(DdpgStateTest, CodeFeaturesExtendState) {
   // Both must run end-to-end; DDPG-C's larger state is exercised inside.
   EXPECT_GE(plain.Tune(task, 500.0).trials, 1u);
   EXPECT_GE(code.Tune(task, 500.0).trials, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot corruption: a truncated or bit-flipped snapshot directory must
+// make LoadedLiteModel::Load return nullptr (or a valid model, if the
+// mutation happened to be harmless) — it must never crash.
+
+std::string ReadFileOrDie(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << p;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileOrDie(const std::filesystem::path& p, const std::string& s) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out << s;
+  ASSERT_TRUE(out.good()) << p;
+}
+
+TEST(SnapshotFuzz, CorruptedSnapshotsNeverCrashLoad) {
+  spark::SparkRunner runner;
+  LiteOptions opts;
+  opts.corpus.apps = {"TS", "PR"};
+  opts.corpus.clusters = {spark::ClusterEnv::ClusterA()};
+  opts.corpus.configs_per_setting = 2;
+  opts.corpus.max_stage_instances_per_run = 5;
+  opts.corpus.max_code_tokens = 64;
+  opts.necs.emb_dim = 8;
+  opts.necs.cnn_widths = {3, 4};
+  opts.necs.cnn_kernels = 6;
+  opts.necs.code_dim = 12;
+  opts.necs.gcn_hidden = 8;
+  opts.train.epochs = 2;
+  opts.num_candidates = 10;
+  LiteSystem system(&runner, opts);
+  system.TrainOffline();
+
+  std::filesystem::path clean_dir =
+      std::filesystem::path(testing::TempDir()) / "lite_snapshot_fuzz_clean";
+  std::filesystem::create_directories(clean_dir);
+  ASSERT_TRUE(SaveSnapshot(system, clean_dir.string()));
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& e : std::filesystem::directory_iterator(clean_dir)) {
+    files.push_back(e.path());
+  }
+  ASSERT_FALSE(files.empty());
+
+  std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "lite_snapshot_fuzz";
+  Rng rng(4242);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Fresh copy of the clean snapshot, then one mutation.
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    for (const auto& f : files) {
+      std::filesystem::copy_file(f, dir / f.filename());
+    }
+    const std::filesystem::path victim =
+        dir / files[rng.Index(files.size())].filename();
+    std::string content = ReadFileOrDie(victim);
+    switch (static_cast<int>(rng.Index(4))) {
+      case 0:  // truncate at a random byte.
+        content.resize(rng.Index(content.size() + 1));
+        WriteFileOrDie(victim, content);
+        break;
+      case 1:  // flip random bytes.
+        if (!content.empty()) {
+          for (int k = 0; k < 8; ++k) {
+            content[rng.Index(content.size())] =
+                static_cast<char>(rng.UniformInt(0, 255));
+          }
+        }
+        WriteFileOrDie(victim, content);
+        break;
+      case 2:  // delete the file entirely.
+        std::filesystem::remove(victim);
+        break;
+      case 3:  // replace with garbage.
+        WriteFileOrDie(victim, "garbage\n-1 -1 nan\n\x01\x02");
+        break;
+    }
+    // Must not crash; nullptr (reject) or a loadable model are both fine.
+    auto loaded = LoadedLiteModel::Load(dir.string(), &runner);
+    if (loaded != nullptr) {
+      EXPECT_GE(loaded->ensemble_size(), 1u);
+    }
+  }
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(clean_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Fault replay: a FaultPlan is a pure function of (seed, submission,
+// attempt) — the same seed reproduces the identical fault and retry
+// sequence, and a different seed produces a different one.
+
+TEST(FaultReplayTest, SameSeedSameFaultSequence) {
+  spark::FaultPlan a(spark::FaultOptions::Moderate(123));
+  spark::FaultPlan b(spark::FaultOptions::Moderate(123));
+  spark::FaultPlan other(spark::FaultOptions::Moderate(124));
+
+  const auto& space = spark::KnobSpace::Spark16();
+  Rng rng(77);
+  size_t differing = 0;
+  for (const auto& app : spark::AppCatalog::All()) {
+    spark::DataSpec data = app.MakeData(app.test_size_mb);
+    for (int i = 0; i < 6; ++i) {
+      spark::Config c = space.RandomConfig(&rng);
+      for (int attempt = 1; attempt <= 3; ++attempt) {
+        spark::FaultDecision da =
+            a.Decide(app, data, spark::ClusterEnv::ClusterB(), c, attempt, 600.0);
+        spark::FaultDecision db =
+            b.Decide(app, data, spark::ClusterEnv::ClusterB(), c, attempt, 600.0);
+        EXPECT_EQ(da.kind, db.kind);
+        EXPECT_EQ(da.transient_failure, db.transient_failure);
+        EXPECT_DOUBLE_EQ(da.wasted_seconds, db.wasted_seconds);
+        EXPECT_DOUBLE_EQ(da.time_multiplier, db.time_multiplier);
+        EXPECT_EQ(da.failure_reason, db.failure_reason);
+        spark::FaultDecision dc = other.Decide(
+            app, data, spark::ClusterEnv::ClusterB(), c, attempt, 600.0);
+        if (dc.kind != da.kind || dc.time_multiplier != da.time_multiplier) {
+          ++differing;
+        }
+      }
+    }
+  }
+  EXPECT_GT(differing, 0u) << "different seeds must not replay identically";
+}
+
+TEST(FaultReplayTest, SameSeedSameRetrySequenceThroughHarness) {
+  spark::SparkRunner runner;
+  auto run_sequence = [&runner](uint64_t seed) {
+    spark::ResilientRunner harness(
+        &runner, spark::FaultPlan(spark::FaultOptions::Moderate(seed)));
+    const auto& space = spark::KnobSpace::Spark16();
+    Rng rng(9);
+    std::vector<spark::MeasureOutcome> outcomes;
+    for (const auto& app : spark::AppCatalog::All()) {
+      spark::DataSpec data = app.MakeData(app.train_sizes_mb[0]);
+      for (int i = 0; i < 4; ++i) {
+        outcomes.push_back(harness.MeasureDetailed(
+            app, data, spark::ClusterEnv::ClusterA(), space.RandomConfig(&rng)));
+      }
+    }
+    return outcomes;
+  };
+
+  std::vector<spark::MeasureOutcome> first = run_sequence(55);
+  std::vector<spark::MeasureOutcome> replay = run_sequence(55);
+  ASSERT_EQ(first.size(), replay.size());
+  size_t retried = 0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].seconds, replay[i].seconds) << i;
+    EXPECT_EQ(first[i].attempts, replay[i].attempts) << i;
+    EXPECT_EQ(first[i].failed, replay[i].failed) << i;
+    EXPECT_EQ(first[i].censored, replay[i].censored) << i;
+    EXPECT_DOUBLE_EQ(first[i].wasted_seconds, replay[i].wasted_seconds) << i;
+    EXPECT_EQ(first[i].failure_reason, replay[i].failure_reason) << i;
+    if (first[i].attempts > 1) ++retried;
+  }
+  EXPECT_GT(retried, 0u) << "sequence must actually exercise retries";
+
+  std::vector<spark::MeasureOutcome> shifted = run_sequence(56);
+  size_t differing = 0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    if (shifted[i].seconds != first[i].seconds ||
+        shifted[i].attempts != first[i].attempts) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0u);
 }
 
 }  // namespace

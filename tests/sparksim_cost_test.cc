@@ -284,7 +284,7 @@ TEST_F(CostModelTest, RunnerMeasureCapsFailures) {
   Config c = space_.DefaultConfig();
   c[kExecutorMemory] = 32;
   EXPECT_DOUBLE_EQ(runner.Measure(*terasort_, d, ClusterEnv::ClusterC(), c),
-                   7200.0);
+                   runner.failure_cap_seconds());
 }
 
 }  // namespace

@@ -278,7 +278,9 @@ int CmdExplain(const FlagParser& flags) {
                   TablePrinter::Fmt(sim_per_spec[spec], 1)});
   }
   table.AddRow({"TOTAL", "", TablePrinter::Fmt(pred_total, 1),
-                TablePrinter::Fmt(run.failed ? 7200.0 : run.total_seconds, 1)});
+                TablePrinter::Fmt(run.failed ? runner.failure_cap_seconds()
+                                             : run.total_seconds,
+                                  1)});
   table.Print(std::cout, app->name + " (" + std::to_string(size) + "MB, cluster " +
                              env.name + ")" + (run.failed ? " [RUN FAILED: " +
                              run.failure_reason + "]" : ""));
