@@ -125,6 +125,18 @@ void BM_NecsPredictCached(benchmark::State& state) {
 }
 BENCHMARK(BM_NecsPredictCached);
 
+void BM_NecsPredictBatch(benchmark::State& state) {
+  const auto& insts = SmallCorpus().instances;
+  Model().WarmEncoderCache(insts);
+  for (auto _ : state) {
+    std::vector<double> p = Model().PredictBatch(insts);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(insts.size()));
+}
+BENCHMARK(BM_NecsPredictBatch);
+
 void BM_TrainStep(benchmark::State& state) {
   // One Adam minibatch step over 8 instances.
   NecsTrainer trainer;

@@ -3,12 +3,23 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 
 #include "sparksim/dag.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
 namespace lite {
+
+std::vector<spark::Config> DedupeConfigs(std::vector<spark::Config> configs) {
+  std::vector<spark::Config> unique;
+  unique.reserve(configs.size());
+  std::set<spark::Config> seen;
+  for (auto& c : configs) {
+    if (seen.insert(c).second) unique.push_back(std::move(c));
+  }
+  return unique;
+}
 
 std::vector<double> CandidateGenerator::DescribeApp(
     const spark::ApplicationSpec& app, const spark::DataSpec& data,

@@ -23,6 +23,12 @@ struct CandidateGenOptions {
   uint64_t seed = 31;
 };
 
+/// Removes exact duplicate configurations, preserving first-occurrence
+/// order. Region sampling snaps integer/boolean knobs onto a lattice, so
+/// narrow regions routinely emit duplicates — scoring them twice wastes
+/// forward passes without changing the argmin.
+std::vector<spark::Config> DedupeConfigs(std::vector<spark::Config> configs);
+
 class CandidateGenerator {
  public:
   explicit CandidateGenerator(CandidateGenOptions options = {})

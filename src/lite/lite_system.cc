@@ -6,8 +6,55 @@
 
 #include "sparksim/resilient_runner.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace lite {
+
+std::vector<double> ScoreCandidatesWithEnsemble(
+    const spark::SparkRunner* runner, const Corpus& feature_space,
+    const std::vector<const NecsModel*>& models,
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env, const std::vector<spark::Config>& candidates,
+    size_t threads) {
+  std::vector<double> scores(candidates.size());
+  if (candidates.empty()) return scores;
+  LITE_CHECK(!models.empty()) << "scoring with an empty ensemble";
+
+  // Featurize once: every stage feature except the knob vector is identical
+  // across candidates of one (app, data, env) query, so per-candidate
+  // featurization would recompute the same tokens/DAGs/BoWs B times.
+  CorpusBuilder builder(runner);
+  const CandidateEval base =
+      builder.FeaturizeCandidate(feature_space, app, data, env, candidates[0]);
+  // Warm every model's encoder cache before sharding, so the parallel phase
+  // only ever reads it (no insert races, no serialization on misses).
+  for (const NecsModel* m : models) m->WarmEncoderCache(base.stage_instances);
+
+  const auto& space = spark::KnobSpace::Spark16();
+  auto score_one = [&](size_t i) {
+    CandidateEval ce = base;
+    ce.config = candidates[i];
+    std::vector<double> knobs = space.Normalize(candidates[i]);
+    for (auto& inst : ce.stage_instances) inst.knobs = knobs;
+    // Ensemble-mean in log space (geometric mean of predicted times).
+    double score = 0.0;
+    for (const NecsModel* m : models) {
+      score += std::log1p(std::max(m->PredictAppSeconds(ce), 0.0));
+    }
+    score /= static_cast<double>(models.size());
+    scores[i] = std::expm1(score);
+  };
+
+  if (threads == 1) {
+    for (size_t i = 0; i < candidates.size(); ++i) score_one(i);
+  } else if (threads == 0) {
+    ThreadPool::Shared().ParallelFor(candidates.size(), score_one);
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(candidates.size(), score_one);
+  }
+  return scores;
+}
 
 LiteSystem::LiteSystem(const spark::SparkRunner* runner, LiteOptions options)
     : runner_(runner), options_(std::move(options)), acg_(options_.acg) {}
@@ -33,6 +80,45 @@ void LiteSystem::TrainOffline() {
   trained_ = true;
 }
 
+std::vector<double> LiteSystem::ScoreCandidates(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env,
+    const std::vector<spark::Config>& candidates) const {
+  LITE_CHECK(trained_) << "ScoreCandidates before TrainOffline";
+  if (options_.batched_scoring) {
+    std::vector<const NecsModel*> models;
+    models.reserve(models_.size());
+    for (const auto& m : models_) models.push_back(m.get());
+    return ScoreCandidatesWithEnsemble(runner_, corpus_, models, app, data,
+                                       env, candidates,
+                                       options_.scoring_threads);
+  }
+  // Legacy scalar reference path: per-candidate featurization and one
+  // graph-building forward per stage instance. Kept as the equivalence
+  // baseline — bit-identical scores, no batching, no threads.
+  std::vector<double> scores(candidates.size());
+  CorpusBuilder builder(runner_);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    CandidateEval ce =
+        builder.FeaturizeCandidate(corpus_, app, data, env, candidates[i]);
+    double score = 0.0;
+    for (const auto& model : models_) {
+      double total = 0.0;
+      for (size_t s = 0; s < ce.stage_instances.size(); ++s) {
+        double target = model->PredictTarget(ce.stage_instances[s]);
+        double reps = s < ce.stage_reps.size()
+                          ? static_cast<double>(ce.stage_reps[s])
+                          : 1.0;
+        total += SecondsFromTarget(target) * reps;
+      }
+      score += std::log1p(std::max(total, 0.0));
+    }
+    score /= static_cast<double>(models_.size());
+    scores[i] = std::expm1(score);
+  }
+  return scores;
+}
+
 LiteSystem::Recommendation LiteSystem::Recommend(
     const spark::ApplicationSpec& app, const spark::DataSpec& data,
     const spark::ClusterEnv& env) const {
@@ -45,8 +131,8 @@ LiteSystem::Recommendation LiteSystem::Recommend(
   // NECS is trained on small-data instances where frugal defaults are
   // near-optimal, so at large scale it would misrank the default ahead of
   // the region's configurations — the region is the scale-migration device.
-  std::vector<spark::Config> candidates =
-      acg_.SampleCandidates(app, data, env, options_.num_candidates, &rng);
+  std::vector<spark::Config> candidates = DedupeConfigs(
+      acg_.SampleCandidates(app, data, env, options_.num_candidates, &rng));
   // Resource-manager pre-check: drop configurations the cluster cannot even
   // schedule (static, no execution involved). Keep the raw set if the
   // filter would empty it.
@@ -58,21 +144,13 @@ LiteSystem::Recommendation LiteSystem::Recommend(
     if (!feasible.empty()) candidates = std::move(feasible);
   }
 
-  CorpusBuilder builder(runner_);
+  std::vector<double> scores = ScoreCandidates(app, data, env, candidates);
   Recommendation best;
   best.predicted_seconds = std::numeric_limits<double>::infinity();
-  for (const auto& config : candidates) {
-    CandidateEval ce = builder.FeaturizeCandidate(corpus_, app, data, env, config);
-    // Ensemble-mean in log space (geometric mean of predicted times).
-    double score = 0.0;
-    for (const auto& model : models_) {
-      score += std::log1p(std::max(model->PredictAppSeconds(ce), 0.0));
-    }
-    score /= static_cast<double>(models_.size());
-    double predicted = std::expm1(score);
-    if (predicted < best.predicted_seconds) {
-      best.predicted_seconds = predicted;
-      best.config = config;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (scores[i] < best.predicted_seconds) {
+      best.predicted_seconds = scores[i];
+      best.config = candidates[i];
     }
   }
   best.candidates_evaluated = candidates.size();

@@ -47,8 +47,31 @@ struct LiteOptions {
   /// small ensembles damp the winner's curse of argmin over a noisy
   /// estimator and noticeably improve recommendations (see DESIGN.md).
   size_t ensemble_size = 1;
+  /// Worker threads for candidate scoring (0 = one per hardware core,
+  /// 1 = single-threaded). Scores are reduced in candidate order, so the
+  /// recommendation is identical for every value.
+  size_t scoring_threads = 0;
+  /// Batched multi-threaded scoring (featurize once, batch the NECS tower,
+  /// shard candidates across the pool). When false, the legacy scalar loop
+  /// runs instead — same ranking bit for bit, only slower (kept for the
+  /// equivalence tests and the bench_batch_scoring comparison).
+  bool batched_scoring = true;
   uint64_t seed = 41;
 };
+
+/// Scores `candidates` with an NECS ensemble: entry i is the ensemble-mean
+/// predicted application seconds (geometric mean over models in log space)
+/// of candidates[i] — the quantity LiteSystem ranks by. The application is
+/// featurized once (only knob features vary across candidates), each
+/// model's encoder cache is warmed, and candidates are sharded across
+/// `threads` workers (0 = hardware concurrency) with results reduced in
+/// index order, so the output is deterministic for any thread count.
+std::vector<double> ScoreCandidatesWithEnsemble(
+    const spark::SparkRunner* runner, const Corpus& feature_space,
+    const std::vector<const NecsModel*>& models,
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env, const std::vector<spark::Config>& candidates,
+    size_t threads = 0);
 
 class LiteSystem {
  public:
@@ -70,6 +93,16 @@ class LiteSystem {
   Recommendation Recommend(const spark::ApplicationSpec& app,
                            const spark::DataSpec& data,
                            const spark::ClusterEnv& env) const;
+
+  /// Scores an explicit candidate list (entry i = predicted application
+  /// seconds of candidates[i]) on the configured scoring path — batched and
+  /// sharded across `LiteOptions::scoring_threads` by default, the legacy
+  /// scalar loop when `batched_scoring` is off. Both paths return
+  /// bit-identical scores; Recommend() is argmin over this vector.
+  std::vector<double> ScoreCandidates(
+      const spark::ApplicationSpec& app, const spark::DataSpec& data,
+      const spark::ClusterEnv& env,
+      const std::vector<spark::Config>& candidates) const;
 
   /// Step 4: records feedback (observed run of the recommended config) as
   /// target-domain instances; triggers an adversarial update every

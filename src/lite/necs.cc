@@ -1,6 +1,8 @@
 #include "lite/necs.h"
 
 #include <cmath>
+#include <mutex>
+#include <sstream>
 
 #include "tensor/optimizer.h"
 #include "util/logging.h"
@@ -57,26 +59,127 @@ NecsModel::ForwardResult NecsModel::Forward(const StageInstance& inst) const {
   return {out.output, out.hidden_concat};
 }
 
-double NecsModel::PredictTarget(const StageInstance& inst) const {
-  std::string key = inst.app_name + "#" + std::to_string(inst.stage_index);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    VarPtr h_code = config_.use_code_encoder
-                        ? cnn_->Forward(inst.code_token_ids)
-                        : Input(Tensor(config_.code_dim));
-    VarPtr h_dag;
+std::string NecsModel::CacheKey(const StageInstance& inst) {
+  // Keyed by (app, stage, datasize): the encoder inputs are knob-independent
+  // but could in principle differ across data scales, so scales never share
+  // entries.
+  std::ostringstream os;
+  os << inst.app_name << '#' << inst.stage_index << '@' << inst.size_mb;
+  return os.str();
+}
+
+std::pair<Tensor, Tensor> NecsModel::ComputeEncodings(
+    const StageInstance& inst) const {
+  VarPtr h_code = config_.use_code_encoder
+                      ? cnn_->Forward(inst.code_token_ids)
+                      : Input(Tensor(config_.code_dim));
+  VarPtr h_dag;
+  if (config_.use_dag_encoder) {
+    GcnGraph graph = BuildGcnGraph(inst, op_vocab_size_);
+    h_dag = gcn_->Forward(graph);
+  } else {
+    h_dag = Input(Tensor(config_.gcn_hidden));
+  }
+  return {h_code->value, h_dag->value};
+}
+
+std::pair<Tensor, Tensor> NecsModel::EncodeStage(const StageInstance& inst) const {
+  std::string key = CacheKey(inst);
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  std::pair<Tensor, Tensor> enc = ComputeEncodings(inst);
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  return cache_.emplace(key, std::move(enc)).first->second;
+}
+
+void NecsModel::WarmEncoderCache(std::span<const StageInstance> insts) const {
+  // Missing keys, first occurrence only, in input order.
+  std::vector<size_t> missing;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    std::unordered_map<std::string, bool> queued;
+    for (size_t i = 0; i < insts.size(); ++i) {
+      std::string key = CacheKey(insts[i]);
+      if (cache_.count(key) || queued[key]) continue;
+      queued[key] = true;
+      missing.push_back(i);
+    }
+  }
+  if (missing.empty()) return;
+
+  // All missing code encodings in one batched CNN projection; row m of the
+  // batch is bit-identical to the scalar Forward, so warmed entries match
+  // what a cold PredictTarget would have cached.
+  std::vector<Tensor> h_codes(missing.size(), Tensor(config_.code_dim));
+  if (config_.use_code_encoder) {
+    std::vector<std::vector<int>> sequences;
+    sequences.reserve(missing.size());
+    for (size_t i : missing) sequences.push_back(insts[i].code_token_ids);
+    VarPtr stacked = cnn_->ForwardBatch(sequences);
+    for (size_t m = 0; m < missing.size(); ++m) {
+      for (size_t c = 0; c < config_.code_dim; ++c) {
+        h_codes[m][c] = stacked->value.at(m, c);
+      }
+    }
+  }
+
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  for (size_t m = 0; m < missing.size(); ++m) {
+    const StageInstance& inst = insts[missing[m]];
+    Tensor h_dag(config_.gcn_hidden);
     if (config_.use_dag_encoder) {
       GcnGraph graph = BuildGcnGraph(inst, op_vocab_size_);
-      h_dag = gcn_->Forward(graph);
-    } else {
-      h_dag = Input(Tensor(config_.gcn_hidden));
+      h_dag = gcn_->Forward(graph)->value;
     }
-    it = cache_.emplace(key, std::make_pair(h_code->value, h_dag->value)).first;
+    cache_.emplace(CacheKey(inst),
+                   std::make_pair(std::move(h_codes[m]), std::move(h_dag)));
   }
-  VarPtr h_code = Input(it->second.first);
-  VarPtr h_dag = Input(it->second.second);
+}
+
+double NecsModel::PredictTarget(const StageInstance& inst) const {
+  auto [code_val, dag_val] = EncodeStage(inst);
+  VarPtr h_code = Input(std::move(code_val));
+  VarPtr h_dag = Input(std::move(dag_val));
   MlpOutput out = mlp_->Forward(AssembleInput(inst, h_code, h_dag));
   return out.output->value[0];
+}
+
+std::vector<double> NecsModel::PredictBatch(
+    std::span<const StageInstance> insts) const {
+  std::vector<double> out(insts.size());
+  if (insts.empty()) return out;
+  const size_t in_dim = mlp_->input_dim();
+  Tensor x(insts.size(), in_dim);
+  for (size_t b = 0; b < insts.size(); ++b) {
+    auto [h_code, h_dag] = EncodeStage(insts[b]);
+    float* row = x.data() + b * in_dim;
+    size_t off = 0;
+    for (double v : insts[b].data_feat) row[off++] = static_cast<float>(v);
+    for (double v : insts[b].env_feat) row[off++] = static_cast<float>(v);
+    for (double v : insts[b].knobs) row[off++] = static_cast<float>(v);
+    for (float v : h_code.vec()) row[off++] = v;
+    for (float v : h_dag.vec()) row[off++] = v;
+    LITE_CHECK(off == in_dim) << "PredictBatch row width " << off
+                              << " != MLP input " << in_dim;
+  }
+  VarPtr pred = mlp_->ForwardBatch(Input(std::move(x)));
+  for (size_t b = 0; b < out.size(); ++b) out[b] = pred->value.at(b, 0);
+  return out;
+}
+
+double NecsModel::PredictAppSeconds(const CandidateEval& candidate) const {
+  std::vector<double> targets = PredictBatch(candidate.stage_instances);
+  double total = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    double reps = i < candidate.stage_reps.size()
+                      ? static_cast<double>(candidate.stage_reps[i])
+                      : 1.0;
+    total += SecondsFromTarget(targets[i]) * reps;
+  }
+  return total;
 }
 
 void NecsModel::SetTokenEmbeddings(const Tensor& embeddings) {

@@ -10,8 +10,12 @@
 #define LITE_LITE_NECS_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "lite/dataset.h"
@@ -45,8 +49,11 @@ class StageEstimator {
   virtual std::string name() const = 0;
 
   /// Predicted whole-application time: per-stage-spec predictions scaled by
-  /// execution counts and summed (Eq. 5's aggregation).
-  double PredictAppSeconds(const CandidateEval& candidate) const;
+  /// execution counts and summed (Eq. 5's aggregation). Virtual so models
+  /// with a batched inference path (NECS) can fuse the per-stage loop into
+  /// one matrix-matrix pass; overrides must stay numerically identical to
+  /// the default per-stage loop.
+  virtual double PredictAppSeconds(const CandidateEval& candidate) const;
 };
 
 class NecsModel : public Module, public StageEstimator {
@@ -64,13 +71,34 @@ class NecsModel : public Module, public StageEstimator {
   /// Full autodiff forward pass (training / fine-tuning).
   ForwardResult Forward(const StageInstance& inst) const;
 
-  /// Inference-only prediction with per-(app,stage) encoder caching — code
-  /// and DAG encodings do not depend on knobs, so candidate ranking reuses
-  /// them. Call InvalidateCache() after any parameter change.
+  /// Inference-only prediction with per-(app, stage, datasize) encoder
+  /// caching — code and DAG encodings do not depend on knobs, so candidate
+  /// ranking reuses them. Call InvalidateCache() after any parameter change
+  /// (NecsTrainer, AdaptiveModelUpdater and SetTokenEmbeddings already do).
   double PredictTarget(const StageInstance& inst) const override;
   std::string name() const override { return "NECS"; }
 
-  void InvalidateCache() const { cache_.clear(); }
+  /// Batched inference: one tower matrix-matrix pass over all instances
+  /// instead of B matrix-vector passes. Entry i is bit-identical to
+  /// PredictTarget(insts[i]). Thread-safe: the encoder cache is guarded by
+  /// a shared mutex, so concurrent PredictBatch/PredictTarget calls are
+  /// allowed (warm the cache first to avoid serializing on misses).
+  std::vector<double> PredictBatch(std::span<const StageInstance> insts) const;
+
+  /// Eq. 5 aggregation on the batched path; numerically identical to the
+  /// base-class per-stage loop.
+  double PredictAppSeconds(const CandidateEval& candidate) const override;
+
+  /// Precomputes encoder-cache entries for `insts` (the code encodings of
+  /// all missing stages run as one batched CNN projection). Scoring loops
+  /// call this once before sharding candidates across threads so the
+  /// parallel phase only ever reads the cache.
+  void WarmEncoderCache(std::span<const StageInstance> insts) const;
+
+  void InvalidateCache() const {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    cache_.clear();
+  }
 
   /// Replaces the token-embedding table with pretrained vectors (rows must
   /// match the token vocabulary, columns the configured emb_dim). Call
@@ -85,12 +113,19 @@ class NecsModel : public Module, public StageEstimator {
  private:
   VarPtr AssembleInput(const StageInstance& inst, const VarPtr& h_code,
                        const VarPtr& h_dag) const;
+  /// Cache identity of an instance's knob-independent encodings.
+  static std::string CacheKey(const StageInstance& inst);
+  /// Computes the (h_code, h_DAG) values for one instance (no caching).
+  std::pair<Tensor, Tensor> ComputeEncodings(const StageInstance& inst) const;
+  /// Cached (h_code, h_DAG) values; computes and inserts on miss.
+  std::pair<Tensor, Tensor> EncodeStage(const StageInstance& inst) const;
 
   NecsConfig config_;
   size_t op_vocab_size_;
   std::unique_ptr<TextCnnEncoder> cnn_;
   std::unique_ptr<GcnEncoder> gcn_;
   std::unique_ptr<Mlp> mlp_;
+  mutable std::shared_mutex cache_mu_;
   mutable std::unordered_map<std::string, std::pair<Tensor, Tensor>> cache_;
 };
 

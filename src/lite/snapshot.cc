@@ -165,8 +165,8 @@ LiteSystem::Recommendation LoadedLiteModel::Recommend(
   LITE_CHECK(!models_.empty()) << "LoadedLiteModel not initialized";
   auto t0 = std::chrono::steady_clock::now();
   Rng rng(seed_ ^ std::hash<std::string>{}(app.name));
-  std::vector<spark::Config> candidates =
-      acg_.SampleCandidates(app, data, env, num_candidates_, &rng);
+  std::vector<spark::Config> candidates = DedupeConfigs(
+      acg_.SampleCandidates(app, data, env, num_candidates_, &rng));
   {
     std::vector<spark::Config> feasible;
     for (const auto& c : candidates) {
@@ -174,21 +174,17 @@ LiteSystem::Recommendation LoadedLiteModel::Recommend(
     }
     if (!feasible.empty()) candidates = std::move(feasible);
   }
-  CorpusBuilder builder(runner_);
+  std::vector<const NecsModel*> models;
+  models.reserve(models_.size());
+  for (const auto& m : models_) models.push_back(m.get());
+  std::vector<double> scores = ScoreCandidatesWithEnsemble(
+      runner_, feature_space_, models, app, data, env, candidates);
   LiteSystem::Recommendation best;
   best.predicted_seconds = std::numeric_limits<double>::infinity();
-  for (const auto& config : candidates) {
-    CandidateEval ce =
-        builder.FeaturizeCandidate(feature_space_, app, data, env, config);
-    double score = 0.0;
-    for (const auto& m : models_) {
-      score += std::log1p(std::max(m->PredictAppSeconds(ce), 0.0));
-    }
-    score /= static_cast<double>(models_.size());
-    double predicted = std::expm1(score);
-    if (predicted < best.predicted_seconds) {
-      best.predicted_seconds = predicted;
-      best.config = config;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (scores[i] < best.predicted_seconds) {
+      best.predicted_seconds = scores[i];
+      best.config = candidates[i];
     }
   }
   best.candidates_evaluated = candidates.size();

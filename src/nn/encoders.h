@@ -32,6 +32,12 @@ class TextCnnEncoder : public Module {
   /// the largest kernel width are padded with token 0.
   VarPtr Forward(const std::vector<int>& token_ids) const;
 
+  /// Encodes several sequences at once: convolution + pooling stay
+  /// per-sequence (lengths differ), but the pooled Q vectors are stacked and
+  /// pushed through the output projection as one matrix-matrix product.
+  /// Row b is bit-identical to Forward(sequences[b]). Output is B x out_dim.
+  VarPtr ForwardBatch(const std::vector<std::vector<int>>& sequences) const;
+
   std::vector<VarPtr> Params() const override;
   size_t out_dim() const { return out_dim_; }
   const VarPtr& embedding() const { return embedding_; }

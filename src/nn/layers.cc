@@ -58,6 +58,19 @@ MlpOutput Mlp::Forward(const VarPtr& x) const {
   return res;
 }
 
+VarPtr Mlp::ForwardBatch(const VarPtr& x) const {
+  using namespace ops;
+  LITE_CHECK(x->value.rank() == 2 && x->value.shape()[1] == input_dim_)
+      << "ForwardBatch input must be B x " << input_dim_;
+  VarPtr h = x;
+  for (size_t l = 0; l + 1 < layers_.size(); ++l) {
+    h = Relu(layers_[l].Forward(h));
+  }
+  VarPtr out = layers_.back().Forward(h);
+  if (sigmoid_output_) out = Sigmoid(out);
+  return out;
+}
+
 std::vector<VarPtr> Mlp::Params() const {
   std::vector<VarPtr> out;
   for (const auto& l : layers_) {

@@ -48,6 +48,13 @@ class Mlp : public Module {
 
   MlpOutput Forward(const VarPtr& x) const;
 
+  /// Batched tower pass: `x` is B x input_dim, the result B x output_dim.
+  /// One matrix-matrix product per layer replaces B matrix-vector passes;
+  /// row b is bit-identical to Forward on row b alone (MatMul accumulates
+  /// per row in the same order regardless of batch size). Hidden
+  /// activations are not exposed — this is the inference fast path.
+  VarPtr ForwardBatch(const VarPtr& x) const;
+
   /// Convenience when hidden activations are not needed.
   VarPtr Predict(const VarPtr& x) const { return Forward(x).output; }
 

@@ -259,6 +259,34 @@ VarPtr Concat(const std::vector<VarPtr>& parts) {
   return node;
 }
 
+VarPtr StackRows(const std::vector<VarPtr>& parts) {
+  LITE_CHECK(!parts.empty()) << "StackRows of nothing";
+  size_t cols = parts[0]->numel();
+  for (const auto& p : parts) {
+    LITE_CHECK(p->value.rank() == 1 && p->numel() == cols)
+        << "StackRows needs equal-length rank-1 parts";
+  }
+  Tensor out(parts.size(), cols);
+  for (size_t r = 0; r < parts.size(); ++r) {
+    std::copy(parts[r]->value.vec().begin(), parts[r]->value.vec().end(),
+              out.vec().begin() + static_cast<long>(r * cols));
+  }
+  auto node = MakeNode(std::move(out), parts);
+  Var* n = node.get();
+  std::vector<Var*> raw;
+  raw.reserve(parts.size());
+  for (const auto& p : parts) raw.push_back(p.get());
+  node->backward_fn = [n, raw, cols]() {
+    for (size_t r = 0; r < raw.size(); ++r) {
+      if (!raw[r]->requires_grad) continue;
+      for (size_t c = 0; c < cols; ++c) {
+        raw[r]->grad[c] += n->grad.at(r, c);
+      }
+    }
+  };
+  return node;
+}
+
 VarPtr Row(const VarPtr& a, size_t r) {
   LITE_CHECK(a->value.rank() == 2 && r < a->value.shape()[0]) << "Row OOB";
   size_t cols = a->value.shape()[1];

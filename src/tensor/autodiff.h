@@ -79,6 +79,9 @@ VarPtr Tanh(const VarPtr& a);
 
 /// Concatenates rank-1 tensors into one rank-1 tensor.
 VarPtr Concat(const std::vector<VarPtr>& parts);
+/// Stacks equal-length rank-1 tensors into a rank-2 tensor (row i is
+/// parts[i]); the batched-inference building block.
+VarPtr StackRows(const std::vector<VarPtr>& parts);
 /// Extracts row r of a 2D tensor as a 1 x C matrix.
 VarPtr Row(const VarPtr& a, size_t r);
 /// Extracts columns [start, start+len) of a 2D tensor (LSTM gate slicing).

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace lite {
 
@@ -28,17 +29,38 @@ TuningResult MlpTuner::Tune(const TuningTask& task, double budget_seconds) {
   Rng rng(seed_ ^ std::hash<std::string>{}(task.app->name));
   CorpusBuilder builder(exec_.runner());
 
-  TuningResult res;
-  double best_pred = std::numeric_limits<double>::infinity();
+  // Candidate generation stays sequential (one RNG stream); scoring reuses
+  // the batched-recommender pattern: featurize the application once (only
+  // knob features differ between candidates), shard candidates across the
+  // shared pool, reduce in index order — the argmin is identical to the
+  // old generate-and-score loop.
+  std::vector<Config> candidates;
+  candidates.reserve(num_candidates_);
   for (size_t i = 0; i < num_candidates_; ++i) {
     Config config = space.RandomConfig(&rng);
-    if (!spark::PlacementFeasible(task.env, config)) continue;
-    CandidateEval ce = builder.FeaturizeCandidate(*corpus_, *task.app,
-                                                  task.data, task.env, config);
-    double pred = estimator_->PredictAppSecondsOverride(ce);
-    if (pred < best_pred) {
-      best_pred = pred;
-      res.best_config = config;
+    if (spark::PlacementFeasible(task.env, config)) {
+      candidates.push_back(std::move(config));
+    }
+  }
+
+  TuningResult res;
+  double best_pred = std::numeric_limits<double>::infinity();
+  if (!candidates.empty()) {
+    const CandidateEval base = builder.FeaturizeCandidate(
+        *corpus_, *task.app, task.data, task.env, candidates[0]);
+    std::vector<double> preds(candidates.size());
+    ThreadPool::Shared().ParallelFor(candidates.size(), [&](size_t i) {
+      CandidateEval ce = base;
+      ce.config = candidates[i];
+      std::vector<double> knobs = space.Normalize(candidates[i]);
+      for (auto& inst : ce.stage_instances) inst.knobs = knobs;
+      preds[i] = estimator_->PredictAppSecondsOverride(ce);
+    });
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (preds[i] < best_pred) {
+        best_pred = preds[i];
+        res.best_config = candidates[i];
+      }
     }
   }
   if (res.best_config.empty()) res.best_config = space.DefaultConfig();

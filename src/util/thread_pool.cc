@@ -1,0 +1,128 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace lite {
+
+namespace {
+// Set while a thread is executing pool work; nested ParallelFor calls from a
+// worker run inline instead of re-entering the queue (which could deadlock
+// when every worker is blocked waiting on the nested loop).
+thread_local bool t_inside_pool_task = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    t_inside_pool_task = true;
+    task();  // Submit wraps tasks in packaged_task, which captures throws.
+    t_inside_pool_task = false;
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> fut = packaged->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.emplace_back([packaged] { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (t_inside_pool_task || workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct LoopState {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t pending = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<LoopState>();
+
+  auto drain = [state, &fn, n] {
+    for (;;) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      {
+        // A failed iteration stops the loop early but never the process;
+        // only the first exception is kept and rethrown on the caller.
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->error) return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->pending = helpers;
+  }
+  for (size_t h = 0; h < helpers; ++h) {
+    std::function<void()> helper = [state, drain] {
+      drain();
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->pending == 0) state->done.notify_all();
+    };
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.emplace_back(std::move(helper));
+    }
+    cv_.notify_one();
+  }
+
+  drain();  // The caller works too instead of just blocking.
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->pending == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace lite

@@ -1,0 +1,73 @@
+// A small fixed-size worker pool with deterministic parallel-for /
+// parallel-map helpers, used to shard candidate scoring across cores.
+//
+// Determinism contract: ParallelMap writes result i into slot i and the
+// caller reduces in index order, so the outcome is independent of thread
+// count and scheduling. Exceptions thrown by tasks are captured and the
+// first one is rethrown on the calling thread. Calling ParallelFor from
+// inside a worker task runs the loop inline (no deadlock on nested
+// submission); empty submissions return immediately.
+#ifndef LITE_UTIL_THREAD_POOL_H_
+#define LITE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lite {
+
+class ThreadPool {
+ public:
+  /// `num_threads` worker threads; 0 picks std::thread::hardware_concurrency
+  /// (at least 1). A pool of size 1 still runs tasks on its single worker;
+  /// the ParallelFor caller always participates, so even size-1 pools
+  /// overlap work with the caller.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task; the future rethrows anything the task throws.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, n), sharding across the pool with the
+  /// calling thread participating. Blocks until all iterations finish.
+  /// The first exception thrown by any iteration is rethrown here. Safe to
+  /// call with n == 0 and safe to call from inside a worker task (runs
+  /// inline in that case).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Ordered reduction: returns {map(0), map(1), ..., map(n-1)} — slot i
+  /// always holds map(i), so downstream reductions are deterministic
+  /// regardless of thread count or scheduling.
+  template <typename T>
+  std::vector<T> ParallelMap(size_t n, const std::function<T(size_t)>& map) {
+    std::vector<T> out(n);
+    ParallelFor(n, [&](size_t i) { out[i] = map(i); });
+    return out;
+  }
+
+  /// Process-wide pool sized to the hardware; lives for the process.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace lite
+
+#endif  // LITE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,206 @@
+// Golden-trace regression tests: three fixed (application, datasize,
+// environment, configuration) tuples with their simulated stage traces and
+// seeded untrained NECS predictions snapshotted under tests/golden/. Any
+// numerical drift in the cost model, featurization, or model initialization
+// shows up as a diff against these files.
+//
+// Regenerate after an intentional change with:
+//   LITE_REGEN_GOLDEN=1 ./build/tests/golden_trace_test
+// and commit the updated files together with the change that explains them.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lite/dataset.h"
+#include "lite/necs.h"
+#include "sparksim/runner.h"
+#include "util/logging.h"
+
+namespace lite {
+namespace {
+
+#ifndef LITE_GOLDEN_DIR
+#error "LITE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+constexpr double kTol = 1e-9;
+
+struct GoldenCase {
+  std::string file;      ///< snapshot filename under tests/golden/.
+  std::string app;       ///< AppCatalog abbreviation.
+  double size_mb;        ///< 0 = the application's test_size_mb.
+  spark::ClusterEnv env;
+  spark::Config config;  ///< empty = KnobSpace default.
+};
+
+std::vector<GoldenCase> Cases() {
+  const auto& space = spark::KnobSpace::Spark16();
+  spark::Config modified = space.DefaultConfig();
+  modified[spark::kExecutorCores] = 2;
+  modified[spark::kExecutorMemory] = 4;
+  return {
+      {"ts_100mb_cluster_a.txt", "TS", 100.0, spark::ClusterEnv::ClusterA(),
+       space.DefaultConfig()},
+      {"pr_test_cluster_c.txt", "PR", 0.0, spark::ClusterEnv::ClusterC(),
+       space.DefaultConfig()},
+      {"km_150mb_cluster_b.txt", "KM", 150.0, spark::ClusterEnv::ClusterB(),
+       modified},
+  };
+}
+
+/// The observable record of one tuple: the simulated stage trace plus the
+/// per-stage predictions of a freshly seeded (untrained) NECS model over the
+/// tuple's featurized stage instances.
+struct TraceRecord {
+  std::vector<size_t> stage_index;
+  std::vector<int> iteration;
+  std::vector<double> stage_seconds;
+  double total_seconds = 0.0;
+  std::vector<double> necs_targets;
+};
+
+Corpus SharedCorpus(const spark::SparkRunner& runner) {
+  CorpusOptions opts;
+  opts.apps = {"TS", "PR", "KM"};
+  opts.clusters = {spark::ClusterEnv::ClusterA()};
+  opts.configs_per_setting = 2;
+  opts.max_stage_instances_per_run = 5;
+  opts.max_code_tokens = 64;
+  return CorpusBuilder(&runner).Build(opts);
+}
+
+TraceRecord ComputeRecord(const spark::SparkRunner& runner,
+                          const Corpus& corpus, const NecsModel& model,
+                          const GoldenCase& gc) {
+  const auto* app = spark::AppCatalog::Find(gc.app);
+  LITE_CHECK(app != nullptr) << gc.app;
+  double size = gc.size_mb > 0 ? gc.size_mb : app->test_size_mb;
+  spark::DataSpec data = app->MakeData(size);
+
+  TraceRecord rec;
+  spark::AppRunResult run =
+      runner.cost_model().Run(*app, data, gc.env, gc.config);
+  for (const auto& sr : run.stage_runs) {
+    rec.stage_index.push_back(sr.stage_index);
+    rec.iteration.push_back(sr.iteration);
+    rec.stage_seconds.push_back(sr.seconds);
+  }
+  rec.total_seconds = run.total_seconds;
+
+  CandidateEval ce = CorpusBuilder(&runner).FeaturizeCandidate(
+      corpus, *app, data, gc.env, gc.config);
+  rec.necs_targets = model.PredictBatch(ce.stage_instances);
+  return rec;
+}
+
+void WriteGolden(const std::string& path, const GoldenCase& gc,
+                 const TraceRecord& rec) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out.precision(17);
+  out << "golden v1 app " << gc.app << "\n";
+  out << "stages " << rec.stage_seconds.size() << "\n";
+  for (size_t i = 0; i < rec.stage_seconds.size(); ++i) {
+    out << rec.stage_index[i] << " " << rec.iteration[i] << " "
+        << rec.stage_seconds[i] << "\n";
+  }
+  out << "total " << rec.total_seconds << "\n";
+  out << "necs " << rec.necs_targets.size() << "\n";
+  for (double t : rec.necs_targets) out << t << "\n";
+  ASSERT_TRUE(out) << "short write to " << path;
+}
+
+void CompareAgainstGolden(const std::string& path, const GoldenCase& gc,
+                          const TraceRecord& rec) {
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (regenerate with LITE_REGEN_GOLDEN=1)";
+  std::string magic, version, key, app;
+  size_t stages = 0;
+  ASSERT_TRUE(in >> magic >> version >> key >> app);
+  ASSERT_EQ(magic, "golden");
+  ASSERT_EQ(version, "v1");
+  ASSERT_EQ(app, gc.app);
+  ASSERT_TRUE(in >> key >> stages);
+  ASSERT_EQ(key, "stages");
+  ASSERT_EQ(stages, rec.stage_seconds.size()) << "stage count drifted";
+  for (size_t i = 0; i < stages; ++i) {
+    size_t idx = 0;
+    int iter = 0;
+    double seconds = 0.0;
+    ASSERT_TRUE(in >> idx >> iter >> seconds) << "truncated at stage " << i;
+    EXPECT_EQ(idx, rec.stage_index[i]) << "stage order drifted at " << i;
+    EXPECT_EQ(iter, rec.iteration[i]) << "iteration drifted at " << i;
+    EXPECT_NEAR(seconds, rec.stage_seconds[i], kTol)
+        << "stage time drifted at " << i;
+  }
+  double total = 0.0;
+  ASSERT_TRUE(in >> key >> total);
+  ASSERT_EQ(key, "total");
+  EXPECT_NEAR(total, rec.total_seconds, kTol);
+  size_t necs = 0;
+  ASSERT_TRUE(in >> key >> necs);
+  ASSERT_EQ(key, "necs");
+  ASSERT_EQ(necs, rec.necs_targets.size()) << "instance count drifted";
+  for (size_t i = 0; i < necs; ++i) {
+    double target = 0.0;
+    ASSERT_TRUE(in >> target) << "truncated at prediction " << i;
+    EXPECT_NEAR(target, rec.necs_targets[i], kTol)
+        << "NECS prediction drifted at instance " << i;
+  }
+}
+
+TEST(GoldenTraceTest, FixedTuplesMatchSnapshots) {
+  spark::SparkRunner runner;
+  Corpus corpus = SharedCorpus(runner);
+  NecsConfig ncfg;
+  ncfg.emb_dim = 8;
+  ncfg.cnn_widths = {3, 4};
+  ncfg.cnn_kernels = 6;
+  ncfg.code_dim = 12;
+  ncfg.gcn_hidden = 8;
+  NecsModel model(corpus.vocab->size(), corpus.op_vocab->size(), ncfg,
+                  /*seed=*/7);
+
+  const bool regen = std::getenv("LITE_REGEN_GOLDEN") != nullptr;
+  for (const GoldenCase& gc : Cases()) {
+    SCOPED_TRACE(gc.file);
+    TraceRecord rec = ComputeRecord(runner, corpus, model, gc);
+    ASSERT_FALSE(rec.stage_seconds.empty());
+    ASSERT_FALSE(rec.necs_targets.empty());
+    std::string path = std::string(LITE_GOLDEN_DIR) + "/" + gc.file;
+    if (regen) {
+      WriteGolden(path, gc, rec);
+    } else {
+      CompareAgainstGolden(path, gc, rec);
+    }
+  }
+}
+
+// The golden model is untrained on purpose: its predictions pin down weight
+// initialization and the featurization pipeline without depending on the
+// training loop. This guard documents (and checks) that the snapshots were
+// produced deterministically from the seed.
+TEST(GoldenTraceTest, SeededModelIsDeterministic) {
+  spark::SparkRunner runner;
+  Corpus corpus = SharedCorpus(runner);
+  NecsConfig ncfg;
+  ncfg.emb_dim = 8;
+  ncfg.cnn_widths = {3, 4};
+  ncfg.cnn_kernels = 6;
+  ncfg.code_dim = 12;
+  ncfg.gcn_hidden = 8;
+  NecsModel a(corpus.vocab->size(), corpus.op_vocab->size(), ncfg, 7);
+  NecsModel b(corpus.vocab->size(), corpus.op_vocab->size(), ncfg, 7);
+  std::vector<double> pa = a.PredictBatch(corpus.instances);
+  std::vector<double> pb = b.PredictBatch(corpus.instances);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]) << i;
+}
+
+}  // namespace
+}  // namespace lite
