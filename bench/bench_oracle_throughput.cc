@@ -1,0 +1,116 @@
+// Oracle throughput harness: how many random workload tuples per second the
+// full simulator invariant catalog sustains, per invariant family. The
+// nightly workflow budgets its LITE_PROPERTY_CASES from these numbers
+// (10k cases must fit comfortably in a CI slot), and a step change in
+// cases/sec flags an accidentally quadratic invariant.
+//
+// Honours LITE_BENCH_SCALE (smoke: 200 tuples, quick: 2000, paper: 10000)
+// and LITE_TEST_SEED for the tuple stream.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "testkit/gen.h"
+#include "testkit/oracle.h"
+#include "util/table_printer.h"
+
+using namespace lite;
+
+namespace {
+
+size_t CasesForScale() {
+  const char* scale = std::getenv("LITE_BENCH_SCALE");
+  std::string s = scale ? scale : "quick";
+  if (s == "smoke") return 200;
+  if (s == "paper") return 10000;
+  return 2000;
+}
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+int main() {
+  size_t cases = CasesForScale();
+  uint64_t seed = testkit::SeedFromEnv();
+  testkit::SimulatorOracle oracle;
+
+  struct Family {
+    const char* label;
+    std::function<void(const testkit::WorkloadTuple&, testkit::OracleReport*)>
+        check;
+  };
+  std::vector<Family> families = {
+      {"sanity+totals",
+       [&](const testkit::WorkloadTuple& t, testkit::OracleReport* r) {
+         oracle.CheckStageSanity(t, r);
+         oracle.CheckTotalConsistency(t, r);
+       }},
+      {"serialization",
+       [&](const testkit::WorkloadTuple& t, testkit::OracleReport* r) {
+         oracle.CheckEventLogConsistency(t, r);
+         oracle.CheckTraceConsistency(t, r);
+       }},
+      {"monotonicity",
+       [&](const testkit::WorkloadTuple& t, testkit::OracleReport* r) {
+         oracle.CheckDataMonotonicity(t, r);
+         oracle.CheckExecutorScaling(t, r);
+         oracle.CheckEnvMonotonicity(t, r);
+         oracle.CheckShuffleBufferSensitivity(t, r);
+       }},
+      {"fault+harness",
+       [&](const testkit::WorkloadTuple& t, testkit::OracleReport* r) {
+         oracle.CheckFaultReplay(t, r);
+         oracle.CheckResilientTransparency(t, r);
+       }},
+  };
+
+  std::cout << "oracle throughput, " << cases << " tuples, LITE_TEST_SEED="
+            << seed << "\n\n";
+  TablePrinter table({"family", "tuples/s", "violations"});
+  size_t total_violations = 0;
+  for (const auto& family : families) {
+    testkit::TupleGenerator gen(testkit::GenOptions{}, seed);
+    testkit::OracleReport report;
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < cases; ++i) {
+      testkit::WorkloadTuple t = gen.Next();
+      family.check(t, &report);
+    }
+    double secs = Seconds(start, std::chrono::steady_clock::now());
+    total_violations += report.violations.size();
+    table.AddRow({family.label,
+                  std::to_string(static_cast<long>(cases / std::max(secs, 1e-9))),
+                  std::to_string(report.violations.size())});
+  }
+  // Full catalog end to end (what the nightly sweep actually pays).
+  {
+    testkit::TupleGenerator gen(testkit::GenOptions{}, seed);
+    size_t violations = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < cases; ++i) {
+      violations += oracle.Check(gen.Next()).violations.size();
+    }
+    double secs = Seconds(start, std::chrono::steady_clock::now());
+    total_violations += violations;
+    table.AddRow({"full catalog",
+                  std::to_string(static_cast<long>(cases / std::max(secs, 1e-9))),
+                  std::to_string(violations)});
+  }
+  table.Print(std::cout);
+
+  if (total_violations != 0) {
+    std::cout << "\nFAIL: clean model produced " << total_violations
+              << " violations\n";
+    return 1;
+  }
+  std::cout << "\nPASS: clean model violation-free at this scale\n";
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "sparksim/cost_model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <functional>
 
@@ -118,6 +119,9 @@ StageRunResult CostModel::RunStage(const ApplicationSpec& app,
   double iter_scale = stage.per_iteration
                           ? std::max(0.15, std::pow(app.iteration_decay, iteration))
                           : 1.0;
+  if (options_.mutation == kMutIterationGrowth && stage.per_iteration) {
+    iter_scale = std::pow(std::max(app.iteration_decay, 1e-3), -iteration);
+  }
   double stage_rows =
       static_cast<double>(data.num_rows) * stage.input_fraction * iter_scale;
   double input_mb = data.size_mb * stage.input_fraction * iter_scale;
@@ -134,6 +138,8 @@ StageRunResult CostModel::RunStage(const ApplicationSpec& app,
   }
   r.tasks = tasks;
   int waves = (tasks + place.slots - 1) / place.slots;
+  if (options_.mutation == kMutWaveFloor) waves = tasks / place.slots;
+  if (options_.mutation == kMutWaveOffByOne) waves += 1;
   r.waves = waves;
   double rows_per_task = stage_rows / static_cast<double>(tasks);
 
@@ -144,6 +150,10 @@ StageRunResult CostModel::RunStage(const ApplicationSpec& app,
                      static_cast<double>(env.cores_per_node);
   double contention =
       1.0 + 0.45 * app.memory_intensity * occupancy * occupancy;
+  if (options_.mutation == kMutContentionInverted) {
+    contention =
+        std::max(0.1, 1.0 - 0.45 * app.memory_intensity * occupancy * occupancy);
+  }
   double mem_speed_factor = 0.85 + 0.15 * 2400.0 / env.memory_mts;
   double task_cpu = rows_per_task * stage.cpu_per_row * app.cpu_intensity *
                     options_.cpu_unit_seconds / env.cpu_ghz * contention *
@@ -164,7 +174,8 @@ StageRunResult CostModel::RunStage(const ApplicationSpec& app,
   }
   double pressure = working_set_mb / std::max(exec_mem_per_task_mb, 1.0);
   r.memory_pressure = pressure;
-  if (pressure > options_.oom_pressure_threshold) {
+  if (pressure > options_.oom_pressure_threshold &&
+      options_.mutation != kMutIgnoreOom) {
     r.failed = true;
     r.failure_reason = "executor OOM (working set far exceeds execution memory)";
     r.seconds = options_.failure_cap_seconds;
@@ -214,6 +225,7 @@ StageRunResult CostModel::RunStage(const ApplicationSpec& app,
     shuffle_time = write_time + net_time + flight_time +
                    comp_cpu / std::max(1, place.slots);
   }
+  if (options_.mutation == kMutDropShuffle) shuffle_time = 0.0;
 
   // ----- Cache recomputation: iterative stages reading a cached RDD pay a
   // re-read penalty when cluster storage memory cannot hold the cache.
@@ -258,6 +270,9 @@ StageRunResult CostModel::RunStage(const ApplicationSpec& app,
                    0.3 * result_mb / driver_heap_mb;  // driver GC.
   }
 
+  if (options_.mutation == kMutSpillSignFlip) {
+    spill_time_per_task = -spill_time_per_task;
+  }
   double per_task_time = task_cpu * gc_factor + options_.per_task_overhead +
                          spill_time_per_task;
   r.seconds = static_cast<double>(waves) * per_task_time + shuffle_time +
@@ -269,6 +284,10 @@ StageRunResult CostModel::RunStage(const ApplicationSpec& app,
   }
   r.seconds *= NoiseFactor(app, stage_index, iteration, data, env, config,
                            options_.noise_sigma);
+  if (options_.mutation == kMutStatefulNoise) {
+    static std::atomic<uint64_t> call_count{0};
+    r.seconds *= 1.0 + 1e-4 * static_cast<double>(call_count++ % 5);
+  }
   return r;
 }
 
@@ -286,7 +305,9 @@ AppRunResult CostModel::Run(const ApplicationSpec& app, const DataSpec& data,
       if (sr.failed) {
         out.failed = true;
         out.failure_reason = sr.failure_reason;
-        out.total_seconds = options_.failure_cap_seconds;
+        out.total_seconds = options_.mutation == kMutUncappedFailure
+                                ? options_.failure_cap_seconds * 10.0
+                                : options_.failure_cap_seconds;
         return out;
       }
       out.total_seconds += sr.seconds;

@@ -84,6 +84,30 @@ struct CostModelOptions {
   /// holds skew_alpha extra mass relative to a uniform share, stretching
   /// the stage's last wave. 0.5 models a moderately skewed key space.
   double skew_alpha = 0.0;
+
+  /// Test-only: injects one known cost-model bug (see CostModelMutation).
+  /// tools/mutation_check flips each id in turn and verifies that the
+  /// testkit oracle flags the mutated model. Production code and every
+  /// experiment leave this at kNone.
+  int mutation = 0;
+};
+
+/// The catalog of intentional cost-model bugs behind
+/// CostModelOptions::mutation. Each one models a realistic silent
+/// regression; tools/mutation_check proves the invariant oracle catches
+/// every entry.
+enum CostModelMutation : int {
+  kMutNone = 0,
+  kMutDropShuffle = 1,        ///< shuffle I/O time silently dropped.
+  kMutSpillSignFlip = 2,      ///< spill cost subtracted instead of added.
+  kMutWaveFloor = 3,          ///< wave count floored (can reach 0).
+  kMutWaveOffByOne = 4,       ///< wave count off by one (ceil + 1).
+  kMutIgnoreOom = 5,          ///< OOM pressure check skipped.
+  kMutUncappedFailure = 6,    ///< failures report 10x the failure cap.
+  kMutContentionInverted = 7, ///< memory contention speeds up with occupancy.
+  kMutIterationGrowth = 8,    ///< per-iteration work grows instead of decaying.
+  kMutStatefulNoise = 9,      ///< noise depends on call count (nondeterminism).
+  kNumMutations = 10,         ///< ids are 1 .. kNumMutations - 1.
 };
 
 /// Static schedulability check — what the resource manager rejects without

@@ -1,5 +1,8 @@
 #include "sparksim/trace.h"
 
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -13,6 +16,55 @@ std::string Escape(const std::string& s) {
     out.push_back(c);
   }
   return out;
+}
+
+/// Finds `"key":` in `line` starting at or after `from`; returns the index
+/// just past the colon, or npos. Only matches keys outside string values is
+/// not guaranteed — good enough for traces we wrote ourselves, and the
+/// value extractors below reject anything that does not parse.
+size_t FindKey(const std::string& line, const std::string& key) {
+  return line.find("\"" + key + "\":");
+}
+
+bool TraceString(const std::string& line, const std::string& key,
+                 std::string* out) {
+  size_t pos = FindKey(line, key);
+  if (pos == std::string::npos) return false;
+  pos += key.size() + 3;
+  if (pos >= line.size() || line[pos] != '"') return false;
+  ++pos;
+  std::string value;
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\') {
+      ++pos;
+      if (pos >= line.size()) return false;
+    }
+    value.push_back(line[pos]);
+    ++pos;
+  }
+  if (pos >= line.size()) return false;  // unterminated string.
+  *out = value;
+  return true;
+}
+
+bool TraceNumber(const std::string& line, const std::string& key, double* out) {
+  size_t pos = FindKey(line, key);
+  if (pos == std::string::npos) return false;
+  pos += key.size() + 3;
+  size_t end = pos;
+  while (end < line.size() &&
+         (std::isdigit(static_cast<unsigned char>(line[end])) ||
+          line[end] == '-' || line[end] == '+' || line[end] == '.' ||
+          line[end] == 'e' || line[end] == 'E')) {
+    ++end;
+  }
+  if (end == pos) return false;
+  std::string raw = line.substr(pos, end - pos);
+  char* parse_end = nullptr;
+  double v = std::strtod(raw.c_str(), &parse_end);
+  if (parse_end != raw.c_str() + raw.size() || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
 }
 }  // namespace
 
@@ -51,6 +103,63 @@ bool WriteChromeTraceFile(const ApplicationSpec& app, const AppRunResult& run,
   if (!out) return false;
   out << WriteChromeTrace(app, run);
   return static_cast<bool>(out);
+}
+
+bool ParseChromeTrace(const std::string& trace, ParsedChromeTrace* out) {
+  out->thread_names.clear();
+  out->spans.clear();
+
+  std::istringstream is(trace);
+  std::string line;
+  bool saw_open = false;
+  bool saw_close = false;
+  while (std::getline(is, line)) {
+    // Strip trailing CR and the inter-event comma.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ',')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line == "[") {
+      if (saw_open) return false;
+      saw_open = true;
+      continue;
+    }
+    if (line == "]") {
+      saw_close = true;
+      continue;
+    }
+    if (!saw_open || saw_close) return false;
+    if (line.front() != '{' || line.back() != '}') return false;
+
+    std::string ph;
+    if (!TraceString(line, "ph", &ph)) return false;
+    if (ph == "M") {
+      // Metadata: {"name":"thread_name",...,"args":{"name":"<stage>"}}.
+      // The stage name is the second "name" key; extract it from the args
+      // object slice.
+      size_t args_pos = FindKey(line, "args");
+      if (args_pos == std::string::npos) return false;
+      std::string args = line.substr(args_pos);
+      size_t brace = args.find('{');
+      if (brace == std::string::npos) return false;
+      std::string stage_name;
+      if (!TraceString(args.substr(brace), "name", &stage_name)) return false;
+      out->thread_names.push_back(stage_name);
+      continue;
+    }
+    if (ph != "X") return false;
+    TraceSpan span;
+    double tid = 0.0;
+    if (!TraceString(line, "name", &span.name)) return false;
+    if (!TraceNumber(line, "tid", &tid)) return false;
+    if (!TraceNumber(line, "ts", &span.ts_us)) return false;
+    if (!TraceNumber(line, "dur", &span.dur_us)) return false;
+    if (tid < 0.0 || tid > 1e6) return false;
+    span.tid = static_cast<int>(tid);
+    span.failed = line.find("\"failed\":true") != std::string::npos;
+    out->spans.push_back(span);
+  }
+  return saw_open && saw_close;
 }
 
 }  // namespace lite::spark

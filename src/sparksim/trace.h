@@ -6,6 +6,7 @@
 #define LITE_SPARKSIM_TRACE_H_
 
 #include <string>
+#include <vector>
 
 #include "sparksim/cost_model.h"
 
@@ -20,6 +21,25 @@ std::string WriteChromeTrace(const ApplicationSpec& app, const AppRunResult& run
 /// Convenience: writes the trace to a file; returns false on I/O error.
 bool WriteChromeTraceFile(const ApplicationSpec& app, const AppRunResult& run,
                           const std::string& path);
+
+/// One parsed complete-event span of a trace written by WriteChromeTrace.
+struct TraceSpan {
+  std::string name;
+  int tid = 0;           ///< stage-spec index row.
+  double ts_us = 0.0;    ///< span start in simulated microseconds.
+  double dur_us = 0.0;   ///< span duration in simulated microseconds.
+  bool failed = false;
+};
+
+struct ParsedChromeTrace {
+  std::vector<std::string> thread_names;  ///< one per stage spec (metadata).
+  std::vector<TraceSpan> spans;           ///< one per stage execution.
+};
+
+/// Parses a trace produced by WriteChromeTrace. Returns false (with `out`
+/// unspecified) on any malformed input — never throws, crashes, or reads
+/// out of bounds; the serialization fuzz suite feeds it corrupted bytes.
+bool ParseChromeTrace(const std::string& trace, ParsedChromeTrace* out);
 
 }  // namespace lite::spark
 

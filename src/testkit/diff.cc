@@ -1,0 +1,187 @@
+#include "testkit/diff.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "lite/snapshot.h"
+#include "sparksim/eventlog.h"
+#include "sparksim/resilient_runner.h"
+#include "sparksim/trace.h"
+
+namespace lite::testkit {
+
+namespace {
+
+DiffResult Fail(const std::string& message) { return {false, message}; }
+
+std::string Fmt(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+DiffResult DiffScalarVsBatch(const NecsModel& model,
+                             std::span<const StageInstance> insts) {
+  std::vector<double> batched = model.PredictBatch(insts);
+  if (batched.size() != insts.size()) {
+    return Fail("PredictBatch returned " + std::to_string(batched.size()) +
+                " predictions for " + std::to_string(insts.size()) +
+                " instances");
+  }
+  for (size_t i = 0; i < insts.size(); ++i) {
+    double scalar = model.PredictTarget(insts[i]);
+    if (scalar != batched[i]) {
+      return Fail("instance " + std::to_string(i) + ": scalar " +
+                  Fmt(scalar) + " != batched " + Fmt(batched[i]));
+    }
+  }
+  return {};
+}
+
+DiffResult DiffScoringThreadCounts(
+    const spark::SparkRunner* runner, const Corpus& feature_space,
+    const std::vector<const NecsModel*>& models, const WorkloadTuple& t,
+    const std::vector<spark::Config>& candidates,
+    const std::vector<size_t>& thread_counts) {
+  if (thread_counts.empty()) return {};
+  std::vector<double> reference;
+  size_t reference_threads = 0;
+  for (size_t threads : thread_counts) {
+    std::vector<double> scores = ScoreCandidatesWithEnsemble(
+        runner, feature_space, models, *t.app, t.data, t.env, candidates,
+        threads);
+    if (reference.empty()) {
+      reference = scores;
+      reference_threads = threads;
+      continue;
+    }
+    if (scores.size() != reference.size()) {
+      return Fail("score count changed between thread counts");
+    }
+    for (size_t i = 0; i < scores.size(); ++i) {
+      if (scores[i] != reference[i]) {
+        return Fail("candidate " + std::to_string(i) + ": " +
+                    std::to_string(reference_threads) + " thread(s) -> " +
+                    Fmt(reference[i]) + " but " + std::to_string(threads) +
+                    " thread(s) -> " + Fmt(scores[i]));
+      }
+    }
+  }
+  return {};
+}
+
+DiffResult DiffRunnerVsResilient(const spark::SparkRunner& runner,
+                                 const WorkloadTuple& t) {
+  spark::ResilientRunner inert(&runner);
+  double direct = runner.Measure(*t.app, t.data, t.env, t.config);
+  spark::MeasureOutcome outcome =
+      inert.MeasureDetailed(*t.app, t.data, t.env, t.config);
+  if (outcome.seconds != direct) {
+    return Fail("inert harness " + Fmt(outcome.seconds) +
+                "s != plain runner " + Fmt(direct) + "s");
+  }
+  if (outcome.attempts != 1 || outcome.wasted_seconds != 0.0 ||
+      outcome.transient) {
+    return Fail("inert harness reported retries/waste on a clean run");
+  }
+  return {};
+}
+
+DiffResult DiffEventLogRoundTrip(const spark::SparkRunner& runner,
+                                 const WorkloadTuple& t) {
+  spark::Submission sub = runner.Submit(*t.app, t.data, t.env, t.config);
+  spark::ParsedEventLog parsed;
+  if (!spark::ParseEventLog(sub.event_log, &parsed)) {
+    return Fail("event log does not parse back");
+  }
+  if (parsed.app_name != t.app->name || parsed.failed != sub.result.failed ||
+      parsed.stages.size() != sub.result.stage_runs.size()) {
+    return Fail("event-log header/stage structure drifted in round-trip");
+  }
+  const double tol = 1e-8;  // writer keeps 9 significant digits.
+  for (size_t i = 0; i < parsed.stages.size(); ++i) {
+    double want = sub.result.stage_runs[i].seconds;
+    if (std::fabs(parsed.stages[i].seconds - want) >
+        tol * std::max(1.0, want)) {
+      return Fail("stage " + std::to_string(i) + " time drifted: wrote " +
+                  Fmt(want) + "s, parsed " + Fmt(parsed.stages[i].seconds) +
+                  "s");
+    }
+  }
+  return {};
+}
+
+DiffResult DiffTraceRoundTrip(const spark::SparkRunner& runner,
+                              const WorkloadTuple& t) {
+  spark::AppRunResult run =
+      runner.cost_model().Run(*t.app, t.data, t.env, t.config);
+  std::string trace = spark::WriteChromeTrace(*t.app, run);
+  spark::ParsedChromeTrace parsed;
+  if (!spark::ParseChromeTrace(trace, &parsed)) {
+    return Fail("chrome trace does not parse back");
+  }
+  if (parsed.spans.size() != run.stage_runs.size()) {
+    return Fail("trace spans " + std::to_string(parsed.spans.size()) +
+                " != stage executions " +
+                std::to_string(run.stage_runs.size()));
+  }
+  for (size_t i = 0; i < parsed.spans.size(); ++i) {
+    double want_us = run.stage_runs[i].seconds * 1e6;
+    if (std::fabs(parsed.spans[i].dur_us - want_us) > 1e-2) {
+      return Fail("span " + std::to_string(i) + " duration drifted");
+    }
+  }
+  return {};
+}
+
+DiffResult DiffSnapshotRoundTrip(const LiteSystem& system,
+                                 const spark::SparkRunner& runner,
+                                 const WorkloadTuple& t,
+                                 const std::string& dir) {
+  if (!SaveSnapshot(system, dir)) {
+    return Fail("SaveSnapshot failed for " + dir);
+  }
+  std::unique_ptr<LoadedLiteModel> loaded = LoadedLiteModel::Load(dir, &runner);
+  if (loaded == nullptr) {
+    return Fail("LoadedLiteModel::Load failed for " + dir);
+  }
+  if (loaded->ensemble_size() != system.ensemble_size()) {
+    return Fail("ensemble size drifted in snapshot round-trip");
+  }
+
+  // (a) Bit-identical per-member predictions over the tuple's instances.
+  CandidateEval ce = CorpusBuilder(&runner).FeaturizeCandidate(
+      system.corpus(), *t.app, t.data, t.env, t.config);
+  for (size_t m = 0; m < system.ensemble_size(); ++m) {
+    const NecsModel* orig = system.ensemble_member(m);
+    const NecsModel* rest = loaded->model(m);
+    if (orig == nullptr || rest == nullptr) {
+      return Fail("missing ensemble member " + std::to_string(m));
+    }
+    std::vector<double> a = orig->PredictBatch(ce.stage_instances);
+    std::vector<double> b = rest->PredictBatch(ce.stage_instances);
+    if (a != b) {
+      return Fail("ensemble member " + std::to_string(m) +
+                  " predictions drifted through the snapshot");
+    }
+  }
+
+  // (b) Identical recommendation (same candidate stream seed + weights).
+  LiteSystem::Recommendation orig = system.Recommend(*t.app, t.data, t.env);
+  LiteSystem::Recommendation rest = loaded->Recommend(*t.app, t.data, t.env);
+  if (orig.config != rest.config) {
+    return Fail("recommended configuration drifted through the snapshot");
+  }
+  if (std::fabs(orig.predicted_seconds - rest.predicted_seconds) >
+      1e-9 * (1.0 + std::fabs(orig.predicted_seconds))) {
+    return Fail("predicted seconds drifted through the snapshot: " +
+                Fmt(orig.predicted_seconds) + " vs " +
+                Fmt(rest.predicted_seconds));
+  }
+  return {};
+}
+
+}  // namespace lite::testkit

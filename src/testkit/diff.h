@@ -1,0 +1,73 @@
+// Testkit differential layer: the repo now has three execution paths
+// (scalar NECS, batched NECS, resilient harness) and a persistence format
+// that all claim to agree. This header turns each agreement claim into a
+// checkable assertion:
+//
+//   * scalar PredictTarget vs batched PredictBatch — bit-identical;
+//   * ensemble candidate scoring across thread counts — bit-identical;
+//   * SparkRunner vs ResilientRunner with faults disabled — bit-identical;
+//   * LiteSystem vs its snapshot round-trip — identical recommendation and
+//     bit-identical ensemble predictions;
+//   * event-log and Chrome-trace serialization round-trips.
+//
+// Each check returns a DiffResult whose message pinpoints the first
+// divergence; suites assert `result.ok` and print `result.message`.
+#ifndef LITE_TESTKIT_DIFF_H_
+#define LITE_TESTKIT_DIFF_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lite/dataset.h"
+#include "lite/lite_system.h"
+#include "lite/necs.h"
+#include "testkit/gen.h"
+
+namespace lite::testkit {
+
+struct DiffResult {
+  bool ok = true;
+  std::string message;
+};
+
+/// Scalar PredictTarget vs one PredictBatch call over `insts`: entry i must
+/// be bit-identical (the batched tower documents this contract).
+DiffResult DiffScalarVsBatch(const NecsModel& model,
+                             std::span<const StageInstance> insts);
+
+/// ScoreCandidatesWithEnsemble across `thread_counts`: every thread count
+/// must produce bit-identical scores (ordered reduction contract).
+DiffResult DiffScoringThreadCounts(
+    const spark::SparkRunner* runner, const Corpus& feature_space,
+    const std::vector<const NecsModel*>& models, const WorkloadTuple& t,
+    const std::vector<spark::Config>& candidates,
+    const std::vector<size_t>& thread_counts);
+
+/// SparkRunner::Measure vs an inert-plan ResilientRunner on one tuple:
+/// bit-identical seconds, and the detailed outcome must report a clean
+/// single attempt.
+DiffResult DiffRunnerVsResilient(const spark::SparkRunner& runner,
+                                 const WorkloadTuple& t);
+
+/// Event-log serialization round-trip on one tuple: structure and times
+/// must survive WriteEventLog -> ParseEventLog.
+DiffResult DiffEventLogRoundTrip(const spark::SparkRunner& runner,
+                                 const WorkloadTuple& t);
+
+/// Chrome-trace round-trip on one tuple: spans must mirror stage runs.
+DiffResult DiffTraceRoundTrip(const spark::SparkRunner& runner,
+                              const WorkloadTuple& t);
+
+/// Snapshot round-trip: saves `system` into `dir` (which must exist and be
+/// writable), loads it back, and compares (a) the recommendation for the
+/// tuple and (b) every ensemble member's predictions over the tuple's
+/// featurized stage instances, bit for bit.
+DiffResult DiffSnapshotRoundTrip(const LiteSystem& system,
+                                 const spark::SparkRunner& runner,
+                                 const WorkloadTuple& t,
+                                 const std::string& dir);
+
+}  // namespace lite::testkit
+
+#endif  // LITE_TESTKIT_DIFF_H_

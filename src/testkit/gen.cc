@@ -1,0 +1,192 @@
+#include "testkit/gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "lite/dataset.h"
+#include "util/logging.h"
+
+namespace lite::testkit {
+
+uint64_t SeedFromEnv(const char* env_var, uint64_t fallback) {
+  const char* v = std::getenv(env_var);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) {
+    LITE_WARN << env_var << "='" << v
+              << "' is not a base-10 seed; using fallback " << fallback;
+    return fallback;
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+size_t CasesFromEnv(const char* env_var, size_t fallback) {
+  const char* v = std::getenv(env_var);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || parsed == 0) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+std::string WorkloadTuple::Describe() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << (app != nullptr ? app->abbrev : "?") << " size_mb=" << data.size_mb
+     << " rows=" << data.num_rows << " iters=" << data.iterations << " env="
+     << env.name << "(" << env.num_nodes << "x" << env.cores_per_node << ")";
+  const auto& space = spark::KnobSpace::Spark16();
+  spark::Config defaults = space.DefaultConfig();
+  os << " knobs{";
+  bool first = true;
+  for (size_t i = 0; i < config.size() && i < space.size(); ++i) {
+    if (config[i] == defaults[i]) continue;
+    if (!first) os << ",";
+    first = false;
+    os << space.spec(i).name << "=" << config[i];
+  }
+  os << (first ? "defaults}" : "}");
+  return os.str();
+}
+
+TupleGenerator::TupleGenerator(GenOptions options, uint64_t seed)
+    : options_(std::move(options)),
+      apps_(ResolveApps(options_.apps)),
+      clusters_(options_.clusters.empty() ? spark::ClusterEnv::AllClusters()
+                                          : options_.clusters),
+      rng_(seed) {
+  LITE_CHECK(!apps_.empty()) << "TupleGenerator: no applications";
+  LITE_CHECK(!clusters_.empty()) << "TupleGenerator: no clusters";
+}
+
+WorkloadTuple TupleGenerator::Next() {
+  WorkloadTuple t;
+  t.app = apps_[rng_.Index(apps_.size())];
+  t.env = clusters_[rng_.Index(clusters_.size())];
+
+  double base = t.app->train_sizes_mb.empty() ? 50.0 : t.app->train_sizes_mb[0];
+  double lo = std::log(options_.min_size_scale);
+  double hi = std::log(options_.max_size_scale);
+  double scale = std::exp(rng_.Uniform(lo, hi));
+  t.data = t.app->MakeData(std::max(1.0, base * scale));
+
+  const auto& space = spark::KnobSpace::Spark16();
+  t.config.resize(space.size());
+  for (size_t d = 0; d < space.size(); ++d) {
+    const auto& spec = space.spec(d);
+    double u = rng_.Uniform();
+    if (u < options_.corner_prob) {
+      t.config[d] = spec.min_value;
+    } else if (u < 2.0 * options_.corner_prob) {
+      t.config[d] = spec.max_value;
+    } else {
+      t.config[d] = rng_.Uniform(spec.min_value, spec.max_value);
+    }
+  }
+  t.config = space.Clamp(t.config);
+  return t;
+}
+
+namespace {
+
+/// One shrinking pass: proposes simpler variants in a fixed order and
+/// returns the first accepted one (or nullopt at a local minimum).
+bool TryShrinkStep(const WorkloadTuple& cur,
+                   const std::function<bool(const WorkloadTuple&)>& still_fails,
+                   int* probes_left, WorkloadTuple* out) {
+  const auto& space = spark::KnobSpace::Spark16();
+  spark::Config defaults = space.DefaultConfig();
+
+  auto probe = [&](const WorkloadTuple& candidate) {
+    if (*probes_left <= 0) return false;
+    --*probes_left;
+    if (!still_fails(candidate)) return false;
+    *out = candidate;
+    return true;
+  };
+
+  // Knob deltas back to their defaults, one at a time.
+  for (size_t d = 0; d < space.size() && d < cur.config.size(); ++d) {
+    if (cur.config[d] == defaults[d]) continue;
+    WorkloadTuple v = cur;
+    v.config[d] = defaults[d];
+    if (probe(v)) return true;
+  }
+  // Smaller data (rows scale with size so the tuple stays consistent).
+  if (cur.data.size_mb > 2.0) {
+    WorkloadTuple v = cur;
+    v.data.size_mb = std::max(1.0, cur.data.size_mb / 2.0);
+    v.data.num_rows = std::max<long>(1, cur.data.num_rows / 2);
+    if (probe(v)) return true;
+  }
+  // Fewer iterations.
+  if (cur.data.iterations > 1) {
+    WorkloadTuple v = cur;
+    v.data.iterations = std::max(1, cur.data.iterations / 2);
+    if (probe(v)) return true;
+  }
+  // The smallest cluster.
+  if (cur.env.name != spark::ClusterEnv::ClusterA().name) {
+    WorkloadTuple v = cur;
+    v.env = spark::ClusterEnv::ClusterA();
+    if (probe(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+WorkloadTuple ShrinkTuple(
+    const WorkloadTuple& failing,
+    const std::function<bool(const WorkloadTuple&)>& still_fails,
+    int max_probes) {
+  WorkloadTuple cur = failing;
+  int probes_left = max_probes;
+  WorkloadTuple next;
+  while (probes_left > 0 && TryShrinkStep(cur, still_fails, &probes_left, &next)) {
+    cur = next;
+  }
+  return cur;
+}
+
+PropertyOutcome CheckTupleProperty(
+    const std::string& property_name, size_t cases, const GenOptions& options,
+    uint64_t seed,
+    const std::function<std::string(const WorkloadTuple&)>& check) {
+  PropertyOutcome outcome;
+  TupleGenerator gen(options, seed);
+  for (size_t i = 0; i < cases; ++i) {
+    WorkloadTuple t = gen.Next();
+    std::string msg = check(t);
+    ++outcome.cases_run;
+    if (msg.empty()) continue;
+
+    WorkloadTuple minimal = ShrinkTuple(
+        t, [&](const WorkloadTuple& v) { return !check(v).empty(); });
+    std::string minimal_msg = check(minimal);
+
+    std::ostringstream os;
+    os << "property '" << property_name << "' failed at case " << i << "/"
+       << cases << "\n"
+       << "  replay with: LITE_TEST_SEED=" << seed << "\n"
+       << "  raw tuple:    " << t.Describe() << "\n"
+       << "  raw failure:  " << msg << "\n"
+       << "  minimal tuple: " << minimal.Describe() << "\n"
+       << "  minimal failure: " << minimal_msg << "\n";
+    outcome.ok = false;
+    outcome.report = os.str();
+
+    if (const char* artifact = std::getenv("LITE_SEED_ARTIFACT")) {
+      std::ofstream f(artifact, std::ios::app);
+      if (f) f << outcome.report;
+    }
+    return outcome;
+  }
+  return outcome;
+}
+
+}  // namespace lite::testkit

@@ -1,0 +1,115 @@
+// Testkit generators: random-but-replayable workload tuples for
+// property-based testing of the simulator and the LITE serving stack.
+//
+// Every randomized suite in this repository draws its master seed through
+// SeedFromEnv("LITE_TEST_SEED") so a failure printed as
+//
+//   replay with: LITE_TEST_SEED=12345 ./build/tests/oracle_property_test
+//
+// reproduces the exact failing case. On failure the harness greedily
+// shrinks the counterexample (knob deltas back to defaults, smaller data,
+// fewer iterations, smaller cluster) and reports the minimal tuple that
+// still violates the property, not the raw random draw.
+#ifndef LITE_TESTKIT_GEN_H_
+#define LITE_TESTKIT_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparksim/application.h"
+#include "sparksim/environment.h"
+#include "sparksim/knob.h"
+#include "util/rng.h"
+
+namespace lite::testkit {
+
+/// Master seed for a randomized suite: the value of `env_var` when set (any
+/// base-10 uint64), `fallback` otherwise. Suites must print the seed they
+/// ran with on failure so every run is replayable.
+uint64_t SeedFromEnv(const char* env_var = "LITE_TEST_SEED",
+                     uint64_t fallback = 0x5eed);
+
+/// Iteration count for a property sweep: `env_var` when set, else
+/// `fallback`. PR builds keep the default smoke tier; the nightly workflow
+/// exports LITE_PROPERTY_CASES=10000.
+size_t CasesFromEnv(const char* env_var = "LITE_PROPERTY_CASES",
+                    size_t fallback = 200);
+
+/// One complete simulator input: (application, data, environment, knobs).
+struct WorkloadTuple {
+  const spark::ApplicationSpec* app = nullptr;
+  spark::DataSpec data;
+  spark::ClusterEnv env;
+  spark::Config config;
+
+  /// Compact one-line description: app/data/env plus only the knobs that
+  /// differ from the Spark16 defaults (the interesting part of a shrunk
+  /// counterexample).
+  std::string Describe() const;
+};
+
+struct GenOptions {
+  /// Applications to draw from (names or abbrevs); empty = whole catalog.
+  std::vector<std::string> apps;
+  /// Clusters to draw from; empty = Table III's A/B/C.
+  std::vector<spark::ClusterEnv> clusters;
+  /// Data sizes are drawn log-uniformly in [min_scale, max_scale] times the
+  /// application's smallest training size.
+  double min_size_scale = 0.5;
+  double max_size_scale = 8.0;
+  /// Probability that a knob is pinned to its min (resp. max) instead of
+  /// drawn uniformly — corner-heavy sampling finds boundary bugs faster.
+  double corner_prob = 0.15;
+};
+
+/// Deterministic stream of random workload tuples. Two generators built
+/// with the same (options, seed) produce the same stream.
+class TupleGenerator {
+ public:
+  TupleGenerator(GenOptions options, uint64_t seed);
+
+  WorkloadTuple Next();
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  GenOptions options_;
+  std::vector<const spark::ApplicationSpec*> apps_;
+  std::vector<spark::ClusterEnv> clusters_;
+  Rng rng_;
+};
+
+/// Greedy counterexample minimization: repeatedly tries simpler variants of
+/// `failing` (each knob back to its default, data halved, iterations cut,
+/// environment swapped to the 1-node cluster A) and keeps a variant whenever
+/// `still_fails` holds, until a fixpoint or `max_probes` property
+/// evaluations. The result fails the property whenever the input did.
+WorkloadTuple ShrinkTuple(
+    const WorkloadTuple& failing,
+    const std::function<bool(const WorkloadTuple&)>& still_fails,
+    int max_probes = 400);
+
+/// Outcome of a property sweep. On failure `report` holds everything a
+/// human needs: the seed, the failing case index, the raw tuple, the shrunk
+/// minimal tuple and the property's message on it.
+struct PropertyOutcome {
+  bool ok = true;
+  size_t cases_run = 0;
+  std::string report;
+};
+
+/// Runs `check` over `cases` generated tuples. `check` returns an empty
+/// string when the property holds, else a violation message. Stops at the
+/// first failure, shrinks it, and formats the replay report. When the
+/// LITE_SEED_ARTIFACT environment variable names a writable path, the
+/// failing seed + report are also appended there (CI uploads it).
+PropertyOutcome CheckTupleProperty(
+    const std::string& property_name, size_t cases, const GenOptions& options,
+    uint64_t seed,
+    const std::function<std::string(const WorkloadTuple&)>& check);
+
+}  // namespace lite::testkit
+
+#endif  // LITE_TESTKIT_GEN_H_

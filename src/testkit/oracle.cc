@@ -1,0 +1,548 @@
+#include "testkit/oracle.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "sparksim/eventlog.h"
+#include "sparksim/resilient_runner.h"
+#include "sparksim/trace.h"
+
+namespace lite::testkit {
+
+namespace {
+
+spark::CostModelOptions WithoutNoise(spark::CostModelOptions o) {
+  o.noise_sigma = 0.0;
+  return o;
+}
+
+bool HasOp(const spark::StageSpec& stage, const std::string& op) {
+  for (const auto& o : stage.ops) {
+    if (o == op) return true;
+  }
+  return false;
+}
+
+/// Doubles the input data while keeping the tuple otherwise identical
+/// (iteration counts fixed so the stage structure is comparable).
+spark::DataSpec DoubleData(const spark::DataSpec& data) {
+  spark::DataSpec d = data;
+  d.size_mb *= 2.0;
+  d.num_rows *= 2;
+  return d;
+}
+
+void Violation(OracleReport* report, const std::string& invariant,
+               const std::string& detail) {
+  report->violations.push_back({invariant, detail});
+}
+
+std::string Fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string OracleReport::Summary() const {
+  std::ostringstream os;
+  for (const auto& v : violations) {
+    os << v.invariant << ": " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+SimulatorOracle::SimulatorOracle(spark::CostModelOptions model_options,
+                                 OracleOptions options)
+    : options_(options),
+      runner_(model_options),
+      quiet_runner_(WithoutNoise(model_options)) {}
+
+const std::vector<std::string>& SimulatorOracle::InvariantNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "stage_sanity",
+      "total_consistency",
+      "determinism",
+      "eventlog_consistency",
+      "trace_consistency",
+      "inner_metrics",
+      "oom_consistency",
+      "data_monotonicity",
+      "executor_scaling",
+      "iteration_monotonicity",
+      "shuffle_buffer_sensitivity",
+      "env_monotonicity",
+      "fault_replay",
+      "resilient_transparency",
+  };
+  return *names;
+}
+
+OracleReport SimulatorOracle::Check(const WorkloadTuple& t) const {
+  OracleReport report;
+  CheckStageSanity(t, &report);
+  CheckTotalConsistency(t, &report);
+  CheckDeterminism(t, &report);
+  CheckEventLogConsistency(t, &report);
+  CheckTraceConsistency(t, &report);
+  CheckInnerMetrics(t, &report);
+  CheckOomConsistency(t, &report);
+  CheckDataMonotonicity(t, &report);
+  CheckExecutorScaling(t, &report);
+  CheckIterationMonotonicity(t, &report);
+  CheckShuffleBufferSensitivity(t, &report);
+  CheckEnvMonotonicity(t, &report);
+  CheckFaultReplay(t, &report);
+  CheckResilientTransparency(t, &report);
+  return report;
+}
+
+void SimulatorOracle::CheckStageSanity(const WorkloadTuple& t,
+                                       OracleReport* report) const {
+  const spark::CostModel& model = runner_.cost_model();
+  spark::AppRunResult run = model.Run(*t.app, t.data, t.env, t.config);
+  double cap = model.options().failure_cap_seconds;
+  for (const auto& sr : run.stage_runs) {
+    std::string at = "stage " + std::to_string(sr.stage_index) + " it" +
+                     std::to_string(sr.iteration);
+    if (!std::isfinite(sr.seconds) || !std::isfinite(sr.cpu_seconds) ||
+        !std::isfinite(sr.input_mb) || !std::isfinite(sr.shuffle_mb) ||
+        !std::isfinite(sr.spill_mb) || !std::isfinite(sr.memory_pressure)) {
+      Violation(report, "stage_sanity", at + ": non-finite diagnostics");
+      continue;
+    }
+    if (sr.input_mb < 0.0 || sr.shuffle_mb < 0.0 || sr.spill_mb < 0.0 ||
+        sr.cpu_seconds < 0.0 || sr.memory_pressure < 0.0) {
+      Violation(report, "stage_sanity", at + ": negative diagnostics");
+    }
+    if (sr.failed) {
+      if (std::fabs(sr.seconds - cap) > 1e-9) {
+        Violation(report, "stage_sanity",
+                  at + ": failed stage reports " + Fmt(sr.seconds) +
+                      "s instead of the failure cap " + Fmt(cap));
+      }
+      continue;  // diagnostics of a failed stage are partial.
+    }
+    if (sr.seconds <= 0.0) {
+      Violation(report, "stage_sanity",
+                at + ": non-positive stage time " + Fmt(sr.seconds));
+    }
+    if (sr.tasks < 1) {
+      Violation(report, "stage_sanity",
+                at + ": task count " + std::to_string(sr.tasks) + " < 1");
+    }
+    if (sr.waves < 1 || sr.waves > sr.tasks) {
+      Violation(report, "stage_sanity",
+                at + ": wave count " + std::to_string(sr.waves) +
+                    " outside [1, tasks=" + std::to_string(sr.tasks) + "]");
+      continue;
+    }
+    int min_waves = static_cast<int>(
+        (sr.tasks + t.env.total_cores() - 1) / t.env.total_cores());
+    if (sr.waves < min_waves) {
+      Violation(report, "stage_sanity",
+                at + ": " + std::to_string(sr.tasks) + " tasks on " +
+                    std::to_string(t.env.total_cores()) +
+                    " cluster cores cannot finish in " +
+                    std::to_string(sr.waves) + " wave(s)");
+    }
+  }
+}
+
+void SimulatorOracle::CheckTotalConsistency(const WorkloadTuple& t,
+                                            OracleReport* report) const {
+  const spark::CostModel& model = runner_.cost_model();
+  spark::AppRunResult run = model.Run(*t.app, t.data, t.env, t.config);
+  double cap = model.options().failure_cap_seconds;
+  if (run.failed) {
+    if (std::fabs(run.total_seconds - cap) > 1e-9) {
+      Violation(report, "total_consistency",
+                "failed run reports " + Fmt(run.total_seconds) +
+                    "s instead of the failure cap " + Fmt(cap));
+    }
+    if (run.stage_runs.empty() || !run.stage_runs.back().failed) {
+      Violation(report, "total_consistency",
+                "failed run does not end at the failed stage");
+    }
+    return;
+  }
+  if (run.total_seconds > cap * (1.0 + 1e-12)) {
+    Violation(report, "total_consistency",
+              "total " + Fmt(run.total_seconds) + "s exceeds the cap " +
+                  Fmt(cap) + "s");
+  }
+  double sum = 0.0;
+  for (const auto& sr : run.stage_runs) sum += sr.seconds;
+  double expected = std::min(sum, cap);
+  if (std::fabs(run.total_seconds - expected) >
+      options_.rel_tol * std::max(1.0, expected)) {
+    Violation(report, "total_consistency",
+              "total " + Fmt(run.total_seconds) +
+                  "s != capped stage sum " + Fmt(expected) + "s");
+  }
+}
+
+void SimulatorOracle::CheckDeterminism(const WorkloadTuple& t,
+                                       OracleReport* report) const {
+  const spark::CostModel& model = runner_.cost_model();
+  spark::AppRunResult a = model.Run(*t.app, t.data, t.env, t.config);
+  spark::AppRunResult b = model.Run(*t.app, t.data, t.env, t.config);
+  if (a.total_seconds != b.total_seconds || a.failed != b.failed ||
+      a.stage_runs.size() != b.stage_runs.size()) {
+    Violation(report, "determinism",
+              "repeated runs disagree: " + Fmt(a.total_seconds) + "s vs " +
+                  Fmt(b.total_seconds) + "s");
+    return;
+  }
+  for (size_t i = 0; i < a.stage_runs.size(); ++i) {
+    if (a.stage_runs[i].seconds != b.stage_runs[i].seconds) {
+      Violation(report, "determinism",
+                "stage " + std::to_string(i) + " drifted between runs: " +
+                    Fmt(a.stage_runs[i].seconds) + "s vs " +
+                    Fmt(b.stage_runs[i].seconds) + "s");
+      return;
+    }
+  }
+}
+
+void SimulatorOracle::CheckEventLogConsistency(const WorkloadTuple& t,
+                                               OracleReport* report) const {
+  spark::Submission sub = runner_.Submit(*t.app, t.data, t.env, t.config);
+  spark::ParsedEventLog parsed;
+  if (!spark::ParseEventLog(sub.event_log, &parsed)) {
+    Violation(report, "eventlog_consistency", "own event log does not parse");
+    return;
+  }
+  if (parsed.app_name != t.app->name) {
+    Violation(report, "eventlog_consistency",
+              "app name round-trip: '" + parsed.app_name + "'");
+  }
+  if (parsed.failed != sub.result.failed) {
+    Violation(report, "eventlog_consistency", "failure flag round-trip");
+  }
+  if (parsed.stages.size() != sub.result.stage_runs.size()) {
+    Violation(report, "eventlog_consistency",
+              "stage count " + std::to_string(parsed.stages.size()) + " vs " +
+                  std::to_string(sub.result.stage_runs.size()));
+    return;
+  }
+  // The writer keeps 9 significant digits.
+  const double tol = 1e-8;
+  for (size_t i = 0; i < parsed.stages.size(); ++i) {
+    const auto& ev = parsed.stages[i];
+    const auto& sr = sub.result.stage_runs[i];
+    if (ev.stage_index != sr.stage_index || ev.iteration != sr.iteration ||
+        std::fabs(ev.seconds - sr.seconds) >
+            tol * std::max(1.0, std::fabs(sr.seconds))) {
+      Violation(report, "eventlog_consistency",
+                "stage event " + std::to_string(i) + " drifted in round-trip");
+      return;
+    }
+  }
+  if (std::fabs(parsed.total_seconds - sub.result.total_seconds) >
+      tol * std::max(1.0, sub.result.total_seconds)) {
+    Violation(report, "eventlog_consistency",
+              "total round-trip: " + Fmt(parsed.total_seconds) + "s vs " +
+                  Fmt(sub.result.total_seconds) + "s");
+  }
+}
+
+void SimulatorOracle::CheckTraceConsistency(const WorkloadTuple& t,
+                                            OracleReport* report) const {
+  const spark::CostModel& model = runner_.cost_model();
+  spark::AppRunResult run = model.Run(*t.app, t.data, t.env, t.config);
+  std::string trace = spark::WriteChromeTrace(*t.app, run);
+  spark::ParsedChromeTrace parsed;
+  if (!spark::ParseChromeTrace(trace, &parsed)) {
+    Violation(report, "trace_consistency", "own trace does not parse");
+    return;
+  }
+  if (parsed.thread_names.size() != t.app->stages.size()) {
+    Violation(report, "trace_consistency",
+              "trace rows " + std::to_string(parsed.thread_names.size()) +
+                  " != stage specs " + std::to_string(t.app->stages.size()));
+  }
+  if (parsed.spans.size() != run.stage_runs.size()) {
+    Violation(report, "trace_consistency",
+              "trace spans " + std::to_string(parsed.spans.size()) +
+                  " != stage executions " +
+                  std::to_string(run.stage_runs.size()));
+    return;
+  }
+  // The writer emits fixed-point microseconds with 3 decimals.
+  const double tol_us = 1e-2;
+  double cursor_us = 0.0;
+  for (size_t i = 0; i < parsed.spans.size(); ++i) {
+    const auto& span = parsed.spans[i];
+    const auto& sr = run.stage_runs[i];
+    if (span.tid != static_cast<int>(sr.stage_index) ||
+        span.failed != sr.failed) {
+      Violation(report, "trace_consistency",
+                "span " + std::to_string(i) + " row/failure mismatch");
+      return;
+    }
+    if (std::fabs(span.dur_us - sr.seconds * 1e6) > tol_us) {
+      Violation(report, "trace_consistency",
+                "span " + std::to_string(i) + " duration " +
+                    Fmt(span.dur_us) + "us != stage time " +
+                    Fmt(sr.seconds * 1e6) + "us");
+      return;
+    }
+    if (std::fabs(span.ts_us - cursor_us) > tol_us * (1.0 + double(i))) {
+      Violation(report, "trace_consistency",
+                "span " + std::to_string(i) + " not contiguous in time");
+      return;
+    }
+    cursor_us += sr.seconds * 1e6;
+  }
+}
+
+void SimulatorOracle::CheckInnerMetrics(const WorkloadTuple& t,
+                                        OracleReport* report) const {
+  spark::AppRunResult run =
+      runner_.cost_model().Run(*t.app, t.data, t.env, t.config);
+  std::vector<double> m = run.InnerMetrics();
+  if (m.size() != spark::AppRunResult::kInnerMetricsDim) {
+    Violation(report, "inner_metrics", "wrong metric dimension");
+    return;
+  }
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(m[i])) {
+      Violation(report, "inner_metrics",
+                "metric " + std::to_string(i) + " non-finite");
+      return;
+    }
+  }
+  if (m[6] != (run.failed ? 1.0 : 0.0)) {
+    Violation(report, "inner_metrics", "failure flag metric inconsistent");
+  }
+}
+
+void SimulatorOracle::CheckOomConsistency(const WorkloadTuple& t,
+                                          OracleReport* report) const {
+  const spark::CostModel& model = runner_.cost_model();
+  spark::AppRunResult run = model.Run(*t.app, t.data, t.env, t.config);
+  double threshold = model.options().oom_pressure_threshold;
+  for (const auto& sr : run.stage_runs) {
+    bool oom_reported = sr.failed && sr.failure_reason.find("executor OOM") !=
+                                         std::string::npos;
+    bool over_threshold = sr.memory_pressure > threshold;
+    if (over_threshold && !oom_reported) {
+      Violation(report, "oom_consistency",
+                "stage " + std::to_string(sr.stage_index) + " pressure " +
+                    Fmt(sr.memory_pressure) + " exceeds the OOM threshold " +
+                    Fmt(threshold) + " but did not fail as OOM");
+    }
+    if (oom_reported && !over_threshold) {
+      Violation(report, "oom_consistency",
+                "stage " + std::to_string(sr.stage_index) +
+                    " reported OOM at pressure " + Fmt(sr.memory_pressure));
+    }
+  }
+}
+
+void SimulatorOracle::CheckDataMonotonicity(const WorkloadTuple& t,
+                                            OracleReport* report) const {
+  const spark::CostModel& model = quiet_runner_.cost_model();
+  spark::AppRunResult small = model.Run(*t.app, t.data, t.env, t.config);
+  spark::AppRunResult big =
+      model.Run(*t.app, DoubleData(t.data), t.env, t.config);
+  if (small.failed && !big.failed) {
+    Violation(report, "data_monotonicity",
+              "run fails at " + Fmt(t.data.size_mb) + "MB (" +
+                  small.failure_reason + ") but succeeds at twice the data");
+    return;
+  }
+  if (big.total_seconds <
+      small.total_seconds * (1.0 - options_.rel_tol) - 1e-9) {
+    Violation(report, "data_monotonicity",
+              "doubling the data shrank the runtime: " +
+                  Fmt(small.total_seconds) + "s -> " +
+                  Fmt(big.total_seconds) + "s");
+  }
+}
+
+void SimulatorOracle::CheckExecutorScaling(const WorkloadTuple& t,
+                                           OracleReport* report) const {
+  const auto& space = spark::KnobSpace::Spark16();
+  spark::Config scaled = t.config;
+  scaled[spark::kExecutorInstances] =
+      std::min(space.spec(spark::kExecutorInstances).max_value,
+               t.config[spark::kExecutorInstances] * 2.0);
+  scaled = space.Clamp(scaled);
+  if (scaled[spark::kExecutorInstances] ==
+      t.config[spark::kExecutorInstances]) {
+    return;  // already at the knob ceiling.
+  }
+  const spark::CostModel& model = quiet_runner_.cost_model();
+  spark::AppRunResult base = model.Run(*t.app, t.data, t.env, t.config);
+  spark::AppRunResult more = model.Run(*t.app, t.data, t.env, scaled);
+  if (base.failed != more.failed) {
+    Violation(report, "executor_scaling",
+              "doubling executor instances flipped the failure outcome");
+    return;
+  }
+  if (base.failed) return;
+  if (base.stage_runs.size() != more.stage_runs.size()) {
+    Violation(report, "executor_scaling",
+              "doubling executor instances changed the stage structure");
+    return;
+  }
+  for (size_t i = 0; i < base.stage_runs.size(); ++i) {
+    if (more.stage_runs[i].waves > base.stage_runs[i].waves) {
+      Violation(report, "executor_scaling",
+                "stage " + std::to_string(base.stage_runs[i].stage_index) +
+                    ": more executors increased waves " +
+                    std::to_string(base.stage_runs[i].waves) + " -> " +
+                    std::to_string(more.stage_runs[i].waves));
+      return;
+    }
+    // On one node, occupancy (and so memory-bandwidth contention) can only
+    // grow with more executors: pure compute time must not shrink.
+    if (t.env.num_nodes == 1 &&
+        more.stage_runs[i].cpu_seconds <
+            base.stage_runs[i].cpu_seconds * (1.0 - options_.rel_tol)) {
+      Violation(report, "executor_scaling",
+                "stage " + std::to_string(base.stage_runs[i].stage_index) +
+                    ": more executors shrank pure compute time " +
+                    Fmt(base.stage_runs[i].cpu_seconds) + "s -> " +
+                    Fmt(more.stage_runs[i].cpu_seconds) + "s on one node");
+      return;
+    }
+  }
+}
+
+void SimulatorOracle::CheckIterationMonotonicity(const WorkloadTuple& t,
+                                                 OracleReport* report) const {
+  const spark::CostModel& model = quiet_runner_.cost_model();
+  spark::AppRunResult run = model.Run(*t.app, t.data, t.env, t.config);
+  if (run.failed) return;
+  // Input (textFile) stages re-partition by block size, which makes their
+  // per-task work non-monotone in the frontier; every other per-iteration
+  // stage must do no more work in later iterations (frontier decay).
+  std::map<size_t, double> last_seconds;
+  for (const auto& sr : run.stage_runs) {
+    const spark::StageSpec& stage = t.app->stages[sr.stage_index];
+    if (!stage.per_iteration || HasOp(stage, "textFile")) continue;
+    auto it = last_seconds.find(sr.stage_index);
+    if (it != last_seconds.end() &&
+        sr.seconds > it->second * (1.0 + options_.rel_tol) + 1e-9) {
+      Violation(report, "iteration_monotonicity",
+                "stage " + std::to_string(sr.stage_index) + " grew from " +
+                    Fmt(it->second) + "s to " + Fmt(sr.seconds) +
+                    "s at iteration " + std::to_string(sr.iteration));
+      return;
+    }
+    last_seconds[sr.stage_index] = sr.seconds;
+  }
+}
+
+void SimulatorOracle::CheckShuffleBufferSensitivity(const WorkloadTuple& t,
+                                                    OracleReport* report) const {
+  const spark::CostModel& model = quiet_runner_.cost_model();
+  spark::AppRunResult base = model.Run(*t.app, t.data, t.env, t.config);
+  if (base.failed) return;
+  double shuffle_mb = 0.0;
+  for (const auto& sr : base.stage_runs) shuffle_mb += sr.shuffle_mb;
+  if (shuffle_mb <= 0.0) return;
+  double cap = model.options().failure_cap_seconds;
+  const auto& spec =
+      spark::KnobSpace::Spark16().spec(spark::kShuffleFileBuffer);
+  spark::Config small_buf = t.config;
+  small_buf[spark::kShuffleFileBuffer] = spec.min_value;
+  spark::Config big_buf = t.config;
+  big_buf[spark::kShuffleFileBuffer] = spec.max_value;
+  double t_small = model.Run(*t.app, t.data, t.env, small_buf).total_seconds;
+  double t_big = model.Run(*t.app, t.data, t.env, big_buf).total_seconds;
+  if (t_small >= cap || t_big >= cap) return;  // both clipped at the cap.
+  // The file buffer only appears in the shuffle-write flush penalty, so a
+  // smaller buffer must strictly slow any run with shuffle traffic. A model
+  // that ignores this knob has lost (part of) its shuffle cost term.
+  if (t_small <= t_big) {
+    Violation(report, "shuffle_buffer_sensitivity",
+              "run moves " + Fmt(shuffle_mb) +
+                  "MB of shuffle but shrinking shuffle.file.buffer does not "
+                  "slow it down (" +
+                  Fmt(t_small) + "s vs " + Fmt(t_big) + "s)");
+  }
+}
+
+void SimulatorOracle::CheckEnvMonotonicity(const WorkloadTuple& t,
+                                           OracleReport* report) const {
+  const spark::CostModel& model = quiet_runner_.cost_model();
+  double base = model.Run(*t.app, t.data, t.env, t.config).total_seconds;
+
+  struct Degrade {
+    const char* what;
+    spark::ClusterEnv env;
+  };
+  std::vector<Degrade> degrades;
+  {
+    spark::ClusterEnv e = t.env;
+    e.network_gbps /= 4.0;
+    degrades.push_back({"network bandwidth / 4", e});
+  }
+  {
+    spark::ClusterEnv e = t.env;
+    e.disk_mbps /= 4.0;
+    degrades.push_back({"disk bandwidth / 4", e});
+  }
+  {
+    spark::ClusterEnv e = t.env;
+    e.cpu_ghz /= 2.0;
+    degrades.push_back({"CPU frequency / 2", e});
+  }
+  {
+    spark::ClusterEnv e = t.env;
+    e.memory_mts /= 2.0;
+    degrades.push_back({"memory speed / 2", e});
+  }
+  for (const auto& d : degrades) {
+    double slower = model.Run(*t.app, t.data, d.env, t.config).total_seconds;
+    if (slower < base * (1.0 - options_.rel_tol) - 1e-9) {
+      Violation(report, "env_monotonicity",
+                std::string(d.what) + " sped the run up: " + Fmt(base) +
+                    "s -> " + Fmt(slower) + "s");
+    }
+  }
+}
+
+void SimulatorOracle::CheckFaultReplay(const WorkloadTuple& t,
+                                       OracleReport* report) const {
+  spark::FaultPlan plan(spark::FaultOptions::Moderate(options_.fault_seed));
+  spark::ResilientRunner first(&runner_, plan);
+  spark::ResilientRunner second(&runner_, plan);
+  spark::MeasureOutcome a = first.MeasureDetailed(*t.app, t.data, t.env, t.config);
+  spark::MeasureOutcome b = second.MeasureDetailed(*t.app, t.data, t.env, t.config);
+  if (a.seconds != b.seconds || a.failed != b.failed ||
+      a.censored != b.censored || a.attempts != b.attempts ||
+      a.wasted_seconds != b.wasted_seconds) {
+    Violation(report, "fault_replay",
+              "identical fault plans diverged: " + Fmt(a.seconds) + "s/" +
+                  std::to_string(a.attempts) + " attempts vs " +
+                  Fmt(b.seconds) + "s/" + std::to_string(b.attempts));
+  }
+}
+
+void SimulatorOracle::CheckResilientTransparency(const WorkloadTuple& t,
+                                                 OracleReport* report) const {
+  spark::ResilientRunner inert(&runner_);
+  double via_harness = inert.Measure(*t.app, t.data, t.env, t.config);
+  double direct = runner_.Measure(*t.app, t.data, t.env, t.config);
+  if (via_harness != direct) {
+    Violation(report, "resilient_transparency",
+              "inert harness measurement " + Fmt(via_harness) +
+                  "s != direct measurement " + Fmt(direct) + "s");
+  }
+}
+
+std::string OracleCheckAsProperty(const SimulatorOracle& oracle,
+                                  const WorkloadTuple& t) {
+  OracleReport report = oracle.Check(t);
+  return report.ok() ? std::string() : report.Summary();
+}
+
+}  // namespace lite::testkit

@@ -1,0 +1,122 @@
+// Simulator invariant oracle: physical-plausibility laws the analytic cost
+// model must obey for any (application, data, environment, knobs) tuple.
+// The learning stack's entire training signal flows through the simulator,
+// so a silent cost-model regression corrupts every downstream result; this
+// oracle is the machinery that makes such regressions loud.
+//
+// Invariant catalog (see docs/TESTING.md for the rationale of each):
+//   stage_sanity          finite, positive stage times; 1 <= waves <= tasks;
+//                         waves >= ceil(tasks / total cluster cores);
+//                         non-negative diagnostics.
+//   total_consistency     non-failed total == sum of stage times (capped);
+//                         failed total == failure cap, last stage failed.
+//   cap_consistency       total never exceeds the failure cap.
+//   determinism           bit-identical repeated runs (noise is hash-seeded).
+//   eventlog_consistency  WriteEventLog -> ParseEventLog round-trips the
+//                         stage structure, times and total.
+//   trace_consistency     WriteChromeTrace -> ParseChromeTrace yields one
+//                         span per stage execution with matching durations
+//                         and contiguous timestamps.
+//   inner_metrics         InnerMetrics() finite, failure flag consistent.
+//   oom_consistency       memory pressure above threshold <=> OOM failure.
+//   data_monotonicity     doubling the input data never shrinks the runtime
+//                         (noise disabled), and failures stay failures.
+//   executor_scaling      doubling executor instances never increases wave
+//                         counts, never changes the failure outcome, and on
+//                         a single-node cluster never shrinks pure compute
+//                         time (occupancy contention is monotone).
+//   iteration_monotonicity per-iteration (non-input) stages do no more work
+//                         in later iterations (frontier decay).
+//   shuffle_buffer_sensitivity shrinking shuffle.file.buffer must strictly
+//                         slow a run with shuffle traffic (noise disabled)
+//                         — the canary for dropped shuffle-cost terms.
+//   env_monotonicity      slower network/disk/CPU never speeds a run up.
+//   fault_replay          an active FaultPlan replays bit-identically.
+//   resilient_transparency ResilientRunner with an inert plan is
+//                         bit-identical to the plain runner.
+//
+// All comparisons that reason about monotonicity run on a noise-free copy
+// of the model options; determinism and replay checks keep the caller's
+// noise settings.
+#ifndef LITE_TESTKIT_ORACLE_H_
+#define LITE_TESTKIT_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "sparksim/cost_model.h"
+#include "sparksim/runner.h"
+#include "testkit/gen.h"
+
+namespace lite::testkit {
+
+struct InvariantViolation {
+  std::string invariant;  ///< catalog name, e.g. "data_monotonicity".
+  std::string detail;
+};
+
+struct OracleReport {
+  std::vector<InvariantViolation> violations;
+  bool ok() const { return violations.empty(); }
+  /// Human-readable multi-line summary ("<invariant>: <detail>" per line).
+  std::string Summary() const;
+};
+
+struct OracleOptions {
+  /// Relative tolerance for monotonicity comparisons (guards against pure
+  /// floating-point reassociation, not real regressions).
+  double rel_tol = 1e-9;
+  /// Seed for the fault-replay invariant's FaultPlan.
+  uint64_t fault_seed = 0x0b5e55ed;
+};
+
+/// Checks every catalog invariant against the cost model built from
+/// `model_options` (which may carry a test mutation). Stateless per call;
+/// safe to share across threads.
+class SimulatorOracle {
+ public:
+  explicit SimulatorOracle(spark::CostModelOptions model_options = {},
+                           OracleOptions options = {});
+
+  /// Runs the full invariant catalog on one tuple.
+  OracleReport Check(const WorkloadTuple& t) const;
+
+  /// Individual invariants (each appends violations to `report`). Exposed
+  /// so suites and tools can probe one law in isolation.
+  void CheckStageSanity(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckTotalConsistency(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckDeterminism(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckEventLogConsistency(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckTraceConsistency(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckInnerMetrics(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckOomConsistency(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckDataMonotonicity(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckExecutorScaling(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckIterationMonotonicity(const WorkloadTuple& t,
+                                  OracleReport* report) const;
+  void CheckShuffleBufferSensitivity(const WorkloadTuple& t,
+                                     OracleReport* report) const;
+  void CheckEnvMonotonicity(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckFaultReplay(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckResilientTransparency(const WorkloadTuple& t,
+                                  OracleReport* report) const;
+
+  /// Names of every invariant in the catalog, in Check() order.
+  static const std::vector<std::string>& InvariantNames();
+
+  const spark::SparkRunner& runner() const { return runner_; }
+
+ private:
+  OracleOptions options_;
+  spark::SparkRunner runner_;        ///< the caller's options (noise kept).
+  spark::SparkRunner quiet_runner_;  ///< same model, noise disabled.
+};
+
+/// Adapter for CheckTupleProperty: runs the full catalog and folds the
+/// report into the property-check message convention (empty = pass).
+std::string OracleCheckAsProperty(const SimulatorOracle& oracle,
+                                  const WorkloadTuple& t);
+
+}  // namespace lite::testkit
+
+#endif  // LITE_TESTKIT_ORACLE_H_

@@ -1,14 +1,24 @@
-// Golden-trace regression tests: three fixed (application, datasize,
-// environment, configuration) tuples with their simulated stage traces and
-// seeded untrained NECS predictions snapshotted under tests/golden/. Any
-// numerical drift in the cost model, featurization, or model initialization
-// shows up as a diff against these files.
+// Golden-trace regression tests, two tiers:
+//
+//  * Three rich legacy cases ("golden v1"): full stage trace plus the
+//    predictions of a freshly seeded untrained NECS model — pins the cost
+//    model, featurization and weight initialization together.
+//  * A compact matrix ("golden v2 compact"): every catalog application on
+//    clusters A/B/C at its smallest training size with default knobs —
+//    45 snapshots of stage times + total, so any cost-model change shows
+//    exactly which (app, cluster) cells moved. MANIFEST.txt records an
+//    FNV-1a checksum per matrix file; a stale manifest means someone
+//    regenerated only part of the matrix.
 //
 // Regenerate after an intentional change with:
 //   LITE_REGEN_GOLDEN=1 ./build/tests/golden_trace_test
-// and commit the updated files together with the change that explains them.
+// and commit the updated files (including MANIFEST.txt) together with the
+// change that explains them. docs/TESTING.md covers the workflow.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -179,6 +189,166 @@ TEST(GoldenTraceTest, FixedTuplesMatchSnapshots) {
       CompareAgainstGolden(path, gc, rec);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Compact matrix: 15 applications x clusters {A, B, C}.
+
+struct MatrixCell {
+  std::string file;
+  const spark::ApplicationSpec* app;
+  spark::ClusterEnv env;
+};
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::vector<MatrixCell> MatrixCells() {
+  std::vector<MatrixCell> cells;
+  for (const auto& app : spark::AppCatalog::All()) {
+    for (const auto& env :
+         {spark::ClusterEnv::ClusterA(), spark::ClusterEnv::ClusterB(),
+          spark::ClusterEnv::ClusterC()}) {
+      std::string cluster = Lower(env.name.substr(env.name.size() - 1));
+      cells.push_back({"matrix_" + Lower(app.abbrev) + "_" + cluster + ".txt",
+                       &app, env});
+    }
+  }
+  return cells;
+}
+
+std::string RenderCompact(const MatrixCell& cell) {
+  const auto& space = spark::KnobSpace::Spark16();
+  spark::SparkRunner runner;
+  double size = cell.app->train_sizes_mb.empty() ? 50.0
+                                                 : cell.app->train_sizes_mb[0];
+  spark::AppRunResult run = runner.cost_model().Run(
+      *cell.app, cell.app->MakeData(size), cell.env, space.DefaultConfig());
+  std::ostringstream os;
+  os.precision(17);
+  os << "golden v2 compact " << cell.app->abbrev << " " << cell.env.name
+     << "\n";
+  os << "stages " << run.stage_runs.size() << "\n";
+  for (const auto& sr : run.stage_runs) {
+    os << sr.stage_index << " " << sr.iteration << " " << sr.seconds << "\n";
+  }
+  os << "total " << run.total_seconds << "\n";
+  return os.str();
+}
+
+/// FNV-1a 64-bit over the snapshot bytes — cheap, stable, and enough to
+/// detect a half-regenerated matrix.
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return in ? os.str() : std::string();
+}
+
+TEST(GoldenTraceTest, CompactMatrixMatchesSnapshots) {
+  const bool regen = std::getenv("LITE_REGEN_GOLDEN") != nullptr;
+  const std::string dir = std::string(LITE_GOLDEN_DIR) + "/";
+  std::vector<MatrixCell> cells = MatrixCells();
+  ASSERT_EQ(cells.size(), 45u) << "matrix must cover 15 apps x 3 clusters";
+
+  if (regen) {
+    std::ostringstream manifest;
+    manifest << "manifest v1 " << cells.size() << "\n";
+    for (const MatrixCell& cell : cells) {
+      std::string body = RenderCompact(cell);
+      std::ofstream out(dir + cell.file, std::ios::binary);
+      ASSERT_TRUE(out) << "cannot write " << dir + cell.file;
+      out << body;
+      ASSERT_TRUE(out) << "short write to " << cell.file;
+      manifest << cell.file << " " << std::hex << Fnv1a(body) << std::dec
+               << "\n";
+    }
+    std::ofstream out(dir + "MANIFEST.txt", std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write manifest";
+    out << manifest.str();
+    return;
+  }
+
+  for (const MatrixCell& cell : cells) {
+    SCOPED_TRACE(cell.file);
+    std::string want = RenderCompact(cell);
+    std::string have = ReadFileOrEmpty(dir + cell.file);
+    ASSERT_FALSE(have.empty())
+        << "missing golden file (regenerate with LITE_REGEN_GOLDEN=1)";
+
+    // Numeric comparison with tolerance (parsing both sides) so a pure
+    // formatting change does not mask a real drift diagnosis.
+    std::istringstream win(want), hin(have);
+    std::string wline, hline;
+    size_t line_no = 0;
+    while (std::getline(win, wline)) {
+      ++line_no;
+      ASSERT_TRUE(std::getline(hin, hline)) << "truncated at line " << line_no;
+      std::istringstream wtok(wline), htok(hline);
+      std::string wa, ha;
+      while (wtok >> wa) {
+        ASSERT_TRUE(htok >> ha) << "line " << line_no << " truncated";
+        char* wend = nullptr;
+        char* hend = nullptr;
+        double wv = std::strtod(wa.c_str(), &wend);
+        double hv = std::strtod(ha.c_str(), &hend);
+        bool w_num = wend == wa.c_str() + wa.size() && !wa.empty();
+        bool h_num = hend == ha.c_str() + ha.size() && !ha.empty();
+        ASSERT_EQ(w_num, h_num) << "line " << line_no << " token type drifted";
+        if (w_num) {
+          EXPECT_NEAR(hv, wv, kTol * std::max(1.0, std::fabs(wv)))
+              << "line " << line_no << " drifted";
+        } else {
+          EXPECT_EQ(ha, wa) << "line " << line_no << " drifted";
+        }
+      }
+      EXPECT_FALSE(htok >> ha) << "line " << line_no << " has extra tokens";
+    }
+    EXPECT_FALSE(std::getline(hin, hline)) << "golden file has extra lines";
+  }
+}
+
+// The manifest pins the exact bytes of every matrix snapshot: if any file
+// was regenerated without rerunning the full LITE_REGEN_GOLDEN pass (which
+// rewrites MANIFEST.txt atomically with the cells), this fails.
+TEST(GoldenTraceTest, MatrixManifestMatchesFiles) {
+  if (std::getenv("LITE_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "regeneration run; manifest rewritten by the matrix test";
+  }
+  const std::string dir = std::string(LITE_GOLDEN_DIR) + "/";
+  std::ifstream in(dir + "MANIFEST.txt");
+  ASSERT_TRUE(in) << "missing MANIFEST.txt (run LITE_REGEN_GOLDEN=1)";
+  std::string magic, version;
+  size_t count = 0;
+  ASSERT_TRUE(in >> magic >> version >> count);
+  ASSERT_EQ(magic, "manifest");
+  ASSERT_EQ(version, "v1");
+  ASSERT_EQ(count, MatrixCells().size());
+  size_t seen = 0;
+  std::string file, digest;
+  while (in >> file >> digest) {
+    ++seen;
+    SCOPED_TRACE(file);
+    std::string body = ReadFileOrEmpty(dir + file);
+    ASSERT_FALSE(body.empty()) << "manifest names a missing file";
+    std::ostringstream os;
+    os << std::hex << Fnv1a(body);
+    EXPECT_EQ(os.str(), digest)
+        << "checksum mismatch — partial regeneration? rerun "
+           "LITE_REGEN_GOLDEN=1 over the whole suite";
+  }
+  EXPECT_EQ(seen, count) << "manifest truncated";
 }
 
 // The golden model is untrained on purpose: its predictions pin down weight

@@ -1,0 +1,137 @@
+// Property sweep of the simulator invariant oracle: random workload tuples
+// (replayable via LITE_TEST_SEED, case count via LITE_PROPERTY_CASES) must
+// satisfy the full invariant catalog. Failures print the master seed and a
+// shrunk minimal counterexample.
+//
+// Replay a nightly failure locally with:
+//   LITE_TEST_SEED=<seed from the report> ./build/tests/oracle_property_test
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sparksim/cost_model.h"
+#include "testkit/gen.h"
+#include "testkit/oracle.h"
+
+namespace lite {
+namespace {
+
+using testkit::GenOptions;
+using testkit::PropertyOutcome;
+using testkit::SimulatorOracle;
+using testkit::WorkloadTuple;
+
+TEST(OraclePropertyTest, FullCatalogHoldsOnRandomTuples) {
+  uint64_t seed = testkit::SeedFromEnv();
+  size_t cases = testkit::CasesFromEnv();
+  SimulatorOracle oracle;
+  PropertyOutcome outcome = testkit::CheckTupleProperty(
+      "simulator_invariant_catalog", cases, GenOptions{}, seed,
+      [&](const WorkloadTuple& t) {
+        return testkit::OracleCheckAsProperty(oracle, t);
+      });
+  EXPECT_TRUE(outcome.ok) << outcome.report;
+  EXPECT_EQ(outcome.cases_run, cases);
+}
+
+// The skew extension changes stage times but must not break any physical
+// law — run a slice of the sweep against a skewed cost model.
+TEST(OraclePropertyTest, CatalogHoldsUnderSkewExtension) {
+  uint64_t seed = testkit::SeedFromEnv() ^ 0x5ce3;
+  size_t cases = std::max<size_t>(1, testkit::CasesFromEnv() / 4);
+  spark::CostModelOptions skewed;
+  skewed.skew_alpha = 0.5;
+  SimulatorOracle oracle(skewed);
+  PropertyOutcome outcome = testkit::CheckTupleProperty(
+      "simulator_invariant_catalog_skewed", cases, GenOptions{}, seed,
+      [&](const WorkloadTuple& t) {
+        return testkit::OracleCheckAsProperty(oracle, t);
+      });
+  EXPECT_TRUE(outcome.ok) << outcome.report;
+}
+
+// A noise-free model must satisfy the catalog too (the monotonicity checks
+// then run against the exact same model the sanity checks see).
+TEST(OraclePropertyTest, CatalogHoldsWithoutNoise) {
+  uint64_t seed = testkit::SeedFromEnv() + 1;
+  size_t cases = std::max<size_t>(1, testkit::CasesFromEnv() / 4);
+  spark::CostModelOptions quiet;
+  quiet.noise_sigma = 0.0;
+  SimulatorOracle oracle(quiet);
+  PropertyOutcome outcome = testkit::CheckTupleProperty(
+      "simulator_invariant_catalog_noise_free", cases, GenOptions{}, seed,
+      [&](const WorkloadTuple& t) {
+        return testkit::OracleCheckAsProperty(oracle, t);
+      });
+  EXPECT_TRUE(outcome.ok) << outcome.report;
+}
+
+// The generator itself is replayable: the same (options, seed) produce the
+// same tuple stream, and different seeds diverge.
+TEST(OraclePropertyTest, GeneratorIsReplayable) {
+  GenOptions options;
+  testkit::TupleGenerator a(options, 1234);
+  testkit::TupleGenerator b(options, 1234);
+  testkit::TupleGenerator c(options, 1235);
+  bool diverged = false;
+  for (int i = 0; i < 25; ++i) {
+    WorkloadTuple ta = a.Next();
+    WorkloadTuple tb = b.Next();
+    WorkloadTuple tc = c.Next();
+    ASSERT_EQ(ta.app, tb.app);
+    ASSERT_EQ(ta.env.name, tb.env.name);
+    ASSERT_EQ(ta.data.size_mb, tb.data.size_mb);
+    ASSERT_EQ(ta.config, tb.config);
+    diverged = diverged || ta.config != tc.config || ta.app != tc.app;
+  }
+  EXPECT_TRUE(diverged) << "different seeds produced identical streams";
+}
+
+// Shrinking reports a simpler counterexample: for a property that fails
+// whenever executor memory is below a threshold, the minimal tuple should
+// keep only that knob away from its default.
+TEST(OraclePropertyTest, ShrinkingReducesToMinimalKnobDelta) {
+  const auto& space = spark::KnobSpace::Spark16();
+  spark::Config defaults = space.DefaultConfig();
+  auto fails = [&](const WorkloadTuple& t) {
+    return t.config[spark::kExecutorMemory] < 2.0;
+  };
+
+  testkit::TupleGenerator gen(GenOptions{}, 99);
+  WorkloadTuple failing;
+  do {
+    failing = gen.Next();
+  } while (!fails(failing));
+
+  WorkloadTuple minimal = testkit::ShrinkTuple(failing, fails);
+  EXPECT_TRUE(fails(minimal));
+  // Every knob unrelated to the failure has been shrunk back to default.
+  size_t deltas = 0;
+  for (size_t d = 0; d < space.size(); ++d) {
+    if (minimal.config[d] != defaults[d]) ++deltas;
+  }
+  EXPECT_LE(deltas, 1u) << minimal.Describe();
+  // And the counterexample moved to the smallest cluster and small data.
+  EXPECT_EQ(minimal.env.name, spark::ClusterEnv::ClusterA().name);
+  EXPECT_LE(minimal.data.size_mb, failing.data.size_mb);
+}
+
+// The oracle must FAIL loudly on a broken model — pick two representative
+// mutations here; tools/mutation_check sweeps the full mutation catalog.
+TEST(OraclePropertyTest, OracleRejectsMutatedModel) {
+  spark::CostModelOptions broken;
+  broken.mutation = spark::kMutWaveFloor;
+  SimulatorOracle oracle(broken);
+  GenOptions options;
+  uint64_t seed = testkit::SeedFromEnv();
+  PropertyOutcome outcome = testkit::CheckTupleProperty(
+      "oracle_rejects_wave_floor", 200, options, seed,
+      [&](const WorkloadTuple& t) {
+        return testkit::OracleCheckAsProperty(oracle, t);
+      });
+  EXPECT_FALSE(outcome.ok)
+      << "oracle accepted a cost model with a floored wave count";
+}
+
+}  // namespace
+}  // namespace lite

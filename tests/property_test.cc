@@ -1,6 +1,10 @@
 // Property-based sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P): invariants that
 // must hold across the whole application catalog, every cluster, many seeds
 // and all autodiff activation ops.
+//
+// Randomized cases derive their RNG from LITE_TEST_SEED (see testkit/gen.h)
+// mixed with the per-case parameter, so a failure is replayed by exporting
+// the seed printed in the failure trace.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -9,6 +13,7 @@
 #include "lite/features.h"
 #include "sparksim/eventlog.h"
 #include "sparksim/runner.h"
+#include "testkit/gen.h"
 #include "tuning/bo_tuner.h"
 #include "tuning/ddpg.h"
 #include "tuning/sha_tuner.h"
@@ -17,6 +22,18 @@
 
 namespace lite {
 namespace {
+
+/// Master seed mixed with a per-case salt (the TEST_P parameter). With
+/// LITE_TEST_SEED unset this reproduces a fixed deterministic family.
+uint64_t TestSeed(uint64_t salt) {
+  return testkit::SeedFromEnv() * 0x9e3779b97f4a7c15ull + salt;
+}
+
+/// Failure banner: how to replay this exact run.
+std::string ReplayNote() {
+  return "replay with: LITE_TEST_SEED=" +
+         std::to_string(testkit::SeedFromEnv());
+}
 
 // ---------------------------------------------------------------------------
 // Per-application invariants across the full catalog.
@@ -92,8 +109,9 @@ INSTANTIATE_TEST_SUITE_P(
 class KnobRoundtripProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(KnobRoundtripProperty, NormalizeDenormalizeIsIdentityOnValidConfigs) {
+  SCOPED_TRACE(ReplayNote());
   const auto& space = spark::KnobSpace::Spark16();
-  Rng rng(static_cast<uint64_t>(GetParam()));
+  Rng rng(TestSeed(static_cast<uint64_t>(GetParam())));
   for (int i = 0; i < 50; ++i) {
     spark::Config c = space.RandomConfig(&rng);
     spark::Config round = space.Denormalize(space.Normalize(c));
@@ -104,8 +122,9 @@ TEST_P(KnobRoundtripProperty, NormalizeDenormalizeIsIdentityOnValidConfigs) {
 }
 
 TEST_P(KnobRoundtripProperty, ClampIsIdempotent) {
+  SCOPED_TRACE(ReplayNote());
   const auto& space = spark::KnobSpace::Spark16();
-  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  Rng rng(TestSeed(static_cast<uint64_t>(GetParam()) + 1000));
   for (int i = 0; i < 50; ++i) {
     spark::Config wild(space.size());
     for (double& v : wild) v = rng.Uniform(-1000.0, 1000.0);
@@ -123,7 +142,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, KnobRoundtripProperty, ::testing::Range(1, 6));
 class RankingMetricProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(RankingMetricProperty, MetricsBoundedAndPerfectOnSelf) {
-  Rng rng(static_cast<uint64_t>(GetParam()) * 77);
+  SCOPED_TRACE(ReplayNote());
+  Rng rng(TestSeed(static_cast<uint64_t>(GetParam()) * 77));
   size_t n = 10 + rng.Index(40);
   std::vector<double> truth(n);
   for (double& v : truth) v = rng.Uniform(1.0, 1000.0);
@@ -142,7 +162,8 @@ TEST_P(RankingMetricProperty, MetricsBoundedAndPerfectOnSelf) {
 TEST_P(RankingMetricProperty, MonotoneTransformInvariance) {
   // HR/NDCG depend only on the orderings: applying exp() to scores must not
   // change them.
-  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 5);
+  SCOPED_TRACE(ReplayNote());
+  Rng rng(TestSeed(static_cast<uint64_t>(GetParam()) * 131 + 5));
   std::vector<double> pred(25), truth(25);
   for (size_t i = 0; i < 25; ++i) {
     pred[i] = rng.Uniform(0.0, 5.0);
@@ -162,8 +183,9 @@ using ActivationCase = std::tuple<std::string, int>;
 class ActivationGradProperty : public ::testing::TestWithParam<ActivationCase> {};
 
 TEST_P(ActivationGradProperty, FiniteDifferenceAgrees) {
+  SCOPED_TRACE(ReplayNote());
   auto [op, seed] = GetParam();
-  Rng rng(static_cast<uint64_t>(seed));
+  Rng rng(TestSeed(static_cast<uint64_t>(seed)));
   VarPtr a = Param(Tensor::Randn({8}, &rng, 1.0f));
   for (size_t i = 0; i < a->numel(); ++i) {
     if (std::fabs(a->value[i]) < 0.05f) a->value[i] = 0.3f;  // avoid kinks.
@@ -205,9 +227,10 @@ INSTANTIATE_TEST_SUITE_P(
 class AdversarialConfigProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(AdversarialConfigProperty, CostModelTotalOnExtremeConfigs) {
+  SCOPED_TRACE(ReplayNote());
   spark::SparkRunner runner;
   const auto& space = spark::KnobSpace::Spark16();
-  Rng rng(static_cast<uint64_t>(GetParam()) * 997);
+  Rng rng(TestSeed(static_cast<uint64_t>(GetParam()) * 997));
   const auto& apps = spark::AppCatalog::All();
   for (int i = 0; i < 20; ++i) {
     const auto& app = apps[rng.Index(apps.size())];

@@ -1,0 +1,209 @@
+// Round-trip fuzzing of the two text serialization formats (Spark event
+// logs, Chrome traces): random truncations, byte flips, deletions and line
+// splices of valid documents must produce either a clean parse failure or a
+// structurally sane result — never a crash, hang or out-of-bounds read
+// (this suite is part of the ASan CI job). Replayable via LITE_TEST_SEED.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sparksim/eventlog.h"
+#include "sparksim/runner.h"
+#include "sparksim/trace.h"
+#include "testkit/gen.h"
+#include "util/rng.h"
+
+namespace lite {
+namespace {
+
+std::string SeedNote() {
+  return "replay with: LITE_TEST_SEED=" +
+         std::to_string(testkit::SeedFromEnv());
+}
+
+/// Structure-aware corpus: a handful of genuine documents produced by the
+/// simulator (several apps/clusters, one deliberately failing run).
+struct FuzzCorpus {
+  std::vector<std::string> event_logs;
+  std::vector<std::string> traces;
+};
+
+FuzzCorpus BuildCorpus(uint64_t seed) {
+  FuzzCorpus corpus;
+  spark::SparkRunner runner;
+  testkit::TupleGenerator gen(testkit::GenOptions{}, seed);
+  for (int i = 0; i < 6; ++i) {
+    testkit::WorkloadTuple t = gen.Next();
+    spark::AppRunResult run =
+        runner.cost_model().Run(*t.app, t.data, t.env, t.config);
+    corpus.event_logs.push_back(spark::WriteEventLog(*t.app, run));
+    corpus.traces.push_back(spark::WriteChromeTrace(*t.app, run));
+  }
+  return corpus;
+}
+
+std::string Truncate(const std::string& doc, Rng* rng) {
+  if (doc.empty()) return doc;
+  return doc.substr(0, rng->Index(doc.size()));
+}
+
+std::string FlipBytes(const std::string& doc, Rng* rng) {
+  if (doc.empty()) return doc;
+  std::string out = doc;
+  size_t flips = 1 + rng->Index(8);
+  for (size_t i = 0; i < flips; ++i) {
+    size_t pos = rng->Index(out.size());
+    out[pos] = static_cast<char>(rng->UniformInt(0, 255));
+  }
+  return out;
+}
+
+std::string DeleteSpan(const std::string& doc, Rng* rng) {
+  if (doc.size() < 2) return doc;
+  size_t start = rng->Index(doc.size() - 1);
+  size_t len = 1 + rng->Index(std::min<size_t>(doc.size() - start, 40));
+  std::string out = doc;
+  out.erase(start, len);
+  return out;
+}
+
+std::string SpliceLines(const std::string& doc, Rng* rng) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= doc.size()) {
+    size_t nl = doc.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(doc.substr(start));
+      break;
+    }
+    lines.push_back(doc.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.size() < 2) return doc;
+  // Shuffle a few lines, duplicate one, drop one.
+  rng->Shuffle(&lines);
+  lines.push_back(lines[rng->Index(lines.size())]);
+  lines.erase(lines.begin() + static_cast<long>(rng->Index(lines.size())));
+  std::string out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size()) out += '\n';
+  }
+  return out;
+}
+
+std::string Mutate(const std::string& doc, Rng* rng) {
+  switch (rng->Index(5)) {
+    case 0: return Truncate(doc, rng);
+    case 1: return FlipBytes(doc, rng);
+    case 2: return DeleteSpan(doc, rng);
+    case 3: return SpliceLines(doc, rng);
+    default: return FlipBytes(Truncate(doc, rng), rng);
+  }
+}
+
+/// A parse that claims success on mutated input must still hand back a
+/// structurally sane object — finite times, bounded sizes.
+void CheckEventLogSanity(const spark::ParsedEventLog& parsed,
+                         const std::string& context) {
+  EXPECT_LT(parsed.stages.size(), 1u << 20) << context;
+  EXPECT_TRUE(std::isfinite(parsed.total_seconds)) << context;
+  for (const auto& s : parsed.stages) {
+    EXPECT_TRUE(std::isfinite(s.seconds)) << context;
+  }
+}
+
+void CheckTraceSanity(const spark::ParsedChromeTrace& parsed,
+                      const std::string& context) {
+  EXPECT_LT(parsed.spans.size(), 1u << 20) << context;
+  for (const auto& s : parsed.spans) {
+    EXPECT_TRUE(std::isfinite(s.ts_us)) << context;
+    EXPECT_TRUE(std::isfinite(s.dur_us)) << context;
+  }
+}
+
+TEST(SerializationFuzzTest, EventLogParserSurvivesCorruption) {
+  uint64_t seed = testkit::SeedFromEnv();
+  FuzzCorpus corpus = BuildCorpus(seed);
+  Rng rng(seed ^ 0xe7e2);
+  size_t rounds = std::max<size_t>(50, testkit::CasesFromEnv());
+  for (size_t i = 0; i < rounds; ++i) {
+    const std::string& base = corpus.event_logs[i % corpus.event_logs.size()];
+    std::string mutated = Mutate(base, &rng);
+    spark::ParsedEventLog parsed;
+    bool ok = spark::ParseEventLog(mutated, &parsed);
+    if (ok) {
+      CheckEventLogSanity(parsed, "round " + std::to_string(i) + "; " +
+                                      SeedNote());
+    }
+  }
+}
+
+TEST(SerializationFuzzTest, TraceParserSurvivesCorruption) {
+  uint64_t seed = testkit::SeedFromEnv();
+  FuzzCorpus corpus = BuildCorpus(seed);
+  Rng rng(seed ^ 0x7ace);
+  size_t rounds = std::max<size_t>(50, testkit::CasesFromEnv());
+  for (size_t i = 0; i < rounds; ++i) {
+    const std::string& base = corpus.traces[i % corpus.traces.size()];
+    std::string mutated = Mutate(base, &rng);
+    spark::ParsedChromeTrace parsed;
+    bool ok = spark::ParseChromeTrace(mutated, &parsed);
+    if (ok) {
+      CheckTraceSanity(parsed, "round " + std::to_string(i) + "; " +
+                                   SeedNote());
+    }
+  }
+}
+
+// Degenerate inputs must fail cleanly (and must not be accepted).
+TEST(SerializationFuzzTest, DegenerateInputsRejectedCleanly) {
+  const std::vector<std::string> junk = {
+      "",
+      "\n\n\n",
+      "not json at all",
+      "{\"event\":\"",
+      std::string(1 << 16, '{'),
+      std::string("\x00\xff\x7f\n\x01", 5),
+      "[\n",
+      "]\n",
+      "[{\"ph\":\"X\"",
+  };
+  for (const std::string& doc : junk) {
+    spark::ParsedEventLog ev;
+    spark::ParsedChromeTrace tr;
+    EXPECT_FALSE(spark::ParseEventLog(doc, &ev))
+        << "event-log parser accepted junk of size " << doc.size();
+    EXPECT_FALSE(spark::ParseChromeTrace(doc, &tr))
+        << "trace parser accepted junk of size " << doc.size();
+  }
+}
+
+// A valid document prefixed/suffixed with a corrupted copy still parses the
+// way the parser documents: either a clean failure or a sane result — the
+// parsers must never read past the buffer (ASan enforces).
+TEST(SerializationFuzzTest, ConcatenatedDocumentsDoNotCrash) {
+  uint64_t seed = testkit::SeedFromEnv();
+  FuzzCorpus corpus = BuildCorpus(seed);
+  Rng rng(seed ^ 0xc047);
+  for (size_t i = 0; i + 1 < corpus.event_logs.size(); ++i) {
+    std::string doc = corpus.event_logs[i] + Mutate(corpus.event_logs[i + 1],
+                                                    &rng);
+    spark::ParsedEventLog parsed;
+    if (spark::ParseEventLog(doc, &parsed)) {
+      CheckEventLogSanity(parsed, "concat event logs; " + SeedNote());
+    }
+    std::string trace =
+        corpus.traces[i] + Mutate(corpus.traces[i + 1], &rng);
+    spark::ParsedChromeTrace tparsed;
+    if (spark::ParseChromeTrace(trace, &tparsed)) {
+      CheckTraceSanity(tparsed, "concat traces; " + SeedNote());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lite

@@ -1,0 +1,191 @@
+// Mutation adequacy check for the simulator invariant oracle: every known
+// cost-model bug in the CostModelMutation catalog must trip at least one
+// invariant, and the unmutated model must trip none. Run as a CTest test
+// (tools/mutation_check) or standalone:
+//
+//   ./build/tools/mutation_check            # full sweep, table on stdout
+//   LITE_TEST_SEED=7 ./build/tools/mutation_check
+//
+// Exit status is non-zero when any mutation escapes the oracle or the clean
+// model produces a false positive.
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sparksim/application.h"
+#include "sparksim/cost_model.h"
+#include "sparksim/environment.h"
+#include "sparksim/knob.h"
+#include "testkit/gen.h"
+#include "testkit/oracle.h"
+#include "util/logging.h"
+
+namespace lite::testkit {
+namespace {
+
+const char* MutationName(int m) {
+  switch (m) {
+    case spark::kMutNone: return "none";
+    case spark::kMutDropShuffle: return "drop_shuffle";
+    case spark::kMutSpillSignFlip: return "spill_sign_flip";
+    case spark::kMutWaveFloor: return "wave_floor";
+    case spark::kMutWaveOffByOne: return "wave_off_by_one";
+    case spark::kMutIgnoreOom: return "ignore_oom";
+    case spark::kMutUncappedFailure: return "uncapped_failure";
+    case spark::kMutContentionInverted: return "contention_inverted";
+    case spark::kMutIterationGrowth: return "iteration_growth";
+    case spark::kMutStatefulNoise: return "stateful_noise";
+    default: return "unknown";
+  }
+}
+
+/// Builds a tuple with default knobs plus explicit overrides — the curated
+/// corner cases that make each mutation observable (heavy spill, OOM
+/// pressure, single-task stages, ...).
+WorkloadTuple MakeTuple(const std::string& app, const spark::ClusterEnv& env,
+                        double size_scale,
+                        const std::vector<std::pair<size_t, double>>& overrides) {
+  WorkloadTuple t;
+  t.app = spark::AppCatalog::Find(app);
+  LITE_CHECK(t.app != nullptr) << "unknown application " << app;
+  double base = t.app->train_sizes_mb.empty() ? 50.0 : t.app->train_sizes_mb[0];
+  t.data = t.app->MakeData(std::max(1.0, base * size_scale));
+  t.env = env;
+  const auto& space = spark::KnobSpace::Spark16();
+  t.config = space.DefaultConfig();
+  for (const auto& [knob, value] : overrides) t.config[knob] = value;
+  t.config = space.Clamp(t.config);
+  return t;
+}
+
+/// Targeted tuples: each curated case exists to make at least one mutation
+/// class observable; together they also give the clean model a hard
+/// false-positive gauntlet.
+std::vector<WorkloadTuple> CuratedTuples() {
+  const auto A = spark::ClusterEnv::ClusterA();
+  const auto B = spark::ClusterEnv::ClusterB();
+  const auto C = spark::ClusterEnv::ClusterC();
+  const auto& space = spark::KnobSpace::Spark16();
+  std::vector<WorkloadTuple> tuples;
+  // Shuffle-heavy run (drop_shuffle canary).
+  tuples.push_back(MakeTuple("TS", B, 4.0, {}));
+  // Heavy spill without OOM: cramped execution memory (spill_sign_flip).
+  tuples.push_back(MakeTuple(
+      "PR", A, 4.0,
+      {{spark::kExecutorMemory, space.spec(spark::kExecutorMemory).min_value},
+       {spark::kMemoryFraction, space.spec(spark::kMemoryFraction).min_value}}));
+  // OOM-pressure run (ignore_oom, uncapped_failure): execution memory per
+  // task squeezed to ~2MB (1GB heap, min memory fraction, max storage
+  // fraction, max cores per executor) while shuffle stages stage
+  // 0.5 * maxSizeInFlight = 64MB of in-flight buffers — pressure far above
+  // the OOM threshold.
+  tuples.push_back(MakeTuple(
+      "TS", A, 8.0,
+      {{spark::kExecutorMemory, space.spec(spark::kExecutorMemory).min_value},
+       {spark::kMemoryFraction, space.spec(spark::kMemoryFraction).min_value},
+       {spark::kMemoryStorageFraction,
+        space.spec(spark::kMemoryStorageFraction).max_value},
+       {spark::kExecutorCores, space.spec(spark::kExecutorCores).max_value},
+       {spark::kDefaultParallelism,
+        space.spec(spark::kDefaultParallelism).min_value},
+       {spark::kReducerMaxSizeInFlight,
+        space.spec(spark::kReducerMaxSizeInFlight).max_value}}));
+  // Tiny data, maximal partition size -> single-task stages
+  // (wave_off_by_one: waves must never exceed tasks).
+  tuples.push_back(MakeTuple(
+      "WC", A, 0.02,
+      {{spark::kFilesMaxPartitionBytes,
+        space.spec(spark::kFilesMaxPartitionBytes).max_value},
+       {spark::kDefaultParallelism,
+        space.spec(spark::kDefaultParallelism).min_value}}));
+  // Few executors on the single-node cluster -> instance doubling is
+  // uncapped (contention_inverted via the executor-scaling law).
+  tuples.push_back(MakeTuple(
+      "KM", A, 1.0,
+      {{spark::kExecutorInstances,
+        space.spec(spark::kExecutorInstances).min_value}}));
+  // Iterative applications with frontier decay < 1 (iteration_growth).
+  tuples.push_back(MakeTuple("CC", B, 1.0, {}));
+  tuples.push_back(MakeTuple("SP", C, 1.0, {}));
+  // Plain defaults on every cluster (wave_floor, stateful_noise,
+  // determinism and the serialization laws).
+  tuples.push_back(MakeTuple("LiR", A, 1.0, {}));
+  tuples.push_back(MakeTuple("TC", C, 2.0, {}));
+  return tuples;
+}
+
+struct MutationResult {
+  int mutation = 0;
+  size_t violations = 0;
+  size_t tuples_tripped = 0;
+  std::set<std::string> invariants;
+};
+
+MutationResult SweepMutation(int mutation,
+                             const std::vector<WorkloadTuple>& curated,
+                             size_t random_cases, uint64_t seed) {
+  spark::CostModelOptions model;
+  model.mutation = mutation;
+  SimulatorOracle oracle(model);
+
+  MutationResult result;
+  result.mutation = mutation;
+  auto absorb = [&](const OracleReport& report) {
+    if (!report.ok()) ++result.tuples_tripped;
+    result.violations += report.violations.size();
+    for (const auto& v : report.violations) result.invariants.insert(v.invariant);
+  };
+
+  for (const auto& t : curated) absorb(oracle.Check(t));
+  // Random sweep on top of the curated set — same seed for every mutation so
+  // a clean-model false positive and a mutant escape are directly comparable.
+  TupleGenerator gen(GenOptions{}, seed);
+  for (size_t i = 0; i < random_cases; ++i) absorb(oracle.Check(gen.Next()));
+  return result;
+}
+
+int Main() {
+  uint64_t seed = SeedFromEnv();
+  size_t random_cases = CasesFromEnv("LITE_MUTATION_CASES", 25);
+  std::vector<WorkloadTuple> curated = CuratedTuples();
+
+  std::printf("mutation adequacy sweep: %zu curated + %zu random tuples, "
+              "LITE_TEST_SEED=%llu\n\n",
+              curated.size(), random_cases,
+              static_cast<unsigned long long>(seed));
+  std::printf("  %-20s %-10s %-10s %s\n", "mutation", "violations",
+              "verdict", "invariants tripped");
+
+  bool ok = true;
+  int caught = 0;
+  for (int m = 0; m < spark::kNumMutations; ++m) {
+    MutationResult r = SweepMutation(m, curated, random_cases, seed);
+    bool expected_clean = (m == spark::kMutNone);
+    bool pass = expected_clean ? r.violations == 0 : r.violations > 0;
+    if (!expected_clean && pass) ++caught;
+    ok = ok && pass;
+
+    std::string invariants;
+    for (const auto& name : r.invariants) {
+      if (!invariants.empty()) invariants += ", ";
+      invariants += name;
+    }
+    if (invariants.empty()) invariants = "-";
+    std::printf("  %-20s %-10zu %-10s %s\n", MutationName(m), r.violations,
+                pass ? (expected_clean ? "clean" : "caught") : "ESCAPED",
+                invariants.c_str());
+  }
+
+  int mutants = spark::kNumMutations - 1;
+  std::printf("\n%s: %d/%d mutants detected, clean model %s\n",
+              ok ? "PASS" : "FAIL", caught, mutants,
+              ok ? "violation-free" : "see table");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lite::testkit
+
+int main() { return lite::testkit::Main(); }
