@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_encoders.dir/bench_ablation_encoders.cc.o"
+  "CMakeFiles/bench_ablation_encoders.dir/bench_ablation_encoders.cc.o.d"
+  "bench_ablation_encoders"
+  "bench_ablation_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_scoring.dir/bench_batch_scoring.cc.o"
+  "CMakeFiles/bench_batch_scoring.dir/bench_batch_scoring.cc.o.d"
+  "bench_batch_scoring"
+  "bench_batch_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pretrain.dir/bench_ext_pretrain.cc.o"
+  "CMakeFiles/bench_ext_pretrain.dir/bench_ext_pretrain.cc.o.d"
+  "bench_ext_pretrain"
+  "bench_ext_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sha.dir/bench_ext_sha.cc.o"
+  "CMakeFiles/bench_ext_sha.dir/bench_ext_sha.cc.o.d"
+  "bench_ext_sha"
+  "bench_ext_sha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

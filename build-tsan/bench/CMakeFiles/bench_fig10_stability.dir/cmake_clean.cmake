@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_stability.dir/bench_fig10_stability.cc.o"
+  "CMakeFiles/bench_fig10_stability.dir/bench_fig10_stability.cc.o.d"
+  "bench_fig10_stability"
+  "bench_fig10_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_augmentation.dir/bench_fig9_augmentation.cc.o"
+  "CMakeFiles/bench_fig9_augmentation.dir/bench_fig9_augmentation.cc.o.d"
+  "bench_fig9_augmentation"
+  "bench_fig9_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

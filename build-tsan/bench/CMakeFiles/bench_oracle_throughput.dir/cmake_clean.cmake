@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oracle_throughput.dir/bench_oracle_throughput.cc.o"
+  "CMakeFiles/bench_oracle_throughput.dir/bench_oracle_throughput.cc.o.d"
+  "bench_oracle_throughput"
+  "bench_oracle_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

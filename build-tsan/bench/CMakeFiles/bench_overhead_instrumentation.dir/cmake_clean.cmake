@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_instrumentation.dir/bench_overhead_instrumentation.cc.o"
+  "CMakeFiles/bench_overhead_instrumentation.dir/bench_overhead_instrumentation.cc.o.d"
+  "bench_overhead_instrumentation"
+  "bench_overhead_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_coldstart.dir/bench_table10_coldstart.cc.o"
+  "CMakeFiles/bench_table10_coldstart.dir/bench_table10_coldstart.cc.o.d"
+  "bench_table10_coldstart"
+  "bench_table10_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

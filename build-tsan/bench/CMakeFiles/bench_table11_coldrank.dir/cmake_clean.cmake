@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_coldrank.dir/bench_table11_coldrank.cc.o"
+  "CMakeFiles/bench_table11_coldrank.dir/bench_table11_coldrank.cc.o.d"
+  "bench_table11_coldrank"
+  "bench_table11_coldrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_coldrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

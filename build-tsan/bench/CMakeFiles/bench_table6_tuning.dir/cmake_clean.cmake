@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_tuning.dir/bench_table6_tuning.cc.o"
+  "CMakeFiles/bench_table6_tuning.dir/bench_table6_tuning.cc.o.d"
+  "bench_table6_tuning"
+  "bench_table6_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_ranking.dir/bench_table7_ranking.cc.o"
+  "CMakeFiles/bench_table7_ranking.dir/bench_table7_ranking.cc.o.d"
+  "bench_table7_ranking"
+  "bench_table7_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_candidates.dir/bench_table8_candidates.cc.o"
+  "CMakeFiles/bench_table8_candidates.dir/bench_table8_candidates.cc.o.d"
+  "bench_table8_candidates"
+  "bench_table8_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

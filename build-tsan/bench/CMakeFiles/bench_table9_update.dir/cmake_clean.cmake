@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_update.dir/bench_table9_update.cc.o"
+  "CMakeFiles/bench_table9_update.dir/bench_table9_update.cc.o.d"
+  "bench_table9_update"
+  "bench_table9_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

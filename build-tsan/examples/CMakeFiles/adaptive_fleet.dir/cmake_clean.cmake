@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_fleet.dir/adaptive_fleet.cpp.o"
+  "CMakeFiles/adaptive_fleet.dir/adaptive_fleet.cpp.o.d"
+  "adaptive_fleet"
+  "adaptive_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldstart_tuning.dir/coldstart_tuning.cpp.o"
+  "CMakeFiles/coldstart_tuning.dir/coldstart_tuning.cpp.o.d"
+  "coldstart_tuning"
+  "coldstart_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldstart_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_workflow.dir/snapshot_workflow.cpp.o"
+  "CMakeFiles/snapshot_workflow.dir/snapshot_workflow.cpp.o.d"
+  "snapshot_workflow"
+  "snapshot_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lite/baseline_models.cc" "src/lite/CMakeFiles/lite_core.dir/baseline_models.cc.o" "gcc" "src/lite/CMakeFiles/lite_core.dir/baseline_models.cc.o.d"
+  "/root/repo/src/lite/candidate_gen.cc" "src/lite/CMakeFiles/lite_core.dir/candidate_gen.cc.o" "gcc" "src/lite/CMakeFiles/lite_core.dir/candidate_gen.cc.o.d"
+  "/root/repo/src/lite/dataset.cc" "src/lite/CMakeFiles/lite_core.dir/dataset.cc.o" "gcc" "src/lite/CMakeFiles/lite_core.dir/dataset.cc.o.d"
+  "/root/repo/src/lite/embedding_pretrain.cc" "src/lite/CMakeFiles/lite_core.dir/embedding_pretrain.cc.o" "gcc" "src/lite/CMakeFiles/lite_core.dir/embedding_pretrain.cc.o.d"
+  "/root/repo/src/lite/features.cc" "src/lite/CMakeFiles/lite_core.dir/features.cc.o" "gcc" "src/lite/CMakeFiles/lite_core.dir/features.cc.o.d"
+  "/root/repo/src/lite/lite_system.cc" "src/lite/CMakeFiles/lite_core.dir/lite_system.cc.o" "gcc" "src/lite/CMakeFiles/lite_core.dir/lite_system.cc.o.d"
+  "/root/repo/src/lite/model_update.cc" "src/lite/CMakeFiles/lite_core.dir/model_update.cc.o" "gcc" "src/lite/CMakeFiles/lite_core.dir/model_update.cc.o.d"
+  "/root/repo/src/lite/necs.cc" "src/lite/CMakeFiles/lite_core.dir/necs.cc.o" "gcc" "src/lite/CMakeFiles/lite_core.dir/necs.cc.o.d"
+  "/root/repo/src/lite/snapshot.cc" "src/lite/CMakeFiles/lite_core.dir/snapshot.cc.o" "gcc" "src/lite/CMakeFiles/lite_core.dir/snapshot.cc.o.d"
+  "/root/repo/src/lite/vocab.cc" "src/lite/CMakeFiles/lite_core.dir/vocab.cc.o" "gcc" "src/lite/CMakeFiles/lite_core.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/nn/CMakeFiles/lite_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/lite_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparksim/CMakeFiles/lite_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/lite_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/lite_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

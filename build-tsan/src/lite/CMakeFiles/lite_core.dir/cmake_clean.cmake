@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_core.dir/baseline_models.cc.o"
+  "CMakeFiles/lite_core.dir/baseline_models.cc.o.d"
+  "CMakeFiles/lite_core.dir/candidate_gen.cc.o"
+  "CMakeFiles/lite_core.dir/candidate_gen.cc.o.d"
+  "CMakeFiles/lite_core.dir/dataset.cc.o"
+  "CMakeFiles/lite_core.dir/dataset.cc.o.d"
+  "CMakeFiles/lite_core.dir/embedding_pretrain.cc.o"
+  "CMakeFiles/lite_core.dir/embedding_pretrain.cc.o.d"
+  "CMakeFiles/lite_core.dir/features.cc.o"
+  "CMakeFiles/lite_core.dir/features.cc.o.d"
+  "CMakeFiles/lite_core.dir/lite_system.cc.o"
+  "CMakeFiles/lite_core.dir/lite_system.cc.o.d"
+  "CMakeFiles/lite_core.dir/model_update.cc.o"
+  "CMakeFiles/lite_core.dir/model_update.cc.o.d"
+  "CMakeFiles/lite_core.dir/necs.cc.o"
+  "CMakeFiles/lite_core.dir/necs.cc.o.d"
+  "CMakeFiles/lite_core.dir/snapshot.cc.o"
+  "CMakeFiles/lite_core.dir/snapshot.cc.o.d"
+  "CMakeFiles/lite_core.dir/vocab.cc.o"
+  "CMakeFiles/lite_core.dir/vocab.cc.o.d"
+  "liblite_core.a"
+  "liblite_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

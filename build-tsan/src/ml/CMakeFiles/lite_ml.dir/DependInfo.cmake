@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/lite_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/lite_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gaussian_process.cc" "src/ml/CMakeFiles/lite_ml.dir/gaussian_process.cc.o" "gcc" "src/ml/CMakeFiles/lite_ml.dir/gaussian_process.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/lite_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/lite_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/linalg.cc" "src/ml/CMakeFiles/lite_ml.dir/linalg.cc.o" "gcc" "src/ml/CMakeFiles/lite_ml.dir/linalg.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/lite_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/lite_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/sampling.cc" "src/ml/CMakeFiles/lite_ml.dir/sampling.cc.o" "gcc" "src/ml/CMakeFiles/lite_ml.dir/sampling.cc.o.d"
+  "/root/repo/src/ml/serialization.cc" "src/ml/CMakeFiles/lite_ml.dir/serialization.cc.o" "gcc" "src/ml/CMakeFiles/lite_ml.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/lite_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/lite_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/lite_ml.dir/gaussian_process.cc.o"
+  "CMakeFiles/lite_ml.dir/gaussian_process.cc.o.d"
+  "CMakeFiles/lite_ml.dir/gbdt.cc.o"
+  "CMakeFiles/lite_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/lite_ml.dir/linalg.cc.o"
+  "CMakeFiles/lite_ml.dir/linalg.cc.o.d"
+  "CMakeFiles/lite_ml.dir/random_forest.cc.o"
+  "CMakeFiles/lite_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/lite_ml.dir/sampling.cc.o"
+  "CMakeFiles/lite_ml.dir/sampling.cc.o.d"
+  "CMakeFiles/lite_ml.dir/serialization.cc.o"
+  "CMakeFiles/lite_ml.dir/serialization.cc.o.d"
+  "liblite_ml.a"
+  "liblite_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

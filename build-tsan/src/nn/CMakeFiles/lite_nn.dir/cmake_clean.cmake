@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_nn.dir/encoders.cc.o"
+  "CMakeFiles/lite_nn.dir/encoders.cc.o.d"
+  "CMakeFiles/lite_nn.dir/layers.cc.o"
+  "CMakeFiles/lite_nn.dir/layers.cc.o.d"
+  "CMakeFiles/lite_nn.dir/module.cc.o"
+  "CMakeFiles/lite_nn.dir/module.cc.o.d"
+  "liblite_nn.a"
+  "liblite_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparksim/application.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/application.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/application.cc.o.d"
+  "/root/repo/src/sparksim/codegen.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/codegen.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/codegen.cc.o.d"
+  "/root/repo/src/sparksim/cost_model.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/cost_model.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sparksim/dag.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/dag.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/dag.cc.o.d"
+  "/root/repo/src/sparksim/environment.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/environment.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/environment.cc.o.d"
+  "/root/repo/src/sparksim/eventlog.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/eventlog.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/eventlog.cc.o.d"
+  "/root/repo/src/sparksim/faults.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/faults.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/faults.cc.o.d"
+  "/root/repo/src/sparksim/instrumentation.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/instrumentation.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/instrumentation.cc.o.d"
+  "/root/repo/src/sparksim/knob.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/knob.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/knob.cc.o.d"
+  "/root/repo/src/sparksim/resilient_runner.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/resilient_runner.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/resilient_runner.cc.o.d"
+  "/root/repo/src/sparksim/runner.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/runner.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/runner.cc.o.d"
+  "/root/repo/src/sparksim/trace.cc" "src/sparksim/CMakeFiles/lite_sparksim.dir/trace.cc.o" "gcc" "src/sparksim/CMakeFiles/lite_sparksim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/lite_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

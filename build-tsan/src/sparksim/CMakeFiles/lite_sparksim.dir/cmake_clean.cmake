@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_sparksim.dir/application.cc.o"
+  "CMakeFiles/lite_sparksim.dir/application.cc.o.d"
+  "CMakeFiles/lite_sparksim.dir/codegen.cc.o"
+  "CMakeFiles/lite_sparksim.dir/codegen.cc.o.d"
+  "CMakeFiles/lite_sparksim.dir/cost_model.cc.o"
+  "CMakeFiles/lite_sparksim.dir/cost_model.cc.o.d"
+  "CMakeFiles/lite_sparksim.dir/dag.cc.o"
+  "CMakeFiles/lite_sparksim.dir/dag.cc.o.d"
+  "CMakeFiles/lite_sparksim.dir/environment.cc.o"
+  "CMakeFiles/lite_sparksim.dir/environment.cc.o.d"
+  "CMakeFiles/lite_sparksim.dir/eventlog.cc.o"
+  "CMakeFiles/lite_sparksim.dir/eventlog.cc.o.d"
+  "CMakeFiles/lite_sparksim.dir/faults.cc.o"
+  "CMakeFiles/lite_sparksim.dir/faults.cc.o.d"
+  "CMakeFiles/lite_sparksim.dir/instrumentation.cc.o"
+  "CMakeFiles/lite_sparksim.dir/instrumentation.cc.o.d"
+  "CMakeFiles/lite_sparksim.dir/knob.cc.o"
+  "CMakeFiles/lite_sparksim.dir/knob.cc.o.d"
+  "CMakeFiles/lite_sparksim.dir/resilient_runner.cc.o"
+  "CMakeFiles/lite_sparksim.dir/resilient_runner.cc.o.d"
+  "CMakeFiles/lite_sparksim.dir/runner.cc.o"
+  "CMakeFiles/lite_sparksim.dir/runner.cc.o.d"
+  "CMakeFiles/lite_sparksim.dir/trace.cc.o"
+  "CMakeFiles/lite_sparksim.dir/trace.cc.o.d"
+  "liblite_sparksim.a"
+  "liblite_sparksim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_sparksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

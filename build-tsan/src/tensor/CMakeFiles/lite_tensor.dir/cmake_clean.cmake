@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_tensor.dir/autodiff.cc.o"
+  "CMakeFiles/lite_tensor.dir/autodiff.cc.o.d"
+  "CMakeFiles/lite_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/lite_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/lite_tensor.dir/tensor.cc.o"
+  "CMakeFiles/lite_tensor.dir/tensor.cc.o.d"
+  "liblite_tensor.a"
+  "liblite_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

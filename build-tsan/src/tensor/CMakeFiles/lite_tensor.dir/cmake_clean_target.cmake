@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblite_tensor.a"
+)

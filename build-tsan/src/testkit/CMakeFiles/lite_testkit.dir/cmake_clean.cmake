@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_testkit.dir/diff.cc.o"
+  "CMakeFiles/lite_testkit.dir/diff.cc.o.d"
+  "CMakeFiles/lite_testkit.dir/gen.cc.o"
+  "CMakeFiles/lite_testkit.dir/gen.cc.o.d"
+  "CMakeFiles/lite_testkit.dir/oracle.cc.o"
+  "CMakeFiles/lite_testkit.dir/oracle.cc.o.d"
+  "liblite_testkit.a"
+  "liblite_testkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_testkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuning/bo_tuner.cc" "src/tuning/CMakeFiles/lite_tuning.dir/bo_tuner.cc.o" "gcc" "src/tuning/CMakeFiles/lite_tuning.dir/bo_tuner.cc.o.d"
+  "/root/repo/src/tuning/ddpg.cc" "src/tuning/CMakeFiles/lite_tuning.dir/ddpg.cc.o" "gcc" "src/tuning/CMakeFiles/lite_tuning.dir/ddpg.cc.o.d"
+  "/root/repo/src/tuning/experiment.cc" "src/tuning/CMakeFiles/lite_tuning.dir/experiment.cc.o" "gcc" "src/tuning/CMakeFiles/lite_tuning.dir/experiment.cc.o.d"
+  "/root/repo/src/tuning/model_tuners.cc" "src/tuning/CMakeFiles/lite_tuning.dir/model_tuners.cc.o" "gcc" "src/tuning/CMakeFiles/lite_tuning.dir/model_tuners.cc.o.d"
+  "/root/repo/src/tuning/sha_tuner.cc" "src/tuning/CMakeFiles/lite_tuning.dir/sha_tuner.cc.o" "gcc" "src/tuning/CMakeFiles/lite_tuning.dir/sha_tuner.cc.o.d"
+  "/root/repo/src/tuning/simple_tuners.cc" "src/tuning/CMakeFiles/lite_tuning.dir/simple_tuners.cc.o" "gcc" "src/tuning/CMakeFiles/lite_tuning.dir/simple_tuners.cc.o.d"
+  "/root/repo/src/tuning/tuner.cc" "src/tuning/CMakeFiles/lite_tuning.dir/tuner.cc.o" "gcc" "src/tuning/CMakeFiles/lite_tuning.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/lite/CMakeFiles/lite_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/lite_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparksim/CMakeFiles/lite_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/lite_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/lite_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/lite_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

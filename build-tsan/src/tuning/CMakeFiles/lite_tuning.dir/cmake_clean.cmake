@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_tuning.dir/bo_tuner.cc.o"
+  "CMakeFiles/lite_tuning.dir/bo_tuner.cc.o.d"
+  "CMakeFiles/lite_tuning.dir/ddpg.cc.o"
+  "CMakeFiles/lite_tuning.dir/ddpg.cc.o.d"
+  "CMakeFiles/lite_tuning.dir/experiment.cc.o"
+  "CMakeFiles/lite_tuning.dir/experiment.cc.o.d"
+  "CMakeFiles/lite_tuning.dir/model_tuners.cc.o"
+  "CMakeFiles/lite_tuning.dir/model_tuners.cc.o.d"
+  "CMakeFiles/lite_tuning.dir/sha_tuner.cc.o"
+  "CMakeFiles/lite_tuning.dir/sha_tuner.cc.o.d"
+  "CMakeFiles/lite_tuning.dir/simple_tuners.cc.o"
+  "CMakeFiles/lite_tuning.dir/simple_tuners.cc.o.d"
+  "CMakeFiles/lite_tuning.dir/tuner.cc.o"
+  "CMakeFiles/lite_tuning.dir/tuner.cc.o.d"
+  "liblite_tuning.a"
+  "liblite_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_util.dir/flags.cc.o"
+  "CMakeFiles/lite_util.dir/flags.cc.o.d"
+  "CMakeFiles/lite_util.dir/logging.cc.o"
+  "CMakeFiles/lite_util.dir/logging.cc.o.d"
+  "CMakeFiles/lite_util.dir/ranking_metrics.cc.o"
+  "CMakeFiles/lite_util.dir/ranking_metrics.cc.o.d"
+  "CMakeFiles/lite_util.dir/rng.cc.o"
+  "CMakeFiles/lite_util.dir/rng.cc.o.d"
+  "CMakeFiles/lite_util.dir/stats.cc.o"
+  "CMakeFiles/lite_util.dir/stats.cc.o.d"
+  "CMakeFiles/lite_util.dir/string_util.cc.o"
+  "CMakeFiles/lite_util.dir/string_util.cc.o.d"
+  "CMakeFiles/lite_util.dir/table_printer.cc.o"
+  "CMakeFiles/lite_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/lite_util.dir/thread_pool.cc.o"
+  "CMakeFiles/lite_util.dir/thread_pool.cc.o.d"
+  "liblite_util.a"
+  "liblite_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

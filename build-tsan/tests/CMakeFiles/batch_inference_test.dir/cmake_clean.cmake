@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_inference_test.dir/batch_inference_test.cc.o"
+  "CMakeFiles/batch_inference_test.dir/batch_inference_test.cc.o.d"
+  "batch_inference_test"
+  "batch_inference_test.pdb"
+  "batch_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

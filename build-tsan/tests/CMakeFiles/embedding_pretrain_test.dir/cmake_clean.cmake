@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_pretrain_test.dir/embedding_pretrain_test.cc.o"
+  "CMakeFiles/embedding_pretrain_test.dir/embedding_pretrain_test.cc.o.d"
+  "embedding_pretrain_test"
+  "embedding_pretrain_test.pdb"
+  "embedding_pretrain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_pretrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

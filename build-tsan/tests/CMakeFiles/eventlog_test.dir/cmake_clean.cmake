@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventlog_test.dir/eventlog_test.cc.o"
+  "CMakeFiles/eventlog_test.dir/eventlog_test.cc.o.d"
+  "eventlog_test"
+  "eventlog_test.pdb"
+  "eventlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

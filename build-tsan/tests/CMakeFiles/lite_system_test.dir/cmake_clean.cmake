@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_system_test.dir/lite_system_test.cc.o"
+  "CMakeFiles/lite_system_test.dir/lite_system_test.cc.o.d"
+  "lite_system_test"
+  "lite_system_test.pdb"
+  "lite_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

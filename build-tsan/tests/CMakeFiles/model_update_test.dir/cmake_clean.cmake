@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_update_test.dir/model_update_test.cc.o"
+  "CMakeFiles/model_update_test.dir/model_update_test.cc.o.d"
+  "model_update_test"
+  "model_update_test.pdb"
+  "model_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/necs_test.dir/necs_test.cc.o"
+  "CMakeFiles/necs_test.dir/necs_test.cc.o.d"
+  "necs_test"
+  "necs_test.pdb"
+  "necs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/necs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_runner_test.dir/resilient_runner_test.cc.o"
+  "CMakeFiles/resilient_runner_test.dir/resilient_runner_test.cc.o.d"
+  "resilient_runner_test"
+  "resilient_runner_test.pdb"
+  "resilient_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparksim_cost_test.dir/sparksim_cost_test.cc.o"
+  "CMakeFiles/sparksim_cost_test.dir/sparksim_cost_test.cc.o.d"
+  "sparksim_cost_test"
+  "sparksim_cost_test.pdb"
+  "sparksim_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparksim_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparksim_dag_test.dir/sparksim_dag_test.cc.o"
+  "CMakeFiles/sparksim_dag_test.dir/sparksim_dag_test.cc.o.d"
+  "sparksim_dag_test"
+  "sparksim_dag_test.pdb"
+  "sparksim_dag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparksim_dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

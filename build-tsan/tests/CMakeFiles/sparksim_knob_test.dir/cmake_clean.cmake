@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparksim_knob_test.dir/sparksim_knob_test.cc.o"
+  "CMakeFiles/sparksim_knob_test.dir/sparksim_knob_test.cc.o.d"
+  "sparksim_knob_test"
+  "sparksim_knob_test.pdb"
+  "sparksim_knob_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparksim_knob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tuner_test.cc" "tests/CMakeFiles/tuner_test.dir/tuner_test.cc.o" "gcc" "tests/CMakeFiles/tuner_test.dir/tuner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/testkit/CMakeFiles/lite_testkit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tuning/CMakeFiles/lite_tuning.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lite/CMakeFiles/lite_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/lite_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/lite_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparksim/CMakeFiles/lite_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/lite_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/lite_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

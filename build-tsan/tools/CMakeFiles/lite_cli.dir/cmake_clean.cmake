@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lite_cli.dir/lite_cli.cc.o"
+  "CMakeFiles/lite_cli.dir/lite_cli.cc.o.d"
+  "lite_cli"
+  "lite_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lite_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

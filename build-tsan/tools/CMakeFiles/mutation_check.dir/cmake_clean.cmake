@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutation_check.dir/mutation_check.cc.o"
+  "CMakeFiles/mutation_check.dir/mutation_check.cc.o.d"
+  "mutation_check"
+  "mutation_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutation_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
