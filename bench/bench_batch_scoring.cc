@@ -65,6 +65,8 @@ int main() {
                       "Batched MT (s)", "Speedup MT/scalar", "Identical"});
   bool all_identical = true;
   double speedup_at_1k = 0.0;
+  std::vector<BenchJsonField> json_fields{
+      {"cores", BenchJsonNum(static_cast<double>(cores))}};
 
   for (size_t pool : pools) {
     const auto& space = spark::KnobSpace::Spark16();
@@ -97,6 +99,12 @@ int main() {
                   TablePrinter::Fmt(t_scalar), TablePrinter::Fmt(t_b1),
                   TablePrinter::Fmt(t_bm), TablePrinter::Fmt(speedup, 2),
                   identical ? "yes" : "NO"});
+    std::string prefix = "pool_" + std::to_string(pool);
+    json_fields.push_back({prefix + "_scalar_s", BenchJsonNum(t_scalar)});
+    json_fields.push_back({prefix + "_batched_1t_s", BenchJsonNum(t_b1)});
+    json_fields.push_back({prefix + "_batched_mt_s", BenchJsonNum(t_bm)});
+    json_fields.push_back({prefix + "_speedup", BenchJsonNum(speedup)});
+    json_fields.push_back({prefix + "_identical", BenchJsonBool(identical)});
   }
 
   table.Print(std::cout, "Scalar vs batched candidate scoring");
@@ -108,5 +116,10 @@ int main() {
               << " (" << TablePrinter::Fmt(speedup_at_1k, 2) << "x on " << cores
               << " cores)\n";
   }
+
+  json_fields.push_back({"speedup_at_1k", BenchJsonNum(speedup_at_1k)});
+  json_fields.push_back({"all_identical", BenchJsonBool(all_identical)});
+  WriteBenchJson("BENCH_scoring.json", "bench_batch_scoring", profile,
+                 json_fields);
   return all_identical ? 0 : 1;
 }

@@ -10,8 +10,11 @@
 #define LITE_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lite/baseline_models.h"
@@ -176,6 +179,45 @@ inline std::vector<StageInstance> CapInstances(
 inline std::string CsvDir() {
   const char* env = std::getenv("LITE_BENCH_CSV_DIR");
   return env ? env : "";
+}
+
+/// One field of a machine-readable bench result: the value is pre-rendered
+/// JSON (use BenchJsonNum / BenchJsonStr / BenchJsonBool).
+using BenchJsonField = std::pair<std::string, std::string>;
+
+inline std::string BenchJsonNum(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+inline std::string BenchJsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out + "\"";
+}
+inline std::string BenchJsonBool(bool b) { return b ? "true" : "false"; }
+
+/// Writes a flat machine-readable result object ({"bench": ..., "scale":
+/// ..., fields...}, one field per line) so CI can upload and diff bench
+/// outcomes. `path` is relative to the working directory; CI runs benches
+/// from the repo root, so results land as /BENCH_*.json artifacts.
+inline bool WriteBenchJson(const std::string& path, const std::string& bench,
+                           const ScaleProfile& profile,
+                           const std::vector<BenchJsonField>& fields) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  out << "\"bench\": " << BenchJsonStr(bench) << ",\n";
+  out << "\"scale\": " << BenchJsonStr(profile.name);
+  for (const auto& [key, value] : fields) {
+    out << ",\n\"" << key << "\": " << value;
+  }
+  out << "\n}\n";
+  return static_cast<bool>(out);
 }
 
 inline std::vector<std::string> AllAppNames() {

@@ -4,11 +4,56 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparksim/resilient_runner.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace lite {
+
+namespace {
+// Serving-path observability (see docs/OBSERVABILITY.md for the catalog).
+// Metric pointers are resolved once; updates are lock-free sharded atomics,
+// so instrumentation never perturbs scoring results or ordering.
+struct LiteMetrics {
+  obs::Counter* recommendations;
+  obs::Counter* candidates_evaluated;
+  obs::Counter* score_calls;
+  obs::Counter* candidates_scored;
+  obs::Counter* feedback_runs;
+  obs::Counter* feedback_censored;
+  obs::Counter* feedback_dropped;
+  obs::Counter* adaptive_updates;
+  obs::Gauge* domain_accuracy;
+  obs::Histogram* recommend_seconds;
+  obs::Histogram* score_seconds;
+  obs::Histogram* featurize_seconds;
+  obs::Histogram* update_seconds;
+
+  static const LiteMetrics& Get() {
+    static const LiteMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new LiteMetrics{
+          reg.GetCounter("lite_recommendations_total"),
+          reg.GetCounter("lite_candidates_evaluated_total"),
+          reg.GetCounter("lite_score_calls_total"),
+          reg.GetCounter("lite_candidates_scored_total"),
+          reg.GetCounter("lite_feedback_runs_total"),
+          reg.GetCounter("lite_feedback_censored_total"),
+          reg.GetCounter("lite_feedback_dropped_total"),
+          reg.GetCounter("lite_adaptive_updates_total"),
+          reg.GetGauge("lite_update_domain_accuracy"),
+          reg.GetHistogram("lite_recommend_seconds"),
+          reg.GetHistogram("lite_score_candidates_seconds"),
+          reg.GetHistogram("lite_featurize_seconds"),
+          reg.GetHistogram("lite_adaptive_update_seconds"),
+      };
+    }();
+    return *m;
+  }
+};
+}  // namespace
 
 std::vector<double> ScoreCandidatesWithEnsemble(
     const spark::SparkRunner* runner, const Corpus& feature_space,
@@ -19,16 +64,27 @@ std::vector<double> ScoreCandidatesWithEnsemble(
   std::vector<double> scores(candidates.size());
   if (candidates.empty()) return scores;
   LITE_CHECK(!models.empty()) << "scoring with an empty ensemble";
+  const LiteMetrics& metrics = LiteMetrics::Get();
+  obs::Span score_span("lite.score_candidates", metrics.score_seconds);
+  metrics.score_calls->Inc();
+  metrics.candidates_scored->Inc(candidates.size());
 
   // Featurize once: every stage feature except the knob vector is identical
   // across candidates of one (app, data, env) query, so per-candidate
   // featurization would recompute the same tokens/DAGs/BoWs B times.
   CorpusBuilder builder(runner);
-  const CandidateEval base =
-      builder.FeaturizeCandidate(feature_space, app, data, env, candidates[0]);
-  // Warm every model's encoder cache before sharding, so the parallel phase
-  // only ever reads it (no insert races, no serialization on misses).
-  for (const NecsModel* m : models) m->WarmEncoderCache(base.stage_instances);
+  const CandidateEval base = [&] {
+    obs::Span span("lite.featurize", metrics.featurize_seconds);
+    return builder.FeaturizeCandidate(feature_space, app, data, env,
+                                      candidates[0]);
+  }();
+  {
+    // Warm every model's encoder cache before sharding, so the parallel
+    // phase only ever reads it (no insert races, no serialization on
+    // misses).
+    obs::Span span("lite.warm_encoder_cache");
+    for (const NecsModel* m : models) m->WarmEncoderCache(base.stage_instances);
+  }
 
   const auto& space = spark::KnobSpace::Spark16();
   auto score_one = [&](size_t i) {
@@ -123,6 +179,8 @@ LiteSystem::Recommendation LiteSystem::Recommend(
     const spark::ApplicationSpec& app, const spark::DataSpec& data,
     const spark::ClusterEnv& env) const {
   LITE_CHECK(trained_) << "Recommend before TrainOffline";
+  const LiteMetrics& metrics = LiteMetrics::Get();
+  obs::Span span("lite.recommend", metrics.recommend_seconds);
   auto t0 = std::chrono::steady_clock::now();
 
   Rng rng(options_.seed ^ std::hash<std::string>{}(app.name));
@@ -154,6 +212,8 @@ LiteSystem::Recommendation LiteSystem::Recommend(
     }
   }
   best.candidates_evaluated = candidates.size();
+  metrics.recommendations->Inc();
+  metrics.candidates_evaluated->Inc(candidates.size());
   auto t1 = std::chrono::steady_clock::now();
   best.recommend_wall_seconds =
       std::chrono::duration<double>(t1 - t0).count();
@@ -168,7 +228,11 @@ void LiteSystem::CollectFeedback(const spark::ApplicationSpec& app,
   // Execute the application with the recommended configuration and extract
   // target-domain stage instances from the observed run.
   spark::AppRunResult run = runner_->cost_model().Run(app, data, env, config);
-  if (run.failed) return;  // failed runs carry no stage-level labels.
+  LiteMetrics::Get().feedback_runs->Inc();
+  if (run.failed) {
+    LiteMetrics::Get().feedback_dropped->Inc();
+    return;  // failed runs carry no stage-level labels.
+  }
   IngestFeedbackRun(app, data, env, config, run, /*sentinel_labels=*/false);
 }
 
@@ -180,6 +244,9 @@ void LiteSystem::CollectFeedback(const spark::ApplicationSpec& app,
   LITE_CHECK(trained_) << "CollectFeedback before TrainOffline";
   LITE_CHECK(harness != nullptr) << "CollectFeedback: null harness";
   spark::MeasureOutcome m = harness->MeasureDetailed(app, data, env, config);
+  const LiteMetrics& metrics = LiteMetrics::Get();
+  metrics.feedback_runs->Inc();
+  if (m.censored) metrics.feedback_censored->Inc();
   if (!m.result.failed) {
     IngestFeedbackRun(app, data, env, config, m.result,
                       /*sentinel_labels=*/false);
@@ -190,7 +257,10 @@ void LiteSystem::CollectFeedback(const spark::ApplicationSpec& app,
     // drop it. Deterministic failures keep their successful stage prefix as
     // real labels plus the capped failing stage, which the extractor marks
     // censored so the updater one-sides its loss.
-    if (m.transient) return;
+    if (m.transient) {
+      metrics.feedback_dropped->Inc();
+      return;
+    }
     IngestFeedbackRun(app, data, env, config, m.result,
                       /*sentinel_labels=*/false);
     return;
@@ -242,10 +312,14 @@ UpdateStats LiteSystem::ForceAdaptiveUpdate() {
   LITE_CHECK(trained_) << "update before TrainOffline";
   UpdateStats stats;
   if (feedback_.empty()) return stats;
+  const LiteMetrics& metrics = LiteMetrics::Get();
+  obs::Span span("lite.adaptive_update", metrics.update_seconds);
   AdaptiveModelUpdater updater(options_.update);
   for (auto& model : models_) {
     stats = updater.Update(model.get(), corpus_.instances, feedback_);
   }
+  metrics.adaptive_updates->Inc();
+  metrics.domain_accuracy->Set(stats.final_domain_accuracy);
   feedback_.clear();
   return stats;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/optimizer.h"
 #include "util/logging.h"
 
@@ -52,6 +54,17 @@ UpdateStats AdaptiveModelUpdater::Update(
     const std::vector<StageInstance>& target) const {
   LITE_CHECK(!target.empty()) << "AdaptiveModelUpdater: empty target domain";
   LITE_CHECK(!source.empty()) << "AdaptiveModelUpdater: empty source domain";
+  // One fit == one model fine-tuned once (LiteSystem updates each ensemble
+  // member, so fits == updates * ensemble size).
+  obs::Span span("lite.model_update.fit",
+                 obs::MetricsRegistry::Global().GetHistogram(
+                     "lite_model_update_fit_seconds"));
+  obs::MetricsRegistry::Global()
+      .GetCounter("lite_model_update_fits_total")
+      ->Inc();
+  obs::MetricsRegistry::Global()
+      .GetCounter("lite_model_update_target_instances_total")
+      ->Inc(target.size());
 
   Rng rng(options_.seed);
   Mlp discriminator(model->hidden_dim(), 2, 1, &rng, /*sigmoid_output=*/false);

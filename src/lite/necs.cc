@@ -4,12 +4,43 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "tensor/optimizer.h"
 #include "util/logging.h"
 
 namespace lite {
 
 using namespace ops;
+
+namespace {
+// Encoder-cache observability. The invariant hits + misses == lookups is
+// checked by the metrics-consistency tests; warm-cache inserts are counted
+// separately because WarmEncoderCache batch-computes entries without a
+// per-entry lookup.
+struct NecsMetrics {
+  obs::Counter* cache_lookups;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* cache_warm_inserts;
+  obs::Counter* predict_batches;
+  obs::Counter* instances_predicted;
+
+  static const NecsMetrics& Get() {
+    static const NecsMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new NecsMetrics{
+          reg.GetCounter("necs_encoder_cache_lookups_total"),
+          reg.GetCounter("necs_encoder_cache_hits_total"),
+          reg.GetCounter("necs_encoder_cache_misses_total"),
+          reg.GetCounter("necs_encoder_cache_warm_inserts_total"),
+          reg.GetCounter("necs_predict_batches_total"),
+          reg.GetCounter("necs_instances_predicted_total"),
+      };
+    }();
+    return *m;
+  }
+};
+}  // namespace
 
 double StageEstimator::PredictAppSeconds(const CandidateEval& candidate) const {
   double total = 0.0;
@@ -84,12 +115,18 @@ std::pair<Tensor, Tensor> NecsModel::ComputeEncodings(
 }
 
 std::pair<Tensor, Tensor> NecsModel::EncodeStage(const StageInstance& inst) const {
+  const NecsMetrics& metrics = NecsMetrics::Get();
+  metrics.cache_lookups->Inc();
   std::string key = CacheKey(inst);
   {
     std::shared_lock<std::shared_mutex> lock(cache_mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      metrics.cache_hits->Inc();
+      return it->second;
+    }
   }
+  metrics.cache_misses->Inc();
   std::pair<Tensor, Tensor> enc = ComputeEncodings(inst);
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
   return cache_.emplace(key, std::move(enc)).first->second;
@@ -126,6 +163,7 @@ void NecsModel::WarmEncoderCache(std::span<const StageInstance> insts) const {
     }
   }
 
+  NecsMetrics::Get().cache_warm_inserts->Inc(missing.size());
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
   for (size_t m = 0; m < missing.size(); ++m) {
     const StageInstance& inst = insts[missing[m]];
@@ -151,6 +189,9 @@ std::vector<double> NecsModel::PredictBatch(
     std::span<const StageInstance> insts) const {
   std::vector<double> out(insts.size());
   if (insts.empty()) return out;
+  const NecsMetrics& metrics = NecsMetrics::Get();
+  metrics.predict_batches->Inc();
+  metrics.instances_predicted->Inc(insts.size());
   const size_t in_dim = mlp_->input_dim();
   Tensor x(insts.size(), in_dim);
   for (size_t b = 0; b < insts.size(); ++b) {

@@ -1,0 +1,434 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace lite::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_enabled_init{false};
+
+bool InitEnabledFromEnv() {
+  const char* env = std::getenv("LITE_OBS");
+  bool on = !(env && std::string(env) == "0");
+  g_enabled.store(on, std::memory_order_relaxed);
+  g_enabled_init.store(true, std::memory_order_release);
+  return on;
+}
+}  // namespace
+
+bool Enabled() {
+  if (!g_enabled_init.load(std::memory_order_acquire)) {
+    return InitEnabledFromEnv();
+  }
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool on) {
+  g_enabled_init.store(true, std::memory_order_release);
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+size_t ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+}  // namespace detail
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  size_t buckets = bounds_.size() + 1;  // + overflow.
+  for (auto& shard : shards_) {
+    shard.counts = std::make_unique<std::atomic<uint64_t>[]>(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(double v) {
+  if (!Enabled()) return;
+  // First bucket whose upper bound is >= v (Prometheus `le`); past-the-end
+  // is the overflow bucket. NaN goes to overflow (comparisons all false).
+  size_t b = std::upper_bound(bounds_.begin(), bounds_.end(), v,
+                              [](double value, double bound) {
+                                return value <= bound;
+                              }) -
+             bounds_.begin();
+  Shard& shard = shards_[detail::ShardIndex()];
+  shard.counts[b].fetch_add(1, std::memory_order_relaxed);
+  detail::AtomicAdd(&shard.sum.v, v);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.bucket_counts.assign(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+      snap.bucket_counts[b] +=
+          shard.counts[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.v.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.bucket_counts) snap.count += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (size_t b = 0; b < bounds_.size() + 1; ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+    shard.sum.v.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& Histogram::LatencyBounds() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1,  0.5,  1.0,    2.0,   5.0,
+      10.0, 30.0, 60.0, 120., 300., 600., 1800., 3600., 7200.};
+  return *bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::LatencyBounds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const { return SnapshotToJson(Snapshot()); }
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  return SnapshotToPrometheusText(Snapshot());
+}
+
+namespace {
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void AppendNumber(std::ostringstream* os, double v) {
+  if (!std::isfinite(v)) {
+    *os << 0;  // exporters never emit non-finite literals.
+    return;
+  }
+  // Integers print as integers (10, not 1e+01) — bucket bounds and counts
+  // read naturally in the exports.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    *os << static_cast<long long>(v);
+    return;
+  }
+  // Shortest decimal that parses back to exactly `v`: keeps bucket bounds
+  // readable (0.1, not 0.10000000000000001) without losing round-trip
+  // exactness for gauges and sums.
+  for (int p = 1; p <= 17; ++p) {
+    std::ostringstream trial;
+    trial.precision(p);
+    trial << v;
+    if (std::strtod(trial.str().c_str(), nullptr) == v) {
+      *os << trial.str();
+      return;
+    }
+  }
+  *os << v;  // unreachable: 17 significant digits always round-trip.
+}
+}  // namespace
+
+std::string SnapshotToJson(const MetricsSnapshot& snap) {
+  // Line-oriented JSON (one metric per line) in the spirit of the repo's
+  // other serializations: trivially diffable, trivially parseable.
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n\"counters\": {\n";
+  size_t i = 0;
+  for (const auto& [name, v] : snap.counters) {
+    os << "\"" << EscapeJson(name) << "\": " << v
+       << (++i < snap.counters.size() ? "," : "") << "\n";
+  }
+  os << "},\n\"gauges\": {\n";
+  i = 0;
+  for (const auto& [name, v] : snap.gauges) {
+    os << "\"" << EscapeJson(name) << "\": ";
+    AppendNumber(&os, v);
+    os << (++i < snap.gauges.size() ? "," : "") << "\n";
+  }
+  os << "},\n\"histograms\": {\n";
+  i = 0;
+  for (const auto& [name, h] : snap.histograms) {
+    os << "\"" << EscapeJson(name) << "\": {\"bounds\":[";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b) os << ",";
+      AppendNumber(&os, h.bounds[b]);
+    }
+    os << "],\"counts\":[";
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b) os << ",";
+      os << h.bucket_counts[b];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":";
+    AppendNumber(&os, h.sum);
+    os << "}" << (++i < snap.histograms.size() ? "," : "") << "\n";
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+namespace {
+/// Splits "name{label=\"x\"}" into the bare metric name and the full series
+/// name (Prometheus TYPE lines name the metric, sample lines the series).
+std::string BareName(const std::string& series) {
+  size_t brace = series.find('{');
+  return brace == std::string::npos ? series : series.substr(0, brace);
+}
+}  // namespace
+
+std::string SnapshotToPrometheusText(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os.precision(17);
+  std::string last_type_for;
+  auto type_line = [&](const std::string& series, const char* type) {
+    std::string bare = BareName(series);
+    if (bare != last_type_for) {
+      os << "# TYPE " << bare << " " << type << "\n";
+      last_type_for = bare;
+    }
+  };
+  for (const auto& [name, v] : snap.counters) {
+    type_line(name, "counter");
+    os << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    type_line(name, "gauge");
+    os << name << " ";
+    AppendNumber(&os, v);
+    os << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    type_line(name, "histogram");
+    std::string bare = BareName(name);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += h.bucket_counts[b];
+      os << bare << "_bucket{le=\"";
+      AppendNumber(&os, h.bounds[b]);
+      os << "\"} " << cumulative << "\n";
+    }
+    os << bare << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << bare << "_sum ";
+    AppendNumber(&os, h.sum);
+    os << "\n" << bare << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+/// Extracts the first quoted string of `line` (handling \" escapes).
+bool FirstQuoted(const std::string& line, std::string* out, size_t* end_pos) {
+  size_t start = line.find('"');
+  if (start == std::string::npos) return false;
+  std::string value;
+  size_t pos = start + 1;
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\') {
+      ++pos;
+      if (pos >= line.size()) return false;
+    }
+    value.push_back(line[pos]);
+    ++pos;
+  }
+  if (pos >= line.size()) return false;
+  *out = value;
+  *end_pos = pos + 1;
+  return true;
+}
+
+bool ParseDouble(const std::string& raw, double* out) {
+  if (raw.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(raw.c_str(), &end);
+  if (end != raw.c_str() + raw.size() || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses a bracketed numeric array starting at `from` in `line`.
+bool ParseArray(const std::string& line, size_t from, std::vector<double>* out,
+                size_t* end_pos) {
+  size_t open = line.find('[', from);
+  if (open == std::string::npos) return false;
+  size_t close = line.find(']', open);
+  if (close == std::string::npos) return false;
+  out->clear();
+  std::string body = line.substr(open + 1, close - open - 1);
+  std::istringstream is(body);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    double v;
+    if (!ParseDouble(item, &v)) return false;
+    out->push_back(v);
+  }
+  *end_pos = close + 1;
+  return true;
+}
+
+/// Value after the given key in `line` (number until , } or whitespace).
+bool ParseKeyedNumber(const std::string& line, const std::string& key,
+                      double* out) {
+  size_t pos = line.find("\"" + key + "\":");
+  if (pos == std::string::npos) return false;
+  pos += key.size() + 3;
+  size_t end = pos;
+  while (end < line.size() && line[end] != ',' && line[end] != '}' &&
+         line[end] != '\n') {
+    ++end;
+  }
+  return ParseDouble(line.substr(pos, end - pos), out);
+}
+}  // namespace
+
+bool ParseMetricsJson(const std::string& json, MetricsSnapshot* out) {
+  *out = MetricsSnapshot();
+  std::istringstream is(json);
+  std::string line;
+  enum Section { kNone, kCounters, kGauges, kHistograms } section = kNone;
+  bool saw_open = false, saw_close = false;
+  while (std::getline(is, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (!saw_open) {
+      if (line != "{") return false;
+      saw_open = true;
+      continue;
+    }
+    if (saw_close) return false;
+    if (section == kNone) {
+      if (line == "\"counters\": {") {
+        section = kCounters;
+      } else if (line == "\"gauges\": {") {
+        section = kGauges;
+      } else if (line == "\"histograms\": {") {
+        section = kHistograms;
+      } else if (line == "}") {
+        saw_close = true;
+      } else {
+        return false;
+      }
+      continue;
+    }
+    // A bare } or }, closes the current section (metric lines always start
+    // with a quoted name, so they can't be confused with a close brace).
+    if (line == "}" || line == "},") {
+      section = kNone;
+      continue;
+    }
+    // Metric line: "name": <value>[,]
+    std::string name;
+    size_t after_name = 0;
+    if (!FirstQuoted(line, &name, &after_name)) return false;
+    size_t colon = line.find(':', after_name);
+    if (colon == std::string::npos) return false;
+    std::string rest = line.substr(colon + 1);
+    while (!rest.empty() && (rest.back() == ',' )) rest.pop_back();
+    while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+    if (section == kCounters) {
+      double v;
+      if (!ParseDouble(rest, &v) || v < 0) return false;
+      out->counters[name] = static_cast<uint64_t>(v);
+    } else if (section == kGauges) {
+      double v;
+      if (!ParseDouble(rest, &v)) return false;
+      out->gauges[name] = v;
+    } else {
+      HistogramSnapshot h;
+      std::vector<double> counts;
+      size_t pos = 0;
+      size_t bounds_at = rest.find("\"bounds\":");
+      if (bounds_at == std::string::npos) return false;
+      if (!ParseArray(rest, bounds_at, &h.bounds, &pos)) return false;
+      size_t counts_at = rest.find("\"counts\":", pos);
+      if (counts_at == std::string::npos) return false;
+      if (!ParseArray(rest, counts_at, &counts, &pos)) return false;
+      if (counts.size() != h.bounds.size() + 1) return false;
+      for (double c : counts) {
+        if (c < 0) return false;
+        h.bucket_counts.push_back(static_cast<uint64_t>(c));
+      }
+      double count_v = 0, sum_v = 0;
+      if (!ParseKeyedNumber(rest.substr(pos), "count", &count_v)) return false;
+      if (!ParseKeyedNumber(rest.substr(pos), "sum", &sum_v)) return false;
+      if (count_v < 0) return false;
+      h.count = static_cast<uint64_t>(count_v);
+      h.sum = sum_v;
+      out->histograms[name] = std::move(h);
+    }
+  }
+  return saw_open && saw_close;
+}
+
+}  // namespace lite::obs

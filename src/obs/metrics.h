@@ -1,0 +1,198 @@
+// Observability metrics: a process-wide registry of named counters, gauges
+// and fixed-bucket latency histograms instrumenting the tuning stack
+// (candidate scoring, encoder cache, adaptive updates, the thread pool, the
+// resilient harness). Design constraints, in order:
+//
+//   * hot-path updates must never perturb results (observability is strictly
+//     read-only with respect to the computation it observes) and must stay
+//     cheap enough that scoring overhead is < 2% — counters and histograms
+//     are sharded padded atomics, so PredictBatch workers on different
+//     shards never contend on a cache line;
+//   * everything is thread-safe: updates are lock-free, registration and
+//     snapshots take a registry mutex (both are rare);
+//   * the whole subsystem can be switched off at runtime (LITE_OBS=0, or
+//     SetEnabled(false)); disabled updates are a relaxed atomic load and a
+//     branch, and results are bit-identical either way (the differential
+//     suite proves it).
+//
+// This library is a leaf: it depends on the standard library only, so every
+// layer (util, sparksim, lite, tuning, testkit) can link it.
+#ifndef LITE_OBS_METRICS_H_
+#define LITE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lite::obs {
+
+/// Global observability switch. Initialized from the LITE_OBS environment
+/// variable on first use ("0" disables, anything else — including unset —
+/// enables); SetEnabled overrides it at runtime (benches and the
+/// differential suite toggle it). Reading is one relaxed atomic load.
+bool Enabled();
+void SetEnabled(bool on);
+
+namespace detail {
+/// Number of independent shards per metric. Each shard lives on its own
+/// cache line; a thread picks its shard once (round-robin at first use) so
+/// concurrent writers on different shards never false-share.
+inline constexpr size_t kShards = 16;
+
+/// This thread's shard index in [0, kShards).
+size_t ShardIndex();
+
+struct alignas(64) PaddedCount {
+  std::atomic<uint64_t> v{0};
+};
+
+struct alignas(64) PaddedSum {
+  std::atomic<double> v{0.0};
+};
+
+/// CAS-loop add (std::atomic<double>::fetch_add is not portable pre-C++20
+/// library support; this compiles everywhere and is equally relaxed).
+inline void AtomicAdd(std::atomic<double>* a, double d) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonically increasing event count. Value() sums the shards, so exact
+/// totals are observable once writers have been joined (or quiesced).
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    if (!Enabled()) return;
+    shards_[detail::ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void Reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::PaddedCount shards_[detail::kShards];
+};
+
+/// Last-written (Set) or accumulated (Add) floating-point value.
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!Enabled()) return;
+    value_.v.store(v, std::memory_order_relaxed);
+  }
+  void Add(double d) {
+    if (!Enabled()) return;
+    detail::AtomicAdd(&value_.v, d);
+  }
+  double Value() const { return value_.v.load(std::memory_order_relaxed); }
+  void Reset() { value_.v.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  detail::PaddedSum value_;
+};
+
+struct HistogramSnapshot {
+  /// Upper bounds of the finite buckets (ascending); an implicit +Inf
+  /// overflow bucket follows, so bucket_counts.size() == bounds.size() + 1.
+  std::vector<double> bounds;
+  /// Per-bucket (non-cumulative) observation counts. Bucket i counts
+  /// observations v with bounds[i-1] < v <= bounds[i] (Prometheus `le`
+  /// semantics; the first bucket counts v <= bounds[0]).
+  std::vector<uint64_t> bucket_counts;
+  uint64_t count = 0;  ///< total observations == sum of bucket_counts.
+  double sum = 0.0;    ///< sum of observed values.
+};
+
+/// Fixed-bucket histogram; bounds are immutable after construction.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Default wall/simulated-latency buckets: log-spaced from 1 microsecond
+  /// to the 7200 s failure cap, so one layout serves both recommendation
+  /// wall times and simulated run durations.
+  static const std::vector<double>& LatencyBounds();
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;  ///< bounds + overflow.
+    detail::PaddedSum sum;
+  };
+
+  std::vector<double> bounds_;
+  Shard shards_[detail::kShards];
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Name -> metric registry. Get* registers on first use and returns a
+/// pointer that stays valid for the registry's lifetime, so hot call sites
+/// cache it in a function-local static. Names should be Prometheus-style
+/// (`lite_recommendations_total`); an optional `{label="value"}` suffix is
+/// passed through to the text exporter as a labeled series.
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// Registers with `bounds` (LatencyBounds() when empty) on first use;
+  /// later calls return the existing histogram regardless of `bounds`.
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds = {});
+
+  /// Consistent point-in-time copy of every registered metric.
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every metric; registered names and pointers stay valid.
+  void Reset();
+
+  /// Exporters. Formats are documented in docs/OBSERVABILITY.md; the JSON
+  /// form round-trips through ParseMetricsJson.
+  std::string ToJson() const;
+  std::string ToPrometheusText() const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps; metric updates are lock-free.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Renders a snapshot in the same formats (the registry exporters are
+/// Snapshot() + these).
+std::string SnapshotToJson(const MetricsSnapshot& snap);
+std::string SnapshotToPrometheusText(const MetricsSnapshot& snap);
+
+/// Parses the ToJson() format back. Returns false (out unspecified) on
+/// malformed input — never throws or reads out of bounds.
+bool ParseMetricsJson(const std::string& json, MetricsSnapshot* out);
+
+}  // namespace lite::obs
+
+#endif  // LITE_OBS_METRICS_H_

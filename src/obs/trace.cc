@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lite::obs {
+
+namespace {
+std::string EscapeTrace(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Per-thread span nesting depth (wall-clock spans only).
+thread_local int t_span_depth = 0;
+}  // namespace
+
+int CurrentThreadTid() {
+  static std::atomic<int> next{0};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  thread_names_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+  epoch_set_ = true;
+  recording_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Stop() {
+  recording_.store(false, std::memory_order_release);
+}
+
+double TraceRecorder::NowMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!epoch_set_) return 0.0;
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::AddEvent(TraceEvent event) {
+  if (!recording()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::SetThreadName(int tid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[tid] = name;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::ToChromeTrace() const {
+  std::vector<TraceEvent> events = Events();
+  std::map<int, std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names = thread_names_;
+  }
+  // Every tid gets a metadata row; unnamed tids get a generated name so the
+  // exported trace is self-describing.
+  for (const auto& e : events) {
+    if (!names.count(e.tid)) {
+      names[e.tid] = (e.tid >= kSimulatedTidBase ? "sim " : "thread ") +
+                     std::to_string(e.tid);
+    }
+  }
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "[\n";
+  for (const auto& [tid, name] : names) {
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << EscapeTrace(name) << "\"}},\n";
+  }
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << EscapeTrace(e.name)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
+       << ",\"dur\":" << e.dur_us << ",\"args\":{\"depth\":" << e.depth
+       << (e.failed ? ",\"failed\":true" : "") << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+Span::Span(std::string name, Histogram* latency) {
+  if (!Enabled()) return;
+  active_ = true;
+  name_ = std::move(name);
+  latency_ = latency;
+  start_ = std::chrono::steady_clock::now();
+  ++t_span_depth;
+  // Capture the recorder-relative open time up front: constructor order then
+  // guarantees parent.ts <= child.ts, and destructor order child.end <=
+  // parent.end, so recorded spans on one tid nest exactly (the testkit span
+  // invariant relies on this, with no epsilon).
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (recorder.recording()) {
+    ts_us_ = recorder.NowMicros();
+    in_trace_ = true;
+  }
+}
+
+Span::~Span() {
+  if (!active_) return;
+  --t_span_depth;
+  auto end = std::chrono::steady_clock::now();
+  double dur_us =
+      std::chrono::duration<double, std::micro>(end - start_).count();
+  if (latency_ != nullptr) latency_->Observe(dur_us * 1e-6);
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!in_trace_ || !recorder.recording()) return;
+  TraceEvent event;
+  event.name = name_;
+  event.tid = CurrentThreadTid();
+  event.ts_us = ts_us_;
+  event.dur_us = recorder.NowMicros() - ts_us_;
+  event.depth = t_span_depth;
+  event.failed = failed_;
+  recorder.AddEvent(std::move(event));
+}
+
+}  // namespace lite::obs

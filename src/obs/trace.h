@@ -1,0 +1,118 @@
+// Trace spans: RAII scopes that time a region of the tuning stack and, when
+// a recording is active, emit Chrome-trace complete events. The emitted
+// JSON uses the exact line-oriented layout of sparksim/trace.h's
+// WriteChromeTrace, so lite::spark::ParseChromeTrace round-trips it and
+// tuning-side spans (featurize, encode, score, adapt) can share one
+// timeline with simulator-side stage events (see AppendSimulatedRun in
+// sparksim/trace.h, which maps simulated stage executions into a live
+// recording).
+//
+// Tids: every thread that opens a span gets a small dense id (0, 1, ...).
+// Simulator-side events are placed on tids >= kSimulatedTidBase so the two
+// families never collide. Spans on one tid always nest properly — a child
+// closes before its parent — which the testkit span-consistency invariant
+// checks on every recorded trace.
+#ifndef LITE_OBS_TRACE_H_
+#define LITE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lite::obs {
+
+/// First tid used for simulator-side (simulated-time) events; wall-clock
+/// span threads occupy [0, kSimulatedTidBase).
+inline constexpr int kSimulatedTidBase = 1000;
+
+struct TraceEvent {
+  std::string name;
+  int tid = 0;
+  double ts_us = 0.0;   ///< start, microseconds since the recording began.
+  double dur_us = 0.0;
+  int depth = 0;        ///< nesting depth at the span's open (0 = root).
+  bool failed = false;  ///< carried into the Chrome-trace args.
+};
+
+/// Dense id of the calling thread (assigned on first use).
+int CurrentThreadTid();
+
+/// Collects TraceEvents between Start() and Stop(). Recording is off by
+/// default and costs one relaxed load per span when off. Thread-safe; one
+/// process-wide instance backs all built-in instrumentation.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Clears previous events and begins recording; now() restarts at 0.
+  void Start();
+  void Stop();
+  bool recording() const {
+    return recording_.load(std::memory_order_acquire);
+  }
+
+  /// Microseconds since Start() (0 when never started).
+  double NowMicros() const;
+
+  /// Appends one event (no-op unless recording).
+  void AddEvent(TraceEvent event);
+  /// Names a tid's row in the exported trace (metadata event).
+  void SetThreadName(int tid, const std::string& name);
+
+  /// Snapshot of recorded events, sorted by (tid, ts).
+  std::vector<TraceEvent> Events() const;
+  size_t event_count() const;
+
+  /// Chrome-trace JSON: thread_name metadata rows followed by one "X"
+  /// complete event per span, one event per line —
+  /// lite::spark::ParseChromeTrace parses it.
+  std::string ToChromeTrace() const;
+
+ private:
+  std::atomic<bool> recording_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<int, std::string> thread_names_;
+  std::chrono::steady_clock::time_point epoch_{};
+  bool epoch_set_ = false;
+};
+
+/// RAII timed scope. On destruction the measured wall duration is observed
+/// into `latency` (when given) and, if the global recorder is recording and
+/// the span opened after Start(), appended as a trace event. Constructing a
+/// span while observability is disabled (LITE_OBS=0 / SetEnabled(false))
+/// does nothing at all.
+class Span {
+ public:
+  explicit Span(std::string name, Histogram* latency = nullptr);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Marks the span failed in the exported trace args.
+  void SetFailed() { failed_ = true; }
+
+ private:
+  std::string name_;
+  Histogram* latency_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+  double ts_us_ = 0.0;     ///< recorder-relative open time (when in_trace_).
+  bool in_trace_ = false;  ///< recording was live when the span opened.
+  bool active_ = false;
+  bool failed_ = false;
+};
+
+}  // namespace lite::obs
+
+#endif  // LITE_OBS_TRACE_H_

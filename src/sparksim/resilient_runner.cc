@@ -3,7 +3,48 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sparksim/trace.h"
+
 namespace lite::spark {
+
+namespace {
+// Registry mirror of the per-harness FaultStats: every harness instance
+// publishes into one process-wide series, so a tuning session's retry and
+// censoring behaviour is observable without plumbing FaultStats pointers
+// around. Per-harness numbers remain available via ResilientRunner::stats();
+// the metrics-consistency invariant checks the two stay in lock-step.
+struct ResilientMetrics {
+  obs::Counter* submissions;
+  obs::Counter* attempts;
+  obs::Counter* transient_failures;
+  obs::Counter* deterministic_failures;
+  obs::Counter* recovered;
+  obs::Counter* retries_exhausted;
+  obs::Counter* censored;
+  obs::Gauge* wasted_seconds;
+  obs::Histogram* measure_seconds;  ///< simulated seconds per submission.
+
+  static const ResilientMetrics& Get() {
+    static const ResilientMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new ResilientMetrics{
+          reg.GetCounter("resilient_submissions_total"),
+          reg.GetCounter("resilient_attempts_total"),
+          reg.GetCounter("resilient_transient_failures_total"),
+          reg.GetCounter("resilient_deterministic_failures_total"),
+          reg.GetCounter("resilient_recovered_total"),
+          reg.GetCounter("resilient_retries_exhausted_total"),
+          reg.GetCounter("resilient_censored_total"),
+          reg.GetGauge("resilient_wasted_seconds_total"),
+          reg.GetHistogram("resilient_measure_sim_seconds"),
+      };
+    }();
+    return *m;
+  }
+};
+}  // namespace
 
 double BackoffSeconds(const RetryPolicy& policy, int retry_index) {
   double wait = policy.backoff_base_seconds *
@@ -17,12 +58,16 @@ MeasureOutcome ResilientRunner::MeasureDetailed(const ApplicationSpec& app,
                                                 const ClusterEnv& env,
                                                 const Config& config) {
   const double cap = failure_cap_seconds();
+  const ResilientMetrics& metrics = ResilientMetrics::Get();
+  obs::Span span("resilient.measure");
   MeasureOutcome out;
   ++stats_.submissions;
+  metrics.submissions->Inc();
 
   int max_attempts = std::max(policy_.max_attempts, 1);
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     ++stats_.attempts;
+    metrics.attempts->Inc();
     out.attempts = attempt;
     AppRunResult run = runner_->cost_model().Run(app, data, env, config);
 
@@ -36,6 +81,7 @@ MeasureOutcome ResilientRunner::MeasureDetailed(const ApplicationSpec& app,
       out.failure_reason = run.failure_reason;
       out.result = std::move(run);
       ++stats_.deterministic_failures;
+      metrics.deterministic_failures->Inc();
       break;
     }
 
@@ -45,6 +91,7 @@ MeasureOutcome ResilientRunner::MeasureDetailed(const ApplicationSpec& app,
                           : FaultDecision{};
     if (d.transient_failure) {
       ++stats_.transient_failures;
+      metrics.transient_failures->Inc();
       out.wasted_seconds += d.wasted_seconds;
       bool budget_left =
           out.wasted_seconds + BackoffSeconds(policy_, attempt - 1) <=
@@ -65,6 +112,7 @@ MeasureOutcome ResilientRunner::MeasureDetailed(const ApplicationSpec& app,
       run.total_seconds = cap;
       out.result = std::move(run);
       ++stats_.retries_exhausted;
+      metrics.retries_exhausted->Inc();
       break;
     }
 
@@ -78,11 +126,24 @@ MeasureOutcome ResilientRunner::MeasureDetailed(const ApplicationSpec& app,
     out.censored = out.seconds >= cap;
     out.failed = false;
     out.result = std::move(run);
-    if (attempt > 1) ++stats_.recovered;
+    if (attempt > 1) {
+      ++stats_.recovered;
+      metrics.recovered->Inc();
+    }
     break;
   }
 
   stats_.wasted_seconds += out.wasted_seconds;
+  metrics.wasted_seconds->Add(out.wasted_seconds);
+  if (out.censored) metrics.censored->Inc();
+  metrics.measure_seconds->Observe(out.seconds);
+  if (out.failed) span.SetFailed();
+  // Unified timeline: when a trace recording is live, project the final
+  // attempt's simulated stage executions next to the wall-clock spans.
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  if (recorder.recording()) {
+    AppendSimulatedRun(&recorder, app, out.result, recorder.NowMicros());
+  }
   return out;
 }
 

@@ -65,7 +65,11 @@ struct MeasureOutcome {
   double charge_seconds() const { return seconds + wasted_seconds; }
 };
 
-/// Lifetime counters across all submissions through one harness.
+/// Lifetime counters across all submissions through one harness. Every
+/// field is also mirrored into obs::MetricsRegistry::Global() as a
+/// `resilient_*` series (aggregated across all harness instances), so
+/// dashboards and the obs_report tool see retry/censoring behaviour without
+/// reaching into individual harnesses; see docs/OBSERVABILITY.md.
 struct FaultStats {
   uint64_t submissions = 0;
   uint64_t attempts = 0;

@@ -105,6 +105,29 @@ bool WriteChromeTraceFile(const ApplicationSpec& app, const AppRunResult& run,
   return static_cast<bool>(out);
 }
 
+void AppendSimulatedRun(obs::TraceRecorder* recorder,
+                        const ApplicationSpec& app, const AppRunResult& run,
+                        double anchor_ts_us, double us_per_sim_second) {
+  if (recorder == nullptr || !recorder->recording()) return;
+  double cursor_us = anchor_ts_us;
+  for (const auto& sr : run.stage_runs) {
+    double dur_us = sr.seconds * us_per_sim_second;
+    obs::TraceEvent event;
+    event.name = app.stages[sr.stage_index].name + " it" +
+                 std::to_string(sr.iteration);
+    event.tid = obs::kSimulatedTidBase + static_cast<int>(sr.stage_index);
+    event.ts_us = cursor_us;
+    event.dur_us = dur_us;
+    event.failed = sr.failed;
+    recorder->AddEvent(std::move(event));
+    cursor_us += dur_us;
+  }
+  for (size_t si = 0; si < app.stages.size(); ++si) {
+    recorder->SetThreadName(obs::kSimulatedTidBase + static_cast<int>(si),
+                            "sim " + app.stages[si].name);
+  }
+}
+
 bool ParseChromeTrace(const std::string& trace, ParsedChromeTrace* out) {
   out->thread_names.clear();
   out->spans.clear();

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sparksim/cost_model.h"
 
 namespace lite::spark {
@@ -40,6 +41,19 @@ struct ParsedChromeTrace {
 /// unspecified) on any malformed input — never throws, crashes, or reads
 /// out of bounds; the serialization fuzz suite feeds it corrupted bytes.
 bool ParseChromeTrace(const std::string& trace, ParsedChromeTrace* out);
+
+/// Bridges one simulated run into a live obs::TraceRecorder recording so
+/// simulator-side stage events share a timeline with the tuning-side wall
+/// clock spans (featurize, score, adapt). Stage execution s of stage spec k
+/// lands on tid obs::kSimulatedTidBase + k, anchored at `anchor_ts_us`
+/// (recorder-relative; pass recorder->NowMicros() to anchor at "now"), with
+/// simulated seconds rendered as `us_per_sim_second` trace microseconds
+/// (default: 1 simulated second -> 1 ms, so multi-hour runs stay readable
+/// next to millisecond-scale serving spans). No-op unless the recorder is
+/// recording.
+void AppendSimulatedRun(obs::TraceRecorder* recorder,
+                        const ApplicationSpec& app, const AppRunResult& run,
+                        double anchor_ts_us, double us_per_sim_second = 1e3);
 
 }  // namespace lite::spark
 

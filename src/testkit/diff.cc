@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "lite/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparksim/eventlog.h"
 #include "sparksim/resilient_runner.h"
 #include "sparksim/trace.h"
@@ -69,6 +71,70 @@ DiffResult DiffScoringThreadCounts(
                     " thread(s) -> " + Fmt(scores[i]));
       }
     }
+  }
+  return {};
+}
+
+DiffResult DiffObservabilityTransparency(
+    const LiteSystem& system, const spark::SparkRunner& runner,
+    const WorkloadTuple& t, const std::vector<spark::Config>& candidates,
+    const std::vector<size_t>& thread_counts) {
+  std::vector<const NecsModel*> models;
+  for (size_t m = 0; m < system.ensemble_size(); ++m) {
+    models.push_back(system.ensemble_member(m));
+  }
+
+  const bool saved = obs::Enabled();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  if (recorder.recording()) {
+    return Fail("a trace recording is already live; transparency needs to "
+                "own the recorder");
+  }
+
+  // Pass 1: observability fully off — this is the ground truth.
+  obs::SetEnabled(false);
+  std::vector<std::vector<double>> off_scores;
+  for (size_t threads : thread_counts) {
+    off_scores.push_back(ScoreCandidatesWithEnsemble(
+        &runner, system.corpus(), models, *t.app, t.data, t.env, candidates,
+        threads));
+  }
+  LiteSystem::Recommendation off_rec = system.Recommend(*t.app, t.data, t.env);
+
+  // Pass 2: maximum observability — metrics on and a live trace recording,
+  // so every span/counter site on the scoring path actually executes.
+  obs::SetEnabled(true);
+  recorder.Start();
+  std::vector<std::vector<double>> on_scores;
+  for (size_t threads : thread_counts) {
+    on_scores.push_back(ScoreCandidatesWithEnsemble(
+        &runner, system.corpus(), models, *t.app, t.data, t.env, candidates,
+        threads));
+  }
+  LiteSystem::Recommendation on_rec = system.Recommend(*t.app, t.data, t.env);
+  recorder.Stop();
+  obs::SetEnabled(saved);
+
+  for (size_t k = 0; k < thread_counts.size(); ++k) {
+    if (off_scores[k].size() != on_scores[k].size()) {
+      return Fail("score count changed with observability enabled at " +
+                  std::to_string(thread_counts[k]) + " thread(s)");
+    }
+    for (size_t i = 0; i < off_scores[k].size(); ++i) {
+      if (off_scores[k][i] != on_scores[k][i]) {
+        return Fail("candidate " + std::to_string(i) + " at " +
+                    std::to_string(thread_counts[k]) + " thread(s): obs off " +
+                    Fmt(off_scores[k][i]) + " != obs on " +
+                    Fmt(on_scores[k][i]));
+      }
+    }
+  }
+  if (off_rec.config != on_rec.config ||
+      off_rec.predicted_seconds != on_rec.predicted_seconds ||
+      off_rec.candidates_evaluated != on_rec.candidates_evaluated) {
+    return Fail("Recommend() diverged with observability enabled: " +
+                Fmt(off_rec.predicted_seconds) + "s vs " +
+                Fmt(on_rec.predicted_seconds) + "s");
   }
   return {};
 }

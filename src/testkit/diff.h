@@ -44,6 +44,17 @@ DiffResult DiffScoringThreadCounts(
     const std::vector<spark::Config>& candidates,
     const std::vector<size_t>& thread_counts);
 
+/// Observability transparency: ScoreCandidatesWithEnsemble and Recommend
+/// must be bit-identical with observability disabled vs enabled (metrics +
+/// a live trace recording), for every thread count in `thread_counts`.
+/// Instrumentation may only observe the computation, never steer it.
+/// Serializes on the obs checks' internal mutex; saves and restores the
+/// process-wide enabled flag and leaves the recorder stopped.
+DiffResult DiffObservabilityTransparency(
+    const LiteSystem& system, const spark::SparkRunner& runner,
+    const WorkloadTuple& t, const std::vector<spark::Config>& candidates,
+    const std::vector<size_t>& thread_counts);
+
 /// SparkRunner::Measure vs an inert-plan ResilientRunner on one tuple:
 /// bit-identical seconds, and the detailed outcome must report a clean
 /// single attempt.

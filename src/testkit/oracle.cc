@@ -1,9 +1,13 @@
 #include "testkit/oracle.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparksim/eventlog.h"
 #include "sparksim/resilient_runner.h"
 #include "sparksim/trace.h"
@@ -77,6 +81,8 @@ const std::vector<std::string>& SimulatorOracle::InvariantNames() {
       "env_monotonicity",
       "fault_replay",
       "resilient_transparency",
+      "metrics_consistency",
+      "span_consistency",
   };
   return *names;
 }
@@ -97,6 +103,8 @@ OracleReport SimulatorOracle::Check(const WorkloadTuple& t) const {
   CheckEnvMonotonicity(t, &report);
   CheckFaultReplay(t, &report);
   CheckResilientTransparency(t, &report);
+  CheckMetricsConsistency(t, &report);
+  CheckSpanConsistency(t, &report);
   return report;
 }
 
@@ -536,6 +544,209 @@ void SimulatorOracle::CheckResilientTransparency(const WorkloadTuple& t,
     Violation(report, "resilient_transparency",
               "inert harness measurement " + Fmt(via_harness) +
                   "s != direct measurement " + Fmt(direct) + "s");
+  }
+}
+
+namespace {
+
+/// Serializes the obs-touching invariants: they read and perturb
+/// process-global registry/recorder state, so two concurrent checks would
+/// see each other's deltas.
+std::mutex& ObsCheckMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+/// Restores the observability on/off switch on scope exit.
+struct ObsEnabledGuard {
+  bool saved = obs::Enabled();
+  ObsEnabledGuard() { obs::SetEnabled(true); }
+  ~ObsEnabledGuard() { obs::SetEnabled(saved); }
+};
+
+/// The `resilient_*` registry series that mirror per-harness FaultStats.
+struct ResilientSeries {
+  uint64_t submissions, attempts, transient_failures, deterministic_failures,
+      recovered, retries_exhausted;
+  double wasted_seconds;
+  uint64_t measure_histogram_count;
+
+  static ResilientSeries Read() {
+    auto& reg = obs::MetricsRegistry::Global();
+    return ResilientSeries{
+        reg.GetCounter("resilient_submissions_total")->Value(),
+        reg.GetCounter("resilient_attempts_total")->Value(),
+        reg.GetCounter("resilient_transient_failures_total")->Value(),
+        reg.GetCounter("resilient_deterministic_failures_total")->Value(),
+        reg.GetCounter("resilient_recovered_total")->Value(),
+        reg.GetCounter("resilient_retries_exhausted_total")->Value(),
+        reg.GetGauge("resilient_wasted_seconds_total")->Value(),
+        reg.GetHistogram("resilient_measure_sim_seconds")->Snapshot().count,
+    };
+  }
+};
+
+}  // namespace
+
+void SimulatorOracle::CheckMetricsConsistency(const WorkloadTuple& t,
+                                              OracleReport* report) const {
+  std::lock_guard<std::mutex> lock(ObsCheckMutex());
+  ObsEnabledGuard enabled;
+
+  // (1) Encoder-cache identity: every lookup is resolved as exactly one hit
+  // or one miss, so at any quiescent point the cumulative counters satisfy
+  // lookups == hits + misses.
+  auto& reg = obs::MetricsRegistry::Global();
+  uint64_t lookups = reg.GetCounter("necs_encoder_cache_lookups_total")->Value();
+  uint64_t hits = reg.GetCounter("necs_encoder_cache_hits_total")->Value();
+  uint64_t misses = reg.GetCounter("necs_encoder_cache_misses_total")->Value();
+  if (lookups != hits + misses) {
+    Violation(report, "metrics_consistency",
+              "encoder cache: " + std::to_string(lookups) + " lookups != " +
+                  std::to_string(hits) + " hits + " + std::to_string(misses) +
+                  " misses");
+  }
+
+  // (2) Registry deltas across a faulted replay must equal the harness's
+  // own FaultStats — the mirror increments sit next to each ++stats_ line,
+  // and this is the law that keeps them there.
+  ResilientSeries before = ResilientSeries::Read();
+  spark::FaultPlan plan(spark::FaultOptions::Moderate(options_.fault_seed));
+  spark::ResilientRunner harness(&runner_, plan);
+  for (int i = 0; i < 3; ++i) {
+    harness.MeasureDetailed(*t.app, t.data, t.env, t.config);
+  }
+  ResilientSeries after = ResilientSeries::Read();
+  const spark::FaultStats& s = harness.stats();
+  auto delta_mismatch = [&](uint64_t a, uint64_t b, uint64_t want,
+                            const char* what) {
+    if (b - a != want) {
+      Violation(report, "metrics_consistency",
+                std::string("resilient_") + what + " delta " +
+                    std::to_string(b - a) + " != FaultStats " +
+                    std::to_string(want));
+    }
+  };
+  delta_mismatch(before.submissions, after.submissions, s.submissions,
+                 "submissions");
+  delta_mismatch(before.attempts, after.attempts, s.attempts, "attempts");
+  delta_mismatch(before.transient_failures, after.transient_failures,
+                 s.transient_failures, "transient_failures");
+  delta_mismatch(before.deterministic_failures, after.deterministic_failures,
+                 s.deterministic_failures, "deterministic_failures");
+  delta_mismatch(before.recovered, after.recovered, s.recovered, "recovered");
+  delta_mismatch(before.retries_exhausted, after.retries_exhausted,
+                 s.retries_exhausted, "retries_exhausted");
+  // The gauge accumulates from a nonzero process-lifetime baseline, so its
+  // delta differs from the from-zero FaultStats sum by rounding that scales
+  // with the absolute gauge value — compare relative to that magnitude.
+  double wasted_delta = after.wasted_seconds - before.wasted_seconds;
+  double wasted_tol =
+      1e-9 * std::max({1.0, std::fabs(after.wasted_seconds),
+                       std::fabs(s.wasted_seconds)});
+  if (std::fabs(wasted_delta - s.wasted_seconds) > wasted_tol) {
+    Violation(report, "metrics_consistency",
+              "resilient_wasted_seconds_total delta " + Fmt(wasted_delta) +
+                  " != FaultStats " + Fmt(s.wasted_seconds));
+  }
+
+  // (3) Histogram/counter agreement: every submission contributes exactly
+  // one observation to the measure-latency histogram.
+  if (after.measure_histogram_count - before.measure_histogram_count !=
+      s.submissions) {
+    Violation(report, "metrics_consistency",
+              "resilient_measure_sim_seconds count delta " +
+                  std::to_string(after.measure_histogram_count -
+                                 before.measure_histogram_count) +
+                  " != " + std::to_string(s.submissions) + " submissions");
+  }
+}
+
+void SimulatorOracle::CheckSpanConsistency(const WorkloadTuple& t,
+                                           OracleReport* report) const {
+  std::lock_guard<std::mutex> lock(ObsCheckMutex());
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  if (recorder.recording()) return;  // someone else owns the live recording.
+  ObsEnabledGuard enabled;
+
+  recorder.Start();
+  {
+    // Nested wall spans around an instrumented submission, so the recording
+    // holds both hand-opened scopes and harness/simulator events.
+    obs::Span outer("oracle.span_check");
+    {
+      obs::Span inner("oracle.span_check.measure");
+      spark::ResilientRunner inert(&runner_);
+      inert.MeasureDetailed(*t.app, t.data, t.env, t.config);
+    }
+  }
+  recorder.Stop();
+  std::vector<obs::TraceEvent> events = recorder.Events();
+  if (events.empty()) {
+    Violation(report, "span_consistency", "recording produced no events");
+    return;
+  }
+
+  // Wall spans on one thread come from RAII scopes: ctor/dtor ordering plus
+  // a monotonic recorder clock means a later-starting span either nests
+  // inside the earlier one or starts after it ends. end = ts + dur is one
+  // double addition, so allow an ulp-scale slack (microsecond timeline).
+  const double slack_us = 1e-3;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const obs::TraceEvent& a = events[i];
+    if (!std::isfinite(a.ts_us) || !std::isfinite(a.dur_us) || a.dur_us < 0) {
+      Violation(report, "span_consistency",
+                "event '" + a.name + "' has a non-finite or negative time");
+      return;
+    }
+    if (a.tid >= obs::kSimulatedTidBase) continue;
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      const obs::TraceEvent& b = events[j];  // Events() sorted by (tid, ts).
+      if (b.tid != a.tid) break;
+      double a_end = a.ts_us + a.dur_us;
+      bool nested = b.ts_us + slack_us >= a.ts_us &&
+                    b.ts_us + b.dur_us <= a_end + slack_us;
+      bool disjoint = b.ts_us + slack_us >= a_end;
+      if (!nested && !disjoint) {
+        Violation(report, "span_consistency",
+                  "spans '" + a.name + "' and '" + b.name +
+                      "' partially overlap on tid " + std::to_string(a.tid));
+      }
+    }
+  }
+
+  // Simulated stage events are laid out by one sequential cursor
+  // (AppendSimulatedRun), so sorted by start time they tile the simulated
+  // window: each event starts exactly where the previous one ended.
+  std::vector<const obs::TraceEvent*> sim;
+  for (const auto& e : events) {
+    if (e.tid >= obs::kSimulatedTidBase) sim.push_back(&e);
+  }
+  std::sort(sim.begin(), sim.end(),
+            [](const obs::TraceEvent* a, const obs::TraceEvent* b) {
+              return a->ts_us < b->ts_us;
+            });
+  for (size_t i = 1; i < sim.size(); ++i) {
+    double prev_end = sim[i - 1]->ts_us + sim[i - 1]->dur_us;
+    if (sim[i]->ts_us != prev_end) {
+      Violation(report, "span_consistency",
+                "simulated timeline has a gap/overlap before '" +
+                    sim[i]->name + "': starts " + Fmt(sim[i]->ts_us) +
+                    "us, previous ended " + Fmt(prev_end) + "us");
+    }
+  }
+
+  // The export must survive the simulator-side parser: one parsed span per
+  // recorded event, same unified-timeline format as WriteChromeTrace.
+  spark::ParsedChromeTrace parsed;
+  if (!spark::ParseChromeTrace(recorder.ToChromeTrace(), &parsed)) {
+    Violation(report, "span_consistency",
+              "ToChromeTrace output does not ParseChromeTrace");
+  } else if (parsed.spans.size() != events.size()) {
+    Violation(report, "span_consistency",
+              "parsed " + std::to_string(parsed.spans.size()) +
+                  " spans from " + std::to_string(events.size()) +
+                  " recorded events");
   }
 }
 

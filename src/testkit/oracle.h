@@ -34,10 +34,23 @@
 //   fault_replay          an active FaultPlan replays bit-identically.
 //   resilient_transparency ResilientRunner with an inert plan is
 //                         bit-identical to the plain runner.
+//   metrics_consistency   the obs registry stays in lock-step with ground
+//                         truth: encoder-cache hits + misses == lookups,
+//                         `resilient_*` series mirror FaultStats deltas
+//                         across a faulted replay, and the measure
+//                         histogram's count matches the submission counter.
+//   span_consistency      a recorded trace of one resilient submission
+//                         yields spans that nest without partial overlap
+//                         per thread, simulated stage events that tile the
+//                         timeline without gaps, and a Chrome-trace export
+//                         that ParseChromeTrace round-trips.
 //
 // All comparisons that reason about monotonicity run on a noise-free copy
 // of the model options; determinism and replay checks keep the caller's
-// noise settings.
+// noise settings. The metrics/span invariants touch process-global obs
+// state: they serialize on an internal mutex, force observability on for
+// their own measurements (restoring the previous state afterwards), and
+// assume no *other* thread is concurrently driving instrumented code.
 #ifndef LITE_TESTKIT_ORACLE_H_
 #define LITE_TESTKIT_ORACLE_H_
 
@@ -100,6 +113,9 @@ class SimulatorOracle {
   void CheckFaultReplay(const WorkloadTuple& t, OracleReport* report) const;
   void CheckResilientTransparency(const WorkloadTuple& t,
                                   OracleReport* report) const;
+  void CheckMetricsConsistency(const WorkloadTuple& t,
+                               OracleReport* report) const;
+  void CheckSpanConsistency(const WorkloadTuple& t, OracleReport* report) const;
 
   /// Names of every invariant in the catalog, in Check() order.
   static const std::vector<std::string>& InvariantNames();

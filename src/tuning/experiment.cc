@@ -1,11 +1,29 @@
 #include "tuning/experiment.h"
 
 #include <algorithm>
+#include <cctype>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace lite {
+
+namespace {
+/// Lowercased alphanumeric method label for a metric series ("OtterTune*"
+/// -> "ottertune"), so per-tuner series names stay Prometheus-clean.
+std::string MethodLabel(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out.empty() ? "unknown" : out;
+}
+}  // namespace
 
 TaskComparison CompareTuners(const std::vector<Tuner*>& tuners,
                              const TuningTask& task, double budget_seconds) {
@@ -16,7 +34,17 @@ TaskComparison CompareTuners(const std::vector<Tuner*>& tuners,
 
   double t_min = std::numeric_limits<double>::infinity();
   for (Tuner* tuner : tuners) {
-    TuningResult r = tuner->Tune(task, budget_seconds);
+    std::string label = MethodLabel(tuner->name());
+    auto& reg = obs::MetricsRegistry::Global();
+    TuningResult r = [&] {
+      obs::Span span("tune." + label,
+                     reg.GetHistogram("tuning_recommend_wall_seconds"));
+      return tuner->Tune(task, budget_seconds);
+    }();
+    reg.GetCounter("tuning_recommendations_total{method=\"" + label + "\"}")
+        ->Inc();
+    reg.GetCounter("tuning_evaluations_total{method=\"" + label + "\"}")
+        ->Inc(r.trials);
     MethodOutcome out;
     out.method = tuner->name();
     out.seconds = r.best_seconds;

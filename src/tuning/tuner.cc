@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace lite {
 
 void TuningTrace::Record(double now, double seconds) {
+  // Every trial-based tuner records each executed trial here, so this is
+  // the single choke point for the fleet-wide trial count; together with
+  // tuning_recommendations_total{method=...} (experiment.cc) it yields each
+  // tuner's evaluations-per-recommendation.
+  static obs::Counter* trials =
+      obs::MetricsRegistry::Global().GetCounter("tuning_trials_total");
+  static obs::Histogram* trial_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("tuning_trial_sim_seconds");
+  trials->Inc();
+  trial_seconds->Observe(seconds);
   double best = best_so_far.empty() ? seconds : std::min(best_so_far.back(), seconds);
   timestamps.push_back(now);
   best_so_far.push_back(best);

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace lite {
 
 namespace {
@@ -11,6 +13,33 @@ namespace {
 // worker run inline instead of re-entering the queue (which could deadlock
 // when every worker is blocked waiting on the nested loop).
 thread_local bool t_inside_pool_task = false;
+
+// Pool-wide observability (all pools share the series; the shared pool
+// dominates in practice). Queue depth is sampled under the pool mutex at
+// every transition, so the gauge always holds the latest observed depth.
+struct PoolMetrics {
+  obs::Counter* tasks_submitted;
+  obs::Counter* tasks_executed;
+  obs::Counter* parallel_for_calls;
+  obs::Counter* parallel_for_inline;
+  obs::Counter* parallel_iterations;
+  obs::Gauge* queue_depth;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new PoolMetrics{
+          reg.GetCounter("threadpool_tasks_submitted_total"),
+          reg.GetCounter("threadpool_tasks_executed_total"),
+          reg.GetCounter("threadpool_parallel_for_total"),
+          reg.GetCounter("threadpool_parallel_for_inline_total"),
+          reg.GetCounter("threadpool_parallel_iterations_total"),
+          reg.GetGauge("threadpool_queue_depth"),
+      };
+    }();
+    return *m;
+  }
+};
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -41,7 +70,9 @@ void ThreadPool::WorkerLoop() {
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
+      PoolMetrics::Get().queue_depth->Set(static_cast<double>(tasks_.size()));
     }
+    PoolMetrics::Get().tasks_executed->Inc();
     t_inside_pool_task = true;
     task();  // Submit wraps tasks in packaged_task, which captures throws.
     t_inside_pool_task = false;
@@ -54,14 +85,20 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.emplace_back([packaged] { (*packaged)(); });
+    PoolMetrics::Get().queue_depth->Set(static_cast<double>(tasks_.size()));
   }
+  PoolMetrics::Get().tasks_submitted->Inc();
   cv_.notify_one();
   return fut;
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.parallel_for_calls->Inc();
+  metrics.parallel_iterations->Inc(n);
   if (t_inside_pool_task || workers_.empty() || n == 1) {
+    metrics.parallel_for_inline->Inc();
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -109,7 +146,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       tasks_.emplace_back(std::move(helper));
+      metrics.queue_depth->Set(static_cast<double>(tasks_.size()));
     }
+    metrics.tasks_submitted->Inc();
     cv_.notify_one();
   }
 

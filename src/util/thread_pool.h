@@ -7,6 +7,12 @@
 // first one is rethrown on the calling thread. Calling ParallelFor from
 // inside a worker task runs the loop inline (no deadlock on nested
 // submission); empty submissions return immediately.
+//
+// Observability: pools export threadpool_tasks_{submitted,executed}_total,
+// threadpool_parallel_{for,for_inline,iterations}_total and the
+// threadpool_queue_depth gauge through obs::MetricsRegistry::Global()
+// (see docs/OBSERVABILITY.md). Instrumentation never affects scheduling or
+// results.
 #ifndef LITE_UTIL_THREAD_POOL_H_
 #define LITE_UTIL_THREAD_POOL_H_
 

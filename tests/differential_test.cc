@@ -107,6 +107,27 @@ TEST_F(DifferentialTest, ScoringAgreesAcrossThreadCounts) {
   }
 }
 
+// Instrumentation must observe, never steer: scoring and recommendation
+// are bit-identical with observability off vs fully on (metrics + live
+// trace recording), at every scoring-thread count.
+TEST_F(DifferentialTest, ObservabilityIsTransparentAcrossThreadCounts) {
+  testkit::TupleGenerator gen = CorpusGen(4);
+  for (int i = 0; i < 2; ++i) {
+    WorkloadTuple t = gen.Next();
+    std::vector<spark::Config> candidates;
+    const auto& space = spark::KnobSpace::Spark16();
+    candidates.push_back(t.config);
+    candidates.push_back(space.DefaultConfig());
+    for (int c = 0; c < 14; ++c) {
+      candidates.push_back(space.RandomConfig(gen.rng()));
+    }
+    DiffResult r = testkit::DiffObservabilityTransparency(
+        *system_, *runner_, t, candidates, {1, 4, 8});
+    ASSERT_TRUE(r.ok) << r.message << "\n  tuple: " << t.Describe() << "\n  "
+                      << SeedNote();
+  }
+}
+
 TEST_F(DifferentialTest, SnapshotRoundTripIsLossless) {
   std::string dir = testing::TempDir() + "/testkit_snapshot_diff";
   std::filesystem::create_directories(dir);

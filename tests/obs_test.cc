@@ -1,0 +1,383 @@
+// Observability subsystem tests: exact totals under concurrent updates
+// (the sharded-atomic contract), histogram bucket boundary semantics,
+// snapshot/reset, exporter round-trips, and nested/overlapping Span
+// correctness against the trace recorder. The concurrency tests are part
+// of the LITE_SANITIZE=thread suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sparksim/trace.h"
+
+namespace lite::obs {
+namespace {
+
+/// Forces observability on for a test and restores the previous state, so
+/// suites remain order-independent and runnable under LITE_OBS=0.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = Enabled();
+    SetEnabled(true);
+  }
+  void TearDown() override { SetEnabled(saved_); }
+
+ private:
+  bool saved_ = true;
+};
+
+TEST_F(ObsTest, CounterConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test_events_total");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c->Inc();
+      c->Inc(5);  // weighted increments must be exact too.
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(c->Value(), kThreads * (kPerThread + 5));
+}
+
+TEST_F(ObsTest, GaugeConcurrentAddsAreExact) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("test_accumulated");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([g] {
+      // Small integers: double addition is exact far past this total, so
+      // the CAS loop must account for every single add.
+      for (int i = 0; i < kPerThread; ++i) g->Add(1.0);
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(g->Value(), static_cast<double>(kThreads * kPerThread));
+  g->Set(3.5);
+  EXPECT_EQ(g->Value(), 3.5);
+}
+
+TEST_F(ObsTest, HistogramConcurrentObservationsAreExact) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("test_latency", {1.0, 10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([h, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Observe(static_cast<double>(w % 4));  // 0,1,2,3 -> buckets 0,0,1,1
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.bucket_counts) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+  // w%4: values 0 and 1 land in bucket 0 (le semantics), 2 and 3 in bucket 1.
+  EXPECT_EQ(snap.bucket_counts[0], static_cast<uint64_t>(4 * kPerThread));
+  EXPECT_EQ(snap.bucket_counts[1], static_cast<uint64_t>(4 * kPerThread));
+  // Sum of small integers is exact: 2 threads each of value 0,1,2,3.
+  EXPECT_EQ(snap.sum, static_cast<double>(2 * kPerThread * (0 + 1 + 2 + 3)));
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesUseLeSemantics) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("test_bounds", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // <= 1          -> bucket 0
+  h->Observe(1.0);    // == bound      -> bucket 0 (le includes the bound)
+  h->Observe(1.0001); // just above    -> bucket 1
+  h->Observe(10.0);   //               -> bucket 1
+  h->Observe(100.0);  //               -> bucket 2
+  h->Observe(101.0);  // above top     -> overflow bucket
+  HistogramSnapshot snap = h->Snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);
+  EXPECT_EQ(snap.bucket_counts[0], 2u);
+  EXPECT_EQ(snap.bucket_counts[1], 2u);
+  EXPECT_EQ(snap.bucket_counts[2], 1u);
+  EXPECT_EQ(snap.bucket_counts[3], 1u);
+  EXPECT_EQ(snap.count, 6u);
+}
+
+TEST_F(ObsTest, DefaultLatencyBoundsAreAscendingAndCapped) {
+  const std::vector<double>& bounds = Histogram::LatencyBounds();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  // One layout serves microsecond spans through the 7200 s failure cap.
+  EXPECT_LE(bounds.front(), 1e-5);
+  EXPECT_GE(bounds.back(), 7200.0);
+}
+
+TEST_F(ObsTest, SnapshotAndResetKeepPointersValid) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("snap_counter_total");
+  Gauge* g = reg.GetGauge("snap_gauge");
+  Histogram* h = reg.GetHistogram("snap_hist", {1.0, 2.0});
+  c->Inc(7);
+  g->Set(2.5);
+  h->Observe(1.5);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("snap_counter_total"), 7u);
+  EXPECT_EQ(snap.gauges.at("snap_gauge"), 2.5);
+  EXPECT_EQ(snap.histograms.at("snap_hist").count, 1u);
+
+  reg.Reset();
+  // Same pointers, zeroed values; the snapshot copy is unaffected.
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+  EXPECT_EQ(snap.counters.at("snap_counter_total"), 7u);
+  EXPECT_EQ(reg.GetCounter("snap_counter_total"), c);
+  c->Inc();
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST_F(ObsTest, JsonExportRoundTrips) {
+  MetricsRegistry reg;
+  reg.GetCounter("roundtrip_events_total")->Inc(42);
+  reg.GetCounter("roundtrip_by_method_total{method=\"bo\"}")->Inc(3);
+  reg.GetGauge("roundtrip_depth")->Set(-1.25);
+  Histogram* h = reg.GetHistogram("roundtrip_seconds", {0.1, 1.0, 10.0});
+  h->Observe(0.05);
+  h->Observe(5.0);
+  h->Observe(50.0);
+
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseMetricsJson(reg.ToJson(), &parsed));
+  EXPECT_EQ(parsed.counters.at("roundtrip_events_total"), 42u);
+  EXPECT_EQ(parsed.counters.at("roundtrip_by_method_total{method=\"bo\"}"), 3u);
+  EXPECT_EQ(parsed.gauges.at("roundtrip_depth"), -1.25);
+  const HistogramSnapshot& hs = parsed.histograms.at("roundtrip_seconds");
+  ASSERT_EQ(hs.bounds.size(), 3u);
+  EXPECT_EQ(hs.bounds[1], 1.0);
+  ASSERT_EQ(hs.bucket_counts.size(), 4u);
+  EXPECT_EQ(hs.bucket_counts[0], 1u);
+  EXPECT_EQ(hs.bucket_counts[2], 1u);
+  EXPECT_EQ(hs.bucket_counts[3], 1u);
+  EXPECT_EQ(hs.count, 3u);
+  EXPECT_NEAR(hs.sum, 55.05, 1e-9);
+}
+
+TEST_F(ObsTest, ParseMetricsJsonRejectsMalformedInput) {
+  MetricsSnapshot out;
+  EXPECT_FALSE(ParseMetricsJson("", &out));
+  EXPECT_FALSE(ParseMetricsJson("{", &out));
+  EXPECT_FALSE(ParseMetricsJson("not json at all", &out));
+  EXPECT_FALSE(ParseMetricsJson("{\n\"counters\": {\n\"x\": nope\n}\n}", &out));
+  // A truncated document (no closing brace) must be rejected.
+  MetricsRegistry reg;
+  reg.GetCounter("x_total")->Inc();
+  std::string good = reg.ToJson();
+  ASSERT_TRUE(ParseMetricsJson(good, &out));
+  std::string truncated = good.substr(0, good.size() - 2);
+  EXPECT_FALSE(ParseMetricsJson(truncated, &out));
+}
+
+TEST_F(ObsTest, PrometheusExportHasCumulativeBucketsAndTypes) {
+  MetricsRegistry reg;
+  reg.GetCounter("prom_events_total")->Inc(5);
+  reg.GetCounter("prom_by_method_total{method=\"lite\"}")->Inc(2);
+  reg.GetGauge("prom_depth")->Set(4.0);
+  Histogram* h = reg.GetHistogram("prom_seconds", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(2.0);
+
+  std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE prom_events_total counter"), std::string::npos);
+  // Labeled series: the TYPE line uses the bare name, the sample keeps the
+  // label block.
+  EXPECT_NE(text.find("# TYPE prom_by_method_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("prom_by_method_total{method=\"lite\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE prom_seconds histogram"), std::string::npos);
+  // Buckets are cumulative in le order, closed by +Inf == _count.
+  EXPECT_NE(text.find("prom_seconds_bucket{le=\"0.1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("prom_seconds_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("prom_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("prom_seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("prom_seconds_sum"), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledUpdatesAreNoOps) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("disabled_total");
+  Histogram* h = reg.GetHistogram("disabled_seconds", {1.0});
+  SetEnabled(false);
+  c->Inc(100);
+  h->Observe(0.5);
+  {
+    Span span("disabled.span", h);
+  }
+  SetEnabled(true);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+}
+
+TEST_F(ObsTest, NestedSpansNestExactlyInRecordedTrace) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  ASSERT_FALSE(rec.recording());
+  rec.Start();
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+      { Span leaf("leaf"); }
+    }
+    { Span sibling("sibling"); }
+  }
+  rec.Stop();
+
+  std::vector<TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  const TraceEvent* outer = nullptr;
+  const TraceEvent* inner = nullptr;
+  const TraceEvent* leaf = nullptr;
+  const TraceEvent* sibling = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "outer") outer = &e;
+    if (e.name == "inner") inner = &e;
+    if (e.name == "leaf") leaf = &e;
+    if (e.name == "sibling") sibling = &e;
+  }
+  ASSERT_TRUE(outer && inner && leaf && sibling);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(leaf->depth, 2);
+  EXPECT_EQ(sibling->depth, 1);
+  // Timestamps come from the recorder clock in ctor/dtor order, so nesting
+  // holds up to one fp addition (ts + dur) of slack: children open at-or-
+  // after the parent and close at-or-before it.
+  const double slack_us = 1e-3;
+  EXPECT_GE(inner->ts_us, outer->ts_us);
+  EXPECT_LE(inner->ts_us + inner->dur_us,
+            outer->ts_us + outer->dur_us + slack_us);
+  EXPECT_GE(leaf->ts_us, inner->ts_us);
+  EXPECT_LE(leaf->ts_us + leaf->dur_us,
+            inner->ts_us + inner->dur_us + slack_us);
+  // The sibling opens after the inner subtree closed.
+  EXPECT_GE(sibling->ts_us + slack_us, inner->ts_us + inner->dur_us);
+  // All four ran on this thread's tid.
+  EXPECT_EQ(inner->tid, outer->tid);
+  EXPECT_EQ(sibling->tid, outer->tid);
+}
+
+TEST_F(ObsTest, OverlappingSpansFromThreadsGetDistinctTids) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Start();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([w] {
+      Span span("worker." + std::to_string(w));
+      { Span nested("worker." + std::to_string(w) + ".child"); }
+    });
+  }
+  for (auto& t : workers) t.join();
+  rec.Stop();
+
+  std::vector<TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 2u * kThreads);
+  // Each worker thread got its own tid carrying exactly its parent/child
+  // pair, child nested inside the parent.
+  std::map<int, std::vector<const TraceEvent*>> by_tid;
+  for (const auto& e : events) by_tid[e.tid].push_back(&e);
+  ASSERT_EQ(by_tid.size(), static_cast<size_t>(kThreads));
+  const double slack_us = 1e-3;  // ts + dur is one fp addition.
+  for (const auto& [tid, pair] : by_tid) {
+    ASSERT_EQ(pair.size(), 2u);
+    EXPECT_LT(tid, kSimulatedTidBase);
+    const TraceEvent* parent = pair[0];
+    const TraceEvent* child = pair[1];
+    if (parent->name.size() > child->name.size()) std::swap(parent, child);
+    EXPECT_EQ(child->name, parent->name + ".child");
+    EXPECT_EQ(parent->depth, 0);
+    EXPECT_EQ(child->depth, 1);
+    EXPECT_GE(child->ts_us + slack_us, parent->ts_us);
+    EXPECT_LE(child->ts_us + child->dur_us,
+              parent->ts_us + parent->dur_us + slack_us);
+  }
+}
+
+TEST_F(ObsTest, ChromeTraceExportRoundTripsThroughSimParser) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Start();
+  rec.SetThreadName(CurrentThreadTid(), "main");
+  {
+    Span a("phase.a");
+    Span b("phase.b \"quoted\\name\"");  // escaping must survive.
+    b.SetFailed();
+  }
+  rec.Stop();
+
+  std::string trace = rec.ToChromeTrace();
+  spark::ParsedChromeTrace parsed;
+  ASSERT_TRUE(spark::ParseChromeTrace(trace, &parsed)) << trace;
+  ASSERT_EQ(parsed.spans.size(), 2u);
+  ASSERT_FALSE(parsed.thread_names.empty());
+  EXPECT_EQ(parsed.thread_names[0], "main");
+  bool saw_failed = false;
+  for (const auto& s : parsed.spans) saw_failed = saw_failed || s.failed;
+  EXPECT_TRUE(saw_failed) << "SetFailed was dropped in export";
+}
+
+TEST_F(ObsTest, SpanObservesLatencyHistogram) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("span_seconds", {0.5, 5.0});
+  {
+    Span span("timed", h);
+  }
+  HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.sum, 0.0);
+  EXPECT_LT(snap.sum, 60.0);  // a trivial scope takes far less than a minute.
+}
+
+TEST_F(ObsTest, StartClearsPreviousRecording) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Start();
+  { Span first("first"); }
+  rec.Stop();
+  EXPECT_EQ(rec.event_count(), 1u);
+  rec.Start();
+  EXPECT_EQ(rec.event_count(), 0u);
+  { Span second("second"); }
+  rec.Stop();
+  std::vector<TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "second");
+  // The recorder clock restarted with the new recording.
+  EXPECT_LT(events[0].ts_us, 1e7);
+}
+
+TEST_F(ObsTest, GlobalRegistryServesStableNamedMetrics) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("obs_test_global_total");
+  Counter* b = reg.GetCounter("obs_test_global_total");
+  EXPECT_EQ(a, b);
+  uint64_t before = a->Value();
+  a->Inc();
+  EXPECT_EQ(b->Value(), before + 1);
+}
+
+}  // namespace
+}  // namespace lite::obs

@@ -9,6 +9,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparksim/cost_model.h"
 #include "testkit/gen.h"
 #include "testkit/oracle.h"
@@ -114,6 +116,52 @@ TEST(OraclePropertyTest, ShrinkingReducesToMinimalKnobDelta) {
   // And the counterexample moved to the smallest cluster and small data.
   EXPECT_EQ(minimal.env.name, spark::ClusterEnv::ClusterA().name);
   EXPECT_LE(minimal.data.size_mb, failing.data.size_mb);
+}
+
+// The metrics/span invariants must hold on their own even when the process
+// runs with observability off: they force-enable internally for their own
+// measurements and restore the previous state and a stopped recorder.
+TEST(OraclePropertyTest, MetricsAndSpanInvariantsHoldAndRestoreObsState) {
+  SimulatorOracle oracle;
+  testkit::TupleGenerator gen(GenOptions{}, testkit::SeedFromEnv() + 7);
+  bool was_enabled = obs::Enabled();
+  obs::SetEnabled(false);
+  for (int i = 0; i < 3; ++i) {
+    WorkloadTuple t = gen.Next();
+    testkit::OracleReport report;
+    oracle.CheckMetricsConsistency(t, &report);
+    oracle.CheckSpanConsistency(t, &report);
+    EXPECT_TRUE(report.ok()) << report.Summary() << "\n  tuple: "
+                             << t.Describe();
+  }
+  EXPECT_FALSE(obs::Enabled()) << "invariant leaked the forced-on state";
+  EXPECT_FALSE(obs::TraceRecorder::Global().recording());
+  obs::SetEnabled(was_enabled);
+}
+
+// The cache-identity law must fire on a genuinely imbalanced registry: a
+// miss with no matching lookup is a violation until the books are squared.
+TEST(OraclePropertyTest, MetricsInvariantFlagsCacheImbalance) {
+  auto& reg = obs::MetricsRegistry::Global();
+  bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  SimulatorOracle oracle;
+  testkit::TupleGenerator gen(GenOptions{}, 42);
+  WorkloadTuple t = gen.Next();
+
+  reg.GetCounter("necs_encoder_cache_misses_total")->Inc();
+  testkit::OracleReport imbalanced;
+  oracle.CheckMetricsConsistency(t, &imbalanced);
+  EXPECT_FALSE(imbalanced.ok())
+      << "oracle accepted lookups != hits + misses";
+
+  // Counters are monotonic, so restore the identity by booking the lookup
+  // the synthetic miss was missing; the law must hold again.
+  reg.GetCounter("necs_encoder_cache_lookups_total")->Inc();
+  testkit::OracleReport balanced;
+  oracle.CheckMetricsConsistency(t, &balanced);
+  EXPECT_TRUE(balanced.ok()) << balanced.Summary();
+  obs::SetEnabled(was_enabled);
 }
 
 // The oracle must FAIL loudly on a broken model — pick two representative
