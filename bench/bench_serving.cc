@@ -1,0 +1,249 @@
+// Serving-layer benchmark: throughput and latency of serve::TuningService
+// against the direct LoadedLiteModel::Recommend baseline.
+//
+// Three questions, answered in one run and exported to BENCH_serving.json:
+//   1. Overhead — how much does the service layer (session lookup,
+//      admission control, stats, RCU snapshot load) add to a single
+//      sequential client? Acceptance: < 5% over the direct call.
+//   2. Scaling — requests/second as concurrent clients grow (1, 2, 4, 8);
+//      requests are stateless (per-request RNG), so throughput should rise
+//      until the shared pool saturates the cores.
+//   3. Hot-swap under load — a snapshot reload storm concurrent with client
+//      traffic must complete every request (zero failed, zero torn: every
+//      response bit-matches the single-snapshot reference).
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "lite/snapshot.h"
+#include "serve/tuning_service.h"
+
+using namespace lite;
+using namespace lite::bench;
+
+namespace {
+
+double TimeSeconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct Query {
+  const spark::ApplicationSpec* app;
+  spark::DataSpec data;
+  spark::ClusterEnv env;
+};
+
+}  // namespace
+
+int main() {
+  ScaleProfile profile = GetScaleProfile();
+  const size_t cores = std::max(1u, std::thread::hardware_concurrency());
+  const int reps = profile.name == "smoke" ? 6
+                   : profile.name == "paper" ? 40
+                                             : 16;
+  std::cout << "Serving bench (scale=" << profile.name << ", cores=" << cores
+            << ", " << reps << " requests/client)\n";
+
+  spark::SparkRunner runner;
+  LiteOptions opts;
+  opts.corpus = MakeCorpusOptions(profile, {"TS", "PR", "KM"},
+                                  {spark::ClusterEnv::ClusterA()});
+  ApplyLiteProfile(profile, &opts);
+  LiteSystem system(&runner, opts);
+  system.TrainOffline();
+
+  std::string snap_dir =
+      std::filesystem::temp_directory_path() / "bench_serving_snapshot";
+  std::filesystem::create_directories(snap_dir);
+  if (!SaveSnapshot(system, snap_dir)) {
+    std::cerr << "failed to save snapshot\n";
+    return 1;
+  }
+  auto direct = LoadedLiteModel::Load(snap_dir, &runner);
+  if (direct == nullptr) {
+    std::cerr << "failed to load snapshot\n";
+    return 1;
+  }
+
+  std::vector<Query> queries;
+  for (const char* name : {"TS", "PR", "KM"}) {
+    const auto* app = spark::AppCatalog::Find(name);
+    queries.push_back({app, app->MakeData(app->test_size_mb),
+                       spark::ClusterEnv::ClusterA()});
+  }
+  std::vector<LiteSystem::Recommendation> reference;
+  for (const Query& q : queries) {
+    reference.push_back(direct->Recommend(*q.app, q.data, q.env));
+  }
+
+  std::vector<BenchJsonField> json_fields{
+      {"cores", BenchJsonNum(static_cast<double>(cores))},
+      {"requests_per_client", BenchJsonNum(reps)}};
+
+  // --- 1. Single-client overhead vs the direct call. --------------------
+  serve::ServiceOptions sopts;
+  sopts.scoring.threads = 1;  // level field: both paths score 1-threaded.
+  sopts.update_batch = 0;
+  serve::TuningService service(&runner, sopts);
+  if (!service.LoadSnapshot(snap_dir)) return 1;
+  int session = service.OpenSession("bench");
+  serve::ScoringOptions one_thread;
+  one_thread.threads = 1;
+  direct->set_scoring(one_thread);
+  // Warm both paths over every query (encoder caches, metric lookups), so
+  // the timed loops compare service overhead, not cache luck.
+  for (const Query& q : queries) {
+    (void)direct->Recommend(*q.app, q.data, q.env);
+    (void)service.Recommend(session, *q.app, q.data, q.env);
+  }
+
+  // Interleave the two paths so clock-frequency drift hits both equally;
+  // per-call steady_clock reads cost nanoseconds against ms requests.
+  double t_direct = 0.0, t_service = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const Query& q = queries[static_cast<size_t>(r) % queries.size()];
+    t_direct +=
+        TimeSeconds([&] { (void)direct->Recommend(*q.app, q.data, q.env); });
+    t_service += TimeSeconds(
+        [&] { (void)service.Recommend(session, *q.app, q.data, q.env); });
+  }
+  double overhead_pct =
+      t_direct > 0 ? (t_service - t_direct) / t_direct * 100.0 : 0.0;
+  TablePrinter overhead_table({"Path", "Total (s)", "Per-request (ms)"});
+  overhead_table.AddRow({"direct", TablePrinter::Fmt(t_direct),
+                         TablePrinter::Fmt(t_direct / reps * 1e3, 3)});
+  overhead_table.AddRow({"service", TablePrinter::Fmt(t_service),
+                         TablePrinter::Fmt(t_service / reps * 1e3, 3)});
+  overhead_table.Print(std::cout, "Single-client overhead");
+  std::cout << "Service overhead: " << TablePrinter::Fmt(overhead_pct, 2)
+            << "% (acceptance < 5%)\n\n";
+  json_fields.push_back({"direct_s", BenchJsonNum(t_direct)});
+  json_fields.push_back({"service_s", BenchJsonNum(t_service)});
+  json_fields.push_back({"overhead_pct", BenchJsonNum(overhead_pct)});
+
+  // --- 2. Throughput scaling across client counts. ----------------------
+  TablePrinter scale_table(
+      {"Clients", "Total (s)", "Req/s", "Mean latency (ms)"});
+  double rps_1 = 0.0, rps_max = 0.0;
+  for (int clients : {1, 2, 4, 8}) {
+    serve::ServiceOptions copts;
+    copts.max_pending = 512;
+    copts.scoring.threads = 1;  // concurrency from clients, not scoring.
+    copts.update_batch = 0;
+    serve::TuningService svc(&runner, copts);
+    if (!svc.LoadSnapshot(snap_dir)) return 1;
+    std::vector<int> sess;
+    for (int c = 0; c < clients; ++c) {
+      sess.push_back(svc.OpenSession("tenant-" + std::to_string(c)));
+    }
+    std::atomic<int> failed{0};
+    double elapsed = TimeSeconds([&] {
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          for (int r = 0; r < reps; ++r) {
+            const Query& q =
+                queries[static_cast<size_t>(c + r) % queries.size()];
+            auto resp = svc.Recommend(sess[c], *q.app, q.data, q.env);
+            if (!resp.ok) ++failed;
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    });
+    const double total = static_cast<double>(clients) * reps;
+    const double rps = elapsed > 0 ? total / elapsed : 0.0;
+    if (clients == 1) rps_1 = rps;
+    rps_max = std::max(rps_max, rps);
+    scale_table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(clients)),
+                        TablePrinter::Fmt(elapsed),
+                        TablePrinter::Fmt(rps, 1),
+                        TablePrinter::Fmt(elapsed / total * 1e3 *
+                                              static_cast<double>(clients),
+                                          3)});
+    if (failed.load() != 0) {
+      std::cerr << "throughput run with " << clients << " clients saw "
+                << failed.load() << " failures\n";
+      return 1;
+    }
+    std::string prefix = "clients_" + std::to_string(clients);
+    json_fields.push_back({prefix + "_rps", BenchJsonNum(rps)});
+    json_fields.push_back({prefix + "_elapsed_s", BenchJsonNum(elapsed)});
+  }
+  scale_table.Print(std::cout, "Throughput scaling");
+  const double scaling = rps_1 > 0 ? rps_max / rps_1 : 0.0;
+  std::cout << "Peak/1-client throughput: " << TablePrinter::Fmt(scaling, 2)
+            << "x\n\n";
+  json_fields.push_back({"throughput_scaling", BenchJsonNum(scaling)});
+
+  // --- 3. Hot-swap storm under load: zero failed, zero torn. ------------
+  serve::ServiceOptions hopts;
+  hopts.max_pending = 512;
+  hopts.scoring.threads = 1;
+  hopts.update_batch = 0;
+  serve::TuningService hot(&runner, hopts);
+  if (!hot.LoadSnapshot(snap_dir)) return 1;
+  const int swap_clients = 4;
+  std::vector<int> hot_sess;
+  for (int c = 0; c < swap_clients; ++c) {
+    hot_sess.push_back(hot.OpenSession("tenant-" + std::to_string(c)));
+  }
+  std::atomic<int> hot_failed{0};
+  std::atomic<int> hot_torn{0};
+  std::atomic<int> swaps_done{0};
+  double swap_elapsed = TimeSeconds([&] {
+    std::atomic<bool> stop{false};
+    std::thread swapper([&] {
+      while (!stop.load()) {
+        if (hot.LoadSnapshot(snap_dir)) ++swaps_done;
+      }
+    });
+    std::vector<std::thread> threads;
+    for (int c = 0; c < swap_clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int r = 0; r < reps; ++r) {
+          const size_t qi = static_cast<size_t>(c + r) % queries.size();
+          const Query& q = queries[qi];
+          auto resp = hot.Recommend(hot_sess[c], *q.app, q.data, q.env);
+          if (!resp.ok) {
+            ++hot_failed;
+          } else if (resp.rec.config != reference[qi].config ||
+                     resp.rec.predicted_seconds !=
+                         reference[qi].predicted_seconds) {
+            ++hot_torn;  // a swap leaked into the middle of a request.
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    stop.store(true);
+    swapper.join();
+  });
+  std::cout << "Hot-swap storm: " << swaps_done.load() << " swaps over "
+            << TablePrinter::Fmt(swap_elapsed, 2) << " s against "
+            << swap_clients * reps << " requests — " << hot_failed.load()
+            << " failed, " << hot_torn.load() << " torn\n";
+  json_fields.push_back(
+      {"hot_swaps", BenchJsonNum(static_cast<double>(swaps_done.load()))});
+  json_fields.push_back(
+      {"hot_swap_failed", BenchJsonNum(static_cast<double>(hot_failed.load()))});
+  json_fields.push_back(
+      {"hot_swap_torn", BenchJsonNum(static_cast<double>(hot_torn.load()))});
+
+  const bool pass = overhead_pct < 5.0 && hot_failed.load() == 0 &&
+                    hot_torn.load() == 0 && swaps_done.load() > 0;
+  std::cout << "\nAcceptance (overhead < 5%, zero failed/torn under swap "
+               "storm): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  json_fields.push_back({"pass", BenchJsonBool(pass)});
+  WriteBenchJson("BENCH_serving.json", "serving", profile, json_fields);
+  std::filesystem::remove_all(snap_dir);
+  return pass ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/recommend_pipeline.h"
 #include "sparksim/resilient_runner.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -13,12 +14,13 @@
 namespace lite {
 
 namespace {
-// Serving-path observability (see docs/OBSERVABILITY.md for the catalog).
-// Metric pointers are resolved once; updates are lock-free sharded atomics,
-// so instrumentation never perturbs scoring results or ordering.
+// Scoring/feedback observability (see docs/OBSERVABILITY.md for the
+// catalog). The recommendation-level series (lite_recommendations_total,
+// lite_recommend_seconds, ...) live in serve/recommend_pipeline.cc — the
+// one place every serving surface runs through. Metric pointers are
+// resolved once; updates are lock-free sharded atomics, so instrumentation
+// never perturbs scoring results or ordering.
 struct LiteMetrics {
-  obs::Counter* recommendations;
-  obs::Counter* candidates_evaluated;
   obs::Counter* score_calls;
   obs::Counter* candidates_scored;
   obs::Counter* feedback_runs;
@@ -26,7 +28,6 @@ struct LiteMetrics {
   obs::Counter* feedback_dropped;
   obs::Counter* adaptive_updates;
   obs::Gauge* domain_accuracy;
-  obs::Histogram* recommend_seconds;
   obs::Histogram* score_seconds;
   obs::Histogram* featurize_seconds;
   obs::Histogram* update_seconds;
@@ -35,8 +36,6 @@ struct LiteMetrics {
     static const LiteMetrics* m = [] {
       auto& reg = obs::MetricsRegistry::Global();
       return new LiteMetrics{
-          reg.GetCounter("lite_recommendations_total"),
-          reg.GetCounter("lite_candidates_evaluated_total"),
           reg.GetCounter("lite_score_calls_total"),
           reg.GetCounter("lite_candidates_scored_total"),
           reg.GetCounter("lite_feedback_runs_total"),
@@ -44,7 +43,6 @@ struct LiteMetrics {
           reg.GetCounter("lite_feedback_dropped_total"),
           reg.GetCounter("lite_adaptive_updates_total"),
           reg.GetGauge("lite_update_domain_accuracy"),
-          reg.GetHistogram("lite_recommend_seconds"),
           reg.GetHistogram("lite_score_candidates_seconds"),
           reg.GetHistogram("lite_featurize_seconds"),
           reg.GetHistogram("lite_adaptive_update_seconds"),
@@ -141,83 +139,27 @@ std::vector<double> LiteSystem::ScoreCandidates(
     const spark::ClusterEnv& env,
     const std::vector<spark::Config>& candidates) const {
   LITE_CHECK(trained_) << "ScoreCandidates before TrainOffline";
-  if (options_.batched_scoring) {
-    std::vector<const NecsModel*> models;
-    models.reserve(models_.size());
-    for (const auto& m : models_) models.push_back(m.get());
-    return ScoreCandidatesWithEnsemble(runner_, corpus_, models, app, data,
-                                       env, candidates,
-                                       options_.scoring_threads);
-  }
-  // Legacy scalar reference path: per-candidate featurization and one
-  // graph-building forward per stage instance. Kept as the equivalence
-  // baseline — bit-identical scores, no batching, no threads.
-  std::vector<double> scores(candidates.size());
-  CorpusBuilder builder(runner_);
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    CandidateEval ce =
-        builder.FeaturizeCandidate(corpus_, app, data, env, candidates[i]);
-    double score = 0.0;
-    for (const auto& model : models_) {
-      double total = 0.0;
-      for (size_t s = 0; s < ce.stage_instances.size(); ++s) {
-        double target = model->PredictTarget(ce.stage_instances[s]);
-        double reps = s < ce.stage_reps.size()
-                          ? static_cast<double>(ce.stage_reps[s])
-                          : 1.0;
-        total += SecondsFromTarget(target) * reps;
-      }
-      score += std::log1p(std::max(total, 0.0));
-    }
-    score /= static_cast<double>(models_.size());
-    scores[i] = std::expm1(score);
-  }
-  return scores;
+  std::vector<const NecsModel*> models;
+  models.reserve(models_.size());
+  for (const auto& m : models_) models.push_back(m.get());
+  return serve::ScoreCandidateSet(
+      runner_, corpus_, models, app, data, env, candidates,
+      serve::ScoringOptions{.threads = options_.scoring_threads,
+                            .batched = options_.batched_scoring});
 }
 
 LiteSystem::Recommendation LiteSystem::Recommend(
     const spark::ApplicationSpec& app, const spark::DataSpec& data,
     const spark::ClusterEnv& env) const {
   LITE_CHECK(trained_) << "Recommend before TrainOffline";
-  const LiteMetrics& metrics = LiteMetrics::Get();
-  obs::Span span("lite.recommend", metrics.recommend_seconds);
-  auto t0 = std::chrono::steady_clock::now();
-
-  Rng rng(options_.seed ^ std::hash<std::string>{}(app.name));
-  // Candidates come exclusively from the adaptive search region (Eq. 5
-  // samples from S_w). Deliberately NOT adding the default configuration:
-  // NECS is trained on small-data instances where frugal defaults are
-  // near-optimal, so at large scale it would misrank the default ahead of
-  // the region's configurations — the region is the scale-migration device.
-  std::vector<spark::Config> candidates = DedupeConfigs(
-      acg_.SampleCandidates(app, data, env, options_.num_candidates, &rng));
-  // Resource-manager pre-check: drop configurations the cluster cannot even
-  // schedule (static, no execution involved). Keep the raw set if the
-  // filter would empty it.
-  {
-    std::vector<spark::Config> feasible;
-    for (const auto& c : candidates) {
-      if (spark::PlacementFeasible(env, c)) feasible.push_back(c);
-    }
-    if (!feasible.empty()) candidates = std::move(feasible);
-  }
-
-  std::vector<double> scores = ScoreCandidates(app, data, env, candidates);
-  Recommendation best;
-  best.predicted_seconds = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if (scores[i] < best.predicted_seconds) {
-      best.predicted_seconds = scores[i];
-      best.config = candidates[i];
-    }
-  }
-  best.candidates_evaluated = candidates.size();
-  metrics.recommendations->Inc();
-  metrics.candidates_evaluated->Inc(candidates.size());
-  auto t1 = std::chrono::steady_clock::now();
-  best.recommend_wall_seconds =
-      std::chrono::duration<double>(t1 - t0).count();
-  return best;
+  serve::PipelineContext ctx;
+  ctx.acg = &acg_;
+  ctx.num_candidates = options_.num_candidates;
+  ctx.seed = options_.seed;
+  return serve::RunRecommendPipeline(
+      ctx, app, data, env, [&](const std::vector<spark::Config>& candidates) {
+        return ScoreCandidates(app, data, env, candidates);
+      });
 }
 
 void LiteSystem::CollectFeedback(const spark::ApplicationSpec& app,
@@ -277,32 +219,10 @@ void LiteSystem::IngestFeedbackRun(const spark::ApplicationSpec& app,
                                    const spark::Config& config,
                                    const spark::AppRunResult& run,
                                    bool sentinel_labels) {
-  spark::AppArtifacts artifacts = runner_->instrumenter().Instrument(app);
-  FeatureExtractor extractor(corpus_.vocab.get(), corpus_.op_vocab.get(),
-                             corpus_.max_code_tokens, corpus_.bow_dims);
-  // Subsample to the same per-run cap as offline training.
-  std::vector<spark::StageRunResult> kept;
-  size_t cap = options_.corpus.max_stage_instances_per_run;
-  std::vector<bool> seen(app.stages.size(), false);
-  for (const auto& sr : run.stage_runs) {
-    if (kept.size() >= cap) break;
-    if (!seen[sr.stage_index] || kept.size() < cap / 2) {
-      seen[sr.stage_index] = true;
-      kept.push_back(sr);
-    }
-  }
-  double total = run.total_seconds;
-  if (sentinel_labels) {
-    double sentinel = runner_->failure_cap_seconds();
-    for (auto& sr : kept) {
-      sr.seconds = sentinel;
-      sr.failed = false;  // naive: the cap masquerades as a real label.
-    }
-    total = sentinel;
-  }
-  std::vector<StageInstance> instances = extractor.ExtractRun(
-      app, artifacts, data, env, config, kept, total,
-      /*app_instance_id=*/-2, /*app_id=*/-1);
+  LITE_CHECK(trained_) << "IngestFeedbackRun before TrainOffline";
+  std::vector<StageInstance> instances = serve::ExtractFeedbackInstances(
+      runner_, corpus_, options_.corpus.max_stage_instances_per_run, app,
+      data, env, config, run, sentinel_labels);
   feedback_.insert(feedback_.end(), instances.begin(), instances.end());
 
   if (feedback_.size() >= options_.update_batch) ForceAdaptiveUpdate();
@@ -315,9 +235,14 @@ UpdateStats LiteSystem::ForceAdaptiveUpdate() {
   const LiteMetrics& metrics = LiteMetrics::Get();
   obs::Span span("lite.adaptive_update", metrics.update_seconds);
   AdaptiveModelUpdater updater(options_.update);
+  // Aggregate across ensemble members: overwriting `stats` per member would
+  // report only the last member (and the gauge would track one model of k).
   for (auto& model : models_) {
-    stats = updater.Update(model.get(), corpus_.instances, feedback_);
+    UpdateStats member =
+        updater.Update(model.get(), corpus_.instances, feedback_);
+    stats.Accumulate(member);
   }
+  stats.FinishAggregation();
   metrics.adaptive_updates->Inc();
   metrics.domain_accuracy->Set(stats.final_domain_accuracy);
   feedback_.clear();

@@ -119,7 +119,22 @@ class LiteSystem {
                        const spark::Config& config,
                        spark::ResilientRunner* harness);
 
+  /// Extracts target-domain instances from one observed run (via
+  /// serve::ExtractFeedbackInstances — stage runs with an out-of-range
+  /// stage_index are dropped and counted, never indexed) and queues them as
+  /// feedback. `sentinel_labels` relabels every kept stage with the failure
+  /// cap (the naive protocol for failed runs). Public so callers that
+  /// measured the run themselves (the tuning service, tests) can feed it
+  /// in; the CollectFeedback overloads wrap this with run execution.
+  void IngestFeedbackRun(const spark::ApplicationSpec& app,
+                         const spark::DataSpec& data,
+                         const spark::ClusterEnv& env,
+                         const spark::Config& config,
+                         const spark::AppRunResult& run, bool sentinel_labels);
+
   /// Forces an adaptive update with the currently collected feedback.
+  /// Stats are aggregated over the whole ensemble (mean accuracy and loss
+  /// curves, summed epochs/censored counts) — see UpdateStats.
   UpdateStats ForceAdaptiveUpdate();
 
   const Corpus& corpus() const { return corpus_; }
@@ -138,15 +153,6 @@ class LiteSystem {
   const LiteOptions& options() const { return options_; }
 
  private:
-  /// Extracts target-domain instances from one observed run and queues them
-  /// as feedback. `sentinel_labels` relabels every kept stage with the
-  /// failure cap (the naive protocol for failed runs).
-  void IngestFeedbackRun(const spark::ApplicationSpec& app,
-                         const spark::DataSpec& data,
-                         const spark::ClusterEnv& env,
-                         const spark::Config& config,
-                         const spark::AppRunResult& run, bool sentinel_labels);
-
   const spark::SparkRunner* runner_;
   LiteOptions options_;
   Corpus corpus_;

@@ -150,6 +150,8 @@ UpdateStats AdaptiveModelUpdater::Update(
   }
   stats.final_domain_accuracy =
       total > 0 ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+  stats.members_updated = 1;
+  stats.epochs_run = stats.prediction_loss.size();
 
   model->InvalidateCache();
   return stats;

@@ -50,6 +50,44 @@ struct UpdateStats {
   std::vector<double> discriminator_loss;   ///< per epoch.
   double final_domain_accuracy = 0.0;       ///< ~0.5 = domains aligned.
   size_t censored_targets = 0;              ///< censored instances in DT.
+  /// Ensemble members these stats cover. Update() returns 1; LiteSystem /
+  /// TuningService aggregate one UpdateStats per member via Accumulate +
+  /// FinishAggregation, so callers see the whole ensemble (mean accuracy
+  /// and loss curves, summed epochs/instances) instead of just the last
+  /// member updated.
+  size_t members_updated = 0;
+  size_t epochs_run = 0;  ///< summed across members.
+
+  /// Folds one member's stats in: sums accuracy/censored/epochs and
+  /// accumulates per-epoch loss curves element-wise.
+  void Accumulate(const UpdateStats& member) {
+    if (prediction_loss.size() < member.prediction_loss.size()) {
+      prediction_loss.resize(member.prediction_loss.size(), 0.0);
+    }
+    for (size_t i = 0; i < member.prediction_loss.size(); ++i) {
+      prediction_loss[i] += member.prediction_loss[i];
+    }
+    if (discriminator_loss.size() < member.discriminator_loss.size()) {
+      discriminator_loss.resize(member.discriminator_loss.size(), 0.0);
+    }
+    for (size_t i = 0; i < member.discriminator_loss.size(); ++i) {
+      discriminator_loss[i] += member.discriminator_loss[i];
+    }
+    final_domain_accuracy += member.final_domain_accuracy;
+    censored_targets += member.censored_targets;
+    members_updated += member.members_updated;
+    epochs_run += member.epochs_run;
+  }
+
+  /// Turns accumulated sums into ensemble means (accuracy, loss curves);
+  /// counters stay summed. No-op when nothing was accumulated.
+  void FinishAggregation() {
+    if (members_updated == 0) return;
+    double k = static_cast<double>(members_updated);
+    final_domain_accuracy /= k;
+    for (double& v : prediction_loss) v /= k;
+    for (double& v : discriminator_loss) v /= k;
+  }
 };
 
 class AdaptiveModelUpdater {

@@ -110,7 +110,14 @@ std::unique_ptr<LoadedLiteModel> LoadedLiteModel::Load(
         necs.use_code_encoder = code != 0;
         necs.use_dag_encoder = dag != 0;
       } else {
-        return nullptr;
+        // Unknown key: a snapshot from a newer writer that appended meta
+        // fields. Skip the rest of the line instead of hard-failing so
+        // older binaries stay forward-compatible; malformed values of
+        // *known* keys below still reject the snapshot.
+        std::string rest;
+        std::getline(meta, rest);
+        LITE_WARN << "snapshot meta: skipping unknown key '" << key << "'";
+        continue;
       }
       if (!meta) return nullptr;
     }
@@ -128,6 +135,7 @@ std::unique_ptr<LoadedLiteModel> LoadedLiteModel::Load(
     if (!in || !spark::OpVocab::Deserialize(&in, opvocab.get())) return nullptr;
     loaded->feature_space_.op_vocab = std::move(opvocab);
   }
+  loaded->necs_config_ = necs;
   for (size_t i = 0; i < ensemble; ++i) {
     auto model = std::make_unique<NecsModel>(
         loaded->feature_space_.vocab->size(),
@@ -159,38 +167,50 @@ std::unique_ptr<LoadedLiteModel> LoadedLiteModel::Load(
   return loaded;
 }
 
+std::vector<double> LoadedLiteModel::ScoreCandidates(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env,
+    const std::vector<spark::Config>& candidates) const {
+  LITE_CHECK(!models_.empty()) << "LoadedLiteModel not initialized";
+  std::vector<const NecsModel*> models;
+  models.reserve(models_.size());
+  for (const auto& m : models_) models.push_back(m.get());
+  return serve::ScoreCandidateSet(runner_, feature_space_, models, app, data,
+                                  env, candidates, scoring_);
+}
+
 LiteSystem::Recommendation LoadedLiteModel::Recommend(
     const spark::ApplicationSpec& app, const spark::DataSpec& data,
     const spark::ClusterEnv& env) const {
   LITE_CHECK(!models_.empty()) << "LoadedLiteModel not initialized";
-  auto t0 = std::chrono::steady_clock::now();
-  Rng rng(seed_ ^ std::hash<std::string>{}(app.name));
-  std::vector<spark::Config> candidates = DedupeConfigs(
-      acg_.SampleCandidates(app, data, env, num_candidates_, &rng));
-  {
-    std::vector<spark::Config> feasible;
-    for (const auto& c : candidates) {
-      if (spark::PlacementFeasible(env, c)) feasible.push_back(c);
-    }
-    if (!feasible.empty()) candidates = std::move(feasible);
+  serve::PipelineContext ctx;
+  ctx.acg = &acg_;
+  ctx.num_candidates = num_candidates_;
+  ctx.seed = seed_;
+  return serve::RunRecommendPipeline(
+      ctx, app, data, env, [&](const std::vector<spark::Config>& candidates) {
+        return ScoreCandidates(app, data, env, candidates);
+      });
+}
+
+std::unique_ptr<LoadedLiteModel> LoadedLiteModel::Clone() const {
+  auto clone = std::unique_ptr<LoadedLiteModel>(new LoadedLiteModel());
+  clone->runner_ = runner_;
+  clone->feature_space_ = feature_space_;  // vocabularies shared (immutable).
+  clone->necs_config_ = necs_config_;
+  clone->acg_ = acg_;
+  clone->num_candidates_ = num_candidates_;
+  clone->seed_ = seed_;
+  clone->scoring_ = scoring_;
+  for (const auto& m : models_) {
+    auto copy = std::make_unique<NecsModel>(feature_space_.vocab->size(),
+                                            feature_space_.op_vocab->size(),
+                                            necs_config_, /*seed=*/1);
+    CopyParams(m->Params(), copy->Params());
+    copy->InvalidateCache();
+    clone->models_.push_back(std::move(copy));
   }
-  std::vector<const NecsModel*> models;
-  models.reserve(models_.size());
-  for (const auto& m : models_) models.push_back(m.get());
-  std::vector<double> scores = ScoreCandidatesWithEnsemble(
-      runner_, feature_space_, models, app, data, env, candidates);
-  LiteSystem::Recommendation best;
-  best.predicted_seconds = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if (scores[i] < best.predicted_seconds) {
-      best.predicted_seconds = scores[i];
-      best.config = candidates[i];
-    }
-  }
-  best.candidates_evaluated = candidates.size();
-  auto t1 = std::chrono::steady_clock::now();
-  best.recommend_wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  return best;
+  return clone;
 }
 
 }  // namespace lite

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "lite/lite_system.h"
+#include "serve/recommend_pipeline.h"
 
 namespace lite {
 
@@ -28,7 +29,15 @@ namespace lite {
 /// remain). The directory must already exist.
 bool SaveSnapshot(const LiteSystem& system, const std::string& dir);
 
-/// A restored, recommend-ready subset of LiteSystem.
+/// A restored, recommend-ready subset of LiteSystem. Recommend() runs the
+/// same serve::RunRecommendPipeline as LiteSystem — identical candidate
+/// stream, metrics, spans and argmin semantics — and honours the same
+/// scoring options (thread count, batched vs scalar path).
+///
+/// Forward compatibility: Load() skips unknown meta.txt keys with a
+/// warning (consuming the rest of the line), so snapshots written by newer
+/// binaries that append meta fields still load; malformed values of known
+/// keys and structural damage still fail cleanly with nullptr.
 class LoadedLiteModel {
  public:
   /// Loads from a snapshot directory; returns nullptr on failure.
@@ -40,9 +49,32 @@ class LoadedLiteModel {
                                        const spark::DataSpec& data,
                                        const spark::ClusterEnv& env) const;
 
+  /// Scores an explicit candidate list under the configured scoring
+  /// options (same contract as LiteSystem::ScoreCandidates).
+  std::vector<double> ScoreCandidates(
+      const spark::ApplicationSpec& app, const spark::DataSpec& data,
+      const spark::ClusterEnv& env,
+      const std::vector<spark::Config>& candidates) const;
+
+  /// Deep copy (model weights included, encoder caches cold). The serving
+  /// hot-swap path fine-tunes a clone off-path and swaps it in, so the
+  /// snapshot being served is never mutated.
+  std::unique_ptr<LoadedLiteModel> Clone() const;
+
   size_t ensemble_size() const { return models_.size(); }
   const NecsModel* model(size_t i = 0) const { return models_[i].get(); }
+  /// Mutable member access for off-path fine-tuning of a Clone(). Never
+  /// call on a model that is concurrently serving.
+  NecsModel* mutable_model(size_t i) { return models_[i].get(); }
   const Corpus& feature_space() const { return feature_space_; }
+  const CandidateGenerator& candidate_generator() const { return acg_; }
+  size_t num_candidates() const { return num_candidates_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Scoring options used by Recommend/ScoreCandidates (defaults match
+  /// LiteOptions: batched, one worker per core).
+  const serve::ScoringOptions& scoring() const { return scoring_; }
+  void set_scoring(const serve::ScoringOptions& s) { scoring_ = s; }
 
  private:
   LoadedLiteModel() = default;
@@ -50,9 +82,11 @@ class LoadedLiteModel {
   const spark::SparkRunner* runner_ = nullptr;
   Corpus feature_space_;  ///< vocabularies + dims only (no instances).
   std::vector<std::unique_ptr<NecsModel>> models_;
+  NecsConfig necs_config_;  ///< kept for Clone().
   CandidateGenerator acg_;
   size_t num_candidates_ = 60;
   uint64_t seed_ = 41;
+  serve::ScoringOptions scoring_;
 };
 
 }  // namespace lite

@@ -1,0 +1,194 @@
+#include "serve/recommend_pipeline.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "lite/features.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace lite::serve {
+
+namespace {
+// Pipeline-side observability (see docs/OBSERVABILITY.md for the catalog).
+// These resolve the same named metrics as the scoring instrumentation in
+// lite_system.cc — MetricsRegistry::Global() returns one object per name,
+// so every serving surface shares one set of series.
+struct PipelineMetrics {
+  obs::Counter* recommendations;
+  obs::Counter* candidates_evaluated;
+  obs::Counter* nonfinite_scores;
+  obs::Counter* feedback_bad_stage;
+  obs::Histogram* recommend_seconds;
+
+  static const PipelineMetrics& Get() {
+    static const PipelineMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new PipelineMetrics{
+          reg.GetCounter("lite_recommendations_total"),
+          reg.GetCounter("lite_candidates_evaluated_total"),
+          reg.GetCounter("lite_recommend_nonfinite_scores_total"),
+          reg.GetCounter("lite_feedback_bad_stage_total"),
+          reg.GetHistogram("lite_recommend_seconds"),
+      };
+    }();
+    return *m;
+  }
+};
+}  // namespace
+
+std::vector<double> ScoreCandidateSet(
+    const spark::SparkRunner* runner, const Corpus& feature_space,
+    const std::vector<const NecsModel*>& models,
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env, const std::vector<spark::Config>& candidates,
+    const ScoringOptions& options) {
+  if (options.batched) {
+    return ScoreCandidatesWithEnsemble(runner, feature_space, models, app,
+                                       data, env, candidates,
+                                       options.threads);
+  }
+  // Legacy scalar reference path: per-candidate featurization and one
+  // graph-building forward per stage instance. Kept as the equivalence
+  // baseline — bit-identical scores, no batching, no threads.
+  std::vector<double> scores(candidates.size());
+  CorpusBuilder builder(runner);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    CandidateEval ce = builder.FeaturizeCandidate(feature_space, app, data,
+                                                  env, candidates[i]);
+    double score = 0.0;
+    for (const NecsModel* model : models) {
+      double total = 0.0;
+      for (size_t s = 0; s < ce.stage_instances.size(); ++s) {
+        double target = model->PredictTarget(ce.stage_instances[s]);
+        double reps = s < ce.stage_reps.size()
+                          ? static_cast<double>(ce.stage_reps[s])
+                          : 1.0;
+        total += SecondsFromTarget(target) * reps;
+      }
+      score += std::log1p(std::max(total, 0.0));
+    }
+    score /= static_cast<double>(models.size());
+    scores[i] = std::expm1(score);
+  }
+  return scores;
+}
+
+LiteSystem::Recommendation RunRecommendPipeline(
+    const PipelineContext& ctx, const spark::ApplicationSpec& app,
+    const spark::DataSpec& data, const spark::ClusterEnv& env,
+    const ScoreFn& score) {
+  LITE_CHECK(ctx.acg != nullptr) << "RunRecommendPipeline without a generator";
+  const PipelineMetrics& metrics = PipelineMetrics::Get();
+  obs::Span span("lite.recommend", metrics.recommend_seconds);
+  auto t0 = std::chrono::steady_clock::now();
+
+  Rng rng(ctx.seed ^ std::hash<std::string>{}(app.name));
+  // Candidates come exclusively from the adaptive search region (Eq. 5
+  // samples from S_w). Deliberately NOT adding the default configuration:
+  // NECS is trained on small-data instances where frugal defaults are
+  // near-optimal, so at large scale it would misrank the default ahead of
+  // the region's configurations — the region is the scale-migration device.
+  std::vector<spark::Config> candidates = DedupeConfigs(
+      ctx.acg->SampleCandidates(app, data, env, ctx.num_candidates, &rng));
+  // Resource-manager pre-check: drop configurations the cluster cannot even
+  // schedule (static, no execution involved). Keep the raw set if the
+  // filter would empty it.
+  {
+    std::vector<spark::Config> feasible;
+    for (const auto& c : candidates) {
+      if (spark::PlacementFeasible(env, c)) feasible.push_back(c);
+    }
+    if (!feasible.empty()) candidates = std::move(feasible);
+  }
+
+  std::vector<double> scores = score(candidates);
+  LITE_CHECK(scores.size() == candidates.size())
+      << "score callback returned " << scores.size() << " scores for "
+      << candidates.size() << " candidates";
+  LiteSystem::Recommendation best;
+  best.predicted_seconds = std::numeric_limits<double>::infinity();
+  size_t nonfinite = 0;
+  size_t best_index = candidates.size();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    // A NaN score fails every `<`, so without this guard an all-NaN (or
+    // leading-NaN) vector silently wins with a default-constructed Config.
+    if (!std::isfinite(scores[i])) {
+      ++nonfinite;
+      continue;
+    }
+    if (scores[i] < best.predicted_seconds) {
+      best.predicted_seconds = scores[i];
+      best.config = candidates[i];
+      best_index = i;
+    }
+  }
+  if (nonfinite > 0) metrics.nonfinite_scores->Inc(nonfinite);
+  if (best_index == candidates.size() && !candidates.empty()) {
+    LITE_WARN << "recommend(" << app.name << "): all " << candidates.size()
+              << " candidate scores non-finite; falling back to the first "
+                 "candidate";
+    best.config = candidates[0];
+    best.predicted_seconds = scores[0];
+  }
+  best.candidates_evaluated = candidates.size();
+  metrics.recommendations->Inc();
+  metrics.candidates_evaluated->Inc(candidates.size());
+  auto t1 = std::chrono::steady_clock::now();
+  best.recommend_wall_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  return best;
+}
+
+std::vector<StageInstance> ExtractFeedbackInstances(
+    const spark::SparkRunner* runner, const Corpus& feature_space,
+    size_t max_stage_instances, const spark::ApplicationSpec& app,
+    const spark::DataSpec& data, const spark::ClusterEnv& env,
+    const spark::Config& config, const spark::AppRunResult& run,
+    bool sentinel_labels) {
+  spark::AppArtifacts artifacts = runner->instrumenter().Instrument(app);
+  FeatureExtractor extractor(feature_space.vocab.get(),
+                             feature_space.op_vocab.get(),
+                             feature_space.max_code_tokens,
+                             feature_space.bow_dims);
+  // Subsample to the same per-run cap as offline training.
+  std::vector<spark::StageRunResult> kept;
+  size_t cap = max_stage_instances;
+  size_t dropped = 0;
+  std::vector<bool> seen(app.stages.size(), false);
+  for (const auto& sr : run.stage_runs) {
+    if (kept.size() >= cap) break;
+    // A stage run that does not name a stage of `app` (malformed or
+    // fault-injected result) would index `seen` and the featurizer out of
+    // bounds — drop it and count it instead.
+    if (sr.stage_index >= app.stages.size()) {
+      ++dropped;
+      continue;
+    }
+    if (!seen[sr.stage_index] || kept.size() < cap / 2) {
+      seen[sr.stage_index] = true;
+      kept.push_back(sr);
+    }
+  }
+  if (dropped > 0) {
+    PipelineMetrics::Get().feedback_bad_stage->Inc(dropped);
+    LITE_WARN << "feedback(" << app.name << "): dropped " << dropped
+              << " stage runs with out-of-range stage_index (app has "
+              << app.stages.size() << " stages)";
+  }
+  double total = run.total_seconds;
+  if (sentinel_labels) {
+    double sentinel = runner->failure_cap_seconds();
+    for (auto& sr : kept) {
+      sr.seconds = sentinel;
+      sr.failed = false;  // naive: the cap masquerades as a real label.
+    }
+    total = sentinel;
+  }
+  return extractor.ExtractRun(app, artifacts, data, env, config, kept, total,
+                              /*app_instance_id=*/-2, /*app_id=*/-1);
+}
+
+}  // namespace lite::serve

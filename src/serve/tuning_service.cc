@@ -1,0 +1,357 @@
+#include "serve/tuning_service.h"
+
+#include <utility>
+
+#include "lite/model_update.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace lite::serve {
+
+namespace {
+// Service-level observability (docs/SERVING.md lists the catalog; all
+// series also appear in docs/OBSERVABILITY.md). Same sharded-atomic,
+// never-perturbs-results contract as the lite_* metrics.
+struct ServeMetrics {
+  obs::Counter* requests;
+  obs::Counter* rejected;
+  obs::Counter* completed;
+  obs::Counter* failed;
+  obs::Counter* hot_swaps;
+  obs::Counter* adaptive_updates;
+  obs::Counter* sessions;
+  obs::Counter* feedback_instances;
+  obs::Gauge* pending;
+  obs::Histogram* request_seconds;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new ServeMetrics{
+          reg.GetCounter("serve_requests_total"),
+          reg.GetCounter("serve_rejected_total"),
+          reg.GetCounter("serve_completed_total"),
+          reg.GetCounter("serve_failed_total"),
+          reg.GetCounter("serve_hot_swaps_total"),
+          reg.GetCounter("serve_adaptive_updates_total"),
+          reg.GetCounter("serve_sessions_total"),
+          reg.GetCounter("serve_feedback_instances_total"),
+          reg.GetGauge("serve_pending_requests"),
+          reg.GetHistogram("serve_request_seconds"),
+      };
+    }();
+    return *m;
+  }
+};
+}  // namespace
+
+TuningService::TuningService(const spark::SparkRunner* runner,
+                             ServiceOptions options)
+    : runner_(runner), options_(std::move(options)) {
+  LITE_CHECK(runner_ != nullptr) << "TuningService: null runner";
+}
+
+TuningService::~TuningService() {
+  Drain();
+  DrainUpdates();
+}
+
+bool TuningService::LoadSnapshot(const std::string& dir) {
+  std::unique_ptr<LoadedLiteModel> model = LoadedLiteModel::Load(dir, runner_);
+  if (model == nullptr) {
+    LITE_WARN << "TuningService: snapshot at '" << dir
+              << "' failed to load; keeping the current snapshot";
+    return false;
+  }
+  InstallSnapshot(std::move(model));
+  return true;
+}
+
+void TuningService::InstallSnapshot(std::unique_ptr<LoadedLiteModel> model) {
+  LITE_CHECK(model != nullptr) << "InstallSnapshot: null model";
+  model->set_scoring(options_.scoring);
+  std::shared_ptr<const LoadedLiteModel> fresh = std::move(model);
+  // RCU publish: readers that copied the old pointer keep it alive through
+  // their shared_ptr copy; the retired snapshot is freed when the last
+  // in-flight request drops it. The swap itself is the only work done
+  // under snap_mu_.
+  std::shared_ptr<const LoadedLiteModel> old;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    old = std::move(snapshot_);
+    snapshot_ = std::move(fresh);
+  }
+  if (old != nullptr) {
+    ServeMetrics::Get().hot_swaps->Inc();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hot_swaps;
+  }
+}
+
+std::shared_ptr<const LoadedLiteModel> TuningService::SnapshotRef() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return snapshot_;
+}
+
+std::shared_ptr<const LoadedLiteModel> TuningService::CurrentSnapshot() const {
+  return SnapshotRef();
+}
+
+int TuningService::OpenSession(const std::string& tenant, uint64_t seed) {
+  ServeMetrics::Get().sessions->Inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.push_back(Session{tenant, seed});
+  return static_cast<int>(sessions_.size() - 1);
+}
+
+TuningService::Response TuningService::RunRequest(
+    const std::shared_ptr<const LoadedLiteModel>& snap, uint64_t seed,
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env) const {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  obs::Span span("serve.request", metrics.request_seconds);
+  Response r;
+  try {
+    PipelineContext ctx;
+    ctx.acg = &snap->candidate_generator();
+    ctx.num_candidates = snap->num_candidates();
+    // Seed 0 = adopt the served snapshot's stream, which reproduces the
+    // direct LiteSystem / LoadedLiteModel recommendation bit for bit.
+    ctx.seed = seed != 0 ? seed : snap->seed();
+    r.rec = RunRecommendPipeline(
+        ctx, app, data, env, [&](const std::vector<spark::Config>& candidates) {
+          return snap->ScoreCandidates(app, data, env, candidates);
+        });
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  } catch (...) {
+    r.error = "unknown serving error";
+  }
+  return r;
+}
+
+void TuningService::FinishRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --pending_;
+  ServeMetrics::Get().pending->Set(static_cast<double>(pending_));
+  cv_.notify_all();
+}
+
+std::future<TuningService::Response> TuningService::SubmitRecommend(
+    int session, const spark::ApplicationSpec& app,
+    const spark::DataSpec& data, const spark::ClusterEnv& env) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.requests->Inc();
+  auto snap = SnapshotRef();
+  uint64_t seed = 0;
+  auto reject = [](Response r) {
+    std::promise<Response> p;
+    p.set_value(std::move(r));
+    return p.get_future();
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (snap == nullptr) {
+      ++stats_.failed;
+      metrics.failed->Inc();
+      Response r;
+      r.error = "no snapshot loaded";
+      return reject(std::move(r));
+    }
+    if (session < 0 || static_cast<size_t>(session) >= sessions_.size()) {
+      ++stats_.failed;
+      metrics.failed->Inc();
+      Response r;
+      r.error = "unknown session";
+      return reject(std::move(r));
+    }
+    seed = sessions_[static_cast<size_t>(session)].seed;
+    // Admission control: beyond max_pending the request is turned away
+    // right here (bounded queue), so a traffic spike degrades into fast
+    // rejections instead of an unbounded backlog on the shared pool.
+    if (pending_ >= options_.max_pending) {
+      ++stats_.rejected;
+      metrics.rejected->Inc();
+      Response r;
+      r.rejected = true;
+      r.error = "service saturated (max_pending reached)";
+      return reject(std::move(r));
+    }
+    ++pending_;
+    metrics.pending->Set(static_cast<double>(pending_));
+  }
+
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  spark::DataSpec data_copy = data;
+  spark::ClusterEnv env_copy = env;
+  ThreadPool::Shared().Submit(
+      [this, snap, seed, &app, data_copy, env_copy, promise] {
+        Response r = RunRequest(snap, seed, app, data_copy, env_copy);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (r.ok) {
+            ++stats_.completed;
+          } else {
+            ++stats_.failed;
+          }
+        }
+        const ServeMetrics& m = ServeMetrics::Get();
+        (r.ok ? m.completed : m.failed)->Inc();
+        promise->set_value(std::move(r));
+        FinishRequest();
+      });
+  return future;
+}
+
+TuningService::Response TuningService::Recommend(
+    int session, const spark::ApplicationSpec& app,
+    const spark::DataSpec& data, const spark::ClusterEnv& env) {
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.requests->Inc();
+  auto snap = SnapshotRef();
+  uint64_t seed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (snap == nullptr) {
+      ++stats_.failed;
+      metrics.failed->Inc();
+      Response r;
+      r.error = "no snapshot loaded";
+      return r;
+    }
+    if (session < 0 || static_cast<size_t>(session) >= sessions_.size()) {
+      ++stats_.failed;
+      metrics.failed->Inc();
+      Response r;
+      r.error = "unknown session";
+      return r;
+    }
+    seed = sessions_[static_cast<size_t>(session)].seed;
+  }
+  Response r = RunRequest(snap, seed, app, data, env);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (r.ok) {
+      ++stats_.completed;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  (r.ok ? metrics.completed : metrics.failed)->Inc();
+  return r;
+}
+
+bool TuningService::SubmitFeedback(int session,
+                                   const spark::ApplicationSpec& app,
+                                   const spark::DataSpec& data,
+                                   const spark::ClusterEnv& env,
+                                   const spark::Config& config,
+                                   const spark::AppRunResult& run) {
+  auto snap = SnapshotRef();
+  if (snap == nullptr) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (session < 0 || static_cast<size_t>(session) >= sessions_.size()) {
+      return false;
+    }
+  }
+  // Extraction outside the lock: featurization is the expensive part and
+  // reads only the immutable snapshot.
+  std::vector<StageInstance> instances = ExtractFeedbackInstances(
+      runner_, snap->feature_space(), options_.max_stage_instances_per_run,
+      app, data, env, config, run, /*sentinel_labels=*/false);
+  if (instances.empty()) return true;  // nothing usable, but not an error.
+  ServeMetrics::Get().feedback_instances->Inc(instances.size());
+
+  std::vector<StageInstance> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    feedback_.insert(feedback_.end(), instances.begin(), instances.end());
+    if (options_.update_batch == 0 || feedback_.size() < options_.update_batch ||
+        update_in_flight_) {
+      return true;
+    }
+    update_in_flight_ = true;
+    batch = std::move(feedback_);
+    feedback_.clear();
+  }
+  // Off-path: the update runs on a pool worker against a clone; serving
+  // continues on the current snapshot until the fine-tuned clone swaps in.
+  ThreadPool::Shared().Submit(
+      [this, batch = std::move(batch)]() mutable {
+        RunAdaptiveUpdate(std::move(batch));
+      });
+  return true;
+}
+
+UpdateStats TuningService::RunAdaptiveUpdate(std::vector<StageInstance> batch) {
+  UpdateStats stats;
+  try {
+    auto base = SnapshotRef();
+    if (base != nullptr && !batch.empty()) {
+      std::unique_ptr<LoadedLiteModel> shadow = base->Clone();
+      AdaptiveModelUpdater updater(options_.update);
+      // A restored snapshot ships no offline corpus, so the batch doubles
+      // as the source-domain sample (see snapshot.h's documented
+      // limitation); the adversarial term then only regularizes.
+      for (size_t i = 0; i < shadow->ensemble_size(); ++i) {
+        stats.Accumulate(updater.Update(shadow->mutable_model(i), batch, batch));
+      }
+      stats.FinishAggregation();
+      InstallSnapshot(std::move(shadow));
+      ServeMetrics::Get().adaptive_updates->Inc();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.adaptive_updates;
+    }
+  } catch (const std::exception& e) {
+    LITE_WARN << "TuningService: adaptive update failed (" << e.what()
+              << "); keeping the served snapshot";
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    update_in_flight_ = false;
+    cv_.notify_all();
+  }
+  return stats;
+}
+
+UpdateStats TuningService::ForceAdaptiveUpdate() {
+  std::vector<StageInstance> batch;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !update_in_flight_; });
+    if (feedback_.empty()) return UpdateStats{};
+    update_in_flight_ = true;
+    batch = std::move(feedback_);
+    feedback_.clear();
+  }
+  return RunAdaptiveUpdate(std::move(batch));
+}
+
+void TuningService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void TuningService::DrainUpdates() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !update_in_flight_; });
+}
+
+size_t TuningService::pending_feedback() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return feedback_.size();
+}
+
+TuningService::Stats TuningService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lite::serve

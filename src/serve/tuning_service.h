@@ -1,0 +1,185 @@
+// TuningService: the concurrent recommendation server in front of the
+// unified pipeline (serve/recommend_pipeline.h). ROADMAP's north star is a
+// production-scale serving system under heavy concurrent traffic; this is
+// the component that makes the recommendation path correct under
+// concurrency:
+//
+//   * Immutable model snapshots behind an RCU-style hot-swap: the served
+//     LoadedLiteModel is a shared_ptr published under a dedicated mutex
+//     whose critical section is a bare pointer copy/swap (GCC 12's
+//     std::atomic<std::shared_ptr> trips TSan inside _Sp_atomic, so the
+//     pointer is published with a lock TSan can model). Requests copy the
+//     pointer once and keep their snapshot alive through the shared_ptr
+//     refcount (the "grace period"), so ReloadSnapshot under live traffic
+//     never tears a request — parameter-server style, writers publish
+//     whole versions and never block in-flight readers.
+//   * Per-tenant sessions with their own RNG streams: each session carries
+//     a seed; a request's candidate stream is seed ^ hash(app.name), so
+//     sessions are mutually independent and a session seeded with the
+//     snapshot's own seed reproduces LiteSystem::Recommend bit for bit
+//     (the DiffServingEquivalence contract).
+//   * Admission control with a bounded queue + backpressure over the
+//     shared ThreadPool: at most `max_pending` requests are queued or
+//     running; beyond that SubmitRecommend rejects immediately
+//     (Response::rejected) instead of building an unbounded backlog.
+//   * Off-path adaptive updates: feedback batches fine-tune a *clone* of
+//     the current snapshot on a pool worker and hot-swap it in when done —
+//     serving never blocks on model updates.
+//
+// See docs/SERVING.md for the architecture and the serve_* metric catalog.
+#ifndef LITE_SERVE_TUNING_SERVICE_H_
+#define LITE_SERVE_TUNING_SERVICE_H_
+
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lite/snapshot.h"
+#include "serve/recommend_pipeline.h"
+
+namespace lite::serve {
+
+struct ServiceOptions {
+  /// Admission bound: maximum requests queued or running at once. Further
+  /// submissions are rejected immediately (backpressure).
+  size_t max_pending = 64;
+  /// Scoring options applied to every request (thread count, batched vs
+  /// scalar). Results are bit-identical for every setting.
+  ScoringOptions scoring;
+  /// Feedback instances that trigger an off-path adaptive update (0
+  /// disables automatic updates; ForceAdaptiveUpdate still works).
+  size_t update_batch = 10;
+  /// Per-run stage-instance subsample cap for feedback extraction (same
+  /// role as CorpusOptions::max_stage_instances_per_run).
+  size_t max_stage_instances_per_run = 12;
+  /// Fine-tuning options for off-path updates. A restored snapshot carries
+  /// no offline corpus, so the feedback batch doubles as the source-domain
+  /// sample (the documented snapshot limitation).
+  UpdateOptions update;
+};
+
+class TuningService {
+ public:
+  TuningService(const spark::SparkRunner* runner, ServiceOptions options);
+  /// Drains in-flight requests and updates before destruction.
+  ~TuningService();
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Loads a snapshot directory and swaps it in (initial load or hot-swap
+  /// under traffic). Returns false and keeps serving the old snapshot when
+  /// the directory does not load.
+  bool LoadSnapshot(const std::string& dir);
+
+  /// Swaps in an already-built model (takes ownership). The service's
+  /// scoring options are applied to it.
+  void InstallSnapshot(std::unique_ptr<LoadedLiteModel> model);
+
+  /// The snapshot currently being served (nullptr before the first load).
+  /// Callers keep it alive via the shared_ptr; a concurrent hot-swap never
+  /// invalidates it.
+  std::shared_ptr<const LoadedLiteModel> CurrentSnapshot() const;
+
+  /// Opens a tenant session with its own RNG stream. `seed` = 0 adopts the
+  /// served snapshot's seed, which makes the session's recommendations bit-
+  /// identical to LiteSystem::Recommend / LoadedLiteModel::Recommend on the
+  /// same snapshot. Returns the session id (never 0-cost to reuse across
+  /// requests; sessions are cheap and live for the service's lifetime).
+  int OpenSession(const std::string& tenant, uint64_t seed = 0);
+
+  struct Response {
+    bool ok = false;
+    /// True when admission control turned the request away (backpressure);
+    /// the request was never queued and had no side effects.
+    bool rejected = false;
+    std::string error;
+    LiteSystem::Recommendation rec;
+  };
+
+  /// Asynchronous recommendation. `app` must outlive the request (catalog
+  /// applications always do); data/env are copied. The returned future is
+  /// always satisfied — with rejected=true under backpressure, ok=false on
+  /// errors, ok=true otherwise.
+  std::future<Response> SubmitRecommend(int session,
+                                        const spark::ApplicationSpec& app,
+                                        const spark::DataSpec& data,
+                                        const spark::ClusterEnv& env);
+
+  /// Synchronous convenience wrapper (runs on the calling thread — it does
+  /// not consume a pool slot, so it cannot be rejected).
+  Response Recommend(int session, const spark::ApplicationSpec& app,
+                     const spark::DataSpec& data,
+                     const spark::ClusterEnv& env);
+
+  /// Queues one observed run as feedback for the session's tenant. When
+  /// the accumulated batch reaches `update_batch`, an off-path adaptive
+  /// update is scheduled (clone -> fine-tune -> hot-swap); serving
+  /// continues on the old snapshot meanwhile. Returns false when no
+  /// snapshot is loaded or the session id is unknown.
+  bool SubmitFeedback(int session, const spark::ApplicationSpec& app,
+                      const spark::DataSpec& data, const spark::ClusterEnv& env,
+                      const spark::Config& config,
+                      const spark::AppRunResult& run);
+
+  /// Forces an off-path update with whatever feedback is pending (no-op
+  /// when none). Blocks until the update has swapped in.
+  UpdateStats ForceAdaptiveUpdate();
+
+  /// Blocks until every submitted request has completed.
+  void Drain();
+  /// Blocks until no adaptive update is in flight.
+  void DrainUpdates();
+
+  size_t pending_feedback() const;
+
+  struct Stats {
+    uint64_t submitted = 0;  ///< SubmitRecommend calls (incl. rejected).
+    uint64_t rejected = 0;   ///< turned away by admission control.
+    uint64_t completed = 0;  ///< requests finished ok.
+    uint64_t failed = 0;     ///< requests that threw.
+    uint64_t hot_swaps = 0;  ///< snapshot swaps after the initial load.
+    uint64_t adaptive_updates = 0;  ///< off-path updates swapped in.
+  };
+  Stats stats() const;
+
+ private:
+  Response RunRequest(const std::shared_ptr<const LoadedLiteModel>& snap,
+                      uint64_t seed, const spark::ApplicationSpec& app,
+                      const spark::DataSpec& data,
+                      const spark::ClusterEnv& env) const;
+  /// One pointer copy under snap_mu_ — the reader side of the hot-swap.
+  std::shared_ptr<const LoadedLiteModel> SnapshotRef() const;
+  /// Runs clone -> fine-tune -> swap for one feedback batch (pool worker).
+  UpdateStats RunAdaptiveUpdate(std::vector<StageInstance> batch);
+  void FinishRequest();
+
+  const spark::SparkRunner* runner_;
+  ServiceOptions options_;
+
+  /// RCU publication point: snap_mu_ guards only the pointer copy/swap
+  /// (nanoseconds); readers' shared_ptr copies keep retired snapshots
+  /// alive for the length of their request.
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const LoadedLiteModel> snapshot_;
+
+  struct Session {
+    std::string tenant;
+    uint64_t seed = 0;
+  };
+
+  mutable std::mutex mu_;  ///< sessions, feedback, stats, drain state.
+  std::condition_variable cv_;
+  std::vector<Session> sessions_;
+  std::vector<StageInstance> feedback_;
+  bool update_in_flight_ = false;
+  size_t pending_ = 0;  ///< requests queued or running.
+  Stats stats_;
+};
+
+}  // namespace lite::serve
+
+#endif  // LITE_SERVE_TUNING_SERVICE_H_

@@ -7,9 +7,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lite/lite_system.h"
+#include "lite/snapshot.h"
 #include "sparksim/eventlog.h"
 #include "sparksim/runner.h"
 #include "sparksim/trace.h"
@@ -203,6 +209,128 @@ TEST(SerializationFuzzTest, ConcatenatedDocumentsDoNotCrash) {
       CheckTraceSanity(tparsed, "concat traces; " + SeedNote());
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot meta.txt forward-compatibility: unknown keys written by a newer
+// exporter must be skipped with a warning (not hard-fail the load), and a
+// truncated meta file must produce a clean nullptr — never a crash or an
+// out-of-bounds read (ASan enforces).
+
+/// One trained snapshot on disk, shared by the meta fuzz tests (training
+/// dominates; mutations only rewrite the small meta.txt).
+struct SnapshotFixture {
+  spark::SparkRunner runner;
+  std::unique_ptr<LiteSystem> system;
+  std::string dir;
+  std::string meta;  ///< pristine meta.txt contents.
+
+  static SnapshotFixture& Get() {
+    static SnapshotFixture* f = [] {
+      auto* fx = new SnapshotFixture();
+      LiteOptions opts;
+      opts.corpus.apps = {"TS"};
+      opts.corpus.clusters = {spark::ClusterEnv::ClusterA()};
+      opts.corpus.configs_per_setting = 2;
+      opts.corpus.max_stage_instances_per_run = 4;
+      opts.corpus.max_code_tokens = 64;
+      opts.necs.emb_dim = 8;
+      opts.necs.cnn_widths = {3};
+      opts.necs.cnn_kernels = 4;
+      opts.necs.code_dim = 8;
+      opts.necs.gcn_hidden = 8;
+      opts.train.epochs = 1;
+      opts.num_candidates = 8;
+      opts.ensemble_size = 1;
+      fx->system = std::make_unique<LiteSystem>(&fx->runner, opts);
+      fx->system->TrainOffline();
+      fx->dir = testing::TempDir() + "/meta_fuzz_snapshot";
+      std::filesystem::create_directories(fx->dir);
+      EXPECT_TRUE(SaveSnapshot(*fx->system, fx->dir));
+      std::ifstream in(fx->dir + "/meta.txt");
+      std::stringstream ss;
+      ss << in.rdbuf();
+      fx->meta = ss.str();
+      return fx;
+    }();
+    return *f;
+  }
+
+  void WriteMeta(const std::string& contents) const {
+    std::ofstream out(dir + "/meta.txt", std::ios::trunc);
+    out << contents;
+  }
+};
+
+TEST(SnapshotMetaFuzzTest, UnknownMetaKeysAreSkippedNotFatal) {
+  SnapshotFixture& fx = SnapshotFixture::Get();
+  const auto* app = spark::AppCatalog::Find("TS");
+  spark::DataSpec data = app->MakeData(app->test_size_mb);
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+
+  fx.WriteMeta(fx.meta);
+  auto pristine = LoadedLiteModel::Load(fx.dir, &fx.runner);
+  ASSERT_NE(pristine, nullptr);
+  LiteSystem::Recommendation want = pristine->Recommend(*app, data, env);
+
+  // Keys a newer writer might append: scalar, vector-valued, free-text with
+  // spaces, valueless, and a final key with no trailing newline.
+  const std::vector<std::string> futures = {
+      fx.meta + "calibration_temp 0.85\n",
+      fx.meta + "quantization int8 per_channel\nexport_sha 3f9ab2\n",
+      fx.meta + "note built by a newer exporter with extra metadata\n",
+      fx.meta + "experimental_flag\n",
+      fx.meta + "trailing_key_without_newline 1",
+  };
+  // Unknown keys may also appear between known ones, not just at the end.
+  size_t first_nl = fx.meta.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  std::string interleaved = fx.meta;
+  interleaved.insert(first_nl + 1, "provenance run-2031-01 cluster-x\n");
+
+  for (const std::string& doc : futures) {
+    fx.WriteMeta(doc);
+    auto loaded = LoadedLiteModel::Load(fx.dir, &fx.runner);
+    ASSERT_NE(loaded, nullptr) << "rejected forward-compatible meta:\n" << doc;
+    LiteSystem::Recommendation got = loaded->Recommend(*app, data, env);
+    EXPECT_EQ(got.config, want.config);
+    EXPECT_EQ(got.predicted_seconds, want.predicted_seconds);
+  }
+  fx.WriteMeta(interleaved);
+  auto loaded = LoadedLiteModel::Load(fx.dir, &fx.runner);
+  ASSERT_NE(loaded, nullptr) << "rejected interleaved unknown key";
+  LiteSystem::Recommendation got = loaded->Recommend(*app, data, env);
+  EXPECT_EQ(got.config, want.config);
+
+  fx.WriteMeta(fx.meta);  // restore for later tests.
+}
+
+TEST(SnapshotMetaFuzzTest, TruncatedMetaFailsCleanly) {
+  SnapshotFixture& fx = SnapshotFixture::Get();
+  uint64_t seed = testkit::SeedFromEnv();
+  Rng rng(seed ^ 0x5a9d);
+
+  // Every prefix length is either rejected (nullptr) or — when the cut
+  // happens to land on a whole-line boundary past all required keys —
+  // loads a usable model. Never a crash.
+  size_t rounds = std::max<size_t>(60, testkit::CasesFromEnv());
+  for (size_t i = 0; i < rounds; ++i) {
+    size_t cut = rng.Index(fx.meta.size());
+    fx.WriteMeta(fx.meta.substr(0, cut));
+    auto loaded = LoadedLiteModel::Load(fx.dir, &fx.runner);
+    if (loaded != nullptr) {
+      EXPECT_GE(loaded->ensemble_size(), 1u)
+          << "cut=" << cut << "; " << SeedNote();
+    }
+  }
+  // The empty file and a bare magic line are always rejected.
+  fx.WriteMeta("");
+  EXPECT_EQ(LoadedLiteModel::Load(fx.dir, &fx.runner), nullptr);
+  fx.WriteMeta("litesnapshot v1\n");
+  EXPECT_EQ(LoadedLiteModel::Load(fx.dir, &fx.runner), nullptr);
+
+  fx.WriteMeta(fx.meta);  // restore.
+  EXPECT_NE(LoadedLiteModel::Load(fx.dir, &fx.runner), nullptr);
 }
 
 }  // namespace

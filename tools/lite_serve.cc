@@ -1,0 +1,245 @@
+// lite_serve: end-to-end driver for the concurrent tuning service — the
+// serving analogue of obs_report. It trains a canned LITE system, saves a
+// snapshot, then exercises serve::TuningService the way a deployment would:
+//
+//   1. equivalence    multi-threaded clients hammer SubmitRecommend /
+//                     Recommend while the main thread hot-swaps the
+//                     snapshot; every response must be ok and bit-identical
+//                     to the direct LoadedLiteModel::Recommend reference
+//                     (same snapshot, same seed — the RCU swap must never
+//                     tear or perturb a request);
+//   2. backpressure   with every shared-pool worker parked, submissions
+//                     beyond max_pending must be rejected immediately and
+//                     the accepted ones must still complete;
+//   3. adaptation     feedback batches trigger an off-path update that
+//                     fine-tunes a clone and swaps it in — pending feedback
+//                     drains, the swap is observed, and serving survives;
+//   4. accounting     service stats and serve_* metrics must agree with
+//                     what the driver actually submitted.
+//
+// Exit status is nonzero when any check fails, so CTest runs this as the
+// serving smoke test. Usage:
+//   lite_serve [output_dir]     (default: current directory)
+#include <atomic>
+#include <filesystem>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lite/lite_system.h"
+#include "lite/snapshot.h"
+#include "obs/metrics.h"
+#include "serve/tuning_service.h"
+#include "sparksim/runner.h"
+#include "util/thread_pool.h"
+
+using namespace lite;
+
+namespace {
+
+bool Check(bool ok, const std::string& what, int* failures) {
+  std::cout << (ok ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+  if (!ok) ++*failures;
+  return ok;
+}
+
+LiteOptions CannedOptions() {
+  LiteOptions opts;
+  opts.corpus.apps = {"TS", "PR"};
+  opts.corpus.clusters = {spark::ClusterEnv::ClusterA()};
+  opts.corpus.configs_per_setting = 2;
+  opts.corpus.max_stage_instances_per_run = 5;
+  opts.corpus.max_code_tokens = 64;
+  opts.necs.emb_dim = 8;
+  opts.necs.cnn_widths = {3, 4};
+  opts.necs.cnn_kernels = 6;
+  opts.necs.code_dim = 12;
+  opts.necs.gcn_hidden = 8;
+  opts.train.epochs = 2;
+  opts.num_candidates = 16;
+  opts.ensemble_size = 2;
+  return opts;
+}
+
+struct Query {
+  const spark::ApplicationSpec* app;
+  spark::DataSpec data;
+  spark::ClusterEnv env;
+};
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = argc > 1 ? argv[1] : ".";
+  std::string snap_dir = out_dir + "/snapshot";
+  std::filesystem::create_directories(snap_dir);
+  int failures = 0;
+
+  std::cout << "Training canned LITE system (2 apps, 1 cluster)...\n";
+  spark::SparkRunner runner;
+  LiteSystem system(&runner, CannedOptions());
+  system.TrainOffline();
+  if (!Check(SaveSnapshot(system, snap_dir), "saved snapshot to " + snap_dir,
+             &failures)) {
+    return 1;
+  }
+
+  std::vector<Query> queries;
+  for (const char* name : {"TS", "PR"}) {
+    const auto* app = spark::AppCatalog::Find(name);
+    queries.push_back({app, app->MakeData(app->test_size_mb),
+                       spark::ClusterEnv::ClusterA()});
+  }
+
+  // Direct reference: the same snapshot served without the service layer.
+  auto reference = LoadedLiteModel::Load(snap_dir, &runner);
+  if (!Check(reference != nullptr, "snapshot loads standalone", &failures)) {
+    return 1;
+  }
+  std::vector<LiteSystem::Recommendation> want;
+  for (const Query& q : queries) {
+    want.push_back(reference->Recommend(*q.app, q.data, q.env));
+  }
+
+  // --- Phase 1: concurrent clients + hot-swaps, bit-exact responses. ----
+  std::cout << "\nPhase 1: concurrent clients under hot-swap\n";
+  const uint64_t req_before = CounterValue("serve_requests_total");
+  serve::ServiceOptions sopts;
+  sopts.max_pending = 128;
+  sopts.scoring.threads = 1;  // concurrency comes from the clients here.
+  sopts.update_batch = 0;     // phase 3 drives updates explicitly.
+  serve::TuningService service(&runner, sopts);
+  Check(service.LoadSnapshot(snap_dir), "service loaded the snapshot",
+        &failures);
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 8;
+  std::vector<int> sessions;
+  for (int c = 0; c < kClients; ++c) {
+    sessions.push_back(service.OpenSession("tenant-" + std::to_string(c)));
+  }
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequests; ++r) {
+        const size_t qi = static_cast<size_t>(c + r) % queries.size();
+        const Query& q = queries[qi];
+        serve::TuningService::Response resp =
+            (r % 2 == 0)
+                ? service.SubmitRecommend(sessions[c], *q.app, q.data, q.env)
+                      .get()
+                : service.Recommend(sessions[c], *q.app, q.data, q.env);
+        if (!resp.ok) {
+          ++errors;
+        } else if (resp.rec.config != want[qi].config ||
+                   resp.rec.predicted_seconds != want[qi].predicted_seconds) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (int swap = 0; swap < 4; ++swap) {
+    if (!service.LoadSnapshot(snap_dir)) ++errors;  // hot-swap under load.
+  }
+  for (auto& t : clients) t.join();
+  service.Drain();
+  Check(errors.load() == 0, "no failed request or swap under load", &failures);
+  Check(mismatches.load() == 0,
+        "every concurrent response bit-matches the direct reference",
+        &failures);
+  Check(service.stats().hot_swaps == 4, "4 hot-swaps recorded", &failures);
+
+  // --- Phase 2: deterministic backpressure. -----------------------------
+  std::cout << "\nPhase 2: backpressure at max_pending\n";
+  serve::ServiceOptions bp_opts;
+  bp_opts.max_pending = 2;
+  bp_opts.scoring.threads = 1;
+  serve::TuningService bp(&runner, bp_opts);
+  Check(bp.LoadSnapshot(snap_dir), "backpressure service loaded", &failures);
+  int bp_session = bp.OpenSession("tenant-bp");
+  {
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    ThreadPool& pool = ThreadPool::Shared();
+    std::vector<std::future<void>> parked;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      parked.push_back(pool.Submit([opened] { opened.wait(); }));
+    }
+    const Query& q = queries[0];
+    auto a = bp.SubmitRecommend(bp_session, *q.app, q.data, q.env);
+    auto b = bp.SubmitRecommend(bp_session, *q.app, q.data, q.env);
+    auto c = bp.SubmitRecommend(bp_session, *q.app, q.data, q.env);
+    serve::TuningService::Response turned_away = c.get();
+    Check(turned_away.rejected && !turned_away.ok,
+          "3rd request rejected immediately while 2 are pending", &failures);
+    gate.set_value();
+    for (auto& f : parked) f.get();
+    serve::TuningService::Response ra = a.get();
+    serve::TuningService::Response rb = b.get();
+    Check(ra.ok && rb.ok, "accepted requests completed after the stall",
+          &failures);
+    Check(ra.rec.config == want[0].config && rb.rec.config == want[0].config,
+          "completed responses still bit-match the reference", &failures);
+  }
+  serve::TuningService::Stats bp_stats = bp.stats();
+  Check(bp_stats.submitted == 3 && bp_stats.rejected == 1 &&
+            bp_stats.completed == 2 && bp_stats.failed == 0,
+        "backpressure stats: 3 submitted = 2 completed + 1 rejected",
+        &failures);
+
+  // --- Phase 3: off-path adaptive update. -------------------------------
+  std::cout << "\nPhase 3: feedback-driven off-path update\n";
+  serve::ServiceOptions up_opts;
+  up_opts.update_batch = 1;  // first feedback batch triggers the update.
+  up_opts.update.epochs = 1;
+  serve::TuningService up(&runner, up_opts);
+  Check(up.LoadSnapshot(snap_dir), "update service loaded", &failures);
+  int up_session = up.OpenSession("tenant-up");
+  auto before = up.CurrentSnapshot();
+  const Query& q = queries[1];
+  spark::Config probe = spark::KnobSpace::Spark16().DefaultConfig();
+  spark::AppRunResult run =
+      runner.cost_model().Run(*q.app, q.data, q.env, probe);
+  Check(up.SubmitFeedback(up_session, *q.app, q.data, q.env, probe, run),
+        "feedback accepted", &failures);
+  up.DrainUpdates();
+  auto after = up.CurrentSnapshot();
+  Check(before.get() != after.get(),
+        "adaptive update swapped in a fine-tuned clone", &failures);
+  Check(up.stats().adaptive_updates == 1 && up.pending_feedback() == 0,
+        "update accounted and feedback queue drained", &failures);
+  serve::TuningService::Response post =
+      up.Recommend(up_session, *q.app, q.data, q.env);
+  Check(post.ok && post.rec.candidates_evaluated > 0,
+        "serving continues on the updated snapshot", &failures);
+
+  // --- Phase 4: accounting. ---------------------------------------------
+  std::cout << "\nPhase 4: stats vs metrics accounting\n";
+  serve::TuningService::Stats stats = service.stats();
+  Check(stats.submitted == static_cast<uint64_t>(kClients) * kRequests,
+        "phase-1 service saw every submission", &failures);
+  Check(stats.completed + stats.rejected + stats.failed == stats.submitted,
+        "completed + rejected + failed == submitted", &failures);
+  const uint64_t req_total = CounterValue("serve_requests_total") - req_before;
+  Check(req_total >= stats.submitted + bp_stats.submitted,
+        "serve_requests_total covers all drivers' submissions", &failures);
+  Check(CounterValue("serve_hot_swaps_total") >= 5,
+        "serve_hot_swaps_total counted phase-1 swaps and the update swap",
+        &failures);
+  Check(CounterValue("serve_adaptive_updates_total") >= 1,
+        "serve_adaptive_updates_total counted the off-path update", &failures);
+
+  std::cout << (failures == 0 ? "\nlite_serve: PASS"
+                              : "\nlite_serve: FAIL (" +
+                                    std::to_string(failures) + " check(s))")
+            << "\n";
+  return failures == 0 ? 0 : 1;
+}
