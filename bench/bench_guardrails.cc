@@ -1,0 +1,363 @@
+// Guardrail scenario benchmark: the serve::Guardrail safety layer under
+// realistic traffic shapes, exported to BENCH_guardrails.json.
+//
+// Four scenarios, three asserted gates:
+//   1. Recurring jobs (happy path) — a healthy tenant re-submitting the
+//      same applications. Gate: guardrail-enabled serving adds < 5% over
+//      the guardrail-disabled service (the breaker is CLOSED, budgets are
+//      transparent, so the only cost is the Admit/Observe bookkeeping).
+//   2. SLA tenants — a tenant with a finite predicted-runtime deadline;
+//      every served recommendation must meet it (the pipeline filters
+//      candidates before argmin), while an unconstrained tenant on the
+//      same service is untouched.
+//   3. Flash crowd — a burst of concurrent clients across many tenants.
+//      All requests must complete (no failures, no rejects at this
+//      admission bound) with the guardrail engaged on every one.
+//   4. Model-regression spike — failed/censored resilient-runner outcomes
+//      trip the breaker. Gates: ZERO regressed-model recommendations reach
+//      the quarantined tenant (every response is the incumbent verbatim),
+//      and the tenant recovers through half-open probing (trip count 1,
+//      recovery count 1, transition log ends CLOSED).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "lite/snapshot.h"
+#include "obs/metrics.h"
+#include "serve/tuning_service.h"
+
+using namespace lite;
+using namespace lite::bench;
+
+namespace {
+
+double TimeSeconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+struct Query {
+  const spark::ApplicationSpec* app;
+  spark::DataSpec data;
+  spark::ClusterEnv env;
+};
+
+serve::ServiceOptions GuardedOptions() {
+  serve::ServiceOptions opts;
+  opts.max_pending = 512;
+  opts.scoring.threads = 1;
+  opts.update_batch = 0;  // keep the model frozen across scenarios.
+  opts.guardrail.enabled = true;
+  opts.guardrail.window = 8;
+  opts.guardrail.min_observations = 4;
+  opts.guardrail.failure_rate_threshold = 0.5;
+  opts.guardrail.quarantine_cooldown = 3;
+  opts.guardrail.probe_interval = 2;
+  opts.guardrail.probes_to_close = 2;
+  return opts;
+}
+
+int Gate(bool ok, const std::string& what) {
+  std::cout << (ok ? "[gate ok]   " : "[gate FAIL] ") << what << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  ScaleProfile profile = GetScaleProfile();
+  const int reps = profile.name == "smoke" ? 6
+                   : profile.name == "paper" ? 40
+                                             : 16;
+  std::cout << "Guardrail bench (scale=" << profile.name << ", " << reps
+            << " requests/scenario-client)\n";
+
+  spark::SparkRunner runner;
+  LiteOptions opts;
+  opts.corpus = MakeCorpusOptions(profile, {"TS", "PR", "KM"},
+                                  {spark::ClusterEnv::ClusterA()});
+  ApplyLiteProfile(profile, &opts);
+  LiteSystem system(&runner, opts);
+  system.TrainOffline();
+
+  std::string snap_dir =
+      std::filesystem::temp_directory_path() / "bench_guardrails_snapshot";
+  std::filesystem::create_directories(snap_dir);
+  if (!SaveSnapshot(system, snap_dir)) {
+    std::cerr << "failed to save snapshot\n";
+    return 1;
+  }
+
+  std::vector<Query> queries;
+  for (const char* name : {"TS", "PR", "KM"}) {
+    const auto* app = spark::AppCatalog::Find(name);
+    queries.push_back({app, app->MakeData(app->test_size_mb),
+                       spark::ClusterEnv::ClusterA()});
+  }
+
+  int gate_failures = 0;
+  std::vector<BenchJsonField> json_fields{
+      {"requests_per_client", BenchJsonNum(reps)}};
+
+  // --- 1. Recurring jobs: happy-path overhead of the guardrail. ---------
+  serve::ServiceOptions plain_opts;
+  plain_opts.scoring.threads = 1;
+  plain_opts.update_batch = 0;
+  serve::TuningService plain(&runner, plain_opts);
+  serve::TuningService guarded_hp(&runner, GuardedOptions());
+  if (!plain.LoadSnapshot(snap_dir) || !guarded_hp.LoadSnapshot(snap_dir)) {
+    return 1;
+  }
+  int plain_sess = plain.OpenSession("recurring");
+  int guarded_sess = guarded_hp.OpenSession("recurring");
+  // Warm both paths over every query so the timed loops compare guardrail
+  // bookkeeping, not encoder-cache luck.
+  for (const Query& q : queries) {
+    (void)plain.Recommend(plain_sess, *q.app, q.data, q.env);
+    (void)guarded_hp.Recommend(guarded_sess, *q.app, q.data, q.env);
+  }
+  // Block timing, best of alternating rounds: requests here are a few
+  // hundred microseconds, so per-request timestamps drown the guardrail's
+  // bookkeeping in scheduler noise. Timing whole round-robin blocks and
+  // taking each path's fastest round is the standard de-noising estimator —
+  // the minimum is the run with the least interference, which is exactly
+  // the steady-state cost the overhead gate is about.
+  const int hp_rounds = 5;
+  const int hp_block = reps * static_cast<int>(queries.size());
+  double t_plain = std::numeric_limits<double>::infinity();
+  double t_guarded = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < hp_rounds; ++round) {
+    t_plain = std::min(t_plain, TimeSeconds([&] {
+      for (int r = 0; r < hp_block; ++r) {
+        const Query& q = queries[static_cast<size_t>(r) % queries.size()];
+        (void)plain.Recommend(plain_sess, *q.app, q.data, q.env);
+      }
+    }));
+    t_guarded = std::min(t_guarded, TimeSeconds([&] {
+      for (int r = 0; r < hp_block; ++r) {
+        const Query& q = queries[static_cast<size_t>(r) % queries.size()];
+        (void)guarded_hp.Recommend(guarded_sess, *q.app, q.data, q.env);
+      }
+    }));
+  }
+  const int hp_reps = hp_block;
+  const double overhead_pct =
+      t_plain > 0 ? (t_guarded - t_plain) / t_plain * 100.0 : 0.0;
+  std::cout << "Happy path: plain " << t_plain / hp_reps * 1e3
+            << " ms/req, guarded " << t_guarded / hp_reps * 1e3
+            << " ms/req, overhead " << overhead_pct << "%\n";
+  json_fields.push_back({"happy_plain_s", BenchJsonNum(t_plain)});
+  json_fields.push_back({"happy_guarded_s", BenchJsonNum(t_guarded)});
+  json_fields.push_back({"happy_overhead_pct", BenchJsonNum(overhead_pct)});
+  gate_failures += Gate(overhead_pct < 5.0,
+                        "guardrail happy-path overhead < 5%");
+
+  // --- 2. SLA tenants: deadline-respecting argmin. ----------------------
+  serve::TuningService sla_svc(&runner, GuardedOptions());
+  if (!sla_svc.LoadSnapshot(snap_dir)) return 1;
+  int free_sess = sla_svc.OpenSession("no-sla");
+  int sla_sess = sla_svc.OpenSession("sla-tenant");
+  const Query& sq = queries[0];
+  // Calibrate the deadline off the unconstrained recommendation: anything
+  // slightly above it is feasible, so the SLA tenant's responses must land
+  // at or under it while still completing every request.
+  serve::TuningService::Response free_r =
+      sla_svc.Recommend(free_sess, *sq.app, sq.data, sq.env);
+  if (!free_r.ok) return 1;
+  const double deadline = free_r.rec.predicted_seconds * 1.05;
+  serve::TenantPolicy sla_policy;
+  sla_policy.sla_deadline_seconds = deadline;
+  sla_svc.SetTenantPolicy("sla-tenant", sla_policy);
+  const uint64_t sla_filtered_before =
+      CounterValue("lite_sla_filtered_candidates_total");
+  int sla_ok = 0, sla_met = 0;
+  for (int r = 0; r < reps; ++r) {
+    serve::TuningService::Response resp =
+        sla_svc.Recommend(sla_sess, *sq.app, sq.data, sq.env);
+    if (resp.ok) ++sla_ok;
+    if (resp.ok && resp.rec.predicted_seconds <= deadline) ++sla_met;
+  }
+  const uint64_t sla_filtered =
+      CounterValue("lite_sla_filtered_candidates_total") - sla_filtered_before;
+  std::cout << "SLA tenant: " << sla_met << "/" << reps
+            << " recommendations within the " << deadline
+            << " s deadline (candidates filtered: " << sla_filtered << ")\n";
+  json_fields.push_back({"sla_deadline_s", BenchJsonNum(deadline)});
+  json_fields.push_back(
+      {"sla_met", BenchJsonNum(static_cast<double>(sla_met))});
+  json_fields.push_back(
+      {"sla_filtered_candidates", BenchJsonNum(static_cast<double>(sla_filtered))});
+  gate_failures +=
+      Gate(sla_ok == reps && sla_met == reps,
+           "every SLA-tenant recommendation met its deadline");
+
+  // --- 3. Flash crowd: concurrent burst across many tenants. ------------
+  serve::TuningService crowd(&runner, GuardedOptions());
+  if (!crowd.LoadSnapshot(snap_dir)) return 1;
+  const int crowd_clients = 8;
+  std::vector<int> crowd_sess;
+  for (int c = 0; c < crowd_clients; ++c) {
+    crowd_sess.push_back(crowd.OpenSession("crowd-" + std::to_string(c)));
+  }
+  std::atomic<int> crowd_failed{0};
+  std::atomic<int> crowd_rejected{0};
+  double crowd_elapsed = TimeSeconds([&] {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < crowd_clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<std::future<serve::TuningService::Response>> futs;
+        for (int r = 0; r < reps; ++r) {
+          const Query& q = queries[static_cast<size_t>(c + r) % queries.size()];
+          futs.push_back(crowd.SubmitRecommend(crowd_sess[c], *q.app, q.data,
+                                               q.env));
+        }
+        for (auto& f : futs) {
+          serve::TuningService::Response resp = f.get();
+          if (resp.rejected) {
+            ++crowd_rejected;
+          } else if (!resp.ok) {
+            ++crowd_failed;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  crowd.Drain();
+  const double crowd_total = static_cast<double>(crowd_clients) * reps;
+  const double crowd_rps =
+      crowd_elapsed > 0 ? crowd_total / crowd_elapsed : 0.0;
+  const uint64_t crowd_admitted = crowd.guardrail()->stats().admitted;
+  std::cout << "Flash crowd: " << crowd_clients << " clients, " << crowd_rps
+            << " req/s, " << crowd_failed.load() << " failed, "
+            << crowd_rejected.load() << " rejected, guardrail admitted "
+            << crowd_admitted << "\n";
+  json_fields.push_back({"crowd_clients", BenchJsonNum(crowd_clients)});
+  json_fields.push_back({"crowd_rps", BenchJsonNum(crowd_rps)});
+  json_fields.push_back(
+      {"crowd_failed", BenchJsonNum(static_cast<double>(crowd_failed.load()))});
+  json_fields.push_back(
+      {"crowd_rejected",
+       BenchJsonNum(static_cast<double>(crowd_rejected.load()))});
+  gate_failures += Gate(
+      crowd_failed.load() == 0 && crowd_rejected.load() == 0 &&
+          crowd_admitted == static_cast<uint64_t>(crowd_total),
+      "flash crowd fully served with the guardrail on every request");
+
+  // --- 4. Model-regression spike: quarantine, fallback, recovery. -------
+  serve::TuningService spike(&runner, GuardedOptions());
+  if (!spike.LoadSnapshot(snap_dir)) return 1;
+  serve::Guardrail* guard = spike.guardrail();
+  int spike_sess = spike.OpenSession("spiky");
+  const Query& gq = queries[0];
+  spark::Config incumbent = spark::KnobSpace::Spark16().DefaultConfig();
+  spark::MeasureOutcome healthy;
+  healthy.seconds = 12.0;
+  healthy.result = runner.cost_model().Run(*gq.app, gq.data, gq.env, incumbent);
+  spike.SubmitFeedback(spike_sess, *gq.app, gq.data, gq.env, incumbent,
+                       healthy);
+
+  // The spike: model-chosen configs come back failed/censored at the cap.
+  spark::MeasureOutcome stormy;
+  stormy.seconds = 600.0;
+  stormy.failed = true;
+  stormy.censored = true;
+  spark::Config regressed(spark::kNumKnobs, 0.9);
+  for (int i = 0; i < 4; ++i) {
+    spike.SubmitFeedback(spike_sess, *gq.app, gq.data, gq.env, regressed,
+                         stormy);
+  }
+  const bool tripped =
+      guard->StateOf("spiky") == serve::BreakerState::kQuarantined;
+
+  // While quarantined, count any response that is NOT the incumbent
+  // verbatim — the "zero regressed-model recommendations" gate. The
+  // cooldown is 3, so exactly the first 3 requests are quarantine serves.
+  int model_leaks = 0, quarantine_serves = 0;
+  for (int i = 0; i < 3; ++i) {
+    serve::TuningService::Response resp =
+        spike.Recommend(spike_sess, *gq.app, gq.data, gq.env);
+    if (resp.ok && resp.from_incumbent && resp.rec.config == incumbent &&
+        resp.rec.candidates_evaluated == 0) {
+      ++quarantine_serves;
+    } else {
+      ++model_leaks;
+    }
+  }
+  const bool half_open =
+      guard->StateOf("spiky") == serve::BreakerState::kProbing;
+
+  // Recovery: keep requesting; feed every probe a healthy measurement
+  // until the breaker closes. Count requests from trip to recovery.
+  int recovery_requests = 0, recovery_probes = 0;
+  while (guard->StateOf("spiky") != serve::BreakerState::kClosed &&
+         recovery_requests < 64) {
+    serve::TuningService::Response resp =
+        spike.Recommend(spike_sess, *gq.app, gq.data, gq.env);
+    ++recovery_requests;
+    if (resp.ok && resp.probe) {
+      ++recovery_probes;
+      spark::MeasureOutcome probe_ok;
+      probe_ok.seconds = 11.5;
+      probe_ok.result =
+          runner.cost_model().Run(*gq.app, gq.data, gq.env, resp.rec.config);
+      spike.SubmitFeedback(spike_sess, *gq.app, gq.data, gq.env,
+                           resp.rec.config, probe_ok);
+    }
+  }
+  serve::Guardrail::Stats gstats = guard->stats();
+  const bool recovered =
+      guard->StateOf("spiky") == serve::BreakerState::kClosed &&
+      gstats.trips == 1 && gstats.recoveries == 1 &&
+      !guard->TransitionLog().empty() &&
+      guard->TransitionLog().back().to == serve::BreakerState::kClosed;
+  std::cout << "Regression spike: tripped=" << tripped
+            << ", quarantine serves=" << quarantine_serves
+            << ", model leaks=" << model_leaks
+            << ", recovery in " << recovery_requests << " requests ("
+            << recovery_probes << " probes)\n";
+  json_fields.push_back(
+      {"spike_tripped", BenchJsonBool(tripped)});
+  json_fields.push_back(
+      {"spike_model_leaks", BenchJsonNum(static_cast<double>(model_leaks))});
+  json_fields.push_back(
+      {"spike_recovery_requests",
+       BenchJsonNum(static_cast<double>(recovery_requests))});
+  json_fields.push_back(
+      {"spike_recovery_probes",
+       BenchJsonNum(static_cast<double>(recovery_probes))});
+  json_fields.push_back(
+      {"guardrail_trips", BenchJsonNum(static_cast<double>(gstats.trips))});
+  json_fields.push_back(
+      {"guardrail_recoveries",
+       BenchJsonNum(static_cast<double>(gstats.recoveries))});
+  gate_failures += Gate(tripped && model_leaks == 0,
+                        "zero regressed-model recommendations while "
+                        "quarantined (incumbent served verbatim)");
+  gate_failures += Gate(half_open && recovered && recovery_probes >= 2,
+                        "recovery via half-open probing (trip=1, recovery=1)");
+
+  const bool pass = gate_failures == 0;
+  json_fields.push_back({"pass", BenchJsonBool(pass)});
+  if (!WriteBenchJson("BENCH_guardrails.json", "guardrails", profile,
+                      json_fields)) {
+    std::cerr << "failed to write BENCH_guardrails.json\n";
+    return 1;
+  }
+  std::cout << (pass ? "\nbench_guardrails: PASS\n"
+                     : "\nbench_guardrails: FAIL\n");
+  return pass ? 0 : 1;
+}

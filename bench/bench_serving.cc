@@ -11,10 +11,12 @@
 //   3. Hot-swap under load — a snapshot reload storm concurrent with client
 //      traffic must complete every request (zero failed, zero torn: every
 //      response bit-matches the single-snapshot reference).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <iostream>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -104,23 +106,37 @@ int main() {
     (void)service.Recommend(session, *q.app, q.data, q.env);
   }
 
-  // Interleave the two paths so clock-frequency drift hits both equally;
-  // per-call steady_clock reads cost nanoseconds against ms requests.
-  double t_direct = 0.0, t_service = 0.0;
-  for (int r = 0; r < reps; ++r) {
-    const Query& q = queries[static_cast<size_t>(r) % queries.size()];
-    t_direct +=
-        TimeSeconds([&] { (void)direct->Recommend(*q.app, q.data, q.env); });
-    t_service += TimeSeconds(
-        [&] { (void)service.Recommend(session, *q.app, q.data, q.env); });
+  // Block timing, best of alternating rounds: smoke-scale requests are a
+  // few hundred microseconds, so single-pass per-request timestamps put
+  // scheduler noise on the same order as the service layer's overhead (the
+  // gate flaked either way at smoke scale). Each path's fastest round is
+  // the run with the least interference — the steady-state cost the gate
+  // is about.
+  const int overhead_rounds = 7;
+  const int overhead_block = reps * static_cast<int>(queries.size());
+  double t_direct = std::numeric_limits<double>::infinity();
+  double t_service = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < overhead_rounds; ++round) {
+    t_direct = std::min(t_direct, TimeSeconds([&] {
+      for (int r = 0; r < overhead_block; ++r) {
+        const Query& q = queries[static_cast<size_t>(r) % queries.size()];
+        (void)direct->Recommend(*q.app, q.data, q.env);
+      }
+    }));
+    t_service = std::min(t_service, TimeSeconds([&] {
+      for (int r = 0; r < overhead_block; ++r) {
+        const Query& q = queries[static_cast<size_t>(r) % queries.size()];
+        (void)service.Recommend(session, *q.app, q.data, q.env);
+      }
+    }));
   }
   double overhead_pct =
       t_direct > 0 ? (t_service - t_direct) / t_direct * 100.0 : 0.0;
   TablePrinter overhead_table({"Path", "Total (s)", "Per-request (ms)"});
   overhead_table.AddRow({"direct", TablePrinter::Fmt(t_direct),
-                         TablePrinter::Fmt(t_direct / reps * 1e3, 3)});
+                         TablePrinter::Fmt(t_direct / overhead_block * 1e3, 3)});
   overhead_table.AddRow({"service", TablePrinter::Fmt(t_service),
-                         TablePrinter::Fmt(t_service / reps * 1e3, 3)});
+                         TablePrinter::Fmt(t_service / overhead_block * 1e3, 3)});
   overhead_table.Print(std::cout, "Single-client overhead");
   std::cout << "Service overhead: " << TablePrinter::Fmt(overhead_pct, 2)
             << "% (acceptance < 5%)\n\n";

@@ -156,6 +156,7 @@ LiteSystem::Recommendation LiteSystem::Recommend(
   ctx.acg = &acg_;
   ctx.num_candidates = options_.num_candidates;
   ctx.seed = options_.seed;
+  ctx.sla_deadline_seconds = options_.sla_deadline_seconds;
   return serve::RunRecommendPipeline(
       ctx, app, data, env, [&](const std::vector<spark::Config>& candidates) {
         return ScoreCandidates(app, data, env, candidates);

@@ -11,6 +11,7 @@
 #ifndef LITE_LITE_LITE_SYSTEM_H_
 #define LITE_LITE_LITE_SYSTEM_H_
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +57,12 @@ struct LiteOptions {
   /// runs instead — same ranking bit for bit, only slower (kept for the
   /// equivalence tests and the bench_batch_scoring comparison).
   bool batched_scoring = true;
+  /// SLA deadline on predicted runtime, threaded into the recommend
+  /// pipeline: finite values filter candidates predicted slower than the
+  /// deadline before argmin (falling back to the plain argmin when nothing
+  /// qualifies). Infinity (the default) is bitwise inert. The TuningService
+  /// carries per-tenant deadlines instead (serve/guardrail.h).
+  double sla_deadline_seconds = std::numeric_limits<double>::infinity();
   uint64_t seed = 41;
 };
 

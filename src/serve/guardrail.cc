@@ -1,0 +1,501 @@
+#include "serve/guardrail.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace lite::serve {
+
+namespace {
+// Guardrail observability (docs/GUARDRAILS.md lists the catalog). Same
+// sharded-atomic, never-perturbs-results contract as every other series:
+// the guardrail's *decisions* depend only on its own deterministic state,
+// never on metric values.
+struct GuardMetrics {
+  obs::Counter* admitted;
+  obs::Counter* observations;
+  obs::Counter* trips;
+  obs::Counter* recoveries;
+  obs::Counter* incumbent_served;
+  obs::Counter* probes;
+  obs::Counter* exploration_suppressed;
+  obs::Counter* incumbent_updates;
+  obs::Gauge* quarantined_tenants;
+  obs::Gauge* probing_tenants;
+
+  static const GuardMetrics& Get() {
+    static const GuardMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new GuardMetrics{
+          reg.GetCounter("serve_guardrail_admitted_total"),
+          reg.GetCounter("serve_guardrail_observations_total"),
+          reg.GetCounter("serve_guardrail_trips_total"),
+          reg.GetCounter("serve_guardrail_recoveries_total"),
+          reg.GetCounter("serve_guardrail_incumbent_served_total"),
+          reg.GetCounter("serve_guardrail_probes_total"),
+          reg.GetCounter("serve_guardrail_exploration_suppressed_total"),
+          reg.GetCounter("serve_guardrail_incumbent_updates_total"),
+          reg.GetGauge("serve_guardrail_quarantined_tenants"),
+          reg.GetGauge("serve_guardrail_probing_tenants"),
+      };
+    }();
+    return *m;
+  }
+};
+
+// Per-transition labeled series: serve_guardrail_transitions_total{to=...}.
+// Registration is once per label value (three states), updates lock-free.
+obs::Counter* TransitionCounter(BreakerState to) {
+  static obs::Counter* counters[3] = {
+      obs::MetricsRegistry::Global().GetCounter(
+          "serve_guardrail_transitions_total{to=\"closed\"}"),
+      obs::MetricsRegistry::Global().GetCounter(
+          "serve_guardrail_transitions_total{to=\"quarantined\"}"),
+      obs::MetricsRegistry::Global().GetCounter(
+          "serve_guardrail_transitions_total{to=\"probing\"}"),
+  };
+  return counters[static_cast<size_t>(to)];
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kQuarantined:
+      return "quarantined";
+    case BreakerState::kProbing:
+      return "probing";
+  }
+  return "unknown";
+}
+
+std::string ValidateGuardrailOptions(const GuardrailOptions& o) {
+  if (std::isnan(o.failure_rate_threshold) || o.failure_rate_threshold < 0.0 ||
+      o.failure_rate_threshold > 1.0) {
+    return "guardrail.failure_rate_threshold must be in [0, 1] and not NaN";
+  }
+  if (std::isnan(o.regression_ratio_threshold) ||
+      o.regression_ratio_threshold < 1.0) {
+    return "guardrail.regression_ratio_threshold must be >= 1 and not NaN";
+  }
+  if (std::isnan(o.importance_keep_fraction) ||
+      o.importance_keep_fraction <= 0.0 || o.importance_keep_fraction > 1.0) {
+    return "guardrail.importance_keep_fraction must be in (0, 1] and not NaN";
+  }
+  if (!o.enabled) return "";  // inert: structural knobs are never consulted.
+  if (o.window == 0) return "guardrail.window must be > 0 when enabled";
+  if (o.min_observations == 0) {
+    return "guardrail.min_observations must be > 0 when enabled";
+  }
+  if (o.min_observations > o.window) {
+    return "guardrail.min_observations must not exceed guardrail.window";
+  }
+  if (o.quarantine_cooldown == 0) {
+    return "guardrail.quarantine_cooldown must be > 0 when enabled";
+  }
+  if (o.probe_interval == 0) {
+    return "guardrail.probe_interval must be > 0 when enabled";
+  }
+  if (o.probes_to_close == 0) {
+    return "guardrail.probes_to_close must be > 0 when enabled";
+  }
+  if (o.prune_knobs && o.importance_sample < 8) {
+    return "guardrail.importance_sample must be >= 8 when prune_knobs is on";
+  }
+  return "";
+}
+
+std::string ValidateTenantPolicy(const TenantPolicy& p) {
+  if (std::isnan(p.sla_deadline_seconds) || p.sla_deadline_seconds <= 0.0) {
+    return "policy.sla_deadline_seconds must be > 0 and not NaN";
+  }
+  if (std::isnan(p.exploration_fraction) || p.exploration_fraction < 0.0 ||
+      p.exploration_fraction > 1.0) {
+    return "policy.exploration_fraction must be in [0, 1] and not NaN";
+  }
+  return "";
+}
+
+std::vector<double> ComputeKnobImportance(
+    const std::vector<spark::Config>& candidates,
+    const std::vector<double>& scores) {
+  const size_t num_knobs = spark::kNumKnobs;
+  std::vector<double> importance(num_knobs, 0.0);
+  // Collect the scored subset once: importance is about how the *model's*
+  // prediction moves with each knob, so unscored candidates carry nothing.
+  std::vector<size_t> scored;
+  for (size_t i = 0; i < candidates.size() && i < scores.size(); ++i) {
+    if (std::isfinite(scores[i]) && candidates[i].size() == num_knobs) {
+      scored.push_back(i);
+    }
+  }
+  if (scored.size() < 8) return importance;
+
+  constexpr size_t kBins = 4;
+  double max_importance = 0.0;
+  for (size_t k = 0; k < num_knobs; ++k) {
+    // Sort candidate indices by this knob's value and split into equal-count
+    // quantile bins; the knob matters iff the per-bin mean log-scores vary.
+    std::vector<size_t> order = scored;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return candidates[a][k] < candidates[b][k];
+    });
+    if (candidates[order.front()][k] == candidates[order.back()][k]) {
+      continue;  // knob never varies in this pool: importance 0.
+    }
+    std::vector<double> bin_means;
+    const size_t per_bin = order.size() / kBins;
+    for (size_t b = 0; b < kBins; ++b) {
+      const size_t lo = b * per_bin;
+      const size_t hi = (b + 1 == kBins) ? order.size() : (b + 1) * per_bin;
+      if (lo >= hi) continue;
+      double sum = 0.0;
+      for (size_t i = lo; i < hi; ++i) {
+        sum += std::log1p(std::max(scores[order[i]], 0.0));
+      }
+      bin_means.push_back(sum / static_cast<double>(hi - lo));
+    }
+    if (bin_means.size() < 2) continue;
+    const double mean =
+        std::accumulate(bin_means.begin(), bin_means.end(), 0.0) /
+        static_cast<double>(bin_means.size());
+    double var = 0.0;
+    for (double m : bin_means) var += (m - mean) * (m - mean);
+    var /= static_cast<double>(bin_means.size());
+    importance[k] = var;
+    max_importance = std::max(max_importance, var);
+  }
+  if (max_importance > 0.0) {
+    for (double& v : importance) v /= max_importance;
+  }
+  return importance;
+}
+
+std::vector<size_t> TopImportanceKnobs(const std::vector<double>& importance,
+                                       double keep_fraction) {
+  std::vector<size_t> order(importance.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (keep_fraction >= 1.0) return order;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return importance[a] > importance[b];  // stable: ties keep lower index.
+  });
+  const size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(keep_fraction * static_cast<double>(importance.size()))));
+  order.resize(std::min(keep, order.size()));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+Guardrail::Guardrail(GuardrailOptions options) : options_(options) {
+  std::string err = ValidateGuardrailOptions(options_);
+  LITE_CHECK(err.empty()) << "Guardrail: " << err;
+}
+
+Guardrail::Tenant& Guardrail::TenantRef(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    Tenant t;
+    t.explore_rng = Rng(options_.seed ^ std::hash<std::string>{}(name));
+    it = tenants_.emplace(name, std::move(t)).first;
+  }
+  return it->second;
+}
+
+void Guardrail::Transition(const std::string& name, Tenant* t, BreakerState to,
+                           const std::string& reason) {
+  const BreakerState from = t->state;
+  if (from == to) return;
+  t->state = to;
+  log_.push_back(GuardTransition{static_cast<uint64_t>(log_.size()), name,
+                                 from, to, reason});
+  TransitionCounter(to)->Inc();
+  if (to == BreakerState::kQuarantined) {
+    ++stats_.trips;
+    GuardMetrics::Get().trips->Inc();
+  } else if (to == BreakerState::kClosed && from == BreakerState::kProbing) {
+    ++stats_.recoveries;
+    GuardMetrics::Get().recoveries->Inc();
+  }
+  size_t quarantined = 0, probing = 0;
+  for (const auto& [tn, ts] : tenants_) {
+    if (ts.state == BreakerState::kQuarantined) ++quarantined;
+    if (ts.state == BreakerState::kProbing) ++probing;
+  }
+  GuardMetrics::Get().quarantined_tenants->Set(
+      static_cast<double>(quarantined));
+  GuardMetrics::Get().probing_tenants->Set(static_cast<double>(probing));
+  // Per-tenant labeled state series (0=closed, 1=quarantined, 2=probing).
+  // Registration happens at most once per tenant per state change — rare.
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve_guardrail_state{tenant=\"" + name + "\"}")
+      ->Set(static_cast<double>(static_cast<int>(to)));
+  LITE_INFO << "guardrail[" << name << "]: " << BreakerStateName(from)
+            << " -> " << BreakerStateName(to) << " (" << reason << ")";
+}
+
+bool Guardrail::WindowStable(const Tenant& t) const {
+  return t.state == BreakerState::kClosed && t.has_incumbent &&
+         t.window.size() >= options_.window;
+}
+
+void Guardrail::SetTenantPolicy(const std::string& tenant,
+                                TenantPolicy policy) {
+  std::string err = ValidateTenantPolicy(policy);
+  if (!err.empty()) throw std::invalid_argument("Guardrail: " + err);
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantRef(tenant).policy = policy;
+}
+
+TenantPolicy Guardrail::PolicyOf(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? TenantPolicy{} : it->second.policy;
+}
+
+GuardDecision Guardrail::Admit(const std::string& tenant) {
+  const GuardMetrics& metrics = GuardMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = TenantRef(tenant);
+  ++stats_.admitted;
+  metrics.admitted->Inc();
+
+  GuardDecision d;
+  d.policy = t.policy;
+  d.has_incumbent = t.has_incumbent;
+  if (t.has_incumbent) {
+    d.incumbent = t.incumbent;
+    d.incumbent_seconds = t.incumbent_seconds;
+  }
+
+  switch (t.state) {
+    case BreakerState::kClosed:
+      // Exploration budget: once a baseline exists, only the budgeted
+      // fraction of requests explores the model; the rest exploit the
+      // incumbent. The per-tenant RNG makes the schedule deterministic for
+      // a fixed seed and request order. fraction == 1.0 draws nothing, so
+      // the default policy is bitwise transparent.
+      if (t.has_incumbent && t.policy.exploration_fraction < 1.0 &&
+          t.explore_rng.Uniform() >= t.policy.exploration_fraction) {
+        d.use_model = false;
+        ++stats_.exploration_suppressed;
+        metrics.exploration_suppressed->Inc();
+      }
+      break;
+    case BreakerState::kQuarantined:
+      if (t.has_incumbent) {
+        d.use_model = false;
+        ++t.quarantine_served;
+        if (t.quarantine_served >= options_.quarantine_cooldown) {
+          t.probe_tick = 0;
+          t.healthy_probes = 0;
+          t.probes_outstanding = 0;
+          Transition(tenant, &t, BreakerState::kProbing, "cooldown elapsed");
+        }
+      }
+      // A quarantined tenant without an incumbent (possible only if the
+      // breaker was tripped manually) has nothing to fall back to: serve
+      // the model rather than nothing.
+      break;
+    case BreakerState::kProbing:
+      ++t.probe_tick;
+      if (t.probe_tick % options_.probe_interval == 0) {
+        d.probe = true;  // budgeted model probe.
+        ++t.probes_outstanding;
+        ++stats_.probes;
+        metrics.probes->Inc();
+      } else if (t.has_incumbent) {
+        d.use_model = false;
+      }
+      break;
+  }
+  d.state = t.state;
+  d.stable = WindowStable(t);
+  if (!d.use_model) {
+    ++stats_.incumbent_served;
+    metrics.incumbent_served->Inc();
+  }
+  return d;
+}
+
+void Guardrail::Observe(const std::string& tenant, const spark::Config& config,
+                        double observed_seconds, bool failed, bool censored) {
+  const GuardMetrics& metrics = GuardMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& t = TenantRef(tenant);
+  ++stats_.observations;
+  metrics.observations->Inc();
+
+  const bool bad = failed || censored;
+  // Probe classification must look at the incumbent *as of serving time*:
+  // a successful probe may become the new incumbent just below, and it must
+  // still count as probe feedback afterwards — a probe that beats the
+  // baseline is the strongest health evidence there is.
+  const bool matches_incumbent = t.has_incumbent && config == t.incumbent;
+  // Incumbent tracking: only honest, uncensored measurements may become the
+  // baseline (a censored cap value would make the fallback a config we have
+  // never actually seen finish).
+  if (!bad && std::isfinite(observed_seconds) &&
+      observed_seconds < t.incumbent_seconds) {
+    t.has_incumbent = true;
+    t.incumbent = config;
+    t.incumbent_seconds = observed_seconds;
+    metrics.incumbent_updates->Inc();
+  }
+
+  Observation obs;
+  obs.bad = bad;
+  obs.ratio = (!bad && t.has_incumbent && t.incumbent_seconds > 0.0)
+                  ? observed_seconds / t.incumbent_seconds
+                  : 1.0;
+  t.window.push_back(obs);
+  while (t.window.size() > options_.window) t.window.pop_front();
+
+  switch (t.state) {
+    case BreakerState::kClosed: {
+      if (!t.has_incumbent || t.window.size() < options_.min_observations) {
+        break;  // nothing to fall back to, or not enough evidence.
+      }
+      size_t bad_count = 0, good_count = 0;
+      double ratio_sum = 0.0;
+      for (const Observation& o : t.window) {
+        if (o.bad) {
+          ++bad_count;
+        } else {
+          ++good_count;
+          ratio_sum += o.ratio;
+        }
+      }
+      const double bad_frac =
+          static_cast<double>(bad_count) / static_cast<double>(t.window.size());
+      const double mean_ratio =
+          good_count > 0 ? ratio_sum / static_cast<double>(good_count) : 1.0;
+      if (bad_frac >= options_.failure_rate_threshold) {
+        t.window.clear();
+        t.quarantine_served = 0;
+        t.healthy_probes = 0;
+        Transition(tenant, &t, BreakerState::kQuarantined,
+                   "failure/censoring rate " + std::to_string(bad_frac));
+      } else if (good_count > 0 &&
+                 mean_ratio >= options_.regression_ratio_threshold) {
+        t.window.clear();
+        t.quarantine_served = 0;
+        t.healthy_probes = 0;
+        Transition(tenant, &t, BreakerState::kQuarantined,
+                   "runtime regression ratio " + std::to_string(mean_ratio));
+      }
+      break;
+    }
+    case BreakerState::kQuarantined:
+      // Only incumbent feedback flows here; transitions happen on the
+      // admission side (cooldown).
+      break;
+    case BreakerState::kProbing: {
+      // Probe feedback is feedback about a config the *model* chose: any
+      // non-incumbent config (pre-update view; see matches_incumbent above),
+      // or incumbent-matching feedback while a probe decision is still
+      // unmatched — a converged model legitimately probes with the incumbent
+      // config itself, and swallowing that feedback would strand the tenant
+      // in PROBING forever.
+      if (matches_incumbent && t.probes_outstanding == 0) break;
+      if (t.probes_outstanding > 0) --t.probes_outstanding;
+      if (bad || (t.has_incumbent && t.incumbent_seconds > 0.0 &&
+                  observed_seconds / t.incumbent_seconds >=
+                      options_.regression_ratio_threshold)) {
+        t.window.clear();
+        t.quarantine_served = 0;
+        t.healthy_probes = 0;
+        Transition(tenant, &t, BreakerState::kQuarantined,
+                   bad ? "probe failed/censored" : "probe regressed");
+      } else {
+        ++t.healthy_probes;
+        if (t.healthy_probes >= options_.probes_to_close) {
+          t.window.clear();
+          Transition(tenant, &t, BreakerState::kClosed,
+                     std::to_string(t.healthy_probes) + " healthy probes");
+        }
+      }
+      break;
+    }
+  }
+}
+
+BreakerState Guardrail::StateOf(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+bool Guardrail::HasIncumbent(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() && it->second.has_incumbent;
+}
+
+spark::Config Guardrail::IncumbentOf(const std::string& tenant,
+                                     double* seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || !it->second.has_incumbent) {
+    if (seconds != nullptr) {
+      *seconds = std::numeric_limits<double>::infinity();
+    }
+    return {};
+  }
+  if (seconds != nullptr) *seconds = it->second.incumbent_seconds;
+  return it->second.incumbent;
+}
+
+std::vector<GuardTransition> Guardrail::TransitionLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+Guardrail::Stats Guardrail::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t Guardrail::TenantsIn(BreakerState state) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [name, t] : tenants_) {
+    if (t.state == state) ++n;
+  }
+  return n;
+}
+
+std::shared_ptr<const std::vector<double>> Guardrail::ImportanceFor(
+    const std::string& family, uint64_t generation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = importance_.find(family);
+  if (it == importance_.end() || it->second.generation != generation) {
+    return nullptr;
+  }
+  return it->second.importance;
+}
+
+void Guardrail::StoreImportance(const std::string& family, uint64_t generation,
+                                std::vector<double> importance) {
+  auto shared = std::make_shared<const std::vector<double>>(
+      std::move(importance));
+  std::lock_guard<std::mutex> lock(mu_);
+  importance_[family] = ImportanceEntry{generation, std::move(shared)};
+  obs::MetricsRegistry::Global()
+      .GetCounter("serve_guardrail_importance_computed_total")
+      ->Inc();
+}
+
+uint64_t Guardrail::ImportanceSeed(const std::string& family) const {
+  return options_.seed ^ std::hash<std::string>{}(family);
+}
+
+}  // namespace lite::serve

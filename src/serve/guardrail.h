@@ -1,0 +1,273 @@
+// Guardrail: the safety layer between TuningService and the recommend
+// pipeline for online tuning under live traffic. PR 5's service happily
+// keeps serving a model that has gone bad — a few poisoned adaptive
+// updates, or a burst of failed/censored feedback, and every tenant eats
+// the regression until a human notices. The guardrail closes that loop
+// with three mechanisms (arXiv 2309.01901's safety envelope, LOCAT's
+// search-space pruning):
+//
+//   * Per-tenant incumbent tracking. The best configuration with observed
+//     (non-censored, non-failed) feedback becomes the tenant's baseline;
+//     it is the config the tenant falls back to when the model is not
+//     trusted, and the reference every regression ratio is measured
+//     against.
+//   * A sliding-window regression detector driving a per-tenant circuit
+//     breaker:
+//
+//         CLOSED ── detector trips ──> QUARANTINED ── cooldown ──> PROBING
+//            ^                              ^                         │
+//            └── probes_to_close healthy ───┼───── bad probe ─────────┘
+//                probe feedbacks            │
+//
+//     The detector trips when, over the last `window` feedback
+//     observations, the failed+censored fraction reaches
+//     `failure_rate_threshold`, or the mean runtime-vs-incumbent ratio of
+//     the healthy observations reaches `regression_ratio_threshold`.
+//     While QUARANTINED the tenant is served its incumbent config
+//     verbatim — zero model evaluations. After `quarantine_cooldown`
+//     incumbent-served requests the breaker half-opens into PROBING,
+//     where every `probe_interval`-th request probes the model and the
+//     rest still get the incumbent; `probes_to_close` consecutive healthy
+//     probe feedbacks close the breaker, one bad probe re-quarantines.
+//   * Per-tenant exploration budgets and SLA deadlines (TenantPolicy).
+//     The deadline is threaded into RunRecommendPipeline so candidates
+//     whose predicted runtime violates it are filtered before argmin; the
+//     exploration budget caps the fraction of requests allowed to explore
+//     model recommendations once an incumbent exists.
+//
+// Plus knob-importance pruning per application family: variance-based
+// importance computed from ensemble candidate scores (ComputeKnobImportance)
+// lets stable tenants pin unimportant knobs to their incumbent's values,
+// collapsing the candidate pool before scoring.
+//
+// Determinism contract: every decision is a pure function of
+// (options.seed, tenant name, request order, feedback stream). Same seed +
+// same stream => identical transition log (tests/guardrail_test.cc replays
+// it via LITE_TEST_SEED). A default-constructed GuardrailOptions is
+// disabled; an *enabled* guardrail that never trips and has default
+// policies is transparent: bit-identical recommendations to guardrails-off
+// (the `guardrail_transparency` differential in src/testkit/diff.h).
+//
+// Thread safety: all public methods are safe to call concurrently; state
+// is guarded by one internal mutex (guardrail work is bookkeeping —
+// microseconds against millisecond model evaluations).
+//
+// See docs/GUARDRAILS.md for the operator's guide and metric reference.
+#ifndef LITE_SERVE_GUARDRAIL_H_
+#define LITE_SERVE_GUARDRAIL_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sparksim/knob.h"
+#include "util/rng.h"
+
+namespace lite::serve {
+
+enum class BreakerState { kClosed = 0, kQuarantined = 1, kProbing = 2 };
+
+/// "closed" / "quarantined" / "probing" (metric label values).
+const char* BreakerStateName(BreakerState state);
+
+/// Per-tenant serving contract. Defaults are fully permissive (no
+/// deadline, unlimited exploration) and therefore transparent.
+struct TenantPolicy {
+  /// SLA deadline on *predicted* runtime: candidates scoring above it are
+  /// filtered before argmin (falling back to the plain argmin when no
+  /// candidate qualifies — see RunRecommendPipeline). Infinity = no SLA.
+  double sla_deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Fraction of requests allowed to explore model recommendations once an
+  /// incumbent exists; the rest are served the incumbent verbatim. 1.0 =
+  /// always explore (transparent), 0.0 = incumbent-only serving.
+  double exploration_fraction = 1.0;
+};
+
+struct GuardrailOptions {
+  /// Master switch. Disabled (the default) means the TuningService never
+  /// consults the guardrail at all — the PR 5 serving path, bit for bit.
+  bool enabled = false;
+  /// Sliding feedback window per tenant (observations).
+  size_t window = 32;
+  /// Observations required before the detector may trip.
+  size_t min_observations = 8;
+  /// Failed+censored fraction of the window that trips the breaker.
+  double failure_rate_threshold = 0.5;
+  /// Mean healthy-runtime / incumbent-runtime ratio that trips the breaker.
+  double regression_ratio_threshold = 2.0;
+  /// Incumbent-served requests in QUARANTINED before half-opening.
+  size_t quarantine_cooldown = 8;
+  /// In PROBING, every `probe_interval`-th request probes the model.
+  size_t probe_interval = 4;
+  /// Consecutive healthy probe feedbacks that close the breaker.
+  size_t probes_to_close = 3;
+  /// Knob-importance pruning for stable tenants (CLOSED, incumbent known,
+  /// full window): pin the least important knobs to the incumbent's values.
+  bool prune_knobs = false;
+  /// Fraction of knobs (by importance rank) left free when pruning.
+  double importance_keep_fraction = 0.5;
+  /// Candidates sampled (with a seed derived from `seed` and the family
+  /// name) to estimate knob importance, once per (family, snapshot).
+  size_t importance_sample = 64;
+  /// Master seed: per-tenant exploration streams are seed ^ hash(tenant),
+  /// importance sampling streams are seed ^ hash(family).
+  uint64_t seed = 41;
+};
+
+/// Validates option ranges (NaN thresholds, zero windows/intervals, budget
+/// fractions outside [0,1]). Empty string = valid.
+std::string ValidateGuardrailOptions(const GuardrailOptions& options);
+std::string ValidateTenantPolicy(const TenantPolicy& policy);
+
+/// What the guardrail decided for one admitted request.
+struct GuardDecision {
+  /// False: serve `incumbent` verbatim, do not touch the model.
+  bool use_model = true;
+  /// True when this model call is a half-open probe (PROBING state).
+  bool probe = false;
+  bool has_incumbent = false;
+  spark::Config incumbent;          ///< valid when has_incumbent.
+  double incumbent_seconds =
+      std::numeric_limits<double>::infinity();  ///< best observed runtime.
+  BreakerState state = BreakerState::kClosed;
+  TenantPolicy policy;              ///< the tenant's policy, for the pipeline.
+  /// Tenant is CLOSED with an incumbent and a full window — eligible for
+  /// knob-importance pruning.
+  bool stable = false;
+};
+
+/// One breaker transition, in global order. The log is the determinism
+/// witness: same seed + same feedback stream => identical log.
+struct GuardTransition {
+  uint64_t seq = 0;
+  std::string tenant;
+  BreakerState from = BreakerState::kClosed;
+  BreakerState to = BreakerState::kClosed;
+  std::string reason;
+};
+
+/// Variance-based per-knob importance from ensemble candidate scores
+/// (LOCAT's spirit, without extra executions): for each knob, candidates
+/// are split into quantile bins by knob value and the importance is the
+/// variance of per-bin mean log-scores, normalized so the most important
+/// knob scores 1. Knobs the model is insensitive to score ~0. Candidates
+/// with non-finite scores are ignored; returns all-zeros when fewer than 8
+/// scored candidates remain.
+std::vector<double> ComputeKnobImportance(
+    const std::vector<spark::Config>& candidates,
+    const std::vector<double>& scores);
+
+/// Indices of the `ceil(keep_fraction * n)` most important knobs (ties
+/// broken toward the lower index), ascending. keep_fraction >= 1 keeps all.
+std::vector<size_t> TopImportanceKnobs(const std::vector<double>& importance,
+                                       double keep_fraction);
+
+class Guardrail {
+ public:
+  explicit Guardrail(GuardrailOptions options);
+
+  const GuardrailOptions& options() const { return options_; }
+
+  /// Installs (or replaces) a tenant's policy. Throws std::invalid_argument
+  /// on NaN deadlines or budgets outside [0,1].
+  void SetTenantPolicy(const std::string& tenant, TenantPolicy policy);
+  TenantPolicy PolicyOf(const std::string& tenant) const;
+
+  /// Serving decision for the tenant's next request. Mutates per-tenant
+  /// counters (request sequence, probe cadence, cooldown) — call exactly
+  /// once per admitted request.
+  GuardDecision Admit(const std::string& tenant);
+
+  /// Ingests one observed run for the tenant. `observed_seconds` is the
+  /// run's total (or capped) runtime; `failed`/`censored` mark it bad.
+  /// Healthy observations update the incumbent; every observation feeds
+  /// the sliding-window detector; in PROBING, observations of non-incumbent
+  /// configs are probe feedback (healthy ones count toward closing, a bad
+  /// one re-quarantines).
+  void Observe(const std::string& tenant, const spark::Config& config,
+               double observed_seconds, bool failed, bool censored);
+
+  BreakerState StateOf(const std::string& tenant) const;
+  bool HasIncumbent(const std::string& tenant) const;
+  /// The incumbent config (empty when none) and its observed runtime.
+  spark::Config IncumbentOf(const std::string& tenant,
+                            double* seconds = nullptr) const;
+
+  /// Full transition history, in global publication order.
+  std::vector<GuardTransition> TransitionLog() const;
+
+  struct Stats {
+    uint64_t admitted = 0;             ///< Admit() calls.
+    uint64_t observations = 0;         ///< Observe() calls.
+    uint64_t trips = 0;                ///< -> QUARANTINED transitions.
+    uint64_t recoveries = 0;           ///< PROBING -> CLOSED transitions.
+    uint64_t incumbent_served = 0;     ///< decisions with use_model=false.
+    uint64_t probes = 0;               ///< half-open probe decisions.
+    uint64_t exploration_suppressed = 0;  ///< budget-capped requests.
+  };
+  Stats stats() const;
+
+  /// Number of tenants currently in `state`.
+  size_t TenantsIn(BreakerState state) const;
+
+  /// Cached knob-importance vector for an application family under snapshot
+  /// `generation`, nullptr when not yet computed (the caller scores a
+  /// sample and calls StoreImportance). A new generation invalidates every
+  /// family's cache entry — a swapped-in model may care about different
+  /// knobs.
+  std::shared_ptr<const std::vector<double>> ImportanceFor(
+      const std::string& family, uint64_t generation) const;
+  void StoreImportance(const std::string& family, uint64_t generation,
+                       std::vector<double> importance);
+  /// Deterministic stream for sampling the family's importance candidates.
+  uint64_t ImportanceSeed(const std::string& family) const;
+
+ private:
+  struct Observation {
+    bool bad = false;      ///< failed or censored.
+    double ratio = 1.0;    ///< observed / incumbent seconds (healthy only).
+  };
+
+  struct Tenant {
+    BreakerState state = BreakerState::kClosed;
+    TenantPolicy policy;
+    bool has_incumbent = false;
+    spark::Config incumbent;
+    double incumbent_seconds = std::numeric_limits<double>::infinity();
+    std::deque<Observation> window;
+    Rng explore_rng{0};
+    size_t quarantine_served = 0;  ///< incumbent serves since quarantining.
+    size_t probe_tick = 0;         ///< request cadence inside PROBING.
+    size_t healthy_probes = 0;     ///< consecutive healthy probe feedbacks.
+    /// Probe decisions issued but not yet matched to feedback. Identifies
+    /// probe feedback even when the model's probe recommendation coincides
+    /// with the incumbent config (the config-inequality heuristic alone
+    /// would swallow it and strand the tenant in PROBING).
+    size_t probes_outstanding = 0;
+  };
+
+  Tenant& TenantRef(const std::string& name);  // creates on first use.
+  void Transition(const std::string& name, Tenant* t, BreakerState to,
+                  const std::string& reason);
+  bool WindowStable(const Tenant& t) const;
+
+  GuardrailOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Tenant> tenants_;
+  std::vector<GuardTransition> log_;
+  Stats stats_;
+  struct ImportanceEntry {
+    uint64_t generation = 0;
+    std::shared_ptr<const std::vector<double>> importance;
+  };
+  std::map<std::string, ImportanceEntry> importance_;
+};
+
+}  // namespace lite::serve
+
+#endif  // LITE_SERVE_GUARDRAIL_H_

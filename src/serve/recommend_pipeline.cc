@@ -7,6 +7,7 @@
 #include "lite/features.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/guardrail.h"
 #include "util/logging.h"
 
 namespace lite::serve {
@@ -21,6 +22,9 @@ struct PipelineMetrics {
   obs::Counter* candidates_evaluated;
   obs::Counter* nonfinite_scores;
   obs::Counter* feedback_bad_stage;
+  obs::Counter* sla_filtered;
+  obs::Counter* sla_infeasible;
+  obs::Counter* candidates_pinned;
   obs::Histogram* recommend_seconds;
 
   static const PipelineMetrics& Get() {
@@ -31,6 +35,9 @@ struct PipelineMetrics {
           reg.GetCounter("lite_candidates_evaluated_total"),
           reg.GetCounter("lite_recommend_nonfinite_scores_total"),
           reg.GetCounter("lite_feedback_bad_stage_total"),
+          reg.GetCounter("lite_sla_filtered_candidates_total"),
+          reg.GetCounter("lite_sla_infeasible_total"),
+          reg.GetCounter("lite_candidates_pinned_total"),
           reg.GetHistogram("lite_recommend_seconds"),
       };
     }();
@@ -91,8 +98,30 @@ LiteSystem::Recommendation RunRecommendPipeline(
   // NECS is trained on small-data instances where frugal defaults are
   // near-optimal, so at large scale it would misrank the default ahead of
   // the region's configurations — the region is the scale-migration device.
-  std::vector<spark::Config> candidates = DedupeConfigs(
-      ctx.acg->SampleCandidates(app, data, env, ctx.num_candidates, &rng));
+  std::vector<spark::Config> sampled =
+      ctx.acg->SampleCandidates(app, data, env, ctx.num_candidates, &rng);
+  // Knob-importance pruning: pin every low-importance knob to the reference
+  // (the tenant's incumbent), so the subsequent dedupe collapses candidates
+  // that differ only in knobs the model is insensitive to. Scoring cost
+  // shrinks with the pool; the knobs that matter still vary freely.
+  if (ctx.knob_importance != nullptr && ctx.pin_reference != nullptr &&
+      ctx.importance_keep_fraction < 1.0 &&
+      ctx.pin_reference->size() == spark::kNumKnobs) {
+    const std::vector<size_t> free_knobs =
+        TopImportanceKnobs(*ctx.knob_importance, ctx.importance_keep_fraction);
+    std::vector<bool> keep_free(spark::kNumKnobs, false);
+    for (size_t k : free_knobs) {
+      if (k < keep_free.size()) keep_free[k] = true;
+    }
+    for (spark::Config& c : sampled) {
+      if (c.size() != spark::kNumKnobs) continue;
+      for (size_t k = 0; k < spark::kNumKnobs; ++k) {
+        if (!keep_free[k]) c[k] = (*ctx.pin_reference)[k];
+      }
+    }
+    metrics.candidates_pinned->Inc(sampled.size());
+  }
+  std::vector<spark::Config> candidates = DedupeConfigs(std::move(sampled));
   // Resource-manager pre-check: drop configurations the cluster cannot even
   // schedule (static, no execution involved). Keep the raw set if the
   // filter would empty it.
@@ -108,15 +137,34 @@ LiteSystem::Recommendation RunRecommendPipeline(
   LITE_CHECK(scores.size() == candidates.size())
       << "score callback returned " << scores.size() << " scores for "
       << candidates.size() << " candidates";
+  // SLA-aware argmin: candidates whose predicted runtime violates the
+  // tenant's deadline are filtered before argmin; the plain argmin result
+  // is kept as the fallback when no candidate meets the deadline (an SLA
+  // must never leave the tenant with nothing to run). With the default
+  // infinite deadline the filter never fires and this is the PR 5 argmin
+  // bit for bit.
+  const double deadline = ctx.sla_deadline_seconds;
+  const bool sla_active = std::isfinite(deadline);
   LiteSystem::Recommendation best;
   best.predicted_seconds = std::numeric_limits<double>::infinity();
+  double best_overall = std::numeric_limits<double>::infinity();
+  size_t best_overall_index = candidates.size();
   size_t nonfinite = 0;
+  size_t sla_filtered = 0;
   size_t best_index = candidates.size();
   for (size_t i = 0; i < candidates.size(); ++i) {
     // A NaN score fails every `<`, so without this guard an all-NaN (or
     // leading-NaN) vector silently wins with a default-constructed Config.
     if (!std::isfinite(scores[i])) {
       ++nonfinite;
+      continue;
+    }
+    if (scores[i] < best_overall) {
+      best_overall = scores[i];
+      best_overall_index = i;
+    }
+    if (sla_active && scores[i] > deadline) {
+      ++sla_filtered;
       continue;
     }
     if (scores[i] < best.predicted_seconds) {
@@ -126,6 +174,18 @@ LiteSystem::Recommendation RunRecommendPipeline(
     }
   }
   if (nonfinite > 0) metrics.nonfinite_scores->Inc(nonfinite);
+  if (sla_filtered > 0) metrics.sla_filtered->Inc(sla_filtered);
+  if (best_index == candidates.size() && best_overall_index < candidates.size()) {
+    // Every finite-scored candidate violated the deadline: fall back to the
+    // fastest predicted candidate and record the infeasible SLA.
+    LITE_WARN << "recommend(" << app.name << "): no candidate meets the "
+              << deadline << "s SLA deadline (best predicted "
+              << best_overall << "s); serving the fastest candidate";
+    metrics.sla_infeasible->Inc();
+    best.predicted_seconds = best_overall;
+    best.config = candidates[best_overall_index];
+    best_index = best_overall_index;
+  }
   if (best_index == candidates.size() && !candidates.empty()) {
     LITE_WARN << "recommend(" << app.name << "): all " << candidates.size()
               << " candidate scores non-finite; falling back to the first "

@@ -25,6 +25,7 @@
 #define LITE_SERVE_RECOMMEND_PIPELINE_H_
 
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "lite/lite_system.h"
@@ -59,6 +60,25 @@ struct PipelineContext {
   /// Base seed; the per-request RNG is seed ^ hash(app.name), so identical
   /// (seed, app) pairs draw identical candidate streams on every path.
   uint64_t seed = 41;
+
+  // --- Guardrail extensions (serve/guardrail.h). All defaults are inert:
+  // --- a default-constructed context is bit-identical to the PR 5 pipeline.
+
+  /// SLA deadline on predicted runtime: finite values make the argmin skip
+  /// candidates whose score exceeds the deadline (counted in
+  /// lite_sla_filtered_candidates_total). When no candidate qualifies, the
+  /// plain argmin result is returned and lite_sla_infeasible_total counts
+  /// the miss — an SLA must never leave the tenant with nothing.
+  double sla_deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Knob-importance pruning (LOCAT-style): when all three fields are set,
+  /// every sampled candidate's knobs *outside* the top
+  /// `importance_keep_fraction` fraction (by importance rank) are pinned to
+  /// `pin_reference`'s values before dedupe, collapsing the pool to
+  /// variations of the knobs the model actually cares about. Both pointers
+  /// must outlive the call.
+  const std::vector<double>* knob_importance = nullptr;
+  double importance_keep_fraction = 1.0;
+  const spark::Config* pin_reference = nullptr;
 };
 
 /// Scoring callback: maps the filtered candidate set to predicted seconds

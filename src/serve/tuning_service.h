@@ -25,11 +25,17 @@
 //   * Off-path adaptive updates: feedback batches fine-tune a *clone* of
 //     the current snapshot on a pool worker and hot-swap it in when done —
 //     serving never blocks on model updates.
+//   * An optional guardrail (serve/guardrail.h): per-tenant incumbent
+//     fallbacks, a regression-tripped circuit breaker, exploration budgets
+//     and SLA deadlines. Disabled by default — the unguarded service is
+//     bit-identical to PR 5.
 //
-// See docs/SERVING.md for the architecture and the serve_* metric catalog.
+// See docs/SERVING.md for the architecture and the serve_* metric catalog,
+// docs/GUARDRAILS.md for the guardrail.
 #ifndef LITE_SERVE_TUNING_SERVICE_H_
 #define LITE_SERVE_TUNING_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <future>
 #include <memory>
@@ -38,7 +44,9 @@
 #include <vector>
 
 #include "lite/snapshot.h"
+#include "serve/guardrail.h"
 #include "serve/recommend_pipeline.h"
+#include "sparksim/resilient_runner.h"
 
 namespace lite::serve {
 
@@ -59,10 +67,23 @@ struct ServiceOptions {
   /// no offline corpus, so the feedback batch doubles as the source-domain
   /// sample (the documented snapshot limitation).
   UpdateOptions update;
+  /// Guardrail configuration. `enabled=false` (the default) is structurally
+  /// inert: no Guardrail is constructed and the serving path is unchanged.
+  GuardrailOptions guardrail;
 };
+
+/// Validates a ServiceOptions bundle (zero admission bound, absurd thread
+/// counts from a negative value cast to size_t, NaN guardrail budgets, ...).
+/// Empty string = valid; otherwise a human-readable rejection reason. The
+/// TuningService constructor throws std::invalid_argument with this message,
+/// so misconfiguration fails loudly at construction instead of hanging or
+/// serving garbage later.
+std::string ValidateServiceOptions(const ServiceOptions& options);
 
 class TuningService {
  public:
+  /// Throws std::invalid_argument when ValidateServiceOptions rejects
+  /// `options`.
   TuningService(const spark::SparkRunner* runner, ServiceOptions options);
   /// Drains in-flight requests and updates before destruction.
   ~TuningService();
@@ -96,6 +117,13 @@ class TuningService {
     /// True when admission control turned the request away (backpressure);
     /// the request was never queued and had no side effects.
     bool rejected = false;
+    /// True when the guardrail served the tenant's incumbent config verbatim
+    /// (quarantine, exploration budget, or probing off-tick) — `rec.config`
+    /// is the baseline, `rec.predicted_seconds` its best *observed* runtime,
+    /// and zero candidates were evaluated.
+    bool from_incumbent = false;
+    /// True when this model recommendation was a half-open probe.
+    bool probe = false;
     std::string error;
     LiteSystem::Recommendation rec;
   };
@@ -119,11 +147,31 @@ class TuningService {
   /// the accumulated batch reaches `update_batch`, an off-path adaptive
   /// update is scheduled (clone -> fine-tune -> hot-swap); serving
   /// continues on the old snapshot meanwhile. Returns false when no
-  /// snapshot is loaded or the session id is unknown.
+  /// snapshot is loaded or the session id is unknown. This overload treats
+  /// the run as an honest, uncensored measurement of `run.total_seconds`.
   bool SubmitFeedback(int session, const spark::ApplicationSpec& app,
                       const spark::DataSpec& data, const spark::ClusterEnv& env,
                       const spark::Config& config,
                       const spark::AppRunResult& run);
+
+  /// Fault-aware overload for runs measured through the resilient harness:
+  /// the outcome's failed/censored flags feed the guardrail's regression
+  /// detector, and failed or censored runs are *dropped* from the adaptive
+  /// update batch (their capped sentinel labels would drag the model toward
+  /// the failure cap — counted in serve_feedback_dropped_bad_total).
+  bool SubmitFeedback(int session, const spark::ApplicationSpec& app,
+                      const spark::DataSpec& data, const spark::ClusterEnv& env,
+                      const spark::Config& config,
+                      const spark::MeasureOutcome& outcome);
+
+  /// The guardrail, or nullptr when options.guardrail.enabled is false.
+  /// Exposes breaker states, the transition log and guardrail stats.
+  Guardrail* guardrail() const { return guardrail_.get(); }
+
+  /// Installs a per-tenant serving policy (SLA deadline, exploration
+  /// budget). Throws std::invalid_argument on invalid policies; no-op with
+  /// a warning when the guardrail is disabled.
+  void SetTenantPolicy(const std::string& tenant, TenantPolicy policy);
 
   /// Forces an off-path update with whatever feedback is pending (no-op
   /// when none). Blocks until the update has swapped in.
@@ -136,6 +184,11 @@ class TuningService {
 
   size_t pending_feedback() const;
 
+  /// Request/lifecycle counters. Every field is co-published with its
+  /// serve_* metric twin under the same mutex (the increment and the
+  /// Counter::Inc happen in one critical section), so after Drain() +
+  /// DrainUpdates() a Stats snapshot and a metrics snapshot agree *exactly*
+  /// — tools/lite_serve asserts equality, not tolerance.
   struct Stats {
     uint64_t submitted = 0;  ///< SubmitRecommend calls (incl. rejected).
     uint64_t rejected = 0;   ///< turned away by admission control.
@@ -143,22 +196,41 @@ class TuningService {
     uint64_t failed = 0;     ///< requests that threw.
     uint64_t hot_swaps = 0;  ///< snapshot swaps after the initial load.
     uint64_t adaptive_updates = 0;  ///< off-path updates swapped in.
+    uint64_t sessions = 0;          ///< OpenSession calls.
+    uint64_t feedback_instances = 0;  ///< stage instances queued as feedback.
+    uint64_t bad_feedback_dropped = 0;  ///< failed/censored runs kept out of
+                                        ///< the update batch.
   };
   Stats stats() const;
 
  private:
   Response RunRequest(const std::shared_ptr<const LoadedLiteModel>& snap,
-                      uint64_t seed, const spark::ApplicationSpec& app,
+                      uint64_t seed, const std::string& tenant,
+                      const spark::ApplicationSpec& app,
                       const spark::DataSpec& data,
                       const spark::ClusterEnv& env) const;
   /// One pointer copy under snap_mu_ — the reader side of the hot-swap.
   std::shared_ptr<const LoadedLiteModel> SnapshotRef() const;
+  /// Shared body of both SubmitFeedback overloads.
+  bool SubmitFeedbackRun(int session, const spark::ApplicationSpec& app,
+                         const spark::DataSpec& data,
+                         const spark::ClusterEnv& env,
+                         const spark::Config& config,
+                         const spark::AppRunResult& run,
+                         double observed_seconds, bool failed, bool censored);
   /// Runs clone -> fine-tune -> swap for one feedback batch (pool worker).
   UpdateStats RunAdaptiveUpdate(std::vector<StageInstance> batch);
   void FinishRequest();
 
   const spark::SparkRunner* runner_;
   ServiceOptions options_;
+  /// Non-null iff options_.guardrail.enabled. Internally synchronized; the
+  /// unique_ptr itself is set once in the constructor and never reseated.
+  std::unique_ptr<Guardrail> guardrail_;
+  /// Snapshot generation, bumped by every InstallSnapshot. Keys the
+  /// guardrail's per-family knob-importance cache: a hot-swapped model may
+  /// care about different knobs, so a new generation invalidates the cache.
+  std::atomic<uint64_t> generation_{0};
 
   /// RCU publication point: snap_mu_ guards only the pointer copy/swap
   /// (nanoseconds); readers' shared_ptr copies keep retired snapshots

@@ -5,6 +5,7 @@
 
 #include "lite/snapshot.h"
 #include "obs/metrics.h"
+#include "serve/tuning_service.h"
 #include "obs/trace.h"
 #include "sparksim/eventlog.h"
 #include "sparksim/resilient_runner.h"
@@ -246,6 +247,44 @@ DiffResult DiffSnapshotRoundTrip(const LiteSystem& system,
     return Fail("predicted seconds drifted through the snapshot: " +
                 Fmt(orig.predicted_seconds) + " vs " +
                 Fmt(rest.predicted_seconds));
+  }
+  return {};
+}
+
+DiffResult DiffGuardrailTransparency(const spark::SparkRunner& runner,
+                                     const WorkloadTuple& t,
+                                     const std::string& dir) {
+  auto recommend = [&](bool guarded) -> serve::TuningService::Response {
+    serve::ServiceOptions opts;
+    opts.guardrail.enabled = guarded;
+    serve::TuningService service(&runner, opts);
+    if (!service.LoadSnapshot(dir)) {
+      return serve::TuningService::Response{};
+    }
+    int session = service.OpenSession("transparency-tenant");
+    return service.Recommend(session, *t.app, t.data, t.env);
+  };
+
+  serve::TuningService::Response off = recommend(false);
+  serve::TuningService::Response on = recommend(true);
+  if (!off.ok) return Fail("guardrails-off serving failed: " + off.error);
+  if (!on.ok) return Fail("guardrails-on serving failed: " + on.error);
+  if (on.from_incumbent || on.probe) {
+    return Fail("idle guardrail intervened (from_incumbent=" +
+                std::to_string(on.from_incumbent) +
+                " probe=" + std::to_string(on.probe) + ") with no evidence");
+  }
+  if (on.rec.config != off.rec.config) {
+    return Fail("idle guardrail changed the recommended configuration for " +
+                std::string(t.app->name));
+  }
+  if (on.rec.predicted_seconds != off.rec.predicted_seconds) {
+    return Fail("idle guardrail moved predicted seconds: " +
+                Fmt(off.rec.predicted_seconds) + " vs " +
+                Fmt(on.rec.predicted_seconds));
+  }
+  if (on.rec.candidates_evaluated != off.rec.candidates_evaluated) {
+    return Fail("idle guardrail changed the evaluated candidate count");
   }
   return {};
 }

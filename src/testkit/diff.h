@@ -79,6 +79,17 @@ DiffResult DiffSnapshotRoundTrip(const LiteSystem& system,
                                  const WorkloadTuple& t,
                                  const std::string& dir);
 
+/// Guardrail transparency (the `guardrail_transparency` oracle invariant):
+/// a TuningService with the guardrail *enabled* but never tripped — default
+/// tenant policies, no feedback submitted, breaker CLOSED — must produce
+/// bit-identical recommendations to the same service with the guardrail
+/// disabled, for the tuple's query. `dir` must hold a saved snapshot. The
+/// safety layer may intervene only when its detector has evidence; an idle
+/// guardrail that perturbs even one bit is a serving regression.
+DiffResult DiffGuardrailTransparency(const spark::SparkRunner& runner,
+                                     const WorkloadTuple& t,
+                                     const std::string& dir);
+
 }  // namespace lite::testkit
 
 #endif  // LITE_TESTKIT_DIFF_H_

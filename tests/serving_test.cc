@@ -274,6 +274,63 @@ TEST_F(ServingTest, FeedbackDropsOutOfRangeStageRuns) {
   EXPECT_GT(system.pending_feedback(), 0u);
 }
 
+// Regression (options validation): a ServiceOptions with max_pending = 0
+// used to construct fine and then reject every request forever; a negative
+// thread count cast into size_t used to ask for ~2^64 workers. Both now
+// fail loudly at construction with std::invalid_argument.
+TEST_F(ServingTest, ServiceOptionsValidatedAtConstruction) {
+  serve::ServiceOptions zero_bound;
+  zero_bound.max_pending = 0;
+  EXPECT_THROW(serve::TuningService(runner_, zero_bound),
+               std::invalid_argument);
+
+  serve::ServiceOptions negative_threads;
+  negative_threads.scoring.threads = static_cast<size_t>(-1);  // wrapped.
+  EXPECT_THROW(serve::TuningService(runner_, negative_threads),
+               std::invalid_argument);
+
+  serve::ServiceOptions nan_budget;
+  nan_budget.guardrail.enabled = true;
+  nan_budget.guardrail.failure_rate_threshold =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(serve::TuningService(runner_, nan_budget),
+               std::invalid_argument);
+
+  // The validator names the offending field so misconfiguration is
+  // diagnosable from the exception alone.
+  EXPECT_NE(serve::ValidateServiceOptions(zero_bound).find("max_pending"),
+            std::string::npos);
+  EXPECT_EQ(serve::ValidateServiceOptions(serve::ServiceOptions{}), "");
+}
+
+// Regression (stats/metrics drift): serve_* metric increments used to
+// happen outside mu_ while the Stats twin mutated inside it, so a snapshot
+// taken between the two saw them disagree. Both now publish in the same
+// critical section; after Drain the deltas must match exactly.
+TEST_F(ServingTest, StatsAndMetricsPublishTogether) {
+  uint64_t req0 = CounterValue("serve_requests_total");
+  uint64_t done0 = CounterValue("serve_completed_total");
+  uint64_t sess0 = CounterValue("serve_sessions_total");
+
+  serve::TuningService service(runner_, serve::ServiceOptions{});
+  ASSERT_TRUE(service.LoadSnapshot(*dir_));
+  int session = service.OpenSession("tenant-sm");
+  const std::vector<Query> queries = Queries();
+  std::vector<std::future<serve::TuningService::Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    const Query& q = queries[i % queries.size()];
+    futures.push_back(service.SubmitRecommend(session, *q.app, q.data, q.env));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok);
+  service.Drain();
+
+  serve::TuningService::Stats stats = service.stats();
+  EXPECT_EQ(stats.submitted, CounterValue("serve_requests_total") - req0);
+  EXPECT_EQ(stats.completed, CounterValue("serve_completed_total") - done0);
+  EXPECT_EQ(stats.sessions, CounterValue("serve_sessions_total") - sess0);
+  EXPECT_EQ(stats.sessions, 1u);
+}
+
 // Deterministic backpressure: with every shared-pool worker parked behind a
 // gate, accepted requests stay pending, so the admission bound is exact.
 TEST_F(ServingTest, BackpressureRejectsBeyondBoundedQueue) {

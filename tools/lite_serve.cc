@@ -14,8 +14,14 @@
 //   3. adaptation     feedback batches trigger an off-path update that
 //                     fine-tunes a clone and swaps it in — pending feedback
 //                     drains, the swap is observed, and serving survives;
-//   4. accounting     service stats and serve_* metrics must agree with
-//                     what the driver actually submitted.
+//   4. guardrails     a feedback-regression storm (failed/censored
+//                     outcomes) must trip the tenant's breaker, quarantined
+//                     requests must be served the incumbent verbatim with
+//                     zero model evaluations, and half-open probing must
+//                     recover the tenant once probes run healthy;
+//   5. accounting     service stats and serve_* metrics must agree
+//                     *exactly* with what the drivers submitted — both are
+//                     published under the same mutex, so no tolerance.
 //
 // Exit status is nonzero when any check fails, so CTest runs this as the
 // serving smoke test. Usage:
@@ -110,6 +116,14 @@ int main(int argc, char** argv) {
   // --- Phase 1: concurrent clients + hot-swaps, bit-exact responses. ----
   std::cout << "\nPhase 1: concurrent clients under hot-swap\n";
   const uint64_t req_before = CounterValue("serve_requests_total");
+  const uint64_t completed_before = CounterValue("serve_completed_total");
+  const uint64_t rejected_before = CounterValue("serve_rejected_total");
+  const uint64_t sessions_before = CounterValue("serve_sessions_total");
+  const uint64_t swaps_before = CounterValue("serve_hot_swaps_total");
+  const uint64_t updates_before = CounterValue("serve_adaptive_updates_total");
+  const uint64_t dropped_before =
+      CounterValue("serve_feedback_dropped_bad_total");
+  const uint64_t trips_before = CounterValue("serve_guardrail_trips_total");
   serve::ServiceOptions sopts;
   sopts.max_pending = 128;
   sopts.scoring.threads = 1;  // concurrency comes from the clients here.
@@ -221,21 +235,137 @@ int main(int argc, char** argv) {
   Check(post.ok && post.rec.candidates_evaluated > 0,
         "serving continues on the updated snapshot", &failures);
 
-  // --- Phase 4: accounting. ---------------------------------------------
-  std::cout << "\nPhase 4: stats vs metrics accounting\n";
+  // --- Phase 4: guardrail regression storm. -----------------------------
+  std::cout << "\nPhase 4: guardrail quarantine, fallback and recovery\n";
+  serve::ServiceOptions gopts;
+  gopts.update_batch = 0;  // keep the model frozen during the storm.
+  gopts.guardrail.enabled = true;
+  gopts.guardrail.window = 8;
+  gopts.guardrail.min_observations = 4;
+  gopts.guardrail.failure_rate_threshold = 0.5;
+  gopts.guardrail.quarantine_cooldown = 3;
+  gopts.guardrail.probe_interval = 2;
+  gopts.guardrail.probes_to_close = 2;
+  serve::TuningService guarded(&runner, gopts);
+  Check(guarded.LoadSnapshot(snap_dir), "guarded service loaded", &failures);
+  int g_session = guarded.OpenSession("tenant-storm");
+  serve::Guardrail* guard = guarded.guardrail();
+  Check(guard != nullptr, "guardrail constructed when enabled", &failures);
+
+  const Query& gq = queries[0];
+  spark::Config baseline = spark::KnobSpace::Spark16().DefaultConfig();
+  spark::MeasureOutcome healthy;
+  healthy.seconds = 12.0;
+  healthy.result = runner.cost_model().Run(*gq.app, gq.data, gq.env, baseline);
+  Check(guarded.SubmitFeedback(g_session, *gq.app, gq.data, gq.env, baseline,
+                               healthy),
+        "healthy feedback establishes the incumbent", &failures);
+  Check(guard->HasIncumbent("tenant-storm"), "incumbent recorded", &failures);
+  const size_t healthy_pending_after_incumbent = guarded.pending_feedback();
+
+  // The storm: failed/censored outcomes for model-chosen configs.
+  spark::MeasureOutcome stormy;
+  stormy.seconds = 600.0;
+  stormy.failed = true;
+  stormy.censored = true;
+  spark::Config regressed(spark::kNumKnobs, 0.9);
+  for (int i = 0; i < 4; ++i) {
+    guarded.SubmitFeedback(g_session, *gq.app, gq.data, gq.env, regressed,
+                           stormy);
+  }
+  Check(guard->StateOf("tenant-storm") == serve::BreakerState::kQuarantined,
+        "regression storm quarantined the tenant", &failures);
+  Check(guarded.pending_feedback() == healthy_pending_after_incumbent,
+        "failed/censored runs never reached the update batch", &failures);
+
+  // Quarantined serving: incumbent verbatim, zero candidates evaluated.
+  int incumbent_served = 0;
+  for (int i = 0; i < 3; ++i) {
+    serve::TuningService::Response r =
+        guarded.Recommend(g_session, *gq.app, gq.data, gq.env);
+    if (r.ok && r.from_incumbent && r.rec.config == baseline &&
+        r.rec.candidates_evaluated == 0) {
+      ++incumbent_served;
+    }
+  }
+  Check(incumbent_served == 3,
+        "quarantined requests served the incumbent verbatim", &failures);
+  Check(guard->StateOf("tenant-storm") == serve::BreakerState::kProbing,
+        "cooldown half-opened the breaker", &failures);
+
+  // Probe cadence: incumbent, then a model probe.
+  serve::TuningService::Response off_tick =
+      guarded.Recommend(g_session, *gq.app, gq.data, gq.env);
+  serve::TuningService::Response probe_r =
+      guarded.Recommend(g_session, *gq.app, gq.data, gq.env);
+  Check(off_tick.ok && off_tick.from_incumbent,
+        "probing off-tick still serves the incumbent", &failures);
+  Check(probe_r.ok && probe_r.probe && !probe_r.from_incumbent &&
+            probe_r.rec.candidates_evaluated > 0,
+        "probe tick evaluates the model", &failures);
+
+  // Healthy probe feedback closes the breaker.
+  spark::MeasureOutcome probe_ok;
+  probe_ok.seconds = 13.0;
+  probe_ok.result =
+      runner.cost_model().Run(*gq.app, gq.data, gq.env, probe_r.rec.config);
+  guarded.SubmitFeedback(g_session, *gq.app, gq.data, gq.env,
+                         probe_r.rec.config, probe_ok);
+  guarded.SubmitFeedback(g_session, *gq.app, gq.data, gq.env,
+                         probe_r.rec.config, probe_ok);
+  Check(guard->StateOf("tenant-storm") == serve::BreakerState::kClosed,
+        "healthy probes recovered the tenant", &failures);
+  serve::Guardrail::Stats gstats = guard->stats();
+  Check(gstats.trips == 1 && gstats.recoveries == 1,
+        "guardrail stats: 1 trip, 1 recovery", &failures);
+  Check(!guard->TransitionLog().empty() &&
+            guard->TransitionLog().back().to == serve::BreakerState::kClosed,
+        "transition log ends CLOSED", &failures);
+
+  // --- Phase 5: accounting (exact stats/metrics agreement). -------------
+  std::cout << "\nPhase 5: stats vs metrics accounting (exact)\n";
   serve::TuningService::Stats stats = service.stats();
   Check(stats.submitted == static_cast<uint64_t>(kClients) * kRequests,
         "phase-1 service saw every submission", &failures);
   Check(stats.completed + stats.rejected + stats.failed == stats.submitted,
         "completed + rejected + failed == submitted", &failures);
+  serve::TuningService::Stats up_stats = up.stats();
+  serve::TuningService::Stats g_stats = guarded.stats();
   const uint64_t req_total = CounterValue("serve_requests_total") - req_before;
-  Check(req_total >= stats.submitted + bp_stats.submitted,
-        "serve_requests_total covers all drivers' submissions", &failures);
-  Check(CounterValue("serve_hot_swaps_total") >= 5,
-        "serve_hot_swaps_total counted phase-1 swaps and the update swap",
+  // Stats and metrics publish in the same critical section, so the summed
+  // deltas must agree exactly — not approximately.
+  Check(req_total == stats.submitted + bp_stats.submitted +
+                         up_stats.submitted + g_stats.submitted,
+        "serve_requests_total == sum of every driver's submitted (exact)",
         &failures);
-  Check(CounterValue("serve_adaptive_updates_total") >= 1,
-        "serve_adaptive_updates_total counted the off-path update", &failures);
+  Check(CounterValue("serve_completed_total") - completed_before ==
+            stats.completed + bp_stats.completed + up_stats.completed +
+                g_stats.completed,
+        "serve_completed_total == sum of completed (exact)", &failures);
+  Check(CounterValue("serve_rejected_total") - rejected_before ==
+            stats.rejected + bp_stats.rejected + up_stats.rejected +
+                g_stats.rejected,
+        "serve_rejected_total == sum of rejected (exact)", &failures);
+  Check(CounterValue("serve_sessions_total") - sessions_before ==
+            stats.sessions + bp_stats.sessions + up_stats.sessions +
+                g_stats.sessions,
+        "serve_sessions_total == sum of sessions (exact)", &failures);
+  Check(CounterValue("serve_hot_swaps_total") - swaps_before ==
+            stats.hot_swaps + bp_stats.hot_swaps + up_stats.hot_swaps +
+                g_stats.hot_swaps,
+        "serve_hot_swaps_total == sum of hot swaps (exact)", &failures);
+  Check(CounterValue("serve_adaptive_updates_total") - updates_before ==
+            stats.adaptive_updates + bp_stats.adaptive_updates +
+                up_stats.adaptive_updates + g_stats.adaptive_updates,
+        "serve_adaptive_updates_total == sum of updates (exact)", &failures);
+  Check(CounterValue("serve_feedback_dropped_bad_total") - dropped_before ==
+            g_stats.bad_feedback_dropped && g_stats.bad_feedback_dropped == 4,
+        "serve_feedback_dropped_bad_total == 4 gated storm runs (exact)",
+        &failures);
+  Check(CounterValue("serve_guardrail_trips_total") - trips_before ==
+            gstats.trips,
+        "serve_guardrail_trips_total matches guardrail stats (exact)",
+        &failures);
 
   std::cout << (failures == 0 ? "\nlite_serve: PASS"
                               : "\nlite_serve: FAIL (" +
