@@ -1,0 +1,375 @@
+// Retrieval-cache benchmark: the cost and payoff of zero-execution warm
+// start in the serving layer.
+//
+// Three questions, answered in one run and exported to BENCH_retrieval.json:
+//   1. Cold overhead — what does an enabled-but-cold cache (empty index,
+//      memoization off) add to a single sequential client over the
+//      cache-disabled service? Acceptance: < 5%.
+//   2. Warm serving under a Zipf workload — real tuning traffic repeats
+//      itself; with requests drawn Zipf(s=1.1) over a catalog of distinct
+//      workloads, the memo should serve > 70% of requests with zero model
+//      evaluations, and the p50 memo-hit latency should be >= 5x faster
+//      than the p50 full-pipeline latency.
+//   3. Invalidation under a swap + quarantine storm — concurrent clients,
+//      a hot-swap storm and a regression storm against one tenant: zero
+//      stale-generation hits (every hit's entry generation matches the
+//      live generation) and zero cached responses to the quarantined
+//      tenant after its flush.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <iostream>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "lite/snapshot.h"
+#include "serve/retrieval_cache.h"
+#include "serve/tuning_service.h"
+#include "util/rng.h"
+
+using namespace lite;
+using namespace lite::bench;
+
+namespace {
+
+double TimeSeconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct Query {
+  const spark::ApplicationSpec* app;
+  spark::DataSpec data;
+  spark::ClusterEnv env;
+};
+
+/// Zipf(s) sampler over ranks [0, n): rank r is drawn with probability
+/// proportional to 1/(r+1)^s, via inversion of the normalized CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = total;
+    }
+    for (double& v : cdf_) v /= total;
+  }
+  size_t Draw(Rng* rng) const {
+    const double u = rng->Uniform();
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t i = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[i];
+}
+
+}  // namespace
+
+int main() {
+  ScaleProfile profile = GetScaleProfile();
+  const int reps = profile.name == "smoke" ? 6
+                   : profile.name == "paper" ? 40
+                                             : 16;
+  std::cout << "Retrieval bench (scale=" << profile.name << ", " << reps
+            << " requests/client)\n";
+
+  spark::SparkRunner runner;
+  LiteOptions opts;
+  opts.corpus = MakeCorpusOptions(profile, {"TS", "PR", "KM"},
+                                  {spark::ClusterEnv::ClusterA()});
+  ApplyLiteProfile(profile, &opts);
+  LiteSystem system(&runner, opts);
+  system.TrainOffline();
+
+  std::string snap_dir =
+      std::filesystem::temp_directory_path() / "bench_retrieval_snapshot";
+  std::filesystem::create_directories(snap_dir);
+  if (!SaveSnapshot(system, snap_dir)) {
+    std::cerr << "failed to save snapshot\n";
+    return 1;
+  }
+
+  std::vector<Query> queries;
+  for (const char* name : {"TS", "PR", "KM"}) {
+    const auto* app = spark::AppCatalog::Find(name);
+    queries.push_back({app, app->MakeData(app->test_size_mb),
+                       spark::ClusterEnv::ClusterA()});
+  }
+
+  std::vector<BenchJsonField> json_fields{
+      {"requests_per_client", BenchJsonNum(reps)}};
+
+  // --- 1. Cold overhead: disabled vs enabled-but-cold. --------------------
+  // Memoization off and an empty index: every request pays the cache's full
+  // bookkeeping (fingerprint, embedding lookup, empty retrieval) and still
+  // runs the whole pipeline — the worst case for the cache, the gate for
+  // "inert when it cannot help".
+  serve::ServiceOptions off_opts;
+  off_opts.scoring.threads = 1;
+  off_opts.update_batch = 0;
+  serve::TuningService off(&runner, off_opts);
+  if (!off.LoadSnapshot(snap_dir)) return 1;
+  int off_session = off.OpenSession("bench");
+
+  serve::ServiceOptions cold_opts = off_opts;
+  cold_opts.retrieval.enabled = true;
+  cold_opts.retrieval.memoize = false;
+  serve::TuningService cold(&runner, cold_opts);
+  if (!cold.LoadSnapshot(snap_dir)) return 1;
+  int cold_session = cold.OpenSession("bench");
+
+  // Warm both paths (encoder caches, embedding cache, metric lookups), so
+  // the timed loops compare cache bookkeeping, not cache luck.
+  for (const Query& q : queries) {
+    (void)off.Recommend(off_session, *q.app, q.data, q.env);
+    (void)cold.Recommend(cold_session, *q.app, q.data, q.env);
+  }
+
+  // Block timing, best of alternating rounds (the bench_serving convention:
+  // per-request timestamps at smoke scale drown the delta in scheduler
+  // noise; each path's fastest round is its least-interfered steady state).
+  const int overhead_rounds = 7;
+  const int overhead_block = reps * static_cast<int>(queries.size());
+  double t_off = std::numeric_limits<double>::infinity();
+  double t_cold = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < overhead_rounds; ++round) {
+    t_off = std::min(t_off, TimeSeconds([&] {
+      for (int r = 0; r < overhead_block; ++r) {
+        const Query& q = queries[static_cast<size_t>(r) % queries.size()];
+        (void)off.Recommend(off_session, *q.app, q.data, q.env);
+      }
+    }));
+    t_cold = std::min(t_cold, TimeSeconds([&] {
+      for (int r = 0; r < overhead_block; ++r) {
+        const Query& q = queries[static_cast<size_t>(r) % queries.size()];
+        (void)cold.Recommend(cold_session, *q.app, q.data, q.env);
+      }
+    }));
+  }
+  double cold_overhead_pct = t_off > 0 ? (t_cold - t_off) / t_off * 100.0 : 0.0;
+  TablePrinter cold_table({"Path", "Total (s)", "Per-request (ms)"});
+  cold_table.AddRow({"cache disabled", TablePrinter::Fmt(t_off),
+                     TablePrinter::Fmt(t_off / overhead_block * 1e3, 3)});
+  cold_table.AddRow({"enabled, cold", TablePrinter::Fmt(t_cold),
+                     TablePrinter::Fmt(t_cold / overhead_block * 1e3, 3)});
+  cold_table.Print(std::cout, "Cold-cache overhead");
+  std::cout << "Cold overhead: " << TablePrinter::Fmt(cold_overhead_pct, 2)
+            << "% (acceptance < 5%)\n\n";
+  json_fields.push_back({"disabled_s", BenchJsonNum(t_off)});
+  json_fields.push_back({"cold_s", BenchJsonNum(t_cold)});
+  json_fields.push_back({"cold_overhead_pct", BenchJsonNum(cold_overhead_pct)});
+
+  // --- 2. Warm serving under Zipf(s=1.1) traffic. -------------------------
+  const size_t catalog_size = 24;
+  const int warm_requests = profile.name == "smoke" ? 400 : 1200;
+  std::vector<Query> catalog;
+  for (size_t i = 0; i < catalog_size; ++i) {
+    const auto* app = queries[i % queries.size()].app;
+    // Distinct data sizes => distinct workload embeddings.
+    catalog.push_back({app,
+                       app->MakeData(app->test_size_mb *
+                                     (0.5 + 0.125 * static_cast<double>(i))),
+                       spark::ClusterEnv::ClusterA()});
+  }
+
+  serve::ServiceOptions warm_opts;
+  warm_opts.scoring.threads = 1;
+  warm_opts.update_batch = 0;
+  warm_opts.retrieval.enabled = true;
+  serve::TuningService warm(&runner, warm_opts);
+  if (!warm.LoadSnapshot(snap_dir)) return 1;
+  int warm_session = warm.OpenSession("zipf-tenant");
+
+  ZipfSampler zipf(catalog_size, 1.1);
+  Rng rng(0x21bf);
+  size_t hits = 0;
+  std::vector<double> hit_ms, miss_ms;
+  for (int r = 0; r < warm_requests; ++r) {
+    const Query& q = catalog[zipf.Draw(&rng)];
+    serve::TuningService::Response resp;
+    const double ms = TimeSeconds([&] {
+      resp = warm.Recommend(warm_session, *q.app, q.data, q.env);
+    }) * 1e3;
+    if (!resp.ok) {
+      std::cerr << "warm request failed: " << resp.error << "\n";
+      return 1;
+    }
+    if (resp.from_cache) {
+      ++hits;
+      hit_ms.push_back(ms);
+    } else {
+      miss_ms.push_back(ms);
+    }
+  }
+  const double hit_rate =
+      static_cast<double>(hits) / static_cast<double>(warm_requests);
+  const double p50_hit = Percentile(hit_ms, 0.5);
+  const double p50_miss = Percentile(miss_ms, 0.5);
+  const double speedup = p50_hit > 0 ? p50_miss / p50_hit : 0.0;
+  TablePrinter warm_table({"Path", "Count", "p50 (ms)", "p99 (ms)"});
+  warm_table.AddRow({"memo hit", TablePrinter::Fmt(static_cast<int64_t>(hits)),
+                     TablePrinter::Fmt(p50_hit, 4),
+                     TablePrinter::Fmt(Percentile(hit_ms, 0.99), 4)});
+  warm_table.AddRow(
+      {"full pipeline",
+       TablePrinter::Fmt(static_cast<int64_t>(miss_ms.size())),
+       TablePrinter::Fmt(p50_miss, 4),
+       TablePrinter::Fmt(Percentile(miss_ms, 0.99), 4)});
+  warm_table.Print(std::cout, "Zipf(s=1.1) warm serving");
+  std::cout << "Hit rate: " << TablePrinter::Fmt(hit_rate * 100.0, 1)
+            << "% (acceptance > 70%); p50 speedup: "
+            << TablePrinter::Fmt(speedup, 1) << "x (acceptance >= 5x)\n\n";
+  json_fields.push_back({"zipf_catalog", BenchJsonNum(catalog_size)});
+  json_fields.push_back({"zipf_requests", BenchJsonNum(warm_requests)});
+  json_fields.push_back({"warm_hit_rate", BenchJsonNum(hit_rate)});
+  json_fields.push_back({"p50_hit_ms", BenchJsonNum(p50_hit)});
+  json_fields.push_back({"p50_miss_ms", BenchJsonNum(p50_miss)});
+  json_fields.push_back({"warm_speedup", BenchJsonNum(speedup)});
+
+  // --- 3. Swap + quarantine storm: invalidation under concurrency. --------
+  serve::ServiceOptions storm_opts;
+  storm_opts.max_pending = 512;
+  storm_opts.scoring.threads = 1;
+  storm_opts.update_batch = 0;
+  storm_opts.retrieval.enabled = true;
+  storm_opts.guardrail.enabled = true;
+  storm_opts.guardrail.window = 8;
+  storm_opts.guardrail.min_observations = 4;
+  storm_opts.guardrail.failure_rate_threshold = 0.5;
+  storm_opts.guardrail.quarantine_cooldown = 1000000;  // stay quarantined.
+  serve::TuningService storm(&runner, storm_opts);
+  if (!storm.LoadSnapshot(snap_dir)) return 1;
+  const int storm_clients = 4;
+  std::vector<int> storm_sess;
+  for (int c = 0; c < storm_clients; ++c) {
+    storm_sess.push_back(storm.OpenSession("tenant-" + std::to_string(c)));
+  }
+  int victim = storm.OpenSession("victim");
+  // The victim needs an incumbent before the regression storm, so its
+  // quarantined serves have a baseline to fall back to.
+  {
+    const Query& q = queries[0];
+    spark::MeasureOutcome good;
+    good.seconds = 12.0;
+    good.result = runner.cost_model().Run(*q.app, q.data, q.env,
+                                          spark::KnobSpace::Spark16()
+                                              .DefaultConfig());
+    storm.SubmitFeedback(victim, *q.app, q.data, q.env,
+                         spark::KnobSpace::Spark16().DefaultConfig(), good);
+    // Warm the victim's memo so the quarantine flush has entries to kill.
+    (void)storm.Recommend(victim, *q.app, q.data, q.env);
+    (void)storm.Recommend(victim, *q.app, q.data, q.env);
+  }
+
+  std::atomic<int> storm_failed{0};
+  std::atomic<int> swaps_done{0};
+  double storm_elapsed = TimeSeconds([&] {
+    std::atomic<bool> stop{false};
+    std::thread swapper([&] {
+      while (!stop.load()) {
+        if (storm.LoadSnapshot(snap_dir)) ++swaps_done;
+      }
+    });
+    std::thread regressor([&] {
+      // Failed feedback trips the victim's breaker mid-storm; its memo
+      // entries must be flushed and never served again.
+      spark::MeasureOutcome bad;
+      bad.seconds = 600.0;
+      bad.failed = true;
+      const Query& q = queries[0];
+      for (int i = 0; i < 6 && !stop.load(); ++i) {
+        storm.SubmitFeedback(victim, *q.app, q.data, q.env,
+                             spark::Config(spark::kNumKnobs, 1.0), bad);
+      }
+      // Keep requesting as the quarantined tenant: every response must be
+      // the incumbent, never a cached model recommendation.
+      while (!stop.load()) {
+        auto resp = storm.Recommend(victim, queries[0].app[0], queries[0].data,
+                                    queries[0].env);
+        if (!resp.ok) ++storm_failed;
+      }
+    });
+    std::vector<std::thread> threads;
+    for (int c = 0; c < storm_clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int r = 0; r < reps * 3; ++r) {
+          const Query& q = queries[static_cast<size_t>(c + r) % queries.size()];
+          auto resp = storm.Recommend(storm_sess[c], *q.app, q.data, q.env);
+          if (!resp.ok) ++storm_failed;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    stop.store(true);
+    swapper.join();
+    regressor.join();
+  });
+
+  // Scan the witness log: a hit whose entry generation differs from the
+  // live generation is a stale-generation hit; a hit for the victim after
+  // its quarantine flush is a guardrail bypass. Both must be zero.
+  serve::RetrievalCache* cache = storm.retrieval();
+  uint64_t stale_hits = 0, quarantine_leaks = 0, total_hits = 0;
+  uint64_t victim_flush_seq = 0;
+  std::vector<serve::CacheEvent> log = cache->EventLog();
+  for (const serve::CacheEvent& e : log) {
+    if (e.type == serve::CacheEventType::kInvalidateTenant &&
+        e.tenant == "victim") {
+      victim_flush_seq = e.seq;
+    }
+  }
+  for (const serve::CacheEvent& e : log) {
+    if (e.type != serve::CacheEventType::kHit) continue;
+    ++total_hits;
+    if (e.generation != e.live_generation) ++stale_hits;
+    if (e.tenant == "victim" && victim_flush_seq != 0 &&
+        e.seq > victim_flush_seq) {
+      ++quarantine_leaks;
+    }
+  }
+  const bool victim_quarantined = victim_flush_seq != 0;
+  std::cout << "Swap+quarantine storm: " << swaps_done.load()
+            << " swaps over " << TablePrinter::Fmt(storm_elapsed, 2)
+            << " s, " << total_hits << " cache hits — " << stale_hits
+            << " stale-generation, " << quarantine_leaks
+            << " quarantine leaks, " << storm_failed.load() << " failed"
+            << (victim_quarantined ? "" : " (victim never quarantined!)")
+            << "\n";
+  json_fields.push_back(
+      {"storm_swaps", BenchJsonNum(static_cast<double>(swaps_done.load()))});
+  json_fields.push_back(
+      {"storm_hits", BenchJsonNum(static_cast<double>(total_hits))});
+  json_fields.push_back(
+      {"stale_generation_hits", BenchJsonNum(static_cast<double>(stale_hits))});
+  json_fields.push_back({"quarantine_leaks",
+                         BenchJsonNum(static_cast<double>(quarantine_leaks))});
+  json_fields.push_back(
+      {"storm_failed", BenchJsonNum(static_cast<double>(storm_failed.load()))});
+
+  const bool pass = cold_overhead_pct < 5.0 && hit_rate > 0.70 &&
+                    speedup >= 5.0 && stale_hits == 0 &&
+                    quarantine_leaks == 0 && victim_quarantined &&
+                    swaps_done.load() > 0 && storm_failed.load() == 0;
+  std::cout << "\nAcceptance (cold overhead < 5%, hit rate > 70%, p50 "
+               "speedup >= 5x, zero stale/leaked hits under storm): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  json_fields.push_back({"pass", BenchJsonBool(pass)});
+  WriteBenchJson("BENCH_retrieval.json", "retrieval", profile, json_fields);
+  std::filesystem::remove_all(snap_dir);
+  return pass ? 0 : 1;
+}

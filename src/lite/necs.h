@@ -95,6 +95,16 @@ class NecsModel : public Module, public StageEstimator {
   /// parallel phase only ever reads the cache.
   void WarmEncoderCache(std::span<const StageInstance> insts) const;
 
+  /// Knob-independent (h_code, h_DAG) encodings for one stage, served from
+  /// the shared encoder cache (computed and inserted on miss — the same
+  /// entry PredictTarget/PredictBatch use). Exposed so the serving layer
+  /// can derive workload embeddings from already-cached encoder outputs
+  /// (serve/retrieval_cache.h) without re-running the towers: after any
+  /// scoring pass over the workload this is a pure cache read.
+  std::pair<Tensor, Tensor> StageEncodings(const StageInstance& inst) const {
+    return EncodeStage(inst);
+  }
+
   void InvalidateCache() const {
     std::unique_lock<std::shared_mutex> lock(cache_mu_);
     cache_.clear();

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <utility>
 
+#include "lite/features.h"
 #include "ml/serialization.h"
 #include "nn/module.h"
 #include "util/logging.h"
@@ -191,6 +193,39 @@ LiteSystem::Recommendation LoadedLiteModel::Recommend(
       ctx, app, data, env, [&](const std::vector<spark::Config>& candidates) {
         return ScoreCandidates(app, data, env, candidates);
       });
+}
+
+std::vector<double> LoadedLiteModel::WorkloadEmbedding(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env) const {
+  LITE_CHECK(!models_.empty()) << "LoadedLiteModel not initialized";
+  // Featurize with the default configuration: code tokens, DAG, data and
+  // env features are knob-independent, so any reference config yields the
+  // same encoder inputs (and therefore the same encoder-cache entries) as
+  // the candidates scored for this workload.
+  CorpusBuilder builder(runner_);
+  CandidateEval ce = builder.FeaturizeCandidate(
+      feature_space_, app, data, env,
+      spark::KnobSpace::Spark16().DefaultConfig());
+  const NecsModel* model = models_[0].get();
+  std::vector<double> pooled;
+  double stages = 0.0;
+  for (const StageInstance& inst : ce.stage_instances) {
+    std::pair<Tensor, Tensor> enc = model->StageEncodings(inst);
+    const std::vector<float>& code = enc.first.vec();
+    const std::vector<float>& dag = enc.second.vec();
+    if (pooled.empty()) pooled.assign(code.size() + dag.size(), 0.0);
+    if (pooled.size() != code.size() + dag.size()) continue;  // defensive.
+    for (size_t i = 0; i < code.size(); ++i) pooled[i] += code[i];
+    for (size_t i = 0; i < dag.size(); ++i) pooled[code.size() + i] += dag[i];
+    stages += 1.0;
+  }
+  if (stages > 0.0) {
+    for (double& v : pooled) v /= stages;
+  }
+  for (double v : NormalizeDataFeature(data)) pooled.push_back(v);
+  for (double v : NormalizeEnvFeature(env)) pooled.push_back(v);
+  return pooled;
 }
 
 std::unique_ptr<LoadedLiteModel> LoadedLiteModel::Clone() const {

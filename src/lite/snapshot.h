@@ -71,6 +71,28 @@ class LoadedLiteModel {
   size_t num_candidates() const { return num_candidates_; }
   uint64_t seed() const { return seed_; }
 
+  /// Snapshot generation: a monotone version number assigned by the serving
+  /// layer when the model is installed (serve::TuningService). Carried *on*
+  /// the model — not in a separate atomic — so a request that copies the
+  /// snapshot pointer reads the (model, generation) pair atomically; the
+  /// retrieval cache keys memoized responses on it, which is what makes a
+  /// stale-generation cache hit structurally impossible across hot-swaps.
+  /// 0 = never installed (direct LoadedLiteModel use).
+  uint64_t generation() const { return generation_; }
+  void set_generation(uint64_t g) { generation_ = g; }
+
+  /// Knob-independent workload embedding for (app, data, env): member 0's
+  /// cached NECS stage encodings (h_code, h_DAG) mean-pooled across the
+  /// application's stage specs, concatenated with the normalized data (4)
+  /// and environment (6) features. The encodings come from the same
+  /// per-(app, stage, datasize) encoder cache candidate scoring fills, so
+  /// after any scoring pass over this workload the embedding is a pure
+  /// cache read — no extra forward passes. Deterministic for a fixed
+  /// model: identical workloads embed identically bit for bit.
+  std::vector<double> WorkloadEmbedding(const spark::ApplicationSpec& app,
+                                        const spark::DataSpec& data,
+                                        const spark::ClusterEnv& env) const;
+
   /// Scoring options used by Recommend/ScoreCandidates (defaults match
   /// LiteOptions: batched, one worker per core).
   const serve::ScoringOptions& scoring() const { return scoring_; }
@@ -86,6 +108,7 @@ class LoadedLiteModel {
   CandidateGenerator acg_;
   size_t num_candidates_ = 60;
   uint64_t seed_ = 41;
+  uint64_t generation_ = 0;
   serve::ScoringOptions scoring_;
 };
 

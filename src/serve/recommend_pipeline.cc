@@ -3,11 +3,13 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <set>
 
 #include "lite/features.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/guardrail.h"
+#include "sparksim/knob.h"
 #include "util/logging.h"
 
 namespace lite::serve {
@@ -25,6 +27,7 @@ struct PipelineMetrics {
   obs::Counter* sla_filtered;
   obs::Counter* sla_infeasible;
   obs::Counter* candidates_pinned;
+  obs::Counter* seeded_candidates;
   obs::Histogram* recommend_seconds;
 
   static const PipelineMetrics& Get() {
@@ -38,6 +41,7 @@ struct PipelineMetrics {
           reg.GetCounter("lite_sla_filtered_candidates_total"),
           reg.GetCounter("lite_sla_infeasible_total"),
           reg.GetCounter("lite_candidates_pinned_total"),
+          reg.GetCounter("lite_seeded_candidates_total"),
           reg.GetHistogram("lite_recommend_seconds"),
       };
     }();
@@ -131,6 +135,29 @@ LiteSystem::Recommendation RunRecommendPipeline(
       if (spark::PlacementFeasible(env, c)) feasible.push_back(c);
     }
     if (!feasible.empty()) candidates = std::move(feasible);
+  }
+  // Warm-start seeds are appended last so the pool stays a strict superset
+  // of the unseeded pool: each seed is feasibility-checked on its own
+  // (dropping an infeasible seed never triggers the keep-raw fallback
+  // above) and deduped against what is already in the pool.
+  if (ctx.seed_candidates != nullptr && !ctx.seed_candidates->empty()) {
+    std::set<spark::Config> have(candidates.begin(), candidates.end());
+    size_t appended = 0;
+    const spark::KnobSpace& space = spark::KnobSpace::Spark16();
+    for (const spark::Config& seed : *ctx.seed_candidates) {
+      if (seed.size() != spark::kNumKnobs) continue;
+      // Seeds come from outside the sampler (a retrieval index, possibly
+      // loaded from disk), so range-check before the placement math: a
+      // config with executor.cores = 0 would divide by zero inside
+      // PlacementFeasible.
+      if (!space.IsValid(seed)) continue;
+      if (!spark::PlacementFeasible(env, seed)) continue;
+      if (have.insert(seed).second) {
+        candidates.push_back(seed);
+        ++appended;
+      }
+    }
+    if (appended > 0) metrics.seeded_candidates->Inc(appended);
   }
 
   std::vector<double> scores = score(candidates);

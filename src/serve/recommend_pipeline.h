@@ -79,6 +79,19 @@ struct PipelineContext {
   const std::vector<double>* knob_importance = nullptr;
   double importance_keep_fraction = 1.0;
   const spark::Config* pin_reference = nullptr;
+
+  // --- Retrieval extension (serve/retrieval_cache.h). Inert by default.
+
+  /// Warm-start seeds: configurations retrieved for similar historical
+  /// workloads, appended to the pool *after* the sampled candidates went
+  /// through pruning, dedupe and the feasibility filter. Seeds are
+  /// feasibility-checked individually (an infeasible seed is dropped, never
+  /// the keep-raw fallback) and deduped against the pool, so the seeded
+  /// pool is always a superset of the unseeded one — the seeded argmin can
+  /// never be worse than the unseeded argmin on the same snapshot (the
+  /// retrieval oracle invariant). nullptr or empty = bit-identical to the
+  /// unseeded pipeline.
+  const std::vector<spark::Config>* seed_candidates = nullptr;
 };
 
 /// Scoring callback: maps the filtered candidate set to predicted seconds

@@ -1,0 +1,580 @@
+#include "serve/retrieval_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace lite::serve {
+
+namespace {
+
+constexpr char kIndexMagic[] = "literetrieval";
+constexpr char kIndexVersion[] = "v1";
+// Structural sanity bounds for LoadIndex: a fuzzed count or dimension
+// beyond these is damage, not data.
+constexpr size_t kMaxLoadEntries = 1 << 20;
+constexpr size_t kMaxLoadDim = 1 << 16;
+
+// FNV-1a, the repo's convention for content fingerprints (golden MANIFEST,
+// importance seeds). Deterministic across runs on one platform.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvString(uint64_t h, const std::string& s) {
+  return FnvBytes(h, s.data(), s.size());
+}
+
+uint64_t FnvDouble(uint64_t h, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return FnvBytes(h, &bits, sizeof(bits));
+}
+
+// Retrieval-cache observability (docs/RETRIEVAL.md lists the catalog).
+// Co-publication invariant: every counter has a RetrievalCache::Stats twin
+// bumped in the same mu_ critical section, so an idle cache's Stats and
+// metrics deltas agree exactly (the TuningService convention).
+struct RetrievalMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* inserts;
+  obs::Counter* bypasses;
+  obs::Counter* index_inserts;
+  obs::Counter* index_evictions;
+  obs::Counter* seeds;
+  obs::Counter* generation_flushes;
+  obs::Counter* tenant_flushes;
+  obs::Counter* invalidated;
+  obs::Counter* stale_rejected;
+  obs::Gauge* index_size;
+  obs::Gauge* memo_size;
+
+  static const RetrievalMetrics& Get() {
+    static const RetrievalMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new RetrievalMetrics{
+          reg.GetCounter("serve_retrieval_hits_total"),
+          reg.GetCounter("serve_retrieval_misses_total"),
+          reg.GetCounter("serve_retrieval_inserts_total"),
+          reg.GetCounter("serve_retrieval_bypasses_total"),
+          reg.GetCounter("serve_retrieval_index_inserts_total"),
+          reg.GetCounter("serve_retrieval_index_evictions_total"),
+          reg.GetCounter("serve_retrieval_seeds_total"),
+          reg.GetCounter("serve_retrieval_generation_flushes_total"),
+          reg.GetCounter("serve_retrieval_tenant_flushes_total"),
+          reg.GetCounter("serve_retrieval_invalidated_entries_total"),
+          reg.GetCounter("serve_retrieval_stale_inserts_rejected_total"),
+          reg.GetGauge("serve_retrieval_index_size"),
+          reg.GetGauge("serve_retrieval_memo_size"),
+      };
+    }();
+    return *m;
+  }
+};
+
+// Reads the remainder of the line as a string value, stripping the single
+// separating space (tenant/app names may contain spaces).
+std::string ReadLineValue(std::istream* in) {
+  std::string rest;
+  std::getline(*in, rest);
+  if (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+  return rest;
+}
+
+}  // namespace
+
+std::string ValidateRetrievalOptions(const RetrievalCacheOptions& options) {
+  if (!options.enabled) return "";
+  // size_t has no negative values: a caller writing `top_k_seeds = -1`
+  // gets a wrapped astronomical count instead.
+  constexpr size_t kMaxTopK = 4096;
+  if (options.top_k_seeds > kMaxTopK) {
+    return "retrieval.top_k_seeds is implausibly large (negative value cast "
+           "to size_t?)";
+  }
+  if (options.max_index_entries == 0) {
+    return "retrieval.max_index_entries must be > 0 (the index could never "
+           "hold an outcome)";
+  }
+  if (options.memoize && options.max_memo_entries == 0) {
+    return "retrieval.max_memo_entries must be > 0 when memoization is on";
+  }
+  if (options.max_embedding_entries == 0) {
+    return "retrieval.max_embedding_entries must be > 0";
+  }
+  if (options.max_event_log == 0) {
+    return "retrieval.max_event_log must be > 0 (the determinism witness "
+           "would be empty)";
+  }
+  return "";
+}
+
+const char* CacheEventName(CacheEventType type) {
+  switch (type) {
+    case CacheEventType::kHit: return "hit";
+    case CacheEventType::kMiss: return "miss";
+    case CacheEventType::kInsert: return "insert";
+    case CacheEventType::kBypass: return "bypass";
+    case CacheEventType::kIndexInsert: return "index_insert";
+    case CacheEventType::kInvalidateGeneration: return "invalidate_generation";
+    case CacheEventType::kInvalidateTenant: return "invalidate_tenant";
+  }
+  return "unknown";
+}
+
+RetrievalCache::RetrievalCache(RetrievalCacheOptions options)
+    : options_(std::move(options)) {}
+
+uint64_t RetrievalCache::WorkloadFingerprint(const spark::ApplicationSpec& app,
+                                             const spark::DataSpec& data,
+                                             const spark::ClusterEnv& env) {
+  uint64_t h = kFnvOffset;
+  h = FnvString(h, app.name);
+  h = FnvDouble(h, data.size_mb);
+  h = FnvDouble(h, static_cast<double>(data.num_rows));
+  h = FnvDouble(h, static_cast<double>(data.num_cols));
+  h = FnvDouble(h, static_cast<double>(data.iterations));
+  h = FnvDouble(h, static_cast<double>(data.partitions));
+  h = FnvString(h, env.name);
+  for (double v : env.FeatureVector()) h = FnvDouble(h, v);
+  h = FnvDouble(h, env.disk_mbps);  // not part of the 6-entry feature.
+  return h;
+}
+
+uint64_t RetrievalCache::HashEmbedding(const std::string& app,
+                                       const std::vector<double>& embedding) {
+  uint64_t h = kFnvOffset;
+  h = FnvString(h, app);
+  for (double v : embedding) h = FnvDouble(h, v);
+  return h;
+}
+
+uint64_t RetrievalCache::HashInit() { return kFnvOffset; }
+
+uint64_t RetrievalCache::HashCombine(uint64_t h, uint64_t v) {
+  return FnvBytes(h, &v, sizeof(v));
+}
+
+uint64_t RetrievalCache::HashCombine(uint64_t h, double v) {
+  return FnvDouble(h, v);
+}
+
+uint64_t RetrievalCache::HashCombine(uint64_t h, const std::string& s) {
+  return FnvString(h, s);
+}
+
+void RetrievalCache::LogEvent(CacheEventType type, const std::string& tenant,
+                              const std::string& app, uint64_t generation,
+                              uint64_t count) {
+  // Caller holds mu_.
+  CacheEvent e;
+  e.seq = event_seq_++;
+  e.type = type;
+  e.tenant = tenant;
+  e.app = app;
+  e.generation = generation;
+  e.live_generation = live_generation_;
+  e.count = count;
+  events_.push_back(std::move(e));
+  while (events_.size() > options_.max_event_log) events_.pop_front();
+}
+
+std::shared_ptr<const std::vector<double>> RetrievalCache::CachedEmbedding(
+    uint64_t fingerprint, uint64_t generation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = embeddings_.find({fingerprint, generation});
+  return it == embeddings_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const std::vector<double>> RetrievalCache::StoreEmbedding(
+    uint64_t fingerprint, uint64_t generation, std::vector<double> embedding) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(fingerprint, generation);
+  auto it = embeddings_.find(key);
+  if (it != embeddings_.end()) return it->second;  // concurrent loser: reuse.
+  auto stored =
+      std::make_shared<const std::vector<double>>(std::move(embedding));
+  embeddings_.emplace(key, stored);
+  embedding_fifo_.push_back(key);
+  while (embedding_fifo_.size() > options_.max_embedding_entries) {
+    embeddings_.erase(embedding_fifo_.front());
+    embedding_fifo_.pop_front();
+  }
+  return stored;
+}
+
+void RetrievalCache::InsertOutcome(const std::string& tenant,
+                                   const std::string& app,
+                                   uint64_t workload_fingerprint,
+                                   const std::vector<double>& embedding,
+                                   const spark::Config& config,
+                                   double observed_seconds,
+                                   uint64_t generation, bool incumbent) {
+  // Structural sanity only: the index stores observations, and the serving
+  // pipeline range-checks every seed before the placement math (so a
+  // poisoned or stale-schema entry can be retrieved but never acted on).
+  if (config.size() != spark::kNumKnobs || !std::isfinite(observed_seconds)) {
+    return;
+  }
+  const RetrievalMetrics& m = RetrievalMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(tenant, workload_fingerprint);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Keep the best observed config per (tenant, workload); refresh the
+    // embedding to the most recent generation's view either way.
+    if (observed_seconds <= it->second.observed_seconds) {
+      it->second.app = app;
+      it->second.embedding = embedding;
+      it->second.config = config;
+      it->second.observed_seconds = observed_seconds;
+      it->second.generation = generation;
+      it->second.incumbent = incumbent;
+      ++stats_.index_inserts;
+      m.index_inserts->Inc();
+      LogEvent(CacheEventType::kIndexInsert, tenant, app, generation, 0);
+    }
+    return;
+  }
+  IndexEntry entry;
+  entry.tenant = tenant;
+  entry.app = app;
+  entry.fingerprint = workload_fingerprint;
+  entry.embedding = embedding;
+  entry.config = config;
+  entry.observed_seconds = observed_seconds;
+  entry.generation = generation;
+  entry.incumbent = incumbent;
+  entry.order = index_order_++;
+  index_.emplace(key, std::move(entry));
+  index_fifo_.push_back(key);
+  while (index_fifo_.size() > options_.max_index_entries) {
+    index_.erase(index_fifo_.front());
+    index_fifo_.pop_front();
+    ++stats_.index_evictions;
+    m.index_evictions->Inc();
+  }
+  ++stats_.index_inserts;
+  m.index_inserts->Inc();
+  m.index_size->Set(static_cast<double>(index_.size()));
+  LogEvent(CacheEventType::kIndexInsert, tenant, app, generation, 0);
+}
+
+std::vector<RetrievedSeed> RetrievalCache::Retrieve(
+    const std::vector<double>& embedding, size_t k) {
+  std::vector<RetrievedSeed> result;
+  if (k == 0 || embedding.empty()) return result;
+  const RetrievalMetrics& m = RetrievalMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  struct Scored {
+    double distance;
+    uint64_t order;
+    const IndexEntry* entry;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(index_.size());
+  for (const auto& [key, entry] : index_) {
+    if (entry.embedding.size() != embedding.size()) continue;
+    double d2 = 0.0;
+    for (size_t i = 0; i < embedding.size(); ++i) {
+      const double diff = embedding[i] - entry.embedding[i];
+      d2 += diff * diff;
+    }
+    scored.push_back({std::sqrt(d2), entry.order, &entry});
+  }
+  const size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const Scored& a, const Scored& b) {
+                      if (a.distance != b.distance)
+                        return a.distance < b.distance;
+                      return a.order < b.order;  // deterministic tie-break.
+                    });
+  result.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    result.push_back({scored[i].entry->config, scored[i].distance,
+                      scored[i].entry->observed_seconds});
+  }
+  if (!result.empty()) {
+    stats_.seeds_retrieved += result.size();
+    m.seeds->Inc(result.size());
+  }
+  return result;
+}
+
+bool RetrievalCache::LookupMemo(const MemoKey& key, const std::string& tenant,
+                                const std::string& app,
+                                LiteSystem::Recommendation* rec) {
+  const RetrievalMetrics& m = RetrievalMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memo_.find(key);
+  if (it == memo_.end()) {
+    ++stats_.misses;
+    m.misses->Inc();
+    LogEvent(CacheEventType::kMiss, tenant, app, key.generation, 0);
+    return false;
+  }
+  *rec = it->second.rec;
+  ++stats_.hits;
+  m.hits->Inc();
+  LogEvent(CacheEventType::kHit, tenant, app, key.generation, 0);
+  return true;
+}
+
+void RetrievalCache::InsertMemo(const MemoKey& key, const std::string& tenant,
+                                const std::string& app,
+                                const LiteSystem::Recommendation& rec) {
+  const RetrievalMetrics& m = RetrievalMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (key.generation != live_generation_) {
+    // The request raced a hot-swap: its snapshot generation is already
+    // retired, and OnSnapshotInstalled's flush has run. Planting the entry
+    // now would leave a key no future flush covers.
+    ++stats_.stale_inserts_rejected;
+    m.stale_rejected->Inc();
+    return;
+  }
+  if (memo_.emplace(key, MemoEntry{tenant, app, rec}).second) {
+    memo_fifo_.push_back(key);
+    while (memo_fifo_.size() > options_.max_memo_entries) {
+      memo_.erase(memo_fifo_.front());
+      memo_fifo_.pop_front();
+    }
+  }
+  ++stats_.inserts;
+  m.inserts->Inc();
+  m.memo_size->Set(static_cast<double>(memo_.size()));
+  LogEvent(CacheEventType::kInsert, tenant, app, key.generation, 0);
+}
+
+void RetrievalCache::NoteBypass(const std::string& tenant,
+                                const std::string& app, uint64_t generation) {
+  const RetrievalMetrics& m = RetrievalMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.bypasses;
+  m.bypasses->Inc();
+  LogEvent(CacheEventType::kBypass, tenant, app, generation, 0);
+}
+
+void RetrievalCache::OnSnapshotInstalled(uint64_t generation) {
+  const RetrievalMetrics& m = RetrievalMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t flushed = memo_.size();
+  memo_.clear();
+  memo_fifo_.clear();
+  // Stale-generation embeddings are unreachable once the live generation
+  // advances; drop them rather than waiting for FIFO eviction.
+  for (auto it = embeddings_.begin(); it != embeddings_.end();) {
+    if (it->first.second != generation) {
+      it = embeddings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  embedding_fifo_.erase(
+      std::remove_if(embedding_fifo_.begin(), embedding_fifo_.end(),
+                     [&](const std::pair<uint64_t, uint64_t>& k) {
+                       return k.second != generation;
+                     }),
+      embedding_fifo_.end());
+  live_generation_ = generation;
+  ++stats_.generation_flushes;
+  m.generation_flushes->Inc();
+  stats_.invalidated_entries += flushed;
+  if (flushed > 0) m.invalidated->Inc(flushed);
+  m.memo_size->Set(0.0);
+  LogEvent(CacheEventType::kInvalidateGeneration, "", "", generation, flushed);
+}
+
+void RetrievalCache::OnTenantQuarantined(const std::string& tenant) {
+  const RetrievalMetrics& m = RetrievalMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t flushed = 0;
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    if (it->second.tenant == tenant) {
+      it = memo_.erase(it);
+      ++flushed;
+    } else {
+      ++it;
+    }
+  }
+  memo_fifo_.erase(std::remove_if(memo_fifo_.begin(), memo_fifo_.end(),
+                                  [&](const MemoKey& k) {
+                                    return memo_.find(k) == memo_.end();
+                                  }),
+                   memo_fifo_.end());
+  ++stats_.tenant_flushes;
+  m.tenant_flushes->Inc();
+  stats_.invalidated_entries += flushed;
+  if (flushed > 0) m.invalidated->Inc(flushed);
+  m.memo_size->Set(static_cast<double>(memo_.size()));
+  LogEvent(CacheEventType::kInvalidateTenant, tenant, "", live_generation_,
+           flushed);
+}
+
+uint64_t RetrievalCache::live_generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_generation_;
+}
+
+bool RetrievalCache::SaveIndex(const std::string& path) const {
+  std::vector<IndexEntry> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(index_.size());
+    for (const auto& [key, entry] : index_) entries.push_back(entry);
+  }
+  // Deterministic file order: insertion sequence.
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              return a.order < b.order;
+            });
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  out << kIndexMagic << " " << kIndexVersion << "\n";
+  out << "entries " << entries.size() << "\n";
+  for (const IndexEntry& e : entries) {
+    out << "tenant " << e.tenant << "\n";
+    out << "app " << e.app << "\n";
+    out << "fingerprint " << e.fingerprint << "\n";
+    out << "generation " << e.generation << "\n";
+    out << "seconds " << e.observed_seconds << "\n";
+    out << "incumbent " << (e.incumbent ? 1 : 0) << "\n";
+    out << "embedding " << e.embedding.size();
+    for (double v : e.embedding) out << " " << v;
+    out << "\n";
+    out << "config " << e.config.size();
+    for (double v : e.config) out << " " << v;
+    out << "\n";
+    out << "end\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool RetrievalCache::LoadIndex(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != kIndexMagic ||
+      version != kIndexVersion) {
+    return false;
+  }
+  std::string key;
+  size_t count = 0;
+  if (!(in >> key) || key != "entries" || !(in >> count) ||
+      count > kMaxLoadEntries) {
+    return false;
+  }
+  std::vector<IndexEntry> entries;
+  entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    IndexEntry e;
+    bool have_embedding = false;
+    bool have_config = false;
+    bool done = false;
+    while (!done) {
+      if (!(in >> key)) return false;  // truncation mid-entry.
+      if (key == "end") {
+        done = true;
+      } else if (key == "tenant") {
+        e.tenant = ReadLineValue(&in);
+      } else if (key == "app") {
+        e.app = ReadLineValue(&in);
+      } else if (key == "fingerprint") {
+        if (!(in >> e.fingerprint)) return false;
+      } else if (key == "generation") {
+        if (!(in >> e.generation)) return false;
+      } else if (key == "seconds") {
+        if (!(in >> e.observed_seconds) || !std::isfinite(e.observed_seconds)) {
+          return false;
+        }
+      } else if (key == "incumbent") {
+        int v = 0;
+        if (!(in >> v)) return false;
+        e.incumbent = v != 0;
+      } else if (key == "embedding") {
+        size_t dim = 0;
+        if (!(in >> dim) || dim > kMaxLoadDim) return false;
+        e.embedding.resize(dim);
+        for (double& v : e.embedding) {
+          // A non-finite coordinate would poison every L2 distance it
+          // touches (NaN breaks partial_sort's strict weak ordering).
+          if (!(in >> v) || !std::isfinite(v)) return false;
+        }
+        have_embedding = true;
+      } else if (key == "config") {
+        size_t dim = 0;
+        if (!(in >> dim) || dim > kMaxLoadDim) return false;
+        e.config.resize(dim);
+        for (double& v : e.config) {
+          if (!(in >> v) || !std::isfinite(v)) return false;
+        }
+        have_config = true;
+      } else {
+        // Unknown key: an index written by a newer binary that appended
+        // per-entry fields. Skip the rest of the line (the snapshot-meta
+        // forward-compat convention); malformed values of *known* keys
+        // above still reject the file.
+        std::string rest;
+        std::getline(in, rest);
+        LITE_WARN << "retrieval index: skipping unknown key '" << key << "'";
+      }
+    }
+    if (!have_embedding || !have_config) return false;
+    entries.push_back(std::move(e));
+  }
+  const RetrievalMetrics& m = RetrievalMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  index_fifo_.clear();
+  for (IndexEntry& e : entries) {
+    auto mkey = std::make_pair(e.tenant, e.fingerprint);
+    e.order = index_order_++;
+    if (index_.emplace(mkey, std::move(e)).second) {
+      index_fifo_.push_back(mkey);
+    }
+  }
+  while (index_fifo_.size() > options_.max_index_entries) {
+    index_.erase(index_fifo_.front());
+    index_fifo_.pop_front();
+  }
+  m.index_size->Set(static_cast<double>(index_.size()));
+  return true;
+}
+
+RetrievalCache::Stats RetrievalCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t RetrievalCache::index_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+size_t RetrievalCache::memo_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_.size();
+}
+
+std::vector<CacheEvent> RetrievalCache::EventLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<CacheEvent>(events_.begin(), events_.end());
+}
+
+}  // namespace lite::serve

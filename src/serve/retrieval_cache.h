@@ -1,0 +1,317 @@
+// RetrievalCache: zero-execution warm start for the serving layer
+// (ROADMAP's retrieval-augmented recommendation cache, after arXiv
+// 2503.03826). Two data structures behind one mutex:
+//
+//   * An embedding *index* of historical outcomes: one entry per
+//     (tenant, workload) holding the workload embedding (the cached NECS
+//     encoder outputs pooled by LoadedLiteModel::WorkloadEmbedding — no
+//     extra forward passes on ingest), the best honest observed config and
+//     its runtime. Populated from guardrail-grade feedback: failed and
+//     censored runs never enter (the same rule that keeps them out of the
+//     guardrail incumbent). Nearest-neighbor retrieval over the index
+//     seeds the candidate pool in RunRecommendPipeline (warm start); the
+//     index survives hot-swaps because it records *observations*, not
+//     model outputs — seeds are always re-scored by the live model.
+//
+//   * A memoized response cache (*memo*) serving exact-repeat workloads
+//     with zero model evaluations. Keys are (workload-embedding hash,
+//     snapshot generation, tenant-policy fingerprint); values replay the
+//     cached Recommendation verbatim. Invalidation is tied to snapshot
+//     version and guardrail state:
+//       - InstallSnapshot: OnSnapshotInstalled(gen) flushes the whole memo
+//         and advances the live generation *before* the new snapshot is
+//         published, and inserts are rejected unless their generation is
+//         live — so a hit can never be served from a generation older than
+//         the one being served (asserted via the event log, which records
+//         both the entry's and the live generation on every hit).
+//       - Quarantine: the guardrail's Admit() decision precedes any memo
+//         lookup in the TuningService; non-CLOSED tenants bypass the memo
+//         entirely and a tenant entering quarantine has its memo entries
+//         flushed (OnTenantQuarantined). A regressed model's configs
+//         cannot leak past the guardrail through the cache.
+//
+// Every mutation appends a CacheEvent (hit/miss/insert/bypass/invalidate)
+// to a bounded event log — the determinism witness the replay tests diff,
+// mirroring the guardrail's transition log. Every Stats field has a
+// serve_retrieval_* metric twin bumped in the same critical section.
+//
+// The cache is inert by default (`enabled=false`): no RetrievalCache is
+// constructed and the serving path is bit-identical to guardrailed PR 6
+// serving (the `DiffRetrievalTransparency` differential; an enabled-but-
+// cold cache is also bit-identical because seeds only ever *extend* the
+// candidate pool and the pool argmin is a superset argmin).
+//
+// See docs/RETRIEVAL.md for the index schema, invalidation rules and
+// metric catalog.
+#ifndef LITE_SERVE_RETRIEVAL_CACHE_H_
+#define LITE_SERVE_RETRIEVAL_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lite/lite_system.h"
+#include "sparksim/application.h"
+#include "sparksim/environment.h"
+#include "sparksim/knob.h"
+
+namespace lite::serve {
+
+struct RetrievalCacheOptions {
+  /// Master switch. Disabled (the default) means the TuningService never
+  /// constructs a RetrievalCache — the serving path is structurally
+  /// unchanged, bit for bit.
+  bool enabled = false;
+  /// Nearest-neighbor configs retrieved as candidate-pool seeds per
+  /// request. 0 disables warm-start seeding (memoization still works).
+  size_t top_k_seeds = 4;
+  /// Exact-repeat response memoization. Off = every request runs the full
+  /// pipeline (warm-start seeding still applies).
+  bool memoize = true;
+  /// Index capacity: one entry per (tenant, workload); the oldest entry is
+  /// evicted beyond this.
+  size_t max_index_entries = 4096;
+  /// Memo capacity (entries, FIFO eviction).
+  size_t max_memo_entries = 4096;
+  /// Workload-embedding cache capacity (entries, FIFO eviction).
+  size_t max_embedding_entries = 1024;
+  /// Event-log ring bound (oldest events dropped beyond it).
+  size_t max_event_log = 65536;
+};
+
+/// Validates option ranges (zero capacities with the cache enabled, absurd
+/// top-k from a negative value cast to size_t). Empty string = valid.
+std::string ValidateRetrievalOptions(const RetrievalCacheOptions& options);
+
+enum class CacheEventType {
+  kHit = 0,         ///< memo hit: the cached Recommendation was replayed.
+  kMiss = 1,        ///< memo lookup found nothing; full pipeline ran.
+  kInsert = 2,      ///< memo entry stored.
+  kBypass = 3,      ///< guardrail state non-CLOSED: memo skipped entirely.
+  kIndexInsert = 4, ///< index entry inserted or improved.
+  kInvalidateGeneration = 5,  ///< hot-swap flushed the memo.
+  kInvalidateTenant = 6,      ///< quarantine flushed one tenant's entries.
+};
+
+/// "hit" / "miss" / "insert" / "bypass" / "index_insert" /
+/// "invalidate_generation" / "invalidate_tenant" (metric label values).
+const char* CacheEventName(CacheEventType type);
+
+/// One cache event, in global publication order. The log is the
+/// determinism witness: same seed + same request/feedback/swap stream =>
+/// identical log (tests/retrieval_test.cc diffs it field by field).
+struct CacheEvent {
+  uint64_t seq = 0;
+  CacheEventType type = CacheEventType::kMiss;
+  std::string tenant;
+  std::string app;
+  /// The generation involved: the memo entry's generation for
+  /// hit/insert, the new live generation for invalidations.
+  uint64_t generation = 0;
+  /// The live generation at the time of the event. A hit with
+  /// generation != live_generation would be a stale-generation hit — the
+  /// invariant the bench and property tests assert never happens.
+  uint64_t live_generation = 0;
+  /// Entries flushed (invalidations) or 0.
+  uint64_t count = 0;
+};
+
+/// One warm-start seed retrieved from the index.
+struct RetrievedSeed {
+  spark::Config config;
+  double distance = 0.0;          ///< L2 distance in embedding space.
+  double observed_seconds = 0.0;  ///< the historical outcome.
+};
+
+class RetrievalCache {
+ public:
+  explicit RetrievalCache(RetrievalCacheOptions options);
+
+  const RetrievalCacheOptions& options() const { return options_; }
+
+  // --- Hashing / fingerprints (deterministic, FNV-1a based). -------------
+
+  /// Raw workload identity: app name + data spec + environment, hashed
+  /// knob- and model-independently. Keys the embedding cache and the index
+  /// (stable across snapshot generations, unlike the embedding itself).
+  static uint64_t WorkloadFingerprint(const spark::ApplicationSpec& app,
+                                      const spark::DataSpec& data,
+                                      const spark::ClusterEnv& env);
+
+  /// Hash of the embedding bytes (seeded with `app` so distinct apps with
+  /// degenerate equal embeddings cannot collide into one memo slot).
+  static uint64_t HashEmbedding(const std::string& app,
+                                const std::vector<double>& embedding);
+
+  /// Incremental FNV-1a combinators for composing fingerprints (the
+  /// TuningService builds the tenant-policy fingerprint with these).
+  static uint64_t HashInit();
+  static uint64_t HashCombine(uint64_t h, uint64_t v);
+  static uint64_t HashCombine(uint64_t h, double v);
+  static uint64_t HashCombine(uint64_t h, const std::string& s);
+
+  /// Memoized responses are keyed on all three components: same workload
+  /// (embedding hash), same model version (snapshot generation), same
+  /// serving contract (tenant-policy fingerprint: tenant, effective seed,
+  /// SLA deadline, exploration budget, pruning state). Any difference in
+  /// any component is a miss.
+  struct MemoKey {
+    uint64_t workload_hash = 0;
+    uint64_t generation = 0;
+    uint64_t policy_fingerprint = 0;
+    bool operator<(const MemoKey& o) const {
+      if (workload_hash != o.workload_hash)
+        return workload_hash < o.workload_hash;
+      if (generation != o.generation) return generation < o.generation;
+      return policy_fingerprint < o.policy_fingerprint;
+    }
+  };
+
+  // --- Workload-embedding cache. -----------------------------------------
+
+  /// Cached embedding for (fingerprint, generation); nullptr when absent.
+  std::shared_ptr<const std::vector<double>> CachedEmbedding(
+      uint64_t fingerprint, uint64_t generation) const;
+  /// Stores (and returns) the embedding; returns the already-stored value
+  /// when a concurrent request inserted the same key first.
+  std::shared_ptr<const std::vector<double>> StoreEmbedding(
+      uint64_t fingerprint, uint64_t generation,
+      std::vector<double> embedding);
+
+  // --- Index (warm-start retrieval). -------------------------------------
+
+  /// Records one honest observed outcome. Keeps the best (lowest
+  /// observed_seconds) config per (tenant, workload fingerprint);
+  /// `incumbent` marks entries mirroring a guardrail incumbent update.
+  /// Callers must never pass failed/censored runs (the TuningService drops
+  /// them first — same gate as the adaptive-update batch).
+  void InsertOutcome(const std::string& tenant, const std::string& app,
+                     uint64_t workload_fingerprint,
+                     const std::vector<double>& embedding,
+                     const spark::Config& config, double observed_seconds,
+                     uint64_t generation, bool incumbent);
+
+  /// Top-k nearest index entries to `embedding` (L2, ascending distance;
+  /// ties broken by insertion order, so retrieval is deterministic).
+  /// Entries whose embedding dimension differs (a swapped-in model with a
+  /// different encoder width) are skipped.
+  std::vector<RetrievedSeed> Retrieve(const std::vector<double>& embedding,
+                                      size_t k);
+
+  // --- Memo. --------------------------------------------------------------
+
+  /// Looks up a memoized recommendation. On a hit, copies the cached
+  /// Recommendation into *rec (replayed verbatim — wall time and candidate
+  /// count included) and logs kHit; on a miss logs kMiss.
+  bool LookupMemo(const MemoKey& key, const std::string& tenant,
+                  const std::string& app, LiteSystem::Recommendation* rec);
+
+  /// Stores a memoized recommendation. Rejected (and counted in
+  /// stale_inserts_rejected) when key.generation is not the live
+  /// generation — an in-flight request racing a hot-swap must not plant an
+  /// entry the flush already missed.
+  void InsertMemo(const MemoKey& key, const std::string& tenant,
+                  const std::string& app, const LiteSystem::Recommendation& rec);
+
+  /// Logs that the guardrail state forced the request past the memo
+  /// (kBypass) — quarantined or probing tenants never touch cached entries.
+  void NoteBypass(const std::string& tenant, const std::string& app,
+                  uint64_t generation);
+
+  // --- Invalidation. ------------------------------------------------------
+
+  /// Hot-swap: advances the live generation and flushes the entire memo
+  /// (and stale embedding-cache entries). The TuningService calls this
+  /// *before* publishing the new snapshot, so by the time any request can
+  /// see generation `gen` the memo holds no older entries.
+  void OnSnapshotInstalled(uint64_t generation);
+
+  /// Quarantine: flushes the tenant's memo entries. Index entries are kept
+  /// — they are honest observations, and retrieval seeds are re-scored by
+  /// the live model rather than served verbatim.
+  void OnTenantQuarantined(const std::string& tenant);
+
+  uint64_t live_generation() const;
+
+  // --- Persistence (index only; the memo is volatile by design). ---------
+
+  /// Saves the index as a line-oriented text file (`literetrieval v1`).
+  bool SaveIndex(const std::string& path) const;
+  /// Loads an index file, replacing the current index on success. Unknown
+  /// per-entry keys are skipped with a warning (forward compatibility, the
+  /// snapshot-meta convention); structural damage — bad magic, truncation
+  /// mid-entry, malformed values of known keys, absurd dimensions — fails
+  /// cleanly with false and leaves the cache unchanged.
+  bool LoadIndex(const std::string& path);
+
+  // --- Introspection. -----------------------------------------------------
+
+  /// Every field co-published with its serve_retrieval_* metric twin under
+  /// the cache mutex (exact equality, the TuningService convention).
+  struct Stats {
+    uint64_t hits = 0;              ///< memoized responses served.
+    uint64_t misses = 0;            ///< memo lookups that ran the pipeline.
+    uint64_t inserts = 0;           ///< memo entries stored.
+    uint64_t bypasses = 0;          ///< guardrail-forced memo bypasses.
+    uint64_t index_inserts = 0;     ///< index entries inserted/improved.
+    uint64_t index_evictions = 0;   ///< index entries evicted (capacity).
+    uint64_t seeds_retrieved = 0;   ///< warm-start seeds returned.
+    uint64_t generation_flushes = 0;  ///< OnSnapshotInstalled flushes.
+    uint64_t tenant_flushes = 0;      ///< OnTenantQuarantined flushes.
+    uint64_t invalidated_entries = 0; ///< memo entries flushed, total.
+    uint64_t stale_inserts_rejected = 0;  ///< inserts racing a hot-swap.
+  };
+  Stats stats() const;
+
+  size_t index_size() const;
+  size_t memo_size() const;
+  /// Full event log, in publication order (oldest may have been dropped
+  /// past max_event_log).
+  std::vector<CacheEvent> EventLog() const;
+
+ private:
+  struct IndexEntry {
+    std::string tenant;
+    std::string app;
+    uint64_t fingerprint = 0;
+    std::vector<double> embedding;
+    spark::Config config;
+    double observed_seconds = 0.0;
+    uint64_t generation = 0;
+    bool incumbent = false;
+    uint64_t order = 0;  ///< insertion sequence (retrieval tie-break).
+  };
+  struct MemoEntry {
+    std::string tenant;
+    std::string app;
+    LiteSystem::Recommendation rec;
+  };
+
+  void LogEvent(CacheEventType type, const std::string& tenant,
+                const std::string& app, uint64_t generation, uint64_t count);
+
+  RetrievalCacheOptions options_;
+  mutable std::mutex mu_;
+  uint64_t live_generation_ = 0;
+  uint64_t event_seq_ = 0;
+  uint64_t index_order_ = 0;
+  std::map<std::pair<std::string, uint64_t>, IndexEntry> index_;
+  std::deque<std::pair<std::string, uint64_t>> index_fifo_;
+  std::map<MemoKey, MemoEntry> memo_;
+  std::deque<MemoKey> memo_fifo_;
+  std::map<std::pair<uint64_t, uint64_t>,
+           std::shared_ptr<const std::vector<double>>>
+      embeddings_;
+  std::deque<std::pair<uint64_t, uint64_t>> embedding_fifo_;
+  std::deque<CacheEvent> events_;
+  Stats stats_;
+};
+
+}  // namespace lite::serve
+
+#endif  // LITE_SERVE_RETRIEVAL_CACHE_H_

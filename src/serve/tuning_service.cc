@@ -75,7 +75,9 @@ std::string ValidateServiceOptions(const ServiceOptions& options) {
     return "max_stage_instances_per_run must be > 0 (feedback would always "
            "be empty)";
   }
-  return ValidateGuardrailOptions(options.guardrail);
+  std::string err = ValidateGuardrailOptions(options.guardrail);
+  if (!err.empty()) return err;
+  return ValidateRetrievalOptions(options.retrieval);
 }
 
 TuningService::TuningService(const spark::SparkRunner* runner,
@@ -88,6 +90,9 @@ TuningService::TuningService(const spark::SparkRunner* runner,
   }
   if (options_.guardrail.enabled) {
     guardrail_ = std::make_unique<Guardrail>(options_.guardrail);
+  }
+  if (options_.retrieval.enabled) {
+    retrieval_ = std::make_unique<RetrievalCache>(options_.retrieval);
   }
 }
 
@@ -110,6 +115,19 @@ bool TuningService::LoadSnapshot(const std::string& dir) {
 void TuningService::InstallSnapshot(std::unique_ptr<LoadedLiteModel> model) {
   LITE_CHECK(model != nullptr) << "InstallSnapshot: null model";
   model->set_scoring(options_.scoring);
+  // The new generation is stamped on the model *before* publication, so a
+  // request that copies the snapshot pointer reads a consistent
+  // (model, version) pair — it keys the guardrail's per-family
+  // knob-importance cache and the retrieval cache's memo entries.
+  const uint64_t gen =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  model->set_generation(gen);
+  // Memo flush precedes publication: by the time any request can see
+  // generation `gen`, the memo holds no older-generation entries, and an
+  // in-flight request still on the retired snapshot has its late insert
+  // rejected by the cache's live-generation check. A stale-generation
+  // cache hit is therefore structurally impossible.
+  if (retrieval_ != nullptr) retrieval_->OnSnapshotInstalled(gen);
   std::shared_ptr<const LoadedLiteModel> fresh = std::move(model);
   // RCU publish: readers that copied the old pointer keep it alive through
   // their shared_ptr copy; the retired snapshot is freed when the last
@@ -121,9 +139,6 @@ void TuningService::InstallSnapshot(std::unique_ptr<LoadedLiteModel> model) {
     old = std::move(snapshot_);
     snapshot_ = std::move(fresh);
   }
-  // New generation: the guardrail's per-family knob-importance cache keys
-  // on it, so importance is recomputed against the swapped-in model.
-  generation_.fetch_add(1, std::memory_order_acq_rel);
   if (old != nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.hot_swaps;
@@ -182,6 +197,73 @@ TuningService::Response TuningService::RunRequest(
     }
     r.probe = guard.probe;
   }
+  // --- Retrieval cache: memoized responses + warm-start seeds. -----------
+  // Guardrail precedence: Admit() already ran, and only CLOSED-state,
+  // non-probe requests may touch the memo — quarantined and
+  // budget-suppressed tenants took the incumbent fast path above, probing
+  // requests bypass the memo (a probe must exercise the live model).
+  std::shared_ptr<const std::vector<double>> embedding;
+  RetrievalCache::MemoKey memo_key;
+  bool memo_store = false;
+  std::vector<spark::Config> seeds;
+  if (retrieval_ != nullptr) {
+    const uint64_t gen = snap->generation();
+    const uint64_t fp = RetrievalCache::WorkloadFingerprint(app, data, env);
+    embedding = retrieval_->CachedEmbedding(fp, gen);
+    if (embedding == nullptr) {
+      // First sight of this (workload, generation): pool the cached NECS
+      // encoder outputs into an embedding. Repeat requests are a map hit.
+      embedding = retrieval_->StoreEmbedding(
+          fp, gen, snap->WorkloadEmbedding(app, data, env));
+    }
+    if (options_.retrieval.memoize) {
+      if (guardrail_ == nullptr ||
+          (guard.state == BreakerState::kClosed && !guard.probe)) {
+        memo_key.workload_hash =
+            RetrievalCache::HashEmbedding(app.name, *embedding);
+        memo_key.generation = gen;
+        // The policy fingerprint covers everything besides the workload and
+        // the model that can steer the recommendation: tenant identity,
+        // the effective RNG stream, SLA deadline, exploration budget and
+        // the knob-pruning state (incumbent values included — pinning
+        // changes the candidate pool).
+        uint64_t pf = RetrievalCache::HashInit();
+        pf = RetrievalCache::HashCombine(pf, tenant);
+        pf = RetrievalCache::HashCombine(pf, seed != 0 ? seed : snap->seed());
+        pf = RetrievalCache::HashCombine(pf, guard.policy.sla_deadline_seconds);
+        pf = RetrievalCache::HashCombine(pf, guard.policy.exploration_fraction);
+        const bool pruning = guardrail_ != nullptr &&
+                             options_.guardrail.prune_knobs && guard.stable;
+        pf = RetrievalCache::HashCombine(pf,
+                                         static_cast<uint64_t>(pruning ? 1 : 0));
+        if (pruning) {
+          pf = RetrievalCache::HashCombine(
+              pf, options_.guardrail.importance_keep_fraction);
+          for (double v : guard.incumbent) {
+            pf = RetrievalCache::HashCombine(pf, v);
+          }
+        }
+        memo_key.policy_fingerprint = pf;
+        memo_store = true;
+        Response cached;
+        if (retrieval_->LookupMemo(memo_key, tenant, app.name, &cached.rec)) {
+          // Exact repeat: replay the cached Recommendation verbatim — zero
+          // model evaluations, zero candidate featurizations.
+          cached.ok = true;
+          cached.from_cache = true;
+          return cached;
+        }
+      } else {
+        retrieval_->NoteBypass(tenant, app.name, gen);
+      }
+    }
+    if (options_.retrieval.top_k_seeds > 0) {
+      for (RetrievedSeed& s :
+           retrieval_->Retrieve(*embedding, options_.retrieval.top_k_seeds)) {
+        seeds.push_back(std::move(s.config));
+      }
+    }
+  }
   try {
     PipelineContext ctx;
     ctx.acg = &snap->candidate_generator();
@@ -195,7 +277,10 @@ TuningService::Response TuningService::RunRequest(
     if (guardrail_ != nullptr) {
       ctx.sla_deadline_seconds = guard.policy.sla_deadline_seconds;
       if (options_.guardrail.prune_knobs && guard.stable) {
-        const uint64_t gen = generation_.load(std::memory_order_acquire);
+        // The snapshot's own generation, not generation_.load(): the pair
+        // (model, version) must be consistent even when a hot-swap lands
+        // mid-request.
+        const uint64_t gen = snap->generation();
         importance = guardrail_->ImportanceFor(app.name, gen);
         if (importance == nullptr) {
           // Once per (family, snapshot generation): score a deterministic
@@ -221,11 +306,17 @@ TuningService::Response TuningService::RunRequest(
         }
       }
     }
+    if (!seeds.empty()) ctx.seed_candidates = &seeds;
     r.rec = RunRecommendPipeline(
         ctx, app, data, env, [&](const std::vector<spark::Config>& candidates) {
           return snap->ScoreCandidates(app, data, env, candidates);
         });
     r.ok = true;
+    if (memo_store && retrieval_ != nullptr) {
+      // Stale inserts (a hot-swap landed during the pipeline run) are
+      // rejected inside the cache by the live-generation check.
+      retrieval_->InsertMemo(memo_key, tenant, app.name, r.rec);
+    }
   } catch (const std::exception& e) {
     r.error = e.what();
   } catch (...) {
@@ -394,16 +485,46 @@ bool TuningService::SubmitFeedbackRun(
   // Every observation feeds the guardrail's regression detector, healthy
   // or not — that is the signal quarantining is built from.
   if (guardrail_ != nullptr) {
+    const BreakerState before = guardrail_->StateOf(tenant);
     guardrail_->Observe(tenant, config, observed_seconds, failed, censored);
+    if (retrieval_ != nullptr && before != BreakerState::kQuarantined &&
+        guardrail_->StateOf(tenant) == BreakerState::kQuarantined) {
+      // Guardrail precedence: this observation tripped the tenant into
+      // quarantine, so its memoized responses — computed when the model was
+      // still trusted for it — are flushed. (Quarantined tenants also never
+      // reach the memo: Admit() routes them to the incumbent fast path.)
+      retrieval_->OnTenantQuarantined(tenant);
+    }
   }
   if (failed || censored) {
     // Poisoned-update gating: a failed or censored run's labels are the
     // failure cap, not an observation — fine-tuning on them drags the model
-    // toward the cap. Dropped here, before extraction.
+    // toward the cap. Dropped here, before extraction. The same gate keeps
+    // them out of the retrieval index below: a failed run's capped runtime
+    // is not an outcome worth retrieving.
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.bad_feedback_dropped;
     ServeMetrics::Get().bad_feedback->Inc();
     return true;
+  }
+  if (retrieval_ != nullptr) {
+    // Honest outcome: record (workload embedding -> config, runtime) in the
+    // retrieval index. The embedding reuses the cached NECS encoder
+    // outputs (and the per-workload embedding cache), so ingest adds no
+    // forward passes on a warm path.
+    const uint64_t gen = snap->generation();
+    const uint64_t fp = RetrievalCache::WorkloadFingerprint(app, data, env);
+    auto embedding = retrieval_->CachedEmbedding(fp, gen);
+    if (embedding == nullptr) {
+      embedding = retrieval_->StoreEmbedding(
+          fp, gen, snap->WorkloadEmbedding(app, data, env));
+    }
+    bool is_incumbent = false;
+    if (guardrail_ != nullptr && guardrail_->HasIncumbent(tenant)) {
+      is_incumbent = guardrail_->IncumbentOf(tenant) == config;
+    }
+    retrieval_->InsertOutcome(tenant, app.name, fp, *embedding, config,
+                              observed_seconds, gen, is_incumbent);
   }
   // Extraction outside the lock: featurization is the expensive part and
   // reads only the immutable snapshot.

@@ -29,9 +29,15 @@
 //     fallbacks, a regression-tripped circuit breaker, exploration budgets
 //     and SLA deadlines. Disabled by default — the unguarded service is
 //     bit-identical to PR 5.
+//   * An optional retrieval cache (serve/retrieval_cache.h): historical
+//     outcomes indexed by workload embedding seed the candidate pool
+//     (warm start), and exact-repeat workloads are served a memoized
+//     Response with zero model evaluations, keyed on (embedding hash,
+//     snapshot generation, tenant-policy fingerprint) so hot-swaps and
+//     quarantines invalidate atomically. Disabled by default.
 //
 // See docs/SERVING.md for the architecture and the serve_* metric catalog,
-// docs/GUARDRAILS.md for the guardrail.
+// docs/GUARDRAILS.md for the guardrail, docs/RETRIEVAL.md for the cache.
 #ifndef LITE_SERVE_TUNING_SERVICE_H_
 #define LITE_SERVE_TUNING_SERVICE_H_
 
@@ -46,6 +52,7 @@
 #include "lite/snapshot.h"
 #include "serve/guardrail.h"
 #include "serve/recommend_pipeline.h"
+#include "serve/retrieval_cache.h"
 #include "sparksim/resilient_runner.h"
 
 namespace lite::serve {
@@ -70,6 +77,10 @@ struct ServiceOptions {
   /// Guardrail configuration. `enabled=false` (the default) is structurally
   /// inert: no Guardrail is constructed and the serving path is unchanged.
   GuardrailOptions guardrail;
+  /// Retrieval cache configuration (warm-start seeding + memoized
+  /// responses). `enabled=false` (the default) is structurally inert: no
+  /// RetrievalCache is constructed and the serving path is unchanged.
+  RetrievalCacheOptions retrieval;
 };
 
 /// Validates a ServiceOptions bundle (zero admission bound, absurd thread
@@ -124,6 +135,10 @@ class TuningService {
     bool from_incumbent = false;
     /// True when this model recommendation was a half-open probe.
     bool probe = false;
+    /// True when the response was a memoized retrieval-cache hit: `rec` is
+    /// the cached Recommendation replayed verbatim (wall time and candidate
+    /// count included) and zero model evaluations ran.
+    bool from_cache = false;
     std::string error;
     LiteSystem::Recommendation rec;
   };
@@ -167,6 +182,10 @@ class TuningService {
   /// The guardrail, or nullptr when options.guardrail.enabled is false.
   /// Exposes breaker states, the transition log and guardrail stats.
   Guardrail* guardrail() const { return guardrail_.get(); }
+
+  /// The retrieval cache, or nullptr when options.retrieval.enabled is
+  /// false. Exposes the index, memo stats and the cache event log.
+  RetrievalCache* retrieval() const { return retrieval_.get(); }
 
   /// Installs a per-tenant serving policy (SLA deadline, exploration
   /// budget). Throws std::invalid_argument on invalid policies; no-op with
@@ -227,9 +246,14 @@ class TuningService {
   /// Non-null iff options_.guardrail.enabled. Internally synchronized; the
   /// unique_ptr itself is set once in the constructor and never reseated.
   std::unique_ptr<Guardrail> guardrail_;
-  /// Snapshot generation, bumped by every InstallSnapshot. Keys the
-  /// guardrail's per-family knob-importance cache: a hot-swapped model may
-  /// care about different knobs, so a new generation invalidates the cache.
+  /// Non-null iff options_.retrieval.enabled. Internally synchronized; set
+  /// once in the constructor and never reseated.
+  std::unique_ptr<RetrievalCache> retrieval_;
+  /// Snapshot generation allocator, bumped by every InstallSnapshot. The
+  /// installed generation is carried on the LoadedLiteModel itself
+  /// (snap->generation()), so requests read a consistent (model, version)
+  /// pair off one pointer; it keys the guardrail's per-family
+  /// knob-importance cache and the retrieval cache's memo entries.
   std::atomic<uint64_t> generation_{0};
 
   /// RCU publication point: snap_mu_ guards only the pointer copy/swap

@@ -289,4 +289,66 @@ DiffResult DiffGuardrailTransparency(const spark::SparkRunner& runner,
   return {};
 }
 
+DiffResult DiffRetrievalTransparency(const spark::SparkRunner& runner,
+                                     const WorkloadTuple& t,
+                                     const std::string& dir) {
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    auto make_service = [&](bool cached) {
+      serve::ServiceOptions opts;
+      opts.scoring.threads = threads;
+      opts.retrieval.enabled = cached;
+      auto service = std::make_unique<serve::TuningService>(&runner, opts);
+      if (!service->LoadSnapshot(dir)) service.reset();
+      return service;
+    };
+    auto off_service = make_service(false);
+    auto on_service = make_service(true);
+    if (off_service == nullptr || on_service == nullptr) {
+      return Fail("snapshot failed to load from " + dir);
+    }
+    int off_session = off_service->OpenSession("transparency-tenant");
+    int on_session = on_service->OpenSession("transparency-tenant");
+    serve::TuningService::Response off =
+        off_service->Recommend(off_session, *t.app, t.data, t.env);
+    serve::TuningService::Response on =
+        on_service->Recommend(on_session, *t.app, t.data, t.env);
+    const std::string where =
+        std::string(t.app->name) + " @" + std::to_string(threads) + " threads";
+    if (!off.ok) return Fail("cache-off serving failed: " + off.error);
+    if (!on.ok) return Fail("cache-on serving failed: " + on.error);
+    if (on.from_cache) {
+      return Fail("cold cache claimed a memo hit on the first request (" +
+                  where + ")");
+    }
+    if (on.rec.config != off.rec.config) {
+      return Fail("cold retrieval cache changed the recommended "
+                  "configuration (" + where + ")");
+    }
+    if (on.rec.predicted_seconds != off.rec.predicted_seconds) {
+      return Fail("cold retrieval cache moved predicted seconds: " +
+                  Fmt(off.rec.predicted_seconds) + " vs " +
+                  Fmt(on.rec.predicted_seconds) + " (" + where + ")");
+    }
+    if (on.rec.candidates_evaluated != off.rec.candidates_evaluated) {
+      return Fail("cold retrieval cache changed the evaluated candidate "
+                  "count (" + where + ")");
+    }
+    // Exact repeat: the memo must replay the first response verbatim.
+    serve::TuningService::Response replay =
+        on_service->Recommend(on_session, *t.app, t.data, t.env);
+    if (!replay.ok) return Fail("memoized serving failed: " + replay.error);
+    if (!replay.from_cache) {
+      return Fail("exact-repeat request missed the memo (" + where + ")");
+    }
+    if (replay.rec.config != on.rec.config ||
+        replay.rec.predicted_seconds != on.rec.predicted_seconds ||
+        replay.rec.candidates_evaluated != on.rec.candidates_evaluated ||
+        replay.rec.recommend_wall_seconds != on.rec.recommend_wall_seconds) {
+      return Fail("memo hit did not replay the cached Response bit for bit (" +
+                  where + ")");
+    }
+  }
+  return {};
+}
+
 }  // namespace lite::testkit

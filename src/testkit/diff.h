@@ -90,6 +90,20 @@ DiffResult DiffGuardrailTransparency(const spark::SparkRunner& runner,
                                      const WorkloadTuple& t,
                                      const std::string& dir);
 
+/// Retrieval-cache transparency (the `retrieval_transparency` invariant),
+/// checked across scoring thread counts 1/4/8:
+///   * cache-disabled vs cache-enabled-but-cold must be bit-identical — an
+///     empty index seeds nothing and a cold memo hits nothing, so enabling
+///     the cache may not perturb a single bit;
+///   * a second identical request on the enabled service must be a memo hit
+///     (from_cache) replaying the first response's Recommendation verbatim
+///     — config, predicted seconds, candidate count and recorded wall time
+///     all bit-identical.
+/// `dir` must hold a saved snapshot.
+DiffResult DiffRetrievalTransparency(const spark::SparkRunner& runner,
+                                     const WorkloadTuple& t,
+                                     const std::string& dir);
+
 }  // namespace lite::testkit
 
 #endif  // LITE_TESTKIT_DIFF_H_

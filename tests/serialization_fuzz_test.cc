@@ -16,7 +16,9 @@
 
 #include "lite/lite_system.h"
 #include "lite/snapshot.h"
+#include "serve/retrieval_cache.h"
 #include "sparksim/eventlog.h"
+#include "sparksim/knob.h"
 #include "sparksim/runner.h"
 #include "sparksim/trace.h"
 #include "testkit/gen.h"
@@ -331,6 +333,152 @@ TEST(SnapshotMetaFuzzTest, TruncatedMetaFailsCleanly) {
 
   fx.WriteMeta(fx.meta);  // restore.
   EXPECT_NE(LoadedLiteModel::Load(fx.dir, &fx.runner), nullptr);
+}
+
+// --- Retrieval index (`literetrieval v1`) fuzzing -------------------------
+//
+// The retrieval cache's index file is the one serving-layer artifact loaded
+// from disk; a corrupted index must either fail LoadIndex cleanly (cache
+// unchanged) or commit a bounded, structurally sane index — never crash,
+// and never feed the serving path values it cannot survive.
+
+serve::RetrievalCacheOptions FuzzCacheOptions() {
+  serve::RetrievalCacheOptions o;
+  o.enabled = true;
+  o.max_index_entries = 16;
+  return o;
+}
+
+/// A genuine index document: synthetic but well-formed entries saved by the
+/// real writer.
+std::string BuildIndexDoc(uint64_t seed) {
+  serve::RetrievalCache cache(FuzzCacheOptions());
+  Rng rng(seed);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> embedding(6);
+    for (double& v : embedding) v = rng.Gaussian();
+    spark::Config config = spark::KnobSpace::Spark16().RandomConfig(&rng);
+    cache.InsertOutcome(i % 2 == 0 ? "tenant-a" : "tenant b",  // space on purpose
+                        "TS", 100 + i, embedding, config,
+                        5.0 + rng.Uniform() * 50.0, 1, i == 0);
+  }
+  const std::string path = testing::TempDir() + "/fuzz_index_base.txt";
+  EXPECT_TRUE(cache.SaveIndex(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::filesystem::remove(path);
+  return ss.str();
+}
+
+bool LoadIndexDoc(const std::string& doc, serve::RetrievalCache* cache) {
+  const std::string path = testing::TempDir() + "/fuzz_index_mut.txt";
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << doc;
+  }
+  const bool ok = cache->LoadIndex(path);
+  std::filesystem::remove(path);
+  return ok;
+}
+
+TEST(RetrievalIndexFuzzTest, LoaderSurvivesCorruption) {
+  uint64_t seed = testkit::SeedFromEnv();
+  Rng rng(seed ^ 0x1d3au);
+  const std::string base = BuildIndexDoc(seed);
+
+  size_t rounds = std::max<size_t>(80, testkit::CasesFromEnv());
+  for (size_t i = 0; i < rounds; ++i) {
+    std::string mutated = Mutate(base, &rng);
+    serve::RetrievalCache cache(FuzzCacheOptions());
+    // A sentinel entry: a rejected load must leave it untouched.
+    cache.InsertOutcome("sentinel", "PR", 1, {0.0, 0.0},
+                        spark::KnobSpace::Spark16().DefaultConfig(), 10.0, 1,
+                        false);
+    if (LoadIndexDoc(mutated, &cache)) {
+      // Committed: bounded and structurally sane — retrieval over the
+      // loaded entries must produce finite, ordered distances.
+      EXPECT_LE(cache.index_size(), FuzzCacheOptions().max_index_entries)
+          << SeedNote();
+      std::vector<serve::RetrievedSeed> seeds =
+          cache.Retrieve(std::vector<double>(6, 0.0), 8);
+      double prev = 0.0;
+      for (const serve::RetrievedSeed& s : seeds) {
+        EXPECT_TRUE(std::isfinite(s.distance)) << SeedNote();
+        EXPECT_TRUE(std::isfinite(s.observed_seconds)) << SeedNote();
+        EXPECT_GE(s.distance, prev) << SeedNote();
+        prev = s.distance;
+      }
+    } else {
+      // Rejected: the pre-existing index survives verbatim.
+      EXPECT_EQ(cache.index_size(), 1u) << SeedNote();
+      EXPECT_EQ(cache.Retrieve({0.0, 0.0}, 1).size(), 1u) << SeedNote();
+    }
+  }
+}
+
+TEST(RetrievalIndexFuzzTest, UnknownKeysAreSkippedNotFatal) {
+  uint64_t seed = testkit::SeedFromEnv();
+  const std::string base = BuildIndexDoc(seed);
+
+  serve::RetrievalCache pristine(FuzzCacheOptions());
+  ASSERT_TRUE(LoadIndexDoc(base, &pristine));
+  const std::vector<serve::RetrievedSeed> want =
+      pristine.Retrieve(std::vector<double>(6, 0.25), 8);
+
+  // Keys a newer writer might append, inside an entry (after the first
+  // "tenant" line) and between the header and the first entry.
+  const std::string inside = "provenance run-2031 cluster x\nscore 0.5\n";
+  std::string doctored = base;
+  size_t tenant_pos = doctored.find("tenant");
+  ASSERT_NE(tenant_pos, std::string::npos);
+  size_t line_end = doctored.find('\n', tenant_pos);
+  ASSERT_NE(line_end, std::string::npos);
+  doctored.insert(line_end + 1, inside);
+  size_t header_end = doctored.find('\n', doctored.find("entries"));
+  ASSERT_NE(header_end, std::string::npos);
+  doctored.insert(header_end + 1, "checksum 3f9ab2c1\n");
+
+  serve::RetrievalCache loaded(FuzzCacheOptions());
+  ASSERT_TRUE(LoadIndexDoc(doctored, &loaded))
+      << "rejected forward-compatible index";
+  EXPECT_EQ(loaded.index_size(), pristine.index_size());
+  const std::vector<serve::RetrievedSeed> got =
+      loaded.Retrieve(std::vector<double>(6, 0.25), 8);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].config, want[i].config) << "seed " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << "seed " << i;
+    EXPECT_EQ(got[i].observed_seconds, want[i].observed_seconds)
+        << "seed " << i;
+  }
+}
+
+TEST(RetrievalIndexFuzzTest, DegenerateInputsRejectedCleanly) {
+  for (const std::string& doc : {
+           std::string(),
+           std::string("literetrieval v1\n"),
+           std::string("wrongmagic v1\nentries 0\n"),
+           std::string("literetrieval v2\nentries 0\n"),
+           std::string("literetrieval v1\nentries 184467440737095516\n"),
+           std::string("literetrieval v1\nentries 2\ntenant t\nend\n"),
+           // Absurd embedding dimension.
+           std::string("literetrieval v1\nentries 1\ntenant t\n"
+                       "embedding 999999999 1.0\nend\n"),
+           // Non-finite payload values of known keys.
+           std::string("literetrieval v1\nentries 1\ntenant t\n"
+                       "seconds nan\nembedding 1 0.0\nconfig 1 0.0\nend\n"),
+           std::string("literetrieval v1\nentries 1\ntenant t\nseconds 1\n"
+                       "embedding 2 nan 0.0\nconfig 1 0.0\nend\n"),
+       }) {
+    serve::RetrievalCache cache(FuzzCacheOptions());
+    EXPECT_FALSE(LoadIndexDoc(doc, &cache)) << "accepted:\n" << doc;
+    EXPECT_EQ(cache.index_size(), 0u);
+  }
+  // "entries 0" with the right magic is a valid empty index.
+  serve::RetrievalCache cache(FuzzCacheOptions());
+  EXPECT_TRUE(LoadIndexDoc("literetrieval v1\nentries 0\n", &cache));
+  EXPECT_EQ(cache.index_size(), 0u);
 }
 
 }  // namespace
