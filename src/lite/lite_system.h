@@ -57,6 +57,13 @@ struct LiteOptions {
   /// runs instead — same ranking bit for bit, only slower (kept for the
   /// equivalence tests and the bench_batch_scoring comparison).
   bool batched_scoring = true;
+  /// Scoring-tower backend for candidate ranking. kExactFp32 (default) is
+  /// the autodiff oracle path, bit-identical to prior releases. kInt8/kFp16
+  /// run the quantized SIMD kernels (tensor/qkernels.h) through lazily
+  /// derived model twins — bounded score error (docs/QUANTIZATION.md),
+  /// enforced by DiffQuantizationAccuracy. Only applies when
+  /// `batched_scoring` is on; the legacy scalar loop is always exact.
+  QuantBackend scoring_backend = QuantBackend::kExactFp32;
   /// SLA deadline on predicted runtime, threaded into the recommend
   /// pipeline: finite values filter candidates predicted slower than the
   /// deadline before argmin (falling back to the plain argmin when nothing
@@ -79,6 +86,22 @@ std::vector<double> ScoreCandidatesWithEnsemble(
     const spark::ApplicationSpec& app, const spark::DataSpec& data,
     const spark::ClusterEnv& env, const std::vector<spark::Config>& candidates,
     size_t threads = 0);
+
+/// Quantized-backend analog of ScoreCandidatesWithEnsemble: same
+/// featurize-once / warm / shard structure, but each model scores through
+/// its quantized twin's ScoringPlan — the knob-independent feature rows are
+/// frozen once per query and every candidate is a template memcpy + knob
+/// writes + quantized GEMM chain out of a thread-local arena (no
+/// CandidateEval copies, no cache lookups, no heap traffic on the hot
+/// path). `backend` must be kInt8 or kFp16. Deterministic for any thread
+/// count; accuracy vs the exact path is bounded by the quantization
+/// contract (docs/QUANTIZATION.md).
+std::vector<double> ScoreCandidatesWithEnsembleQuantized(
+    const spark::SparkRunner* runner, const Corpus& feature_space,
+    const std::vector<const NecsModel*>& models,
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env, const std::vector<spark::Config>& candidates,
+    QuantBackend backend, size_t threads = 0);
 
 class LiteSystem {
  public:

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "lite/qnecs.h"
 #include "obs/metrics.h"
 #include "tensor/optimizer.h"
 #include "util/logging.h"
@@ -65,6 +66,39 @@ NecsModel::NecsModel(size_t token_vocab_size, size_t op_vocab_size,
                                       config.gcn_layers, &rng);
   size_t input_dim = 4 + 6 + spark::kNumKnobs + config.code_dim + config.gcn_hidden;
   mlp_ = std::make_unique<Mlp>(input_dim, config.mlp_hidden, 1, &rng);
+}
+
+NecsModel::~NecsModel() = default;
+
+void NecsModel::InvalidateCache() const {
+  {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    cache_.clear();
+  }
+  // Quantized twins are derived from the weights the cache was derived
+  // from: any invalidation drops them too, and the next Quantized() call
+  // re-quantizes from the fresh parameters.
+  std::lock_guard<std::mutex> lock(twin_mu_);
+  twin_int8_.reset();
+  twin_fp16_.reset();
+}
+
+const QuantizedNecs* NecsModel::Quantized(QuantBackend backend) const {
+  LITE_CHECK(backend != QuantBackend::kExactFp32)
+      << "NecsModel::Quantized(kExactFp32): the model itself is the exact path";
+  std::lock_guard<std::mutex> lock(twin_mu_);
+  std::unique_ptr<QuantizedNecs>& slot =
+      backend == QuantBackend::kInt8 ? twin_int8_ : twin_fp16_;
+  if (!slot) slot = std::make_unique<QuantizedNecs>(*this, backend);
+  return slot.get();
+}
+
+void NecsModel::AdoptQuantizedTwin(std::unique_ptr<QuantizedNecs> twin) const {
+  LITE_CHECK(twin != nullptr) << "AdoptQuantizedTwin(nullptr)";
+  std::lock_guard<std::mutex> lock(twin_mu_);
+  std::unique_ptr<QuantizedNecs>& slot =
+      twin->mode() == QuantBackend::kInt8 ? twin_int8_ : twin_fp16_;
+  slot = std::move(twin);
 }
 
 VarPtr NecsModel::AssembleInput(const StageInstance& inst, const VarPtr& h_code,

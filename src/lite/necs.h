@@ -22,8 +22,11 @@
 #include "lite/features.h"
 #include "nn/encoders.h"
 #include "nn/layers.h"
+#include "nn/quantized.h"
 
 namespace lite {
+
+class QuantizedNecs;  // lite/qnecs.h
 
 struct NecsConfig {
   size_t emb_dim = 16;                     ///< D: token embedding size.
@@ -62,6 +65,7 @@ class NecsModel : public Module, public StageEstimator {
   /// `op_vocab_size` is S (one-hot width becomes S+1).
   NecsModel(size_t token_vocab_size, size_t op_vocab_size, NecsConfig config,
             uint64_t seed);
+  ~NecsModel();  // out of line: unique_ptr<QuantizedNecs> members.
 
   struct ForwardResult {
     VarPtr pred;    ///< scalar, log1p-seconds space.
@@ -105,10 +109,19 @@ class NecsModel : public Module, public StageEstimator {
     return EncodeStage(inst);
   }
 
-  void InvalidateCache() const {
-    std::unique_lock<std::shared_mutex> lock(cache_mu_);
-    cache_.clear();
-  }
+  /// Clears the encoder cache AND drops the lazily-built quantized twins:
+  /// any parameter change invalidates both.
+  void InvalidateCache() const;
+
+  /// Lazily-built quantized twin for `backend` (kInt8 or kFp16), derived
+  /// from the current FP32 weights and cached until InvalidateCache().
+  /// Thread-safe; the returned twin stays valid until the next parameter
+  /// change on this model.
+  const QuantizedNecs* Quantized(QuantBackend backend) const;
+
+  /// Installs a pre-built twin in the slot matching its mode (used by the
+  /// QuantizedSnapshot loader, which ships quantized weights directly).
+  void AdoptQuantizedTwin(std::unique_ptr<QuantizedNecs> twin) const;
 
   /// Replaces the token-embedding table with pretrained vectors (rows must
   /// match the token vocabulary, columns the configured emb_dim). Call
@@ -121,6 +134,8 @@ class NecsModel : public Module, public StageEstimator {
   const NecsConfig& config() const { return config_; }
 
  private:
+  friend class QuantizedNecs;  // reads weights + config to build twins.
+
   VarPtr AssembleInput(const StageInstance& inst, const VarPtr& h_code,
                        const VarPtr& h_dag) const;
   /// Cache identity of an instance's knob-independent encodings.
@@ -137,6 +152,11 @@ class NecsModel : public Module, public StageEstimator {
   std::unique_ptr<Mlp> mlp_;
   mutable std::shared_mutex cache_mu_;
   mutable std::unordered_map<std::string, std::pair<Tensor, Tensor>> cache_;
+  /// Quantized twins, built on first use per backend; guarded by twin_mu_
+  /// (separate from cache_mu_ so twin construction never blocks scoring).
+  mutable std::mutex twin_mu_;
+  mutable std::unique_ptr<QuantizedNecs> twin_int8_;
+  mutable std::unique_ptr<QuantizedNecs> twin_fp16_;
 };
 
 struct TrainOptions {

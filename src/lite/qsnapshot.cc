@@ -1,0 +1,348 @@
+#include "lite/qsnapshot.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "lite/qnecs.h"
+#include "util/logging.h"
+
+namespace lite {
+
+namespace {
+
+constexpr char kMetaMagic[] = "liteqsnapshot";
+constexpr char kMetaVersion[] = "v1";
+constexpr char kTensorMagic[] = "qnecs";
+
+// Dimension caps: a fuzzed header must not be able to ask for an
+// astronomical allocation before validation catches it.
+constexpr size_t kMaxDim = 1u << 20;
+constexpr size_t kMaxElems = 1u << 26;
+constexpr int32_t kMaxZeroPoint = 1 << 20;
+
+bool DimsSane(size_t rows, size_t cols) {
+  return rows > 0 && cols > 0 && rows <= kMaxDim && cols <= kMaxDim &&
+         rows * cols <= kMaxElems;
+}
+
+void WriteLayer(std::ostream& os, const std::string& name,
+                const QuantizedLayer& layer, QuantBackend mode) {
+  if (mode == QuantBackend::kInt8) {
+    os << "layer " << name << " q8 " << layer.out << " " << layer.in << "\n";
+    for (size_t r = 0; r < layer.out; ++r) {
+      os << layer.q8.scale[r] << " " << layer.q8.zero_point[r];
+      const int8_t* row = layer.q8.q.data() + r * layer.in;
+      for (size_t c = 0; c < layer.in; ++c) {
+        os << " " << static_cast<int>(row[c]);
+      }
+      os << "\n";
+    }
+  } else {
+    os << "layer " << name << " f16 " << layer.out << " " << layer.in << "\n";
+    for (size_t r = 0; r < layer.out; ++r) {
+      const uint16_t* row = layer.f16.v.data() + r * layer.in;
+      for (size_t c = 0; c < layer.in; ++c) {
+        os << (c ? " " : "") << row[c];
+      }
+      os << "\n";
+    }
+  }
+  os << "bias";
+  for (float b : layer.bias) os << " " << b;
+  os << "\n";
+}
+
+bool ReadLayer(std::istream& is, const std::string& expect_name,
+               QuantBackend mode, size_t expect_out, size_t expect_in,
+               QuantizedLayer* layer) {
+  std::string tag, name, kind;
+  size_t out = 0, in = 0;
+  if (!(is >> tag >> name >> kind >> out >> in)) return false;
+  if (tag != "layer" || name != expect_name) return false;
+  if (kind != (mode == QuantBackend::kInt8 ? "q8" : "f16")) return false;
+  if (!DimsSane(out, in) || out != expect_out || in != expect_in) return false;
+  layer->in = in;
+  layer->out = out;
+  if (mode == QuantBackend::kInt8) {
+    layer->q8.rows = out;
+    layer->q8.cols = in;
+    layer->q8.scale.resize(out);
+    layer->q8.zero_point.resize(out);
+    layer->q8.q.resize(out * in);
+    for (size_t r = 0; r < out; ++r) {
+      float scale;
+      int32_t zp;
+      if (!(is >> scale >> zp)) return false;
+      // A NaN/inf/zero/negative scale poisons every dequantized value in
+      // the row; an absurd zero-point means the file is corrupt.
+      if (!std::isfinite(scale) || !(scale > 0.0f)) return false;
+      if (zp < -kMaxZeroPoint || zp > kMaxZeroPoint) return false;
+      layer->q8.scale[r] = scale;
+      layer->q8.zero_point[r] = zp;
+      for (size_t c = 0; c < in; ++c) {
+        int code;
+        if (!(is >> code)) return false;
+        if (code < -127 || code > 127) return false;
+        layer->q8.q[r * in + c] = static_cast<int8_t>(code);
+      }
+    }
+    layer->q8.BuildPanels();
+  } else {
+    layer->f16.rows = out;
+    layer->f16.cols = in;
+    layer->f16.v.resize(out * in);
+    for (size_t i = 0; i < out * in; ++i) {
+      unsigned code;
+      if (!(is >> code)) return false;
+      if (code > 0xFFFFu) return false;
+      // exp == 31 is inf/NaN in binary16 — no finite weight encodes there.
+      if (((code >> 10) & 0x1Fu) == 0x1Fu) return false;
+      layer->f16.v[i] = static_cast<uint16_t>(code);
+    }
+  }
+  std::string bias_tag;
+  if (!(is >> bias_tag) || bias_tag != "bias") return false;
+  layer->bias.resize(out);
+  for (size_t r = 0; r < out; ++r) {
+    if (!(is >> layer->bias[r])) return false;
+    if (!std::isfinite(layer->bias[r])) return false;
+  }
+  return true;
+}
+
+/// Expected quantized-MLP layer dims from the model configuration (the
+/// halving rule of nn/layers.cc).
+std::vector<std::pair<size_t, size_t>> ExpectedMlpDims(const NecsConfig& necs) {
+  size_t input_dim =
+      4 + 6 + spark::kNumKnobs + necs.code_dim + necs.gcn_hidden;
+  std::vector<std::pair<size_t, size_t>> dims;
+  size_t width = input_dim;
+  for (size_t l = 0; l < necs.mlp_hidden; ++l) {
+    size_t next = std::max<size_t>(width / 2, 4);
+    dims.emplace_back(width, next);
+    width = next;
+  }
+  dims.emplace_back(width, 1);
+  return dims;
+}
+
+bool SaveMember(const QuantizedNecs& twin, const NecsConfig& necs,
+                const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os.precision(17);
+  os << kTensorMagic << " " << kMetaVersion << "\n";
+  const QuantizedTextCnn& cnn = twin.cnn();
+  if (!necs.use_code_encoder) {
+    os << "cnn none\n";
+  } else {
+    os << "cnn " << cnn.vocab << " " << cnn.emb_dim << " " << cnn.out_dim
+       << " " << cnn.kernels_per_width << " " << cnn.widths.size();
+    for (size_t w : cnn.widths) os << " " << w;
+    os << "\n";
+    if (twin.mode() == QuantBackend::kFp16) {
+      os << "embedding f16 " << cnn.vocab << " " << cnn.emb_dim << "\n";
+      for (size_t i = 0; i < cnn.embedding_f16.v.size(); ++i) {
+        os << cnn.embedding_f16.v[i]
+           << ((i + 1) % cnn.emb_dim == 0 ? "\n" : " ");
+      }
+    } else {
+      os << "embedding f32 " << cnn.vocab << " " << cnn.emb_dim << "\n";
+      for (size_t i = 0; i < cnn.embedding.size(); ++i) {
+        os << cnn.embedding[i] << ((i + 1) % cnn.emb_dim == 0 ? "\n" : " ");
+      }
+    }
+    for (size_t wi = 0; wi < cnn.widths.size(); ++wi) {
+      WriteLayer(os, "conv_" + std::to_string(wi), cnn.conv[wi], twin.mode());
+    }
+    WriteLayer(os, "proj", cnn.proj, twin.mode());
+  }
+  os << "mlp " << twin.mlp().layers.size() << "\n";
+  for (size_t l = 0; l < twin.mlp().layers.size(); ++l) {
+    WriteLayer(os, "mlp_" + std::to_string(l), twin.mlp().layers[l],
+               twin.mode());
+  }
+  os << "end\n";
+  return static_cast<bool>(os);
+}
+
+bool LoadMember(const std::string& path, QuantBackend mode,
+                const NecsConfig& necs, size_t vocab_size,
+                QuantizedTextCnn* cnn, QuantizedMlp* mlp) {
+  std::ifstream is(path);
+  if (!is) return false;
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kTensorMagic ||
+      version != kMetaVersion) {
+    return false;
+  }
+  cnn->mode = mode;
+  mlp->mode = mode;
+
+  std::string tag;
+  if (!(is >> tag) || tag != "cnn") return false;
+  std::string first;
+  if (!(is >> first)) return false;
+  if (first == "none") {
+    if (necs.use_code_encoder) return false;
+  } else {
+    if (!necs.use_code_encoder) return false;
+    size_t vocab = 0;
+    try {
+      vocab = std::stoull(first);
+    } catch (...) {
+      return false;
+    }
+    size_t emb = 0, out_dim = 0, kernels = 0, nwidths = 0;
+    if (!(is >> emb >> out_dim >> kernels >> nwidths)) return false;
+    if (vocab != vocab_size || emb != necs.emb_dim ||
+        out_dim != necs.code_dim || kernels != necs.cnn_kernels ||
+        nwidths != necs.cnn_widths.size()) {
+      return false;
+    }
+    if (!DimsSane(vocab, emb)) return false;
+    std::vector<size_t> widths(nwidths, 0);
+    for (auto& w : widths) {
+      if (!(is >> w)) return false;
+    }
+    if (widths != necs.cnn_widths) return false;
+    cnn->vocab = vocab;
+    cnn->emb_dim = emb;
+    cnn->out_dim = out_dim;
+    cnn->kernels_per_width = kernels;
+    cnn->widths = widths;
+
+    std::string ekind;
+    size_t erows = 0, ecols = 0;
+    if (!(is >> tag >> ekind >> erows >> ecols) || tag != "embedding") {
+      return false;
+    }
+    if (erows != vocab || ecols != emb) return false;
+    if (mode == QuantBackend::kFp16) {
+      if (ekind != "f16") return false;
+      cnn->embedding_f16.rows = erows;
+      cnn->embedding_f16.cols = ecols;
+      cnn->embedding_f16.v.resize(erows * ecols);
+      for (auto& h : cnn->embedding_f16.v) {
+        unsigned code;
+        if (!(is >> code)) return false;
+        if (code > 0xFFFFu || ((code >> 10) & 0x1Fu) == 0x1Fu) return false;
+        h = static_cast<uint16_t>(code);
+      }
+    } else {
+      if (ekind != "f32") return false;
+      cnn->embedding.resize(erows * ecols);
+      for (auto& v : cnn->embedding) {
+        if (!(is >> v)) return false;
+        if (!std::isfinite(v)) return false;
+      }
+    }
+    cnn->conv.resize(nwidths);
+    for (size_t wi = 0; wi < nwidths; ++wi) {
+      if (!ReadLayer(is, "conv_" + std::to_string(wi), mode, kernels,
+                     emb * widths[wi], &cnn->conv[wi])) {
+        return false;
+      }
+    }
+    if (!ReadLayer(is, "proj", mode, out_dim, kernels * nwidths, &cnn->proj)) {
+      return false;
+    }
+  }
+
+  size_t nlayers = 0;
+  if (!(is >> tag >> nlayers) || tag != "mlp") return false;
+  std::vector<std::pair<size_t, size_t>> dims = ExpectedMlpDims(necs);
+  if (nlayers != dims.size()) return false;
+  mlp->layers.resize(nlayers);
+  for (size_t l = 0; l < nlayers; ++l) {
+    if (!ReadLayer(is, "mlp_" + std::to_string(l), mode, dims[l].second,
+                   dims[l].first, &mlp->layers[l])) {
+      return false;
+    }
+  }
+  if (!(is >> tag) || tag != "end") return false;
+  return true;
+}
+
+}  // namespace
+
+bool SaveQuantizedSnapshot(const LoadedLiteModel& model, QuantBackend backend,
+                           const std::string& dir) {
+  if (backend == QuantBackend::kExactFp32) return false;
+  {
+    std::ofstream meta(dir + "/qmeta.txt");
+    if (!meta) return false;
+    meta << kMetaMagic << " " << kMetaVersion << "\n";
+    meta << "backend " << QuantBackendName(backend) << "\n";
+    meta << "ensemble " << model.ensemble_size() << "\n";
+    if (!meta) return false;
+  }
+  for (size_t i = 0; i < model.ensemble_size(); ++i) {
+    const QuantizedNecs* twin = model.model(i)->Quantized(backend);
+    if (!SaveMember(*twin, model.model(i)->config(),
+                    dir + "/qnecs_" + std::to_string(i) + ".txt")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadQuantizedSnapshot(const std::string& dir, LoadedLiteModel* model) {
+  LITE_CHECK(model != nullptr) << "LoadQuantizedSnapshot(nullptr)";
+  QuantBackend backend = QuantBackend::kInt8;
+  size_t ensemble = 0;
+  {
+    std::ifstream meta(dir + "/qmeta.txt");
+    if (!meta) return false;
+    std::string magic, version, key;
+    if (!(meta >> magic >> version) || magic != kMetaMagic ||
+        version != kMetaVersion) {
+      return false;
+    }
+    bool have_backend = false;
+    while (meta >> key) {
+      if (key == "backend") {
+        std::string name;
+        if (!(meta >> name) || !ParseQuantBackend(name, &backend)) {
+          return false;
+        }
+        if (backend == QuantBackend::kExactFp32) return false;
+        have_backend = true;
+      } else if (key == "ensemble") {
+        if (!(meta >> ensemble)) return false;
+      } else {
+        // Forward compatibility: skip unknown keys (rest of line), matching
+        // the litesnapshot loader's contract.
+        std::string rest;
+        std::getline(meta, rest);
+        LITE_WARN << "quantized snapshot meta: skipping unknown key '" << key
+                  << "'";
+      }
+    }
+    if (!have_backend || ensemble == 0 || ensemble > 64) return false;
+  }
+  if (ensemble != model->ensemble_size()) return false;
+
+  // Parse every member fully before installing anything: a failure halfway
+  // must leave the model exactly as it was.
+  std::vector<std::pair<QuantizedTextCnn, QuantizedMlp>> parsed(ensemble);
+  for (size_t i = 0; i < ensemble; ++i) {
+    const NecsConfig& necs = model->model(i)->config();
+    if (!LoadMember(dir + "/qnecs_" + std::to_string(i) + ".txt", backend,
+                    necs, model->feature_space().vocab->size(),
+                    &parsed[i].first, &parsed[i].second)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < ensemble; ++i) {
+    model->model(i)->AdoptQuantizedTwin(std::make_unique<QuantizedNecs>(
+        *model->model(i), backend, std::move(parsed[i].first),
+        std::move(parsed[i].second)));
+  }
+  return true;
+}
+
+}  // namespace lite

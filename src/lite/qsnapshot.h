@@ -1,0 +1,47 @@
+// QuantizedSnapshot: the shipping format for quantized NECS twins.
+//
+// A quantized snapshot rides next to a regular litesnapshot directory:
+//   qmeta.txt      "liteqsnapshot v1", backend, ensemble size
+//                  (unknown keys skipped with a warning — forward compat)
+//   qnecs_<i>.txt  quantized tensors of ensemble member i
+//
+// Two ways to get serving twins:
+//  - quantize-on-load: LoadedLiteModel::Load + a scoring backend option —
+//    twins are derived lazily from the fp32 weights (NecsModel::Quantized);
+//  - SaveQuantizedSnapshot / LoadQuantizedSnapshot — ship the quantized
+//    tensors themselves, skipping the (cheap) re-quantization and pinning
+//    the exact codes that were validated offline. Loading a quantized
+//    snapshot produced from the same fp32 snapshot is bit-identical to
+//    fresh quantization (tests/quant_test.cc).
+//
+// The loader has parse-to-temp-commit semantics, matching the litesnapshot
+// and literetrieval loaders: the whole directory is parsed and validated
+// (finite positive scales, int8 codes in range, no NaN/inf halves, shapes
+// matching the model's configuration) before anything is installed; any
+// failure returns false and leaves the model untouched.
+#ifndef LITE_LITE_QSNAPSHOT_H_
+#define LITE_LITE_QSNAPSHOT_H_
+
+#include <string>
+
+#include "lite/snapshot.h"
+#include "nn/quantized.h"
+
+namespace lite {
+
+/// Saves quantized twins (derived from the model's current fp32 weights if
+/// not yet built) for every ensemble member into `dir`. `backend` must be
+/// kInt8 or kFp16; the directory must exist. Returns false on I/O failure.
+bool SaveQuantizedSnapshot(const LoadedLiteModel& model, QuantBackend backend,
+                           const std::string& dir);
+
+/// Parses and validates the quantized snapshot in `dir`; on success installs
+/// one twin per ensemble member on `model` (AdoptQuantizedTwin) and returns
+/// true. On any failure — missing files, version/backend mismatch, corrupt
+/// or out-of-range tensors, shape mismatch with the model — returns false
+/// and the model is untouched.
+bool LoadQuantizedSnapshot(const std::string& dir, LoadedLiteModel* model);
+
+}  // namespace lite
+
+#endif  // LITE_LITE_QSNAPSHOT_H_

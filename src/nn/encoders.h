@@ -40,6 +40,9 @@ class TextCnnEncoder : public Module {
 
   std::vector<VarPtr> Params() const override;
   size_t out_dim() const { return out_dim_; }
+  size_t emb_dim() const { return emb_dim_; }
+  const std::vector<size_t>& widths() const { return widths_; }
+  size_t kernels_per_width() const { return kernels_per_width_; }
   const VarPtr& embedding() const { return embedding_; }
 
  private:

@@ -57,9 +57,20 @@ std::vector<double> ScoreCandidateSet(
     const spark::ClusterEnv& env, const std::vector<spark::Config>& candidates,
     const ScoringOptions& options) {
   if (options.batched) {
+    if (options.backend != QuantBackend::kExactFp32) {
+      return ScoreCandidatesWithEnsembleQuantized(
+          runner, feature_space, models, app, data, env, candidates,
+          options.backend, options.threads);
+    }
     return ScoreCandidatesWithEnsemble(runner, feature_space, models, app,
                                        data, env, candidates,
                                        options.threads);
+  }
+  if (options.backend != QuantBackend::kExactFp32) {
+    LITE_WARN << "ScoreCandidateSet: quantized backend "
+              << QuantBackendName(options.backend)
+              << " requested with batched=false; the scalar loop is the "
+                 "exact reference path — scoring exactly";
   }
   // Legacy scalar reference path: per-candidate featurization and one
   // graph-building forward per stage instance. Kept as the equivalence

@@ -39,6 +39,13 @@ struct ScoringOptions {
   /// Batched multi-threaded tower vs the legacy scalar reference loop.
   /// Rankings are bit-identical either way.
   bool batched = true;
+  /// Scoring-tower backend. kExactFp32 (default) keeps both paths above
+  /// bit-identical to prior releases (DiffQuantTransparency enforces this);
+  /// kInt8/kFp16 route the batched path through the quantized SIMD kernels
+  /// with bounded score error (docs/QUANTIZATION.md). A quantized backend
+  /// with `batched == false` is contradictory — the scalar loop is the
+  /// exact reference — so it logs a warning and scores exactly.
+  QuantBackend backend = QuantBackend::kExactFp32;
 };
 
 /// Scores `candidates` with the NECS ensemble under `options`: entry i is

@@ -1,0 +1,116 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace lite::qk {
+
+namespace {
+constexpr size_t kAlign = 64;
+
+// Arena observability (docs/OBSERVABILITY.md catalog). The high-water gauge
+// is fleet-max over arenas: each arena publishes its own lifetime peak and
+// the gauge keeps the largest, which is the number capacity planning wants.
+struct ArenaMetrics {
+  obs::Counter* allocs;
+  obs::Counter* bytes;
+  obs::Gauge* high_water;
+
+  static const ArenaMetrics& Get() {
+    static const ArenaMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new ArenaMetrics{
+          reg.GetCounter("qk_arena_allocs_total"),
+          reg.GetCounter("qk_arena_bytes_total"),
+          reg.GetGauge("qk_arena_high_water_bytes"),
+      };
+    }();
+    return *m;
+  }
+};
+}  // namespace
+
+namespace {
+// operator new[] only guarantees 16-byte alignment for char arrays, so each
+// block over-allocates by kAlign and bumps from an aligned base pointer.
+unsigned char* AlignedBase(unsigned char* raw) {
+  const uintptr_t p = reinterpret_cast<uintptr_t>(raw);
+  return raw + ((kAlign - p % kAlign) % kAlign);
+}
+}  // namespace
+
+Arena::Arena(size_t initial_bytes) {
+  Block b;
+  b.size = std::max<size_t>(initial_bytes, kAlign);
+  b.data = std::make_unique<unsigned char[]>(b.size + kAlign);
+  b.base = AlignedBase(b.data.get());
+  blocks_.push_back(std::move(b));
+}
+
+Arena::Block& Arena::GrowFor(size_t bytes) {
+  // Reuse a retained block if one is big enough; otherwise double.
+  for (size_t i = active_ + 1; i < blocks_.size(); ++i) {
+    if (blocks_[i].size >= bytes) {
+      std::swap(blocks_[active_ + 1], blocks_[i]);
+      ++active_;
+      return blocks_[active_];
+    }
+  }
+  Block b;
+  b.size = std::max(blocks_[active_].size * 2, bytes);
+  b.data = std::make_unique<unsigned char[]>(b.size + kAlign);
+  b.base = AlignedBase(b.data.get());
+  blocks_.insert(blocks_.begin() + static_cast<long>(active_) + 1,
+                 std::move(b));
+  ++active_;
+  return blocks_[active_];
+}
+
+void* Arena::Allocate(size_t bytes) {
+  if (bytes == 0) bytes = kAlign;
+  bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+  Block* b = &blocks_[active_];
+  size_t aligned = (b->used + kAlign - 1) & ~(kAlign - 1);
+  if (aligned + bytes > b->size) {
+    b = &GrowFor(bytes);
+    aligned = 0;
+  }
+  void* p = b->base + aligned;
+  b->used = aligned + bytes;
+  in_use_ += bytes;
+  if (in_use_ > high_water_) {
+    high_water_ = in_use_;
+    if (obs::Enabled()) {
+      const ArenaMetrics& m = ArenaMetrics::Get();
+      if (static_cast<double>(high_water_) > m.high_water->Value()) {
+        m.high_water->Set(static_cast<double>(high_water_));
+      }
+    }
+  }
+  if (obs::Enabled()) {
+    const ArenaMetrics& m = ArenaMetrics::Get();
+    m.allocs->Inc();
+    m.bytes->Inc(bytes);
+  }
+  return p;
+}
+
+void Arena::Reset() {
+  for (Block& b : blocks_) b.used = 0;
+  active_ = 0;
+  in_use_ = 0;
+}
+
+size_t Arena::capacity() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+Arena* Arena::ThreadLocal() {
+  thread_local Arena arena(1 << 16);
+  return &arena;
+}
+
+}  // namespace lite::qk

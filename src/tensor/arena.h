@@ -1,0 +1,77 @@
+// Bump-pointer arena for the per-request inference scratch.
+//
+// The quantized scoring path (lite/qnecs.h) evaluates thousands of
+// candidates per recommendation; each evaluation needs a handful of
+// short-lived buffers (quantized activations, GEMM outputs). Allocating
+// them from the heap per candidate is measurable churn, so the scoring
+// loops grab a thread-local Arena, Reset() it per candidate, and bump-
+// allocate: allocation is a pointer increment, deallocation is free.
+#ifndef LITE_TENSOR_ARENA_H_
+#define LITE_TENSOR_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lite::qk {
+
+class Arena {
+ public:
+  /// `initial_bytes` sizes the first block; further blocks double.
+  explicit Arena(size_t initial_bytes = 1 << 16);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// 64-byte-aligned storage, valid until the next Reset(). Never returns
+  /// nullptr (aborts on OOM like operator new).
+  void* Allocate(size_t bytes);
+
+  float* AllocFloats(size_t n) {
+    return static_cast<float*>(Allocate(n * sizeof(float)));
+  }
+  int8_t* AllocInt8(size_t n) {
+    return static_cast<int8_t*>(Allocate(n));
+  }
+  int32_t* AllocInt32(size_t n) {
+    return static_cast<int32_t*>(Allocate(n * sizeof(int32_t)));
+  }
+  uint16_t* AllocUint16(size_t n) {
+    return static_cast<uint16_t*>(Allocate(n * sizeof(uint16_t)));
+  }
+
+  /// Frees everything at once; block capacity is retained, so a steady-state
+  /// Reset/Allocate cycle stops touching the heap entirely.
+  void Reset();
+
+  /// Bytes handed out since the last Reset (including alignment padding).
+  size_t bytes_in_use() const { return in_use_; }
+  /// Largest bytes_in_use observed over the arena's lifetime.
+  size_t high_water() const { return high_water_; }
+  /// Total capacity across retained blocks.
+  size_t capacity() const;
+
+  /// Per-thread scratch arena. Callers Reset() it at the start of each unit
+  /// of work; nested use within one unit shares the same allocation stream.
+  static Arena* ThreadLocal();
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    unsigned char* base = nullptr;  ///< 64-byte-aligned start within data.
+    size_t size = 0;                ///< usable bytes from base.
+    size_t used = 0;
+  };
+
+  Block& GrowFor(size_t bytes);
+
+  std::vector<Block> blocks_;
+  size_t active_ = 0;  ///< index of the block currently bumping.
+  size_t in_use_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace lite::qk
+
+#endif  // LITE_TENSOR_ARENA_H_

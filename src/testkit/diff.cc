@@ -1,11 +1,15 @@
 #include "testkit/diff.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
+#include "lite/qnecs.h"
 #include "lite/snapshot.h"
 #include "obs/metrics.h"
+#include "serve/recommend_pipeline.h"
 #include "serve/tuning_service.h"
+#include "tensor/qkernels.h"
 #include "obs/trace.h"
 #include "sparksim/eventlog.h"
 #include "sparksim/resilient_runner.h"
@@ -285,6 +289,139 @@ DiffResult DiffGuardrailTransparency(const spark::SparkRunner& runner,
   }
   if (on.rec.candidates_evaluated != off.rec.candidates_evaluated) {
     return Fail("idle guardrail changed the evaluated candidate count");
+  }
+  return {};
+}
+
+DiffResult DiffQuantizationAccuracy(
+    const spark::SparkRunner* runner, const Corpus& feature_space,
+    const std::vector<const NecsModel*>& models, const WorkloadTuple& t,
+    const std::vector<spark::Config>& candidates, QuantBackend backend,
+    double max_rel_error, const std::vector<size_t>& thread_counts,
+    QuantAccuracyReport* report) {
+  if (backend == QuantBackend::kExactFp32) {
+    return Fail("DiffQuantizationAccuracy needs a quantized backend");
+  }
+  if (candidates.empty()) return Fail("empty candidate set");
+  const std::string who = std::string(QuantBackendName(backend)) + "/" +
+                          std::string(t.app->name);
+
+  std::vector<double> exact = ScoreCandidatesWithEnsemble(
+      runner, feature_space, models, *t.app, t.data, t.env, candidates, 1);
+
+  // Thread-count invariance of the quantized path.
+  std::vector<double> quant;
+  size_t reference_threads = 0;
+  std::vector<size_t> counts =
+      thread_counts.empty() ? std::vector<size_t>{1} : thread_counts;
+  for (size_t threads : counts) {
+    std::vector<double> scores = ScoreCandidatesWithEnsembleQuantized(
+        runner, feature_space, models, *t.app, t.data, t.env, candidates,
+        backend, threads);
+    if (scores.size() != candidates.size()) {
+      return Fail("quantized scoring returned " +
+                  std::to_string(scores.size()) + " scores for " +
+                  std::to_string(candidates.size()) + " candidates (" + who +
+                  ")");
+    }
+    if (quant.empty()) {
+      quant = scores;
+      reference_threads = threads;
+      continue;
+    }
+    for (size_t i = 0; i < scores.size(); ++i) {
+      if (scores[i] != quant[i]) {
+        return Fail("quantized candidate " + std::to_string(i) + ": " +
+                    std::to_string(reference_threads) + " thread(s) -> " +
+                    Fmt(quant[i]) + " but " + std::to_string(threads) +
+                    " thread(s) -> " + Fmt(scores[i]) + " (" + who + ")");
+      }
+    }
+  }
+
+  // ISA parity: generic and AVX2 kernels must score bit-identically. Twin
+  // encoder caches are flushed before each pass so an encoding computed by
+  // the other ISA can never be served from the cache and mask a divergence.
+  if (qk::Avx2KernelAvailable()) {
+    const qk::KernelIsa saved = qk::ActiveKernelIsa();
+    std::vector<std::vector<double>> by_isa;
+    for (qk::KernelIsa isa : {qk::KernelIsa::kGeneric, qk::KernelIsa::kAvx2}) {
+      qk::SetKernelIsaForTest(isa);
+      for (const NecsModel* m : models) {
+        m->Quantized(backend)->InvalidateCache();
+      }
+      by_isa.push_back(ScoreCandidatesWithEnsembleQuantized(
+          runner, feature_space, models, *t.app, t.data, t.env, candidates,
+          backend, 1));
+    }
+    qk::SetKernelIsaForTest(saved);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (by_isa[0][i] != by_isa[1][i]) {
+        return Fail("candidate " + std::to_string(i) + ": generic kernel " +
+                    Fmt(by_isa[0][i]) + " != AVX2 kernel " +
+                    Fmt(by_isa[1][i]) + " (" + who + ")");
+      }
+    }
+  }
+
+  // Error bound and top-1 regret against the exact tower.
+  QuantAccuracyReport local;
+  size_t exact_best = 0, quant_best = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double rel = std::fabs(quant[i] - exact[i]) /
+                 std::max(std::fabs(exact[i]), 1e-9);
+    if (rel > local.max_rel_error) local.max_rel_error = rel;
+    if (exact[i] < exact[exact_best]) exact_best = i;
+    if (quant[i] < quant[quant_best]) quant_best = i;
+  }
+  local.top1_exact_match = quant_best == exact_best;
+  local.top1_regret = (exact[quant_best] - exact[exact_best]) /
+                      std::max(std::fabs(exact[exact_best]), 1e-9);
+  if (report != nullptr) *report = local;
+  if (local.max_rel_error > max_rel_error) {
+    return Fail("quantized score error " + Fmt(local.max_rel_error) +
+                " exceeds the " + Fmt(max_rel_error) + " bound (" + who + ")");
+  }
+  return {};
+}
+
+DiffResult DiffQuantTransparency(
+    const spark::SparkRunner* runner, const Corpus& feature_space,
+    const std::vector<const NecsModel*>& models, const WorkloadTuple& t,
+    const std::vector<spark::Config>& candidates,
+    const std::vector<size_t>& thread_counts) {
+  for (size_t threads : thread_counts) {
+    std::vector<double> reference = ScoreCandidatesWithEnsemble(
+        runner, feature_space, models, *t.app, t.data, t.env, candidates,
+        threads);
+    serve::ScoringOptions opts;
+    opts.threads = threads;
+    std::vector<double> batched = serve::ScoreCandidateSet(
+        runner, feature_space, models, *t.app, t.data, t.env, candidates,
+        opts);
+    opts.batched = false;
+    std::vector<double> scalar = serve::ScoreCandidateSet(
+        runner, feature_space, models, *t.app, t.data, t.env, candidates,
+        opts);
+    if (batched.size() != reference.size() ||
+        scalar.size() != reference.size()) {
+      return Fail("score count drifted with the default backend at " +
+                  std::to_string(threads) + " thread(s)");
+    }
+    for (size_t i = 0; i < reference.size(); ++i) {
+      if (batched[i] != reference[i]) {
+        return Fail("candidate " + std::to_string(i) + " at " +
+                    std::to_string(threads) +
+                    " thread(s): default-backend batched " + Fmt(batched[i]) +
+                    " != reference " + Fmt(reference[i]));
+      }
+      if (scalar[i] != reference[i]) {
+        return Fail("candidate " + std::to_string(i) + " at " +
+                    std::to_string(threads) +
+                    " thread(s): default-backend scalar " + Fmt(scalar[i]) +
+                    " != reference " + Fmt(reference[i]));
+      }
+    }
   }
   return {};
 }

@@ -90,6 +90,49 @@ DiffResult DiffGuardrailTransparency(const spark::SparkRunner& runner,
                                      const WorkloadTuple& t,
                                      const std::string& dir);
 
+/// Observed accuracy numbers from DiffQuantizationAccuracy, for aggregation
+/// into the golden workload-matrix agreement test (differential_test.cc).
+struct QuantAccuracyReport {
+  /// max over candidates of |quant - exact| / max(|exact|, 1e-9).
+  double max_rel_error = 0.0;
+  /// Exact-score regret of the quantized argmin relative to the exact
+  /// argmin: (exact[q*] - exact[e*]) / max(exact[e*], 1e-9). Zero when the
+  /// top-1 candidate agrees exactly.
+  double top1_regret = 0.0;
+  bool top1_exact_match = false;
+};
+
+/// Quantized-backend accuracy (the quantization error bound): scores the
+/// candidate set with the exact fp32 tower and with `backend`, and checks
+///   * quantized scores are bit-identical across `thread_counts` (the
+///     ordered-reduction contract extends to the quantized path);
+///   * when the AVX2 kernels are compiled in and the CPU supports them,
+///     generic and AVX2 quantized scores are bit-identical (integer dots
+///     are exact; the fp16 path fixes its reduction tree) — the kernel ISA
+///     may never leak into scores. Twin encoder caches are flushed between
+///     ISA passes so cached encodings cannot mask a CNN divergence.
+///     Restores the process-wide ISA override before returning;
+///   * every candidate's relative score error is <= `max_rel_error`.
+/// On success `report` (optional) carries the observed error and the top-1
+/// regret of the quantized argmin.
+DiffResult DiffQuantizationAccuracy(
+    const spark::SparkRunner* runner, const Corpus& feature_space,
+    const std::vector<const NecsModel*>& models, const WorkloadTuple& t,
+    const std::vector<spark::Config>& candidates, QuantBackend backend,
+    double max_rel_error, const std::vector<size_t>& thread_counts,
+    QuantAccuracyReport* report = nullptr);
+
+/// Quantized-backend transparency (the `quant_transparency` invariant):
+/// with the backend left at its kExactFp32 default, ScoreCandidateSet —
+/// batched and scalar — must be bit-identical to the pre-quantization
+/// ScoreCandidatesWithEnsemble reference for every thread count. Shipping
+/// the quantized kernels may not move one bit of the default serving path.
+DiffResult DiffQuantTransparency(
+    const spark::SparkRunner* runner, const Corpus& feature_space,
+    const std::vector<const NecsModel*>& models, const WorkloadTuple& t,
+    const std::vector<spark::Config>& candidates,
+    const std::vector<size_t>& thread_counts);
+
 /// Retrieval-cache transparency (the `retrieval_transparency` invariant),
 /// checked across scoring thread counts 1/4/8:
 ///   * cache-disabled vs cache-enabled-but-cold must be bit-identical — an

@@ -128,6 +128,61 @@ TEST_F(DifferentialTest, ObservabilityIsTransparentAcrossThreadCounts) {
   }
 }
 
+// Quantized backends must stay inside the shipped error bounds
+// (docs/QUANTIZATION.md) on random tuples and pools — thread counts and
+// kernel ISA are checked bit-for-bit inside the diff.
+TEST_F(DifferentialTest, QuantizedBackendsStayWithinErrorBounds) {
+  testkit::TupleGenerator gen = CorpusGen(5);
+  std::vector<const NecsModel*> models;
+  for (size_t m = 0; m < system_->ensemble_size(); ++m) {
+    models.push_back(system_->ensemble_member(m));
+  }
+  for (int i = 0; i < 2; ++i) {
+    WorkloadTuple t = gen.Next();
+    std::vector<spark::Config> candidates;
+    const auto& space = spark::KnobSpace::Spark16();
+    candidates.push_back(t.config);
+    candidates.push_back(space.DefaultConfig());
+    for (int c = 0; c < 10; ++c) {
+      candidates.push_back(space.RandomConfig(gen.rng()));
+    }
+    for (auto [backend, bound] :
+         {std::pair{QuantBackend::kInt8, 0.05},
+          std::pair{QuantBackend::kFp16, 5e-3}}) {
+      DiffResult r = testkit::DiffQuantizationAccuracy(
+          runner_, system_->corpus(), models, t, candidates, backend, bound,
+          {1, 2, 4});
+      ASSERT_TRUE(r.ok) << r.message << "\n  tuple: " << t.Describe()
+                        << "\n  " << SeedNote();
+    }
+  }
+}
+
+// Shipping the quantized kernels may not move one bit of the default
+// serving path: backend off => ScoreCandidateSet (batched and scalar) is
+// bit-identical to the pre-quantization reference at every thread count.
+TEST_F(DifferentialTest, QuantBackendOffIsTransparent) {
+  testkit::TupleGenerator gen = CorpusGen(6);
+  std::vector<const NecsModel*> models;
+  for (size_t m = 0; m < system_->ensemble_size(); ++m) {
+    models.push_back(system_->ensemble_member(m));
+  }
+  for (int i = 0; i < 2; ++i) {
+    WorkloadTuple t = gen.Next();
+    std::vector<spark::Config> candidates;
+    const auto& space = spark::KnobSpace::Spark16();
+    candidates.push_back(t.config);
+    candidates.push_back(space.DefaultConfig());
+    for (int c = 0; c < 10; ++c) {
+      candidates.push_back(space.RandomConfig(gen.rng()));
+    }
+    DiffResult r = testkit::DiffQuantTransparency(
+        runner_, system_->corpus(), models, t, candidates, {1, 4, 8});
+    ASSERT_TRUE(r.ok) << r.message << "\n  tuple: " << t.Describe() << "\n  "
+                      << SeedNote();
+  }
+}
+
 TEST_F(DifferentialTest, SnapshotRoundTripIsLossless) {
   std::string dir = testing::TempDir() + "/testkit_snapshot_diff";
   std::filesystem::create_directories(dir);

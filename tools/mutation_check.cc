@@ -14,10 +14,14 @@
 #include <string>
 #include <vector>
 
+#include "lite/lite_system.h"
+#include "lite/necs.h"
 #include "sparksim/application.h"
 #include "sparksim/cost_model.h"
 #include "sparksim/environment.h"
 #include "sparksim/knob.h"
+#include "tensor/qkernels.h"
+#include "testkit/diff.h"
 #include "testkit/gen.h"
 #include "testkit/oracle.h"
 #include "util/logging.h"
@@ -146,6 +150,99 @@ MutationResult SweepMutation(int mutation,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Quantized-kernel mutation sweep: every deliberately-buggy kernel variant
+// in the qk::QuantMutation catalog must trip the quantization-accuracy
+// oracle (DiffQuantizationAccuracy with the shipped int8 error bound), and
+// the unmutated kernels must pass it. All three mutations live in the int8
+// GEMM, so the sweep scores through the int8 backend.
+
+const char* QuantMutationName(qk::QuantMutation m) {
+  switch (m) {
+    case qk::QuantMutation::kNone: return "qk_none";
+    case qk::QuantMutation::kDropZeroPoint: return "qk_drop_zero_point";
+    case qk::QuantMutation::kTransposedTile: return "qk_transposed_tile";
+    case qk::QuantMutation::kStaleActScale: return "qk_stale_act_scale";
+  }
+  return "qk_unknown";
+}
+
+// The bound quant_test.cc enforces for int8 (docs/QUANTIZATION.md).
+constexpr double kInt8MaxRelError = 0.05;
+
+bool SweepQuantMutations(uint64_t seed) {
+  // A tiny trained system: the sweep only needs realistic weight and
+  // activation distributions, not model quality.
+  spark::SparkRunner runner;
+  LiteOptions opts;
+  opts.corpus.apps = {"TS", "PR", "KM"};
+  opts.corpus.clusters = {spark::ClusterEnv::ClusterA()};
+  opts.corpus.configs_per_setting = 2;
+  opts.corpus.max_stage_instances_per_run = 5;
+  opts.corpus.max_code_tokens = 64;
+  opts.necs.emb_dim = 8;
+  opts.necs.cnn_widths = {3, 4};
+  opts.necs.cnn_kernels = 6;
+  opts.necs.code_dim = 12;
+  opts.necs.gcn_hidden = 8;
+  opts.train.epochs = 1;
+  opts.num_candidates = 8;
+  opts.ensemble_size = 1;
+  LiteSystem system(&runner, opts);
+  system.TrainOffline();
+  std::vector<const NecsModel*> models;
+  for (size_t m = 0; m < system.ensemble_size(); ++m) {
+    models.push_back(system.ensemble_member(m));
+  }
+
+  GenOptions gopts;
+  gopts.apps = {"TS", "PR", "KM"};
+  TupleGenerator gen(gopts, seed ^ 0x9717u);
+  std::vector<WorkloadTuple> tuples;
+  for (int i = 0; i < 3; ++i) tuples.push_back(gen.Next());
+  std::vector<spark::Config> pool = {spark::KnobSpace::Spark16().DefaultConfig()};
+  for (int i = 0; i < 7; ++i) {
+    pool.push_back(spark::KnobSpace::Spark16().RandomConfig(gen.rng()));
+  }
+
+  std::printf("\nquantized-kernel mutation sweep: %zu tuples x %zu candidates,"
+              " int8 bound %.3g\n\n",
+              tuples.size(), pool.size(), kInt8MaxRelError);
+  std::printf("  %-20s %-10s %s\n", "mutation", "verdict", "first divergence");
+
+  bool ok = true;
+  for (qk::QuantMutation m :
+       {qk::QuantMutation::kNone, qk::QuantMutation::kDropZeroPoint,
+        qk::QuantMutation::kTransposedTile,
+        qk::QuantMutation::kStaleActScale}) {
+    qk::SetQuantMutationForTest(m);
+    // Drop the quantized twins: encodings cached under the previous mutation
+    // must not leak into this pass.
+    for (const NecsModel* model : models) model->InvalidateCache();
+    bool tripped = false;
+    std::string first_message;
+    for (const WorkloadTuple& t : tuples) {
+      DiffResult r = DiffQuantizationAccuracy(&runner, system.corpus(), models,
+                                              t, pool, QuantBackend::kInt8,
+                                              kInt8MaxRelError, {1});
+      if (!r.ok) {
+        tripped = true;
+        if (first_message.empty()) first_message = r.message;
+        break;
+      }
+    }
+    bool expected_clean = (m == qk::QuantMutation::kNone);
+    bool pass = expected_clean ? !tripped : tripped;
+    ok = ok && pass;
+    std::printf("  %-20s %-10s %s\n", QuantMutationName(m),
+                pass ? (expected_clean ? "clean" : "caught") : "ESCAPED",
+                first_message.empty() ? "-" : first_message.c_str());
+  }
+  qk::SetQuantMutationForTest(qk::QuantMutation::kNone);
+  for (const NecsModel* model : models) model->InvalidateCache();
+  return ok;
+}
+
 int Main() {
   uint64_t seed = SeedFromEnv();
   size_t random_cases = CasesFromEnv("LITE_MUTATION_CASES", 25);
@@ -182,7 +279,13 @@ int Main() {
   std::printf("\n%s: %d/%d mutants detected, clean model %s\n",
               ok ? "PASS" : "FAIL", caught, mutants,
               ok ? "violation-free" : "see table");
-  return ok ? 0 : 1;
+
+  bool quant_ok = SweepQuantMutations(seed);
+  std::printf("\n%s: quantized-kernel mutants %s\n",
+              quant_ok ? "PASS" : "FAIL",
+              quant_ok ? "all detected, clean kernels violation-free"
+                       : "see table");
+  return (ok && quant_ok) ? 0 : 1;
 }
 
 }  // namespace
