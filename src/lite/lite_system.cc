@@ -213,7 +213,58 @@ void LiteSystem::TrainOffline() {
     models_.push_back(std::move(model));
   }
   acg_.Fit(corpus_);
+  if (options_.stage_tuning) {
+    stage_head_ = std::make_unique<StageHead>(
+        options_.necs.code_dim, options_.necs.gcn_hidden,
+        options_.seed + 7777);
+    StageHeadTrainOptions hopts = options_.stage_head_train;
+    stage_head_->Train(*models_[0], corpus_.instances, hopts);
+  } else {
+    stage_head_.reset();
+  }
   trained_ = true;
+}
+
+LiteSystem::StagedRecommendation LiteSystem::RecommendStaged(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env) const {
+  StagedRecommendation out;
+  out.base = Recommend(app, data, env);
+  out.staged.base = out.base.config;
+  if (stage_head_ == nullptr) return out;
+  spark::StageEvalFactory factory = MakeStageHeadEvalFactory(
+      stage_head_.get(), models_[0].get(), runner_, &corpus_, &app, data,
+      &env);
+  spark::StagePlannerOptions popts;
+  popts.values_per_knob = options_.stage_values_per_knob;
+  spark::StagePlanner planner(popts);
+  spark::StagePlan plan = planner.Plan(
+      app, spark::ResolveIterations(app, data), out.base.config, factory(1.0));
+  if (plan.ok && !plan.baseline_failed) {
+    out.staged = plan.staged;
+    out.baseline_seconds = plan.baseline_seconds;
+    out.planned_seconds = plan.planned_seconds;
+    out.planned = true;
+  }
+  return out;
+}
+
+spark::RetuneResult LiteSystem::RetuneStaged(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env, const spark::StagedConfig& current,
+    const std::vector<spark::StageEvent>& observed) const {
+  LITE_CHECK(trained_) << "RetuneStaged before TrainOffline";
+  spark::RetuneResult out;
+  out.staged = current;
+  if (stage_head_ == nullptr) return out;
+  spark::StageEvalFactory factory = MakeStageHeadEvalFactory(
+      stage_head_.get(), models_[0].get(), runner_, &corpus_, &app, data,
+      &env);
+  spark::StagePlannerOptions popts;
+  popts.values_per_knob = options_.stage_values_per_knob;
+  spark::StagePlanner planner(popts);
+  return planner.Retune(app, spark::ResolveIterations(app, data), current,
+                        observed, factory);
 }
 
 std::vector<double> LiteSystem::ScoreCandidates(

@@ -19,6 +19,8 @@
 #include "lite/candidate_gen.h"
 #include "lite/model_update.h"
 #include "lite/necs.h"
+#include "lite/stage_head.h"
+#include "sparksim/stage_planner.h"
 
 namespace lite {
 
@@ -70,6 +72,16 @@ struct LiteOptions {
   /// qualifies). Infinity (the default) is bitwise inert. The TuningService
   /// carries per-tenant deadlines instead (serve/guardrail.h).
   double sla_deadline_seconds = std::numeric_limits<double>::infinity();
+  /// Per-stage tuning (docs/STAGE_TUNING.md): when true, TrainOffline also
+  /// fits a per-stage prediction head (lite/stage_head.h) on the offline
+  /// corpus, enabling RecommendStaged/RetuneStaged. Inert by default, and
+  /// inert for the app-level path either way: Recommend() never consults
+  /// the head, so enabling this cannot perturb existing recommendations
+  /// (the DiffStageTuningTransparency contract).
+  bool stage_tuning = false;
+  StageHeadTrainOptions stage_head_train;
+  /// Grid resolution of the per-stage planner's coordinate search.
+  int stage_values_per_knob = 5;
   uint64_t seed = 41;
 };
 
@@ -123,6 +135,35 @@ class LiteSystem {
   Recommendation Recommend(const spark::ApplicationSpec& app,
                            const spark::DataSpec& data,
                            const spark::ClusterEnv& env) const;
+
+  /// Fine-grained recommendation: the app-level result plus per-stage knob
+  /// overrides planned with the stage head. `base` is produced by the
+  /// unmodified Recommend() pipeline (bit-identical to calling it
+  /// directly); the planner then searches per-stage overrides of the
+  /// stage-tunable knobs on top of base.config. Without a trained stage
+  /// head (stage_tuning off) the result degrades to the plain
+  /// recommendation with zero overrides.
+  struct StagedRecommendation {
+    Recommendation base;
+    spark::StagedConfig staged;  ///< base.config + planned overrides.
+    /// Head-predicted totals of the un-overridden and planned configs.
+    double baseline_seconds = 0.0;
+    double planned_seconds = 0.0;
+    /// True when the per-stage planner actually ran.
+    bool planned = false;
+  };
+  StagedRecommendation RecommendStaged(const spark::ApplicationSpec& app,
+                                       const spark::DataSpec& data,
+                                       const spark::ClusterEnv& env) const;
+
+  /// AQE-style mid-job re-tune: derives a data-scale correction from the
+  /// observed stage events and re-plans the knobs of not-yet-run stages
+  /// (sparksim/stage_planner.h documents the formula and the inertness
+  /// contract). Requires a trained stage head.
+  spark::RetuneResult RetuneStaged(
+      const spark::ApplicationSpec& app, const spark::DataSpec& data,
+      const spark::ClusterEnv& env, const spark::StagedConfig& current,
+      const std::vector<spark::StageEvent>& observed) const;
 
   /// Scores an explicit candidate list (entry i = predicted application
   /// seconds of candidates[i]) on the configured scoring path — batched and
@@ -178,6 +219,9 @@ class LiteSystem {
     return i < models_.size() ? models_[i].get() : nullptr;
   }
   const CandidateGenerator& candidate_generator() const { return acg_; }
+  /// The per-stage prediction head; nullptr unless LiteOptions::stage_tuning
+  /// was set when TrainOffline ran.
+  const StageHead* stage_head() const { return stage_head_.get(); }
   bool trained() const { return trained_; }
   size_t pending_feedback() const { return feedback_.size(); }
   const LiteOptions& options() const { return options_; }
@@ -187,6 +231,7 @@ class LiteSystem {
   LiteOptions options_;
   Corpus corpus_;
   std::vector<std::unique_ptr<NecsModel>> models_;
+  std::unique_ptr<StageHead> stage_head_;
   CandidateGenerator acg_;
   std::vector<StageInstance> feedback_;  ///< target domain DT.
   bool trained_ = false;

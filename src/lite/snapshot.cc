@@ -39,6 +39,11 @@ bool SaveSnapshot(const LiteSystem& system, const std::string& dir) {
     meta << "\n";
     meta << "encoders " << (necs.use_code_encoder ? 1 : 0) << " "
          << (necs.use_dag_encoder ? 1 : 0) << "\n";
+    if (system.stage_head() != nullptr) {
+      // Readers that predate per-stage tuning skip this unknown key (and
+      // never look for stagehead.txt) — forward compatible by design.
+      meta << "stagehead 1\n";
+    }
     if (!meta) return false;
   }
   {
@@ -57,6 +62,11 @@ bool SaveSnapshot(const LiteSystem& system, const std::string& dir) {
     const NecsModel* m = system.ensemble_member(i);
     if (m == nullptr) return false;
     if (!SaveParams(m->Params(), dir + "/necs_" + std::to_string(i) + ".txt")) {
+      return false;
+    }
+  }
+  if (system.stage_head() != nullptr) {
+    if (!SaveParams(system.stage_head()->Params(), dir + "/stagehead.txt")) {
       return false;
     }
   }
@@ -80,6 +90,7 @@ std::unique_ptr<LoadedLiteModel> LoadedLiteModel::Load(
   loaded->runner_ = runner;
 
   size_t ensemble = 0;
+  bool has_stage_head = false;
   NecsConfig necs;
   {
     std::ifstream meta(dir + "/meta.txt");
@@ -111,6 +122,10 @@ std::unique_ptr<LoadedLiteModel> LoadedLiteModel::Load(
         meta >> code >> dag;
         necs.use_code_encoder = code != 0;
         necs.use_dag_encoder = dag != 0;
+      } else if (key == "stagehead") {
+        int flag = 0;
+        meta >> flag;
+        has_stage_head = flag != 0;
       } else {
         // Unknown key: a snapshot from a newer writer that appended meta
         // fields. Skip the rest of the line instead of hard-failing so
@@ -146,6 +161,15 @@ std::unique_ptr<LoadedLiteModel> LoadedLiteModel::Load(
       return nullptr;
     }
     loaded->models_.push_back(std::move(model));
+  }
+  if (has_stage_head) {
+    // The head's dims are fixed by the NECS encoder widths already parsed
+    // above; LoadParams rejects any shape mismatch, so a corrupted or
+    // truncated stagehead.txt fails the whole load cleanly.
+    auto head = std::make_unique<StageHead>(necs.code_dim, necs.gcn_hidden,
+                                            /*seed=*/1);
+    if (!LoadParams(head->Params(), dir + "/stagehead.txt")) return nullptr;
+    loaded->stage_head_ = std::move(head);
   }
   {
     std::ifstream in(dir + "/acg.txt");
@@ -245,7 +269,42 @@ std::unique_ptr<LoadedLiteModel> LoadedLiteModel::Clone() const {
     copy->InvalidateCache();
     clone->models_.push_back(std::move(copy));
   }
+  if (stage_head_ != nullptr) {
+    auto head = std::make_unique<StageHead>(stage_head_->code_dim(),
+                                            stage_head_->dag_dim(),
+                                            /*seed=*/1);
+    CopyParams(stage_head_->Params(), head->Params());
+    clone->stage_head_ = std::move(head);
+  }
   return clone;
+}
+
+spark::StagePlan LoadedLiteModel::PlanStages(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env, const spark::Config& base,
+    const spark::StagePlannerOptions& opts) const {
+  LITE_CHECK(stage_head_ != nullptr) << "PlanStages: snapshot has no stage head";
+  spark::StageEvalFactory factory = MakeStageHeadEvalFactory(
+      stage_head_.get(), models_[0].get(), runner_, &feature_space_, &app,
+      data, &env);
+  spark::StagePlanner planner(opts);
+  return planner.Plan(app, spark::ResolveIterations(app, data), base,
+                      factory(1.0));
+}
+
+spark::RetuneResult LoadedLiteModel::RetuneStages(
+    const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env, const spark::StagedConfig& current,
+    const std::vector<spark::StageEvent>& observed,
+    const spark::StagePlannerOptions& opts) const {
+  LITE_CHECK(stage_head_ != nullptr)
+      << "RetuneStages: snapshot has no stage head";
+  spark::StageEvalFactory factory = MakeStageHeadEvalFactory(
+      stage_head_.get(), models_[0].get(), runner_, &feature_space_, &app,
+      data, &env);
+  spark::StagePlanner planner(opts);
+  return planner.Retune(app, spark::ResolveIterations(app, data), current,
+                        observed, factory);
 }
 
 }  // namespace lite

@@ -10,6 +10,8 @@
 //   opvocab.txt     DAG operation vocabulary
 //   necs_<i>.txt    parameter tensors of ensemble member i
 //   acg.txt         per-knob random forests + sigmas
+//   stagehead.txt   per-stage head parameters (only when trained; its
+//                   presence is announced by the `stagehead` meta key)
 //
 // A snapshot restores everything Recommend() needs. The offline instance
 // corpus itself is not persisted, so adaptive updates after a restore use
@@ -98,12 +100,34 @@ class LoadedLiteModel {
   const serve::ScoringOptions& scoring() const { return scoring_; }
   void set_scoring(const serve::ScoringOptions& s) { scoring_ = s; }
 
+  /// The restored per-stage head; nullptr when the snapshot carries none.
+  const StageHead* stage_head() const { return stage_head_.get(); }
+
+  /// Plans per-stage overrides on top of `base` with the restored head
+  /// (sparksim/stage_planner.h). Callers must check stage_head() != nullptr.
+  /// The head always evaluates in exact fp32 regardless of the configured
+  /// scoring backend.
+  spark::StagePlan PlanStages(const spark::ApplicationSpec& app,
+                              const spark::DataSpec& data,
+                              const spark::ClusterEnv& env,
+                              const spark::Config& base,
+                              const spark::StagePlannerOptions& opts) const;
+
+  /// AQE-style re-tune of `current` from observed stage events (see the
+  /// planner header for the correction formula and inertness contract).
+  spark::RetuneResult RetuneStages(
+      const spark::ApplicationSpec& app, const spark::DataSpec& data,
+      const spark::ClusterEnv& env, const spark::StagedConfig& current,
+      const std::vector<spark::StageEvent>& observed,
+      const spark::StagePlannerOptions& opts) const;
+
  private:
   LoadedLiteModel() = default;
 
   const spark::SparkRunner* runner_ = nullptr;
   Corpus feature_space_;  ///< vocabularies + dims only (no instances).
   std::vector<std::unique_ptr<NecsModel>> models_;
+  std::unique_ptr<StageHead> stage_head_;
   NecsConfig necs_config_;  ///< kept for Clone().
   CandidateGenerator acg_;
   size_t num_candidates_ = 60;

@@ -1,0 +1,125 @@
+#include "lite/stage_head.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparksim/knob.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lite {
+
+using namespace ops;
+
+StageHead::StageHead(size_t code_dim, size_t dag_dim, uint64_t seed)
+    : code_dim_(code_dim), dag_dim_(dag_dim) {
+  Rng rng(seed);
+  // Two halving hidden layers: the head rides on encodings the big towers
+  // already computed, so it stays deliberately small.
+  mlp_ = std::make_unique<Mlp>(input_dim(), 2, 1, &rng);
+}
+
+size_t StageHead::input_dim() const {
+  return code_dim_ + dag_dim_ + 4 + 6 + spark::kNumKnobs;
+}
+
+VarPtr StageHead::Assemble(const NecsModel& encoder,
+                           const StageInstance& inst) const {
+  std::pair<Tensor, Tensor> enc = encoder.StageEncodings(inst);
+  // Input() wraps the encodings as constants: gradients stop here, the
+  // NECS towers stay frozen.
+  VarPtr h_code = Input(enc.first);
+  VarPtr h_dag = Input(enc.second);
+  VarPtr d = Input(Tensor::FromVector(inst.data_feat));
+  VarPtr e = Input(Tensor::FromVector(inst.env_feat));
+  VarPtr o = Input(Tensor::FromVector(inst.knobs));
+  return Concat({h_code, h_dag, d, e, o});
+}
+
+double StageHead::PredictTarget(const NecsModel& encoder,
+                                const StageInstance& inst) const {
+  VarPtr out = mlp_->Predict(Assemble(encoder, inst));
+  return static_cast<double>(out->value[0]);
+}
+
+double StageHead::PredictSeconds(const NecsModel& encoder,
+                                 const StageInstance& inst) const {
+  return SecondsFromTarget(PredictTarget(encoder, inst));
+}
+
+std::vector<double> StageHead::Train(const NecsModel& encoder,
+                                     const std::vector<StageInstance>& instances,
+                                     const StageHeadTrainOptions& options) {
+  LITE_CHECK(!instances.empty()) << "StageHead: training on empty corpus";
+  Adam adam(Params(), options.lr);
+  Rng rng(options.seed);
+  std::vector<size_t> order(instances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<double> epoch_losses;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double loss_sum = 0.0;
+    size_t pos = 0;
+    while (pos < order.size()) {
+      size_t batch_end = std::min(pos + options.batch_size, order.size());
+      float inv_batch = 1.0f / static_cast<float>(batch_end - pos);
+      adam.ZeroGrad();
+      for (size_t b = pos; b < batch_end; ++b) {
+        const StageInstance& inst = instances[order[b]];
+        VarPtr pred = mlp_->Predict(Assemble(encoder, inst));
+        Tensor target(static_cast<size_t>(1));
+        target[0] = static_cast<float>(inst.y);
+        VarPtr loss = Scale(MseLoss(pred, target), inv_batch);
+        Backward(loss);
+        loss_sum += static_cast<double>(loss->value[0]);
+      }
+      adam.ClipGradNorm(options.grad_clip);
+      adam.Step();
+      pos = batch_end;
+    }
+    double num_batches = std::ceil(static_cast<double>(order.size()) /
+                                   static_cast<double>(options.batch_size));
+    epoch_losses.push_back(loss_sum / num_batches);
+  }
+  return epoch_losses;
+}
+
+std::vector<VarPtr> StageHead::Params() const { return mlp_->Params(); }
+
+spark::StageEvalFactory MakeStageHeadEvalFactory(
+    const StageHead* head, const NecsModel* encoder,
+    const spark::SparkRunner* runner, const Corpus* feature_space,
+    const spark::ApplicationSpec* app, spark::DataSpec data,
+    const spark::ClusterEnv* env) {
+  return [head, encoder, runner, feature_space, app, data,
+          env](double scale) -> spark::StageEvalFn {
+    spark::DataSpec scaled = data;
+    scaled.size_mb = data.size_mb * scale;
+    if (data.num_rows > 0) {
+      scaled.num_rows =
+          std::llround(static_cast<double>(data.num_rows) * scale);
+    }
+    // Featurize once per evaluator: code tokens, DAGs, data and env
+    // features are knob-independent, so every candidate shares the
+    // template instances and only swaps the normalized knob vector.
+    CorpusBuilder builder(runner);
+    auto templ = std::make_shared<CandidateEval>(builder.FeaturizeCandidate(
+        *feature_space, *app, scaled, *env,
+        spark::KnobSpace::Spark16().DefaultConfig()));
+    return [head, encoder, templ](size_t stage_index, int /*iteration*/,
+                                  const spark::Config& config)
+               -> spark::StageEvalResult {
+      if (stage_index >= templ->stage_instances.size()) {
+        return spark::StageEvalResult{0.0, true};
+      }
+      StageInstance inst = templ->stage_instances[stage_index];
+      inst.knobs = spark::KnobSpace::Spark16().Normalize(config);
+      return spark::StageEvalResult{head->PredictSeconds(*encoder, inst),
+                                    false};
+    };
+  };
+}
+
+}  // namespace lite

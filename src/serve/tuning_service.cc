@@ -33,6 +33,8 @@ struct ServeMetrics {
   obs::Counter* feedback_instances;
   obs::Counter* bad_feedback;
   obs::Counter* incumbent_served;
+  obs::Counter* stage_plans;
+  obs::Counter* retunes;
   obs::Gauge* pending;
   obs::Histogram* request_seconds;
 
@@ -50,6 +52,8 @@ struct ServeMetrics {
           reg.GetCounter("serve_feedback_instances_total"),
           reg.GetCounter("serve_feedback_dropped_bad_total"),
           reg.GetCounter("serve_incumbent_responses_total"),
+          reg.GetCounter("serve_stage_plans_total"),
+          reg.GetCounter("serve_retunes_total"),
           reg.GetGauge("serve_pending_requests"),
           reg.GetHistogram("serve_request_seconds"),
       };
@@ -74,6 +78,12 @@ std::string ValidateServiceOptions(const ServiceOptions& options) {
   if (options.max_stage_instances_per_run == 0) {
     return "max_stage_instances_per_run must be > 0 (feedback would always "
            "be empty)";
+  }
+  if (options.stage_tuning.values_per_knob < 2 ||
+      options.stage_tuning.values_per_knob > 64) {
+    return "stage_tuning.values_per_knob must be in [2, 64] (the planner "
+           "grid needs both range endpoints and has no use for a finer "
+           "sweep than the knob resolution)";
   }
   std::string err = ValidateGuardrailOptions(options.guardrail);
   if (!err.empty()) return err;
@@ -444,6 +454,115 @@ TuningService::Response TuningService::Recommend(
     }
   }
   return r;
+}
+
+TuningService::StagedResponse TuningService::RecommendStaged(
+    int session, const spark::ApplicationSpec& app,
+    const spark::DataSpec& data, const spark::ClusterEnv& env) {
+  StagedResponse sr;
+  // The base response takes the exact Recommend() path — guardrail
+  // admission, retrieval memo, metrics and all — so it is bit-identical to
+  // a direct Recommend call on the same session (and the staged machinery
+  // is invisible to app-level traffic).
+  sr.base = Recommend(session, app, data, env);
+  sr.staged.base = sr.base.rec.config;
+  if (!sr.base.ok || !options_.stage_tuning.enabled) return sr;
+  // Guardrail and cache decisions outrank fine-grained planning: an
+  // incumbent fallback exists precisely because the model is not trusted
+  // for this tenant, a probe must measure the *model's* config unmodified,
+  // and a memoized hit promised zero model evaluations. Staged plans are
+  // never inserted into the memo either.
+  if (sr.base.from_incumbent || sr.base.probe || sr.base.from_cache) {
+    return sr;
+  }
+  auto snap = SnapshotRef();
+  if (snap == nullptr || snap->stage_head() == nullptr) return sr;
+  spark::StagePlannerOptions popts;
+  popts.values_per_knob = options_.stage_tuning.values_per_knob;
+  try {
+    spark::StagePlan plan =
+        snap->PlanStages(app, data, env, sr.base.rec.config, popts);
+    if (plan.ok && !plan.baseline_failed) {
+      sr.staged = plan.staged;
+      sr.baseline_seconds = plan.baseline_seconds;
+      sr.planned_seconds = plan.planned_seconds;
+      sr.stage_tuned = true;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.stage_plans;
+      ServeMetrics::Get().stage_plans->Inc();
+    }
+  } catch (const std::exception& e) {
+    // Planning is an additive refinement: on failure the valid app-level
+    // response still stands (with zero overrides).
+    LITE_WARN << "RecommendStaged: planning failed: " << e.what();
+  }
+  return sr;
+}
+
+TuningService::RetuneResponse TuningService::Retune(
+    int session, const spark::ApplicationSpec& app,
+    const spark::DataSpec& data, const spark::ClusterEnv& env,
+    const spark::StagedConfig& current,
+    const std::vector<spark::StageEvent>& observed) {
+  RetuneResponse r;
+  r.staged = current;
+  if (!options_.stage_tuning.enabled) {
+    r.error = "stage tuning is disabled (ServiceOptions::stage_tuning)";
+    return r;
+  }
+  auto snap = SnapshotRef();
+  if (snap == nullptr) {
+    r.error = "no snapshot loaded";
+    return r;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (session < 0 || static_cast<size_t>(session) >= sessions_.size()) {
+      r.error = "unknown session";
+      return r;
+    }
+  }
+  if (snap->stage_head() == nullptr) {
+    r.error = "snapshot carries no stage head";
+    return r;
+  }
+  std::string why;
+  if (!spark::ValidateStagedConfig(current, app, &why)) {
+    r.error = "invalid staged config: " + why;
+    return r;
+  }
+  spark::StagePlannerOptions popts;
+  popts.values_per_knob = options_.stage_tuning.values_per_knob;
+  try {
+    spark::RetuneResult res =
+        snap->RetuneStages(app, data, env, current, observed, popts);
+    r.ok = res.ok;
+    r.staged = std::move(res.staged);
+    r.correction = res.correction;
+    r.frontier = res.frontier;
+    if (r.ok) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retunes;
+      ServeMetrics::Get().retunes->Inc();
+    }
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+  return r;
+}
+
+TuningService::RetuneResponse TuningService::Retune(
+    int session, const spark::ApplicationSpec& app,
+    const spark::DataSpec& data, const spark::ClusterEnv& env,
+    const spark::StagedConfig& current, const std::string& event_log) {
+  spark::ParsedEventLog parsed;
+  if (!spark::ParseEventLog(event_log, &parsed)) {
+    RetuneResponse r;
+    r.staged = current;
+    r.error = "malformed event log";
+    return r;
+  }
+  return Retune(session, app, data, env, current, parsed.stages);
 }
 
 bool TuningService::SubmitFeedback(int session,

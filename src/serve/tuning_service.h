@@ -57,6 +57,18 @@
 
 namespace lite::serve {
 
+/// Per-stage tuning endpoints (docs/STAGE_TUNING.md). `enabled=false` (the
+/// default) is structurally inert: RecommendStaged degrades to the plain
+/// response with zero overrides, Retune rejects, and the plain Recommend
+/// path is never consulted either way — enabling the feature without
+/// calling the staged endpoints is bit-identical to a service without it
+/// (the DiffStageTuningTransparency contract).
+struct StageTuningOptions {
+  bool enabled = false;
+  /// Grid resolution of the per-stage planner's coordinate search.
+  int values_per_knob = 5;
+};
+
 struct ServiceOptions {
   /// Admission bound: maximum requests queued or running at once. Further
   /// submissions are rejected immediately (backpressure).
@@ -81,6 +93,8 @@ struct ServiceOptions {
   /// responses). `enabled=false` (the default) is structurally inert: no
   /// RetrievalCache is constructed and the serving path is unchanged.
   RetrievalCacheOptions retrieval;
+  /// Per-stage tuning endpoints. Inert by default.
+  StageTuningOptions stage_tuning;
 };
 
 /// Validates a ServiceOptions bundle (zero admission bound, absurd thread
@@ -158,6 +172,59 @@ class TuningService {
                      const spark::DataSpec& data,
                      const spark::ClusterEnv& env);
 
+  /// Fine-grained recommendation: the plain response plus per-stage knob
+  /// overrides planned with the snapshot's stage head. `base` is produced
+  /// by the exact same path as Recommend() — guardrail, retrieval cache,
+  /// metrics and all — and is bit-identical to calling Recommend directly.
+  /// The planner only runs when the feature is enabled, the snapshot
+  /// carries a head, AND the base response came from a live model pass:
+  /// incumbent fallbacks, half-open probes and memoized cache hits are
+  /// served as-is with zero overrides (the guardrail/retrieval decision
+  /// outranks fine-grained planning, and staged plans are never memoized).
+  struct StagedResponse {
+    Response base;
+    spark::StagedConfig staged;  ///< base.rec.config + planned overrides.
+    /// Head-predicted totals of the un-overridden and planned configs
+    /// (meaningful only when stage_tuned).
+    double baseline_seconds = 0.0;
+    double planned_seconds = 0.0;
+    /// True when the per-stage planner ran on this request.
+    bool stage_tuned = false;
+  };
+  StagedResponse RecommendStaged(int session,
+                                 const spark::ApplicationSpec& app,
+                                 const spark::DataSpec& data,
+                                 const spark::ClusterEnv& env);
+
+  /// AQE-style mid-job re-tune: given the staged config a job is running
+  /// with and the stage events observed so far, re-plans the knobs of the
+  /// remaining stages (sparksim/stage_planner.h documents the correction
+  /// formula and the inertness contract). Rejects with ok=false when the
+  /// feature is disabled, no snapshot/stage head is loaded, the session is
+  /// unknown, or `current` fails ValidateStagedConfig (degenerate or
+  /// out-of-range overrides never reach the planner).
+  struct RetuneResponse {
+    bool ok = false;
+    std::string error;
+    spark::StagedConfig staged;  ///< kept prefix + re-planned suffix.
+    double correction = 1.0;
+    size_t frontier = 0;
+  };
+  RetuneResponse Retune(int session, const spark::ApplicationSpec& app,
+                        const spark::DataSpec& data,
+                        const spark::ClusterEnv& env,
+                        const spark::StagedConfig& current,
+                        const std::vector<spark::StageEvent>& observed);
+
+  /// Convenience overload: parses a JSON-lines event log (the simulator's
+  /// Submission::event_log) and re-tunes from its stage events. Rejects on
+  /// malformed logs.
+  RetuneResponse Retune(int session, const spark::ApplicationSpec& app,
+                        const spark::DataSpec& data,
+                        const spark::ClusterEnv& env,
+                        const spark::StagedConfig& current,
+                        const std::string& event_log);
+
   /// Queues one observed run as feedback for the session's tenant. When
   /// the accumulated batch reaches `update_batch`, an off-path adaptive
   /// update is scheduled (clone -> fine-tune -> hot-swap); serving
@@ -219,6 +286,8 @@ class TuningService {
     uint64_t feedback_instances = 0;  ///< stage instances queued as feedback.
     uint64_t bad_feedback_dropped = 0;  ///< failed/censored runs kept out of
                                         ///< the update batch.
+    uint64_t stage_plans = 0;  ///< RecommendStaged requests that planned.
+    uint64_t retunes = 0;      ///< Retune requests that re-planned.
   };
   Stats stats() const;
 

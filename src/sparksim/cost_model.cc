@@ -317,6 +317,38 @@ AppRunResult CostModel::Run(const ApplicationSpec& app, const DataSpec& data,
   return out;
 }
 
+AppRunResult CostModel::RunStaged(const ApplicationSpec& app,
+                                  const DataSpec& data, const ClusterEnv& env,
+                                  const StagedConfig& staged) const {
+  AppRunResult out;
+  int iterations = std::max(
+      1, data.iterations > 0 ? data.iterations : app.default_iterations);
+  for (size_t si = 0; si < app.stages.size(); ++si) {
+    const StageSpec& stage = app.stages[si];
+    // Materialized once per stage, not per iteration: the effective config
+    // is iteration-invariant, and RunStage's noise seed folds the config
+    // values in, so every iteration of a stage sees the same knob vector
+    // whether it came from Run or RunStaged.
+    const Config effective = EffectiveConfig(staged, si);
+    int reps = stage.per_iteration ? iterations : 1;
+    for (int it = 0; it < reps; ++it) {
+      StageRunResult sr = RunStage(app, si, it, data, env, effective);
+      out.stage_runs.push_back(sr);
+      if (sr.failed) {
+        out.failed = true;
+        out.failure_reason = sr.failure_reason;
+        out.total_seconds = options_.mutation == kMutUncappedFailure
+                                ? options_.failure_cap_seconds * 10.0
+                                : options_.failure_cap_seconds;
+        return out;
+      }
+      out.total_seconds += sr.seconds;
+    }
+  }
+  out.total_seconds = std::min(out.total_seconds, options_.failure_cap_seconds);
+  return out;
+}
+
 std::vector<double> AppRunResult::InnerMetrics() const {
   std::vector<double> m(kInnerMetricsDim, 0.0);
   if (stage_runs.empty()) return m;

@@ -29,6 +29,7 @@
 #include "sparksim/application.h"
 #include "sparksim/environment.h"
 #include "sparksim/knob.h"
+#include "sparksim/stage_config.h"
 
 namespace lite::spark {
 
@@ -125,6 +126,15 @@ class CostModel {
   /// failed results capped at failure_cap_seconds.
   AppRunResult Run(const ApplicationSpec& app, const DataSpec& data,
                    const ClusterEnv& env, const Config& config) const;
+
+  /// Like Run, but each stage executes under EffectiveConfig(staged, si).
+  /// With an empty override list this is bit-identical to
+  /// Run(app, data, env, staged.base): the loop structure, failure
+  /// handling, cap and noise seeding are shared, and RunStage is pure per
+  /// stage (no cross-stage state), so overrides compose exactly.
+  AppRunResult RunStaged(const ApplicationSpec& app, const DataSpec& data,
+                         const ClusterEnv& env,
+                         const StagedConfig& staged) const;
 
   /// Simulated time of a single stage execution (exposed for tests and for
   /// the Fig. 1 motivation sweep).

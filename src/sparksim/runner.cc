@@ -16,4 +16,22 @@ double SparkRunner::Measure(const ApplicationSpec& app, const DataSpec& data,
   return r.failed ? cost_model_.options().failure_cap_seconds : r.total_seconds;
 }
 
+Submission SparkRunner::SubmitStaged(const ApplicationSpec& app,
+                                     const DataSpec& data,
+                                     const ClusterEnv& env,
+                                     const StagedConfig& staged) const {
+  Submission s;
+  s.result = cost_model_.RunStaged(app, data, env, staged);
+  s.event_log = WriteEventLog(app, s.result);
+  return s;
+}
+
+double SparkRunner::MeasureStaged(const ApplicationSpec& app,
+                                  const DataSpec& data, const ClusterEnv& env,
+                                  const StagedConfig& staged) const {
+  AppRunResult r = cost_model_.RunStaged(app, data, env, staged);
+  return r.failed ? cost_model_.options().failure_cap_seconds
+                  : r.total_seconds;
+}
+
 }  // namespace lite::spark

@@ -31,6 +31,15 @@ class SparkRunner {
   double Measure(const ApplicationSpec& app, const DataSpec& data,
                  const ClusterEnv& env, const Config& config) const;
 
+  /// Staged twins of Submit/Measure: each stage runs under
+  /// EffectiveConfig(staged, stage). Bit-identical to the app-level entry
+  /// points when `staged.overrides` is empty.
+  Submission SubmitStaged(const ApplicationSpec& app, const DataSpec& data,
+                          const ClusterEnv& env,
+                          const StagedConfig& staged) const;
+  double MeasureStaged(const ApplicationSpec& app, const DataSpec& data,
+                       const ClusterEnv& env, const StagedConfig& staged) const;
+
   const CostModel& cost_model() const { return cost_model_; }
   const Instrumenter& instrumenter() const { return instrumenter_; }
 

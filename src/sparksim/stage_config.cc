@@ -1,0 +1,71 @@
+#include "sparksim/stage_config.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace lite::spark {
+
+bool IsStageTunableKnob(size_t knob) {
+  for (size_t k : kStageTunableKnobs) {
+    if (k == knob) return true;
+  }
+  return false;
+}
+
+Config EffectiveConfig(const StagedConfig& staged, size_t stage_index) {
+  bool touched = false;
+  Config out = staged.base;
+  for (const StageKnobOverride& o : staged.overrides) {
+    if (o.stage_index != stage_index) continue;
+    if (o.knob >= out.size()) continue;
+    out[o.knob] = o.value;
+    touched = true;
+  }
+  // Clamp only when an override actually applied: the untouched path must
+  // return the base verbatim (bit-identity is the transparency contract,
+  // and Clamp's snap could perturb a base the caller built by hand).
+  if (touched) out = KnobSpace::Spark16().Clamp(out);
+  return out;
+}
+
+bool ValidateStagedConfig(const StagedConfig& staged,
+                          const ApplicationSpec& app, std::string* why) {
+  const KnobSpace& space = KnobSpace::Spark16();
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (staged.base.size() != space.size()) {
+    return fail("base config has wrong dimension");
+  }
+  if (!space.IsValid(staged.base)) {
+    return fail("base config is not a valid Spark16 point");
+  }
+  for (const StageKnobOverride& o : staged.overrides) {
+    std::ostringstream at;
+    at << "override (stage=" << o.stage_index << ", knob=" << o.knob
+       << ", value=" << o.value << "): ";
+    if (o.stage_index >= app.stages.size()) {
+      return fail(at.str() + "stage index out of range for application '" +
+                  app.name + "'");
+    }
+    if (o.knob >= space.size()) {
+      return fail(at.str() + "knob index out of range");
+    }
+    if (!IsStageTunableKnob(o.knob)) {
+      return fail(at.str() + "knob '" + space.spec(o.knob).name +
+                  "' is not stage-tunable");
+    }
+    if (!std::isfinite(o.value)) {
+      return fail(at.str() + "value is not finite");
+    }
+    const KnobSpec& spec = space.spec(o.knob);
+    if (o.value < spec.min_value || o.value > spec.max_value) {
+      return fail(at.str() + "value outside the legal range of '" +
+                  spec.name + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace lite::spark

@@ -1,0 +1,63 @@
+// Per-stage knob overrides: a staged configuration is an app-level base
+// config plus a sparse list of (stage, knob, value) overrides for the
+// three stage-tunable knobs — parallelism, shuffle file buffer, memory
+// fraction (the knobs "A Spark Optimizer for Adaptive, Fine-Grained
+// Parameter Tuning", arXiv 2403.00995, tunes at stage granularity).
+//
+// Overrides are *sparse by design*: an empty override list makes every
+// staged entry point bit-identical to its app-level twin, which is the
+// contract the DiffStageTuningTransparency differential enforces.
+#ifndef LITE_SPARKSIM_STAGE_CONFIG_H_
+#define LITE_SPARKSIM_STAGE_CONFIG_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sparksim/application.h"
+#include "sparksim/knob.h"
+
+namespace lite::spark {
+
+/// The knobs a stage may override. Executor sizing, driver sizing and
+/// compression flags stay app-level: the simulated resource manager places
+/// executors once per application, so re-negotiating them per stage would
+/// model a capability Spark does not have (AQE re-plans tasks, not
+/// containers).
+constexpr std::array<size_t, 3> kStageTunableKnobs = {
+    kDefaultParallelism, kMemoryFraction, kShuffleFileBuffer};
+
+bool IsStageTunableKnob(size_t knob);
+
+/// One override: stage `stage_index` runs with knob `knob` set to `value`
+/// (natural units) instead of the base config's entry.
+struct StageKnobOverride {
+  size_t stage_index = 0;
+  size_t knob = 0;
+  double value = 0.0;
+};
+
+/// App-level base config plus sparse per-stage overrides.
+struct StagedConfig {
+  Config base;
+  std::vector<StageKnobOverride> overrides;
+};
+
+/// The effective config stage `stage_index` runs with: the base with every
+/// matching override applied (later duplicates win, mirroring how Spark's
+/// last `--conf` wins). Overridden values are clamped/snapped into the
+/// knob's legal range so the cost model never sees an illegal point.
+Config EffectiveConfig(const StagedConfig& staged, size_t stage_index);
+
+/// Validates a staged config against an application: the base must be a
+/// valid Spark16 point, every override must target an existing stage and a
+/// stage-tunable knob, and the override value must be finite and inside
+/// the knob's legal range. Returns false and fills `why` (when non-null)
+/// with the first violation.
+bool ValidateStagedConfig(const StagedConfig& staged,
+                          const ApplicationSpec& app, std::string* why);
+
+}  // namespace lite::spark
+
+#endif  // LITE_SPARKSIM_STAGE_CONFIG_H_

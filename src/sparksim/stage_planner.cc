@@ -1,0 +1,288 @@
+#include "sparksim/stage_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lite::spark {
+
+namespace {
+
+/// Sum of eval over every execution of one stage. Sets *failed on any
+/// failing execution (the partial sum is then meaningless to callers).
+double EvalStageSum(const StageEvalFn& eval, size_t stage_index, int reps,
+                    const Config& config, bool* failed) {
+  double sum = 0.0;
+  for (int it = 0; it < reps; ++it) {
+    StageEvalResult r = eval(stage_index, it, config);
+    if (r.failed) {
+      *failed = true;
+      return sum;
+    }
+    sum += r.seconds;
+  }
+  return sum;
+}
+
+/// Replaces (or appends) the override for (stage, knob). Returns the
+/// previous value through *had_previous / *previous so the caller can
+/// revert a rejected candidate exactly.
+void SetOverride(StagedConfig* staged, size_t stage_index, size_t knob,
+                 double value) {
+  for (StageKnobOverride& o : staged->overrides) {
+    if (o.stage_index == stage_index && o.knob == knob) {
+      o.value = value;
+      return;
+    }
+  }
+  staged->overrides.push_back(StageKnobOverride{stage_index, knob, value});
+}
+
+void RemoveOverride(StagedConfig* staged, size_t stage_index, size_t knob) {
+  auto& v = staged->overrides;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [&](const StageKnobOverride& o) {
+                           return o.stage_index == stage_index &&
+                                  o.knob == knob;
+                         }),
+          v.end());
+}
+
+}  // namespace
+
+int ResolveIterations(const ApplicationSpec& app, const DataSpec& data) {
+  return std::max(1,
+                  data.iterations > 0 ? data.iterations
+                                      : app.default_iterations);
+}
+
+int StageReps(const ApplicationSpec& app, size_t stage_index, int iterations) {
+  if (stage_index >= app.stages.size()) return 0;
+  return app.stages[stage_index].per_iteration ? std::max(1, iterations) : 1;
+}
+
+double PredictStagedSeconds(const ApplicationSpec& app, int iterations,
+                            const StagedConfig& staged,
+                            const StageEvalFn& eval, bool* failed) {
+  double total = 0.0;
+  bool any_failed = false;
+  for (size_t si = 0; si < app.stages.size(); ++si) {
+    const Config effective = EffectiveConfig(staged, si);
+    bool stage_failed = false;
+    double stage_sum = EvalStageSum(eval, si, StageReps(app, si, iterations),
+                                    effective, &stage_failed);
+    if (stage_failed) {
+      any_failed = true;
+      break;
+    }
+    total += stage_sum;
+  }
+  if (failed != nullptr) *failed = any_failed;
+  return total;
+}
+
+StagePlan StagePlanner::PlanRange(const ApplicationSpec& app, int iterations,
+                                  const StagedConfig& seed, size_t first_stage,
+                                  const StageEvalFn& eval) const {
+  const KnobSpace& space = KnobSpace::Spark16();
+  const size_t num_stages = app.stages.size();
+  StagePlan plan;
+  plan.staged.base = seed.base;
+  for (const StageKnobOverride& o : seed.overrides) {
+    if (o.stage_index < first_stage) plan.staged.overrides.push_back(o);
+  }
+
+  // Baseline: the un-overridden base config across every stage. If it
+  // already fails under the evaluator there is nothing sound to compare
+  // improvements against — return the seed untouched.
+  bool base_failed = false;
+  plan.baseline_seconds = PredictStagedSeconds(
+      app, iterations, StagedConfig{seed.base, {}}, eval, &base_failed);
+  if (base_failed) {
+    plan.baseline_failed = true;
+    plan.planned_seconds = plan.baseline_seconds;
+    plan.ok = true;
+    return plan;
+  }
+
+  const int grid = std::max(2, options_.values_per_knob);
+  for (size_t si = 0; si < num_stages; ++si) {
+    const int reps = StageReps(app, si, iterations);
+    if (si < first_stage) {
+      // Already-run stage: its (kept) overrides contribute their predicted
+      // time but are not searched again.
+      bool kept_failed = false;
+      double kept = EvalStageSum(eval, si, reps,
+                                 EffectiveConfig(plan.staged, si),
+                                 &kept_failed);
+      plan.planned_seconds += kept_failed ? 0.0 : kept;
+      continue;
+    }
+    bool stage_failed = false;
+    double best = EvalStageSum(eval, si, reps,
+                               EffectiveConfig(plan.staged, si),
+                               &stage_failed);
+    if (stage_failed) {
+      // Unreachable for clean evaluators (the whole-baseline check above
+      // already passed), but a scaled evaluator may fail where the
+      // unscaled one did not; leave the stage un-overridden.
+      continue;
+    }
+    for (size_t knob : kStageTunableKnobs) {
+      const KnobSpec& spec = space.spec(knob);
+      double hi = spec.max_value;
+      if (options_.mutation == kStageMutUnclampedOverride) {
+        // Mutant: the grid overshoots the legal range; the raw value below
+        // is recorded unclamped (execution clamps, validation rejects).
+        hi = spec.min_value + (spec.max_value - spec.min_value) * 1.5;
+      }
+      for (int g = 0; g < grid; ++g) {
+        // The top grid point is `hi` itself, not min + span*1.0 — that
+        // product can land an ulp above the legal maximum.
+        const double value =
+            g == grid - 1
+                ? hi
+                : spec.min_value + (hi - spec.min_value) *
+                                       static_cast<double>(g) /
+                                       static_cast<double>(grid - 1);
+        // Remember the incumbent override (if any) so a rejected candidate
+        // reverts exactly.
+        bool had_prev = false;
+        double prev = 0.0;
+        for (const StageKnobOverride& o : plan.staged.overrides) {
+          if (o.stage_index == si && o.knob == knob) {
+            had_prev = true;
+            prev = o.value;
+            break;
+          }
+        }
+        SetOverride(&plan.staged, si, knob, value);
+        bool cand_failed = false;
+        double cand = EvalStageSum(eval, si, reps,
+                                   EffectiveConfig(plan.staged, si),
+                                   &cand_failed);
+        const bool accept =
+            !cand_failed &&
+            (options_.mutation == kStageMutInvertedDominance ? cand > best
+                                                             : cand < best);
+        if (accept) {
+          best = cand;
+        } else if (had_prev) {
+          SetOverride(&plan.staged, si, knob, prev);
+        } else {
+          RemoveOverride(&plan.staged, si, knob);
+        }
+      }
+    }
+    plan.planned_seconds += best;
+    if (options_.mutation == kStageMutWrongStageIndex && num_stages > 1) {
+      // Mutant: the overrides chosen for this stage are filed against the
+      // next stage index (they were *evaluated* at `si`, so the recorded
+      // plan no longer matches what the search measured).
+      for (StageKnobOverride& o : plan.staged.overrides) {
+        if (o.stage_index == si) o.stage_index = (si + 1) % num_stages;
+      }
+    }
+  }
+  plan.ok = true;
+  return plan;
+}
+
+StagePlan StagePlanner::Plan(const ApplicationSpec& app, int iterations,
+                             const Config& base,
+                             const StageEvalFn& eval) const {
+  return PlanRange(app, iterations, StagedConfig{base, {}}, 0, eval);
+}
+
+RetuneResult StagePlanner::Retune(const ApplicationSpec& app, int iterations,
+                                  const StagedConfig& current,
+                                  const std::vector<StageEvent>& observed,
+                                  const StageEvalFactory& factory) const {
+  RetuneResult out;
+  out.staged = current;
+  if (observed.empty()) {
+    out.ok = true;
+    return out;
+  }
+
+  size_t frontier = 0;
+  for (const StageEvent& e : observed) {
+    frontier = std::max(frontier, e.stage_index + 1);
+  }
+  frontier = std::min(frontier, app.stages.size());
+  out.frontier = frontier;
+
+  // Correction estimate over the newest kObservationWindow events (the
+  // exact formula is part of the header's API contract — the oracle
+  // re-derives it independently).
+  const size_t n = observed.size();
+  const size_t w = std::min(n, kObservationWindow);
+  size_t start = n - w;
+  size_t end = n;
+  if (options_.mutation == kStageMutStaleObservations) {
+    // Mutant: the window slides one event into the past — the newest
+    // completed stage never informs the correction.
+    start = (start > 0) ? start - 1 : 0;
+    end = (end > 0) ? end - 1 : 0;
+  }
+  const StageEvalFn predict = factory(1.0);
+  double observed_sum = 0.0;
+  double predicted_sum = 0.0;
+  for (size_t i = start; i < end; ++i) {
+    const StageEvent& e = observed[i];
+    if (e.stage_index >= app.stages.size()) continue;
+    StageEvalResult p =
+        predict(e.stage_index, e.iteration, EffectiveConfig(current, e.stage_index));
+    if (p.failed) continue;
+    observed_sum += e.seconds;
+    predicted_sum += p.seconds;
+  }
+  out.correction =
+      predicted_sum > 0.0
+          ? std::clamp(observed_sum / predicted_sum, 0.25, 4.0)
+          : 1.0;
+
+  // Keep the overrides of already-run stages verbatim, re-plan the rest
+  // under the corrected evaluator. correction == 1.0 hands PlanRange the
+  // bit-identical evaluator the original plan was built with, so the
+  // deterministic search reproduces the original suffix overrides exactly
+  // (the retune_inertness invariant).
+  StagedConfig kept;
+  kept.base = current.base;
+  for (const StageKnobOverride& o : current.overrides) {
+    if (o.stage_index < frontier) kept.overrides.push_back(o);
+  }
+  StagePlan replanned =
+      PlanRange(app, iterations, kept, frontier, factory(out.correction));
+  if (replanned.baseline_failed) {
+    // The corrected evaluator cannot even run the base config; changing
+    // the plan on that evidence would be unsound. Keep the current plan.
+    out.staged = current;
+    out.ok = true;
+    return out;
+  }
+  out.staged = std::move(replanned.staged);
+  out.ok = true;
+  return out;
+}
+
+StageEvalFactory MakeSimulatorStageEvalFactory(const CostModel* model,
+                                               const ApplicationSpec* app,
+                                               const DataSpec& data,
+                                               const ClusterEnv* env) {
+  return [model, app, data, env](double scale) -> StageEvalFn {
+    DataSpec scaled = data;
+    scaled.size_mb = data.size_mb * scale;
+    if (data.num_rows > 0) {
+      scaled.num_rows =
+          std::llround(static_cast<double>(data.num_rows) * scale);
+    }
+    return [model, app, scaled, env](size_t stage_index, int iteration,
+                                     const Config& config) -> StageEvalResult {
+      StageRunResult sr =
+          model->RunStage(*app, stage_index, iteration, scaled, *env, config);
+      return StageEvalResult{sr.seconds, sr.failed};
+    };
+  };
+}
+
+}  // namespace lite::spark

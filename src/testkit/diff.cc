@@ -488,4 +488,86 @@ DiffResult DiffRetrievalTransparency(const spark::SparkRunner& runner,
   return {};
 }
 
+DiffResult DiffStageTuningTransparency(const spark::SparkRunner& runner,
+                                       const WorkloadTuple& t,
+                                       const std::string& dir) {
+  struct BackendCase {
+    QuantBackend backend;
+    const char* name;
+  };
+  const BackendCase backends[] = {{QuantBackend::kExactFp32, "exact"},
+                                  {QuantBackend::kInt8, "int8"},
+                                  {QuantBackend::kFp16, "fp16"}};
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    for (const BackendCase& bc : backends) {
+      auto make_service = [&](bool stage_tuning) {
+        serve::ServiceOptions opts;
+        opts.scoring.threads = threads;
+        opts.scoring.backend = bc.backend;
+        opts.stage_tuning.enabled = stage_tuning;
+        auto service = std::make_unique<serve::TuningService>(&runner, opts);
+        if (!service->LoadSnapshot(dir)) service.reset();
+        return service;
+      };
+      auto off_service = make_service(false);
+      auto on_service = make_service(true);
+      if (off_service == nullptr || on_service == nullptr) {
+        return Fail("snapshot failed to load from " + dir);
+      }
+      const std::string where = std::string(t.app->name) + " @" +
+                                std::to_string(threads) + " threads/" +
+                                bc.name;
+      int off_session = off_service->OpenSession("stage-transparency-tenant");
+      int on_session = on_service->OpenSession("stage-transparency-tenant");
+      serve::TuningService::Response off =
+          off_service->Recommend(off_session, *t.app, t.data, t.env);
+      serve::TuningService::Response on =
+          on_service->Recommend(on_session, *t.app, t.data, t.env);
+      if (!off.ok) return Fail("stage-tuning-off serving failed: " + off.error);
+      if (!on.ok) return Fail("stage-tuning-on serving failed: " + on.error);
+      auto same = [](const serve::TuningService::Response& a,
+                     const serve::TuningService::Response& b) {
+        return a.rec.config == b.rec.config &&
+               a.rec.predicted_seconds == b.rec.predicted_seconds &&
+               a.rec.candidates_evaluated == b.rec.candidates_evaluated;
+      };
+      if (!same(on, off)) {
+        return Fail("enabling idle stage tuning moved the plain Recommend "
+                    "response (" + where + ")");
+      }
+      // The staged endpoint's embedded base response takes the exact
+      // Recommend path — bit-identical to the disabled service.
+      int staged_session =
+          on_service->OpenSession("stage-transparency-staged-tenant");
+      serve::TuningService::StagedResponse sr =
+          on_service->RecommendStaged(staged_session, *t.app, t.data, t.env);
+      if (!sr.base.ok) {
+        return Fail("RecommendStaged base serving failed: " + sr.base.error);
+      }
+      if (!same(sr.base, off)) {
+        return Fail("RecommendStaged's base response drifted from plain "
+                    "Recommend (" + where + ")");
+      }
+      if (sr.staged.base != sr.base.rec.config) {
+        return Fail("staged plan is not rooted at the base recommendation (" +
+                    where + ")");
+      }
+      // Planning must leave no residue: a plain request after the staged
+      // one still matches the disabled service.
+      int after_session =
+          on_service->OpenSession("stage-transparency-after-tenant");
+      serve::TuningService::Response after =
+          on_service->Recommend(after_session, *t.app, t.data, t.env);
+      if (!after.ok) {
+        return Fail("post-staged serving failed: " + after.error);
+      }
+      if (!same(after, off)) {
+        return Fail("a staged request perturbed subsequent plain serving (" +
+                    where + ")");
+      }
+    }
+  }
+  return {};
+}
+
 }  // namespace lite::testkit

@@ -147,6 +147,21 @@ DiffResult DiffRetrievalTransparency(const spark::SparkRunner& runner,
                                      const WorkloadTuple& t,
                                      const std::string& dir);
 
+/// Stage-tuning transparency (the structurally-inert guarantee of
+/// ServiceOptions::stage_tuning), checked across scoring thread counts
+/// 1/4/8 and the exact, int8 and fp16 scoring backends:
+///   * with stage tuning enabled but no staged endpoint exercised, plain
+///     Recommend must be bit-identical to a stage-tuning-disabled service
+///     — config, predicted seconds and candidate count;
+///   * RecommendStaged's embedded base response must be that same
+///     bit-identical recommendation (it takes the exact Recommend path);
+///   * a plain Recommend issued *after* a staged request must still match
+///     the disabled service — planning leaves no residue in serving state.
+/// `dir` must hold a saved snapshot.
+DiffResult DiffStageTuningTransparency(const spark::SparkRunner& runner,
+                                       const WorkloadTuple& t,
+                                       const std::string& dir);
+
 }  // namespace lite::testkit
 
 #endif  // LITE_TESTKIT_DIFF_H_

@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "sparksim/eventlog.h"
 #include "sparksim/resilient_runner.h"
+#include "sparksim/stage_planner.h"
 #include "sparksim/trace.h"
 
 namespace lite::testkit {
@@ -83,6 +84,8 @@ const std::vector<std::string>& SimulatorOracle::InvariantNames() {
       "resilient_transparency",
       "metrics_consistency",
       "span_consistency",
+      "stage_override_dominance",
+      "retune_inertness",
   };
   return *names;
 }
@@ -105,6 +108,8 @@ OracleReport SimulatorOracle::Check(const WorkloadTuple& t) const {
   CheckResilientTransparency(t, &report);
   CheckMetricsConsistency(t, &report);
   CheckSpanConsistency(t, &report);
+  CheckStageOverrideDominance(t, &report);
+  CheckRetuneInertness(t, &report);
   return report;
 }
 
@@ -747,6 +752,176 @@ void SimulatorOracle::CheckSpanConsistency(const WorkloadTuple& t,
               "parsed " + std::to_string(parsed.spans.size()) +
                   " spans from " + std::to_string(events.size()) +
                   " recorded events");
+  }
+}
+
+void SimulatorOracle::CheckStageOverrideDominance(const WorkloadTuple& t,
+                                                  OracleReport* report) const {
+  const std::string kInv = "stage_override_dominance";
+  const spark::CostModel& model = quiet_runner_.cost_model();
+  spark::StagePlannerOptions popts;
+  popts.mutation = options_.stage_mutation;
+  const spark::StagePlanner planner(popts);
+  const int iterations = spark::ResolveIterations(*t.app, t.data);
+  const spark::StageEvalFactory factory =
+      spark::MakeSimulatorStageEvalFactory(&model, t.app, t.data, &t.env);
+  const spark::StagePlan plan =
+      planner.Plan(*t.app, iterations, t.config, factory(1.0));
+  if (!plan.ok) {
+    Violation(report, kInv, "planner returned ok == false");
+    return;
+  }
+  if (plan.staged.base != t.config) {
+    Violation(report, kInv, "planner rewrote the base config");
+    return;
+  }
+  std::string why;
+  if (!spark::ValidateStagedConfig(plan.staged, *t.app, &why)) {
+    Violation(report, kInv, "planned staged config invalid: " + why);
+    return;
+  }
+
+  const spark::AppRunResult base = model.Run(*t.app, t.data, t.env, t.config);
+  const spark::AppRunResult staged =
+      model.RunStaged(*t.app, t.data, t.env, plan.staged);
+  if (base.failed) {
+    // Nothing sound to improve on; the plan must not invent overrides.
+    if (!plan.staged.overrides.empty()) {
+      Violation(report, kInv,
+                "base config fails but the plan carries " +
+                    std::to_string(plan.staged.overrides.size()) +
+                    " override(s)");
+    }
+    return;
+  }
+  if (staged.failed) {
+    Violation(report, kInv,
+              "staged config fails where the base config succeeds: " +
+                  staged.failure_reason);
+    return;
+  }
+  if (staged.total_seconds > base.total_seconds * (1.0 + options_.rel_tol)) {
+    Violation(report, kInv,
+              "per-stage plan loses to the app-level config: staged " +
+                  Fmt(staged.total_seconds) + "s vs base " +
+                  Fmt(base.total_seconds) + "s");
+  }
+
+  // Consistency leg: the planner's claimed planned_seconds must re-predict
+  // bit-identically from the plan it returned — a plan recorded against
+  // the wrong stage no longer matches what the search measured.
+  if (!plan.baseline_failed) {
+    bool repredict_failed = false;
+    const double repredicted = spark::PredictStagedSeconds(
+        *t.app, iterations, plan.staged, factory(1.0), &repredict_failed);
+    if (repredict_failed) {
+      Violation(report, kInv,
+                "planned staged config fails to re-predict under the "
+                "planning evaluator");
+    } else if (repredicted != plan.planned_seconds) {
+      Violation(report, kInv,
+                "planned_seconds " + Fmt(plan.planned_seconds) +
+                    " does not re-predict from the returned plan (got " +
+                    Fmt(repredicted) + ")");
+    }
+  }
+}
+
+void SimulatorOracle::CheckRetuneInertness(const WorkloadTuple& t,
+                                           OracleReport* report) const {
+  const std::string kInv = "retune_inertness";
+  const spark::CostModel& model = quiet_runner_.cost_model();
+  spark::StagePlannerOptions popts;
+  popts.mutation = options_.stage_mutation;
+  const spark::StagePlanner planner(popts);
+  const int iterations = spark::ResolveIterations(*t.app, t.data);
+  const spark::StageEvalFactory factory =
+      spark::MakeSimulatorStageEvalFactory(&model, t.app, t.data, &t.env);
+  const spark::StagePlan plan =
+      planner.Plan(*t.app, iterations, t.config, factory(1.0));
+  if (!plan.ok || plan.baseline_failed) return;  // dominance owns these.
+
+  // Observations come straight from the quiet staged run's stage records —
+  // NOT from the serialized event log, which rounds durations to 9
+  // significant digits. Bit-exact observed seconds are the precondition of
+  // the inertness contract.
+  const spark::AppRunResult run =
+      model.RunStaged(*t.app, t.data, t.env, plan.staged);
+  if (run.failed) return;  // dominance reports this case.
+  const size_t cut = (t.app->stages.size() + 1) / 2;
+  std::vector<spark::StageEvent> observed;
+  for (const auto& sr : run.stage_runs) {
+    if (sr.stage_index >= cut) continue;
+    spark::StageEvent e;
+    e.stage_index = sr.stage_index;
+    e.iteration = sr.iteration;
+    e.stage_name = t.app->stages[sr.stage_index].name;
+    e.seconds = sr.seconds;
+    observed.push_back(e);
+  }
+  if (observed.empty()) return;
+
+  const spark::RetuneResult ret =
+      planner.Retune(*t.app, iterations, plan.staged, observed, factory);
+  if (!ret.ok) {
+    Violation(report, kInv, "Retune returned ok == false");
+    return;
+  }
+  if (ret.correction != 1.0) {
+    Violation(report, kInv,
+              "observations match predictions bit for bit but the "
+              "correction is " +
+                  Fmt(ret.correction));
+  }
+  if (ret.staged.base != plan.staged.base) {
+    Violation(report, kInv, "re-tune rewrote the base config");
+  }
+  bool overrides_match =
+      ret.staged.overrides.size() == plan.staged.overrides.size();
+  for (size_t i = 0; overrides_match && i < ret.staged.overrides.size(); ++i) {
+    const spark::StageKnobOverride& a = ret.staged.overrides[i];
+    const spark::StageKnobOverride& b = plan.staged.overrides[i];
+    overrides_match = a.stage_index == b.stage_index && a.knob == b.knob &&
+                      a.value == b.value;
+  }
+  if (!overrides_match) {
+    Violation(report, kInv,
+              "re-tune with matching observations changed the overrides (" +
+                  std::to_string(plan.staged.overrides.size()) + " before, " +
+                  std::to_string(ret.staged.overrides.size()) + " after)");
+  }
+
+  // Responsiveness leg: doubling only the *newest* observation must move
+  // the correction to exactly the value of the documented formula — an
+  // observation window that drops the newest event cannot reproduce it.
+  std::vector<spark::StageEvent> perturbed = observed;
+  perturbed.back().seconds *= 2.0;
+  const spark::StageEvalFn predict = factory(1.0);
+  const size_t n = perturbed.size();
+  const size_t w = std::min(n, spark::StagePlanner::kObservationWindow);
+  double observed_sum = 0.0;
+  double predicted_sum = 0.0;
+  for (size_t i = n - w; i < n; ++i) {
+    const spark::StageEvent& e = perturbed[i];
+    if (e.stage_index >= t.app->stages.size()) continue;
+    const spark::StageEvalResult p =
+        predict(e.stage_index, e.iteration,
+                spark::EffectiveConfig(plan.staged, e.stage_index));
+    if (p.failed) continue;
+    observed_sum += e.seconds;
+    predicted_sum += p.seconds;
+  }
+  const double expected =
+      predicted_sum > 0.0
+          ? std::clamp(observed_sum / predicted_sum, 0.25, 4.0)
+          : 1.0;
+  const spark::RetuneResult ret2 =
+      planner.Retune(*t.app, iterations, plan.staged, perturbed, factory);
+  if (!ret2.ok || ret2.correction != expected) {
+    Violation(report, kInv,
+              "correction after perturbing the newest observation is " +
+                  Fmt(ret2.correction) + ", the contract formula expects " +
+                  Fmt(expected));
   }
 }
 

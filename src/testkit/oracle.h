@@ -44,6 +44,19 @@
 //                         per thread, simulated stage events that tile the
 //                         timeline without gaps, and a Chrome-trace export
 //                         that ParseChromeTrace round-trips.
+//   stage_override_dominance the per-stage planner's staged config is valid
+//                         (every override in range, on a stage-tunable
+//                         knob, on an existing stage), never loses to the
+//                         app-level config on the quiet model, and its
+//                         planned_seconds re-predicts bit-identically from
+//                         the returned plan.
+//   retune_inertness      re-tuning with observations copied bit-exactly
+//                         from the plan's own quiet execution yields
+//                         correction == 1.0 and zero override deltas; and
+//                         doubling only the newest observation moves the
+//                         correction to exactly the documented formula's
+//                         value (> 1), so a stale observation window
+//                         cannot hide.
 //
 // All comparisons that reason about monotonicity run on a noise-free copy
 // of the model options; determinism and replay checks keep the caller's
@@ -81,6 +94,13 @@ struct OracleOptions {
   double rel_tol = 1e-9;
   /// Seed for the fault-replay invariant's FaultPlan.
   uint64_t fault_seed = 0x0b5e55ed;
+  /// Test-only: injects one known stage-planner bug (StageTuningMutation)
+  /// into the planner the stage_override_dominance / retune_inertness
+  /// invariants exercise. tools/mutation_check flips each id in turn and
+  /// verifies the invariants flag the mutated planner; production and
+  /// every experiment leave this at 0. Orthogonal to the cost-model
+  /// mutation carried in CostModelOptions.
+  int stage_mutation = 0;
 };
 
 /// Checks every catalog invariant against the cost model built from
@@ -116,6 +136,9 @@ class SimulatorOracle {
   void CheckMetricsConsistency(const WorkloadTuple& t,
                                OracleReport* report) const;
   void CheckSpanConsistency(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckStageOverrideDominance(const WorkloadTuple& t,
+                                   OracleReport* report) const;
+  void CheckRetuneInertness(const WorkloadTuple& t, OracleReport* report) const;
 
   /// Names of every invariant in the catalog, in Check() order.
   static const std::vector<std::string>& InvariantNames();

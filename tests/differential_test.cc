@@ -194,6 +194,50 @@ TEST_F(DifferentialTest, SnapshotRoundTripIsLossless) {
                     << SeedNote();
 }
 
+// Stage-tuning transparency: enabled-but-unused must be bit-identical to
+// disabled across thread counts 1/4/8 and the exact/int8/fp16 backends.
+// Trains its own system with a stage head so the enabled service really
+// plans — the strongest form of the inertness claim.
+TEST(StageTuningDifferentialTest, EnabledButUnusedIsBitIdentical) {
+  spark::SparkRunner runner;
+  LiteOptions opts;
+  opts.corpus.apps = {"TS", "PR"};
+  opts.corpus.clusters = {spark::ClusterEnv::ClusterA()};
+  opts.corpus.configs_per_setting = 2;
+  opts.corpus.max_stage_instances_per_run = 5;
+  opts.corpus.max_code_tokens = 64;
+  opts.necs.emb_dim = 8;
+  opts.necs.cnn_widths = {3, 4};
+  opts.necs.cnn_kernels = 6;
+  opts.necs.code_dim = 12;
+  opts.necs.gcn_hidden = 8;
+  opts.train.epochs = 1;
+  opts.num_candidates = 8;
+  opts.ensemble_size = 1;
+  opts.stage_tuning = true;
+  opts.stage_head_train.epochs = 1;
+  LiteSystem system(&runner, opts);
+  system.TrainOffline();
+  ASSERT_NE(system.stage_head(), nullptr);
+
+  std::string dir = testing::TempDir() + "/stage_tuning_diff_snapshot";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(SaveSnapshot(system, dir));
+
+  const uint64_t seed = testkit::SeedFromEnv();
+  GenOptions gopts;
+  gopts.apps = {"TS", "PR"};
+  gopts.clusters = {spark::ClusterEnv::ClusterA()};
+  testkit::TupleGenerator gen(gopts, seed + 11);
+  for (int i = 0; i < 2; ++i) {
+    WorkloadTuple t = gen.Next();
+    DiffResult r = testkit::DiffStageTuningTransparency(runner, t, dir);
+    EXPECT_TRUE(r.ok) << r.message << "\n  tuple: " << t.Describe() << "\n  "
+                      << SeedNote();
+  }
+  std::filesystem::remove_all(dir);
+}
+
 // Runner-level differentials need no trained model: sweep the full catalog,
 // all clusters, corner-heavy knobs.
 TEST(RunnerDifferentialTest, PlainVsResilientAndSerializationRoundTrips) {

@@ -19,7 +19,10 @@
 #include "lite/qsnapshot.h"
 #include "lite/snapshot.h"
 #include "serve/retrieval_cache.h"
+#include "serve/tuning_service.h"
 #include "sparksim/eventlog.h"
+#include "sparksim/stage_config.h"
+#include "sparksim/stage_planner.h"
 #include "sparksim/knob.h"
 #include "sparksim/runner.h"
 #include "sparksim/trace.h"
@@ -721,6 +724,211 @@ TEST(QuantizedSnapshotFuzzTest, DegenerateQmetaRejectedCleanly) {
                                   << doc;
   }
   fx.Restore();
+}
+
+// --- Stage-head snapshot section (`stagehead.txt` + meta flag) fuzzing ----
+//
+// The per-stage head rides in the snapshot as one more parameter file,
+// announced by the `stagehead` meta key. Corrupting that file must fail the
+// load cleanly (nullptr) or yield a model whose planner still emits
+// validate-passing staged configs; older snapshots without the key load
+// headless; and degenerate or out-of-range overrides fed back through the
+// serving re-tune endpoint are rejected, never acted on.
+
+/// One trained snapshot *with* a stage head, shared by the stage-head fuzz
+/// tests (training dominates; mutations only rewrite stagehead.txt/meta).
+struct StageHeadFixture {
+  spark::SparkRunner runner;
+  std::unique_ptr<LiteSystem> system;
+  std::string dir;
+  std::string meta;       ///< pristine meta.txt contents.
+  std::string head_doc;   ///< pristine stagehead.txt contents.
+
+  static StageHeadFixture& Get() {
+    static StageHeadFixture* f = [] {
+      auto* fx = new StageHeadFixture();
+      LiteOptions opts;
+      opts.corpus.apps = {"TS"};
+      opts.corpus.clusters = {spark::ClusterEnv::ClusterA()};
+      opts.corpus.configs_per_setting = 2;
+      opts.corpus.max_stage_instances_per_run = 4;
+      opts.corpus.max_code_tokens = 64;
+      opts.necs.emb_dim = 8;
+      opts.necs.cnn_widths = {3};
+      opts.necs.cnn_kernels = 4;
+      opts.necs.code_dim = 8;
+      opts.necs.gcn_hidden = 8;
+      opts.train.epochs = 1;
+      opts.num_candidates = 8;
+      opts.ensemble_size = 1;
+      opts.stage_tuning = true;
+      opts.stage_head_train.epochs = 1;
+      fx->system = std::make_unique<LiteSystem>(&fx->runner, opts);
+      fx->system->TrainOffline();
+      EXPECT_NE(fx->system->stage_head(), nullptr);
+      fx->dir = testing::TempDir() + "/stage_head_fuzz_snapshot";
+      std::filesystem::create_directories(fx->dir);
+      EXPECT_TRUE(SaveSnapshot(*fx->system, fx->dir));
+      fx->meta = ReadFile(fx->dir + "/meta.txt");
+      fx->head_doc = ReadFile(fx->dir + "/stagehead.txt");
+      EXPECT_FALSE(fx->head_doc.empty());
+      return fx;
+    }();
+    return *f;
+  }
+
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  void Write(const std::string& name, const std::string& contents) const {
+    std::ofstream out(dir + "/" + name, std::ios::trunc);
+    out << contents;
+  }
+
+  void Restore() const {
+    Write("meta.txt", meta);
+    Write("stagehead.txt", head_doc);
+  }
+};
+
+TEST(StageHeadFuzzTest, HeadFileSurvivesCorruption) {
+  StageHeadFixture& fx = StageHeadFixture::Get();
+  uint64_t seed = testkit::SeedFromEnv();
+  Rng rng(seed ^ 0x47ead);
+  const auto* app = spark::AppCatalog::Find("TS");
+  spark::DataSpec data = app->MakeData(app->test_size_mb);
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+
+  size_t rounds = std::max<size_t>(40, testkit::CasesFromEnv() / 4);
+  for (size_t i = 0; i < rounds; ++i) {
+    fx.Write("stagehead.txt", Mutate(fx.head_doc, &rng));
+    auto loaded = LoadedLiteModel::Load(fx.dir, &fx.runner);
+    if (loaded == nullptr) continue;  // clean rejection.
+    // A load that survives must carry a usable head: the planner's output
+    // stays structurally sane even under garbage weights.
+    ASSERT_NE(loaded->stage_head(), nullptr) << SeedNote();
+    spark::StagePlan plan = loaded->PlanStages(
+        *app, data, env, spark::KnobSpace::Spark16().DefaultConfig(), {});
+    EXPECT_TRUE(plan.ok) << SeedNote();
+    std::string why;
+    EXPECT_TRUE(spark::ValidateStagedConfig(plan.staged, *app, &why))
+        << why << "\n  " << SeedNote();
+  }
+  // A deleted head file with the meta flag still set fails the whole load
+  // cleanly — a half-present snapshot is worse than none.
+  std::filesystem::remove(fx.dir + "/stagehead.txt");
+  EXPECT_EQ(LoadedLiteModel::Load(fx.dir, &fx.runner), nullptr);
+  fx.Restore();
+  EXPECT_NE(LoadedLiteModel::Load(fx.dir, &fx.runner), nullptr);
+}
+
+TEST(StageHeadFuzzTest, MetaFlagForwardAndBackwardCompat) {
+  StageHeadFixture& fx = StageHeadFixture::Get();
+  fx.Restore();
+
+  // `stagehead 0` (and an absent key): the model loads headless — exactly
+  // what a pre-stage-tuning snapshot looks like to this reader.
+  std::string no_head = fx.meta;
+  size_t pos = no_head.find("stagehead 1");
+  ASSERT_NE(pos, std::string::npos);
+  no_head.replace(pos, std::string("stagehead 1").size(), "stagehead 0");
+  fx.Write("meta.txt", no_head);
+  auto headless = LoadedLiteModel::Load(fx.dir, &fx.runner);
+  ASSERT_NE(headless, nullptr);
+  EXPECT_EQ(headless->stage_head(), nullptr);
+
+  std::string removed = fx.meta;
+  pos = removed.find("stagehead 1\n");
+  removed.erase(pos, std::string("stagehead 1\n").size());
+  fx.Write("meta.txt", removed);
+  auto legacy = LoadedLiteModel::Load(fx.dir, &fx.runner);
+  ASSERT_NE(legacy, nullptr);
+  EXPECT_EQ(legacy->stage_head(), nullptr);
+
+  // Unknown keys around the flag are skipped, the head still loads.
+  std::string future = fx.meta + "stagehead_version 2 experimental\n";
+  fx.Write("meta.txt", future);
+  auto loaded = LoadedLiteModel::Load(fx.dir, &fx.runner);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_NE(loaded->stage_head(), nullptr);
+
+  // Malformed flag values fail cleanly.
+  std::string garbage = fx.meta;
+  pos = garbage.find("stagehead 1");
+  garbage.replace(pos, std::string("stagehead 1").size(), "stagehead x");
+  fx.Write("meta.txt", garbage);
+  EXPECT_EQ(LoadedLiteModel::Load(fx.dir, &fx.runner), nullptr);
+
+  fx.Restore();
+  EXPECT_NE(LoadedLiteModel::Load(fx.dir, &fx.runner), nullptr);
+}
+
+TEST(StageHeadFuzzTest, DegenerateOverridesRejectedAtTheServeBoundary) {
+  StageHeadFixture& fx = StageHeadFixture::Get();
+  fx.Restore();
+  serve::ServiceOptions opts;
+  opts.stage_tuning.enabled = true;
+  serve::TuningService service(&fx.runner, opts);
+  ASSERT_TRUE(service.LoadSnapshot(fx.dir));
+  int session = service.OpenSession("fuzz-tenant");
+  const auto* app = spark::AppCatalog::Find("TS");
+  spark::DataSpec data = app->MakeData(app->test_size_mb);
+  spark::ClusterEnv env = spark::ClusterEnv::ClusterA();
+  const auto& space = spark::KnobSpace::Spark16();
+  const size_t knob = spark::kStageTunableKnobs[0];
+  const double nan = std::nan("");
+
+  spark::StagedConfig good{space.DefaultConfig(), {}};
+  std::vector<spark::StageEvent> events;  // empty observations are fine.
+
+  struct Bad {
+    const char* label;
+    spark::StagedConfig staged;
+  };
+  std::vector<Bad> bads;
+  bads.push_back({"empty base config", {spark::Config{}, {}}});
+  bads.push_back(
+      {"stage index past the app",
+       {space.DefaultConfig(),
+        {{app->stages.size(), knob, space.spec(knob).min_value}}}});
+  bads.push_back({"knob index out of range",
+                  {space.DefaultConfig(), {{0, spark::kNumKnobs, 1.0}}}});
+  bads.push_back(
+      {"non-stage-tunable knob",
+       {space.DefaultConfig(), {{0, spark::kExecutorInstances, 4.0}}}});
+  bads.push_back({"NaN override value",
+                  {space.DefaultConfig(), {{0, knob, nan}}}});
+  bads.push_back(
+      {"value above the knob maximum",
+       {space.DefaultConfig(),
+        {{0, knob, space.spec(knob).max_value * 2.0 + 1.0}}}});
+  bads.push_back(
+      {"value below the knob minimum",
+       {space.DefaultConfig(),
+        {{0, knob, space.spec(knob).min_value - 1.0}}}});
+
+  for (const Bad& bad : bads) {
+    serve::TuningService::RetuneResponse r =
+        service.Retune(session, *app, data, env, bad.staged, events);
+    EXPECT_FALSE(r.ok) << "accepted " << bad.label;
+    EXPECT_NE(r.error.find("invalid staged config"), std::string::npos)
+        << bad.label << " rejected for the wrong reason: " << r.error;
+  }
+
+  // The well-formed config sails through the same gate.
+  serve::TuningService::RetuneResponse ok_r =
+      service.Retune(session, *app, data, env, good, events);
+  EXPECT_TRUE(ok_r.ok) << ok_r.error;
+
+  // Malformed event logs through the text overload are rejected, not
+  // parsed into something actionable.
+  serve::TuningService::RetuneResponse log_r = service.Retune(
+      session, *app, data, env, good, std::string("{not an event log"));
+  EXPECT_FALSE(log_r.ok);
 }
 
 }  // namespace

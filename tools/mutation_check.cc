@@ -20,6 +20,7 @@
 #include "sparksim/cost_model.h"
 #include "sparksim/environment.h"
 #include "sparksim/knob.h"
+#include "sparksim/stage_planner.h"
 #include "tensor/qkernels.h"
 #include "testkit/diff.h"
 #include "testkit/gen.h"
@@ -243,6 +244,69 @@ bool SweepQuantMutations(uint64_t seed) {
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// Stage-planner mutation sweep: every deliberately-buggy planner variant in
+// the spark::StageTuningMutation catalog must trip the stage-tuning oracle
+// invariants (stage_override_dominance / retune_inertness), and the clean
+// planner must pass them. The cost model stays unmutated throughout — these
+// bugs live in the planner, not the simulator — so only the two planner
+// invariants run.
+
+const char* StageMutationName(int m) {
+  switch (m) {
+    case spark::kStageMutNone: return "sp_none";
+    case spark::kStageMutWrongStageIndex: return "sp_wrong_stage_index";
+    case spark::kStageMutInvertedDominance: return "sp_inverted_dominance";
+    case spark::kStageMutStaleObservations: return "sp_stale_observations";
+    case spark::kStageMutUnclampedOverride: return "sp_unclamped_override";
+    default: return "sp_unknown";
+  }
+}
+
+bool SweepStageMutations(const std::vector<WorkloadTuple>& curated,
+                         size_t random_cases, uint64_t seed) {
+  std::printf("\nstage-planner mutation sweep: %zu curated + %zu random "
+              "tuples\n\n",
+              curated.size(), random_cases);
+  std::printf("  %-22s %-10s %-10s %s\n", "mutation", "violations", "verdict",
+              "invariants tripped");
+
+  bool ok = true;
+  for (int m = 0; m < spark::kNumStageMutations; ++m) {
+    OracleOptions oopts;
+    oopts.stage_mutation = m;
+    SimulatorOracle oracle(spark::CostModelOptions{}, oopts);
+
+    size_t violations = 0;
+    std::set<std::string> invariants;
+    auto absorb = [&](const WorkloadTuple& t) {
+      OracleReport report;
+      oracle.CheckStageOverrideDominance(t, &report);
+      oracle.CheckRetuneInertness(t, &report);
+      violations += report.violations.size();
+      for (const auto& v : report.violations) invariants.insert(v.invariant);
+    };
+    for (const auto& t : curated) absorb(t);
+    TupleGenerator gen(GenOptions{}, seed ^ 0x57a6ed5u);
+    for (size_t i = 0; i < random_cases; ++i) absorb(gen.Next());
+
+    bool expected_clean = (m == spark::kStageMutNone);
+    bool pass = expected_clean ? violations == 0 : violations > 0;
+    ok = ok && pass;
+
+    std::string names;
+    for (const auto& name : invariants) {
+      if (!names.empty()) names += ", ";
+      names += name;
+    }
+    if (names.empty()) names = "-";
+    std::printf("  %-22s %-10zu %-10s %s\n", StageMutationName(m), violations,
+                pass ? (expected_clean ? "clean" : "caught") : "ESCAPED",
+                names.c_str());
+  }
+  return ok;
+}
+
 int Main() {
   uint64_t seed = SeedFromEnv();
   size_t random_cases = CasesFromEnv("LITE_MUTATION_CASES", 25);
@@ -280,12 +344,17 @@ int Main() {
               ok ? "PASS" : "FAIL", caught, mutants,
               ok ? "violation-free" : "see table");
 
+  bool stage_ok = SweepStageMutations(curated, random_cases, seed);
+  std::printf("\n%s: stage-planner mutants %s\n", stage_ok ? "PASS" : "FAIL",
+              stage_ok ? "all detected, clean planner violation-free"
+                       : "see table");
+
   bool quant_ok = SweepQuantMutations(seed);
   std::printf("\n%s: quantized-kernel mutants %s\n",
               quant_ok ? "PASS" : "FAIL",
               quant_ok ? "all detected, clean kernels violation-free"
                        : "see table");
-  return (ok && quant_ok) ? 0 : 1;
+  return (ok && stage_ok && quant_ok) ? 0 : 1;
 }
 
 }  // namespace
