@@ -1,0 +1,298 @@
+// Model-distribution plane benchmark (ISSUE 10): wire efficiency of delta
+// pushes, pull atomicity under a fault storm, and the cost of the N-shard
+// routing layer. Exported to BENCH_modelplane.json with three gates:
+//
+//   1. Delta efficiency — after an adaptive update that touches a single
+//      ensemble member, the delta push to a current shard must cost at
+//      most 20% of a full-snapshot push's bytes.
+//   2. Storm atomicity — a 100-swap storm through channels with injected
+//      truncation (plus drops, corruption and reordering) must serve ZERO
+//      torn or mixed-version pulls: every installed (version, blob-set)
+//      pair is exactly a published one.
+//   3. Fan-out overhead — serving a request through ShardedTuningService's
+//      routing (4 shards) must add < 5% latency over the same requests on
+//      a single-process TuningService at the same plane version
+//      (best-of-rounds on both sides).
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "lite/model_update.h"
+#include "lite/snapshot.h"
+#include "modelplane/channel.h"
+#include "modelplane/plane_server.h"
+#include "modelplane/shard_puller.h"
+#include "modelplane/sharded_service.h"
+#include "serve/tuning_service.h"
+#include "util/rng.h"
+
+using namespace lite;
+using namespace lite::bench;
+
+namespace {
+
+double TimeSeconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct Query {
+  const spark::ApplicationSpec* app;
+  spark::DataSpec data;
+  spark::ClusterEnv env;
+};
+
+}  // namespace
+
+int main() {
+  ScaleProfile profile = GetScaleProfile();
+  const int requests = profile.name == "smoke" ? 24
+                       : profile.name == "paper" ? 120
+                                                 : 60;
+  const int rounds = profile.name == "smoke" ? 6 : 5;
+  std::cout << "Model-plane bench (scale=" << profile.name << ", " << requests
+            << " requests x " << rounds << " rounds)\n";
+
+  spark::SparkRunner runner;
+  LiteOptions opts;
+  opts.corpus = MakeCorpusOptions(profile, {"TS", "PR"},
+                                  {spark::ClusterEnv::ClusterA()});
+  ApplyLiteProfile(profile, &opts);
+  // The delta gate models a production ensemble where one member's
+  // fine-tune is a small fraction of the snapshot: 6 members put a single
+  // necs blob well under 20% of the full push.
+  opts.ensemble_size = 6;
+  LiteSystem system(&runner, opts);
+  system.TrainOffline();
+
+  const std::string snap_dir =
+      std::filesystem::temp_directory_path() / "bench_modelplane_snapshot";
+  std::filesystem::create_directories(snap_dir);
+  if (!SaveSnapshot(system, snap_dir)) {
+    std::cerr << "failed to save snapshot\n";
+    return 1;
+  }
+
+  serve::ServiceOptions sopts;
+  sopts.scoring.threads = 1;
+
+  // --- 1. Delta efficiency ------------------------------------------------
+  modelplane::ModelPlaneServer plane;
+  serve::TuningService publisher(&runner, sopts);
+  modelplane::AttachPublisher(&publisher, &plane);
+  if (!publisher.LoadSnapshot(snap_dir) || plane.version() != 1) {
+    std::cerr << "publisher failed to publish plane version 1\n";
+    return 1;
+  }
+
+  modelplane::ShardPuller puller(plane.chain());
+  auto clean_pull = [&]() {
+    const std::string resp =
+        plane.HandleRequestFrame(puller.MakeRequestFrame());
+    return !resp.empty() && puller.ApplyResponseFrame(resp).ok;
+  };
+  if (!clean_pull()) {
+    std::cerr << "initial full pull failed\n";
+    return 1;
+  }
+  const uint64_t full_bytes = plane.stats().full_push_bytes;
+
+  // Single-member adaptive update (the ISSUE 10 gate scenario): fine-tune
+  // ONE ensemble member on a feedback batch and hot-swap the clone in.
+  // Only that member's necs blob changes bytes — every other part encodes
+  // bit-identically — so the publisher's next plane version reaches
+  // current shards as a small delta.
+  const auto* app = spark::AppCatalog::Find("TS");
+  const Query q{app, app->MakeData(app->test_size_mb),
+                spark::ClusterEnv::ClusterA()};
+  const spark::Config config = spark::KnobSpace::Spark16().DefaultConfig();
+  const spark::AppRunResult run =
+      runner.cost_model().Run(*q.app, q.data, q.env, config);
+  {
+    auto shadow = publisher.CurrentSnapshot()->Clone();
+    const std::vector<StageInstance> batch = serve::ExtractFeedbackInstances(
+        &runner, shadow->feature_space(), 8, *q.app, q.data, q.env, config,
+        run, /*sentinel_labels=*/false);
+    if (batch.empty()) {
+      std::cerr << "feedback extraction produced no instances\n";
+      return 1;
+    }
+    AdaptiveModelUpdater updater(UpdateOptions{});
+    updater.Update(shadow->mutable_model(0), batch, batch);
+    publisher.InstallSnapshot(std::move(shadow));
+  }
+  if (plane.version() != 2) {
+    std::cerr << "single-member update did not publish plane version 2\n";
+    return 1;
+  }
+  if (!clean_pull() || puller.installed_version() != 2) {
+    std::cerr << "delta pull failed\n";
+    return 1;
+  }
+  const uint64_t delta_bytes = plane.stats().delta_push_bytes;
+  const double delta_ratio =
+      full_bytes == 0 ? 1.0
+                      : static_cast<double>(delta_bytes) /
+                            static_cast<double>(full_bytes);
+  const bool delta_pass = delta_ratio <= 0.20;
+  std::cout << "full push: " << full_bytes << " B, delta push: " << delta_bytes
+            << " B (ratio " << delta_ratio << ", gate <= 0.20)\n";
+
+  // --- 2. Storm atomicity -------------------------------------------------
+  // 100 publishes of synthetic snapshot-shaped blobs through heavily
+  // faulted links; count installs whose blob set is not byte-identical to
+  // the published set of the installed version.
+  uint64_t torn = 0, storm_installs = 0, storm_failures = 0;
+  {
+    Rng rng(0xbe7c);
+    modelplane::PlaneOptions popts;
+    popts.delta_history = 4;
+    modelplane::ModelPlaneServer storm_plane(popts);
+    modelplane::ChannelFaultOptions faults;
+    faults.drop = 0.15;
+    faults.truncate = 0.25;
+    faults.corrupt = 0.15;
+    faults.duplicate = 0.10;
+    faults.hold = 0.10;
+    modelplane::QueueChannel req_q, resp_q;
+    modelplane::FaultInjectedChannel req(&req_q, faults, 0xbe7c1);
+    modelplane::FaultInjectedChannel resp(&resp_q, faults, 0xbe7c2);
+    modelplane::ShardPuller storm_puller(storm_plane.chain());
+    auto text = [&rng]() {
+      std::string s = "weights";
+      const size_t n = 64 + rng.Index(192);
+      for (size_t i = 0; i < n; ++i)
+        s += " " + std::to_string(rng.Index(1000));
+      return s + "\n";
+    };
+    std::map<uint64_t, std::map<std::string, std::string>> published;
+    std::map<std::string, std::string> blobs = {{"vocab.txt", text()},
+                                                {"necs_0.txt", text()},
+                                                {"necs_1.txt", text()}};
+    for (int round = 0; round < 100; ++round) {
+      blobs["necs_" + std::to_string(rng.Index(2)) + ".txt"] = text();
+      if (rng.Bernoulli(0.2)) {
+        blobs["stagehead.txt"] = text();
+      } else if (rng.Bernoulli(0.2)) {
+        blobs.erase("stagehead.txt");
+      }
+      published[storm_plane.Publish(blobs)] = blobs;
+      req.Send(storm_puller.MakeRequestFrame());
+      std::string frame;
+      while (req.Recv(&frame)) {
+        const std::string r = storm_plane.HandleRequestFrame(frame);
+        if (!r.empty()) resp.Send(r);
+      }
+      while (resp.Recv(&frame)) storm_puller.ApplyResponseFrame(frame);
+      req.Flush();
+      resp.Flush();
+      const uint64_t v = storm_puller.installed_version();
+      if (v == 0) continue;
+      if (!published.count(v) ||
+          *storm_puller.installed_blobs() != published[v]) {
+        ++torn;
+      }
+    }
+    const modelplane::ShardPuller::Stats ps = storm_puller.stats();
+    storm_installs = ps.full_installs + ps.delta_installs;
+    storm_failures = ps.failures;
+  }
+  const bool storm_pass = torn == 0 && storm_installs > 0;
+  std::cout << "storm: " << storm_installs << " installs, " << storm_failures
+            << " rejected pulls, " << torn << " torn (gate == 0)\n";
+
+  // --- 3. Shard fan-out overhead ------------------------------------------
+  serve::TuningService reference(&runner, sopts);
+  {
+    auto model =
+        LoadedLiteModel::LoadFromBlobs(*puller.installed_blobs(), &runner);
+    if (model == nullptr) {
+      std::cerr << "reference LoadFromBlobs failed\n";
+      return 1;
+    }
+    reference.InstallSnapshot(std::move(model));
+  }
+  modelplane::ShardedServiceOptions fleet_opts;
+  fleet_opts.shards = 4;
+  fleet_opts.service = sopts;
+  modelplane::ShardedTuningService fleet(&runner, &plane, fleet_opts);
+  if (fleet.SyncAll() != 4) {
+    std::cerr << "fleet failed to sync\n";
+    return 1;
+  }
+
+  std::vector<std::string> tenants;
+  std::vector<int> ref_sessions, fleet_sessions;
+  for (int i = 0; i < 8; ++i) {
+    tenants.push_back("tenant" + std::to_string(i));
+    ref_sessions.push_back(reference.OpenSession(tenants.back(), 0));
+    fleet_sessions.push_back(fleet.OpenSession(tenants.back(), 0));
+  }
+  double ref_s = std::numeric_limits<double>::infinity();
+  double fleet_s = std::numeric_limits<double>::infinity();
+  uint64_t mismatches = 0;
+  for (int round = 0; round < rounds; ++round) {
+    ref_s = std::min(ref_s, TimeSeconds([&] {
+      for (int r = 0; r < requests; ++r) {
+        (void)reference.Recommend(ref_sessions[r % 8], *q.app, q.data, q.env);
+      }
+    }));
+    fleet_s = std::min(fleet_s, TimeSeconds([&] {
+      for (int r = 0; r < requests; ++r) {
+        (void)fleet.Recommend(fleet_sessions[r % 8], *q.app, q.data, q.env);
+      }
+    }));
+  }
+  // Equivalence spot-check rides along: same tenants, same plane version,
+  // bit-identical responses.
+  for (int i = 0; i < 8; ++i) {
+    const auto want =
+        reference.Recommend(ref_sessions[i], *q.app, q.data, q.env);
+    const auto got = fleet.Recommend(fleet_sessions[i], *q.app, q.data, q.env);
+    if (!want.ok || !got.ok || !(got.rec.config == want.rec.config) ||
+        got.rec.predicted_seconds != want.rec.predicted_seconds) {
+      ++mismatches;
+    }
+  }
+  const double overhead_pct = (fleet_s / ref_s - 1.0) * 100.0;
+  const bool fanout_pass = overhead_pct < 5.0 && mismatches == 0;
+  std::cout << "fan-out: reference " << ref_s << " s, fleet " << fleet_s
+            << " s (overhead " << overhead_pct << "%, gate < 5%); "
+            << mismatches << " response mismatches\n";
+
+  const bool pass = delta_pass && storm_pass && fanout_pass;
+  WriteBenchJson(
+      "BENCH_modelplane.json", "modelplane", profile,
+      {
+          {"requests", BenchJsonNum(requests)},
+          {"rounds", BenchJsonNum(rounds)},
+          {"full_push_bytes", BenchJsonNum(static_cast<double>(full_bytes))},
+          {"delta_push_bytes", BenchJsonNum(static_cast<double>(delta_bytes))},
+          {"delta_ratio", BenchJsonNum(delta_ratio)},
+          {"delta_pass", BenchJsonBool(delta_pass)},
+          {"storm_publishes", BenchJsonNum(100)},
+          {"storm_installs", BenchJsonNum(static_cast<double>(storm_installs))},
+          {"storm_rejected_pulls",
+           BenchJsonNum(static_cast<double>(storm_failures))},
+          {"storm_torn_pulls", BenchJsonNum(static_cast<double>(torn))},
+          {"storm_pass", BenchJsonBool(storm_pass)},
+          {"reference_s", BenchJsonNum(ref_s)},
+          {"fleet_s", BenchJsonNum(fleet_s)},
+          {"fanout_overhead_pct", BenchJsonNum(overhead_pct)},
+          {"fanout_mismatches", BenchJsonNum(static_cast<double>(mismatches))},
+          {"fanout_pass", BenchJsonBool(fanout_pass)},
+          {"pass", BenchJsonBool(pass)},
+      });
+  std::filesystem::remove_all(snap_dir);
+  std::cout << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

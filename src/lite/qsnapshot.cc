@@ -6,7 +6,11 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "lite/qnecs.h"
+#include "obs/metrics.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace lite {
@@ -130,9 +134,9 @@ std::vector<std::pair<size_t, size_t>> ExpectedMlpDims(const NecsConfig& necs) {
 }
 
 bool SaveMember(const QuantizedNecs& twin, const NecsConfig& necs,
-                const std::string& path) {
-  std::ofstream os(path);
-  if (!os) return false;
+                AtomicFileWriter* writer) {
+  if (!writer->ok()) return false;
+  std::ostream& os = writer->stream();
   os.precision(17);
   os << kTensorMagic << " " << kMetaVersion << "\n";
   const QuantizedTextCnn& cnn = twin.cnn();
@@ -166,7 +170,9 @@ bool SaveMember(const QuantizedNecs& twin, const NecsConfig& necs,
                twin.mode());
   }
   os << "end\n";
-  return static_cast<bool>(os);
+  // Stage only: the caller renames the whole member set after every file
+  // verified, qmeta.txt (the commit marker) last.
+  return writer->Stage();
 }
 
 bool LoadMember(const std::string& path, QuantBackend mode,
@@ -272,20 +278,35 @@ bool LoadMember(const std::string& path, QuantBackend mode,
 bool SaveQuantizedSnapshot(const LoadedLiteModel& model, QuantBackend backend,
                            const std::string& dir) {
   if (backend == QuantBackend::kExactFp32) return false;
-  {
-    std::ofstream meta(dir + "/qmeta.txt");
-    if (!meta) return false;
-    meta << kMetaMagic << " " << kMetaVersion << "\n";
-    meta << "backend " << QuantBackendName(backend) << "\n";
-    meta << "ensemble " << model.ensemble_size() << "\n";
-    if (!meta) return false;
-  }
+  auto fail = [] {
+    obs::MetricsRegistry::Global()
+        .GetCounter("lite_snapshot_save_failed_total")
+        ->Inc();
+    return false;
+  };
+  // Stage every member file first; rename nothing until all verified, and
+  // publish qmeta.txt — the commit marker the loader requires — last. A
+  // crash mid-save leaves the previously committed quantized snapshot
+  // loadable and the aborted one invisible (no marker).
+  std::vector<std::unique_ptr<AtomicFileWriter>> writers;
   for (size_t i = 0; i < model.ensemble_size(); ++i) {
     const QuantizedNecs* twin = model.model(i)->Quantized(backend);
-    if (!SaveMember(*twin, model.model(i)->config(),
-                    dir + "/qnecs_" + std::to_string(i) + ".txt")) {
-      return false;
-    }
+    auto w = std::make_unique<AtomicFileWriter>(
+        dir + "/qnecs_" + std::to_string(i) + ".txt");
+    if (!SaveMember(*twin, model.model(i)->config(), w.get())) return fail();
+    writers.push_back(std::move(w));
+  }
+  {
+    auto meta = std::make_unique<AtomicFileWriter>(dir + "/qmeta.txt");
+    if (!meta->ok()) return fail();
+    meta->stream() << kMetaMagic << " " << kMetaVersion << "\n";
+    meta->stream() << "backend " << QuantBackendName(backend) << "\n";
+    meta->stream() << "ensemble " << model.ensemble_size() << "\n";
+    if (!meta->Stage()) return fail();
+    writers.push_back(std::move(meta));
+  }
+  for (auto& w : writers) {
+    if (!w->Publish()) return fail();
   }
   return true;
 }

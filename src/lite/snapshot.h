@@ -20,6 +20,8 @@
 #ifndef LITE_LITE_SNAPSHOT_H_
 #define LITE_LITE_SNAPSHOT_H_
 
+#include <functional>
+#include <map>
 #include <string>
 
 #include "lite/lite_system.h"
@@ -27,9 +29,32 @@
 
 namespace lite {
 
-/// Saves a trained system. Returns false on I/O failure (partial files may
-/// remain). The directory must already exist.
+/// Saves a trained system. Atomic at two levels (ISSUE 10): every file is
+/// staged to `<name>.tmp.<pid>` and renamed only after its stream verified,
+/// and no file is renamed until EVERY file of the set staged successfully —
+/// meta.txt, which doubles as the directory's commit marker and carries a
+/// content hash over the data files, is renamed last. A crash or failure
+/// mid-save therefore leaves the previously committed snapshot loadable
+/// byte-for-byte; a crash inside the (microseconds-long) rename sequence
+/// leaves a mixed set that loaders detect via meta's per-part content
+/// hashes and reject whole. Failures bump `lite_snapshot_save_failed_total`.
+/// The directory must already exist.
 bool SaveSnapshot(const LiteSystem& system, const std::string& dir);
+
+/// Returns true when `dir` carries a snapshot commit marker (meta.txt).
+/// False means "no snapshot" — either nothing was ever saved there or a
+/// save aborted before publishing the marker; loaders return nullptr for
+/// both without logging structural-corruption warnings.
+bool SnapshotExists(const std::string& dir);
+
+/// Encodes a snapshot as named blobs (key == file name in a snapshot
+/// directory, value == exact file bytes, meta.txt last in iteration-
+/// independent canonical order). This is the model-distribution plane's
+/// publication format (src/modelplane/): a blob set produced here, shipped
+/// over the wire and decoded with LoadedLiteModel::LoadFromBlobs yields a
+/// model bit-identical to one restored from the equivalent directory.
+bool EncodeSnapshotBlobs(const LiteSystem& system,
+                         std::map<std::string, std::string>* blobs);
 
 /// A restored, recommend-ready subset of LiteSystem. Recommend() runs the
 /// same serve::RunRecommendPipeline as LiteSystem — identical candidate
@@ -42,9 +67,35 @@ bool SaveSnapshot(const LiteSystem& system, const std::string& dir);
 /// keys and structural damage still fail cleanly with nullptr.
 class LoadedLiteModel {
  public:
-  /// Loads from a snapshot directory; returns nullptr on failure.
+  /// Loads from a snapshot directory; returns nullptr on failure. A
+  /// missing meta.txt (no commit marker — e.g. a save that aborted before
+  /// publishing it, or a half-replicated directory) is "no snapshot", not
+  /// corruption. When meta.txt carries `part <name> <hash>` keys (writers
+  /// always emit them now), every data file read is verified against its
+  /// hash and a mixed-version directory is rejected as a whole.
   static std::unique_ptr<LoadedLiteModel> Load(const std::string& dir,
                                                const spark::SparkRunner* runner);
+
+  /// Restores from an in-memory blob set (EncodeSnapshotBlobs's format,
+  /// the model plane's wire payload). Bit-identical to Load() on the
+  /// directory holding the same bytes.
+  static std::unique_ptr<LoadedLiteModel> LoadFromBlobs(
+      const std::map<std::string, std::string>& blobs,
+      const spark::SparkRunner* runner);
+
+  /// Byte-fetch source: fills `bytes` for a named part, false if absent.
+  using SnapshotSource =
+      std::function<bool(const std::string& name, std::string* bytes)>;
+  /// Shared loader core behind Load/LoadFromBlobs.
+  static std::unique_ptr<LoadedLiteModel> LoadFromSource(
+      const SnapshotSource& fetch, const spark::SparkRunner* runner);
+
+  /// Encodes this model back into the named-blob form (the format
+  /// EncodeSnapshotBlobs documents). The serving layer publishes adaptive
+  /// updates to the model plane with this: encode(clone) after a fine-tune,
+  /// push the changed blobs. Deterministic: identical weights encode to
+  /// identical bytes, so unchanged parts hash unchanged (delta pushes).
+  bool EncodeBlobs(std::map<std::string, std::string>* blobs) const;
 
   /// Same contract as LiteSystem::Recommend.
   LiteSystem::Recommendation Recommend(const spark::ApplicationSpec& app,

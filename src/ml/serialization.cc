@@ -4,6 +4,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "util/atomic_file.h"
+
 namespace lite {
 
 namespace {
@@ -89,10 +91,10 @@ bool DeserializeGbdt(std::istream* is, GbdtRegressor* gbdt) {
 }
 
 bool SaveForestToFile(const RandomForestRegressor& forest, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  SerializeForest(forest, &out);
-  return static_cast<bool>(out);
+  AtomicFileWriter w(path);
+  if (!w.ok()) return false;
+  SerializeForest(forest, &w.stream());
+  return w.Commit();
 }
 
 bool LoadForestFromFile(const std::string& path, RandomForestRegressor* forest) {
@@ -102,10 +104,10 @@ bool LoadForestFromFile(const std::string& path, RandomForestRegressor* forest) 
 }
 
 bool SaveGbdtToFile(const GbdtRegressor& gbdt, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  SerializeGbdt(gbdt, &out);
-  return static_cast<bool>(out);
+  AtomicFileWriter w(path);
+  if (!w.ok()) return false;
+  SerializeGbdt(gbdt, &w.stream());
+  return w.Commit();
 }
 
 bool LoadGbdtFromFile(const std::string& path, GbdtRegressor* gbdt) {

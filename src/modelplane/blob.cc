@@ -1,0 +1,82 @@
+#include "modelplane/blob.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace lite::modelplane {
+
+uint64_t HashBytes(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool ValidBlobKey(const std::string& key) {
+  if (key.empty() || key.size() > 255) return false;
+  for (unsigned char c : key) {
+    if (c <= 0x20 || c == 0x7f) return false;
+  }
+  return true;
+}
+
+const ManifestEntry* Manifest::Find(const std::string& key) const {
+  for (const ManifestEntry& e : entries) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+uint64_t Manifest::Hash() const {
+  std::ostringstream os;
+  os << "manifest " << version << " " << entries.size() << "\n";
+  for (const ManifestEntry& e : entries) {
+    os << e.key << " " << e.hash << " " << e.size << "\n";
+  }
+  return HashBytes(os.str());
+}
+
+Manifest BuildManifest(uint64_t version,
+                       const std::map<std::string, std::string>& blobs) {
+  Manifest m;
+  m.version = version;
+  m.entries.reserve(blobs.size());
+  // std::map iterates in key order, which is the canonical entry order.
+  for (const auto& [key, bytes] : blobs) {
+    m.entries.push_back(
+        ManifestEntry{key, HashBytes(bytes), static_cast<uint64_t>(bytes.size())});
+  }
+  return m;
+}
+
+bool VerifyBlobSet(const Manifest& manifest,
+                   const std::map<std::string, std::string>& blobs,
+                   std::string* why) {
+  if (blobs.size() != manifest.entries.size()) {
+    if (why != nullptr) {
+      *why = "blob count " + std::to_string(blobs.size()) +
+             " != manifest count " + std::to_string(manifest.entries.size());
+    }
+    return false;
+  }
+  for (const ManifestEntry& e : manifest.entries) {
+    auto it = blobs.find(e.key);
+    if (it == blobs.end()) {
+      if (why != nullptr) *why = "missing blob '" + e.key + "'";
+      return false;
+    }
+    if (it->second.size() != e.size) {
+      if (why != nullptr) *why = "size mismatch on '" + e.key + "'";
+      return false;
+    }
+    if (HashBytes(it->second) != e.hash) {
+      if (why != nullptr) *why = "content hash mismatch on '" + e.key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lite::modelplane

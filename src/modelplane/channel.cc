@@ -1,0 +1,85 @@
+#include "modelplane/channel.h"
+
+#include <algorithm>
+
+namespace lite::modelplane {
+
+bool QueueChannel::Send(const std::string& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  q_.push_back(frame);
+  return true;
+}
+
+bool QueueChannel::Recv(std::string* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q_.empty()) return false;
+  *frame = std::move(q_.front());
+  q_.pop_front();
+  return true;
+}
+
+size_t QueueChannel::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+FaultInjectedChannel::FaultInjectedChannel(ByteChannel* inner,
+                                           ChannelFaultOptions opts,
+                                           uint64_t seed)
+    : inner_(inner), opts_(opts), rng_(seed) {}
+
+bool FaultInjectedChannel::Send(const std::string& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.sent;
+  std::string f = frame;
+  if (opts_.drop > 0 && rng_.Bernoulli(opts_.drop)) {
+    ++stats_.dropped;
+    return true;  // silently lost; the sender cannot tell.
+  }
+  if (opts_.truncate > 0 && !f.empty() && rng_.Bernoulli(opts_.truncate)) {
+    f.resize(rng_.Index(f.size()));  // proper prefix, possibly empty.
+    ++stats_.truncated;
+  }
+  if (opts_.corrupt > 0 && !f.empty() && rng_.Bernoulli(opts_.corrupt)) {
+    const size_t flips = 1 + rng_.Index(4);
+    for (size_t i = 0; i < flips; ++i) {
+      f[rng_.Index(f.size())] ^=
+          static_cast<char>(1 + rng_.UniformInt(0, 254));
+    }
+    ++stats_.corrupted;
+  }
+  if (opts_.duplicate > 0 && rng_.Bernoulli(opts_.duplicate)) {
+    inner_->Send(f);
+    ++stats_.duplicated;
+  }
+  if (opts_.hold > 0 && rng_.Bernoulli(opts_.hold)) {
+    // Swap with the hold slot: this frame waits, a previously held frame
+    // (if any) goes out now — frames cross, i.e. reordering.
+    std::swap(f, held_);
+    const bool had_held = has_held_;
+    has_held_ = true;
+    ++stats_.held;
+    if (!had_held) return true;
+  }
+  return inner_->Send(f);
+}
+
+bool FaultInjectedChannel::Recv(std::string* frame) {
+  return inner_->Recv(frame);
+}
+
+void FaultInjectedChannel::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (has_held_) {
+    inner_->Send(held_);
+    held_.clear();
+    has_held_ = false;
+  }
+}
+
+FaultInjectedChannel::Stats FaultInjectedChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lite::modelplane

@@ -1,0 +1,97 @@
+// Serialized byte channels: the simulated node boundary of the model
+// plane. Every byte that crosses between the plane server and a shard
+// travels through a ByteChannel as an opaque frame, which is exactly the
+// seam fault injection wraps — FaultInjectedChannel perturbs frames
+// (drop, truncate, corrupt, duplicate, hold-and-reorder) with a seeded
+// Rng, so a fault storm is deterministic and replayable from its seed.
+//
+// Channels carry whole frames, not byte streams: truncation and
+// corruption are injected *within* a frame (that is what the frame
+// checksum must catch), while loss and reordering happen *between*
+// frames (that is what the pull protocol's version handshake must
+// absorb).
+#ifndef LITE_MODELPLANE_CHANNEL_H_
+#define LITE_MODELPLANE_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "util/rng.h"
+
+namespace lite::modelplane {
+
+/// One direction of a simulated link. Send enqueues a frame; Recv dequeues
+/// the oldest pending frame, returning false when none is pending.
+class ByteChannel {
+ public:
+  virtual ~ByteChannel() = default;
+  virtual bool Send(const std::string& frame) = 0;
+  virtual bool Recv(std::string* frame) = 0;
+};
+
+/// In-process FIFO channel (thread-safe).
+class QueueChannel : public ByteChannel {
+ public:
+  bool Send(const std::string& frame) override;
+  bool Recv(std::string* frame) override;
+  size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> q_;
+};
+
+/// Per-frame fault probabilities, each decided independently on Send in a
+/// fixed order (drop, truncate, corrupt, duplicate, hold). All zero =
+/// transparent passthrough.
+struct ChannelFaultOptions {
+  double drop = 0.0;       ///< frame silently lost.
+  double truncate = 0.0;   ///< frame cut to a random proper prefix.
+  double corrupt = 0.0;    ///< 1-4 random bytes flipped.
+  double duplicate = 0.0;  ///< frame delivered twice.
+  double hold = 0.0;       ///< frame held back; released (out of order)
+                           ///< when the next frame is sent, or by Flush().
+  bool any() const {
+    return drop > 0 || truncate > 0 || corrupt > 0 || duplicate > 0 ||
+           hold > 0;
+  }
+};
+
+/// Wraps an inner channel with seeded fault injection on the Send side.
+/// Deterministic: the same (seed, frame sequence) yields the same faults.
+class FaultInjectedChannel : public ByteChannel {
+ public:
+  FaultInjectedChannel(ByteChannel* inner, ChannelFaultOptions opts,
+                       uint64_t seed);
+
+  bool Send(const std::string& frame) override;
+  bool Recv(std::string* frame) override;
+
+  /// Releases a held frame, if any (the storm's end-of-round drain).
+  void Flush();
+
+  struct Stats {
+    uint64_t sent = 0;
+    uint64_t dropped = 0;
+    uint64_t truncated = 0;
+    uint64_t corrupted = 0;
+    uint64_t duplicated = 0;
+    uint64_t held = 0;  ///< frames that left out of order via the hold slot.
+  };
+  Stats stats() const;
+
+ private:
+  ByteChannel* inner_;
+  ChannelFaultOptions opts_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::string held_;
+  bool has_held_ = false;
+  Stats stats_;
+};
+
+}  // namespace lite::modelplane
+
+#endif  // LITE_MODELPLANE_CHANNEL_H_

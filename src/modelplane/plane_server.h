@@ -1,0 +1,100 @@
+// ModelPlaneServer: the publication side of the model-distribution plane.
+//
+// Publish() takes a named blob set (lite::EncodeSnapshotBlobs's format),
+// bumps the monotonically increasing plane version, records which keys
+// changed relative to the previous version, and answers pull requests:
+//
+//   * a puller at the current version gets a noop;
+//   * a puller within `delta_history` versions gets a DELTA push — only
+//     the blobs whose content hash changed since the puller's version
+//     (plus removed keys), with the complete manifest of the new version
+//     so the puller can re-verify everything it carries over;
+//   * anyone else (fresh shards, pullers that fell too far behind, or a
+//     stale `have` the server cannot interpret) gets a FULL push.
+//
+// Delta composition across several versions is the union of per-version
+// change sets, resolved against the *current* blob contents — a key
+// changed twice ships once, a key changed then removed ships as removed.
+//
+// Counters are co-published with their plane_* metric twins under the
+// server mutex (the repo-wide Stats/metrics equality convention).
+#ifndef LITE_MODELPLANE_PLANE_SERVER_H_
+#define LITE_MODELPLANE_PLANE_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "modelplane/blob.h"
+#include "modelplane/wire.h"
+
+namespace lite::modelplane {
+
+struct PlaneOptions {
+  /// How many trailing versions can be served as deltas. A puller more
+  /// than this many versions behind falls back to a full push.
+  size_t delta_history = 8;
+  /// Wire filter chain, outermost last ({"lz77"} by default; {} or
+  /// {"raw"} disables compression). Pullers must be configured with the
+  /// same chain.
+  std::vector<std::string> filters = {"lz77"};
+};
+
+class ModelPlaneServer {
+ public:
+  /// Throws std::invalid_argument on an unknown filter name.
+  explicit ModelPlaneServer(PlaneOptions opts = {});
+
+  /// Publishes a new plane version from a complete blob set. Returns the
+  /// new version (1 on first publish). Keys must satisfy ValidBlobKey.
+  uint64_t Publish(const std::map<std::string, std::string>& blobs);
+
+  /// 0 until the first Publish.
+  uint64_t version() const;
+
+  /// Manifest of the current version (empty before the first Publish).
+  Manifest manifest() const;
+
+  /// Answers one pull-request frame with a push frame. Returns "" (no
+  /// response — the puller sees a lost frame and retries) when the
+  /// request does not decode or nothing has been published yet.
+  std::string HandleRequestFrame(const std::string& frame);
+
+  /// The filter chain pullers must mirror.
+  const FilterChain& chain() const { return chain_; }
+
+  struct Stats {
+    uint64_t publishes = 0;
+    uint64_t full_pushes = 0;
+    uint64_t delta_pushes = 0;
+    uint64_t noop_pushes = 0;
+    uint64_t full_push_bytes = 0;   ///< frame bytes of full pushes.
+    uint64_t delta_push_bytes = 0;  ///< frame bytes of delta pushes.
+    uint64_t bad_requests = 0;      ///< frames that did not decode.
+  };
+  Stats stats() const;
+
+ private:
+  struct ChangeRecord {
+    uint64_t version = 0;  ///< the version this change set produced.
+    std::set<std::string> changed;
+    std::set<std::string> removed;
+  };
+
+  PlaneOptions opts_;
+  FilterChain chain_;
+  mutable std::mutex mu_;
+  uint64_t version_ = 0;
+  std::map<std::string, std::string> blobs_;
+  Manifest manifest_;
+  std::deque<ChangeRecord> history_;  ///< newest at the back.
+  Stats stats_;
+};
+
+}  // namespace lite::modelplane
+
+#endif  // LITE_MODELPLANE_PLANE_SERVER_H_

@@ -1,0 +1,131 @@
+#include "modelplane/shard_puller.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace lite::modelplane {
+namespace {
+
+/// plane_pull_* metric twins of ShardPuller::Stats (docs/MODELPLANE.md).
+struct PullMetrics {
+  obs::Counter* pulls;
+  obs::Counter* installs;
+  obs::Counter* failures;
+  obs::Counter* version_regressions;
+  obs::Counter* hash_rejects;
+
+  static PullMetrics& Get() {
+    static PullMetrics m{
+        obs::MetricsRegistry::Global().GetCounter("plane_pulls_total"),
+        obs::MetricsRegistry::Global().GetCounter("plane_pull_installs_total"),
+        obs::MetricsRegistry::Global().GetCounter("plane_pull_failures_total"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "plane_pull_version_regressions_total"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "plane_pull_hash_rejects_total"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+std::string ShardPuller::MakeRequestFrame() const {
+  PullRequest req;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    req.have = version_;
+  }
+  std::string frame;
+  if (!EncodePullRequest(req, chain_, &frame)) return "";
+  return frame;
+}
+
+PullOutcome ShardPuller::ApplyResponseFrame(const std::string& frame) {
+  PullOutcome out;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.pulls;
+  PullMetrics::Get().pulls->Inc();
+  out.version = version_;
+  const auto reject = [&](const std::string& why) {
+    ++stats_.failures;
+    PullMetrics::Get().failures->Inc();
+    out.error = why;
+    return out;
+  };
+  PushMessage msg;
+  std::string why;
+  if (!DecodePush(frame, chain_, &msg, &why)) {
+    ++stats_.wire_rejects;
+    return reject(why);
+  }
+  if (msg.kind == PushMessage::Kind::kNoop) {
+    if (msg.version != version_) {
+      return reject("noop for version " + std::to_string(msg.version) +
+                    " but " + std::to_string(version_) + " installed");
+    }
+    ++stats_.noops;
+    out.ok = true;
+    return out;
+  }
+  // Version monotonicity: never move backwards or sideways.
+  if (msg.version <= version_) {
+    ++stats_.version_regressions;
+    PullMetrics::Get().version_regressions->Inc();
+    return reject("version regression: push " + std::to_string(msg.version) +
+                  " <= installed " + std::to_string(version_));
+  }
+  // Assemble the complete candidate set off to the side.
+  std::map<std::string, std::string> candidate;
+  if (msg.kind == PushMessage::Kind::kDelta) {
+    if (msg.base != version_) {
+      return reject("delta base " + std::to_string(msg.base) +
+                    " != installed " + std::to_string(version_));
+    }
+    candidate = *blobs_;
+    for (const std::string& key : msg.removed) candidate.erase(key);
+    for (const Blob& b : msg.blobs) candidate[b.key] = b.bytes;
+  } else {
+    for (const Blob& b : msg.blobs) candidate[b.key] = b.bytes;
+  }
+  // Fail-whole-pull: the ENTIRE candidate — carried-over delta blobs
+  // included — must match the manifest before anything is published.
+  if (!VerifyBlobSet(msg.manifest, candidate, &why)) {
+    ++stats_.hash_rejects;
+    PullMetrics::Get().hash_rejects->Inc();
+    return reject("manifest verification: " + why);
+  }
+  // Atomic install: one pointer + version publication.
+  blobs_ = std::make_shared<const std::map<std::string, std::string>>(
+      std::move(candidate));
+  version_ = msg.version;
+  if (msg.kind == PushMessage::Kind::kDelta) {
+    ++stats_.delta_installs;
+  } else {
+    ++stats_.full_installs;
+  }
+  PullMetrics::Get().installs->Inc();
+  out.ok = true;
+  out.installed = true;
+  out.version = version_;
+  return out;
+}
+
+uint64_t ShardPuller::installed_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+std::shared_ptr<const std::map<std::string, std::string>>
+ShardPuller::installed_blobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blobs_;
+}
+
+ShardPuller::Stats ShardPuller::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lite::modelplane

@@ -1,0 +1,84 @@
+// ShardPuller: the consumption side of the model plane. It turns push
+// frames into atomically installed (version, blob-set) pairs under the
+// fail-whole-pull contract:
+//
+//   * every frame is checksum-verified before parsing (wire.h);
+//   * a candidate blob set is assembled OFF to the side — a full push
+//     from its payload, a delta push from a copy of the installed set
+//     with the changed/removed keys applied;
+//   * the COMPLETE candidate (carried-over blobs included) is verified
+//     against the push's manifest — key set, sizes, content hashes;
+//   * versions only move forward: a push whose target version is not
+//     greater than the installed one (or a delta whose base is not
+//     exactly the installed version) is rejected whole;
+//   * only then is the (version, blob-set) pair swapped in, as one
+//     shared_ptr publication under the puller mutex.
+//
+// Any failure leaves the previously installed pair untouched and
+// serveable — a reader can never observe a mix of two versions, which is
+// the `plane_pull_atomicity` oracle invariant (testkit/oracle.h).
+#ifndef LITE_MODELPLANE_SHARD_PULLER_H_
+#define LITE_MODELPLANE_SHARD_PULLER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "modelplane/blob.h"
+#include "modelplane/wire.h"
+
+namespace lite::modelplane {
+
+struct PullOutcome {
+  bool ok = false;         ///< frame accepted (installed or noop).
+  bool installed = false;  ///< a new version was swapped in.
+  uint64_t version = 0;    ///< installed version after this outcome.
+  std::string error;       ///< rejection reason when !ok.
+};
+
+class ShardPuller {
+ public:
+  explicit ShardPuller(FilterChain chain) : chain_(std::move(chain)) {}
+
+  /// Encodes a pull request for the currently installed version.
+  std::string MakeRequestFrame() const;
+
+  /// Verifies and (maybe) installs one push frame. Never partially
+  /// applies: on any rejection the installed pair is untouched.
+  PullOutcome ApplyResponseFrame(const std::string& frame);
+
+  /// 0 until the first successful install.
+  uint64_t installed_version() const;
+
+  /// The installed blob set (never null; empty before the first install).
+  /// The returned pointer is an immutable snapshot: a concurrent install
+  /// publishes a fresh map and never mutates this one.
+  std::shared_ptr<const std::map<std::string, std::string>> installed_blobs()
+      const;
+
+  struct Stats {
+    uint64_t pulls = 0;          ///< ApplyResponseFrame calls.
+    uint64_t full_installs = 0;
+    uint64_t delta_installs = 0;
+    uint64_t noops = 0;
+    uint64_t failures = 0;            ///< rejections of any kind.
+    uint64_t wire_rejects = 0;        ///< frame/parse/checksum failures.
+    uint64_t version_regressions = 0; ///< pushes that would move backwards.
+    uint64_t hash_rejects = 0;        ///< manifest verification failures.
+  };
+  Stats stats() const;
+
+ private:
+  FilterChain chain_;
+  mutable std::mutex mu_;
+  uint64_t version_ = 0;
+  std::shared_ptr<const std::map<std::string, std::string>> blobs_ =
+      std::make_shared<const std::map<std::string, std::string>>();
+  Stats stats_;
+};
+
+}  // namespace lite::modelplane
+
+#endif  // LITE_MODELPLANE_SHARD_PULLER_H_

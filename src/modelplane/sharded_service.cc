@@ -1,0 +1,200 @@
+#include "modelplane/sharded_service.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace lite::modelplane {
+namespace {
+
+struct ShardMetrics {
+  obs::Counter* requests;
+  obs::Counter* syncs;
+  obs::Counter* installs;
+  obs::Counter* decode_failures;
+
+  static ShardMetrics& Get() {
+    static ShardMetrics m{
+        obs::MetricsRegistry::Global().GetCounter("shard_requests_total"),
+        obs::MetricsRegistry::Global().GetCounter("shard_syncs_total"),
+        obs::MetricsRegistry::Global().GetCounter("shard_installs_total"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "shard_decode_failures_total"),
+    };
+    return m;
+  }
+};
+
+/// Splitmix-style index mixing for per-link fault seeds.
+uint64_t MixSeed(uint64_t seed, uint64_t salt) {
+  uint64_t z = seed + salt * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void AttachPublisher(serve::TuningService* service, ModelPlaneServer* plane) {
+  LITE_CHECK(service != nullptr && plane != nullptr)
+      << "AttachPublisher: null service or plane";
+  service->SetInstallListener(
+      [plane](const std::shared_ptr<const lite::LoadedLiteModel>& model) {
+        std::map<std::string, std::string> blobs;
+        if (!model->EncodeBlobs(&blobs)) {
+          LITE_WARN << "AttachPublisher: snapshot blob encode failed; "
+                       "plane version not advanced";
+          return;
+        }
+        plane->Publish(blobs);
+      });
+}
+
+ShardedTuningService::ShardedTuningService(const spark::SparkRunner* runner,
+                                           ModelPlaneServer* plane,
+                                           ShardedServiceOptions options)
+    : runner_(runner), plane_(plane), options_(std::move(options)) {
+  if (options_.shards == 0) {
+    throw std::invalid_argument("ShardedTuningService: shards must be >= 1");
+  }
+  LITE_CHECK(plane_ != nullptr) << "ShardedTuningService: null plane";
+  nodes_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    auto node = std::make_unique<ShardNode>(plane_->chain());
+    node->request_link = std::make_unique<FaultInjectedChannel>(
+        &node->request_q, options_.faults, MixSeed(options_.fault_seed, 2 * i));
+    node->response_link = std::make_unique<FaultInjectedChannel>(
+        &node->response_q, options_.faults,
+        MixSeed(options_.fault_seed, 2 * i + 1));
+    node->service =
+        std::make_unique<serve::TuningService>(runner_, options_.service);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+size_t ShardedTuningService::RouteShard(const std::string& tenant) const {
+  return static_cast<size_t>(HashBytes(tenant) % nodes_.size());
+}
+
+int ShardedTuningService::OpenSession(const std::string& tenant,
+                                      uint64_t seed) {
+  const size_t shard = RouteShard(tenant);
+  const int local = nodes_[shard]->service->OpenSession(tenant, seed);
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.emplace_back(shard, local);
+  return static_cast<int>(sessions_.size() - 1);
+}
+
+serve::TuningService::Response ShardedTuningService::Recommend(
+    int session, const spark::ApplicationSpec& app, const spark::DataSpec& data,
+    const spark::ClusterEnv& env) {
+  size_t shard = 0;
+  int local = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (session < 0 || static_cast<size_t>(session) >= sessions_.size()) {
+      serve::TuningService::Response r;
+      r.error = "unknown session";
+      return r;
+    }
+    std::tie(shard, local) = sessions_[session];
+    ++stats_.requests;
+    ShardMetrics::Get().requests->Inc();
+  }
+  return nodes_[shard]->service->Recommend(local, app, data, env);
+}
+
+bool ShardedTuningService::SyncShard(size_t i) {
+  LITE_CHECK(i < nodes_.size()) << "SyncShard: shard out of range";
+  ShardNode& node = *nodes_[i];
+  std::lock_guard<std::mutex> node_lock(node.node_mu);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.syncs;
+    ShardMetrics::Get().syncs->Inc();
+  }
+  // Request out through the faulted link; the plane drains every request
+  // that made it across (held/duplicated frames from earlier rounds
+  // included) and answers each.
+  node.request_link->Send(node.puller.MakeRequestFrame());
+  std::string frame;
+  while (node.request_link->Recv(&frame)) {
+    const std::string resp = plane_->HandleRequestFrame(frame);
+    if (!resp.empty()) node.response_link->Send(resp);
+  }
+  // Apply every response that arrived. Stale or damaged frames are
+  // rejected whole by the puller; a verified new version is decoded and
+  // installed into the shard's TuningService.
+  bool progressed = false;
+  while (node.response_link->Recv(&frame)) {
+    const PullOutcome out = node.puller.ApplyResponseFrame(frame);
+    if (out.installed) progressed = true;
+  }
+  if (progressed) {
+    const auto blobs = node.puller.installed_blobs();
+    const uint64_t version = node.puller.installed_version();
+    std::unique_ptr<LoadedLiteModel> model =
+        LoadedLiteModel::LoadFromBlobs(*blobs, runner_);
+    if (model == nullptr) {
+      // A blob set that passed manifest verification but does not decode
+      // means the publisher published garbage; the shard keeps serving
+      // its previous snapshot (still a consistent version).
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.decode_failures;
+      ShardMetrics::Get().decode_failures->Inc();
+      LITE_WARN << "SyncShard(" << i << "): verified blob set failed to "
+                << "decode at plane version " << version;
+    } else {
+      node.service->InstallSnapshot(std::move(model));
+      node.served_version = version;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.installs;
+      ShardMetrics::Get().installs->Inc();
+    }
+  }
+  return node.served_version == plane_->version();
+}
+
+size_t ShardedTuningService::SyncAll() {
+  size_t current = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    bool synced = false;
+    for (size_t attempt = 0; attempt < options_.pull_attempts; ++attempt) {
+      if (SyncShard(i)) {
+        synced = true;
+        break;
+      }
+      // A held (reordered) frame only leaves the link when another frame
+      // passes through; flush between attempts so storms terminate.
+      nodes_[i]->request_link->Flush();
+      nodes_[i]->response_link->Flush();
+    }
+    if (synced) ++current;
+  }
+  return current;
+}
+
+uint64_t ShardedTuningService::shard_version(size_t i) const {
+  ShardNode& node = *nodes_[i];
+  std::lock_guard<std::mutex> lock(node.node_mu);
+  return node.served_version;
+}
+
+FaultInjectedChannel::Stats ShardedTuningService::request_link_stats(
+    size_t i) const {
+  return nodes_[i]->request_link->stats();
+}
+
+FaultInjectedChannel::Stats ShardedTuningService::response_link_stats(
+    size_t i) const {
+  return nodes_[i]->response_link->stats();
+}
+
+ShardedTuningService::Stats ShardedTuningService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lite::modelplane

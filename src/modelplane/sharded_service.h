@@ -1,0 +1,153 @@
+// ShardedTuningService: N serve::TuningService replicas ("shards") fed by
+// one ModelPlaneServer over fault-injectable byte channels, with
+// hash-based tenant routing on top.
+//
+// Topology (all simulated in-process; the node boundary is the
+// ByteChannel seam — every byte between the plane and a shard crosses a
+// serialized frame that fault injection can drop, truncate, corrupt,
+// duplicate or reorder):
+//
+//   publisher TuningService ──InstallListener──> ModelPlaneServer
+//                                                   │ pull protocol
+//                                 ┌─────────────────┼────────────────┐
+//                             ShardPuller        ShardPuller      ...
+//                                 │ LoadFromBlobs    │
+//                             TuningService      TuningService    ...
+//                               (shard 0)          (shard 1)
+//
+// The equivalence contract (`shard_equivalence` oracle invariant): a
+// request routed to ANY shard that has installed plane version V returns
+// a bit-identical response to a single-process TuningService serving the
+// same version — blobs round-trip models exactly (max_digits10 float
+// serialization), sessions opened with seed 0 adopt the snapshot's seed,
+// and the recommend pipeline is deterministic.
+//
+// The atomicity contract (`plane_pull_atomicity`): a shard either serves
+// its previous version or the complete new one; ShardPuller's
+// fail-whole-pull verification makes a mixed-version blob set
+// structurally impossible, whatever the channel faults do.
+#ifndef LITE_MODELPLANE_SHARDED_SERVICE_H_
+#define LITE_MODELPLANE_SHARDED_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "modelplane/channel.h"
+#include "modelplane/plane_server.h"
+#include "modelplane/shard_puller.h"
+#include "serve/tuning_service.h"
+
+namespace lite::modelplane {
+
+struct ShardedServiceOptions {
+  /// Number of shard replicas (>= 1).
+  size_t shards = 4;
+  /// Per-shard TuningService options (validated by its constructor).
+  serve::ServiceOptions service;
+  /// Fault injection applied to BOTH directions of every shard link.
+  /// Default: fault-free.
+  ChannelFaultOptions faults;
+  /// Base seed for the per-link fault Rngs (link i uses seed ^ mixing of
+  /// i, so shards fail independently but reproducibly).
+  uint64_t fault_seed = 0x9e3779b97f4a7c15ull;
+  /// Sync attempts per shard in SyncAll before giving up this round.
+  size_t pull_attempts = 16;
+};
+
+/// Connects `service` to `plane`: every snapshot the service installs
+/// (initial load, hot-swap, adaptive update) is re-encoded to blobs and
+/// published as a new plane version. Call before the first install; the
+/// listener stays attached for the service's lifetime.
+void AttachPublisher(serve::TuningService* service, ModelPlaneServer* plane);
+
+class ShardedTuningService {
+ public:
+  /// `plane` must outlive the service. Throws std::invalid_argument on
+  /// invalid options (zero shards, service options the per-shard
+  /// TuningService constructor rejects).
+  ShardedTuningService(const spark::SparkRunner* runner,
+                       ModelPlaneServer* plane, ShardedServiceOptions options);
+
+  /// Deterministic tenant routing: FNV-1a(tenant) % shards.
+  size_t RouteShard(const std::string& tenant) const;
+
+  /// Opens a session on the tenant's shard; returns a fleet-wide session
+  /// handle. `seed` semantics match TuningService::OpenSession.
+  int OpenSession(const std::string& tenant, uint64_t seed = 0);
+
+  /// Serves the request on the session's shard (synchronous).
+  serve::TuningService::Response Recommend(int session,
+                                           const spark::ApplicationSpec& app,
+                                           const spark::DataSpec& data,
+                                           const spark::ClusterEnv& env);
+
+  /// One pull round-trip for shard `i` through its (possibly faulted)
+  /// channels: request out, server response back, verify, and — when a
+  /// new version survives verification — decode and install it into the
+  /// shard's TuningService. Returns true when the shard ends the call at
+  /// the plane's current version.
+  bool SyncShard(size_t i);
+
+  /// Pulls every shard toward the plane's current version, retrying up to
+  /// `pull_attempts` times per shard (faulted links need retries).
+  /// Returns the number of shards that reached the current version.
+  size_t SyncAll();
+
+  size_t num_shards() const { return nodes_.size(); }
+
+  /// The shard's serving TuningService (sessions opened through
+  /// OpenSession route here).
+  serve::TuningService* shard(size_t i) { return nodes_[i]->service.get(); }
+
+  /// The plane version whose blob set shard `i` currently serves (0 =
+  /// nothing installed yet).
+  uint64_t shard_version(size_t i) const;
+
+  /// The shard's puller (pull/verification stats for tests and benches).
+  const ShardPuller& puller(size_t i) const { return nodes_[i]->puller; }
+
+  /// Fault stats of shard `i`'s two link directions (request, response).
+  FaultInjectedChannel::Stats request_link_stats(size_t i) const;
+  FaultInjectedChannel::Stats response_link_stats(size_t i) const;
+
+  struct Stats {
+    uint64_t requests = 0;       ///< Recommend calls routed.
+    uint64_t syncs = 0;          ///< SyncShard calls.
+    uint64_t installs = 0;       ///< shard snapshot installs.
+    uint64_t decode_failures = 0;///< verified blob sets that failed model
+                                 ///< decode (publisher bug; never counts
+                                 ///< against pull atomicity).
+  };
+  Stats stats() const;
+
+ private:
+  struct ShardNode {
+    QueueChannel request_q;   ///< shard -> plane.
+    QueueChannel response_q;  ///< plane -> shard.
+    std::unique_ptr<FaultInjectedChannel> request_link;
+    std::unique_ptr<FaultInjectedChannel> response_link;
+    ShardPuller puller;
+    std::unique_ptr<serve::TuningService> service;
+    uint64_t served_version = 0;  ///< guarded by node_mu.
+    std::mutex node_mu;           ///< serializes this shard's sync path.
+
+    explicit ShardNode(FilterChain chain) : puller(std::move(chain)) {}
+  };
+
+  const spark::SparkRunner* runner_;
+  ModelPlaneServer* plane_;
+  ShardedServiceOptions options_;
+  std::vector<std::unique_ptr<ShardNode>> nodes_;
+
+  mutable std::mutex mu_;  ///< sessions + stats.
+  std::vector<std::pair<size_t, int>> sessions_;  ///< fleet id -> (shard, id).
+  Stats stats_;
+};
+
+}  // namespace lite::modelplane
+
+#endif  // LITE_MODELPLANE_SHARDED_SERVICE_H_

@@ -2,13 +2,13 @@
 
 #include <fstream>
 
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace lite {
 
-bool SaveParams(const std::vector<VarPtr>& params, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+bool SerializeParams(const std::vector<VarPtr>& params, std::ostream* os) {
+  std::ostream& out = *os;
   out << params.size() << "\n";
   out.precision(9);
   for (const auto& p : params) {
@@ -22,9 +22,8 @@ bool SaveParams(const std::vector<VarPtr>& params, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-bool LoadParams(const std::vector<VarPtr>& params, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return false;
+bool DeserializeParams(std::istream* is, const std::vector<VarPtr>& params) {
+  std::istream& in = *is;
   size_t count = 0;
   in >> count;
   if (count != params.size()) return false;
@@ -40,6 +39,19 @@ bool LoadParams(const std::vector<VarPtr>& params, const std::string& path) {
     for (size_t i = 0; i < p->numel(); ++i) in >> p->value[i];
   }
   return static_cast<bool>(in);
+}
+
+bool SaveParams(const std::vector<VarPtr>& params, const std::string& path) {
+  AtomicFileWriter w(path);
+  if (!w.ok()) return false;
+  if (!SerializeParams(params, &w.stream())) return false;
+  return w.Commit();
+}
+
+bool LoadParams(const std::vector<VarPtr>& params, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  return DeserializeParams(&in, params);
 }
 
 void CopyParams(const std::vector<VarPtr>& src, const std::vector<VarPtr>& dst) {

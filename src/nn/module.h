@@ -2,6 +2,7 @@
 #ifndef LITE_NN_MODULE_H_
 #define LITE_NN_MODULE_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,17 @@ class Module {
   }
 };
 
+/// Stream form of the parameter codec (shape + floats, 9 significant
+/// digits — exact binary32 round-trip). Returns false when the stream goes
+/// bad; SerializeParams leaves partial output behind on failure, so file
+/// writers must stage through util/atomic_file.h.
+bool SerializeParams(const std::vector<VarPtr>& params, std::ostream* os);
+bool DeserializeParams(std::istream* is, const std::vector<VarPtr>& params);
+
 /// Writes parameter tensors to a simple text format (shape + floats).
-/// Returns false on I/O failure.
+/// Atomic: stages to `<path>.tmp.<pid>` and renames on success, so a crash
+/// mid-save never replaces a committed file with a torn one. Returns false
+/// on I/O failure.
 bool SaveParams(const std::vector<VarPtr>& params, const std::string& path);
 
 /// Loads into existing parameters; shapes must match exactly.

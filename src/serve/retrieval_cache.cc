@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace lite::serve {
@@ -443,8 +444,15 @@ bool RetrievalCache::SaveIndex(const std::string& path) const {
             [](const IndexEntry& a, const IndexEntry& b) {
               return a.order < b.order;
             });
-  std::ofstream out(path);
-  if (!out) return false;
+  // Atomic publication (ISSUE 10): stream to <path>.tmp.<pid> and rename
+  // after the stream verified. SaveIndex used to stream straight into the
+  // final path, so a crash mid-write — or a model-plane pull replicating
+  // the file concurrently — published a torn index that LoadIndex then had
+  // to reject; now a reader observes either the previous committed index
+  // or the complete new one.
+  AtomicFileWriter w(path);
+  if (!w.ok()) return false;
+  std::ostream& out = w.stream();
   out.precision(17);
   out << kIndexMagic << " " << kIndexVersion << "\n";
   out << "entries " << entries.size() << "\n";
@@ -463,7 +471,13 @@ bool RetrievalCache::SaveIndex(const std::string& path) const {
     out << "\n";
     out << "end\n";
   }
-  return static_cast<bool>(out);
+  if (!w.Commit()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("lite_snapshot_save_failed_total")
+        ->Inc();
+    return false;
+  }
+  return true;
 }
 
 bool RetrievalCache::LoadIndex(const std::string& path) {

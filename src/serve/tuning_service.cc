@@ -139,6 +139,7 @@ void TuningService::InstallSnapshot(std::unique_ptr<LoadedLiteModel> model) {
   // cache hit is therefore structurally impossible.
   if (retrieval_ != nullptr) retrieval_->OnSnapshotInstalled(gen);
   std::shared_ptr<const LoadedLiteModel> fresh = std::move(model);
+  const std::shared_ptr<const LoadedLiteModel> published = fresh;
   // RCU publish: readers that copied the old pointer keep it alive through
   // their shared_ptr copy; the retired snapshot is freed when the last
   // in-flight request drops it. The swap itself is the only work done
@@ -154,6 +155,19 @@ void TuningService::InstallSnapshot(std::unique_ptr<LoadedLiteModel> model) {
     ++stats_.hot_swaps;
     ServeMetrics::Get().hot_swaps->Inc();
   }
+  // Model-plane publication hook: runs after the swap so the plane never
+  // publishes a version the publisher itself is not yet serving.
+  InstallListener listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    listener = install_listener_;
+  }
+  if (listener) listener(published);
+}
+
+void TuningService::SetInstallListener(InstallListener listener) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  install_listener_ = std::move(listener);
 }
 
 std::shared_ptr<const LoadedLiteModel> TuningService::SnapshotRef() const {

@@ -43,6 +43,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -129,6 +130,16 @@ class TuningService {
   /// Callers keep it alive via the shared_ptr; a concurrent hot-swap never
   /// invalidates it.
   std::shared_ptr<const LoadedLiteModel> CurrentSnapshot() const;
+
+  /// Called after every snapshot publication — initial load, manual
+  /// InstallSnapshot, adaptive-update hot-swap — with the freshly served
+  /// model. The model-distribution plane (src/modelplane/) attaches here
+  /// to re-encode the snapshot as blobs and publish a new plane version.
+  /// Invoked on the installing thread, outside the publication mutex;
+  /// the listener must not call back into InstallSnapshot.
+  using InstallListener =
+      std::function<void(const std::shared_ptr<const LoadedLiteModel>&)>;
+  void SetInstallListener(InstallListener listener);
 
   /// Opens a tenant session with its own RNG stream. `seed` = 0 adopts the
   /// served snapshot's seed, which makes the session's recommendations bit-
@@ -335,6 +346,9 @@ class TuningService {
     std::string tenant;
     uint64_t seed = 0;
   };
+
+  mutable std::mutex listener_mu_;  ///< guards install_listener_.
+  InstallListener install_listener_;
 
   mutable std::mutex mu_;  ///< sessions, feedback, stats, drain state.
   std::condition_variable cv_;

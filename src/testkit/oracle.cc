@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "lite/lite_system.h"
+#include "lite/snapshot.h"
+#include "modelplane/channel.h"
+#include "modelplane/plane_server.h"
+#include "modelplane/shard_puller.h"
+#include "modelplane/sharded_service.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sparksim/eventlog.h"
@@ -86,6 +95,8 @@ const std::vector<std::string>& SimulatorOracle::InvariantNames() {
       "span_consistency",
       "stage_override_dominance",
       "retune_inertness",
+      "plane_pull_atomicity",
+      "shard_equivalence",
   };
   return *names;
 }
@@ -110,6 +121,8 @@ OracleReport SimulatorOracle::Check(const WorkloadTuple& t) const {
   CheckSpanConsistency(t, &report);
   CheckStageOverrideDominance(t, &report);
   CheckRetuneInertness(t, &report);
+  CheckPlanePullAtomicity(t, &report);
+  CheckShardEquivalence(t, &report);
   return report;
 }
 
@@ -922,6 +935,260 @@ void SimulatorOracle::CheckRetuneInertness(const WorkloadTuple& t,
               "correction after perturbing the newest observation is " +
                   Fmt(ret2.correction) + ", the contract formula expects " +
                   Fmt(expected));
+  }
+}
+
+void SimulatorOracle::CheckPlanePullAtomicity(const WorkloadTuple& t,
+                                              OracleReport* report) const {
+  const std::string kInv = "plane_pull_atomicity";
+  // Synthetic blobs, no model: the invariant is about the pull protocol,
+  // not the payload. Everything is seeded from the tuple so a violation
+  // replays from the sweep seed.
+  const uint64_t seed = modelplane::HashBytes(t.Describe());
+  Rng rng(seed);
+  const auto random_text = [&rng]() {
+    static const char* kTokens[] = {"0.125", "-3.5e-2", "7", "necs", "w"};
+    std::string s;
+    const size_t words = 64 + rng.Index(256);
+    for (size_t i = 0; i < words; ++i) {
+      s += kTokens[rng.Index(5)];
+      s += (i % 8 == 7) ? '\n' : ' ';
+    }
+    return s;
+  };
+  modelplane::PlaneOptions popts;
+  popts.delta_history = 4;
+  modelplane::ModelPlaneServer plane(popts);
+  modelplane::ChannelFaultOptions faults;
+  faults.drop = 0.20;
+  faults.truncate = 0.20;
+  faults.corrupt = 0.20;
+  faults.duplicate = 0.15;
+  faults.hold = 0.15;
+  modelplane::QueueChannel req_q, resp_q;
+  modelplane::FaultInjectedChannel req(&req_q, faults, seed ^ 0x5eed1);
+  modelplane::FaultInjectedChannel resp(&resp_q, faults, seed ^ 0x5eed2);
+  modelplane::ShardPuller puller(plane.chain());
+
+  std::map<uint64_t, std::map<std::string, std::string>> published;
+  std::map<std::string, std::string> blobs = {
+      {"vocab.txt", random_text()},
+      {"necs_0.txt", random_text()},
+      {"necs_1.txt", random_text()},
+      {"acg.txt", random_text()},
+  };
+  uint64_t last_installed = 0;
+  for (int round = 0; round < 12; ++round) {
+    // Mutate a member, occasionally add or drop an optional part — the
+    // delta paths (changed, added, removed keys) all get exercised.
+    blobs["necs_" + std::to_string(rng.Index(2)) + ".txt"] = random_text();
+    if (rng.Bernoulli(0.25)) {
+      blobs["stagehead.txt"] = random_text();
+    } else if (rng.Bernoulli(0.25)) {
+      blobs.erase("stagehead.txt");
+    }
+    const uint64_t v = plane.Publish(blobs);
+    published[v] = blobs;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      req.Send(puller.MakeRequestFrame());
+      std::string frame;
+      while (req.Recv(&frame)) {
+        const std::string r = plane.HandleRequestFrame(frame);
+        if (!r.empty()) resp.Send(r);
+      }
+      while (resp.Recv(&frame)) puller.ApplyResponseFrame(frame);
+
+      const uint64_t iv = puller.installed_version();
+      const auto got = puller.installed_blobs();
+      if (iv < last_installed) {
+        Violation(report, kInv,
+                  "installed version regressed from " +
+                      std::to_string(last_installed) + " to " +
+                      std::to_string(iv));
+        return;
+      }
+      last_installed = iv;
+      if (iv == 0) {
+        if (!got->empty()) {
+          Violation(report, kInv, "blobs installed at version 0");
+          return;
+        }
+        continue;
+      }
+      const auto it = published.find(iv);
+      if (it == published.end()) {
+        Violation(report, kInv,
+                  "installed version " + std::to_string(iv) +
+                      " was never published");
+        return;
+      }
+      if (*got != it->second) {
+        // The torn/mixed-version case the whole plane design exists to
+        // prevent: the served set differs from what version iv published.
+        Violation(report, kInv,
+                  "installed blob set at version " + std::to_string(iv) +
+                      " is not the published set (torn or mixed pull)");
+        return;
+      }
+    }
+    req.Flush();
+    resp.Flush();
+  }
+  // Liveness: with faults off the puller must converge to the head
+  // version in one clean round-trip. Discard stale in-flight frames first —
+  // a held response applied after MakeRequestFrame could advance the
+  // puller past the request's `have`, base-rejecting the fresh delta
+  // (a retry concern for SyncAll, not an atomicity violation).
+  std::string frame;
+  while (req_q.Recv(&frame)) {
+  }
+  while (resp_q.Recv(&frame)) {
+  }
+  req_q.Send(puller.MakeRequestFrame());
+  while (req_q.Recv(&frame)) {
+    const std::string r = plane.HandleRequestFrame(frame);
+    if (!r.empty()) resp_q.Send(r);
+  }
+  while (resp_q.Recv(&frame)) puller.ApplyResponseFrame(frame);
+  if (puller.installed_version() != plane.version()) {
+    Violation(report, kInv,
+              "clean pull did not converge: installed " +
+                  std::to_string(puller.installed_version()) + ", plane at " +
+                  std::to_string(plane.version()));
+  }
+}
+
+namespace {
+
+/// Lazily built shared fixture for shard_equivalence: a tiny trained
+/// system published to a plane, two shards pulled current over clean
+/// links, and a single-process reference service on the same blobs. Built
+/// once per process (training dominates); recommends are thread-safe.
+struct ShardEquivalenceFixture {
+  spark::SparkRunner runner;  ///< default options on both sides.
+  std::unique_ptr<modelplane::ModelPlaneServer> plane;
+  std::unique_ptr<serve::TuningService> reference;
+  std::unique_ptr<modelplane::ShardedTuningService> shards;
+  int reference_session = -1;
+  std::vector<int> shard_sessions;  ///< one fleet session routed per shard.
+  std::string error;                ///< non-empty when the build failed.
+
+  static ShardEquivalenceFixture& Get() {
+    static ShardEquivalenceFixture* fx = [] {
+      auto* f = new ShardEquivalenceFixture();
+      f->Build();
+      return f;
+    }();
+    return *fx;
+  }
+
+  void Build() {
+    LiteOptions opts;
+    opts.corpus.apps = {"TS", "PR"};
+    opts.corpus.clusters = {spark::ClusterEnv::ClusterA()};
+    opts.corpus.configs_per_setting = 2;
+    opts.corpus.max_stage_instances_per_run = 5;
+    opts.corpus.max_code_tokens = 64;
+    opts.necs.emb_dim = 8;
+    opts.necs.cnn_widths = {3, 4};
+    opts.necs.cnn_kernels = 6;
+    opts.necs.code_dim = 12;
+    opts.necs.gcn_hidden = 8;
+    opts.train.epochs = 2;
+    opts.num_candidates = 8;
+    opts.ensemble_size = 1;
+    LiteSystem system(&runner, opts);
+    system.TrainOffline();
+    std::map<std::string, std::string> blobs;
+    if (!EncodeSnapshotBlobs(system, &blobs)) {
+      error = "EncodeSnapshotBlobs failed";
+      return;
+    }
+    plane = std::make_unique<modelplane::ModelPlaneServer>(
+        modelplane::PlaneOptions{});
+    plane->Publish(blobs);
+    serve::ServiceOptions sopts;
+    sopts.scoring.threads = 1;
+    reference = std::make_unique<serve::TuningService>(&runner, sopts);
+    auto model = LoadedLiteModel::LoadFromBlobs(blobs, &runner);
+    if (model == nullptr) {
+      error = "LoadFromBlobs failed on the published blob set";
+      return;
+    }
+    reference->InstallSnapshot(std::move(model));
+    reference_session = reference->OpenSession("oracle", /*seed=*/0);
+    modelplane::ShardedServiceOptions shopts;
+    shopts.shards = 2;
+    shopts.service = sopts;
+    shards = std::make_unique<modelplane::ShardedTuningService>(
+        &runner, plane.get(), shopts);
+    if (shards->SyncAll() != shopts.shards) {
+      error = "shards failed to sync over clean links";
+      return;
+    }
+    // One session routed to each shard (guardrail off, so the tenant name
+    // only picks the shard; it cannot change the response).
+    for (size_t i = 0; i < shopts.shards; ++i) {
+      int session = -1;
+      for (int probe = 0; probe < 64; ++probe) {
+        const std::string tenant = "tenant" + std::to_string(probe);
+        if (shards->RouteShard(tenant) == i) {
+          session = shards->OpenSession(tenant, /*seed=*/0);
+          break;
+        }
+      }
+      if (session < 0) {
+        error = "no tenant routed to shard " + std::to_string(i);
+        return;
+      }
+      shard_sessions.push_back(session);
+    }
+  }
+};
+
+}  // namespace
+
+void SimulatorOracle::CheckShardEquivalence(const WorkloadTuple& t,
+                                            OracleReport* report) const {
+  const std::string kInv = "shard_equivalence";
+  ShardEquivalenceFixture& fx = ShardEquivalenceFixture::Get();
+  if (!fx.error.empty()) {
+    Violation(report, kInv, "fixture build failed: " + fx.error);
+    return;
+  }
+  const serve::TuningService::Response want =
+      fx.reference->Recommend(fx.reference_session, *t.app, t.data, t.env);
+  if (!want.ok) {
+    Violation(report, kInv, "reference recommend failed: " + want.error);
+    return;
+  }
+  for (size_t i = 0; i < fx.shard_sessions.size(); ++i) {
+    if (fx.shards->shard_version(i) != fx.plane->version()) {
+      Violation(report, kInv,
+                "shard " + std::to_string(i) + " at plane version " +
+                    std::to_string(fx.shards->shard_version(i)) +
+                    ", expected " + std::to_string(fx.plane->version()));
+      continue;
+    }
+    const serve::TuningService::Response got =
+        fx.shards->Recommend(fx.shard_sessions[i], *t.app, t.data, t.env);
+    if (!got.ok) {
+      Violation(report, kInv,
+                "shard " + std::to_string(i) + " recommend failed: " +
+                    got.error);
+      continue;
+    }
+    if (!(got.rec.config == want.rec.config) ||
+        got.rec.predicted_seconds != want.rec.predicted_seconds ||
+        got.rec.candidates_evaluated != want.rec.candidates_evaluated) {
+      Violation(report, kInv,
+                "shard " + std::to_string(i) +
+                    " response differs from the single-process service at "
+                    "plane version " +
+                    std::to_string(fx.plane->version()) + " (predicted " +
+                    Fmt(got.rec.predicted_seconds) + " vs " +
+                    Fmt(want.rec.predicted_seconds) + ")");
+    }
   }
 }
 

@@ -57,6 +57,20 @@
 //                         correction to exactly the documented formula's
 //                         value (> 1), so a stale observation window
 //                         cannot hide.
+//   plane_pull_atomicity  a model-plane shard puller driven through
+//                         fault-injected channels (drop, truncate,
+//                         corrupt, duplicate, reorder) only ever holds a
+//                         (version, blob-set) pair that was published
+//                         exactly as-is — never a mix of two versions —
+//                         and its installed version never regresses.
+//                         Synthetic blobs seeded from the tuple; no model.
+//   shard_equivalence     a request served by any shard of a
+//                         ShardedTuningService at plane version V is
+//                         bit-identical (config, predicted seconds,
+//                         candidate count) to the single-process
+//                         TuningService serving the same version. Uses a
+//                         lazily trained shared tiny model; the tuple
+//                         supplies the request's app/data/env.
 //
 // All comparisons that reason about monotonicity run on a noise-free copy
 // of the model options; determinism and replay checks keep the caller's
@@ -139,6 +153,10 @@ class SimulatorOracle {
   void CheckStageOverrideDominance(const WorkloadTuple& t,
                                    OracleReport* report) const;
   void CheckRetuneInertness(const WorkloadTuple& t, OracleReport* report) const;
+  void CheckPlanePullAtomicity(const WorkloadTuple& t,
+                               OracleReport* report) const;
+  void CheckShardEquivalence(const WorkloadTuple& t,
+                             OracleReport* report) const;
 
   /// Names of every invariant in the catalog, in Check() order.
   static const std::vector<std::string>& InvariantNames();

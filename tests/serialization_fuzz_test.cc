@@ -18,6 +18,10 @@
 #include "lite/lite_system.h"
 #include "lite/qsnapshot.h"
 #include "lite/snapshot.h"
+#include "modelplane/blob.h"
+#include "modelplane/plane_server.h"
+#include "modelplane/shard_puller.h"
+#include "modelplane/wire.h"
 #include "serve/retrieval_cache.h"
 #include "serve/tuning_service.h"
 #include "sparksim/eventlog.h"
@@ -929,6 +933,135 @@ TEST(StageHeadFuzzTest, DegenerateOverridesRejectedAtTheServeBoundary) {
   serve::TuningService::RetuneResponse log_r = service.Retune(
       session, *app, data, env, good, std::string("{not an event log"));
   EXPECT_FALSE(log_r.ok);
+}
+
+// --- Model-plane wire format (ISSUE 10) -----------------------------------
+//
+// The fail-whole-pull contract under fire: whatever a truncation, hash
+// mismatch or stale frame does, ShardPuller::ApplyResponseFrame either
+// installs a complete published (version, blob-set) pair or changes
+// nothing — the previously installed version keeps serving.
+
+modelplane::PushMessage MakePlanePush(
+    const std::map<std::string, std::string>& blobs, uint64_t version) {
+  modelplane::PushMessage msg;
+  msg.kind = modelplane::PushMessage::Kind::kFull;
+  msg.version = version;
+  msg.manifest = modelplane::BuildManifest(version, blobs);
+  for (const auto& [key, bytes] : blobs) {
+    msg.blobs.push_back(
+        modelplane::Blob{key, bytes, modelplane::HashBytes(bytes)});
+  }
+  return msg;
+}
+
+TEST(PlaneWireFuzzTest, PushDecoderSurvivesCorruption) {
+  Rng rng(testkit::SeedFromEnv() ^ 0x91a7e);
+  modelplane::FilterChain chain;
+  ASSERT_TRUE(modelplane::MakeFilterChain({"lz77"}, &chain));
+  const std::map<std::string, std::string> blobs = {
+      {"vocab.txt", "alpha beta\n"},
+      {"necs_0.txt", std::string(1024, 'x') + "\n0.125 -0.5\n"},
+  };
+  std::string frame;
+  ASSERT_TRUE(EncodePush(MakePlanePush(blobs, 3), chain, &frame));
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string mutated = Mutate(frame, &rng);
+    modelplane::PushMessage out;
+    std::string why;
+    // No crash, hang or OOB (ASan job); a parse that claims success on a
+    // mutated frame must have decoded the byte-identical original.
+    if (DecodePush(mutated, chain, &out, &why)) {
+      std::string reencoded;
+      ASSERT_TRUE(EncodePush(out, chain, &reencoded)) << SeedNote();
+      EXPECT_EQ(reencoded, frame) << SeedNote() << " trial " << trial;
+    }
+  }
+}
+
+TEST(PlaneWireFuzzTest, TruncatedDeltaFailsWholePullAndKeepsServing) {
+  modelplane::ModelPlaneServer plane;
+  modelplane::ShardPuller puller(plane.chain());
+  std::map<std::string, std::string> blobs = {
+      {"vocab.txt", "a b c\n"}, {"necs_0.txt", "weights 1\n"}};
+  plane.Publish(blobs);
+  std::string resp = plane.HandleRequestFrame(puller.MakeRequestFrame());
+  ASSERT_TRUE(puller.ApplyResponseFrame(resp).ok);
+  const auto v1 = *puller.installed_blobs();
+
+  blobs["necs_0.txt"] = "weights 2\n";
+  plane.Publish(blobs);
+  const std::string delta =
+      plane.HandleRequestFrame(puller.MakeRequestFrame());
+  ASSERT_FALSE(delta.empty());
+  for (size_t len = 0; len < delta.size(); ++len) {
+    const modelplane::PullOutcome out =
+        puller.ApplyResponseFrame(delta.substr(0, len));
+    EXPECT_FALSE(out.ok) << "prefix of " << len << " bytes accepted";
+    // Fail-whole-pull: version 1 keeps serving, byte for byte.
+    ASSERT_EQ(puller.installed_version(), 1u) << "len " << len;
+    ASSERT_EQ(*puller.installed_blobs(), v1) << "len " << len;
+  }
+  // The intact frame still applies afterwards.
+  EXPECT_TRUE(puller.ApplyResponseFrame(delta).ok);
+  EXPECT_EQ(puller.installed_version(), 2u);
+}
+
+TEST(PlaneWireFuzzTest, ManifestBlobHashMismatchRejectsWholePull) {
+  modelplane::ModelPlaneServer plane;
+  modelplane::ShardPuller puller(plane.chain());
+  std::map<std::string, std::string> blobs = {
+      {"vocab.txt", "a b c\n"}, {"necs_0.txt", "weights 1\n"}};
+  plane.Publish(blobs);
+  ASSERT_TRUE(
+      puller.ApplyResponseFrame(
+                plane.HandleRequestFrame(puller.MakeRequestFrame()))
+          .ok);
+  const auto v1 = *puller.installed_blobs();
+
+  // A frame that is perfectly consistent at the wire layer (sizes, frame
+  // checksum, per-blob hashes all match its own payload) but whose blob
+  // bytes disagree with the manifest — the signature of a publisher
+  // serving a mix of two versions. Only VerifyBlobSet can catch this.
+  auto mixed = blobs;
+  mixed["necs_0.txt"] = "weights FROM ANOTHER VERSION\n";
+  modelplane::PushMessage msg = MakePlanePush(mixed, 2);
+  msg.manifest = modelplane::BuildManifest(2, blobs);  // v2 manifest, mixed bytes.
+  std::string frame;
+  ASSERT_TRUE(EncodePush(msg, plane.chain(), &frame));
+  const modelplane::PullOutcome out = puller.ApplyResponseFrame(frame);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("manifest verification"), std::string::npos)
+      << out.error;
+  EXPECT_EQ(puller.installed_version(), 1u);
+  EXPECT_EQ(*puller.installed_blobs(), v1);
+  EXPECT_GE(puller.stats().hash_rejects, 1u);
+}
+
+TEST(PlaneWireFuzzTest, VersionRegressionNeverDisplacesNewerInstall) {
+  modelplane::ModelPlaneServer plane;
+  modelplane::ShardPuller puller(plane.chain());
+  std::map<std::string, std::string> blobs = {{"necs_0.txt", "v1\n"}};
+  plane.Publish(blobs);
+  const std::string v1_push =
+      plane.HandleRequestFrame(puller.MakeRequestFrame());
+  blobs["necs_0.txt"] = "v2\n";
+  plane.Publish(blobs);
+  ASSERT_TRUE(
+      puller.ApplyResponseFrame(
+                plane.HandleRequestFrame(puller.MakeRequestFrame()))
+          .ok);
+  ASSERT_EQ(puller.installed_version(), 2u);
+
+  // A delayed, wire-valid v1 push (reordered frames, a lagging replica):
+  // rejected without touching the newer install.
+  const modelplane::PullOutcome out = puller.ApplyResponseFrame(v1_push);
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("version regression"), std::string::npos)
+      << out.error;
+  EXPECT_EQ(puller.installed_version(), 2u);
+  EXPECT_EQ(puller.installed_blobs()->at("necs_0.txt"), "v2\n");
+  EXPECT_GE(puller.stats().version_regressions, 1u);
 }
 
 }  // namespace
